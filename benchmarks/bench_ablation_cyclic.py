@@ -1,0 +1,80 @@
+"""Ablation: block-cyclic distribution (the paper's main future work).
+
+The paper conjectures that the block-cyclic distribution lets the
+communication be "better overlapped and parallelized".  We test the
+conjecture's two halves under the Hockney model:
+
+1. the *hierarchy still helps* per rotating pivot (HSUMMA-style
+   two-phase broadcasts cut the cyclic variant's comm time); and
+2. rotating roots + lookahead: measured against block distribution
+   with the same lookahead.
+
+Finding (recorded in EXPERIMENTS.md): half 1 reproduces; half 2 does
+NOT materialise under a contention-free Hockney network — with
+symmetric trees and unlimited injection, a stable root pipelines as
+well as rotating roots.  The conjectured benefit needs a hot-root
+bottleneck the paper's own model does not include.
+"""
+
+from conftest import run_once
+
+from repro.core.cyclic import run_cyclic
+from repro.core.overlap import run_summa_overlap
+from repro.mpi.comm import CollectiveOptions
+from repro.network.model import HockneyParams
+from repro.payloads import PhantomArray
+from repro.util.tables import format_table
+
+PARAMS = HockneyParams(alpha=1e-4, beta=1e-9)
+VDG = CollectiveOptions(bcast="vandegeijn")
+N, GRID, NB = 512, (8, 8), 8
+GAMMA = 2e-9
+
+
+def run_variants():
+    A, B = PhantomArray((N, N)), PhantomArray((N, N))
+    kw = dict(params=PARAMS, options=VDG, gamma=GAMMA)
+    out = {}
+    _, out["cyclic flat"] = run_cyclic(A, B, grid=GRID, nb=NB, **kw)
+    _, out["cyclic hierarchical"] = run_cyclic(
+        A, B, grid=GRID, nb=NB, groups=(4, 4), **kw
+    )
+    _, out["cyclic + overlap"] = run_cyclic(
+        A, B, grid=GRID, nb=NB, overlap=True, **kw
+    )
+    _, out["block + overlap"] = run_summa_overlap(
+        A, B, grid=GRID, block=NB, **kw
+    )
+    return out
+
+
+def test_block_cyclic(benchmark, record_output):
+    sims = run_once(benchmark, run_variants)
+    rows = [
+        [name, sim.total_time, sim.comm_time] for name, sim in sims.items()
+    ]
+    text = format_table(
+        ["variant", "total_s", "exposed_comm_s"],
+        rows,
+        title=(
+            f"Ablation — block-cyclic distribution (p=64, n={N}, nb={NB}, "
+            "vdg broadcast)"
+        ),
+    )
+    record_output("ablation_cyclic", text)
+
+    # Half 1 of the conjecture: the hierarchy helps the cyclic layout.
+    assert (
+        sims["cyclic hierarchical"].comm_time < sims["cyclic flat"].comm_time
+    )
+    # Overlap helps the cyclic layout too.
+    assert (
+        sims["cyclic + overlap"].total_time < sims["cyclic flat"].total_time
+    )
+    # Honest negative: under contention-free Hockney the rotating-root
+    # cyclic schedule does not beat the block layout with the same
+    # lookahead (the conjecture needs hot-root congestion).
+    assert (
+        sims["block + overlap"].total_time
+        <= sims["cyclic + overlap"].total_time * 1.05
+    )

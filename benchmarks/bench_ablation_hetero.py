@@ -1,0 +1,71 @@
+"""Ablation: heterogeneous platforms (the paper's SUMMA-lineage refs
+[9]/[10] territory).
+
+Three questions on a mixed-speed machine:
+
+1. how much does speed-proportional partitioning buy over the naive
+   uniform split? (the classic heterogeneous-load-balancing result)
+2. does the paper's hierarchical broadcast trick still help when the
+   ranks are heterogeneous? (HSUMMA composes with heterogeneity)
+3. how does the gain scale with the speed spread?
+"""
+
+from conftest import run_once
+
+from repro.hetero import run_hetero_summa1d
+from repro.mpi.comm import CollectiveOptions
+from repro.network.model import HockneyParams
+from repro.payloads import PhantomArray
+from repro.util.tables import format_table
+
+PARAMS = HockneyParams(alpha=1e-4, beta=1e-9)
+VDG = CollectiveOptions(bcast="vandegeijn")
+N, BLOCK = 1024, 32
+BASE_GAMMA = 5e-9
+
+
+def sweep():
+    A, B = PhantomArray((N, N)), PhantomArray((N, N))
+    out = {}
+    for spread in (1, 2, 4, 8):
+        speeds = [1.0, float(spread)] * 8  # 16 ranks, two classes
+        kw = dict(block=BLOCK, params=PARAMS, base_gamma=BASE_GAMMA,
+                  options=VDG)
+        _, balanced = run_hetero_summa1d(A, B, speeds=speeds, **kw)
+        _, naive = run_hetero_summa1d(
+            A, B, speeds=speeds, partition_speeds=[1.0] * 16, **kw
+        )
+        _, hier = run_hetero_summa1d(A, B, speeds=speeds, groups=4, **kw)
+        out[spread] = (naive.total_time, balanced.total_time,
+                       hier.total_time, balanced.comm_time, hier.comm_time)
+    return out
+
+
+def test_heterogeneous_summa(benchmark, record_output):
+    results = run_once(benchmark, sweep)
+    rows = [
+        [spread, naive, bal, hier, naive / bal]
+        for spread, (naive, bal, hier, _, _) in sorted(results.items())
+    ]
+    text = format_table(
+        ["speed spread", "naive_total_s", "balanced_total_s",
+         "balanced+groups_total_s", "naive/balanced"],
+        rows,
+        title=(
+            f"Ablation — heterogeneous 1-D SUMMA (16 ranks, n={N}, "
+            f"b={BLOCK}, vdg broadcast)"
+        ),
+    )
+    record_output("ablation_hetero", text)
+
+    # Spread 1 == homogeneous: partitioning indifferent.
+    naive1, bal1, *_ = results[1]
+    assert abs(naive1 - bal1) < 1e-9
+    # The balanced gain grows with the spread.
+    gains = [results[s][0] / results[s][1] for s in (1, 2, 4, 8)]
+    assert all(b >= a - 1e-9 for a, b in zip(gains, gains[1:]))
+    assert gains[-1] > 1.3
+    # Hierarchical broadcasts reduce comm on the heterogeneous machine.
+    for spread in (2, 4, 8):
+        _, _, _, bal_comm, hier_comm = results[spread]
+        assert hier_comm < bal_comm

@@ -1,0 +1,81 @@
+"""Ablation: communication/computation overlap (paper future work).
+
+The paper: "until now we got all these improvements without overlapping
+the communications ... on the virtual hierarchies."  We measure the
+one-step-lookahead schedules of :mod:`repro.core.overlap` against the
+paper's no-overlap schedules at a point where per-step communication
+and computation are comparable — the regime where overlap matters.
+
+Criteria: overlap never slower; at the balanced point the total
+approaches the ``max(comm, compute)`` lower bound.  A noteworthy
+finding the paper's future-work section does not anticipate: once
+lookahead hides essentially *all* communication, the hierarchy's
+advantage disappears — summa+overlap and hsumma+overlap both sit at the
+compute bound, within a fraction of a percent of each other.  The
+hierarchy matters again exactly when communication cannot be fully
+hidden (comm > compute), which is the exascale regime the paper
+targets.
+"""
+
+from conftest import run_once
+
+from repro.core.hsumma import run_hsumma
+from repro.core.overlap import run_hsumma_overlap, run_summa_overlap
+from repro.core.summa import run_summa
+from repro.mpi.comm import CollectiveOptions
+from repro.network.model import HockneyParams
+from repro.payloads import PhantomArray
+from repro.util.tables import format_table
+
+PARAMS = HockneyParams(alpha=1e-4, beta=1e-9)
+VDG = CollectiveOptions(bcast="vandegeijn")
+N, GRID, BLOCK, G = 1024, (8, 8), 32, 8
+GAMMA = 2e-9  # balances per-step comm and compute at this point
+
+
+def run_variants():
+    A, B = PhantomArray((N, N)), PhantomArray((N, N))
+    kw = dict(params=PARAMS, options=VDG, gamma=GAMMA)
+    out = {}
+    _, sim = run_summa(A, B, grid=GRID, block=BLOCK, **kw)
+    out["summa"] = sim
+    _, sim = run_summa_overlap(A, B, grid=GRID, block=BLOCK, **kw)
+    out["summa+overlap"] = sim
+    _, sim = run_hsumma(A, B, grid=GRID, groups=G, outer_block=BLOCK, **kw)
+    out["hsumma"] = sim
+    _, sim = run_hsumma_overlap(A, B, grid=GRID, groups=G,
+                                outer_block=BLOCK, **kw)
+    out["hsumma+overlap"] = sim
+    return out
+
+
+def test_overlap_schedules(benchmark, record_output):
+    sims = run_once(benchmark, run_variants)
+    rows = [
+        [name, sim.total_time, sim.comm_time, sim.compute_time]
+        for name, sim in sims.items()
+    ]
+    bound = max(sims["summa"].comm_time, sims["summa"].compute_time)
+    text = format_table(
+        ["schedule", "total_s", "exposed_comm_s", "compute_s"],
+        rows,
+        title=(
+            f"Ablation — lookahead overlap (p=64, n={N}, b=B={BLOCK}, "
+            f"G={G}, vdg broadcast)"
+        ),
+    ) + f"\n\nmax(comm, compute) lower bound: {bound:.5f} s"
+    record_output("ablation_overlap", text)
+
+    assert sims["summa+overlap"].total_time <= sims["summa"].total_time
+    assert sims["hsumma+overlap"].total_time <= sims["hsumma"].total_time
+    # Lookahead hides most of the communication.
+    assert sims["summa+overlap"].comm_time < sims["summa"].comm_time / 2
+    # Without overlap the hierarchy wins; with full overlap both land
+    # on the compute bound, indistinguishable to ~1%.
+    assert sims["hsumma"].total_time < sims["summa"].total_time
+    bound = sims["summa"].compute_time
+    assert sims["summa+overlap"].total_time < bound * 1.1
+    assert sims["hsumma+overlap"].total_time < bound * 1.1
+    gap = abs(sims["hsumma+overlap"].total_time
+              - sims["summa+overlap"].total_time)
+    assert gap < 0.02 * bound

@@ -1,0 +1,38 @@
+"""Figure 10: exascale prediction — model time vs group count,
+p = 2^20, n = 2^22, b = 256, alpha = 500 ns, 100 GB/s links.
+
+Paper observation: HSUMMA's curve dips to roughly a third of SUMMA's
+flat line, with the minimum at G = sqrt(p) = 1024.  Reproduction
+criteria: minimum exactly at 1024, symmetric U-shape, endpoints equal
+to SUMMA, a material win at the optimum.
+"""
+
+from conftest import run_once
+
+from repro.experiments.figures import fig10
+
+
+def test_fig10_exascale_prediction(benchmark, record_output):
+    series = run_once(benchmark, fig10)
+    best_g, best = series.min_of("hsumma_comm")
+    summa = series.column("summa_comm")[0]
+    lines = [
+        series.to_table(
+            "Figure 10 — exascale prediction, p=2^20, n=2^22, b=256 "
+            "(model comm time, s)"
+        ),
+        "",
+        f"SUMMA:  {summa:.3f} s (flat in G)",
+        f"HSUMMA: {best:.3f} s at G={best_g} "
+        f"-> {summa / best:.2f}x (paper's plot: ~3x at G=1024)",
+    ]
+    record_output("fig10", "\n".join(lines))
+
+    hs = series.column("hsumma_comm")
+    assert best_g == 1024
+    assert summa / best > 1.5
+    # Exact symmetry of the model curve: T(G) == T(p/G).
+    for left, right in zip(hs, hs[::-1]):
+        assert abs(left - right) < 1e-9 * summa
+    # Endpoints equal SUMMA.
+    assert abs(hs[0] - summa) < 1e-9 * summa

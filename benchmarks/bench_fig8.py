@@ -1,0 +1,53 @@
+"""Figure 8: BlueGene/P, 16384 cores, n=65536, b=B=256 — execution and
+communication time vs group count.
+
+Paper observation: SUMMA 50.2 s total / 36.46 s comm; HSUMMA minimum
+21.26 s total / 6.19 s comm at G=512 (5.89x comm, 2.36x total); the
+curve shows topology-induced "zigzags".  Under the paper's own Hockney
+parameters the model comm times are much smaller than measured (their
+Section V-B-1 validates only the threshold, not absolute values), so
+the reproduction criteria are shape-level: interior minimum (the run
+below finds it at the paper's G=512), HSUMMA <= SUMMA everywhere,
+equality at the extremes, and non-monotonic wiggles from the torus.
+"""
+
+from conftest import run_once
+
+from repro.experiments.figures import fig8
+
+
+def test_fig8_bgp_group_sweep(benchmark, record_output):
+    series = run_once(benchmark, fig8)
+    best_g, best_comm = series.min_of("hsumma_comm")
+    _, best_total = series.min_of("hsumma_total")
+    summa_comm = series.column("summa_comm")[0]
+    summa_total = series.column("summa_total")[0]
+    lines = [
+        series.to_table(
+            "Figure 8 — BlueGene/P, p=16384, n=65536, b=B=256 (seconds)"
+        ),
+        "",
+        f"SUMMA:  total {summa_total:.3f} s, comm {summa_comm:.3f} s "
+        "(paper measured: 50.2 / 36.46)",
+        f"HSUMMA: total {best_total:.3f} s, comm {best_comm:.3f} s "
+        f"at G={best_g} (paper measured: 21.26 / 6.19 at G=512)",
+        f"comm ratio {summa_comm / best_comm:.2f}x (paper: 5.89x), "
+        f"total ratio {summa_total / best_total:.2f}x (paper: 2.36x)",
+    ]
+    record_output("fig8", "\n".join(lines))
+
+    hs = series.column("hsumma_comm")
+    # Identities at the extremes and an interior optimum.
+    assert abs(hs[0] - summa_comm) / summa_comm < 1e-6
+    assert abs(hs[-1] - summa_comm) / summa_comm < 1e-6
+    assert best_comm < summa_comm
+    assert 1 < best_g < 16384
+    # Paper's measured optimum was G=512; the torus model lands there too.
+    assert best_g in (256, 512, 1024)
+    # Zigzags: the interior curve is not monotone on both sides only —
+    # at least one local non-monotonicity away from the global shape.
+    diffs = [b - a for a, b in zip(hs, hs[1:])]
+    sign_changes = sum(
+        1 for a, b in zip(diffs, diffs[1:]) if a * b < 0
+    )
+    assert sign_changes >= 1

@@ -1,0 +1,38 @@
+"""Figure 9: BlueGene/P scalability — comm time vs p in
+{2048, 4096, 8192, 16384}, n=65536, b=B=256.
+
+Paper observation (measured): HSUMMA's comm time improves on SUMMA's
+more and more as p grows (2.08x at 2048, 5.89x at 16384).  The paper's
+own Hockney threshold ``alpha/beta > 2nb/p`` only passes at p=16384
+(3000 > 2048) — at p in {2048, 4096, 8192} the model predicts parity
+(the measured gains there come from congestion effects beyond Hockney;
+see the contention ablation).  Reproduction criteria: parity at small
+p, a strict win at 16384, and a ratio that is non-decreasing in p.
+"""
+
+from conftest import run_once
+
+from repro.experiments.figures import fig9
+
+
+def test_fig9_bgp_scalability(benchmark, record_output):
+    series = run_once(benchmark, fig9)
+    hs = series.column("hsumma_comm")
+    su = series.column("summa_comm")
+    ratios = [s / h for s, h in zip(su, hs)]
+    lines = [
+        series.to_table(
+            "Figure 9 — BlueGene/P scalability, n=65536, b=B=256 (comm, s)"
+        ),
+        "",
+        "SUMMA/HSUMMA ratios per p: "
+        + ", ".join(f"p={p}: {r:.2f}x" for p, r in zip(series.x, ratios)),
+        "(paper measured 2.08x at p=2048 and 5.89x at p=16384; the "
+        "Hockney model predicts parity below p=16384 — see docstring)",
+    ]
+    record_output("fig9", "\n".join(lines))
+
+    # HSUMMA never worse, ratio non-decreasing, strict win at 16384.
+    assert all(h <= s * (1 + 1e-9) for h, s in zip(hs, su))
+    assert all(b >= a - 1e-9 for a, b in zip(ratios, ratios[1:]))
+    assert ratios[-1] > 1.05

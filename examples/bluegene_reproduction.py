@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Reproduce the BlueGene/P headline experiment at reduced scale,
+then at full scale via the step model.
+
+Stage 1 runs the *full discrete-event simulation* (every message an
+event) on a 256-rank torus — small enough to finish in seconds, large
+enough to show the interior optimum and the effect of the torus.
+
+Stage 2 uses the step-synchronous executor (validated against the full
+simulator in the test suite) to regenerate the paper's actual Figure 8
+point: 16384 cores, n=65536, b=B=256.
+
+Usage::
+
+    python examples/bluegene_reproduction.py [--full]
+
+``--full`` adds the 16384-core sweep (roughly half a minute).
+"""
+
+import sys
+
+from repro import PhantomArray
+from repro.core.grouping import valid_group_counts
+from repro.core.hsumma import run_hsumma
+from repro.core.summa import run_summa
+from repro.experiments.figures import fig8
+from repro.mpi.comm import CollectiveOptions
+from repro.platforms.bluegene import bluegene_p
+from repro.util.gridmath import factor_grid
+from repro.util.tables import format_table
+
+
+def stage1() -> None:
+    p, n, block = 64, 2048, 16
+    platform = bluegene_p(p)
+    grid = factor_grid(p)
+    opts = platform.options
+    net = platform.network(p)
+
+    _, s_sim = run_summa(
+        PhantomArray((n, n)), PhantomArray((n, n)),
+        grid=grid, block=block, network=net, options=opts,
+        gamma=platform.gamma,
+    )
+    rows = []
+    for G in valid_group_counts(*grid):
+        if G & (G - 1):
+            continue
+        _, h_sim = run_hsumma(
+            PhantomArray((n, n)), PhantomArray((n, n)),
+            grid=grid, groups=G, outer_block=block,
+            network=net, options=opts, gamma=platform.gamma,
+        )
+        rows.append([G, h_sim.comm_time, h_sim.total_time])
+    print(format_table(
+        ["G", "hsumma_comm_s", "hsumma_total_s"],
+        rows,
+        title=(
+            f"Stage 1 — full DES on a {p}-rank BG/P torus "
+            f"(n={n}, b=B={block}); SUMMA comm {s_sim.comm_time:.4f} s"
+        ),
+    ))
+    best = min(rows, key=lambda r: r[1])
+    print(f"\nbest G = {best[0]}: comm {best[1]:.4f} s vs SUMMA "
+          f"{s_sim.comm_time:.4f} s -> {s_sim.comm_time / best[1]:.2f}x\n")
+
+
+def stage2() -> None:
+    series = fig8()
+    print(series.to_table(
+        "Stage 2 — paper Figure 8 via the step model "
+        "(p=16384, n=65536, b=B=256)"
+    ))
+    g, best = series.min_of("hsumma_comm")
+    summa = series.column("summa_comm")[0]
+    print(f"\noptimal G = {g} (paper measured G=512); "
+          f"comm ratio {summa / best:.2f}x (paper measured 5.89x; "
+          "the paper's own Hockney model also predicts a smaller ratio "
+          "than measured — see EXPERIMENTS.md)")
+
+
+def main() -> None:
+    stage1()
+    if "--full" in sys.argv:
+        stage2()
+    else:
+        print("run with --full for the 16384-core Figure-8 sweep")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Hierarchical panel broadcasts in LU and QR (paper future work).
+
+Factors one matrix with the distributed block LU and blocked
+Householder QR, verifies both numerically, and then measures how the
+paper's two-level broadcast grouping shrinks each kernel's
+communication time at scale (phantom mode).
+
+Usage::
+
+    python examples/factorization_demo.py
+"""
+
+import numpy as np
+
+from repro import HockneyParams, PhantomArray
+from repro.factorization import run_block_lu, run_block_qr
+from repro.mpi.comm import CollectiveOptions
+from repro.util.tables import format_table
+
+PARAMS = HockneyParams(alpha=1e-4, beta=1e-9)
+VDG = CollectiveOptions(bcast="vandegeijn")
+
+
+def verify() -> None:
+    rng = np.random.default_rng(42)
+    n = 64
+    A = rng.standard_normal((n, n)) + n * np.eye(n)  # diagonally dominant
+
+    L, U, lu_sim = run_block_lu(A, grid=(2, 2), block=8, groups=(2, 2),
+                                params=PARAMS)
+    print(f"LU:  |LU - A|_max = {np.max(np.abs(L @ U - A)):.2e}  "
+          f"(comm {lu_sim.comm_time * 1e3:.2f} ms on 4 ranks)")
+
+    R, qr_sim = run_block_qr(A, grid=(2, 2), block=8, groups=(2, 2),
+                             params=PARAMS)
+    gram = np.max(np.abs(R.T @ R - A.T @ A))
+    print(f"QR:  |R'R - A'A|_max = {gram:.2e}  "
+          f"(comm {qr_sim.comm_time * 1e3:.2f} ms on 4 ranks)")
+
+
+def scale_study() -> None:
+    n, grid, groups = 2048, (8, 8), (4, 4)
+    rows = []
+    for kernel, runner in (("LU", run_block_lu), ("QR", run_block_qr)):
+        for block in (16, 32):
+            if kernel == "QR" and block == 16:
+                continue  # QR panel gathers get slow at tiny blocks
+            A = PhantomArray((n, n))
+            flat = runner(A, grid=grid, block=block,
+                          params=PARAMS, options=VDG)[-1]
+            hier = runner(A, grid=grid, block=block, groups=groups,
+                          params=PARAMS, options=VDG)[-1]
+            rows.append([kernel, block, flat.comm_time, hier.comm_time,
+                         flat.comm_time / hier.comm_time])
+    print()
+    print(format_table(
+        ["kernel", "block", "flat comm (s)", "grouped comm (s)", "ratio"],
+        rows,
+        title=f"Hierarchical panel broadcasts at p=64, n={n} (phantom mode)",
+    ))
+    print("\nThe same grouping that drives HSUMMA cuts the factorization "
+          "kernels' panel-broadcast time — the paper's QR/LU conjecture.")
+
+
+def main() -> None:
+    verify()
+    scale_study()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Heterogeneous 1-D SUMMA: load balancing plus hierarchical broadcasts.
+
+Simulates a mixed cluster (half slow nodes, half fast) and compares
+three configurations of the same multiplication:
+
+1. naive uniform column split (the slow ranks straggle),
+2. speed-proportional split (balanced compute),
+3. balanced split + the paper's two-phase grouped broadcasts.
+
+Also verifies the distributed result against numpy.
+
+Usage::
+
+    python examples/heterogeneous_cluster.py
+"""
+
+import numpy as np
+
+from repro import HockneyParams, PhantomArray
+from repro.hetero import run_hetero_summa1d
+from repro.mpi.comm import CollectiveOptions
+from repro.util.tables import format_table
+
+PARAMS = HockneyParams(alpha=1e-4, beta=1e-9)
+VDG = CollectiveOptions(bcast="vandegeijn")
+
+
+def main() -> None:
+    # Correctness on real data first.
+    rng = np.random.default_rng(7)
+    m, l, n = 48, 64, 80
+    A = rng.standard_normal((m, l))
+    B = rng.standard_normal((l, n))
+    speeds = [1, 1, 3, 3]
+    C, _ = run_hetero_summa1d(A, B, speeds=speeds, block=16, params=PARAMS)
+    err = np.max(np.abs(C - A @ B))
+    print(f"4 ranks with speeds {speeds}: max |C - AB| = {err:.2e}\n")
+    assert err < 1e-10
+
+    # Timing study at scale (phantom mode): 16 ranks, half 4x faster.
+    N = 1024
+    speeds = [1.0] * 8 + [4.0] * 8
+    Ap, Bp = PhantomArray((N, N)), PhantomArray((N, N))
+    kw = dict(block=32, params=PARAMS, base_gamma=5e-9, options=VDG)
+
+    _, naive = run_hetero_summa1d(
+        Ap, Bp, speeds=speeds, partition_speeds=[1.0] * 16, **kw
+    )
+    _, balanced = run_hetero_summa1d(Ap, Bp, speeds=speeds, **kw)
+    _, grouped = run_hetero_summa1d(Ap, Bp, speeds=speeds, groups=4, **kw)
+
+    rows = [
+        ["uniform split", naive.total_time, naive.comm_time],
+        ["speed-proportional", balanced.total_time, balanced.comm_time],
+        ["proportional + 4 groups", grouped.total_time, grouped.comm_time],
+    ]
+    print(format_table(
+        ["configuration", "total (s)", "comm (s)"],
+        rows,
+        title=f"16 mixed-speed ranks (8 slow + 8 fast 4x), n={N}",
+    ))
+    print(f"\nload balancing buys {naive.total_time / balanced.total_time:.2f}x; "
+          "grouped broadcasts shave the communication on top — the "
+          "HSUMMA idea composes with heterogeneity.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""repro — reproduction of "Hierarchical Parallel Matrix Multiplication
+on Large-Scale Distributed Memory Platforms" (Quintin, Hasanov,
+Lastovetsky; ICPP 2013).
+
+The package implements HSUMMA and SUMMA (plus the classical baselines)
+over a deterministic discrete-event simulation of distributed-memory
+platforms, the paper's analytic cost models, and drivers regenerating
+every figure and table of its evaluation.
+
+Quick start::
+
+    import numpy as np
+    from repro import multiply
+
+    A = np.random.default_rng(0).standard_normal((256, 256))
+    B = np.random.default_rng(1).standard_normal((256, 256))
+    result = multiply(A, B, nprocs=16, algorithm="hsumma", block=16)
+    assert np.allclose(result.C, A @ B)
+    print(result.total_time, result.comm_time)
+
+See README.md for the architecture overview and EXPERIMENTS.md for the
+paper-vs-reproduction comparison.
+"""
+
+from repro.core.api import ALGORITHMS, MatmulResult, multiply
+from repro.core.factorize_api import KERNELS, FactorResult, factorize
+from repro.core.hsumma import HSummaConfig, run_hsumma
+from repro.core.summa import SummaConfig, run_summa
+from repro.core.tuning import tune_group_count
+from repro.errors import ReproError
+from repro.network.model import HockneyParams
+from repro.payloads import PhantomArray
+from repro.platforms import bluegene_p, exascale_2012, grid5000_graphene
+from repro.simulator.runtime import run_spmd
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALGORITHMS",
+    "FactorResult",
+    "KERNELS",
+    "factorize",
+    "HSummaConfig",
+    "HockneyParams",
+    "MatmulResult",
+    "PhantomArray",
+    "ReproError",
+    "SummaConfig",
+    "bluegene_p",
+    "exascale_2012",
+    "grid5000_graphene",
+    "multiply",
+    "run_hsumma",
+    "run_spmd",
+    "run_summa",
+    "tune_group_count",
+    "__version__",
+]

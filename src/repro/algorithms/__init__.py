@@ -1,0 +1,23 @@
+"""Baseline parallel matmul algorithms the paper discusses (Section I/II).
+
+* :mod:`repro.algorithms.serial` — single-rank reference.
+* :mod:`repro.algorithms.cannon` — Cannon's 1969 algorithm (square grid,
+  shift-based, the first communication-optimal 2-D algorithm).
+* :mod:`repro.algorithms.fox` — Fox's broadcast-multiply-roll.
+* :mod:`repro.algorithms.dns3d` — the Agarwal et al. 3-D algorithm
+  (``p^(1/3)`` replication, ``p^(1/6)`` less communication).
+* :mod:`repro.algorithms.algo25d` — Solomonik–Demmel 2.5D with a
+  tunable replication factor ``c``.
+
+These let the benchmark suite place HSUMMA in the full algorithm
+landscape (the paper compares only against SUMMA, arguing the others'
+memory or squareness restrictions; the ablation benches quantify that).
+"""
+
+from repro.algorithms.cannon import run_cannon
+from repro.algorithms.fox import run_fox
+from repro.algorithms.dns3d import run_dns3d
+from repro.algorithms.algo25d import run_25d
+from repro.algorithms.serial import run_serial
+
+__all__ = ["run_cannon", "run_fox", "run_dns3d", "run_25d", "run_serial"]

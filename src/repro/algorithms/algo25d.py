@@ -1,0 +1,153 @@
+"""The 2.5D algorithm (Solomonik & Demmel 2011) with replication ``c``.
+
+``p = q*q*c`` ranks arranged ``q x q x c``.  Layer 0 holds the inputs
+block-distributed; the tiles are replicated down the ``c`` layer axis,
+each layer then executes a ``1/c`` share of the SUMMA-style pivot
+steps entirely within itself, and the partial ``C``s are reduced back
+to layer 0.  Per-rank broadcast volume is ``2 n^2 / sqrt(c p)`` — the
+``sqrt(c)``-fold bandwidth saving of 2.5D — at the price of ``c``
+matrix replicas, the memory cost the paper argues will not survive
+exascale memory-per-core trends.
+
+This is the broadcast-based formulation: the original paper shifts
+skewed tiles Cannon-style inside a layer, which has the same asymptotic
+cost; the broadcast variant reuses this library's collectives and keeps
+the comparison apples-to-apples with SUMMA/HSUMMA (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+import numpy as np
+
+from repro.blocks.dmatrix import DistMatrix
+from repro.blocks.distribution import BlockDistribution
+from repro.blocks.ops import local_gemm_acc
+from repro.errors import ConfigurationError
+from repro.mpi.comm import CollectiveOptions, MpiContext
+from repro.network.homogeneous import HomogeneousNetwork
+from repro.network.model import Network
+from repro.payloads import PhantomArray
+from repro.simulator.engine import Engine
+from repro.simulator.runtime import DEFAULT_PARAMS
+from repro.simulator.tracing import SimResult
+
+Gen = Generator[Any, Any, Any]
+
+
+def _layer_grid(p: int, c: int) -> int:
+    if c < 1:
+        raise ConfigurationError(f"replication c must be >= 1, got {c}")
+    if p % c:
+        raise ConfigurationError(f"replication {c} does not divide p={p}")
+    q = round((p // c) ** 0.5)
+    if q * q * c != p:
+        raise ConfigurationError(
+            f"2.5D needs p = q^2 * c; p={p}, c={c} gives no integer q"
+        )
+    if q % c:
+        raise ConfigurationError(
+            f"2.5D step split needs c | q (q={q}, c={c})"
+        )
+    return q
+
+
+def algo25d_program(
+    ctx: MpiContext, a_tile: Any, b_tile: Any, q: int, c: int
+) -> Gen:
+    """Per-rank 2.5D generator; returns the C tile on layer 0."""
+    world = ctx.world
+    rank = world.rank
+    # Rank r = (i * q + j) * c + layer.
+    layer = rank % c
+    j = (rank // c) % q
+    i = rank // (c * q)
+
+    # Communicators: layer axis (fixed i,j), and row/col inside a layer.
+    layer_axis = world.split_by(lambda r: r // c, key_of=lambda r: r % c)
+    row_comm = world.split_by(
+        lambda r: (r // (c * q)) * c + r % c,
+        key_of=lambda r: (r // c) % q,
+    )  # fixed (i, layer), varying j
+    col_comm = world.split_by(
+        lambda r: ((r // c) % q) * c + r % c,
+        key_of=lambda r: r // (c * q),
+    )  # fixed (j, layer), varying i
+
+    # 1. Replicate tiles across layers.
+    a_tile = yield from layer_axis.bcast(a_tile, root=0)
+    b_tile = yield from layer_axis.bcast(b_tile, root=0)
+
+    # 2. My layer's share of the q pivot steps.
+    if isinstance(a_tile, PhantomArray) or isinstance(b_tile, PhantomArray):
+        c_partial: Any = PhantomArray((a_tile.shape[0], b_tile.shape[1]))
+    else:
+        c_partial = np.zeros((a_tile.shape[0], b_tile.shape[1]))
+    steps = q // c
+    for idx in range(steps):
+        k = layer * steps + idx
+        a_piv = a_tile if j == k else None
+        a_piv = yield from row_comm.bcast(a_piv, root=k)
+        b_piv = b_tile if i == k else None
+        b_piv = yield from col_comm.bcast(b_piv, root=k)
+        c_partial = yield from local_gemm_acc(ctx, c_partial, a_piv, b_piv)
+
+    # 3. Reduce partial results to layer 0.
+    c_tile = yield from layer_axis.reduce(c_partial, root=0)
+    return c_tile if layer == 0 else None
+
+
+def run_25d(
+    A: Any,
+    B: Any,
+    *,
+    nprocs: int,
+    replication: int = 1,
+    network: Network | None = None,
+    params: Any = None,
+    gamma: float = 0.0,
+    options: CollectiveOptions | None = None,
+    contention: bool = False,
+) -> tuple[Any, SimResult]:
+    """Multiply ``A @ B`` with the 2.5D algorithm.
+
+    ``nprocs = q^2 * replication`` with ``replication | q``;
+    ``replication=1`` degenerates to a SUMMA-like 2-D run, and
+    ``replication=p^(1/3)`` recovers the 3-D algorithm's layout.
+    """
+    c = replication
+    q = _layer_grid(nprocs, c)
+    (m, l), (l2, n) = A.shape, B.shape
+    if l != l2:
+        raise ConfigurationError(f"inner dims differ: {A.shape} @ {B.shape}")
+
+    da = DistMatrix(A if isinstance(A, PhantomArray) else np.asarray(A, dtype=float),
+                    BlockDistribution(m, l, q, q))
+    db = DistMatrix(B if isinstance(B, PhantomArray) else np.asarray(B, dtype=float),
+                    BlockDistribution(l, n, q, q))
+
+    if network is None:
+        network = HomogeneousNetwork(nprocs, params or DEFAULT_PARAMS)
+    programs = []
+    for rank in range(nprocs):
+        layer = rank % c
+        j = (rank // c) % q
+        i = rank // (c * q)
+        a_t = da.tile(i, j) if layer == 0 else None
+        b_t = db.tile(i, j) if layer == 0 else None
+        ctx = MpiContext(rank, nprocs, options=options, gamma=gamma)
+        programs.append(algo25d_program(ctx, a_t, b_t, q, c))
+    sim = Engine(network, contention=contention).run(programs)
+
+    dc = DistMatrix(
+        PhantomArray((m, n)) if da.phantom or db.phantom else np.empty((m, n)),
+        BlockDistribution(m, n, q, q),
+    )
+    tiles = {}
+    for rank in range(nprocs):
+        if rank % c == 0:
+            j = (rank // c) % q
+            i = rank // (c * q)
+            tiles[(i, j)] = sim.return_values[rank]
+    return dc.assemble(tiles), sim

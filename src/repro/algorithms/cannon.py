@@ -1,0 +1,130 @@
+"""Cannon's algorithm (1969) — the square-grid shift algorithm.
+
+Requires a square ``q x q`` grid (the restriction the paper cites as
+the reason Cannon never made it into general-purpose libraries).  After
+the initial skew — tile row ``i`` of ``A`` rotated left by ``i``, tile
+column ``j`` of ``B`` rotated up by ``j`` — there are ``q`` rounds of
+local multiply followed by a single-step rotation of both operands.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+import numpy as np
+
+from repro.blocks.dmatrix import DistMatrix
+from repro.blocks.distribution import BlockDistribution
+from repro.blocks.ops import local_gemm_acc
+from repro.errors import ConfigurationError
+from repro.mpi.cart import CartComm
+from repro.mpi.comm import CollectiveOptions, MpiContext
+from repro.network.homogeneous import HomogeneousNetwork
+from repro.network.model import Network
+from repro.payloads import PhantomArray
+from repro.simulator.engine import Engine
+from repro.simulator.runtime import DEFAULT_PARAMS
+from repro.simulator.tracing import SimResult
+
+Gen = Generator[Any, Any, Any]
+
+TAG_SKEW_A = 1
+TAG_SKEW_B = 2
+TAG_SHIFT_A = 3
+TAG_SHIFT_B = 4
+
+
+def cannon_program(ctx: MpiContext, a_tile: Any, b_tile: Any, q: int) -> Gen:
+    """Per-rank Cannon generator on a ``q x q`` grid; returns the C tile."""
+    grid = CartComm(ctx.world, q, q)
+    i, j = grid.row, grid.col
+    comm = grid.comm
+
+    # Initial skew: A(i,j) -> (i, j-i);  B(i,j) -> (i-j, j).
+    if i > 0:
+        a_tile = yield from comm.sendrecv(
+            a_tile,
+            grid.rank_at(i, j - i),
+            grid.rank_at(i, j + i),
+            sendtag=TAG_SKEW_A,
+            recvtag=TAG_SKEW_A,
+        )
+    if j > 0:
+        b_tile = yield from comm.sendrecv(
+            b_tile,
+            grid.rank_at(i - j, j),
+            grid.rank_at(i + j, j),
+            sendtag=TAG_SKEW_B,
+            recvtag=TAG_SKEW_B,
+        )
+
+    if isinstance(a_tile, PhantomArray) or isinstance(b_tile, PhantomArray):
+        c_tile: Any = PhantomArray((a_tile.shape[0], b_tile.shape[1]))
+    else:
+        c_tile = np.zeros((a_tile.shape[0], b_tile.shape[1]))
+
+    for step in range(q):
+        c_tile = yield from local_gemm_acc(ctx, c_tile, a_tile, b_tile)
+        if step == q - 1:
+            break
+        a_tile = yield from comm.sendrecv(
+            a_tile,
+            grid.rank_at(i, j - 1),
+            grid.rank_at(i, j + 1),
+            sendtag=TAG_SHIFT_A,
+            recvtag=TAG_SHIFT_A,
+        )
+        b_tile = yield from comm.sendrecv(
+            b_tile,
+            grid.rank_at(i - 1, j),
+            grid.rank_at(i + 1, j),
+            sendtag=TAG_SHIFT_B,
+            recvtag=TAG_SHIFT_B,
+        )
+    return c_tile
+
+
+def run_cannon(
+    A: Any,
+    B: Any,
+    *,
+    grid: tuple[int, int],
+    network: Network | None = None,
+    params: Any = None,
+    gamma: float = 0.0,
+    options: CollectiveOptions | None = None,
+    contention: bool = False,
+) -> tuple[Any, SimResult]:
+    """Multiply ``A @ B`` with Cannon's algorithm; ``grid`` must be square."""
+    s, t = grid
+    if s != t:
+        raise ConfigurationError(
+            f"Cannon requires a square grid, got {s}x{t} "
+            "(this is the restriction SUMMA lifted)"
+        )
+    q = s
+    (m, l), (l2, n) = A.shape, B.shape
+    if l != l2:
+        raise ConfigurationError(f"inner dims differ: {A.shape} @ {B.shape}")
+
+    da = DistMatrix(A if isinstance(A, PhantomArray) else np.asarray(A, dtype=float),
+                    BlockDistribution(m, l, q, q))
+    db = DistMatrix(B if isinstance(B, PhantomArray) else np.asarray(B, dtype=float),
+                    BlockDistribution(l, n, q, q))
+
+    nranks = q * q
+    if network is None:
+        network = HomogeneousNetwork(nranks, params or DEFAULT_PARAMS)
+    programs = []
+    for rank in range(nranks):
+        i, j = divmod(rank, q)
+        ctx = MpiContext(rank, nranks, options=options, gamma=gamma)
+        programs.append(cannon_program(ctx, da.tile(i, j), db.tile(i, j), q))
+    sim = Engine(network, contention=contention).run(programs)
+
+    dc = DistMatrix(
+        PhantomArray((m, n)) if da.phantom or db.phantom else np.empty((m, n)),
+        BlockDistribution(m, n, q, q),
+    )
+    tiles = {divmod(rank, q): sim.return_values[rank] for rank in range(nranks)}
+    return dc.assemble(tiles), sim

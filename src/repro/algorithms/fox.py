@@ -1,0 +1,100 @@
+"""Fox's algorithm (broadcast–multiply–roll, 1987).
+
+Square ``q x q`` grid.  In round ``k`` the rank in column
+``(i + k) mod q`` broadcasts its ``A`` tile along its grid row, every
+rank multiplies into ``C``, and ``B`` rolls up one grid row.  Same
+square-grid restriction as Cannon (paper Section I).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+import numpy as np
+
+from repro.blocks.dmatrix import DistMatrix
+from repro.blocks.distribution import BlockDistribution
+from repro.blocks.ops import local_gemm_acc
+from repro.errors import ConfigurationError
+from repro.mpi.cart import CartComm
+from repro.mpi.comm import CollectiveOptions, MpiContext
+from repro.network.homogeneous import HomogeneousNetwork
+from repro.network.model import Network
+from repro.payloads import PhantomArray
+from repro.simulator.engine import Engine
+from repro.simulator.runtime import DEFAULT_PARAMS
+from repro.simulator.tracing import SimResult
+
+Gen = Generator[Any, Any, Any]
+
+TAG_ROLL_B = 5
+
+
+def fox_program(ctx: MpiContext, a_tile: Any, b_tile: Any, q: int) -> Gen:
+    """Per-rank Fox generator on a ``q x q`` grid; returns the C tile."""
+    grid = CartComm(ctx.world, q, q)
+    i, j = grid.row, grid.col
+
+    if isinstance(a_tile, PhantomArray) or isinstance(b_tile, PhantomArray):
+        c_tile: Any = PhantomArray((a_tile.shape[0], b_tile.shape[1]))
+    else:
+        c_tile = np.zeros((a_tile.shape[0], b_tile.shape[1]))
+
+    for k in range(q):
+        pivot_col = (i + k) % q
+        a_bcast = a_tile if j == pivot_col else None
+        a_bcast = yield from grid.row_comm.bcast(a_bcast, root=pivot_col)
+        c_tile = yield from local_gemm_acc(ctx, c_tile, a_bcast, b_tile)
+        if k == q - 1:
+            break
+        b_tile = yield from grid.comm.sendrecv(
+            b_tile,
+            grid.rank_at(i - 1, j),
+            grid.rank_at(i + 1, j),
+            sendtag=TAG_ROLL_B,
+            recvtag=TAG_ROLL_B,
+        )
+    return c_tile
+
+
+def run_fox(
+    A: Any,
+    B: Any,
+    *,
+    grid: tuple[int, int],
+    network: Network | None = None,
+    params: Any = None,
+    gamma: float = 0.0,
+    options: CollectiveOptions | None = None,
+    contention: bool = False,
+) -> tuple[Any, SimResult]:
+    """Multiply ``A @ B`` with Fox's algorithm; ``grid`` must be square."""
+    s, t = grid
+    if s != t:
+        raise ConfigurationError(f"Fox requires a square grid, got {s}x{t}")
+    q = s
+    (m, l), (l2, n) = A.shape, B.shape
+    if l != l2:
+        raise ConfigurationError(f"inner dims differ: {A.shape} @ {B.shape}")
+
+    da = DistMatrix(A if isinstance(A, PhantomArray) else np.asarray(A, dtype=float),
+                    BlockDistribution(m, l, q, q))
+    db = DistMatrix(B if isinstance(B, PhantomArray) else np.asarray(B, dtype=float),
+                    BlockDistribution(l, n, q, q))
+
+    nranks = q * q
+    if network is None:
+        network = HomogeneousNetwork(nranks, params or DEFAULT_PARAMS)
+    programs = []
+    for rank in range(nranks):
+        i, j = divmod(rank, q)
+        ctx = MpiContext(rank, nranks, options=options, gamma=gamma)
+        programs.append(fox_program(ctx, da.tile(i, j), db.tile(i, j), q))
+    sim = Engine(network, contention=contention).run(programs)
+
+    dc = DistMatrix(
+        PhantomArray((m, n)) if da.phantom or db.phantom else np.empty((m, n)),
+        BlockDistribution(m, n, q, q),
+    )
+    tiles = {divmod(rank, q): sim.return_values[rank] for rank in range(nranks)}
+    return dc.assemble(tiles), sim

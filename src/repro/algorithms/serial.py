@@ -1,0 +1,33 @@
+"""Single-rank reference multiplication (sanity baseline)."""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.blocks.ops import gemm_flops
+from repro.errors import ConfigurationError
+from repro.mpi.comm import MpiContext
+from repro.network.homogeneous import HomogeneousNetwork
+from repro.payloads import PhantomArray, is_phantom
+from repro.simulator.engine import Engine
+from repro.simulator.runtime import DEFAULT_PARAMS
+from repro.simulator.tracing import SimResult
+
+
+def run_serial(A: Any, B: Any, *, gamma: float = 0.0) -> tuple[Any, SimResult]:
+    """Multiply on one simulated rank, charging ``2*m*l*n*gamma``."""
+    (m, l), (l2, n) = A.shape, B.shape
+    if l != l2:
+        raise ConfigurationError(f"inner dims differ: {A.shape} @ {B.shape}")
+
+    def program(ctx: MpiContext):
+        yield from ctx.compute_flops(gemm_flops(m, l, n))
+        if is_phantom(A) or is_phantom(B):
+            return PhantomArray((m, n))
+        return np.asarray(A, dtype=float) @ np.asarray(B, dtype=float)
+
+    ctx = MpiContext(0, 1, gamma=gamma)
+    sim = Engine(HomogeneousNetwork(1, DEFAULT_PARAMS)).run([program(ctx)])
+    return sim.return_values[0], sim

@@ -1,0 +1,204 @@
+"""Matrix-to-grid distributions.
+
+A distribution maps a global ``rows x cols`` matrix onto an ``s x t``
+processor grid.  Two schemes:
+
+* :class:`BlockDistribution` — the paper's checkerboard: processor
+  ``(i, j)`` owns one contiguous tile.  Dimensions must divide evenly
+  (the paper assumes ``n`` is a multiple of the relevant factors, and
+  the experiments use powers of two throughout).
+* :class:`BlockCyclicDistribution` — ScaLAPACK-style: blocks of size
+  ``nb`` are dealt out cyclically; processor ``(i, j)`` owns every
+  block ``(bi, bj)`` with ``bi % s == i`` and ``bj % t == j``.  This is
+  the distribution the paper's future-work section targets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.util.validation import require, require_divides
+
+
+class BlockDistribution:
+    """Checkerboard distribution of a ``rows x cols`` matrix on an
+    ``s x t`` grid; tile ``(i, j)`` is
+    ``M[i*rows/s:(i+1)*rows/s, j*cols/t:(j+1)*cols/t]``."""
+
+    def __init__(self, rows: int, cols: int, s: int, t: int):
+        require(rows > 0 and cols > 0, f"matrix dims must be positive: {rows}x{cols}")
+        require(s > 0 and t > 0, f"grid dims must be positive: {s}x{t}")
+        require_divides(s, rows, "block distribution rows")
+        require_divides(t, cols, "block distribution cols")
+        self.rows, self.cols = rows, cols
+        self.s, self.t = s, t
+        self.tile_rows = rows // s
+        self.tile_cols = cols // t
+
+    def tile_shape(self, i: int, j: int) -> tuple[int, int]:
+        """Shape of processor ``(i, j)``'s tile (uniform here)."""
+        self._check(i, j)
+        return (self.tile_rows, self.tile_cols)
+
+    def owner_of_row(self, gi: int) -> int:
+        """Grid row owning global row ``gi``."""
+        if not (0 <= gi < self.rows):
+            raise ConfigurationError(f"row {gi} outside matrix of {self.rows}")
+        return gi // self.tile_rows
+
+    def owner_of_col(self, gj: int) -> int:
+        """Grid column owning global column ``gj``."""
+        if not (0 <= gj < self.cols):
+            raise ConfigurationError(f"col {gj} outside matrix of {self.cols}")
+        return gj // self.tile_cols
+
+    def owner(self, gi: int, gj: int) -> tuple[int, int]:
+        """Grid coordinates owning global element ``(gi, gj)``."""
+        return (self.owner_of_row(gi), self.owner_of_col(gj))
+
+    def global_to_local(self, gi: int, gj: int) -> tuple[int, int]:
+        """Local tile indices of global element ``(gi, gj)``."""
+        self.owner(gi, gj)  # bounds check
+        return (gi % self.tile_rows, gj % self.tile_cols)
+
+    def extract_tile(self, M: np.ndarray, i: int, j: int) -> np.ndarray:
+        """Copy of processor ``(i, j)``'s tile of the global array ``M``."""
+        self._check(i, j)
+        if M.shape != (self.rows, self.cols):
+            raise ConfigurationError(
+                f"array shape {M.shape} does not match distribution "
+                f"{self.rows}x{self.cols}"
+            )
+        r0 = i * self.tile_rows
+        c0 = j * self.tile_cols
+        return M[r0 : r0 + self.tile_rows, c0 : c0 + self.tile_cols].copy()
+
+    def assemble(self, tiles: dict[tuple[int, int], np.ndarray]) -> np.ndarray:
+        """Rebuild the global array from the full set of tiles."""
+        out = np.empty((self.rows, self.cols))
+        for i in range(self.s):
+            for j in range(self.t):
+                try:
+                    tile = tiles[(i, j)]
+                except KeyError:
+                    raise ConfigurationError(f"missing tile ({i}, {j})") from None
+                if np.shape(tile) != (self.tile_rows, self.tile_cols):
+                    raise ConfigurationError(
+                        f"tile ({i}, {j}) has shape {np.shape(tile)}, "
+                        f"expected {(self.tile_rows, self.tile_cols)}"
+                    )
+                r0 = i * self.tile_rows
+                c0 = j * self.tile_cols
+                out[r0 : r0 + self.tile_rows, c0 : c0 + self.tile_cols] = tile
+        return out
+
+    def _check(self, i: int, j: int) -> None:
+        if not (0 <= i < self.s and 0 <= j < self.t):
+            raise ConfigurationError(
+                f"grid position ({i}, {j}) outside {self.s}x{self.t}"
+            )
+
+
+class BlockCyclicDistribution:
+    """ScaLAPACK-style 2-D block-cyclic distribution with square-ish
+    ``nb_r x nb_c`` blocks dealt cyclically over the ``s x t`` grid.
+
+    For simplicity (and matching the power-of-two experiments), the
+    matrix dimensions must be multiples of ``nb * grid dimension`` so
+    every processor owns the same number of blocks.
+    """
+
+    def __init__(self, rows: int, cols: int, s: int, t: int, nb_r: int, nb_c: int):
+        require(nb_r > 0 and nb_c > 0, f"block dims must be positive: {nb_r}x{nb_c}")
+        require_divides(nb_r * s, rows, "block-cyclic rows")
+        require_divides(nb_c * t, cols, "block-cyclic cols")
+        self.rows, self.cols = rows, cols
+        self.s, self.t = s, t
+        self.nb_r, self.nb_c = nb_r, nb_c
+        self.blocks_r = rows // nb_r  # global block-row count
+        self.blocks_c = cols // nb_c
+        self.local_blocks_r = self.blocks_r // s
+        self.local_blocks_c = self.blocks_c // t
+
+    def tile_shape(self, i: int, j: int) -> tuple[int, int]:
+        """Shape of the local tile (all local blocks packed contiguously)."""
+        self._check(i, j)
+        return (self.local_blocks_r * self.nb_r, self.local_blocks_c * self.nb_c)
+
+    def owner_of_block(self, bi: int, bj: int) -> tuple[int, int]:
+        """Grid position owning global block ``(bi, bj)``."""
+        if not (0 <= bi < self.blocks_r and 0 <= bj < self.blocks_c):
+            raise ConfigurationError(
+                f"block ({bi}, {bj}) outside {self.blocks_r}x{self.blocks_c}"
+            )
+        return (bi % self.s, bj % self.t)
+
+    def owner(self, gi: int, gj: int) -> tuple[int, int]:
+        """Grid position owning global element ``(gi, gj)``."""
+        if not (0 <= gi < self.rows and 0 <= gj < self.cols):
+            raise ConfigurationError(f"element ({gi}, {gj}) outside matrix")
+        return self.owner_of_block(gi // self.nb_r, gj // self.nb_c)
+
+    def local_block_index(self, bi: int, bj: int) -> tuple[int, int]:
+        """Index of global block ``(bi, bj)`` within its owner's tile."""
+        self.owner_of_block(bi, bj)  # bounds check
+        return (bi // self.s, bj // self.t)
+
+    def extract_tile(self, M: np.ndarray, i: int, j: int) -> np.ndarray:
+        """Processor ``(i, j)``'s packed local tile of global array ``M``."""
+        self._check(i, j)
+        if M.shape != (self.rows, self.cols):
+            raise ConfigurationError(
+                f"array shape {M.shape} does not match distribution "
+                f"{self.rows}x{self.cols}"
+            )
+        # Rows with block-row index ≡ i (mod s), similarly for columns.
+        row_idx = np.concatenate(
+            [
+                np.arange(bi * self.nb_r, (bi + 1) * self.nb_r)
+                for bi in range(i, self.blocks_r, self.s)
+            ]
+        )
+        col_idx = np.concatenate(
+            [
+                np.arange(bj * self.nb_c, (bj + 1) * self.nb_c)
+                for bj in range(j, self.blocks_c, self.t)
+            ]
+        )
+        return M[np.ix_(row_idx, col_idx)].copy()
+
+    def assemble(self, tiles: dict[tuple[int, int], np.ndarray]) -> np.ndarray:
+        """Rebuild the global array from all packed local tiles."""
+        out = np.empty((self.rows, self.cols))
+        for i in range(self.s):
+            for j in range(self.t):
+                try:
+                    tile = tiles[(i, j)]
+                except KeyError:
+                    raise ConfigurationError(f"missing tile ({i}, {j})") from None
+                expected = self.tile_shape(i, j)
+                if np.shape(tile) != expected:
+                    raise ConfigurationError(
+                        f"tile ({i}, {j}) has shape {np.shape(tile)}, expected {expected}"
+                    )
+                row_idx = np.concatenate(
+                    [
+                        np.arange(bi * self.nb_r, (bi + 1) * self.nb_r)
+                        for bi in range(i, self.blocks_r, self.s)
+                    ]
+                )
+                col_idx = np.concatenate(
+                    [
+                        np.arange(bj * self.nb_c, (bj + 1) * self.nb_c)
+                        for bj in range(j, self.blocks_c, self.t)
+                    ]
+                )
+                out[np.ix_(row_idx, col_idx)] = tile
+        return out
+
+    def _check(self, i: int, j: int) -> None:
+        if not (0 <= i < self.s and 0 <= j < self.t):
+            raise ConfigurationError(
+                f"grid position ({i}, {j}) outside {self.s}x{self.t}"
+            )

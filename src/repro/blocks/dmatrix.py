@@ -1,0 +1,89 @@
+"""A convenience handle tying a global matrix to its distribution.
+
+``DistMatrix`` is used at the *edges* of a simulation: slicing out the
+per-rank tiles before a run and reassembling the result after.  Inside
+the SPMD programs only plain tiles travel — ranks must not share
+objects, mirroring real distributed memory.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.blocks.distribution import BlockCyclicDistribution, BlockDistribution
+from repro.errors import ConfigurationError
+from repro.payloads import PhantomArray
+
+Distribution = BlockDistribution | BlockCyclicDistribution
+
+
+class DistMatrix:
+    """A (possibly phantom) global matrix plus its grid distribution.
+
+    Parameters
+    ----------
+    data:
+        The global numpy array, or a :class:`PhantomArray` of the global
+        shape for scale mode.
+    dist:
+        A block or block-cyclic distribution matching ``data``'s shape.
+    """
+
+    def __init__(self, data: Any, dist: Distribution):
+        shape = data.shape
+        if len(shape) != 2 or shape != (dist.rows, dist.cols):
+            raise ConfigurationError(
+                f"data shape {shape} does not match distribution "
+                f"{dist.rows}x{dist.cols}"
+            )
+        self.data = data
+        self.dist = dist
+
+    @property
+    def phantom(self) -> bool:
+        return isinstance(self.data, PhantomArray)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.dist.rows, self.dist.cols)
+
+    def tile(self, i: int, j: int) -> Any:
+        """Local tile for grid position ``(i, j)``."""
+        if self.phantom:
+            return PhantomArray(self.dist.tile_shape(i, j), self.data.itemsize)
+        return self.dist.extract_tile(self.data, i, j)
+
+    def tiles(self) -> dict[tuple[int, int], Any]:
+        """All tiles keyed by grid position."""
+        return {
+            (i, j): self.tile(i, j)
+            for i in range(self.dist.s)
+            for j in range(self.dist.t)
+        }
+
+    @classmethod
+    def from_global(
+        cls, data: np.ndarray, s: int, t: int
+    ) -> "DistMatrix":
+        """Block-distribute a concrete array over an ``s x t`` grid."""
+        data = np.asarray(data, dtype=float)
+        return cls(data, BlockDistribution(data.shape[0], data.shape[1], s, t))
+
+    @classmethod
+    def phantom_global(
+        cls, rows: int, cols: int, s: int, t: int, itemsize: int = 8
+    ) -> "DistMatrix":
+        """A phantom matrix of the given global shape, block-distributed."""
+        return cls(
+            PhantomArray((rows, cols), itemsize),
+            BlockDistribution(rows, cols, s, t),
+        )
+
+    def assemble(self, tiles: dict[tuple[int, int], Any]) -> np.ndarray | PhantomArray:
+        """Rebuild a global result from per-rank tiles (phantom passes
+        through as a phantom of the global shape)."""
+        if any(isinstance(t, PhantomArray) for t in tiles.values()):
+            return PhantomArray(self.shape)
+        return self.dist.assemble(tiles)

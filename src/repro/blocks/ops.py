@@ -1,0 +1,83 @@
+"""Tile operations generic over real (numpy) and phantom tiles.
+
+Every matmul algorithm in this library manipulates tiles only through
+these helpers, which is what lets one implementation serve both the
+numerically-verified data mode and the memory-free scale mode.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+import numpy as np
+
+from repro.errors import DataMismatchError
+from repro.payloads import PhantomArray, is_phantom
+
+Gen = Generator[Any, Any, Any]
+
+
+def slice_rows(tile: Any, r0: int, r1: int) -> Any:
+    """Rows ``[r0, r1)`` of a 2-D tile (view for numpy, husk for phantom)."""
+    _check_range(tile, 0, r0, r1)
+    if is_phantom(tile):
+        return PhantomArray((r1 - r0, tile.shape[1]), tile.itemsize)
+    return tile[r0:r1, :]
+
+
+def slice_cols(tile: Any, c0: int, c1: int) -> Any:
+    """Columns ``[c0, c1)`` of a 2-D tile."""
+    _check_range(tile, 1, c0, c1)
+    if is_phantom(tile):
+        return PhantomArray((tile.shape[0], c1 - c0), tile.itemsize)
+    return tile[:, c0:c1]
+
+
+def zeros_like_result(a_tile: Any, b_tile: Any) -> Any:
+    """A zeroed accumulator for ``a_tile @ b_tile``."""
+    if is_phantom(a_tile) or is_phantom(b_tile):
+        sa = a_tile.shape if is_phantom(a_tile) else np.shape(a_tile)
+        sb = b_tile.shape if is_phantom(b_tile) else np.shape(b_tile)
+        if sa[1] != sb[0]:
+            raise DataMismatchError(f"inner dims differ: {sa} @ {sb}")
+        return PhantomArray((sa[0], sb[1]))
+    return np.zeros((a_tile.shape[0], b_tile.shape[1]))
+
+
+def gemm_flops(m: int, k: int, n: int) -> float:
+    """Flops of ``(m x k) @ (k x n)`` with accumulate: one multiply and
+    one add per inner element — the paper's ``2 m k n``."""
+    return 2.0 * m * k * n
+
+
+def local_gemm_acc(ctx: Any, c_tile: Any, a_piv: Any, b_piv: Any) -> Gen:
+    """``C += A_piv @ B_piv`` charging the model's flop time.
+
+    A generator (drives ``ctx.compute_flops``); returns the updated
+    accumulator.  Phantom operands only validate shapes and charge
+    time.
+    """
+    sa = a_piv.shape
+    sb = b_piv.shape
+    sc = c_tile.shape
+    if len(sa) != 2 or len(sb) != 2 or sa[1] != sb[0]:
+        raise DataMismatchError(f"gemm shape mismatch: {sa} @ {sb}")
+    if sc != (sa[0], sb[1]):
+        raise DataMismatchError(
+            f"accumulator shape {sc} does not match product {(sa[0], sb[1])}"
+        )
+    yield from ctx.compute_flops(gemm_flops(sa[0], sa[1], sb[1]))
+    if is_phantom(c_tile) or is_phantom(a_piv) or is_phantom(b_piv):
+        return c_tile
+    c_tile += a_piv @ b_piv
+    return c_tile
+
+
+def _check_range(tile: Any, axis: int, lo: int, hi: int) -> None:
+    shape = tile.shape
+    if len(shape) != 2:
+        raise DataMismatchError(f"expected 2-D tile, got shape {shape}")
+    if not (0 <= lo <= hi <= shape[axis]):
+        raise DataMismatchError(
+            f"slice [{lo}, {hi}) outside axis {axis} of shape {shape}"
+        )

@@ -1,0 +1,34 @@
+"""Numerical verification helpers for matmul results."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DataMismatchError
+
+
+def max_abs_error(computed: np.ndarray, reference: np.ndarray) -> float:
+    """``max |computed - reference|`` with a shape check."""
+    computed = np.asarray(computed)
+    reference = np.asarray(reference)
+    if computed.shape != reference.shape:
+        raise DataMismatchError(
+            f"shape mismatch: {computed.shape} vs {reference.shape}"
+        )
+    if computed.size == 0:
+        return 0.0
+    return float(np.max(np.abs(computed - reference)))
+
+
+def relative_error(computed: np.ndarray, reference: np.ndarray) -> float:
+    """Frobenius-norm relative error ``|C - R|_F / |R|_F``."""
+    computed = np.asarray(computed)
+    reference = np.asarray(reference)
+    if computed.shape != reference.shape:
+        raise DataMismatchError(
+            f"shape mismatch: {computed.shape} vs {reference.shape}"
+        )
+    denom = float(np.linalg.norm(reference))
+    if denom == 0.0:
+        return float(np.linalg.norm(computed))
+    return float(np.linalg.norm(computed - reference)) / denom

@@ -1,0 +1,240 @@
+"""Command-line interface: ``hsumma`` (or ``python -m repro``).
+
+Subcommands:
+
+* ``figure {5,6,7,8,9,10}`` — regenerate a paper figure as a table.
+* ``tables`` — print Tables I and II evaluated at the BG/P setting.
+* ``validate`` — the alpha/beta threshold test per platform.
+* ``multiply`` — run one simulated multiplication and report times.
+* ``tune`` — empirical optimal group count for a configuration.
+* ``lu`` — run a simulated block LU factorization (flat or hierarchical).
+* ``timeline`` — ascii Gantt chart of a small traced SUMMA/HSUMMA run.
+* ``report`` — quick scorecard verifying the paper's claims end to end.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.errors import ReproError
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    from repro.experiments import figures
+
+    driver = {
+        "5": figures.fig5,
+        "6": figures.fig6,
+        "7": figures.fig7,
+        "8": figures.fig8,
+        "9": figures.fig9,
+        "10": figures.fig10,
+    }[args.number]
+    series = driver()
+    if args.csv:
+        print(series.to_csv(), end="")
+    else:
+        print(series.to_table())
+    return 0
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    from repro.experiments.tables import table1, table2
+
+    print(table1())
+    print()
+    print(table2())
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.experiments.tables import validate_model
+    from repro.platforms import bluegene_p, exascale_2012, grid5000_graphene
+
+    checks = [
+        (grid5000_graphene(), 8192, 128, 64),
+        (bluegene_p(), 65536, 16384, 256),
+        (exascale_2012(), 2**22, 2**20, 256),
+    ]
+    for platform, n, p, b in checks:
+        report = validate_model(
+            platform.name, n, p, b, platform.alpha, platform.model_beta
+        )
+        print(report.summary())
+    return 0
+
+
+def _cmd_multiply(args: argparse.Namespace) -> int:
+    from repro.core.api import multiply
+    from repro.payloads import PhantomArray
+
+    A = PhantomArray((args.n, args.n))
+    B = PhantomArray((args.n, args.n))
+    kwargs = {}
+    if args.groups is not None:
+        kwargs["groups"] = args.groups
+    result = multiply(
+        A,
+        B,
+        nprocs=args.procs,
+        algorithm=args.algorithm,
+        block=args.block,
+        **kwargs,
+    )
+    print(
+        f"{args.algorithm}: n={args.n} p={args.procs} "
+        f"params={result.parameters}"
+    )
+    print(
+        f"  total {result.total_time:.6f}s = comm {result.comm_time:.6f}s "
+        f"+ compute {result.compute_time:.6f}s"
+    )
+    return 0
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    from repro.core.tuning import tune_group_count
+    from repro.util.gridmath import factor_grid
+
+    grid = factor_grid(args.procs)
+    report = tune_group_count(args.n, grid, args.block)
+    print(f"grid {grid[0]}x{grid[1]}, block {args.block}:")
+    for g in sorted(report.times):
+        marker = "  <-- best" if g == report.best_groups else ""
+        print(f"  G={g:6d}  {report.times[g]:.6f}s{marker}")
+    return 0
+
+
+def _cmd_lu(args: argparse.Namespace) -> int:
+    from repro.factorization import run_block_lu
+    from repro.payloads import PhantomArray
+    from repro.util.gridmath import factor_grid
+
+    grid = factor_grid(args.procs)
+    groups = (args.group_rows, args.group_cols)
+    _, _, sim = run_block_lu(
+        PhantomArray((args.n, args.n)),
+        grid=grid,
+        block=args.block,
+        groups=groups,
+    )
+    kind = "HLU" if groups != (1, 1) else "LU"
+    print(
+        f"{kind}: n={args.n} p={args.procs} (grid {grid[0]}x{grid[1]}) "
+        f"b={args.block} groups={groups}"
+    )
+    print(
+        f"  total {sim.total_time:.6f}s = comm {sim.comm_time:.6f}s "
+        f"+ compute {sim.compute_time:.6f}s"
+    )
+    return 0
+
+
+def _cmd_timeline(args: argparse.Namespace) -> int:
+    from repro.blocks.dmatrix import DistMatrix
+    from repro.core.overlap import summa_overlap_program
+    from repro.core.summa import SummaConfig, summa_program
+    from repro.experiments.timeline import render_timeline
+    from repro.mpi.comm import MpiContext
+    from repro.network.homogeneous import HomogeneousNetwork
+    from repro.simulator.engine import Engine
+    from repro.simulator.runtime import DEFAULT_PARAMS
+    from repro.util.gridmath import factor_grid
+
+    s, t = factor_grid(args.procs)
+    n = args.n
+    cfg = SummaConfig(m=n, l=n, n=n, s=s, t=t, block=args.block)
+    da = DistMatrix.phantom_global(n, n, s, t)
+    db = DistMatrix.phantom_global(n, n, s, t)
+    factory = summa_overlap_program if args.overlap else summa_program
+    programs = [
+        factory(MpiContext(r, s * t, gamma=args.gamma),
+                da.tile(*divmod(r, t)), db.tile(*divmod(r, t)), cfg)
+        for r in range(s * t)
+    ]
+    sim = Engine(
+        HomogeneousNetwork(s * t, DEFAULT_PARAMS), collect_trace=True
+    ).run(programs)
+    schedule = "overlapped" if args.overlap else "bulk-synchronous"
+    print(f"{schedule} SUMMA, n={n}, p={args.procs}, b={args.block} "
+          f"(total {sim.total_time:.4g}s)")
+    print(render_timeline(sim, width=args.width))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.report import build_scorecard, render_scorecard
+
+    results = build_scorecard()
+    print(render_scorecard(results))
+    return 0 if all(r.passed for r in results) else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="hsumma",
+        description="HSUMMA paper reproduction: simulated parallel matmul",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_fig = sub.add_parser("figure", help="regenerate a paper figure")
+    p_fig.add_argument("number", choices=["5", "6", "7", "8", "9", "10"])
+    p_fig.add_argument("--csv", action="store_true", help="emit CSV")
+    p_fig.set_defaults(func=_cmd_figure)
+
+    p_tab = sub.add_parser("tables", help="print Tables I and II")
+    p_tab.set_defaults(func=_cmd_tables)
+
+    p_val = sub.add_parser("validate", help="threshold test per platform")
+    p_val.set_defaults(func=_cmd_validate)
+
+    p_mul = sub.add_parser("multiply", help="run one simulated multiply")
+    p_mul.add_argument("--n", type=int, default=4096)
+    p_mul.add_argument("--procs", type=int, default=64)
+    p_mul.add_argument("--block", type=int, default=64)
+    p_mul.add_argument("--algorithm", default="hsumma")
+    p_mul.add_argument("--groups", type=int, default=None)
+    p_mul.set_defaults(func=_cmd_multiply)
+
+    p_tune = sub.add_parser("tune", help="empirical optimal group count")
+    p_tune.add_argument("--n", type=int, default=4096)
+    p_tune.add_argument("--procs", type=int, default=64)
+    p_tune.add_argument("--block", type=int, default=64)
+    p_tune.set_defaults(func=_cmd_tune)
+
+    p_lu = sub.add_parser("lu", help="simulated block LU factorization")
+    p_lu.add_argument("--n", type=int, default=2048)
+    p_lu.add_argument("--procs", type=int, default=64)
+    p_lu.add_argument("--block", type=int, default=32)
+    p_lu.add_argument("--group-rows", type=int, default=1)
+    p_lu.add_argument("--group-cols", type=int, default=1)
+    p_lu.set_defaults(func=_cmd_lu)
+
+    p_tl = sub.add_parser("timeline", help="ascii Gantt of a traced run")
+    p_tl.add_argument("--n", type=int, default=128)
+    p_tl.add_argument("--procs", type=int, default=4)
+    p_tl.add_argument("--block", type=int, default=16)
+    p_tl.add_argument("--gamma", type=float, default=5e-9)
+    p_tl.add_argument("--width", type=int, default=72)
+    p_tl.add_argument("--overlap", action="store_true")
+    p_tl.set_defaults(func=_cmd_timeline)
+
+    p_rep = sub.add_parser("report", help="reproduction scorecard")
+    p_rep.set_defaults(func=_cmd_report)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

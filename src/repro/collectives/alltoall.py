@@ -1,0 +1,98 @@
+"""All-to-all personalised exchange.
+
+Needed by layout *redistribution* (block ↔ block-cyclic, grid ↔ grid),
+where every rank owes every other rank a distinct piece of its tile.
+
+Two schedules:
+
+* :func:`alltoall_pairwise` — ``p-1`` rounds of simultaneous pairwise
+  exchanges (XOR schedule for power-of-two sizes, shifted-ring
+  otherwise): bandwidth-optimal, contention-friendly, the standard
+  large-message algorithm.
+* :func:`alltoall_bruck` — ``ceil(log2 p)`` rounds moving
+  ``m*p/2`` data per round: latency-optimal for small payloads.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Sequence
+
+from repro.errors import ConfigurationError
+
+Gen = Generator[Any, Any, Any]
+
+TAG_A2A = -90
+TAG_A2A_BRUCK = -91
+
+
+def _check_parts(comm: Any, parts: Sequence[Any]) -> None:
+    if len(parts) != comm.size:
+        raise ConfigurationError(
+            f"alltoall needs exactly {comm.size} parts, got {len(parts)}"
+        )
+
+
+def alltoall_pairwise(comm: Any, parts: Sequence[Any]) -> Gen:
+    """Pairwise exchange: returns ``out`` with ``out[r]`` = the part
+    rank ``r`` addressed to me.  ``parts[me]`` stays local."""
+    _check_parts(comm, parts)
+    size = comm.size
+    me = comm.rank
+    out: list[Any] = [None] * size
+    out[me] = parts[me]
+    if size == 1:
+        return out
+    power_of_two = size & (size - 1) == 0
+    for step in range(1, size):
+        if power_of_two:
+            partner = me ^ step
+        else:
+            partner = (me + step) % size
+            # Shifted ring: I send to (me+step), receive from (me-step);
+            # full-duplex sendrecv with the two different peers.
+            recv_from = (me - step) % size
+            incoming = yield from comm.sendrecv(
+                parts[partner], partner, recv_from,
+                sendtag=TAG_A2A, recvtag=TAG_A2A,
+            )
+            out[recv_from] = incoming
+            continue
+        incoming = yield from comm.sendrecv(
+            parts[partner], partner, partner,
+            sendtag=TAG_A2A, recvtag=TAG_A2A,
+        )
+        out[partner] = incoming
+    return out
+
+
+def alltoall_bruck(comm: Any, parts: Sequence[Any]) -> Gen:
+    """Bruck all-to-all: log rounds, each moving the half of the (index-
+    rotated) parts whose bit ``k`` is set; latency ``ceil(log2 p)``
+    at the price of each item travelling ``~log2(p)/2`` hops."""
+    _check_parts(comm, parts)
+    size = comm.size
+    me = comm.rank
+    if size == 1:
+        return [parts[0]]
+    # Phase 1: local rotation so slot d holds the part for (me + d).
+    slots: list[Any] = [parts[(me + d) % size] for d in range(size)]
+    # Phase 2: for each bit, ship the slots with that bit set forward by
+    # k ranks; a part in slot d thus displaces by exactly d in total and
+    # lands on its destination.
+    k = 1
+    while k < size:
+        dst = (me + k) % size
+        src = (me - k) % size
+        moving_idx = [d for d in range(size) if d & k]
+        bundle = [(d, slots[d]) for d in moving_idx]
+        incoming = yield from comm.sendrecv(
+            bundle, dst, src, sendtag=TAG_A2A_BRUCK, recvtag=TAG_A2A_BRUCK
+        )
+        for d, val in incoming:
+            slots[d] = val
+        k <<= 1
+    # Phase 3: slot d now holds the part *from* rank (me - d).
+    out: list[Any] = [None] * size
+    for d in range(size):
+        out[(me - d) % size] = slots[d]
+    return out

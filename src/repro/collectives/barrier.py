@@ -1,0 +1,29 @@
+"""Dissemination barrier: ``ceil(log2 p)`` rounds of zero-byte tokens."""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+Gen = Generator[Any, Any, Any]
+
+TAG_BARRIER = -60
+
+
+def barrier_dissemination(comm: Any) -> Gen:
+    """Hensgen–Finkel–Manber dissemination barrier.
+
+    In round ``k`` rank ``r`` signals ``(r + 2**k) mod p`` and waits for
+    the signal from ``(r - 2**k) mod p``; after ``ceil(log2 p)`` rounds
+    every rank transitively depends on every other.
+    """
+    size = comm.size
+    if size == 1:
+        return
+    dist = 1
+    while dist < size:
+        to = (comm.rank + dist) % size
+        frm = (comm.rank - dist) % size
+        yield from comm.sendrecv(
+            None, to, frm, sendtag=TAG_BARRIER, recvtag=TAG_BARRIER, nbytes=0
+        )
+        dist *= 2

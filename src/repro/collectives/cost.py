@@ -1,0 +1,107 @@
+"""Analytic Hockney-model costs of the broadcast algorithms.
+
+The paper's general broadcast model (its eq. 1) is
+
+    ``T_bcast(m, p) = L(p) * alpha + m * W(p) * beta``
+
+This module provides ``L`` and ``W`` for each algorithm in the registry
+(where that linear form holds) and a direct ``bcast_time`` that also
+covers the pipelined chain (whose optimal-segment cost is not of that
+form).  The binomial and Van de Geijn entries match the formulas the
+paper quotes in Section IV:
+
+* binomial: ``log2(p) * (alpha + m*beta)``
+* Van de Geijn: ``(log2(p) + p - 1)*alpha + 2*(p-1)/p * m*beta``
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ModelError
+from repro.network.model import HockneyParams
+from repro.collectives.bcast import optimal_pipeline_segments
+
+
+def _log2ceil(p: int) -> int:
+    if p < 1:
+        raise ModelError(f"p must be >= 1, got {p}")
+    return (p - 1).bit_length()
+
+
+def _binary_depth(p: int) -> int:
+    """Depth of the balanced binary tree over ``p`` nodes (root depth 0)."""
+    return max(0, int(math.floor(math.log2(p))))
+
+
+def bcast_latency_factor(algorithm: str, p: int) -> float:
+    """``L(p)``: the number of ``alpha`` terms on the critical path."""
+    if p < 1:
+        raise ModelError(f"p must be >= 1, got {p}")
+    if p == 1:
+        return 0.0
+    if algorithm == "flat":
+        return float(p - 1)
+    if algorithm == "chain":
+        return float(p - 1)
+    if algorithm == "binomial":
+        return float(_log2ceil(p))
+    if algorithm == "binary":
+        # Inner nodes forward to two children sequentially: about two
+        # sends per level on the critical path.
+        return float(2 * _binary_depth(p))
+    if algorithm == "vandegeijn":
+        return float(_log2ceil(p) + (p - 1))
+    raise ModelError(
+        f"no closed-form L(p) for algorithm {algorithm!r} "
+        "(use bcast_time for the pipelined chain)"
+    )
+
+
+def bcast_bandwidth_factor(algorithm: str, p: int) -> float:
+    """``W(p)``: the multiplier on ``m * beta`` on the critical path."""
+    if p < 1:
+        raise ModelError(f"p must be >= 1, got {p}")
+    if p == 1:
+        return 0.0
+    if algorithm == "flat":
+        return float(p - 1)
+    if algorithm == "chain":
+        return float(p - 1)
+    if algorithm == "binomial":
+        return float(_log2ceil(p))
+    if algorithm == "binary":
+        return float(2 * _binary_depth(p))
+    if algorithm == "vandegeijn":
+        return 2.0 * (p - 1) / p
+    raise ModelError(
+        f"no closed-form W(p) for algorithm {algorithm!r} "
+        "(use bcast_time for the pipelined chain)"
+    )
+
+
+def bcast_time(
+    algorithm: str,
+    m_bytes: float,
+    p: int,
+    params: HockneyParams,
+    *,
+    segments: int | None = None,
+) -> float:
+    """Predicted broadcast time of ``m_bytes`` among ``p`` ranks.
+
+    For the pipelined chain, ``segments=None`` uses the analytically
+    optimal segment count for these parameters.
+    """
+    if m_bytes < 0:
+        raise ModelError(f"message size must be >= 0, got {m_bytes}")
+    if p == 1:
+        return 0.0
+    if algorithm == "pipelined":
+        s = segments or optimal_pipeline_segments(
+            m_bytes, p, params.alpha, params.beta
+        )
+        return (p - 2 + s) * (params.alpha + (m_bytes / s) * params.beta)
+    L = bcast_latency_factor(algorithm, p)
+    W = bcast_bandwidth_factor(algorithm, p)
+    return L * params.alpha + m_bytes * W * params.beta

@@ -1,0 +1,103 @@
+"""Nonblocking (split-phase) tree broadcast for overlap schemes.
+
+The paper notes all its gains come *without* overlapping communication
+and computation, and names overlap as a further opportunity.  Overlap
+needs broadcasts that can be *started* before the data is needed and
+*finished* later; this module provides a split-phase binomial
+broadcast:
+
+* :meth:`IBcast.post` — pre-post the receive from the tree parent
+  (roots skip this).  Cheap; call as early as possible.
+* :meth:`IBcast.complete` — wait for the payload, then *nonblockingly*
+  forward it to the tree children and return it.  The forward transfers
+  progress while the caller computes; outstanding send handles are
+  collected by :meth:`IBcast.finish` (or a final ``waitall``).
+
+The tree is the same binomial used by the blocking
+:func:`repro.collectives.bcast.bcast_binomial`, so the per-broadcast
+byte/hop pattern is identical — only the schedule shifts.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.errors import CommunicatorError
+
+Gen = Generator[Any, Any, Any]
+
+TAG_IBCAST = -70
+
+
+class IBcast:
+    """Split-phase binomial broadcast on ``comm`` rooted at ``root``.
+
+    One instance per broadcast; the phases must be driven in order:
+    ``post`` (all ranks), ``complete`` (all ranks), ``finish``
+    (optional, senders only).  ``tag_salt`` distinguishes concurrent
+    broadcasts on the same communicator (e.g. per pivot step).
+    """
+
+    def __init__(self, comm: Any, root: int, tag_salt: int = 0):
+        if not (0 <= root < comm.size):
+            raise CommunicatorError(
+                f"root {root} outside communicator of size {comm.size}"
+            )
+        self.comm = comm
+        self.root = root
+        self.tag = TAG_IBCAST - 10 * tag_salt
+        size = comm.size
+        self.vr = (comm.rank - root) % size
+        self._recv_handle = None
+        self._send_handles: list[Any] = []
+        self._posted = False
+        self._completed = False
+
+    def _parent(self) -> int | None:
+        if self.vr == 0:
+            return None
+        high = 1 << (self.vr.bit_length() - 1)
+        return ((self.vr - high) + self.root) % self.comm.size
+
+    def _children(self) -> list[int]:
+        size = self.comm.size
+        nrounds = (size - 1).bit_length()
+        start = self.vr.bit_length() if self.vr else 0
+        out = []
+        for k in range(start, nrounds):
+            child = self.vr + (1 << k)
+            if child < size:
+                out.append((child + self.root) % size)
+        return out
+
+    def post(self) -> Gen:
+        """Pre-post the receive from the tree parent (no-op on the root)."""
+        if self._posted:
+            raise CommunicatorError("IBcast.post called twice")
+        self._posted = True
+        parent = self._parent()
+        if parent is not None:
+            self._recv_handle = yield from self.comm.irecv(parent, tag=self.tag)
+
+    def complete(self, obj: Any = None) -> Gen:
+        """Obtain the payload (``obj`` on the root) and forward it
+        nonblockingly down the tree; returns the payload."""
+        if not self._posted:
+            raise CommunicatorError("IBcast.complete before post")
+        if self._completed:
+            raise CommunicatorError("IBcast.complete called twice")
+        self._completed = True
+        if self._recv_handle is not None:
+            obj = yield from self.comm.wait(self._recv_handle)
+        elif self.vr != 0:
+            raise CommunicatorError("non-root rank completed without post")
+        for child in self._children():
+            handle = yield from self.comm.isend(obj, child, tag=self.tag)
+            self._send_handles.append(handle)
+        return obj
+
+    def finish(self) -> Gen:
+        """Wait for all outstanding forward sends (idempotent)."""
+        handles, self._send_handles = self._send_handles, []
+        for handle in handles:
+            yield from self.comm.wait(handle)

@@ -1,0 +1,33 @@
+"""The paper's contribution: SUMMA and hierarchical SUMMA (HSUMMA).
+
+* :mod:`repro.core.summa` — the baseline SUMMA of van de Geijn & Watts,
+  pivot row/column broadcasts over a 2-D grid.
+* :mod:`repro.core.hsumma` — the paper's two-level redesign, with
+  independent outer (between-group) and inner (within-group) block
+  sizes and broadcast algorithms, plus the multi-level generalisation
+  the paper lists as future work.
+* :mod:`repro.core.grouping` — processor-grid and group-grid selection,
+  including topology-aware group-to-node alignment.
+* :mod:`repro.core.tuning` — empirical optimal-group-count search, the
+  "few iterations of HSUMMA" auto-tuner sketched in the conclusions.
+* :mod:`repro.core.api` — the one-call public interface
+  (:func:`repro.core.api.multiply`).
+"""
+
+from repro.core.api import MatmulResult, multiply
+from repro.core.grouping import choose_group_grid, valid_group_counts
+from repro.core.hsumma import HSummaConfig, run_hsumma
+from repro.core.summa import SummaConfig, run_summa
+from repro.core.tuning import tune_group_count
+
+__all__ = [
+    "MatmulResult",
+    "multiply",
+    "choose_group_grid",
+    "valid_group_counts",
+    "HSummaConfig",
+    "run_hsumma",
+    "SummaConfig",
+    "run_summa",
+    "tune_group_count",
+]

@@ -1,0 +1,295 @@
+"""SUMMA and HSUMMA over block-cyclic distributed matrices.
+
+The paper's conclusions name the block-cyclic distribution as its main
+future work: "we believe that by using block-cyclic distribution the
+communication can be better overlapped and parallelized and thus the
+communication cost can be reduced even further."
+
+With the ScaLAPACK-style cyclic layout, global block column ``k`` of
+``A`` lives on grid column ``k mod t`` — the broadcast *root rotates
+every step* instead of serving ``l/(t*b)`` consecutive steps.  Two
+consequences this module lets you measure:
+
+* under the lookahead schedule (``overlap=True``) successive steps'
+  broadcasts originate from different owners, so the injection load
+  spreads across the grid and the pipeline fills without a hot root;
+* the hierarchical (HSUMMA-style) variant splits each rotating
+  broadcast into a between-groups phase and a within-group phase,
+  keeping the paper's latency collapse while the ownership churns.
+
+Since consecutive block columns never share an owner, the hierarchical
+variant cannot amortise an outer block wider than one distribution
+block — it is the ``b = B`` special case of HSUMMA, applied per
+rotating pivot (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Generator
+
+import numpy as np
+
+from repro.blocks.distribution import BlockCyclicDistribution
+from repro.blocks.ops import local_gemm_acc, slice_cols, slice_rows
+from repro.collectives.nonblocking import IBcast
+from repro.errors import ConfigurationError
+from repro.mpi.cart import CartComm
+from repro.mpi.comm import CollectiveOptions, MpiContext
+from repro.network.homogeneous import HomogeneousNetwork
+from repro.network.model import Network
+from repro.payloads import PhantomArray
+from repro.simulator.engine import Engine
+from repro.simulator.runtime import DEFAULT_PARAMS
+from repro.simulator.tracing import SimResult
+from repro.util.validation import require, require_divides
+
+Gen = Generator[Any, Any, Any]
+
+
+@dataclasses.dataclass(frozen=True)
+class CyclicConfig:
+    """Parameters of a block-cyclic SUMMA/HSUMMA run.
+
+    ``C = A @ B`` with ``A (m, l)``, ``B (l, n)``; grid ``s x t``;
+    distribution block ``nb`` (square blocks, also the pivot width);
+    optional group grid ``I x J`` for the hierarchical variant
+    (``I = J = 1`` means plain cyclic SUMMA).
+    """
+
+    m: int
+    l: int
+    n: int
+    s: int
+    t: int
+    nb: int
+    I: int = 1
+    J: int = 1
+
+    def __post_init__(self) -> None:
+        require(self.m > 0 and self.l > 0 and self.n > 0,
+                f"matrix dims must be positive: {self.m}, {self.l}, {self.n}")
+        require(self.s > 0 and self.t > 0,
+                f"grid dims must be positive: {self.s}x{self.t}")
+        require_divides(self.nb * self.s, self.m, "cyclic: rows of A/C")
+        require_divides(self.nb * self.t, self.n, "cyclic: cols of B/C")
+        require_divides(self.nb * self.s, self.l, "cyclic: rows of B")
+        require_divides(self.nb * self.t, self.l, "cyclic: cols of A")
+        require_divides(self.I, self.s, "cyclic: group rows into grid rows")
+        require_divides(self.J, self.t, "cyclic: group cols into grid cols")
+
+    @property
+    def nsteps(self) -> int:
+        """Global block count along the inner dimension."""
+        return self.l // self.nb
+
+    @property
+    def hierarchical(self) -> bool:
+        return self.I * self.J > 1
+
+    def dist(self, rows: int, cols: int) -> BlockCyclicDistribution:
+        return BlockCyclicDistribution(rows, cols, self.s, self.t,
+                                       self.nb, self.nb)
+
+
+def _local_pivot_a(a_tile: Any, cfg: CyclicConfig, k: int) -> Any:
+    """Local columns of global block column ``k`` (owner side)."""
+    lb = k // cfg.t
+    return slice_cols(a_tile, lb * cfg.nb, (lb + 1) * cfg.nb)
+
+
+def _local_pivot_b(b_tile: Any, cfg: CyclicConfig, k: int) -> Any:
+    lb = k // cfg.s
+    return slice_rows(b_tile, lb * cfg.nb, (lb + 1) * cfg.nb)
+
+
+def cyclic_summa_program(
+    ctx: MpiContext, a_tile: Any, b_tile: Any, cfg: CyclicConfig,
+    *, overlap: bool = False,
+) -> Gen:
+    """Block-cyclic (H)SUMMA generator; returns this rank's packed tile.
+
+    With ``cfg.I * cfg.J > 1`` each pivot broadcast is performed in two
+    phases (between groups, then within the group); with ``overlap``
+    the next step's broadcasts are pre-posted before the gemm.
+    """
+    grid = CartComm(ctx.world, cfg.s, cfg.t)
+    i, j = grid.row, grid.col
+    si, tj = cfg.s // cfg.I, cfg.t // cfg.J
+    x, ii = divmod(i, si)
+    y, jj = divmod(j, tj)
+
+    if cfg.hierarchical:
+        world = ctx.world
+        outer_row = world.split_by(
+            lambda r: (r // cfg.t) * tj + (r % cfg.t) % tj,
+            key_of=lambda r: (r % cfg.t) // tj,
+        )
+        outer_col = world.split_by(
+            lambda r: (r % cfg.t) * si + (r // cfg.t) % si,
+            key_of=lambda r: (r // cfg.t) // si,
+        )
+        inner_row = world.split_by(
+            lambda r: (r // cfg.t) * cfg.J + (r % cfg.t) // tj,
+            key_of=lambda r: (r % cfg.t) % tj,
+        )
+        inner_col = world.split_by(
+            lambda r: (r % cfg.t) * cfg.I + (r // cfg.t) // si,
+            key_of=lambda r: (r // cfg.t) % si,
+        )
+
+    c_rows = cfg.m // cfg.s
+    c_cols = cfg.n // cfg.t
+    if isinstance(a_tile, PhantomArray) or isinstance(b_tile, PhantomArray):
+        c_tile: Any = PhantomArray((c_rows, c_cols))
+    else:
+        c_tile = np.zeros((c_rows, c_cols))
+
+    def owners(k: int) -> tuple[int, int]:
+        """Grid column owning A's block col k; grid row owning B's."""
+        return k % cfg.t, k % cfg.s
+
+    # ---- flat (non-hierarchical) broadcast paths ------------------------
+
+    def flat_blocking(k: int) -> Gen:
+        oc, orow = owners(k)
+        a_piv = _local_pivot_a(a_tile, cfg, k) if j == oc else None
+        a_piv = yield from grid.row_comm.bcast(a_piv, root=oc)
+        b_piv = _local_pivot_b(b_tile, cfg, k) if i == orow else None
+        b_piv = yield from grid.col_comm.bcast(b_piv, root=orow)
+        return a_piv, b_piv
+
+    def flat_make(k: int) -> tuple[IBcast, IBcast]:
+        oc, orow = owners(k)
+        return (IBcast(grid.row_comm, oc, tag_salt=k),
+                IBcast(grid.col_comm, orow, tag_salt=k))
+
+    def flat_complete(pair, k: int) -> Gen:
+        oc, orow = owners(k)
+        a_src = _local_pivot_a(a_tile, cfg, k) if j == oc else None
+        b_src = _local_pivot_b(b_tile, cfg, k) if i == orow else None
+        a_piv = yield from pair[0].complete(a_src)
+        b_piv = yield from pair[1].complete(b_src)
+        return a_piv, b_piv
+
+    # ---- hierarchical broadcast path (two phases per pivot) -------------
+
+    def hier_blocking(k: int) -> Gen:
+        oc, orow = owners(k)
+        yk, jk = divmod(oc, tj)
+        xk, ik = divmod(orow, si)
+        a_part = None
+        if jj == jk:
+            a_part = _local_pivot_a(a_tile, cfg, k) if y == yk else None
+            a_part = yield from outer_row.bcast(a_part, root=yk)
+        a_piv = yield from inner_row.bcast(a_part, root=jk)
+        b_part = None
+        if ii == ik:
+            b_part = _local_pivot_b(b_tile, cfg, k) if x == xk else None
+            b_part = yield from outer_col.bcast(b_part, root=xk)
+        b_piv = yield from inner_col.bcast(b_part, root=ik)
+        return a_piv, b_piv
+
+    nsteps = cfg.nsteps
+
+    if not overlap:
+        for k in range(nsteps):
+            if cfg.hierarchical:
+                a_piv, b_piv = yield from hier_blocking(k)
+            else:
+                a_piv, b_piv = yield from flat_blocking(k)
+            c_tile = yield from local_gemm_acc(ctx, c_tile, a_piv, b_piv)
+        return c_tile
+
+    if cfg.hierarchical:
+        raise ConfigurationError(
+            "overlap is implemented for the flat cyclic variant; the "
+            "hierarchical+overlap combination is exercised through "
+            "repro.core.overlap at block granularity"
+        )
+
+    cur = flat_make(0)
+    yield from cur[0].post()
+    yield from cur[1].post()
+    pending: list[IBcast] = []
+    for k in range(nsteps):
+        a_piv, b_piv = yield from flat_complete(cur, k)
+        pending.extend(cur)
+        if k + 1 < nsteps:
+            nxt = flat_make(k + 1)
+            yield from nxt[0].post()
+            yield from nxt[1].post()
+        else:
+            nxt = None
+        c_tile = yield from local_gemm_acc(ctx, c_tile, a_piv, b_piv)
+        if nxt is not None:
+            cur = nxt
+        if len(pending) > 8:
+            retire, pending = pending[:-4], pending[-4:]
+            for bc in retire:
+                yield from bc.finish()
+    for bc in pending:
+        yield from bc.finish()
+    return c_tile
+
+
+def run_cyclic(
+    A: Any,
+    B: Any,
+    *,
+    grid: tuple[int, int],
+    nb: int,
+    groups: tuple[int, int] = (1, 1),
+    overlap: bool = False,
+    network: Network | None = None,
+    params: Any = None,
+    gamma: float = 0.0,
+    options: CollectiveOptions | None = None,
+    contention: bool = False,
+) -> tuple[Any, SimResult]:
+    """Multiply block-cyclic ``A @ B``; returns ``(C, SimResult)``.
+
+    ``groups=(I, J)`` enables the hierarchical (HSUMMA-style) two-phase
+    broadcast; ``overlap=True`` enables one-step lookahead (flat
+    variant).
+    """
+    s, t = grid
+    I, J = groups
+    (m, l), (l2, n) = A.shape, B.shape
+    if l != l2:
+        raise ConfigurationError(f"inner dims differ: {A.shape} @ {B.shape}")
+    cfg = CyclicConfig(m=m, l=l, n=n, s=s, t=t, nb=nb, I=I, J=J)
+
+    da_dist = cfg.dist(m, l)
+    db_dist = cfg.dist(l, n)
+    dc_dist = cfg.dist(m, n)
+
+    phantom = isinstance(A, PhantomArray) or isinstance(B, PhantomArray)
+
+    def tile(dist: BlockCyclicDistribution, M: Any, gi: int, gj: int) -> Any:
+        if phantom:
+            return PhantomArray(dist.tile_shape(gi, gj))
+        return dist.extract_tile(np.asarray(M, dtype=float), gi, gj)
+
+    nranks = s * t
+    if network is None:
+        network = HomogeneousNetwork(nranks, params or DEFAULT_PARAMS)
+    programs = []
+    for rank in range(nranks):
+        gi, gj = divmod(rank, t)
+        ctx = MpiContext(rank, nranks, options=options, gamma=gamma)
+        programs.append(
+            cyclic_summa_program(
+                ctx,
+                tile(da_dist, A, gi, gj),
+                tile(db_dist, B, gi, gj),
+                cfg,
+                overlap=overlap,
+            )
+        )
+    sim = Engine(network, contention=contention).run(programs)
+
+    tiles = {divmod(rank, t): sim.return_values[rank] for rank in range(nranks)}
+    if phantom:
+        return PhantomArray((m, n)), sim
+    return dc_dist.assemble(tiles), sim

@@ -1,0 +1,92 @@
+"""One-call public API for the factorization kernels.
+
+Mirrors :func:`repro.core.api.multiply` for ``LU``/``QR``: pick the
+kernel, the grid, the tile size and optionally the hierarchical group
+grid, get back the factors plus the simulation accounting.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any
+
+from repro.errors import ConfigurationError
+from repro.simulator.tracing import SimResult
+from repro.util.gridmath import factor_grid
+
+#: Kernels accepted by :func:`factorize`.
+KERNELS = ("lu", "qr")
+
+
+@dataclasses.dataclass
+class FactorResult:
+    """Factors plus simulation accounting.
+
+    ``factors`` is ``(L, U)`` for LU and ``(R,)`` for QR (``Q`` stays
+    implicit in the reflectors, as in LAPACK).
+    """
+
+    factors: tuple[Any, ...]
+    sim: SimResult
+    kernel: str
+    parameters: dict[str, Any]
+
+    @property
+    def total_time(self) -> float:
+        return self.sim.total_time
+
+    @property
+    def comm_time(self) -> float:
+        return self.sim.comm_time
+
+    @property
+    def compute_time(self) -> float:
+        return self.sim.compute_time
+
+
+def factorize(
+    A: Any,
+    *,
+    kernel: str = "lu",
+    nprocs: int | None = None,
+    grid: tuple[int, int] | None = None,
+    block: int | None = None,
+    groups: tuple[int, int] = (1, 1),
+    network: Any = None,
+    params: Any = None,
+    gamma: float = 0.0,
+    options: Any = None,
+) -> FactorResult:
+    """Factor ``A`` on a simulated distributed-memory platform.
+
+    Parameters mirror :func:`repro.core.api.multiply`; ``groups``
+    switches the panel broadcasts to the paper's hierarchical scheme.
+    """
+    if kernel not in KERNELS:
+        raise ConfigurationError(
+            f"unknown kernel {kernel!r}; choose from {KERNELS}"
+        )
+    if grid is None:
+        if nprocs is None:
+            raise ConfigurationError("pass either nprocs or grid")
+        grid = factor_grid(nprocs)
+    n = A.shape[0]
+    if block is None:
+        # Largest tile size giving every rank at least one tile row/col.
+        block = max(1, n // (max(grid) * 2))
+        while n % block:
+            block -= 1
+    common = dict(grid=grid, block=block, groups=groups, network=network,
+                  params=params, gamma=gamma, options=options)
+    parameters = {"grid": grid, "block": block, "groups": groups}
+
+    if kernel == "lu":
+        from repro.factorization import run_block_lu
+
+        L, U, sim = run_block_lu(A, **common)
+        return FactorResult((L, U), sim, kernel, parameters)
+
+    from repro.factorization import run_block_qr
+
+    R, sim = run_block_qr(A, **common)
+    return FactorResult((R,), sim, kernel, parameters)

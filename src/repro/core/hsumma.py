@@ -1,0 +1,546 @@
+"""HSUMMA — Hierarchical SUMMA, the paper's contribution.
+
+The ``s x t`` grid is partitioned into an ``I x J`` grid of groups,
+each an ``(s/I) x (t/J)`` inner grid.  Every SUMMA broadcast is split
+into two phases (paper Section III, Algorithm 1):
+
+1. **Outer phase** (once per ``B``-wide outer block): the owners of the
+   pivot block column of ``A`` broadcast it *across groups* along the
+   grid row — i.e. to the rank with the same inner coordinates in each
+   other group — and symmetrically for the pivot block row of ``B``
+   down the grid column.
+2. **Inner phase** (``B/b`` steps per outer block): inside every group,
+   plain SUMMA broadcasts of ``b``-wide slices of the received outer
+   block along the inner row/column communicators, followed by the
+   local gemm update.
+
+With ``G = 1`` or ``G = p`` HSUMMA degenerates to SUMMA (the paper's
+worst-case guarantee); tests assert both identities in data and time.
+
+The multi-level generalisation the paper leaves as future work is
+implemented in :func:`hsumma_multilevel_program`: the broadcast is
+split across ``h`` nested levels of grouping rather than two.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Generator, Sequence
+
+import numpy as np
+
+from repro.blocks.dmatrix import DistMatrix
+from repro.blocks.distribution import BlockDistribution
+from repro.blocks.ops import local_gemm_acc, slice_cols, slice_rows
+from repro.errors import ConfigurationError
+from repro.mpi.cart import CartComm
+from repro.mpi.comm import CollectiveOptions, MpiContext
+from repro.network.model import Network
+from repro.payloads import PhantomArray
+from repro.simulator.engine import Engine
+from repro.simulator.tracing import SimResult
+from repro.util.validation import require, require_divides
+
+Gen = Generator[Any, Any, Any]
+
+
+@dataclasses.dataclass(frozen=True)
+class HSummaConfig:
+    """Static parameters of an HSUMMA run.
+
+    ``C = A @ B`` with ``A`` of shape ``(m, l)``, ``B`` of shape
+    ``(l, n)``; grid ``s x t``; group grid ``I x J``; outer block
+    ``outer_block`` (the paper's ``B``) and inner block ``inner_block``
+    (the paper's ``b``, with ``b <= B`` and ``b | B``).
+    """
+
+    m: int
+    l: int
+    n: int
+    s: int
+    t: int
+    I: int
+    J: int
+    outer_block: int
+    inner_block: int
+    outer_bcast: str | None = None  # override for between-group broadcasts
+    inner_bcast: str | None = None  # override for within-group broadcasts
+
+    def __post_init__(self) -> None:
+        require(self.m > 0 and self.l > 0 and self.n > 0,
+                f"matrix dims must be positive: {self.m}, {self.l}, {self.n}")
+        require(self.s > 0 and self.t > 0,
+                f"grid dims must be positive: {self.s}x{self.t}")
+        require_divides(self.I, self.s, "HSUMMA: group rows into grid rows")
+        require_divides(self.J, self.t, "HSUMMA: group cols into grid cols")
+        require_divides(self.s, self.m, "HSUMMA: grid rows into C rows")
+        require_divides(self.t, self.n, "HSUMMA: grid cols into C cols")
+        require_divides(self.s, self.l, "HSUMMA: grid rows into inner dim")
+        require_divides(self.t, self.l, "HSUMMA: grid cols into inner dim")
+        require(self.inner_block <= self.outer_block,
+                f"inner block {self.inner_block} must be <= outer block "
+                f"{self.outer_block} (paper Section III)")
+        require_divides(self.inner_block, self.outer_block,
+                        "HSUMMA: inner block into outer block")
+        require_divides(self.outer_block, self.l // self.t,
+                        "HSUMMA: outer block into A tile width")
+        require_divides(self.outer_block, self.l // self.s,
+                        "HSUMMA: outer block into B tile height")
+
+    @property
+    def groups(self) -> int:
+        return self.I * self.J
+
+    @property
+    def inner_s(self) -> int:
+        """Rows of the within-group grid (``s / I``)."""
+        return self.s // self.I
+
+    @property
+    def inner_t(self) -> int:
+        """Columns of the within-group grid (``t / J``)."""
+        return self.t // self.J
+
+    @property
+    def outer_steps(self) -> int:
+        return self.l // self.outer_block
+
+    @property
+    def inner_steps(self) -> int:
+        return self.outer_block // self.inner_block
+
+
+def hsumma_program(
+    ctx: MpiContext, a_tile: Any, b_tile: Any, cfg: HSummaConfig
+) -> Gen:
+    """Per-rank HSUMMA generator; returns this rank's ``C`` tile.
+
+    Follows the paper's Algorithm 1: the rank at grid position
+    ``(i, j)`` is processor ``P(x,y)(ii,jj)`` with group coordinates
+    ``(x, y) = (i // (s/I), j // (t/J))`` and inner coordinates
+    ``(ii, jj) = (i % (s/I), j % (t/J))``.
+    """
+    world = ctx.world
+    grid = CartComm(world, cfg.s, cfg.t)
+    i, j = grid.row, grid.col
+    si, tj = cfg.inner_s, cfg.inner_t
+    x, ii = divmod(i, si)
+    y, jj = divmod(j, tj)
+
+    # Four communicators (paper Algorithm 1), created collectively.
+    # Outer row: fixed (grid row, inner col), varying group column —
+    # communicator rank equals the group column y.
+    outer_row = world.split_by(
+        lambda r: (r // cfg.t) * tj + (r % cfg.t) % tj,
+        key_of=lambda r: (r % cfg.t) // tj,
+    )
+    # Outer col: fixed (grid col, inner row), varying group row.
+    outer_col = world.split_by(
+        lambda r: (r % cfg.t) * si + (r // cfg.t) % si,
+        key_of=lambda r: (r // cfg.t) // si,
+    )
+    # Inner row: fixed (group, inner row), varying inner column —
+    # communicator rank equals jj.
+    inner_row = world.split_by(
+        lambda r: (r // cfg.t) * cfg.J + (r % cfg.t) // tj,
+        key_of=lambda r: (r % cfg.t) % tj,
+    )
+    # Inner col: fixed (group, inner col), varying inner row.
+    inner_col = world.split_by(
+        lambda r: (r % cfg.t) * cfg.I + (r // cfg.t) // si,
+        key_of=lambda r: (r // cfg.t) % si,
+    )
+
+    a_tile_cols = cfg.l // cfg.t
+    b_tile_rows = cfg.l // cfg.s
+    c_tile = _c_accumulator(a_tile, b_tile, cfg)
+
+    for K in range(cfg.outer_steps):
+        g0 = K * cfg.outer_block
+
+        # --- outer horizontal broadcast of A's pivot block column ---
+        owner_grid_col = g0 // a_tile_cols
+        yk, jk = divmod(owner_grid_col, tj)
+        a_outer = None
+        if jj == jk:
+            if y == yk:
+                c0 = g0 % a_tile_cols
+                a_outer = slice_cols(a_tile, c0, c0 + cfg.outer_block)
+            a_outer = yield from outer_row.bcast(
+                a_outer, root=yk, algorithm=cfg.outer_bcast
+            )
+
+        # --- outer vertical broadcast of B's pivot block row ---
+        owner_grid_row = g0 // b_tile_rows
+        xk, ik = divmod(owner_grid_row, si)
+        b_outer = None
+        if ii == ik:
+            if x == xk:
+                r0 = g0 % b_tile_rows
+                b_outer = slice_rows(b_tile, r0, r0 + cfg.outer_block)
+            b_outer = yield from outer_col.bcast(
+                b_outer, root=xk, algorithm=cfg.outer_bcast
+            )
+
+        # --- inner SUMMA over the outer block ---
+        for kk in range(cfg.inner_steps):
+            off = kk * cfg.inner_block
+            a_piv = None
+            if jj == jk:
+                a_piv = slice_cols(a_outer, off, off + cfg.inner_block)
+            a_piv = yield from inner_row.bcast(
+                a_piv, root=jk, algorithm=cfg.inner_bcast
+            )
+            b_piv = None
+            if ii == ik:
+                b_piv = slice_rows(b_outer, off, off + cfg.inner_block)
+            b_piv = yield from inner_col.bcast(
+                b_piv, root=ik, algorithm=cfg.inner_bcast
+            )
+            c_tile = yield from local_gemm_acc(ctx, c_tile, a_piv, b_piv)
+    return c_tile
+
+
+def _c_accumulator(a_tile: Any, b_tile: Any, cfg: HSummaConfig) -> Any:
+    if isinstance(a_tile, PhantomArray) or isinstance(b_tile, PhantomArray):
+        return PhantomArray((cfg.m // cfg.s, cfg.n // cfg.t))
+    return np.zeros((cfg.m // cfg.s, cfg.n // cfg.t))
+
+
+def run_hsumma(
+    A: Any,
+    B: Any,
+    *,
+    grid: tuple[int, int],
+    groups: int | tuple[int, int],
+    outer_block: int,
+    inner_block: int | None = None,
+    network: Network | None = None,
+    params: Any = None,
+    gamma: float = 0.0,
+    options: CollectiveOptions | None = None,
+    outer_bcast: str | None = None,
+    inner_bcast: str | None = None,
+    contention: bool = False,
+) -> tuple[Any, SimResult]:
+    """Multiply block-distributed ``A @ B`` with HSUMMA; returns
+    ``(C, SimResult)``.
+
+    ``groups`` is either the total group count ``G`` (the group grid is
+    chosen by :func:`repro.core.grouping.choose_group_grid`) or an
+    explicit ``(I, J)``.  ``inner_block`` defaults to ``outer_block``
+    (the paper's experimental setting ``b = B``).
+    """
+    from repro.core.grouping import choose_group_grid
+
+    s, t = grid
+    if isinstance(groups, tuple):
+        I, J = groups
+    else:
+        I, J = choose_group_grid(s, t, groups)
+    (m, l), (l2, n) = A.shape, B.shape
+    if l != l2:
+        raise ConfigurationError(f"inner dims differ: A is {A.shape}, B is {B.shape}")
+    cfg = HSummaConfig(
+        m=m, l=l, n=n, s=s, t=t, I=I, J=J,
+        outer_block=outer_block,
+        inner_block=inner_block if inner_block is not None else outer_block,
+        outer_bcast=outer_bcast,
+        inner_bcast=inner_bcast,
+    )
+
+    da = DistMatrix(A if isinstance(A, PhantomArray) else np.asarray(A, dtype=float),
+                    BlockDistribution(m, l, s, t))
+    db = DistMatrix(B if isinstance(B, PhantomArray) else np.asarray(B, dtype=float),
+                    BlockDistribution(l, n, s, t))
+
+    from repro.network.homogeneous import HomogeneousNetwork
+    from repro.simulator.runtime import DEFAULT_PARAMS
+
+    nranks = s * t
+    if network is None:
+        network = HomogeneousNetwork(nranks, params or DEFAULT_PARAMS)
+
+    programs = []
+    for rank in range(nranks):
+        gi, gj = divmod(rank, t)
+        ctx = MpiContext(rank, nranks, options=options, gamma=gamma)
+        programs.append(hsumma_program(ctx, da.tile(gi, gj), db.tile(gi, gj), cfg))
+    sim = Engine(network, contention=contention).run(programs)
+
+    dc = DistMatrix(
+        PhantomArray((m, n)) if da.phantom or db.phantom else np.empty((m, n)),
+        BlockDistribution(m, n, s, t),
+    )
+    tiles = {divmod(rank, t): sim.return_values[rank] for rank in range(nranks)}
+    C = dc.assemble(tiles)
+    return C, sim
+
+
+# ---------------------------------------------------------------------------
+# Multi-level extension (paper future work: "more than two levels")
+# ---------------------------------------------------------------------------
+
+
+def hsumma_multilevel_program(
+    ctx: MpiContext,
+    a_tile: Any,
+    b_tile: Any,
+    cfg: "MultiLevelConfig",
+) -> Gen:
+    """HSUMMA with ``h`` nested grouping levels.
+
+    Level 0 is the between-top-level-groups phase; level ``h-1`` is the
+    innermost grid.  The pivot block column/row is broadcast once per
+    level, each level re-slicing its received block into the next
+    level's block size, generalising the two-phase split of
+    :func:`hsumma_program`.
+    """
+    world = ctx.world
+    grid = CartComm(world, cfg.s, cfg.t)
+    i, j = grid.row, grid.col
+
+    # Per level: sizes of the *remaining* inner grid below that level.
+    row_factors = cfg.row_factors  # I_0, I_1, ..., I_{h-1}; product == s
+    col_factors = cfg.col_factors
+    h = len(row_factors)
+
+    # Decompose my coordinates level by level (mixed-radix digits).
+    row_digits, col_digits = [], []
+    ri, cj = i, j
+    for lev in range(h):
+        rbelow = _prod(row_factors[lev + 1 :])
+        cbelow = _prod(col_factors[lev + 1 :])
+        dr, ri = divmod(ri, rbelow)
+        dc, cj = divmod(cj, cbelow)
+        row_digits.append(dr)
+        col_digits.append(dc)
+
+    # Level communicators: at level `lev`, ranks sharing all digits
+    # except the level-`lev` column digit form the horizontal comm (for
+    # A), and symmetrically for the vertical comm (for B).
+    def col_digit(r: int, lev: int) -> int:
+        c = r % cfg.t
+        for q in range(lev):
+            c %= _prod(col_factors[q + 1 :])
+        return c // _prod(col_factors[lev + 1 :])
+
+    def row_digit(r: int, lev: int) -> int:
+        c = r // cfg.t
+        for q in range(lev):
+            c %= _prod(row_factors[q + 1 :])
+        return c // _prod(row_factors[lev + 1 :])
+
+    h_comms = []
+    v_comms = []
+    for lev in range(h):
+        h_comms.append(
+            world.split_by(
+                lambda r, lev=lev: (
+                    r // cfg.t,
+                    tuple(col_digit(r, q) for q in range(h) if q != lev),
+                ),
+                key_of=lambda r, lev=lev: col_digit(r, lev),
+            )
+        )
+        v_comms.append(
+            world.split_by(
+                lambda r, lev=lev: (
+                    r % cfg.t,
+                    tuple(row_digit(r, q) for q in range(h) if q != lev),
+                ),
+                key_of=lambda r, lev=lev: row_digit(r, lev),
+            )
+        )
+
+    a_tile_cols = cfg.l // cfg.t
+    b_tile_rows = cfg.l // cfg.s
+    blocks = cfg.blocks  # b_0 >= b_1 >= ... >= b_{h-1}
+    c_tile = None
+    if isinstance(a_tile, PhantomArray) or isinstance(b_tile, PhantomArray):
+        c_tile = PhantomArray((cfg.m // cfg.s, cfg.n // cfg.t))
+    else:
+        c_tile = np.zeros((cfg.m // cfg.s, cfg.n // cfg.t))
+
+    # Recursive step structure flattened: iterate over the innermost
+    # block index and broadcast at level `lev` whenever this index
+    # crosses a level-`lev` block boundary.
+    total_steps = cfg.l // blocks[-1]
+    a_blocks: list[Any] = [None] * h
+    b_blocks: list[Any] = [None] * h
+    for step in range(total_steps):
+        g0 = step * blocks[-1]
+
+        owner_grid_col = g0 // a_tile_cols
+        owner_grid_row = g0 // b_tile_rows
+        # Digits of the owner position at each level.
+        oc = owner_grid_col
+        orw = owner_grid_row
+        owner_col_digits, owner_row_digits = [], []
+        for lev in range(h):
+            cbelow = _prod(col_factors[lev + 1 :])
+            rbelow = _prod(row_factors[lev + 1 :])
+            d, oc = divmod(oc, cbelow)
+            owner_col_digits.append(d)
+            d, orw = divmod(orw, rbelow)
+            owner_row_digits.append(d)
+
+        for lev in range(h):
+            if g0 % blocks[lev] != 0:
+                continue  # not at a level-`lev` boundary
+            width = blocks[lev]
+            # A broadcast at this level: participants share my column
+            # digits at deeper levels; I participate iff my digits below
+            # `lev` match the owner's.
+            if col_digits[lev + 1 :] == owner_col_digits[lev + 1 :]:
+                if lev == 0:
+                    src = None
+                    if col_digits == owner_col_digits:
+                        c0 = g0 % a_tile_cols
+                        src = slice_cols(a_tile, c0, c0 + width)
+                    a_blocks[0] = yield from h_comms[0].bcast(
+                        src, root=owner_col_digits[0], algorithm=cfg.bcast
+                    )
+                else:
+                    src = None
+                    if col_digits[lev:] == owner_col_digits[lev:]:
+                        off = g0 % blocks[lev - 1]
+                        src = slice_cols(a_blocks[lev - 1], off, off + width)
+                    a_blocks[lev] = yield from h_comms[lev].bcast(
+                        src, root=owner_col_digits[lev], algorithm=cfg.bcast
+                    )
+            if row_digits[lev + 1 :] == owner_row_digits[lev + 1 :]:
+                if lev == 0:
+                    src = None
+                    if row_digits == owner_row_digits:
+                        r0 = g0 % b_tile_rows
+                        src = slice_rows(b_tile, r0, r0 + width)
+                    b_blocks[0] = yield from v_comms[0].bcast(
+                        src, root=owner_row_digits[0], algorithm=cfg.bcast
+                    )
+                else:
+                    src = None
+                    if row_digits[lev:] == owner_row_digits[lev:]:
+                        off = g0 % blocks[lev - 1]
+                        src = slice_rows(b_blocks[lev - 1], off, off + width)
+                    b_blocks[lev] = yield from v_comms[lev].bcast(
+                        src, root=owner_row_digits[lev], algorithm=cfg.bcast
+                    )
+
+        # The innermost broadcast delivered to everyone in the deepest
+        # communicator; but ranks not on the owner's digit path at
+        # deeper levels received nothing this step.
+        a_piv = a_blocks[h - 1]
+        b_piv = b_blocks[h - 1]
+        c_tile = yield from local_gemm_acc(ctx, c_tile, a_piv, b_piv)
+    return c_tile
+
+
+def _prod(xs: Sequence[int]) -> int:
+    out = 1
+    for v in xs:
+        out *= v
+    return out
+
+
+def run_hsumma_multilevel(
+    A: Any,
+    B: Any,
+    *,
+    grid: tuple[int, int],
+    row_factors: tuple[int, ...],
+    col_factors: tuple[int, ...],
+    blocks: tuple[int, ...],
+    network: Network | None = None,
+    params: Any = None,
+    gamma: float = 0.0,
+    options: CollectiveOptions | None = None,
+    bcast: str | None = None,
+    contention: bool = False,
+) -> tuple[Any, SimResult]:
+    """Multiply with the multi-level hierarchy (h = len(factors) levels);
+    same contract as :func:`run_hsumma`.
+
+    ``h = 1`` is SUMMA, ``h = 2`` is HSUMMA; deeper hierarchies are the
+    paper's future-work direction (see the multilevel ablation).
+    """
+    s, t = grid
+    (m, l), (l2, n) = A.shape, B.shape
+    if l != l2:
+        raise ConfigurationError(f"inner dims differ: {A.shape} @ {B.shape}")
+    cfg = MultiLevelConfig(
+        m=m, l=l, n=n, s=s, t=t,
+        row_factors=tuple(row_factors),
+        col_factors=tuple(col_factors),
+        blocks=tuple(blocks),
+        bcast=bcast,
+    )
+    da = DistMatrix(A if isinstance(A, PhantomArray) else np.asarray(A, dtype=float),
+                    BlockDistribution(m, l, s, t))
+    db = DistMatrix(B if isinstance(B, PhantomArray) else np.asarray(B, dtype=float),
+                    BlockDistribution(l, n, s, t))
+
+    from repro.network.homogeneous import HomogeneousNetwork
+    from repro.simulator.runtime import DEFAULT_PARAMS
+
+    nranks = s * t
+    if network is None:
+        network = HomogeneousNetwork(nranks, params or DEFAULT_PARAMS)
+    programs = []
+    for rank in range(nranks):
+        gi, gj = divmod(rank, t)
+        ctx = MpiContext(rank, nranks, options=options, gamma=gamma)
+        programs.append(
+            hsumma_multilevel_program(ctx, da.tile(gi, gj), db.tile(gi, gj), cfg)
+        )
+    sim = Engine(network, contention=contention).run(programs)
+
+    dc = DistMatrix(
+        PhantomArray((m, n)) if da.phantom or db.phantom else np.empty((m, n)),
+        BlockDistribution(m, n, s, t),
+    )
+    tiles = {divmod(rank, t): sim.return_values[rank] for rank in range(nranks)}
+    return dc.assemble(tiles), sim
+
+
+@dataclasses.dataclass(frozen=True)
+class MultiLevelConfig:
+    """Parameters for multi-level HSUMMA.
+
+    ``row_factors``/``col_factors`` are per-level grouping factors whose
+    products equal ``s``/``t``; ``blocks`` are per-level block sizes,
+    non-increasing, each dividing the previous.
+    """
+
+    m: int
+    l: int
+    n: int
+    s: int
+    t: int
+    row_factors: tuple[int, ...]
+    col_factors: tuple[int, ...]
+    blocks: tuple[int, ...]
+    bcast: str | None = None
+
+    def __post_init__(self) -> None:
+        h = len(self.row_factors)
+        require(h >= 1, "need at least one level")
+        require(len(self.col_factors) == h and len(self.blocks) == h,
+                "row_factors, col_factors and blocks must have equal length")
+        require(_prod(self.row_factors) == self.s,
+                f"row factors {self.row_factors} do not multiply to s={self.s}")
+        require(_prod(self.col_factors) == self.t,
+                f"col factors {self.col_factors} do not multiply to t={self.t}")
+        for lev in range(1, h):
+            require(self.blocks[lev] <= self.blocks[lev - 1],
+                    "blocks must be non-increasing per level")
+            require_divides(self.blocks[lev], self.blocks[lev - 1],
+                            "multi-level blocks")
+        require_divides(self.s, self.m, "grid rows into C rows")
+        require_divides(self.t, self.n, "grid cols into C cols")
+        require_divides(self.s, self.l, "grid rows into inner dim")
+        require_divides(self.t, self.l, "grid cols into inner dim")
+        require_divides(self.blocks[0], self.l // self.t,
+                        "top block into A tile width")
+        require_divides(self.blocks[0], self.l // self.s,
+                        "top block into B tile height")

@@ -1,0 +1,60 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised deliberately by this library derive from
+:class:`ReproError` so callers can catch library failures with a single
+``except`` clause while letting programming errors (``TypeError`` from
+misuse of numpy, etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A run was configured with inconsistent or invalid parameters.
+
+    Examples: a processor grid that does not divide the matrix, a group
+    count that does not divide the grid, a block size larger than the
+    local tile.
+    """
+
+
+class TopologyError(ReproError):
+    """A network topology was built or queried inconsistently."""
+
+
+class CommunicatorError(ReproError):
+    """Misuse of the MPI-like communicator layer.
+
+    Raised for out-of-range ranks, invalid colors in ``split``, or
+    operations on a rank that is not a member of the communicator.
+    """
+
+
+class DeadlockError(ReproError):
+    """The discrete-event simulation reached a state where no rank can
+    make progress but at least one rank has not terminated.
+
+    The message lists the blocked ranks and the operation each is
+    waiting on, which is usually enough to diagnose a mismatched
+    send/recv pair in an algorithm.
+    """
+
+
+class SimulationError(ReproError):
+    """Internal inconsistency detected by the simulator engine."""
+
+
+class DataMismatchError(ReproError):
+    """A payload arrived with a shape/meaning other than expected.
+
+    Raised by algorithm-level assertions, e.g. when a received pivot
+    block does not have the declared block shape.
+    """
+
+
+class ModelError(ReproError):
+    """An analytic performance model was evaluated outside its domain."""

@@ -1,0 +1,303 @@
+"""One driver per paper figure (Section V).
+
+Each driver returns a :class:`~repro.experiments.harness.Series` with
+the same x axis and curves as the paper's plot; the benchmarks print
+them.  Paper defaults are baked in, but every parameter can be
+overridden (the test suite runs scaled-down variants).
+
+==========  ============================================================
+``fig5``    Grid5000, p=128, n=8192, b=B=64: comm time vs group count
+``fig6``    same with b=B=512 (the largest block)
+``fig7``    Grid5000 scalability: p in {16,32,64,128}, b=B=512
+``fig8``    BG/P, p=16384, n=65536, b=B=256: overall + comm time vs G
+``fig9``    BG/P scalability: p in {2048..16384}, comm time
+``fig10``   exascale prediction, p=2^20: model time vs G
+==========  ============================================================
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.core.grouping import choose_group_grid, valid_group_counts
+from repro.core.hsumma import HSummaConfig
+from repro.core.summa import SummaConfig
+from repro.errors import ConfigurationError
+from repro.experiments.harness import Series
+from repro.experiments.stepmodel import (
+    AnalyticCoster,
+    CollectiveCoster,
+    MicroDesCoster,
+    TopologyCoster,
+    hsumma_step_model,
+    summa_step_model,
+)
+from repro.models.exascale import ExascaleScenario, exascale_prediction
+from repro.platforms.base import Platform
+from repro.platforms.bluegene import bluegene_p
+from repro.platforms.grid5000 import grid5000_graphene
+from repro.util.gridmath import factor_grid
+
+
+def _coster(platform: Platform, p: int, kind: str) -> CollectiveCoster:
+    algo = platform.options.bcast
+    if kind == "analytic":
+        return AnalyticCoster(platform.params, algo)
+    if kind == "micro":
+        return MicroDesCoster(platform.network(p), algo)
+    if kind == "topology":
+        return TopologyCoster(platform.network(p), algo)
+    raise ConfigurationError(
+        f"unknown coster kind {kind!r}; use analytic, micro or topology"
+    )
+
+
+def group_sweep(
+    platform: Platform,
+    p: int,
+    n: int,
+    block: int,
+    *,
+    groups: Sequence[int] | None = None,
+    coster_kind: str = "micro",
+    name: str = "sweep",
+) -> Series:
+    """Comm/total time of HSUMMA per group count, with the SUMMA
+    reference — the common core of figures 5, 6, 8 and 10.
+
+    ``coster_kind="des"`` bypasses the step model entirely and runs the
+    full event simulation per configuration (phantom payloads) —
+    exact, but only sensible for small ``p``.
+    """
+    s, t = factor_grid(p)
+    if groups is None:
+        groups = valid_group_counts(s, t)
+    gamma = platform.gamma
+
+    if coster_kind == "des":
+        from repro.core.hsumma import run_hsumma
+        from repro.core.summa import run_summa
+        from repro.payloads import PhantomArray
+
+        A = PhantomArray((n, n))
+        B = PhantomArray((n, n))
+        _, sim = run_summa(
+            A, B, grid=(s, t), block=block, network=platform.network(p),
+            options=platform.options, gamma=gamma,
+        )
+        sref_comm, sref_total = sim.comm_time, sim.total_time
+        hs_comm, hs_total = [], []
+        for G in groups:
+            _, sim = run_hsumma(
+                A, B, grid=(s, t), groups=G, outer_block=block,
+                network=platform.network(p), options=platform.options,
+                gamma=gamma,
+            )
+            hs_comm.append(sim.comm_time)
+            hs_total.append(sim.total_time)
+        return Series(
+            name=name,
+            xlabel="groups",
+            x=list(groups),
+            columns={
+                "hsumma_comm": hs_comm,
+                "summa_comm": [sref_comm] * len(groups),
+                "hsumma_total": hs_total,
+                "summa_total": [sref_total] * len(groups),
+            },
+            meta={"platform": platform.name, "p": p, "n": n, "b": block,
+                  "fidelity": "des"},
+        )
+
+    coster = _coster(platform, p, coster_kind)
+
+    scfg = SummaConfig(m=n, l=n, n=n, s=s, t=t, block=block)
+    sref = summa_step_model(scfg, coster, gamma)
+
+    hs_comm, hs_total = [], []
+    for G in groups:
+        I, J = choose_group_grid(s, t, G)
+        hcfg = HSummaConfig(
+            m=n, l=n, n=n, s=s, t=t, I=I, J=J,
+            outer_block=block, inner_block=block,
+        )
+        rep = hsumma_step_model(hcfg, coster, gamma)
+        hs_comm.append(rep.comm_time)
+        hs_total.append(rep.total_time)
+
+    return Series(
+        name=name,
+        xlabel="groups",
+        x=list(groups),
+        columns={
+            "hsumma_comm": hs_comm,
+            "summa_comm": [sref.comm_time] * len(groups),
+            "hsumma_total": hs_total,
+            "summa_total": [sref.total_time] * len(groups),
+        },
+        meta={"platform": platform.name, "p": p, "n": n, "b": block},
+    )
+
+
+def fig5(
+    p: int = 128,
+    n: int = 8192,
+    block: int = 64,
+    *,
+    coster_kind: str = "micro",
+) -> Series:
+    """Figure 5: HSUMMA vs SUMMA comm time on Grid5000, b = B = 64."""
+    return group_sweep(
+        grid5000_graphene(p), p, n, block,
+        coster_kind=coster_kind, name="fig5",
+    )
+
+
+def fig6(
+    p: int = 128,
+    n: int = 8192,
+    block: int = 512,
+    *,
+    coster_kind: str = "micro",
+) -> Series:
+    """Figure 6: same sweep with the largest block, b = B = 512."""
+    return group_sweep(
+        grid5000_graphene(p), p, n, block,
+        coster_kind=coster_kind, name="fig6",
+    )
+
+
+def fig7(
+    procs: Sequence[int] = (16, 32, 64, 128),
+    n: int = 8192,
+    block: int = 512,
+    *,
+    coster_kind: str = "micro",
+) -> Series:
+    """Figure 7: Grid5000 scalability — comm time vs processor count,
+    HSUMMA at its per-p best group count."""
+    hs, su, best_g = [], [], []
+    for p in procs:
+        sweep = group_sweep(
+            grid5000_graphene(p), p, n, block,
+            coster_kind=coster_kind, name="fig7-inner",
+        )
+        g, t = sweep.min_of("hsumma_comm")
+        hs.append(t)
+        su.append(sweep.column("summa_comm")[0])
+        best_g.append(g)
+    return Series(
+        name="fig7",
+        xlabel="procs",
+        x=list(procs),
+        columns={"hsumma_comm": hs, "summa_comm": su, "best_groups": best_g},
+        meta={"platform": "grid5000-graphene", "n": n, "b": block},
+    )
+
+
+def fig8(
+    p: int = 16384,
+    n: int = 65536,
+    block: int = 256,
+    *,
+    groups: Sequence[int] | None = None,
+    coster_kind: str = "topology",
+) -> Series:
+    """Figure 8: BlueGene/P 16384 cores — overall and comm time vs G."""
+    if groups is None:
+        s, t = factor_grid(p)
+        groups = [g for g in valid_group_counts(s, t)
+                  if (g & (g - 1)) == 0]  # powers of two, as in the paper
+    return group_sweep(
+        bluegene_p(p), p, n, block,
+        groups=groups, coster_kind=coster_kind, name="fig8",
+    )
+
+
+def fig9(
+    procs: Sequence[int] = (2048, 4096, 8192, 16384),
+    n: int = 65536,
+    block: int = 256,
+    *,
+    coster_kind: str = "topology",
+) -> Series:
+    """Figure 9: BlueGene/P scalability — comm time vs core count,
+    HSUMMA at its per-p best group count."""
+    hs, su, best_g = [], [], []
+    for p in procs:
+        s, t = factor_grid(p)
+        groups = [g for g in valid_group_counts(s, t) if (g & (g - 1)) == 0]
+        sweep = group_sweep(
+            bluegene_p(p), p, n, block,
+            groups=groups, coster_kind=coster_kind, name="fig9-inner",
+        )
+        g, tmin = sweep.min_of("hsumma_comm")
+        hs.append(tmin)
+        su.append(sweep.column("summa_comm")[0])
+        best_g.append(g)
+    return Series(
+        name="fig9",
+        xlabel="procs",
+        x=list(procs),
+        columns={"hsumma_comm": hs, "summa_comm": su, "best_groups": best_g},
+        meta={"platform": "bluegene-p", "n": n, "b": block},
+    )
+
+
+def fig10(
+    scenario: ExascaleScenario | None = None,
+    groups: Sequence[int] | None = None,
+) -> Series:
+    """Figure 10: exascale prediction — model time vs G, p = 2^20."""
+    sc = scenario or ExascaleScenario()
+    pred = exascale_prediction(sc, list(groups) if groups else None)
+    gs = pred["groups"]
+    return Series(
+        name="fig10",
+        xlabel="groups",
+        x=list(gs),
+        columns={
+            "hsumma_comm": list(pred["hsumma"]),
+            "summa_comm": [pred["summa"]] * len(gs),
+        },
+        meta={
+            "platform": "exascale-2012",
+            "p": sc.p,
+            "n": sc.n,
+            "b": sc.b,
+            "optimal_G": pred["optimal_G"],
+        },
+    )
+
+
+def headline_ratios(
+    procs: Sequence[int] = (2048, 16384),
+    n: int = 65536,
+    block: int = 256,
+    *,
+    coster_kind: str = "topology",
+) -> dict[int, dict[str, float]]:
+    """The paper's headline claims: comm-time and overall-time ratios of
+    SUMMA over best-G HSUMMA on BG/P (2.08x / 5.89x comm, 1.2x / 2.36x
+    overall on 2048 / 16384 cores)."""
+    out: dict[int, dict[str, float]] = {}
+    for p in procs:
+        s, t = factor_grid(p)
+        groups = [g for g in valid_group_counts(s, t) if (g & (g - 1)) == 0]
+        sweep = group_sweep(
+            bluegene_p(p), p, n, block,
+            groups=groups, coster_kind=coster_kind, name="headline",
+        )
+        g_c, hs_comm = sweep.min_of("hsumma_comm")
+        _, hs_total = sweep.min_of("hsumma_total")
+        out[p] = {
+            "comm_ratio": sweep.column("summa_comm")[0] / hs_comm,
+            "total_ratio": sweep.column("summa_total")[0] / hs_total,
+            "best_groups": g_c,
+            "summa_comm": sweep.column("summa_comm")[0],
+            "hsumma_comm": hs_comm,
+            "summa_total": sweep.column("summa_total")[0],
+            "hsumma_total": hs_total,
+        }
+    return out

@@ -1,0 +1,101 @@
+"""Sweep/series plumbing for experiment drivers and benchmarks.
+
+A :class:`Series` is the in-memory form of one paper figure: an x axis
+(group counts, processor counts) and named y columns (comm time,
+overall time, per algorithm).  It renders to the same aligned text
+tables the benchmarks print and to CSV for external plotting.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import io
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+from repro.util.tables import format_table
+
+
+@dataclasses.dataclass
+class Series:
+    """One experiment's results.
+
+    Attributes
+    ----------
+    name:
+        Identifier, e.g. ``"fig8"``.
+    xlabel:
+        Name of the x axis (``"groups"``, ``"procs"``).
+    x:
+        The x values.
+    columns:
+        Mapping of column name to y values (same length as ``x``).
+    meta:
+        Free-form run parameters for the caption.
+    """
+
+    name: str
+    xlabel: str
+    x: list
+    columns: dict[str, list[float]]
+    meta: dict = dataclasses.field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for cname, col in self.columns.items():
+            if len(col) != len(self.x):
+                raise ConfigurationError(
+                    f"column {cname!r} has {len(col)} values for {len(self.x)} x points"
+                )
+
+    def column(self, name: str) -> list[float]:
+        try:
+            return self.columns[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"series {self.name!r} has no column {name!r}; "
+                f"available: {sorted(self.columns)}"
+            ) from None
+
+    def min_of(self, name: str) -> tuple[object, float]:
+        """``(x, y)`` at the minimum of column ``name``."""
+        col = self.column(name)
+        idx = min(range(len(col)), key=lambda i: col[i])
+        return self.x[idx], col[idx]
+
+    def to_table(self, title: str | None = None) -> str:
+        """Aligned text table (x column first)."""
+        headers = [self.xlabel] + list(self.columns)
+        rows = [
+            [self.x[i]] + [self.columns[c][i] for c in self.columns]
+            for i in range(len(self.x))
+        ]
+        caption = title or self._caption()
+        return format_table(headers, rows, title=caption)
+
+    def to_csv(self) -> str:
+        """Comma-separated form, header row first."""
+        buf = io.StringIO()
+        headers = [self.xlabel] + list(self.columns)
+        buf.write(",".join(headers) + "\n")
+        for i in range(len(self.x)):
+            cells = [str(self.x[i])] + [
+                repr(self.columns[c][i]) for c in self.columns
+            ]
+            buf.write(",".join(cells) + "\n")
+        return buf.getvalue()
+
+    def _caption(self) -> str:
+        meta = ", ".join(f"{k}={v}" for k, v in self.meta.items())
+        return f"{self.name}" + (f" ({meta})" if meta else "")
+
+
+def speedup(series: Series, baseline: str, improved: str) -> list[float]:
+    """Element-wise ``baseline / improved`` ratio of two columns."""
+    base = series.column(baseline)
+    imp = series.column(improved)
+    out = []
+    for b, i in zip(base, imp):
+        if i <= 0:
+            raise ConfigurationError(f"non-positive value {i} in column {improved!r}")
+        out.append(b / i)
+    return out

@@ -1,0 +1,125 @@
+"""Per-step cost profiles of SUMMA/HSUMMA schedules.
+
+Where :mod:`repro.experiments.stepmodel` returns totals, these
+functions return the *series* of per-step communication costs, which
+exposes schedule structure: SUMMA's per-step cost is constant on a
+homogeneous network, steps cluster by pivot owner on a topology-aware
+one, and HSUMMA's outer steps are visibly heavier than its inner ones
+when ``b < B``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.hsumma import HSummaConfig
+from repro.core.summa import SummaConfig
+from repro.experiments.stepmodel import CollectiveCoster
+from repro.platforms.base import WORD_BYTES
+
+
+@dataclasses.dataclass(frozen=True)
+class StepProfile:
+    """Per-step communication costs of one schedule."""
+
+    comm_per_step: tuple[float, ...]
+    gemm_per_step: float
+
+    @property
+    def total_comm(self) -> float:
+        return sum(self.comm_per_step)
+
+    @property
+    def peak_step(self) -> int:
+        """Index of the most expensive step."""
+        return max(range(len(self.comm_per_step)),
+                   key=lambda i: self.comm_per_step[i])
+
+    def variability(self) -> float:
+        """Max/min ratio of per-step costs (1.0 = perfectly regular)."""
+        lo = min(self.comm_per_step)
+        hi = max(self.comm_per_step)
+        return hi / lo if lo > 0 else float("inf")
+
+
+def summa_step_profile(
+    cfg: SummaConfig, coster: CollectiveCoster, gamma: float = 0.0
+) -> StepProfile:
+    """Per-step comm costs of the SUMMA schedule."""
+    s, t = cfg.s, cfg.t
+    row_ranks = [tuple(i * t + j for j in range(t)) for i in range(s)]
+    col_ranks = [tuple(i * t + j for i in range(s)) for j in range(t)]
+    a_bytes = (cfg.m // s) * cfg.block * WORD_BYTES
+    b_bytes = cfg.block * (cfg.n // t) * WORD_BYTES
+    a_tile_cols = cfg.l // t
+    b_tile_rows = cfg.l // s
+    gemm = gamma * 2.0 * (cfg.m // s) * cfg.block * (cfg.n // t)
+
+    steps = []
+    for k in range(cfg.nsteps):
+        g0 = k * cfg.block
+        owner_col = g0 // a_tile_cols
+        owner_row = g0 // b_tile_rows
+        cost = max(
+            coster.bcast_time(r, owner_col, a_bytes) for r in row_ranks
+        ) + max(
+            coster.bcast_time(c, owner_row, b_bytes) for c in col_ranks
+        )
+        steps.append(cost)
+    return StepProfile(comm_per_step=tuple(steps), gemm_per_step=gemm)
+
+
+def hsumma_step_profile(
+    cfg: HSummaConfig, coster: CollectiveCoster, gamma: float = 0.0
+) -> StepProfile:
+    """Per-*inner*-step comm costs of the HSUMMA schedule (outer-phase
+    cost charged to the first inner step of each outer block)."""
+    s, t = cfg.s, cfg.t
+    si, tj = cfg.inner_s, cfg.inner_t
+    I, J = cfg.I, cfg.J
+    outer_row = {
+        (i, jj): tuple(i * t + (y * tj + jj) for y in range(J))
+        for i in range(s) for jj in range(tj)
+    }
+    outer_col = {
+        (j, ii): tuple((x * si + ii) * t + j for x in range(I))
+        for j in range(t) for ii in range(si)
+    }
+    inner_row = {
+        (i, y): tuple(i * t + (y * tj + jj) for jj in range(tj))
+        for i in range(s) for y in range(J)
+    }
+    inner_col = {
+        (j, x): tuple((x * si + ii) * t + j for ii in range(si))
+        for j in range(t) for x in range(I)
+    }
+    a_outer = (cfg.m // s) * cfg.outer_block * WORD_BYTES
+    b_outer = cfg.outer_block * (cfg.n // t) * WORD_BYTES
+    a_inner = (cfg.m // s) * cfg.inner_block * WORD_BYTES
+    b_inner = cfg.inner_block * (cfg.n // t) * WORD_BYTES
+    a_tile_cols = cfg.l // t
+    b_tile_rows = cfg.l // s
+    gemm = gamma * 2.0 * (cfg.m // s) * cfg.inner_block * (cfg.n // t)
+
+    steps = []
+    for K in range(cfg.outer_steps):
+        g0 = K * cfg.outer_block
+        yk, jk = divmod(g0 // a_tile_cols, tj)
+        xk, ik = divmod(g0 // b_tile_rows, si)
+        outer_cost = max(
+            coster.bcast_time(outer_row[(i, jk)], yk, a_outer)
+            for i in range(s)
+        ) + max(
+            coster.bcast_time(outer_col[(j, ik)], xk, b_outer)
+            for j in range(t)
+        )
+        inner_cost = max(
+            coster.bcast_time(inner_row[(i, y)], jk, a_inner)
+            for i in range(s) for y in range(J)
+        ) + max(
+            coster.bcast_time(inner_col[(j, x)], ik, b_inner)
+            for j in range(t) for x in range(I)
+        )
+        for kk in range(cfg.inner_steps):
+            steps.append(inner_cost + (outer_cost if kk == 0 else 0.0))
+    return StepProfile(comm_per_step=tuple(steps), gemm_per_step=gemm)

@@ -1,0 +1,370 @@
+"""Step-synchronous fast executor for SUMMA and HSUMMA.
+
+The full discrete-event simulator moves every message; at the paper's
+BlueGene/P scale (16384 ranks) and the exascale prediction (2^20) that
+is billions of events.  But SUMMA-family algorithms are *bulk
+synchronous*: each step is a fixed set of broadcasts followed by a
+gemm, and on the paper's no-overlap schedule the makespan is simply the
+sum over steps of
+
+    ``max_over_row_comms(T_bcast(A)) + max_over_col_comms(T_bcast(B))
+      + T_gemm``
+
+(generalised to outer + inner phases for HSUMMA).  This module computes
+that sum with pluggable per-broadcast *costers*:
+
+* :class:`AnalyticCoster` — closed-form Hockney costs (homogeneous
+  networks; exactly what the full DES produces there, see the
+  cross-validation tests);
+* :class:`MicroDesCoster` — run just one broadcast's message schedule
+  through a small engine on the real topology (exact, memoised);
+* :class:`TopologyCoster` — closed-form ``L/W`` shape with
+  per-communicator effective ``alpha``/``beta`` taken as the mean
+  pairwise link cost among participants (fast topology sensitivity for
+  the 16384-rank torus sweeps; this is what re-creates the paper's
+  Figure-8 zigzags).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+from repro.blocks.ops import gemm_flops
+from repro.collectives.cost import bcast_time
+from repro.core.hsumma import HSummaConfig
+from repro.core.summa import SummaConfig
+from repro.errors import ConfigurationError
+from repro.mpi.comm import CollectiveOptions, MpiContext
+from repro.network.model import HockneyParams, Network
+from repro.network.subnet import SubNetwork
+from repro.payloads import PhantomArray
+from repro.platforms.base import WORD_BYTES
+from repro.simulator.engine import Engine
+
+
+@dataclasses.dataclass(frozen=True)
+class StepModelReport:
+    """Timing prediction of one SUMMA/HSUMMA run."""
+
+    total_time: float
+    comm_time: float
+    compute_time: float
+    nsteps: int
+
+    def __post_init__(self) -> None:
+        if self.total_time < 0 or self.comm_time < 0 or self.compute_time < 0:
+            raise ConfigurationError("negative time in step-model report")
+
+
+class CollectiveCoster(ABC):
+    """Cost oracle for one broadcast among explicit world ranks."""
+
+    @abstractmethod
+    def bcast_time(
+        self, participants: Sequence[int], root_index: int, nbytes: int
+    ) -> float:
+        """Seconds for a broadcast of ``nbytes`` among ``participants``
+        (world ranks) rooted at ``participants[root_index]``."""
+
+
+class AnalyticCoster(CollectiveCoster):
+    """Closed-form Hockney cost; topology-blind (homogeneous networks)."""
+
+    def __init__(
+        self,
+        params: HockneyParams,
+        algorithm: str = "binomial",
+        *,
+        segments: int | None = None,
+    ):
+        self.params = params
+        self.algorithm = algorithm
+        self.segments = segments
+
+    def bcast_time(
+        self, participants: Sequence[int], root_index: int, nbytes: int
+    ) -> float:
+        return bcast_time(
+            self.algorithm,
+            nbytes,
+            len(participants),
+            self.params,
+            segments=self.segments,
+        )
+
+
+class MicroDesCoster(CollectiveCoster):
+    """Exact per-broadcast cost by simulating its message schedule on
+    the real topology.  Results are memoised on
+    ``(participants, root, nbytes)`` — and just on ``(size, nbytes)``
+    for homogeneous networks, where position is irrelevant."""
+
+    def __init__(
+        self,
+        network: Network,
+        algorithm: str = "binomial",
+        *,
+        contention: bool = False,
+        segments: int | None = None,
+    ):
+        self.network = network
+        self.algorithm = algorithm
+        self.contention = contention
+        self.segments = segments
+        self._memo: dict = {}
+        from repro.network.homogeneous import HomogeneousNetwork
+
+        self._uniform = (
+            isinstance(network, HomogeneousNetwork) and network.intra_params is None
+        )
+
+    def bcast_time(
+        self, participants: Sequence[int], root_index: int, nbytes: int
+    ) -> float:
+        participants = tuple(participants)
+        if len(participants) <= 1:
+            return 0.0
+        if self._uniform:
+            key = (len(participants), 0, nbytes)
+            root = 0
+        else:
+            key = (participants, root_index, nbytes)
+            root = root_index
+        hit = self._memo.get(key)
+        if hit is not None:
+            return hit
+        t = self._simulate(participants, root, nbytes)
+        self._memo[key] = t
+        return t
+
+    def _simulate(
+        self, participants: tuple[int, ...], root: int, nbytes: int
+    ) -> float:
+        subnet = SubNetwork(self.network, participants)
+        options = CollectiveOptions(bcast=self.algorithm, bcast_segments=self.segments)
+        algorithm = self.algorithm
+
+        def program(ctx: MpiContext):
+            payload = (
+                PhantomArray((nbytes,), itemsize=1) if ctx.rank == root else None
+            )
+            yield from ctx.world.bcast(payload, root=root, algorithm=algorithm)
+
+        programs = [
+            program(MpiContext(r, len(participants), options=options))
+            for r in range(len(participants))
+        ]
+        sim = Engine(subnet, contention=self.contention).run(programs)
+        return sim.total_time
+
+
+class TopologyCoster(CollectiveCoster):
+    """``L/W``-form cost with effective parameters per communicator.
+
+    ``alpha_eff`` / ``beta_eff`` are the mean pairwise zero-byte latency
+    and per-byte slope among the participants on the real topology, so
+    a group whose members straddle the torus pays more than a compact
+    one — cheap topology sensitivity at 16384 ranks.
+    """
+
+    #: Pairs sampled per communicator before falling back to all pairs.
+    MAX_PAIR_SAMPLES = 512
+    #: Probe size for estimating the per-byte slope.
+    PROBE_BYTES = 1 << 20
+
+    def __init__(self, network: Network, algorithm: str = "binomial"):
+        self.network = network
+        self.algorithm = algorithm
+        self._memo: dict[tuple[int, ...], HockneyParams] = {}
+
+    def _effective_params(self, participants: tuple[int, ...]) -> HockneyParams:
+        hit = self._memo.get(participants)
+        if hit is not None:
+            return hit
+        pairs = self._pairs(participants)
+        total_alpha = 0.0
+        total_full = 0.0
+        for a, b in pairs:
+            total_alpha += self.network.transfer_time(a, b, 0)
+            total_full += self.network.transfer_time(a, b, self.PROBE_BYTES)
+        npairs = len(pairs)
+        alpha = total_alpha / npairs
+        beta = (total_full - total_alpha) / (npairs * self.PROBE_BYTES)
+        params = HockneyParams(alpha=max(alpha, 1e-30), beta=max(beta, 1e-30))
+        self._memo[participants] = params
+        return params
+
+    def _pairs(self, participants: tuple[int, ...]) -> list[tuple[int, int]]:
+        n = len(participants)
+        all_pairs = n * (n - 1)
+        if all_pairs <= self.MAX_PAIR_SAMPLES:
+            return [
+                (a, b) for a in participants for b in participants if a != b
+            ]
+        # Deterministic stride sampling over the ordered-pair lattice.
+        pairs = []
+        stride = max(1, all_pairs // self.MAX_PAIR_SAMPLES)
+        idx = 0
+        while len(pairs) < self.MAX_PAIR_SAMPLES:
+            i, j = divmod(idx % all_pairs, n - 1)
+            a = participants[i % n]
+            others = idx % (n - 1)
+            b = participants[(i + 1 + others) % n]
+            if a != b:
+                pairs.append((a, b))
+            idx += stride + 1
+        return pairs
+
+    def bcast_time(
+        self, participants: Sequence[int], root_index: int, nbytes: int
+    ) -> float:
+        participants = tuple(participants)
+        if len(participants) <= 1:
+            return 0.0
+        params = self._effective_params(participants)
+        return bcast_time(self.algorithm, nbytes, len(participants), params)
+
+
+# ---------------------------------------------------------------------------
+# Step models
+# ---------------------------------------------------------------------------
+
+
+def summa_step_model(
+    cfg: SummaConfig, coster: CollectiveCoster, gamma: float = 0.0
+) -> StepModelReport:
+    """Predict a SUMMA run's times under the step-synchronous schedule."""
+    s, t = cfg.s, cfg.t
+    row_ranks = [tuple(i * t + j for j in range(t)) for i in range(s)]
+    col_ranks = [tuple(i * t + j for i in range(s)) for j in range(t)]
+    a_bytes = (cfg.m // s) * cfg.block * WORD_BYTES
+    b_bytes = cfg.block * (cfg.n // t) * WORD_BYTES
+    gemm = gamma * gemm_flops(cfg.m // s, cfg.block, cfg.n // t)
+    a_tile_cols = cfg.l // t
+    b_tile_rows = cfg.l // s
+
+    # The per-step maxima depend only on the owner coordinates, which
+    # cycle over the grid; memoise them.
+    a_max: dict[int, float] = {}
+    b_max: dict[int, float] = {}
+    comm = 0.0
+    for k in range(cfg.nsteps):
+        g0 = k * cfg.block
+        owner_col = g0 // a_tile_cols
+        owner_row = g0 // b_tile_rows
+        if owner_col not in a_max:
+            a_max[owner_col] = max(
+                coster.bcast_time(ranks, owner_col, a_bytes) for ranks in row_ranks
+            )
+        if owner_row not in b_max:
+            b_max[owner_row] = max(
+                coster.bcast_time(ranks, owner_row, b_bytes) for ranks in col_ranks
+            )
+        comm += a_max[owner_col] + b_max[owner_row]
+    compute = cfg.nsteps * gemm
+    return StepModelReport(
+        total_time=comm + compute,
+        comm_time=comm,
+        compute_time=compute,
+        nsteps=cfg.nsteps,
+    )
+
+
+def hsumma_step_model(
+    cfg: HSummaConfig,
+    coster: CollectiveCoster,
+    gamma: float = 0.0,
+    *,
+    outer_coster: CollectiveCoster | None = None,
+) -> StepModelReport:
+    """Predict an HSUMMA run's times under the step-synchronous schedule.
+
+    ``outer_coster`` allows a different broadcast algorithm between
+    groups (defaults to ``coster``).
+    """
+    oc = outer_coster or coster
+    s, t = cfg.s, cfg.t
+    si, tj = cfg.inner_s, cfg.inner_t
+    I, J = cfg.I, cfg.J
+
+    # Outer-row comm for (grid row i, inner col jj): the J ranks
+    # (i, y*tj + jj); comm rank == y.
+    outer_row = {
+        (i, jj): tuple(i * t + (y * tj + jj) for y in range(J))
+        for i in range(s)
+        for jj in range(tj)
+    }
+    outer_col = {
+        (j, ii): tuple((x * si + ii) * t + j for x in range(I))
+        for j in range(t)
+        for ii in range(si)
+    }
+    # Inner-row comm for (grid row i, group col y): the tj ranks
+    # (i, y*tj + jj'); comm rank == jj.
+    inner_row = {
+        (i, y): tuple(i * t + (y * tj + jj) for jj in range(tj))
+        for i in range(s)
+        for y in range(J)
+    }
+    inner_col = {
+        (j, x): tuple((x * si + ii) * t + j for ii in range(si))
+        for j in range(t)
+        for x in range(I)
+    }
+
+    a_outer_bytes = (cfg.m // s) * cfg.outer_block * WORD_BYTES
+    b_outer_bytes = cfg.outer_block * (cfg.n // t) * WORD_BYTES
+    a_inner_bytes = (cfg.m // s) * cfg.inner_block * WORD_BYTES
+    b_inner_bytes = cfg.inner_block * (cfg.n // t) * WORD_BYTES
+    gemm = gamma * gemm_flops(cfg.m // s, cfg.inner_block, cfg.n // t)
+    a_tile_cols = cfg.l // t
+    b_tile_rows = cfg.l // s
+
+    # Step costs depend on the step index only through the owner
+    # coordinates, which cycle; memoise each phase's max on them.
+    outer_a_max: dict[tuple[int, int], float] = {}
+    outer_b_max: dict[tuple[int, int], float] = {}
+    inner_a_max: dict[int, float] = {}
+    inner_b_max: dict[int, float] = {}
+
+    comm = 0.0
+    for K in range(cfg.outer_steps):
+        g0 = K * cfg.outer_block
+        yk, jk = divmod(g0 // a_tile_cols, tj)
+        xk, ik = divmod(g0 // b_tile_rows, si)
+        # Outer phase: only the (i, jk) row comms / (j, ik) col comms act.
+        if (yk, jk) not in outer_a_max:
+            outer_a_max[(yk, jk)] = max(
+                oc.bcast_time(outer_row[(i, jk)], yk, a_outer_bytes)
+                for i in range(s)
+            )
+        comm += outer_a_max[(yk, jk)]
+        if (xk, ik) not in outer_b_max:
+            outer_b_max[(xk, ik)] = max(
+                oc.bcast_time(outer_col[(j, ik)], xk, b_outer_bytes)
+                for j in range(t)
+            )
+        comm += outer_b_max[(xk, ik)]
+        # Inner phase: every group broadcasts from its jk column / ik row.
+        if jk not in inner_a_max:
+            inner_a_max[jk] = max(
+                coster.bcast_time(inner_row[(i, y)], jk, a_inner_bytes)
+                for i in range(s)
+                for y in range(J)
+            )
+        if ik not in inner_b_max:
+            inner_b_max[ik] = max(
+                coster.bcast_time(inner_col[(j, x)], ik, b_inner_bytes)
+                for j in range(t)
+                for x in range(I)
+            )
+        comm += cfg.inner_steps * (inner_a_max[jk] + inner_b_max[ik])
+    compute = cfg.outer_steps * cfg.inner_steps * gemm
+    return StepModelReport(
+        total_time=comm + compute,
+        comm_time=comm,
+        compute_time=compute,
+        nsteps=cfg.outer_steps * cfg.inner_steps,
+    )

@@ -1,0 +1,93 @@
+"""Ascii timelines from simulation traces.
+
+``render_timeline`` turns a traced :class:`~repro.simulator.SimResult`
+into a per-rank Gantt chart: one row per rank, time bucketed into
+columns, each cell showing what dominated that bucket (sending,
+receiving, both, or idle).  Meant for debugging schedules — e.g. seeing
+the lookahead pipeline of :mod:`repro.core.overlap` actually overlap —
+and for teaching, not for publication plots.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.simulator.tracing import SimResult
+
+#: Cell glyphs: sending, receiving, both directions, idle.
+GLYPH_SEND = "s"
+GLYPH_RECV = "r"
+GLYPH_BOTH = "x"
+GLYPH_IDLE = "."
+
+
+def render_timeline(
+    result: SimResult,
+    *,
+    width: int = 80,
+    ranks: list[int] | None = None,
+) -> str:
+    """Render the transfer activity of a traced run.
+
+    Parameters
+    ----------
+    result:
+        A result produced with ``collect_trace=True`` (raises if the
+        trace is empty but messages were sent).
+    width:
+        Number of time buckets (columns).
+    ranks:
+        Subset of ranks to show (default: all).
+    """
+    if width < 1:
+        raise ConfigurationError(f"width must be >= 1, got {width}")
+    if not result.trace and result.total_messages:
+        raise ConfigurationError(
+            "result has no trace; rerun the engine with collect_trace=True"
+        )
+    total = result.total_time
+    if total <= 0:
+        return "(empty timeline: no virtual time elapsed)"
+    ranks = list(range(result.nranks)) if ranks is None else ranks
+    rows = {r: [GLYPH_IDLE] * width for r in ranks}
+    rankset = set(ranks)
+
+    def buckets(start: float, finish: float) -> range:
+        lo = min(width - 1, int(start / total * width))
+        hi = min(width - 1, int(max(start, finish - 1e-18) / total * width))
+        return range(lo, hi + 1)
+
+    for rec in result.trace:
+        if rec.src in rankset:
+            row = rows[rec.src]
+            for cell in buckets(rec.start, rec.finish):
+                row[cell] = GLYPH_BOTH if row[cell] == GLYPH_RECV else GLYPH_SEND
+        if rec.dst in rankset:
+            row = rows[rec.dst]
+            for cell in buckets(rec.start, rec.finish):
+                row[cell] = GLYPH_BOTH if row[cell] == GLYPH_SEND else GLYPH_RECV
+
+    label_w = max(len(f"rank {r}") for r in ranks)
+    lines = [
+        f"{'':>{label_w}} 0{'':{width - 2}}{total:.3g}s",
+        f"{'':>{label_w}} {'-' * width}",
+    ]
+    for r in ranks:
+        lines.append(f"{f'rank {r}':>{label_w}} {''.join(rows[r])}")
+    lines.append(
+        f"{'':>{label_w}} {GLYPH_SEND}=send {GLYPH_RECV}=recv "
+        f"{GLYPH_BOTH}=both {GLYPH_IDLE}=no transfer"
+    )
+    return "\n".join(lines)
+
+
+def communication_matrix(result: SimResult) -> list[list[int]]:
+    """Bytes sent between every rank pair (``matrix[src][dst]``)."""
+    if not result.trace and result.total_messages:
+        raise ConfigurationError(
+            "result has no trace; rerun the engine with collect_trace=True"
+        )
+    n = result.nranks
+    matrix = [[0] * n for _ in range(n)]
+    for rec in result.trace:
+        matrix[rec.src][rec.dst] += rec.nbytes
+    return matrix

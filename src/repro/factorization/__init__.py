@@ -1,0 +1,14 @@
+"""Dense factorizations with hierarchical panel broadcasts.
+
+The paper's conclusions propose applying the HSUMMA grouping idea "to
+other numerical linear algebra kernels such as QR/LU factorization".
+This package implements a right-looking block LU over a 2-D
+block-cyclic grid whose panel broadcasts — structurally the same pivot
+row/column broadcasts as SUMMA — can run flat (ScaLAPACK-style) or
+through the paper's two-level hierarchy ("HLU").
+"""
+
+from repro.factorization.lu import LuConfig, run_block_lu
+from repro.factorization.qr import QrConfig, run_block_qr
+
+__all__ = ["LuConfig", "run_block_lu", "QrConfig", "run_block_qr"]

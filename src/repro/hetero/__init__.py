@@ -1,0 +1,19 @@
+"""Heterogeneous-platform matrix multiplication.
+
+The paper motivates SUMMA's primacy partly through its heterogeneous
+descendants (its refs [9], [10]: Beaumont et al., Lastovetsky &
+Dongarra) — SUMMA is "the starting point to implement parallel matrix
+multiplication on specific platforms".  This package carries the
+reproduction into that territory:
+
+* :mod:`repro.hetero.partition` — speed-proportional 1-D partitioning;
+* :mod:`repro.hetero.summa1d` — a 1-D heterogeneous SUMMA (columns of
+  ``B``/``C`` sized by rank speed, pivot panels of ``A`` broadcast per
+  step), with the paper's hierarchical two-phase broadcast as an
+  option — showing the HSUMMA idea composes with heterogeneity.
+"""
+
+from repro.hetero.partition import proportional_partition
+from repro.hetero.summa1d import run_hetero_summa1d
+
+__all__ = ["proportional_partition", "run_hetero_summa1d"]

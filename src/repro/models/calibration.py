@@ -1,0 +1,96 @@
+"""Fitting Hockney parameters from ping-pong measurements.
+
+The paper's model validation (Sections V-A-1, V-B-1) starts from
+"approximately real parameters" for each platform.  This module closes
+the loop: given measured ``(message bytes, seconds)`` samples — from a
+real machine's ping-pong benchmark, or from this package's own
+simulator — fit ``alpha`` and ``beta`` by least squares and report the
+fit quality, so platform presets can be derived instead of guessed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.network.model import HockneyParams
+
+
+@dataclasses.dataclass(frozen=True)
+class HockneyFit:
+    """Result of a latency/bandwidth fit."""
+
+    params: HockneyParams
+    residual_rms: float  # RMS of (measured - predicted), seconds
+    r_squared: float
+
+    def predict(self, nbytes: float) -> float:
+        return self.params.transfer_time(nbytes)
+
+
+def fit_hockney(
+    sizes_bytes: Sequence[float], times_s: Sequence[float]
+) -> HockneyFit:
+    """Least-squares fit of ``T(m) = alpha + m*beta``.
+
+    Needs at least two distinct message sizes; raises if the fit
+    produces non-physical (non-positive) parameters, which usually
+    means the samples are noise-dominated or not ping-pong-shaped.
+    """
+    sizes = np.asarray(sizes_bytes, dtype=float)
+    times = np.asarray(times_s, dtype=float)
+    if sizes.shape != times.shape or sizes.ndim != 1:
+        raise ModelError(
+            f"sizes and times must be equal-length 1-D, got "
+            f"{sizes.shape} and {times.shape}"
+        )
+    if sizes.size < 2 or np.unique(sizes).size < 2:
+        raise ModelError("need samples at >= 2 distinct message sizes")
+    design = np.stack([np.ones_like(sizes), sizes], axis=1)
+    (alpha, beta), *_ = np.linalg.lstsq(design, times, rcond=None)
+    if alpha <= 0 or beta <= 0:
+        raise ModelError(
+            f"non-physical fit (alpha={alpha:.3g}, beta={beta:.3g}); "
+            "check the samples"
+        )
+    predicted = design @ np.array([alpha, beta])
+    resid = times - predicted
+    ss_res = float(np.sum(resid**2))
+    ss_tot = float(np.sum((times - times.mean()) ** 2))
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return HockneyFit(
+        params=HockneyParams(alpha=float(alpha), beta=float(beta)),
+        residual_rms=float(np.sqrt(ss_res / sizes.size)),
+        r_squared=r2,
+    )
+
+
+def pingpong_samples(
+    network,
+    src: int,
+    dst: int,
+    sizes_bytes: Sequence[int],
+) -> tuple[list[int], list[float]]:
+    """Generate ping-pong samples from a simulated network (one-way
+    times; deterministic, so one repetition suffices)."""
+    sizes = [int(s) for s in sizes_bytes]
+    times = [network.transfer_time(src, dst, s) for s in sizes]
+    return sizes, times
+
+
+def calibrate_network(
+    network,
+    src: int = 0,
+    dst: int | None = None,
+    sizes_bytes: Sequence[int] = (0, 1 << 10, 1 << 14, 1 << 18, 1 << 22),
+) -> HockneyFit:
+    """Fit effective Hockney parameters for one pair of a (possibly
+    topology-aware) network — what a user would measure on the real
+    machine with a two-node ping-pong."""
+    if dst is None:
+        dst = network.nranks - 1
+    sizes, times = pingpong_samples(network, src, dst, sizes_bytes)
+    return fit_hockney(sizes, times)

@@ -1,0 +1,21 @@
+"""MPI-like SPMD layer over the discrete-event simulator.
+
+Provides communicators (:class:`Comm`), two-dimensional Cartesian grids
+(:class:`CartComm`), point-to-point operations and collective
+operations with pluggable algorithms — the vocabulary SUMMA/HSUMMA are
+written in.  All potentially-blocking methods are generators and must
+be driven with ``yield from``::
+
+    def program(ctx):
+        comm = ctx.world
+        data = yield from comm.bcast(data, root=0)
+        yield from ctx.compute(seconds)
+
+The semantics intentionally mirror mpi4py's lower-case object API; a
+real-MPI backend could implement the same surface.
+"""
+
+from repro.mpi.comm import CollectiveOptions, Comm, MpiContext
+from repro.mpi.cart import CartComm
+
+__all__ = ["CollectiveOptions", "Comm", "MpiContext", "CartComm"]

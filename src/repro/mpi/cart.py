@@ -1,0 +1,59 @@
+"""Two-dimensional Cartesian process grids.
+
+SUMMA distributes matrices over an ``s x t`` grid; HSUMMA additionally
+partitions that grid into an ``I x J`` grid of groups.  This module
+provides the row-major coordinate bookkeeping plus the derived row and
+column communicators both algorithms broadcast along.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CommunicatorError
+from repro.mpi.comm import Comm
+
+
+class CartComm:
+    """A communicator arranged as an ``s x t`` row-major grid.
+
+    Rank ``r`` sits at row ``r // t``, column ``r % t``.  The object is
+    a view over ``comm``; constructing it is free, but the derived
+    row/column communicators are created eagerly (collectively) so that
+    every member performs the same construction sequence.
+    """
+
+    def __init__(self, comm: Comm, s: int, t: int):
+        if s * t != comm.size:
+            raise CommunicatorError(
+                f"grid {s}x{t} does not match communicator size {comm.size}"
+            )
+        self.comm = comm
+        self.s = s
+        self.t = t
+        self.row, self.col = divmod(comm.rank, t)
+        # Collective: every member executes both splits in this order.
+        self.row_comm = comm.split_by(lambda r: r // t, key_of=lambda r: r % t)
+        self.col_comm = comm.split_by(lambda r: r % t, key_of=lambda r: r // t)
+
+    @property
+    def rank(self) -> int:
+        return self.comm.rank
+
+    @property
+    def size(self) -> int:
+        return self.comm.size
+
+    def coords(self, rank: int) -> tuple[int, int]:
+        """Grid coordinates ``(row, col)`` of ``rank``."""
+        if not (0 <= rank < self.size):
+            raise CommunicatorError(
+                f"rank {rank} outside grid of {self.size}"
+            )
+        return divmod(rank, self.t)
+
+    def rank_at(self, row: int, col: int) -> int:
+        """Rank sitting at ``(row, col)``; coordinates wrap (torus-style),
+        which is what Cannon/Fox shifting needs."""
+        return (row % self.s) * self.t + (col % self.t)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"CartComm({self.s}x{self.t}, rank={self.rank}@({self.row},{self.col}))"

@@ -1,0 +1,329 @@
+"""Communicators and collective dispatch for the simulated MPI layer.
+
+Design notes
+------------
+* **Per-rank objects.**  Each simulated rank owns its own
+  :class:`MpiContext` and :class:`Comm` instances; ranks share nothing,
+  exactly like separate MPI processes.
+* **Context isolation.**  Messages are matched on ``(src, dst, tag)``
+  where the effective tag is ``(communicator context id, user tag)``.
+  Context ids are hierarchical — each communicator hands out sequence
+  numbers to the communicators derived from it — so as long as derived
+  communicators are created *collectively* (every member of the parent
+  executes the same construction calls in the same order, the normal
+  SPMD discipline and an MPI requirement too), identical ids on
+  different ranks always denote the same communicator.
+* **Local splits.**  ``split_by`` takes a function of the member rank,
+  evaluated identically on every member, so membership is computed
+  without messages.  Real MPI_Comm_split exchanges colors; its cost is
+  negligible and amortised, and the paper's model ignores it as well.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import Any, Callable, Generator, Sequence
+
+from repro.errors import CommunicatorError
+from repro.simulator.requests import (
+    ComputeRequest,
+    IRecvRequest,
+    ISendRequest,
+    RecvRequest,
+    RequestHandle,
+    SendRequest,
+    WaitRequest,
+)
+
+Gen = Generator[Any, Any, Any]
+
+
+@dataclasses.dataclass(frozen=True)
+class CollectiveOptions:
+    """Default algorithm choices for collective operations.
+
+    Attributes
+    ----------
+    bcast:
+        Broadcast algorithm name from
+        :data:`repro.collectives.BROADCAST_ALGORITHMS` ("binomial",
+        "vandegeijn", "flat", "binary", "chain", "pipelined").
+    bcast_segments:
+        Segment count for the pipelined broadcast (None = auto).
+    allgather:
+        "ring", "recursive_doubling" or "bruck".
+    reduce:
+        Reduction tree: "binomial" or "flat".
+    allreduce:
+        "recursive_doubling" or "rabenseifner".
+    """
+
+    bcast: str = "binomial"
+    bcast_segments: int | None = None
+    allgather: str = "ring"
+    reduce: str = "binomial"
+    allreduce: str = "recursive_doubling"
+
+    def replace(self, **kwargs: Any) -> "CollectiveOptions":
+        return dataclasses.replace(self, **kwargs)
+
+
+class MpiContext:
+    """Per-rank execution context: identity plus collective defaults.
+
+    Parameters
+    ----------
+    rank, nranks:
+        This rank's world identity.
+    options:
+        Collective algorithm defaults for all communicators.
+    gamma:
+        Seconds per floating-point operation, used by
+        :meth:`compute_flops`.  The paper's model charges ``2*n^3/p``
+        flops at ``gamma`` each.
+    """
+
+    def __init__(
+        self,
+        rank: int,
+        nranks: int,
+        options: CollectiveOptions | None = None,
+        gamma: float = 0.0,
+    ) -> None:
+        if not (0 <= rank < nranks):
+            raise CommunicatorError(f"rank {rank} outside world of {nranks}")
+        self.rank = rank
+        self.nranks = nranks
+        self.options = options or CollectiveOptions()
+        if gamma < 0:
+            raise CommunicatorError(f"gamma must be >= 0, got {gamma}")
+        self.gamma = gamma
+        self.world = Comm(self, tuple(range(nranks)), cid=())
+
+    def compute(self, seconds: float) -> Gen:
+        """Charge ``seconds`` of local computation."""
+        yield ComputeRequest(seconds)
+
+    def compute_flops(self, flops: float) -> Gen:
+        """Charge ``flops`` floating-point operations at ``gamma`` s/flop."""
+        yield ComputeRequest(flops * self.gamma)
+
+
+class Comm:
+    """A communicator: an ordered subset of world ranks.
+
+    Only member ranks hold a ``Comm`` object for a given communicator.
+    ``rank``/``size`` are relative to the communicator; all public
+    methods take communicator-relative ranks.
+    """
+
+    def __init__(self, ctx: MpiContext, world_ranks: Sequence[int], cid: tuple):
+        self._ctx = ctx
+        self._world_ranks = tuple(world_ranks)
+        if len(set(self._world_ranks)) != len(self._world_ranks):
+            raise CommunicatorError(f"duplicate ranks in {self._world_ranks}")
+        try:
+            self.rank = self._world_ranks.index(ctx.rank)
+        except ValueError:
+            raise CommunicatorError(
+                f"world rank {ctx.rank} is not a member of {self._world_ranks}"
+            ) from None
+        self.size = len(self._world_ranks)
+        self._cid = cid
+        self._child_seq = itertools.count()
+
+    # -- identity -----------------------------------------------------------
+
+    @property
+    def ctx(self) -> MpiContext:
+        return self._ctx
+
+    @property
+    def options(self) -> CollectiveOptions:
+        return self._ctx.options
+
+    def world_rank(self, comm_rank: int) -> int:
+        """Translate a communicator rank to the world rank."""
+        self._check_rank(comm_rank)
+        return self._world_ranks[comm_rank]
+
+    @property
+    def world_ranks(self) -> tuple[int, ...]:
+        return self._world_ranks
+
+    def _check_rank(self, r: int) -> None:
+        if not (0 <= r < self.size):
+            raise CommunicatorError(
+                f"rank {r} out of range for communicator of size {self.size}"
+            )
+
+    def _tag(self, tag: int) -> tuple:
+        return (self._cid, tag)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Comm(size={self.size}, rank={self.rank}, cid={self._cid})"
+
+    # -- point-to-point ------------------------------------------------------
+
+    def send(self, obj: Any, dest: int, tag: int = 0, nbytes: int | None = None) -> Gen:
+        """Blocking send of ``obj`` to communicator rank ``dest``."""
+        self._check_rank(dest)
+        yield SendRequest(self._world_ranks[dest], self._tag(tag), obj, nbytes)
+
+    def recv(self, source: int, tag: int = 0) -> Gen:
+        """Blocking receive from communicator rank ``source``."""
+        self._check_rank(source)
+        payload = yield RecvRequest(self._world_ranks[source], self._tag(tag))
+        return payload
+
+    def isend(self, obj: Any, dest: int, tag: int = 0, nbytes: int | None = None) -> Gen:
+        """Nonblocking send; returns a handle for :meth:`wait`."""
+        self._check_rank(dest)
+        handle = yield ISendRequest(self._world_ranks[dest], self._tag(tag), obj, nbytes)
+        return handle
+
+    def irecv(self, source: int, tag: int = 0) -> Gen:
+        """Nonblocking receive; returns a handle for :meth:`wait`."""
+        self._check_rank(source)
+        handle = yield IRecvRequest(self._world_ranks[source], self._tag(tag))
+        return handle
+
+    def wait(self, handle: RequestHandle) -> Gen:
+        """Block until ``handle`` completes; returns irecv payload."""
+        payload = yield WaitRequest(handle)
+        return payload
+
+    def waitall(self, handles: Sequence[RequestHandle]) -> Gen:
+        """Wait on every handle; returns payloads in handle order."""
+        results = []
+        for handle in handles:
+            payload = yield WaitRequest(handle)
+            results.append(payload)
+        return results
+
+    def sendrecv(
+        self,
+        sendobj: Any,
+        dest: int,
+        source: int,
+        sendtag: int = 0,
+        recvtag: int = 0,
+        nbytes: int | None = None,
+    ) -> Gen:
+        """Simultaneous send+receive (the Cannon/Fox shift primitive)."""
+        self._check_rank(dest)
+        self._check_rank(source)
+        shandle = yield ISendRequest(
+            self._world_ranks[dest], self._tag(sendtag), sendobj, nbytes
+        )
+        rhandle = yield IRecvRequest(self._world_ranks[source], self._tag(recvtag))
+        payload = yield WaitRequest(rhandle)
+        yield WaitRequest(shandle)
+        return payload
+
+    # -- collectives ----------------------------------------------------------
+
+    def bcast(self, obj: Any, root: int, algorithm: str | None = None) -> Gen:
+        """Broadcast ``obj`` from ``root``; returns the object on every rank.
+
+        ``algorithm`` overrides the context default for this call.
+        """
+        from repro.collectives import get_broadcast
+
+        self._check_rank(root)
+        algo = get_broadcast(algorithm or self.options.bcast)
+        result = yield from algo(
+            self, obj, root, segments=self.options.bcast_segments
+        )
+        return result
+
+    def scatter(self, parts: Sequence[Any] | None, root: int) -> Gen:
+        """Scatter ``parts[i]`` to rank ``i``; ``parts`` given on root only."""
+        from repro.collectives.scatter import scatter_binomial
+
+        self._check_rank(root)
+        result = yield from scatter_binomial(self, parts, root)
+        return result
+
+    def gather(self, obj: Any, root: int) -> Gen:
+        """Gather every rank's ``obj`` to ``root`` (list indexed by rank)."""
+        from repro.collectives.gather import gather_binomial
+
+        self._check_rank(root)
+        result = yield from gather_binomial(self, obj, root)
+        return result
+
+    def allgather(self, obj: Any, algorithm: str | None = None) -> Gen:
+        """All ranks end with the list of every rank's contribution."""
+        from repro.collectives import get_allgather
+
+        algo = get_allgather(algorithm or self.options.allgather)
+        result = yield from algo(self, obj)
+        return result
+
+    def reduce(self, obj: Any, root: int) -> Gen:
+        """Element-wise sum onto ``root`` (None elsewhere)."""
+        from repro.collectives import get_reduce
+
+        self._check_rank(root)
+        algo = get_reduce(self.options.reduce)
+        result = yield from algo(self, obj, root)
+        return result
+
+    def allreduce(self, obj: Any, algorithm: str | None = None) -> Gen:
+        """Element-wise sum delivered to every rank."""
+        from repro.collectives import get_allreduce
+
+        algo = get_allreduce(algorithm or self.options.allreduce)
+        result = yield from algo(self, obj)
+        return result
+
+    def barrier(self) -> Gen:
+        """Dissemination barrier."""
+        from repro.collectives.barrier import barrier_dissemination
+
+        yield from barrier_dissemination(self)
+
+    # -- derived communicators -------------------------------------------------
+
+    def _next_cid(self) -> tuple:
+        return self._cid + (next(self._child_seq),)
+
+    def dup(self) -> "Comm":
+        """Duplicate with a fresh context (collective over members)."""
+        return Comm(self._ctx, self._world_ranks, self._next_cid())
+
+    def split_by(
+        self,
+        color_of: Callable[[int], int],
+        key_of: Callable[[int], int] | None = None,
+    ) -> "Comm":
+        """Split into disjoint communicators by color (collective call).
+
+        ``color_of(r)`` and ``key_of(r)`` are evaluated for every member
+        rank ``r`` of this communicator and must be pure functions so
+        all members derive identical memberships.  Returns the new
+        communicator containing this rank, ordered by ``(key, rank)``.
+        """
+        cid = self._next_cid()
+        my_color = color_of(self.rank)
+        members = [r for r in range(self.size) if color_of(r) == my_color]
+        if key_of is not None:
+            members.sort(key=lambda r: (key_of(r), r))
+        world = [self._world_ranks[r] for r in members]
+        return Comm(self._ctx, world, cid + (my_color,))
+
+    def subset(self, comm_ranks: Sequence[int]) -> "Comm | None":
+        """Communicator over ``comm_ranks`` (collective over members).
+
+        Returns ``None`` on ranks outside the subset; every member of
+        *this* communicator must call it with the same list.
+        """
+        cid = self._next_cid()
+        for r in comm_ranks:
+            self._check_rank(r)
+        if self.rank not in comm_ranks:
+            return None
+        world = [self._world_ranks[r] for r in comm_ranks]
+        return Comm(self._ctx, world, cid)

@@ -1,0 +1,32 @@
+"""Network/platform models used by the simulator to cost messages.
+
+Every model answers one question: how long does a point-to-point message
+of ``nbytes`` take from rank ``src`` to rank ``dst``?  All models are
+parameterised by the Hockney model the paper uses, ``T(m) = alpha +
+m * beta``, and differ in how ``alpha``/``beta`` vary with the pair of
+ranks (same node? how many torus hops?) and whether links are shared.
+"""
+
+from repro.network.model import HockneyParams, Network, LinkClaim
+from repro.network.homogeneous import HomogeneousNetwork
+from repro.network.torus import Torus3D
+from repro.network.tree import SwitchedCluster
+from repro.network.mapping import (
+    RankMapping,
+    block_mapping,
+    identity_mapping,
+    round_robin_mapping,
+)
+
+__all__ = [
+    "HockneyParams",
+    "Network",
+    "LinkClaim",
+    "HomogeneousNetwork",
+    "Torus3D",
+    "SwitchedCluster",
+    "RankMapping",
+    "block_mapping",
+    "identity_mapping",
+    "round_robin_mapping",
+]

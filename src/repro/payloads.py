@@ -1,0 +1,182 @@
+"""Payload handling shared by the MPI layer, collectives and matrices.
+
+Two payload families flow through the simulator:
+
+* **Real data** — numpy arrays.  The library moves and multiplies them
+  so every algorithm's numerics can be checked against ``A @ B``.
+* **Phantom data** — :class:`PhantomArray`, a shape-and-dtype husk with
+  no storage.  Large-scale runs (BlueGene/P's 16384 ranks, exascale's
+  2^20) only need message *sizes*, and phantoms keep memory flat.
+
+Segmented collectives (pipelined chain, Van de Geijn scatter-allgather)
+need to split a payload into roughly equal wire-size pieces and later
+reassemble it; :func:`split_payload` / :func:`join_payload` implement
+that for both families, preserving shape and dtype through a flat-view
+round trip.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.errors import DataMismatchError
+
+
+@dataclasses.dataclass(frozen=True)
+class PhantomArray:
+    """A storage-free stand-in for an ``shape``-shaped ``itemsize``-byte array.
+
+    Supports just enough arithmetic (matmul accumulation bookkeeping)
+    for the matrix algorithms to run unchanged in phantom mode.
+    """
+
+    shape: tuple[int, ...]
+    itemsize: int = 8
+
+    def __post_init__(self) -> None:
+        if any(s < 0 for s in self.shape):
+            raise DataMismatchError(f"negative dimension in shape {self.shape}")
+        if self.itemsize <= 0:
+            raise DataMismatchError(f"itemsize must be positive, got {self.itemsize}")
+
+    @property
+    def size(self) -> int:
+        n = 1
+        for s in self.shape:
+            n *= s
+        return n
+
+    @property
+    def nbytes(self) -> int:
+        return self.size * self.itemsize
+
+    @property
+    def ndim(self) -> int:
+        return len(self.shape)
+
+    def reshape(self, *shape: int) -> "PhantomArray":
+        if len(shape) == 1 and isinstance(shape[0], tuple):
+            shape = shape[0]
+        new = PhantomArray(tuple(int(s) for s in shape), self.itemsize)
+        if new.size != self.size:
+            raise DataMismatchError(
+                f"cannot reshape phantom of {self.size} elements to {shape}"
+            )
+        return new
+
+    def matmul_shape(self, other: "PhantomArray") -> "PhantomArray":
+        """Shape of ``self @ other`` (2-D only)."""
+        if self.ndim != 2 or other.ndim != 2:
+            raise DataMismatchError("phantom matmul requires 2-D operands")
+        if self.shape[1] != other.shape[0]:
+            raise DataMismatchError(
+                f"phantom matmul mismatch: {self.shape} @ {other.shape}"
+            )
+        return PhantomArray((self.shape[0], other.shape[1]), self.itemsize)
+
+
+@dataclasses.dataclass(frozen=True)
+class _Segment:
+    """One piece of a split payload, carrying reassembly metadata."""
+
+    index: int
+    total: int
+    data: Any  # 1-D numpy slice or PhantomArray piece
+    shape: tuple[int, ...]  # original payload shape
+    phantom: bool
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.data.nbytes)
+
+
+def nbytes_of(payload: Any) -> int:
+    """Wire size in bytes of a real or phantom payload."""
+    nb = getattr(payload, "nbytes", None)
+    if nb is None:
+        raise DataMismatchError(
+            f"payload {type(payload).__name__} has no nbytes; "
+            "only numpy arrays and PhantomArray travel through collectives"
+        )
+    return int(nb)
+
+
+def is_phantom(payload: Any) -> bool:
+    """True if ``payload`` is storage-free."""
+    return isinstance(payload, PhantomArray)
+
+
+def split_payload(payload: Any, parts: int) -> list[_Segment]:
+    """Split ``payload`` into ``parts`` segments of near-equal wire size.
+
+    Works on numpy arrays (flat view, ``np.array_split`` chunking so
+    sizes differ by at most one element) and phantoms.  Empty chunks are
+    legal: splitting a 3-element array into 8 parts yields 5 zero-byte
+    segments, and :func:`join_payload` restores the original exactly.
+    """
+    if parts <= 0:
+        raise DataMismatchError(f"parts must be >= 1, got {parts}")
+    if isinstance(payload, PhantomArray):
+        base, rem = divmod(payload.size, parts)
+        return [
+            _Segment(
+                index=i,
+                total=parts,
+                data=PhantomArray((base + (1 if i < rem else 0),), payload.itemsize),
+                shape=payload.shape,
+                phantom=True,
+            )
+            for i in range(parts)
+        ]
+    arr = np.asarray(payload)
+    flat = arr.reshape(-1)
+    pieces = np.array_split(flat, parts)
+    return [
+        _Segment(index=i, total=parts, data=piece, shape=arr.shape, phantom=False)
+        for i, piece in enumerate(pieces)
+    ]
+
+
+def join_payload(segments: Sequence[_Segment]) -> Any:
+    """Reassemble the output of :func:`split_payload`.
+
+    Segments may arrive in any order; indices must form a complete
+    ``0..total-1`` set from the same split.
+    """
+    if not segments:
+        raise DataMismatchError("cannot join zero segments")
+    total = segments[0].total
+    shape = segments[0].shape
+    if len(segments) != total:
+        raise DataMismatchError(
+            f"expected {total} segments, got {len(segments)}"
+        )
+    ordered: list[_Segment | None] = [None] * total
+    for seg in segments:
+        if seg.total != total or seg.shape != shape:
+            raise DataMismatchError("segments come from different splits")
+        if ordered[seg.index] is not None:
+            raise DataMismatchError(f"duplicate segment index {seg.index}")
+        ordered[seg.index] = seg
+    segs = [s for s in ordered if s is not None]
+    if segs[0].phantom:
+        itemsize = segs[0].data.itemsize
+        return PhantomArray(shape, itemsize)
+    flat = np.concatenate([s.data for s in segs])
+    return flat.reshape(shape)
+
+
+def combine_payloads(a: Any, b: Any) -> Any:
+    """Element-wise sum used by reductions; phantom + phantom = phantom."""
+    if isinstance(a, PhantomArray) or isinstance(b, PhantomArray):
+        pa = a if isinstance(a, PhantomArray) else PhantomArray(np.shape(a))
+        pb = b if isinstance(b, PhantomArray) else PhantomArray(np.shape(b))
+        if pa.shape != pb.shape:
+            raise DataMismatchError(
+                f"cannot reduce phantoms of shapes {pa.shape} and {pb.shape}"
+            )
+        return pa
+    return a + b

@@ -1,0 +1,22 @@
+"""Platform presets modelling the paper's testbeds.
+
+* :func:`grid5000_graphene` — the Nancy/Graphene commodity cluster the
+  paper's small-scale experiments ran on (Section V-A).
+* :func:`bluegene_p` — Shaheen, the 16-rack BlueGene/P at KAUST with a
+  3-D torus, VN mode (Section V-B).
+* :func:`exascale_2012` — the exascale-roadmap parameter set of the
+  prediction in Section V-C.
+
+A :class:`Platform` bundles the Hockney parameters (simulator scale:
+per *byte*; analytic-model scale: per *element* via
+``model_beta``), a flop cost, a network factory, and the experiment
+defaults (matrix size, block size, broadcast algorithm) the paper used
+on that machine.
+"""
+
+from repro.platforms.base import Platform
+from repro.platforms.grid5000 import grid5000_graphene
+from repro.platforms.bluegene import bluegene_p
+from repro.platforms.exa import exascale_2012
+
+__all__ = ["Platform", "grid5000_graphene", "bluegene_p", "exascale_2012"]

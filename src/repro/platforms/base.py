@@ -1,0 +1,75 @@
+"""The :class:`Platform` preset type."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable
+
+from repro.errors import ConfigurationError
+from repro.mpi.comm import CollectiveOptions
+from repro.network.model import HockneyParams, Network
+from repro.util.gridmath import factor_grid
+
+WORD_BYTES = 8  # float64 matrix elements
+
+
+@dataclasses.dataclass(frozen=True)
+class Platform:
+    """A named machine model.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier.
+    nranks:
+        Ranks this preset is sized for (experiments may use fewer).
+    params:
+        Hockney parameters per *byte* — what the simulator charges.
+    gamma:
+        Seconds per floating-point operation per rank.
+    network_factory:
+        ``f(nranks) -> Network`` building the topology model for a run
+        of that many ranks.
+    options:
+        Collective algorithm defaults (the paper's platforms use
+        large-message scatter-allgather broadcasts, i.e. Van de Geijn).
+    default_n, default_block:
+        The matrix and block size the paper used on this machine.
+    """
+
+    name: str
+    nranks: int
+    params: HockneyParams
+    gamma: float
+    network_factory: Callable[[int], Network]
+    options: CollectiveOptions = CollectiveOptions(bcast="vandegeijn")
+    default_n: int = 8192
+    default_block: int = 256
+
+    @property
+    def alpha(self) -> float:
+        """Latency in seconds."""
+        return self.params.alpha
+
+    @property
+    def model_beta(self) -> float:
+        """Reciprocal bandwidth per *element* for the analytic models."""
+        return self.params.beta * WORD_BYTES
+
+    def network(self, nranks: int | None = None) -> Network:
+        """Build the topology model for ``nranks`` (default: full size)."""
+        if nranks is None:
+            nranks = self.nranks
+        if nranks < 1:
+            raise ConfigurationError(f"nranks must be >= 1, got {nranks}")
+        net = self.network_factory(nranks)
+        if net.nranks < nranks:
+            raise ConfigurationError(
+                f"{self.name}: factory built a network for {net.nranks} ranks, "
+                f"need {nranks}"
+            )
+        return net
+
+    def grid(self, nranks: int | None = None) -> tuple[int, int]:
+        """Near-square grid for ``nranks`` (default: full size)."""
+        return factor_grid(nranks or self.nranks)

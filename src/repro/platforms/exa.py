@@ -1,0 +1,40 @@
+"""Exascale preset — the paper's Section V-C prediction platform.
+
+Parameters from the exascale architecture roadmap the paper cites:
+1 Eflop/s aggregate, 500 ns latency, 100 GB/s links, ``p = 2^20``
+ranks.  This platform exists for the analytic models and the step-model
+executor; a full per-message simulation at ``2^20`` ranks is
+deliberately out of scope.
+"""
+
+from __future__ import annotations
+
+from repro.mpi.comm import CollectiveOptions
+from repro.network.homogeneous import HomogeneousNetwork
+from repro.network.model import HockneyParams
+from repro.platforms.base import Platform
+
+#: Roadmap parameters: 500 ns, 100 GB/s.
+EXA_PARAMS = HockneyParams(alpha=500e-9, beta=1.0 / 100e9)
+
+#: 1 Eflop/s spread over 2^20 ranks.
+EXA_GAMMA = 2**20 / 1e18
+
+
+def exascale_2012(nranks: int = 2**20) -> Platform:
+    """The roadmap exascale machine (homogeneous no-contention model,
+    exactly the assumption the paper's prediction makes)."""
+
+    def factory(p: int) -> HomogeneousNetwork:
+        return HomogeneousNetwork(p, EXA_PARAMS)
+
+    return Platform(
+        name="exascale-2012",
+        nranks=nranks,
+        params=EXA_PARAMS,
+        gamma=EXA_GAMMA,
+        network_factory=factory,
+        options=CollectiveOptions(bcast="vandegeijn"),
+        default_n=2**22,
+        default_block=256,
+    )

@@ -1,0 +1,47 @@
+"""Grid5000 Graphene (Nancy) preset — the paper's Section V-A testbed.
+
+Graphene was a commodity cluster: one quad-core Intel L5420-era node
+per rank in these experiments, gigabit-class interconnect.  The paper's
+model validation (Section V-A-1) uses ``alpha = 1e-4`` s and reciprocal
+bandwidth ``1e-9`` (1 GB/s); we adopt the same numbers, place one rank
+per node, and hang 20 nodes off each edge switch.
+"""
+
+from __future__ import annotations
+
+from repro.mpi.comm import CollectiveOptions
+from repro.network.model import HockneyParams
+from repro.network.tree import SwitchedCluster
+from repro.platforms.base import Platform
+
+#: Paper validation parameters for Graphene.  As on BG/P, the paper's
+#: reciprocal bandwidth 1e-9 is per *element*; per byte that is /8.
+GRAPHENE_PARAMS = HockneyParams(alpha=1e-4, beta=1e-9 / 8.0)
+
+#: One core of a 2008-era Xeon running MKL DGEMM: ~4 Gflop/s.
+GRAPHENE_GAMMA = 1.0 / 4e9
+
+NODES_PER_SWITCH = 20
+
+
+def grid5000_graphene(nranks: int = 128) -> Platform:
+    """The Graphene cluster sized for ``nranks`` ranks (paper: 128)."""
+
+    def factory(p: int) -> SwitchedCluster:
+        return SwitchedCluster(
+            nnodes=p,
+            nodes_per_switch=NODES_PER_SWITCH,
+            params=GRAPHENE_PARAMS,
+            ranks_per_node=1,
+        )
+
+    return Platform(
+        name="grid5000-graphene",
+        nranks=nranks,
+        params=GRAPHENE_PARAMS,
+        gamma=GRAPHENE_GAMMA,
+        network_factory=factory,
+        options=CollectiveOptions(bcast="vandegeijn"),
+        default_n=8192,
+        default_block=64,
+    )

@@ -1,0 +1,386 @@
+"""Discrete-event engine executing SPMD rank programs over a network model.
+
+Semantics
+---------
+* Rank programs are generators; the engine resumes them with the result
+  of each yielded request.  Python control flow between yields costs
+  zero virtual time — all cost comes from explicit
+  :class:`~repro.simulator.requests.ComputeRequest`s and from message
+  transfers.
+* Point-to-point transfers are *rendezvous*: a send and its matching
+  receive synchronise at ``max(post times)`` and both complete after
+  the network's transfer time — the Hockney cost ``alpha + m*beta`` the
+  paper builds on, with both endpoints occupied for the duration.
+* Matching is MPI-like: FIFO per ``(src, dst, tag)`` channel; no
+  wildcards (algorithms in this library always know their peers).
+* With ``contention=True`` the engine serialises transfers that claim
+  the same physical link (per :meth:`repro.network.Network.links`),
+  which is how torus congestion effects enter.
+
+The engine is single-threaded and fully deterministic: equal-time
+events run in scheduling order.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Generator, Iterable
+
+from repro.errors import DeadlockError, SimulationError
+from repro.network.model import Network
+from repro.simulator.events import EventQueue
+from repro.simulator.requests import (
+    ComputeRequest,
+    IRecvRequest,
+    ISendRequest,
+    RecvRequest,
+    RequestHandle,
+    SendRequest,
+    WaitRequest,
+)
+from repro.simulator.tracing import RankStats, SimResult, TransferRecord
+
+RankProgram = Generator[Any, Any, Any]
+
+
+class _Endpoint:
+    """One side of a pending point-to-point operation."""
+
+    __slots__ = ("rank", "post_time", "payload", "nbytes", "handle",
+                 "eager_arrival")
+
+    def __init__(
+        self,
+        rank: int,
+        post_time: float,
+        payload: Any = None,
+        nbytes: int = 0,
+        handle: RequestHandle | None = None,
+    ):
+        self.rank = rank
+        self.post_time = post_time
+        self.payload = payload
+        self.nbytes = nbytes
+        self.handle = handle  # None => blocking operation
+        self.eager_arrival: float | None = None  # set for in-flight eager sends
+
+
+class _RankState:
+    __slots__ = ("gen", "stats", "blocked_on", "block_start", "finished", "retval")
+
+    def __init__(self, rank: int, gen: RankProgram):
+        self.gen = gen
+        self.stats = RankStats(rank=rank)
+        self.blocked_on: Any = None
+        self.block_start = 0.0
+        self.finished = False
+        self.retval: Any = None
+
+
+class Engine:
+    """Run a set of rank programs to completion over ``network``.
+
+    Parameters
+    ----------
+    network:
+        Cost model; must cover at least as many ranks as programs.
+    contention:
+        Serialise transfers sharing physical links. Off by default — the
+        paper's analysis neglects congestion, and the homogeneous model
+        has no shared links anyway.
+    collect_trace:
+        Record every completed transfer in the result (memory-heavy for
+        large runs; meant for tests and debugging).
+    max_events:
+        Hard cap on processed events, guarding against runaway programs.
+    eager_threshold:
+        Messages of at most this many bytes use the MPI *eager*
+        protocol: the send completes after injecting the message,
+        without waiting for the matching receive (which later completes
+        at ``max(recv post, arrival)``).  The default 0 keeps the pure
+        rendezvous semantics the paper's model assumes; real MPI
+        implementations eagerly buffer small messages, which removes
+        the send-send deadlocks rendezvous would have.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        *,
+        contention: bool = False,
+        collect_trace: bool = False,
+        max_events: int = 200_000_000,
+        eager_threshold: int = 0,
+    ) -> None:
+        self.network = network
+        self.contention = contention
+        self.collect_trace = collect_trace
+        self.max_events = max_events
+        if eager_threshold < 0:
+            raise SimulationError(
+                f"eager_threshold must be >= 0, got {eager_threshold}"
+            )
+        self.eager_threshold = eager_threshold
+
+    # -- public API --------------------------------------------------------
+
+    def run(self, programs: Iterable[RankProgram]) -> SimResult:
+        """Execute ``programs`` (one generator per rank) and return stats."""
+        gens = list(programs)
+        if not gens:
+            raise SimulationError("no rank programs supplied")
+        if len(gens) > self.network.nranks:
+            raise SimulationError(
+                f"{len(gens)} programs but network only models "
+                f"{self.network.nranks} ranks"
+            )
+        self._ranks = [_RankState(i, g) for i, g in enumerate(gens)]
+        self._events = EventQueue()
+        self._sends: dict[tuple[int, int, int], deque[_Endpoint]] = {}
+        self._recvs: dict[tuple[int, int, int], deque[_Endpoint]] = {}
+        self._link_free: dict[Any, float] = {}
+        self._trace: list[TransferRecord] = []
+        self._nevents = 0
+
+        for state in self._ranks:
+            self._resume(state, None, state.stats.clock)
+
+        while self._events:
+            self._nevents += 1
+            if self._nevents > self.max_events:
+                raise SimulationError(
+                    f"event cap of {self.max_events} exceeded; "
+                    "likely a livelock in a rank program"
+                )
+            _time, callback = self._events.pop()
+            callback()
+
+        blocked = [
+            (s.stats.rank, s.blocked_on)
+            for s in self._ranks
+            if not s.finished
+        ]
+        if blocked:
+            detail = ", ".join(f"rank {r} on {op!r}" for r, op in blocked[:8])
+            more = "" if len(blocked) <= 8 else f" (+{len(blocked) - 8} more)"
+            raise DeadlockError(f"simulation deadlocked: {detail}{more}")
+
+        return SimResult(
+            stats=[s.stats for s in self._ranks],
+            return_values=[s.retval for s in self._ranks],
+            trace=self._trace,
+        )
+
+    # -- generator stepping -------------------------------------------------
+
+    def _resume(self, state: _RankState, value: Any, time: float) -> None:
+        """Resume ``state`` at virtual ``time`` with ``value``, then keep
+        stepping it through zero-time requests until it blocks or ends."""
+        state.stats.clock = max(state.stats.clock, time)
+        while True:
+            state.blocked_on = None
+            try:
+                request = state.gen.send(value)
+            except StopIteration as stop:
+                state.finished = True
+                state.retval = stop.value
+                return
+            value = None
+            now = state.stats.clock
+
+            if isinstance(request, ComputeRequest):
+                state.blocked_on = request
+                state.stats.compute_time += request.seconds
+                self._events.push(
+                    now + request.seconds,
+                    self._make_compute_done(state, now + request.seconds),
+                )
+                return
+
+            if isinstance(request, SendRequest):
+                if request.dst == state.stats.rank:
+                    raise SimulationError(
+                        f"rank {state.stats.rank}: blocking send to self deadlocks"
+                    )
+                state.blocked_on = request
+                state.block_start = now
+                ep = _Endpoint(state.stats.rank, now, request.payload, request.nbytes)
+                self._post_send(state.stats.rank, request.dst, request.tag, ep)
+                return
+
+            if isinstance(request, RecvRequest):
+                state.blocked_on = request
+                state.block_start = now
+                ep = _Endpoint(state.stats.rank, now)
+                self._post_recv(request.src, state.stats.rank, request.tag, ep)
+                return
+
+            if isinstance(request, ISendRequest):
+                handle = RequestHandle(state.stats.rank, "send")
+                ep = _Endpoint(
+                    state.stats.rank, now, request.payload, request.nbytes, handle
+                )
+                self._post_send(state.stats.rank, request.dst, request.tag, ep)
+                value = handle
+                continue
+
+            if isinstance(request, IRecvRequest):
+                handle = RequestHandle(state.stats.rank, "recv")
+                ep = _Endpoint(state.stats.rank, now, handle=handle)
+                self._post_recv(request.src, state.stats.rank, request.tag, ep)
+                value = handle
+                continue
+
+            if isinstance(request, WaitRequest):
+                handle = request.handle
+                if handle.rank != state.stats.rank:
+                    raise SimulationError(
+                        f"rank {state.stats.rank} waiting on rank "
+                        f"{handle.rank}'s handle"
+                    )
+                if handle.done:
+                    wait = max(0.0, handle.finish_time - now)
+                    state.stats.comm_time += wait
+                    state.stats.clock = now + wait
+                    value = handle.payload
+                    continue
+                state.blocked_on = request
+                state.block_start = now
+                handle._waiter = True
+                handle._parked_state = state  # type: ignore[attr-defined]
+                return
+
+            raise SimulationError(
+                f"rank {state.stats.rank} yielded unknown request {request!r}"
+            )
+
+    def _make_compute_done(
+        self, state: _RankState, finish: float
+    ) -> Callable[[], None]:
+        def done() -> None:
+            self._resume(state, None, finish)
+
+        return done
+
+    # -- matching -----------------------------------------------------------
+
+    def _post_send(self, src: int, dst: int, tag: int, ep: _Endpoint) -> None:
+        key = (src, dst, tag)
+        queue = self._recvs.get(key)
+        if queue:
+            self._start_transfer(key, ep, queue.popleft())
+            return
+        if ep.nbytes <= self.eager_threshold and src != dst:
+            # Eager protocol: inject now; the sender completes at
+            # wire-clear time, the receive matches later.
+            start = ep.post_time
+            duration = self.network.transfer_time(src, dst, ep.nbytes)
+            if self.contention:
+                links = self.network.links(src, dst)
+                for link in links:
+                    start = max(start, self._link_free.get(link, 0.0))
+                finish = start + duration
+                for link in links:
+                    self._link_free[link] = finish
+            else:
+                finish = start + duration
+            ep.eager_arrival = finish
+            if self.collect_trace:
+                self._trace.append(
+                    TransferRecord(src, dst, tag, ep.nbytes, start, finish)
+                )
+            stats = self._ranks[src].stats
+            stats.messages_sent += 1
+            stats.bytes_sent += ep.nbytes
+            self._events.push(
+                finish, self._make_eager_sent(ep, finish)
+            )
+        self._sends.setdefault(key, deque()).append(ep)
+
+    def _make_eager_sent(self, ep: _Endpoint, finish: float) -> Callable[[], None]:
+        def done() -> None:
+            self._complete_endpoint(ep, finish, None)
+
+        return done
+
+    def _post_recv(self, src: int, dst: int, tag: int, ep: _Endpoint) -> None:
+        key = (src, dst, tag)
+        queue = self._sends.get(key)
+        if queue:
+            self._start_transfer(key, queue.popleft(), ep)
+        else:
+            self._recvs.setdefault(key, deque()).append(ep)
+
+    def _start_transfer(
+        self, key: tuple[int, int, int], send: _Endpoint, recv: _Endpoint
+    ) -> None:
+        src, dst, tag = key
+
+        if send.eager_arrival is not None:
+            # Already in flight (eager): the receive completes when the
+            # message has arrived and the receive is posted; the sender
+            # was completed at injection time.
+            finish = max(recv.post_time, send.eager_arrival)
+            self._events.push(
+                finish, self._make_recv_done(recv, send.payload, finish)
+            )
+            return
+
+        start = max(send.post_time, recv.post_time)
+        duration = self.network.transfer_time(src, dst, send.nbytes)
+        if self.contention and src != dst:
+            links = self.network.links(src, dst)
+            for link in links:
+                start = max(start, self._link_free.get(link, 0.0))
+            finish = start + duration
+            for link in links:
+                self._link_free[link] = finish
+        else:
+            finish = start + duration
+
+        if self.collect_trace:
+            self._trace.append(
+                TransferRecord(src, dst, tag, send.nbytes, start, finish)
+            )
+
+        sender_stats = self._ranks[src].stats
+        sender_stats.messages_sent += 1
+        sender_stats.bytes_sent += send.nbytes
+
+        self._events.push(finish, self._make_transfer_done(send, recv, finish))
+
+    def _make_transfer_done(
+        self, send: _Endpoint, recv: _Endpoint, finish: float
+    ) -> Callable[[], None]:
+        def done() -> None:
+            self._complete_endpoint(send, finish, None)
+            self._complete_endpoint(recv, finish, send.payload)
+
+        return done
+
+    def _make_recv_done(
+        self, recv: _Endpoint, payload: Any, finish: float
+    ) -> Callable[[], None]:
+        def done() -> None:
+            self._complete_endpoint(recv, finish, payload)
+
+        return done
+
+    def _complete_endpoint(
+        self, ep: _Endpoint, finish: float, payload: Any
+    ) -> None:
+        state = self._ranks[ep.rank]
+        if ep.handle is None:
+            # Blocking operation: the rank is parked on it right now.
+            state.stats.comm_time += finish - state.block_start
+            self._resume(state, payload, finish)
+            return
+        handle = ep.handle
+        handle.done = True
+        handle.finish_time = finish
+        handle.payload = payload
+        if handle._waiter:
+            parked: _RankState = handle._parked_state  # type: ignore[attr-defined]
+            handle._waiter = False
+            parked.stats.comm_time += finish - parked.block_start
+            self._resume(parked, payload, finish)

@@ -1,0 +1,43 @@
+"""Minimal time-ordered event queue for the simulation engine.
+
+A thin wrapper over :mod:`heapq` that breaks time ties with a
+monotonically increasing sequence number, making the simulation fully
+deterministic regardless of callback identity.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable
+
+Callback = Callable[[], Any]
+
+
+class EventQueue:
+    """Priority queue of ``(time, callback)`` events, FIFO within a time."""
+
+    __slots__ = ("_heap", "_seq")
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Callback]] = []
+        self._seq = itertools.count()
+
+    def push(self, time: float, callback: Callback) -> None:
+        """Schedule ``callback`` to run at virtual ``time``."""
+        heapq.heappush(self._heap, (time, next(self._seq), callback))
+
+    def pop(self) -> tuple[float, Callback]:
+        """Remove and return the earliest ``(time, callback)``."""
+        time, _seq, callback = heapq.heappop(self._heap)
+        return time, callback
+
+    def peek_time(self) -> float:
+        """Time of the earliest event (queue must be non-empty)."""
+        return self._heap[0][0]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

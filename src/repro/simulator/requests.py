@@ -1,0 +1,165 @@
+"""Request objects yielded by rank programs to the simulation engine.
+
+A rank program is a generator; each ``yield`` hands the engine one of
+the request types below and (for blocking requests) suspends the rank
+until the operation completes.  Nonblocking requests resume immediately
+with a :class:`RequestHandle` that a later :class:`WaitRequest` waits on.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import SimulationError
+
+
+def payload_nbytes(payload: Any) -> int:
+    """Best-effort wire size of ``payload`` in bytes.
+
+    Knows numpy arrays (``.nbytes``), objects exposing ``nbytes``
+    (phantom blocks), ``bytes``/``bytearray``, ``None`` (control
+    message: 0 bytes), and Python floats/ints (8 bytes).  Anything else
+    must pass an explicit size — guessing pickled sizes would make the
+    model silently depend on pickle internals.
+    """
+    if payload is None:
+        return 0
+    nbytes = getattr(payload, "nbytes", None)
+    if nbytes is not None:
+        return int(nbytes)
+    if isinstance(payload, (bytes, bytearray, memoryview)):
+        return len(payload)
+    if isinstance(payload, str):
+        return len(payload.encode("utf-8"))
+    if isinstance(payload, (int, float)):
+        return 8
+    if isinstance(payload, (tuple, list)):
+        return sum(payload_nbytes(item) for item in payload)
+    if isinstance(payload, dict):
+        # Data volume only; keys are indexing metadata.
+        return sum(payload_nbytes(v) for v in payload.values())
+    raise SimulationError(
+        f"cannot infer wire size of {type(payload).__name__}; pass nbytes explicitly"
+    )
+
+
+class _Request:
+    """Base marker for everything a rank may yield."""
+
+    __slots__ = ()
+
+
+class SendRequest(_Request):
+    """Blocking send: resumes when the matching receive has completed
+    the transfer (rendezvous semantics, as in the paper's model where
+    both endpoints are busy for ``alpha + m*beta``)."""
+
+    __slots__ = ("dst", "tag", "payload", "nbytes")
+
+    def __init__(self, dst: int, tag: int, payload: Any, nbytes: int | None = None):
+        self.dst = dst
+        self.tag = tag
+        self.payload = payload
+        self.nbytes = payload_nbytes(payload) if nbytes is None else int(nbytes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Send(dst={self.dst}, tag={self.tag}, nbytes={self.nbytes})"
+
+
+class RecvRequest(_Request):
+    """Blocking receive from ``src`` with ``tag``; resumes with the payload."""
+
+    __slots__ = ("src", "tag")
+
+    def __init__(self, src: int, tag: int):
+        self.src = src
+        self.tag = tag
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Recv(src={self.src}, tag={self.tag})"
+
+
+class ISendRequest(_Request):
+    """Nonblocking send; resumes immediately with a :class:`RequestHandle`."""
+
+    __slots__ = ("dst", "tag", "payload", "nbytes")
+
+    def __init__(self, dst: int, tag: int, payload: Any, nbytes: int | None = None):
+        self.dst = dst
+        self.tag = tag
+        self.payload = payload
+        self.nbytes = payload_nbytes(payload) if nbytes is None else int(nbytes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ISend(dst={self.dst}, tag={self.tag}, nbytes={self.nbytes})"
+
+
+class IRecvRequest(_Request):
+    """Nonblocking receive; resumes immediately with a :class:`RequestHandle`."""
+
+    __slots__ = ("src", "tag")
+
+    def __init__(self, src: int, tag: int):
+        self.src = src
+        self.tag = tag
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"IRecv(src={self.src}, tag={self.tag})"
+
+
+class WaitRequest(_Request):
+    """Block until ``handle`` completes; resumes with the received
+    payload (for irecv handles) or ``None`` (for isend handles)."""
+
+    __slots__ = ("handle",)
+
+    def __init__(self, handle: "RequestHandle"):
+        if not isinstance(handle, RequestHandle):
+            raise SimulationError(f"wait needs a RequestHandle, got {handle!r}")
+        self.handle = handle
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Wait({self.handle!r})"
+
+
+class ComputeRequest(_Request):
+    """Advance the rank's clock by ``seconds`` of local computation."""
+
+    __slots__ = ("seconds",)
+
+    def __init__(self, seconds: float):
+        if seconds < 0:
+            raise SimulationError(f"compute time must be >= 0, got {seconds}")
+        self.seconds = float(seconds)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Compute({self.seconds:.3g}s)"
+
+
+class RequestHandle:
+    """Completion token for a nonblocking operation.
+
+    Attributes
+    ----------
+    done:
+        True once the transfer has finished.
+    finish_time:
+        Virtual completion time (valid once ``done``).
+    payload:
+        Delivered object for irecv handles (valid once ``done``).
+    """
+
+    __slots__ = ("rank", "kind", "done", "finish_time", "payload", "_waiter", "_parked_state")
+
+    def __init__(self, rank: int, kind: str):
+        self.rank = rank
+        self.kind = kind  # "send" | "recv"
+        self.done = False
+        self.finish_time = 0.0
+        self.payload: Any = None
+        self._waiter = False  # rank parked on this handle?
+        self._parked_state: Any = None  # engine-internal: the parked rank
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "done" if self.done else "pending"
+        return f"Handle({self.kind}, rank={self.rank}, {state})"

@@ -1,0 +1,122 @@
+"""Result objects and optional transfer tracing for simulation runs.
+
+The paper reports two time series per experiment: overall execution
+time and communication time.  :class:`SimResult` exposes both (as the
+maximum over ranks, which is what a barrier-terminated MPI timing
+measures) plus per-rank detail and aggregate message statistics.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable
+
+
+@dataclasses.dataclass
+class RankStats:
+    """Accounting for one rank.
+
+    ``comm_time`` counts every interval the rank spent blocked in a
+    communication call (send/recv/wait), including time waiting for the
+    partner to arrive — exactly what wrapping MPI calls in timers
+    measures on a real machine.
+    """
+
+    rank: int
+    clock: float = 0.0
+    comm_time: float = 0.0
+    compute_time: float = 0.0
+    messages_sent: int = 0
+    bytes_sent: int = 0
+
+    @property
+    def other_time(self) -> float:
+        """Clock time not attributed to comm or compute (should be ~0)."""
+        return self.clock - self.comm_time - self.compute_time
+
+
+@dataclasses.dataclass(frozen=True)
+class TransferRecord:
+    """One completed point-to-point transfer (recorded when tracing)."""
+
+    src: int
+    dst: int
+    tag: int
+    nbytes: int
+    start: float
+    finish: float
+
+    @property
+    def duration(self) -> float:
+        return self.finish - self.start
+
+
+@dataclasses.dataclass
+class SimResult:
+    """Outcome of a simulation run.
+
+    Attributes
+    ----------
+    stats:
+        Per-rank accounting, indexed by rank.
+    return_values:
+        What each rank program returned (via ``return`` in the
+        generator), indexed by rank.
+    trace:
+        Completed transfers, when tracing was enabled; else empty.
+    """
+
+    stats: list[RankStats]
+    return_values: list[object]
+    trace: list[TransferRecord] = dataclasses.field(default_factory=list)
+
+    @property
+    def nranks(self) -> int:
+        return len(self.stats)
+
+    @property
+    def total_time(self) -> float:
+        """Virtual makespan: the latest rank clock."""
+        return max((s.clock for s in self.stats), default=0.0)
+
+    @property
+    def comm_time(self) -> float:
+        """Communication time as the paper reports it: max over ranks."""
+        return max((s.comm_time for s in self.stats), default=0.0)
+
+    @property
+    def compute_time(self) -> float:
+        """Computation time: max over ranks."""
+        return max((s.compute_time for s in self.stats), default=0.0)
+
+    @property
+    def mean_comm_time(self) -> float:
+        if not self.stats:
+            return 0.0
+        return sum(s.comm_time for s in self.stats) / len(self.stats)
+
+    @property
+    def total_messages(self) -> int:
+        return sum(s.messages_sent for s in self.stats)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(s.bytes_sent for s in self.stats)
+
+    def summary(self) -> str:
+        """One-line human summary."""
+        return (
+            f"{self.nranks} ranks: total {self.total_time:.6f}s, "
+            f"comm {self.comm_time:.6f}s, compute {self.compute_time:.6f}s, "
+            f"{self.total_messages} msgs / {self.total_bytes} bytes"
+        )
+
+
+def merge_max(results: Iterable[SimResult]) -> tuple[float, float]:
+    """Max total and comm time across several runs (utility for sweeps)."""
+    total = 0.0
+    comm = 0.0
+    for r in results:
+        total = max(total, r.total_time)
+        comm = max(comm, r.comm_time)
+    return total, comm

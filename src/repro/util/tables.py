@@ -1,0 +1,67 @@
+"""Plain-text table formatting for experiment and benchmark output.
+
+The benchmark harness prints the same rows/series the paper reports;
+:func:`format_table` renders them in a fixed-width layout that survives
+``pytest -s`` capture and plain terminals.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def _render(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-3:
+            return f"{value:.4g}"
+        return f"{value:.4f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned ascii table.
+
+    Numeric cells are right-aligned, text cells left-aligned; floats are
+    shortened to at most four significant decimals.
+    """
+    cells = [[_render(v) for v in row] for row in rows]
+    ncols = len(headers)
+    for i, row in enumerate(cells):
+        if len(row) != ncols:
+            raise ValueError(
+                f"row {i} has {len(row)} cells, expected {ncols} (headers: {headers})"
+            )
+    widths = [
+        max(len(headers[c]), *(len(r[c]) for r in cells)) if cells else len(headers[c])
+        for c in range(ncols)
+    ]
+    numeric = [
+        all(_is_numeric(row[c]) for row in rows) if rows else False
+        for c in range(ncols)
+    ]
+
+    def fmt_row(values: Sequence[str]) -> str:
+        parts = []
+        for c, v in enumerate(values):
+            parts.append(v.rjust(widths[c]) if numeric[c] else v.ljust(widths[c]))
+        return "  ".join(parts).rstrip()
+
+    sep = "  ".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * max(len(title), len(sep)))
+    lines.append(fmt_row(list(headers)))
+    lines.append(sep)
+    lines.extend(fmt_row(row) for row in cells)
+    return "\n".join(lines)
+
+
+def _is_numeric(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)

@@ -1,0 +1,62 @@
+"""Tests for Cannon's algorithm."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.cannon import run_cannon
+from repro.blocks.verify import max_abs_error
+from repro.errors import ConfigurationError
+from repro.network.model import HockneyParams
+from repro.payloads import PhantomArray
+
+PARAMS = HockneyParams(alpha=1e-4, beta=1e-9)
+
+
+class TestCannon:
+    @pytest.mark.parametrize("q", [1, 2, 3, 4])
+    def test_square_grids(self, rng, q):
+        n = 12
+        A = rng.standard_normal((n, n))
+        B = rng.standard_normal((n, n))
+        C, _ = run_cannon(A, B, grid=(q, q), params=PARAMS)
+        assert max_abs_error(C, A @ B) < 1e-10
+
+    def test_rectangular_matrices(self, rng):
+        A = rng.standard_normal((6, 9))
+        B = rng.standard_normal((9, 12))
+        C, _ = run_cannon(A, B, grid=(3, 3), params=PARAMS)
+        assert max_abs_error(C, A @ B) < 1e-10
+
+    def test_non_square_grid_rejected(self, rng):
+        """The restriction the paper cites against Cannon."""
+        with pytest.raises(ConfigurationError, match="square grid"):
+            run_cannon(np.zeros((8, 8)), np.zeros((8, 8)),
+                       grid=(2, 4), params=PARAMS)
+
+    def test_inner_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_cannon(np.zeros((4, 4)), np.zeros((6, 4)),
+                       grid=(2, 2), params=PARAMS)
+
+    def test_phantom_mode(self):
+        C, sim = run_cannon(PhantomArray((64, 64)), PhantomArray((64, 64)),
+                            grid=(4, 4), params=PARAMS)
+        assert isinstance(C, PhantomArray)
+        assert sim.total_time > 0
+
+    def test_message_count(self):
+        """q-1 shift rounds, 2 matrices, q^2 ranks, plus skew."""
+        q = 4
+        _, sim = run_cannon(PhantomArray((16, 16)), PhantomArray((16, 16)),
+                            grid=(q, q), params=PARAMS)
+        shifts = 2 * q * q * (q - 1)
+        # Skew: rows 1..q-1 shift A (q ranks each), cols 1..q-1 shift B.
+        skew = 2 * q * (q - 1)
+        assert sim.total_messages == shifts + skew
+
+    def test_compute_time(self):
+        gamma = 1e-9
+        n, q = 16, 4
+        _, sim = run_cannon(PhantomArray((n, n)), PhantomArray((n, n)),
+                            grid=(q, q), params=PARAMS, gamma=gamma)
+        assert sim.compute_time == pytest.approx(2 * n**3 / (q * q) * gamma)

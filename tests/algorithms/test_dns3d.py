@@ -1,0 +1,61 @@
+"""Tests for the 3-D (DNS/Agarwal) algorithm."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.dns3d import run_dns3d
+from repro.blocks.verify import max_abs_error
+from repro.errors import ConfigurationError
+from repro.network.model import HockneyParams
+from repro.payloads import PhantomArray
+
+PARAMS = HockneyParams(alpha=1e-4, beta=1e-9)
+
+
+class TestDns3d:
+    @pytest.mark.parametrize("q", [1, 2, 3])
+    def test_cubic_grids(self, rng, q):
+        n = 12
+        A = rng.standard_normal((n, n))
+        B = rng.standard_normal((n, n))
+        C, _ = run_dns3d(A, B, nprocs=q**3, params=PARAMS)
+        assert max_abs_error(C, A @ B) < 1e-10
+
+    def test_rectangular_matrices(self, rng):
+        A = rng.standard_normal((4, 6))
+        B = rng.standard_normal((6, 8))
+        C, _ = run_dns3d(A, B, nprocs=8, params=PARAMS)
+        assert max_abs_error(C, A @ B) < 1e-10
+
+    def test_non_cubic_rejected(self):
+        with pytest.raises(ConfigurationError, match="cubic"):
+            run_dns3d(np.zeros((8, 8)), np.zeros((8, 8)),
+                      nprocs=9, params=PARAMS)
+
+    def test_phantom_mode(self):
+        C, sim = run_dns3d(PhantomArray((18, 18)), PhantomArray((18, 18)),
+                           nprocs=27, params=PARAMS)
+        assert isinstance(C, PhantomArray)
+        assert sim.total_time > 0
+
+    def test_replication_memory_cost(self):
+        """Every rank holds a copy of an A and B tile: total bytes moved
+        reflect the q-fold replication the paper criticises."""
+        n, q = 16, 2
+        _, sim = run_dns3d(PhantomArray((n, n)), PhantomArray((n, n)),
+                           nprocs=q**3, params=PARAMS)
+        tile_bytes = (n // q) * (n // q) * 8
+        # Each A tile reaches q ranks (j-axis), each B tile likewise.
+        assert sim.total_bytes >= 2 * q * q * (q - 1) * tile_bytes
+
+    def test_lower_comm_than_summa_at_scale(self):
+        """The 3D algorithm's p^(1/6) communication advantage (paper
+        Section I) must show against SUMMA at equal p."""
+        from repro.core.summa import run_summa
+
+        n, p = 64, 64  # q = 4 for 3D; 8x8 for SUMMA
+        _, sim3d = run_dns3d(PhantomArray((n, n)), PhantomArray((n, n)),
+                             nprocs=p, params=PARAMS)
+        _, sim2d = run_summa(PhantomArray((n, n)), PhantomArray((n, n)),
+                             grid=(8, 8), block=8, params=PARAMS)
+        assert sim3d.comm_time < sim2d.comm_time

@@ -1,0 +1,31 @@
+"""Tests for the serial reference."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.serial import run_serial
+from repro.blocks.verify import max_abs_error
+from repro.errors import ConfigurationError
+from repro.payloads import PhantomArray
+
+
+class TestSerial:
+    def test_correct(self, rng):
+        A = rng.standard_normal((8, 12))
+        B = rng.standard_normal((12, 4))
+        C, _ = run_serial(A, B)
+        assert max_abs_error(C, A @ B) < 1e-12
+
+    def test_charges_flops(self):
+        _, sim = run_serial(PhantomArray((10, 20)), PhantomArray((20, 30)),
+                            gamma=1e-9)
+        assert sim.total_time == pytest.approx(2 * 10 * 20 * 30 * 1e-9)
+        assert sim.comm_time == 0.0
+
+    def test_phantom(self):
+        C, _ = run_serial(PhantomArray((4, 4)), PhantomArray((4, 4)))
+        assert isinstance(C, PhantomArray)
+
+    def test_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            run_serial(np.zeros((4, 4)), np.zeros((5, 4)))

@@ -1,0 +1,117 @@
+"""Tests for block and block-cyclic distributions."""
+
+import numpy as np
+import pytest
+
+from repro.blocks.distribution import BlockCyclicDistribution, BlockDistribution
+from repro.errors import ConfigurationError
+
+
+class TestBlockDistribution:
+    def test_tile_shape_uniform(self):
+        d = BlockDistribution(12, 8, 3, 2)
+        assert d.tile_shape(0, 0) == (4, 4)
+        assert d.tile_shape(2, 1) == (4, 4)
+
+    def test_indivisible_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BlockDistribution(10, 8, 3, 2)
+
+    def test_owner(self):
+        d = BlockDistribution(12, 8, 3, 2)
+        assert d.owner(0, 0) == (0, 0)
+        assert d.owner(11, 7) == (2, 1)
+        assert d.owner(4, 3) == (1, 0)
+
+    def test_owner_bounds(self):
+        d = BlockDistribution(4, 4, 2, 2)
+        with pytest.raises(ConfigurationError):
+            d.owner(4, 0)
+
+    def test_global_to_local(self):
+        d = BlockDistribution(12, 8, 3, 2)
+        assert d.global_to_local(5, 6) == (1, 2)
+
+    def test_extract_assemble_roundtrip(self):
+        d = BlockDistribution(6, 9, 2, 3)
+        M = np.arange(54.0).reshape(6, 9)
+        tiles = {
+            (i, j): d.extract_tile(M, i, j)
+            for i in range(2)
+            for j in range(3)
+        }
+        assert np.array_equal(d.assemble(tiles), M)
+
+    def test_extract_is_copy(self):
+        d = BlockDistribution(4, 4, 2, 2)
+        M = np.zeros((4, 4))
+        tile = d.extract_tile(M, 0, 0)
+        tile[0, 0] = 99
+        assert M[0, 0] == 0
+
+    def test_extract_wrong_shape(self):
+        d = BlockDistribution(4, 4, 2, 2)
+        with pytest.raises(ConfigurationError):
+            d.extract_tile(np.zeros((5, 4)), 0, 0)
+
+    def test_assemble_missing_tile(self):
+        d = BlockDistribution(4, 4, 2, 2)
+        with pytest.raises(ConfigurationError, match="missing"):
+            d.assemble({(0, 0): np.zeros((2, 2))})
+
+    def test_assemble_bad_tile_shape(self):
+        d = BlockDistribution(4, 4, 2, 2)
+        tiles = {(i, j): np.zeros((2, 2)) for i in range(2) for j in range(2)}
+        tiles[(1, 1)] = np.zeros((3, 3))
+        with pytest.raises(ConfigurationError):
+            d.assemble(tiles)
+
+    def test_grid_bounds(self):
+        d = BlockDistribution(4, 4, 2, 2)
+        with pytest.raises(ConfigurationError):
+            d.tile_shape(2, 0)
+
+
+class TestBlockCyclicDistribution:
+    def test_tile_shape(self):
+        d = BlockCyclicDistribution(8, 8, 2, 2, 2, 2)
+        assert d.tile_shape(0, 0) == (4, 4)
+
+    def test_owner_of_block_cycles(self):
+        d = BlockCyclicDistribution(8, 8, 2, 2, 2, 2)
+        assert d.owner_of_block(0, 0) == (0, 0)
+        assert d.owner_of_block(1, 0) == (1, 0)
+        assert d.owner_of_block(2, 0) == (0, 0)
+        assert d.owner_of_block(3, 3) == (1, 1)
+
+    def test_owner_element(self):
+        d = BlockCyclicDistribution(8, 8, 2, 2, 2, 2)
+        # Element (2, 2) is in block (1, 1) -> owner (1, 1).
+        assert d.owner(2, 2) == (1, 1)
+
+    def test_local_block_index(self):
+        d = BlockCyclicDistribution(8, 8, 2, 2, 2, 2)
+        assert d.local_block_index(2, 0) == (1, 0)
+
+    def test_extract_assemble_roundtrip(self):
+        d = BlockCyclicDistribution(12, 12, 2, 3, 2, 2)
+        M = np.arange(144.0).reshape(12, 12)
+        tiles = {
+            (i, j): d.extract_tile(M, i, j)
+            for i in range(2)
+            for j in range(3)
+        }
+        assert np.array_equal(d.assemble(tiles), M)
+
+    def test_indivisible_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BlockCyclicDistribution(10, 8, 2, 2, 2, 2)
+
+    def test_differs_from_block_distribution(self):
+        """Cyclic ownership must interleave rows, unlike checkerboard."""
+        d = BlockCyclicDistribution(8, 8, 2, 2, 2, 2)
+        b = BlockDistribution(8, 8, 2, 2)
+        # Global row 2 is grid row 0 in block-cyclic (block 1 cycles),
+        # but still grid row 0 in checkerboard; row 4 differs.
+        assert d.owner(4, 0)[0] == 0
+        assert b.owner(4, 0)[0] == 1

@@ -1,0 +1,44 @@
+"""Tests for the DistMatrix handle."""
+
+import numpy as np
+import pytest
+
+from repro.blocks.distribution import BlockDistribution
+from repro.blocks.dmatrix import DistMatrix
+from repro.errors import ConfigurationError
+from repro.payloads import PhantomArray
+
+
+class TestDistMatrix:
+    def test_from_global_tiles(self):
+        M = np.arange(16.0).reshape(4, 4)
+        dm = DistMatrix.from_global(M, 2, 2)
+        assert np.array_equal(dm.tile(0, 0), M[:2, :2])
+        assert np.array_equal(dm.tile(1, 1), M[2:, 2:])
+
+    def test_tiles_cover_matrix(self):
+        M = np.arange(24.0).reshape(4, 6)
+        dm = DistMatrix.from_global(M, 2, 3)
+        rebuilt = dm.assemble(dm.tiles())
+        assert np.array_equal(rebuilt, M)
+
+    def test_phantom_global(self):
+        dm = DistMatrix.phantom_global(8, 8, 2, 2)
+        assert dm.phantom
+        t = dm.tile(1, 0)
+        assert isinstance(t, PhantomArray)
+        assert t.shape == (4, 4)
+
+    def test_phantom_assemble(self):
+        dm = DistMatrix.phantom_global(4, 4, 2, 2)
+        out = dm.assemble(dm.tiles())
+        assert isinstance(out, PhantomArray)
+        assert out.shape == (4, 4)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DistMatrix(np.zeros((3, 4)), BlockDistribution(4, 4, 2, 2))
+
+    def test_shape_property(self):
+        dm = DistMatrix.phantom_global(6, 8, 2, 2)
+        assert dm.shape == (6, 8)

@@ -1,0 +1,147 @@
+"""Tests for tile operations (generic over real/phantom)."""
+
+import numpy as np
+import pytest
+
+from repro.blocks.ops import (
+    gemm_flops,
+    local_gemm_acc,
+    slice_cols,
+    slice_rows,
+    zeros_like_result,
+)
+from repro.errors import DataMismatchError
+from repro.mpi.comm import MpiContext
+from repro.payloads import PhantomArray
+from repro.simulator.engine import Engine
+from repro.network.homogeneous import HomogeneousNetwork
+from repro.network.model import HockneyParams
+
+
+class TestSlicing:
+    def test_slice_rows_numpy_view(self):
+        t = np.arange(12.0).reshape(3, 4)
+        v = slice_rows(t, 1, 3)
+        assert v.shape == (2, 4)
+        assert np.shares_memory(v, t)  # a view, not a copy
+
+    def test_slice_cols_numpy(self):
+        t = np.arange(12.0).reshape(3, 4)
+        assert np.array_equal(slice_cols(t, 1, 3), t[:, 1:3])
+
+    def test_slice_phantom(self):
+        p = PhantomArray((6, 8))
+        assert slice_rows(p, 2, 5).shape == (3, 8)
+        assert slice_cols(p, 0, 4).shape == (6, 4)
+
+    def test_out_of_range(self):
+        with pytest.raises(DataMismatchError):
+            slice_rows(np.zeros((3, 4)), 2, 5)
+        with pytest.raises(DataMismatchError):
+            slice_cols(PhantomArray((3, 4)), -1, 2)
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(DataMismatchError):
+            slice_rows(np.zeros(5), 0, 1)
+
+
+class TestZerosLikeResult:
+    def test_numpy(self):
+        c = zeros_like_result(np.zeros((3, 4)), np.zeros((4, 5)))
+        assert c.shape == (3, 5)
+        assert np.all(c == 0)
+
+    def test_phantom(self):
+        c = zeros_like_result(PhantomArray((3, 4)), PhantomArray((4, 5)))
+        assert isinstance(c, PhantomArray)
+        assert c.shape == (3, 5)
+
+    def test_mismatch(self):
+        with pytest.raises(DataMismatchError):
+            zeros_like_result(PhantomArray((3, 4)), PhantomArray((5, 5)))
+
+
+class TestGemmFlops:
+    def test_formula(self):
+        assert gemm_flops(2, 3, 4) == 48.0
+
+    def test_paper_total(self):
+        # Summed over all SUMMA steps and ranks: 2 n^3.
+        n, p, b = 64, 16, 8
+        s = t = 4
+        per_step = gemm_flops(n // s, b, n // t)
+        assert per_step * (n // b) * p == 2.0 * n**3
+
+
+def _run_single(gen_factory, gamma=0.0):
+    ctx = MpiContext(0, 1, gamma=gamma)
+    eng = Engine(HomogeneousNetwork(1, HockneyParams(1e-5, 1e-9)))
+    return ctx, eng.run([gen_factory(ctx)])
+
+
+class TestLocalGemmAcc:
+    def test_real_accumulation(self):
+        a = np.array([[1.0, 2.0]])
+        b = np.array([[3.0], [4.0]])
+        c = np.zeros((1, 1))
+
+        def prog(ctx):
+            out = yield from local_gemm_acc(ctx, c, a, b)
+            return out
+
+        _, res = _run_single(prog)
+        assert res.return_values[0][0, 0] == pytest.approx(11.0)
+
+    def test_accumulates_not_overwrites(self):
+        a = np.eye(2)
+        b = np.eye(2)
+        c = np.full((2, 2), 5.0)
+
+        def prog(ctx):
+            out = yield from local_gemm_acc(ctx, c, a, b)
+            return out
+
+        _, res = _run_single(prog)
+        assert np.allclose(res.return_values[0], 5.0 + np.eye(2))
+
+    def test_charges_flop_time(self):
+        a, b = np.zeros((4, 8)), np.zeros((8, 2))
+        c = np.zeros((4, 2))
+
+        def prog(ctx):
+            yield from local_gemm_acc(ctx, c, a, b)
+
+        _, res = _run_single(prog, gamma=1e-6)
+        assert res.total_time == pytest.approx(2 * 4 * 8 * 2 * 1e-6)
+
+    def test_phantom_charges_without_data(self):
+        a, b = PhantomArray((4, 8)), PhantomArray((8, 2))
+        c = PhantomArray((4, 2))
+
+        def prog(ctx):
+            out = yield from local_gemm_acc(ctx, c, a, b)
+            return out
+
+        _, res = _run_single(prog, gamma=1e-6)
+        assert res.total_time == pytest.approx(128 * 1e-6)
+        assert isinstance(res.return_values[0], PhantomArray)
+
+    def test_shape_mismatch_rejected(self):
+        a, b = PhantomArray((4, 8)), PhantomArray((7, 2))
+        c = PhantomArray((4, 2))
+
+        def prog(ctx):
+            yield from local_gemm_acc(ctx, c, a, b)
+
+        with pytest.raises(DataMismatchError):
+            _run_single(prog)
+
+    def test_accumulator_mismatch_rejected(self):
+        a, b = PhantomArray((4, 8)), PhantomArray((8, 2))
+        c = PhantomArray((3, 2))
+
+        def prog(ctx):
+            yield from local_gemm_acc(ctx, c, a, b)
+
+        with pytest.raises(DataMismatchError):
+            _run_single(prog)

@@ -1,0 +1,142 @@
+"""Tests for repro.payloads (phantom arrays, splitting, combining)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DataMismatchError
+from repro.payloads import (
+    PhantomArray,
+    combine_payloads,
+    is_phantom,
+    join_payload,
+    nbytes_of,
+    split_payload,
+)
+
+
+class TestPhantomArray:
+    def test_size_and_nbytes(self):
+        p = PhantomArray((3, 4))
+        assert p.size == 12
+        assert p.nbytes == 96
+
+    def test_custom_itemsize(self):
+        assert PhantomArray((10,), itemsize=1).nbytes == 10
+
+    def test_reshape(self):
+        p = PhantomArray((3, 4)).reshape(2, 6)
+        assert p.shape == (2, 6)
+
+    def test_reshape_mismatch(self):
+        with pytest.raises(DataMismatchError):
+            PhantomArray((3, 4)).reshape(5, 5)
+
+    def test_matmul_shape(self):
+        c = PhantomArray((3, 4)).matmul_shape(PhantomArray((4, 7)))
+        assert c.shape == (3, 7)
+
+    def test_matmul_mismatch(self):
+        with pytest.raises(DataMismatchError):
+            PhantomArray((3, 4)).matmul_shape(PhantomArray((5, 7)))
+
+    def test_negative_dim_rejected(self):
+        with pytest.raises(DataMismatchError):
+            PhantomArray((-1, 2))
+
+    def test_is_phantom(self):
+        assert is_phantom(PhantomArray((2,)))
+        assert not is_phantom(np.zeros(2))
+
+
+class TestNbytesOf:
+    def test_numpy(self):
+        assert nbytes_of(np.zeros((2, 3))) == 48
+
+    def test_phantom(self):
+        assert nbytes_of(PhantomArray((2, 3))) == 48
+
+    def test_unknown_rejected(self):
+        with pytest.raises(DataMismatchError):
+            nbytes_of("a string")
+
+
+class TestSplitJoin:
+    def test_roundtrip_even(self):
+        arr = np.arange(24.0).reshape(4, 6)
+        segs = split_payload(arr, 4)
+        back = join_payload(segs)
+        assert np.array_equal(back, arr)
+
+    def test_roundtrip_uneven(self):
+        arr = np.arange(10.0)
+        back = join_payload(split_payload(arr, 3))
+        assert np.array_equal(back, arr)
+
+    def test_roundtrip_more_parts_than_elements(self):
+        arr = np.arange(3.0)
+        segs = split_payload(arr, 8)
+        assert len(segs) == 8
+        assert sum(s.nbytes for s in segs) == arr.nbytes
+        assert np.array_equal(join_payload(segs), arr)
+
+    def test_join_out_of_order(self):
+        arr = np.arange(12.0).reshape(3, 4)
+        segs = split_payload(arr, 4)
+        back = join_payload(segs[::-1])
+        assert np.array_equal(back, arr)
+
+    def test_sizes_near_equal(self):
+        segs = split_payload(np.zeros(10), 3)
+        sizes = [s.data.size for s in segs]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_phantom_roundtrip(self):
+        p = PhantomArray((6, 8))
+        segs = split_payload(p, 5)
+        assert sum(s.nbytes for s in segs) == p.nbytes
+        back = join_payload(segs)
+        assert isinstance(back, PhantomArray)
+        assert back.shape == (6, 8)
+
+    def test_zero_parts_rejected(self):
+        with pytest.raises(DataMismatchError):
+            split_payload(np.zeros(4), 0)
+
+    def test_join_empty_rejected(self):
+        with pytest.raises(DataMismatchError):
+            join_payload([])
+
+    def test_join_incomplete_rejected(self):
+        segs = split_payload(np.zeros(8), 4)
+        with pytest.raises(DataMismatchError):
+            join_payload(segs[:3])
+
+    def test_join_duplicate_rejected(self):
+        segs = split_payload(np.zeros(8), 4)
+        with pytest.raises(DataMismatchError):
+            join_payload([segs[0], segs[0], segs[2], segs[3]])
+
+    def test_join_mixed_splits_rejected(self):
+        a = split_payload(np.zeros(8), 2)
+        b = split_payload(np.zeros((2, 4)), 2)
+        with pytest.raises(DataMismatchError):
+            join_payload([a[0], b[1]])
+
+
+class TestCombine:
+    def test_numpy_sum(self):
+        out = combine_payloads(np.ones(3), np.full(3, 2.0))
+        assert np.allclose(out, 3.0)
+
+    def test_phantom_combine(self):
+        out = combine_payloads(PhantomArray((2, 2)), PhantomArray((2, 2)))
+        assert isinstance(out, PhantomArray)
+
+    def test_mixed_combine(self):
+        out = combine_payloads(PhantomArray((3,)), np.zeros(3))
+        assert isinstance(out, PhantomArray)
+        assert out.shape == (3,)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(DataMismatchError):
+            combine_payloads(PhantomArray((2,)), PhantomArray((3,)))

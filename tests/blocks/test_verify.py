@@ -1,0 +1,46 @@
+"""Tests for verification helpers."""
+
+import numpy as np
+import pytest
+
+from repro.blocks.verify import max_abs_error, relative_error
+from repro.errors import DataMismatchError
+
+
+class TestMaxAbsError:
+    def test_zero_for_equal(self):
+        a = np.arange(6.0).reshape(2, 3)
+        assert max_abs_error(a, a.copy()) == 0.0
+
+    def test_reports_max(self):
+        a = np.zeros((2, 2))
+        b = np.array([[0.0, 0.1], [0.0, -0.5]])
+        assert max_abs_error(a, b) == pytest.approx(0.5)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(DataMismatchError):
+            max_abs_error(np.zeros(2), np.zeros(3))
+
+    def test_empty(self):
+        assert max_abs_error(np.zeros((0, 2)), np.zeros((0, 2))) == 0.0
+
+
+class TestRelativeError:
+    def test_zero_for_equal(self):
+        a = np.arange(1, 7, dtype=float).reshape(2, 3)
+        assert relative_error(a, a.copy()) == 0.0
+
+    def test_scale_invariant(self):
+        ref = np.eye(3)
+        err = relative_error(ref * 1.001, ref)
+        err_scaled = relative_error(ref * 1000 * 1.001, ref * 1000)
+        assert err == pytest.approx(err_scaled)
+
+    def test_zero_reference(self):
+        assert relative_error(np.ones(2), np.zeros(2)) == pytest.approx(
+            np.sqrt(2)
+        )
+
+    def test_shape_mismatch(self):
+        with pytest.raises(DataMismatchError):
+            relative_error(np.zeros((2, 2)), np.zeros((2, 3)))

@@ -1,0 +1,49 @@
+"""Tests for the dissemination barrier."""
+
+import pytest
+
+from repro.network.model import HockneyParams
+from repro.simulator import run_spmd
+from repro.simulator.requests import ComputeRequest
+
+PARAMS = HockneyParams(alpha=1e-4, beta=1e-9)
+
+
+class TestBarrier:
+    @pytest.mark.parametrize("size", [1, 2, 3, 5, 8, 16])
+    def test_completes(self, size):
+        def prog(ctx):
+            yield from ctx.world.barrier()
+            return "past"
+
+        res = run_spmd(prog, size, params=PARAMS)
+        assert res.return_values == ["past"] * size
+
+    def test_synchronises_slowest_rank(self):
+        """No rank may leave the barrier before the slowest arrives."""
+
+        def prog(ctx):
+            if ctx.rank == 0:
+                yield ComputeRequest(1.0)
+            yield from ctx.world.barrier()
+            return None
+
+        res = run_spmd(prog, 4, params=PARAMS)
+        for s in res.stats:
+            assert s.clock >= 1.0
+
+    def test_round_count_logarithmic(self):
+        def prog(ctx):
+            yield from ctx.world.barrier()
+
+        res = run_spmd(prog, 8, params=PARAMS)
+        # Dissemination: p messages per round, ceil(log2 p) rounds.
+        assert res.total_messages == 8 * 3
+
+    def test_single_rank_no_messages(self):
+        def prog(ctx):
+            yield from ctx.world.barrier()
+
+        res = run_spmd(prog, 1, params=PARAMS)
+        assert res.total_messages == 0
+        assert res.total_time == 0.0

@@ -1,0 +1,70 @@
+"""Tests for reduce / allreduce."""
+
+import numpy as np
+import pytest
+
+from repro.collectives.reduce import allreduce_rd, reduce_binomial, reduce_flat
+from repro.network.model import HockneyParams
+from repro.payloads import PhantomArray
+from repro.simulator import run_spmd
+
+PARAMS = HockneyParams(alpha=1e-4, beta=1e-9)
+
+
+class TestReduce:
+    @pytest.mark.parametrize("fn", [reduce_binomial, reduce_flat])
+    @pytest.mark.parametrize("size,root", [(1, 0), (2, 0), (4, 3), (7, 2), (16, 0)])
+    def test_sum_on_root(self, fn, size, root):
+        def prog(ctx):
+            out = yield from fn(ctx.world, np.full(3, float(ctx.rank)), root)
+            return None if out is None else float(out[0])
+
+        res = run_spmd(prog, size, params=PARAMS)
+        expected = float(sum(range(size)))
+        for r, value in enumerate(res.return_values):
+            if r == root:
+                assert value == pytest.approx(expected)
+            else:
+                assert value is None
+
+    def test_binomial_faster_than_flat(self):
+        def mk(fn):
+            def prog(ctx):
+                yield from fn(ctx.world, np.zeros(1000), 0)
+
+            return prog
+
+        t_b = run_spmd(mk(reduce_binomial), 16, params=PARAMS).total_time
+        t_f = run_spmd(mk(reduce_flat), 16, params=PARAMS).total_time
+        assert t_b < t_f
+
+    def test_phantom_reduction(self):
+        def prog(ctx):
+            out = yield from reduce_binomial(
+                ctx.world, PhantomArray((4, 4)), 0
+            )
+            return out
+
+        res = run_spmd(prog, 4, params=PARAMS)
+        assert isinstance(res.return_values[0], PhantomArray)
+        assert res.return_values[0].shape == (4, 4)
+
+
+class TestAllreduce:
+    @pytest.mark.parametrize("size", [1, 2, 4, 8, 16])
+    def test_power_of_two(self, size):
+        def prog(ctx):
+            out = yield from allreduce_rd(ctx.world, np.full(2, 1.0))
+            return float(out[0])
+
+        res = run_spmd(prog, size, params=PARAMS)
+        assert all(v == pytest.approx(float(size)) for v in res.return_values)
+
+    @pytest.mark.parametrize("size", [3, 5, 6, 7])
+    def test_non_power_of_two_fallback(self, size):
+        def prog(ctx):
+            out = yield from allreduce_rd(ctx.world, np.full(2, 2.0))
+            return float(out[0])
+
+        res = run_spmd(prog, size, params=PARAMS)
+        assert all(v == pytest.approx(2.0 * size) for v in res.return_values)

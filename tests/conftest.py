@@ -1,0 +1,25 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.network.model import HockneyParams
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG; tests that need other seeds spawn their own."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def params() -> HockneyParams:
+    """A latency-heavy parameter set (alpha visible next to bandwidth)."""
+    return HockneyParams(alpha=1e-4, beta=1e-9)
+
+
+def random_pair(rng: np.random.Generator, m: int, l: int, n: int):
+    """Random (A, B) of the requested multiplication shape."""
+    return rng.standard_normal((m, l)), rng.standard_normal((l, n))

@@ -1,0 +1,101 @@
+"""Tests for the one-call public API."""
+
+import numpy as np
+import pytest
+
+from repro.blocks.verify import max_abs_error
+from repro.core.api import ALGORITHMS, multiply
+from repro.errors import ConfigurationError
+from repro.network.model import HockneyParams
+from repro.payloads import PhantomArray
+
+PARAMS = HockneyParams(alpha=1e-5, beta=1e-9)
+
+
+class TestMultiply:
+    @pytest.mark.parametrize("algorithm,kw", [
+        ("serial", {}),
+        ("summa", dict(grid=(2, 2), block=4)),
+        ("hsumma", dict(grid=(2, 2), block=4, groups=2)),
+        ("cannon", dict(grid=(2, 2))),
+        ("fox", dict(grid=(2, 2))),
+        ("3d", dict(nprocs=8)),
+        ("2.5d", dict(nprocs=8, replication=2)),
+    ])
+    def test_all_algorithms_correct(self, rng, algorithm, kw):
+        n = 16
+        A = rng.standard_normal((n, n))
+        B = rng.standard_normal((n, n))
+        result = multiply(A, B, algorithm=algorithm, params=PARAMS, **kw)
+        assert max_abs_error(result.C, A @ B) < 1e-10
+        assert result.algorithm == algorithm
+        assert result.total_time >= 0
+
+    def test_nprocs_factored_to_grid(self, rng):
+        n = 16
+        A = rng.standard_normal((n, n))
+        B = rng.standard_normal((n, n))
+        result = multiply(A, B, nprocs=8, algorithm="summa", block=2, params=PARAMS)
+        assert result.parameters["grid"] == (2, 4)
+
+    def test_hsumma_default_groups_near_sqrt_p(self):
+        result = multiply(
+            PhantomArray((64, 64)), PhantomArray((64, 64)),
+            nprocs=16, algorithm="hsumma", block=4, params=PARAMS,
+        )
+        assert result.parameters["groups"] == 4
+
+    def test_default_block(self, rng):
+        n = 24
+        A = rng.standard_normal((n, n))
+        B = rng.standard_normal((n, n))
+        result = multiply(A, B, grid=(2, 3), algorithm="summa", params=PARAMS)
+        # gcd(24/2, 24/3) = gcd(12, 8) = 4.
+        assert result.parameters["block"] == 4
+        assert max_abs_error(result.C, A @ B) < 1e-10
+
+    def test_unknown_algorithm(self, rng):
+        with pytest.raises(ConfigurationError, match="unknown algorithm"):
+            multiply(np.zeros((4, 4)), np.zeros((4, 4)),
+                     nprocs=4, algorithm="magic")
+
+    def test_missing_procs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            multiply(np.zeros((4, 4)), np.zeros((4, 4)), algorithm="summa")
+
+    def test_result_time_decomposition(self):
+        result = multiply(
+            PhantomArray((32, 32)), PhantomArray((32, 32)),
+            grid=(2, 2), algorithm="summa", block=4,
+            params=PARAMS, gamma=1e-9,
+        )
+        assert result.total_time == pytest.approx(
+            result.comm_time + result.compute_time
+        )
+
+    def test_algorithms_tuple(self):
+        assert "hsumma" in ALGORITHMS and "summa" in ALGORITHMS
+        assert "cyclic" in ALGORITHMS
+
+    @pytest.mark.parametrize("algorithm,kw", [
+        ("summa", dict(overlap=True)),
+        ("hsumma", dict(overlap=True, groups=2)),
+        ("cyclic", {}),
+        ("cyclic", dict(groups=2)),
+        ("cyclic", dict(overlap=True)),
+    ])
+    def test_variant_algorithms_correct(self, rng, algorithm, kw):
+        n = 16
+        A = rng.standard_normal((n, n))
+        B = rng.standard_normal((n, n))
+        result = multiply(A, B, grid=(2, 2), algorithm=algorithm,
+                          block=4, params=PARAMS, **kw)
+        assert max_abs_error(result.C, A @ B) < 1e-10
+
+    def test_overlap_recorded_in_parameters(self):
+        result = multiply(
+            PhantomArray((32, 32)), PhantomArray((32, 32)),
+            grid=(2, 2), algorithm="summa", block=4,
+            params=PARAMS, overlap=True,
+        )
+        assert result.parameters["overlap"] is True

@@ -1,0 +1,114 @@
+"""Tests for block-cyclic SUMMA/HSUMMA (paper future work: block-cyclic)."""
+
+import numpy as np
+import pytest
+
+from repro.blocks.verify import max_abs_error
+from repro.core.cyclic import CyclicConfig, run_cyclic
+from repro.errors import ConfigurationError
+from repro.network.model import HockneyParams
+from repro.payloads import PhantomArray
+from repro.mpi.comm import CollectiveOptions
+
+PARAMS = HockneyParams(alpha=1e-4, beta=1e-9)
+
+
+class TestCyclicConfig:
+    def test_nsteps(self):
+        cfg = CyclicConfig(m=48, l=48, n=48, s=2, t=2, nb=4)
+        assert cfg.nsteps == 12
+
+    def test_hierarchical_flag(self):
+        assert not CyclicConfig(m=16, l=16, n=16, s=2, t=2, nb=4).hierarchical
+        assert CyclicConfig(m=16, l=16, n=16, s=2, t=2, nb=4,
+                            I=2, J=1).hierarchical
+
+    def test_divisibility(self):
+        with pytest.raises(ConfigurationError):
+            CyclicConfig(m=50, l=48, n=48, s=2, t=2, nb=4)
+
+
+class TestCyclicCorrectness:
+    @pytest.mark.parametrize("nb", [1, 2, 4, 12])
+    def test_flat(self, rng, nb):
+        n = 48
+        A = rng.standard_normal((n, n))
+        B = rng.standard_normal((n, n))
+        C, _ = run_cyclic(A, B, grid=(2, 2), nb=nb, params=PARAMS)
+        assert max_abs_error(C, A @ B) < 1e-10
+
+    @pytest.mark.parametrize("groups", [(2, 1), (1, 2), (2, 2)])
+    def test_hierarchical(self, rng, groups):
+        n = 48
+        A = rng.standard_normal((n, n))
+        B = rng.standard_normal((n, n))
+        C, _ = run_cyclic(A, B, grid=(2, 2), nb=4, groups=groups,
+                          params=PARAMS)
+        assert max_abs_error(C, A @ B) < 1e-10
+
+    def test_overlap(self, rng):
+        n = 48
+        A = rng.standard_normal((n, n))
+        B = rng.standard_normal((n, n))
+        C, _ = run_cyclic(A, B, grid=(2, 2), nb=4, overlap=True,
+                          params=PARAMS)
+        assert max_abs_error(C, A @ B) < 1e-10
+
+    def test_rectangular(self, rng):
+        A = rng.standard_normal((24, 36))
+        B = rng.standard_normal((36, 12))
+        C, _ = run_cyclic(A, B, grid=(2, 3), nb=2, params=PARAMS)
+        assert max_abs_error(C, A @ B) < 1e-10
+
+    def test_larger_grid(self, rng):
+        n = 64
+        A = rng.standard_normal((n, n))
+        B = rng.standard_normal((n, n))
+        C, _ = run_cyclic(A, B, grid=(4, 4), nb=4, groups=(2, 2),
+                          params=PARAMS)
+        assert max_abs_error(C, A @ B) < 1e-10
+
+    def test_hier_overlap_rejected(self, rng):
+        A = rng.standard_normal((16, 16))
+        with pytest.raises(ConfigurationError, match="overlap"):
+            run_cyclic(A, A, grid=(2, 2), nb=4, groups=(2, 2),
+                       overlap=True, params=PARAMS)
+
+
+class TestCyclicTiming:
+    def test_phantom_mode(self):
+        C, sim = run_cyclic(PhantomArray((64, 64)), PhantomArray((64, 64)),
+                            grid=(2, 2), nb=8, params=PARAMS)
+        assert isinstance(C, PhantomArray)
+        assert sim.total_time > 0
+
+    def test_hierarchy_reduces_latency_under_vdg(self):
+        """The HSUMMA latency collapse applies per rotating pivot."""
+        n = 512
+        opts = CollectiveOptions(bcast="vandegeijn")
+        A, B = PhantomArray((n, n)), PhantomArray((n, n))
+        _, flat = run_cyclic(A, B, grid=(8, 8), nb=8, params=PARAMS,
+                             options=opts)
+        _, hier = run_cyclic(A, B, grid=(8, 8), nb=8, groups=(4, 4),
+                             params=PARAMS, options=opts)
+        assert hier.comm_time < flat.comm_time
+
+    def test_overlap_reduces_total(self):
+        n = 256
+        gamma = 5e-9
+        A, B = PhantomArray((n, n)), PhantomArray((n, n))
+        _, plain = run_cyclic(A, B, grid=(4, 4), nb=16, params=PARAMS,
+                              gamma=gamma)
+        _, over = run_cyclic(A, B, grid=(4, 4), nb=16, overlap=True,
+                             params=PARAMS, gamma=gamma)
+        assert over.total_time < plain.total_time
+
+    def test_same_volume_as_block_distribution(self):
+        """Cyclic vs block distribution move the same bytes for b=nb."""
+        from repro.core.summa import run_summa
+
+        n = 128
+        A, B = PhantomArray((n, n)), PhantomArray((n, n))
+        _, cyc = run_cyclic(A, B, grid=(4, 4), nb=8, params=PARAMS)
+        _, blk = run_summa(A, B, grid=(4, 4), block=8, params=PARAMS)
+        assert cyc.total_bytes == blk.total_bytes

@@ -1,0 +1,91 @@
+"""Tests for the factorize() public API and the multilevel runner."""
+
+import numpy as np
+import pytest
+
+from repro import factorize
+from repro.core.hsumma import run_hsumma_multilevel
+from repro.errors import ConfigurationError
+from repro.network.model import HockneyParams
+from repro.payloads import PhantomArray
+
+PARAMS = HockneyParams(alpha=1e-4, beta=1e-9)
+
+
+class TestFactorizeApi:
+    def test_lu(self, rng):
+        n = 32
+        A = rng.standard_normal((n, n)) + n * np.eye(n)
+        res = factorize(A, kernel="lu", grid=(2, 2), block=8, params=PARAMS)
+        L, U = res.factors
+        assert np.max(np.abs(L @ U - A)) < 1e-9
+        assert res.kernel == "lu"
+        assert res.total_time >= res.comm_time
+
+    def test_qr(self, rng):
+        n = 32
+        A = rng.standard_normal((n, n))
+        res = factorize(A, kernel="qr", grid=(2, 2), block=8, params=PARAMS)
+        (R,) = res.factors
+        assert np.max(np.abs(R.T @ R - A.T @ A)) < 1e-9
+
+    def test_nprocs_factored(self, rng):
+        n = 32
+        A = rng.standard_normal((n, n)) + n * np.eye(n)
+        res = factorize(A, kernel="lu", nprocs=4, block=8, params=PARAMS)
+        assert res.parameters["grid"] == (2, 2)
+
+    def test_default_block_valid(self, rng):
+        n = 24
+        A = rng.standard_normal((n, n)) + n * np.eye(n)
+        res = factorize(A, kernel="lu", grid=(2, 2), params=PARAMS)
+        assert n % res.parameters["block"] == 0
+
+    def test_hierarchical_groups(self):
+        res = factorize(PhantomArray((512, 512)), kernel="lu", grid=(4, 4),
+                        block=32, groups=(2, 2), params=PARAMS)
+        assert res.parameters["groups"] == (2, 2)
+
+    def test_unknown_kernel(self, rng):
+        with pytest.raises(ConfigurationError, match="kernel"):
+            factorize(rng.standard_normal((8, 8)), kernel="cholesky",
+                      grid=(2, 2))
+
+    def test_needs_grid_or_procs(self, rng):
+        with pytest.raises(ConfigurationError):
+            factorize(rng.standard_normal((8, 8)), kernel="lu")
+
+
+class TestMultilevelRunner:
+    def test_correct(self, rng):
+        n = 32
+        A = rng.standard_normal((n, n))
+        B = rng.standard_normal((n, n))
+        C, _ = run_hsumma_multilevel(
+            A, B, grid=(4, 4), row_factors=(2, 2), col_factors=(2, 2),
+            blocks=(8, 4), params=PARAMS,
+        )
+        assert np.max(np.abs(C - A @ B)) < 1e-10
+
+    def test_single_level_matches_summa(self):
+        from repro.core.summa import run_summa
+        from repro.mpi.comm import CollectiveOptions
+
+        n = 64
+        opts = CollectiveOptions(bcast="vandegeijn")
+        A, B = PhantomArray((n, n)), PhantomArray((n, n))
+        _, ml = run_hsumma_multilevel(
+            A, B, grid=(4, 4), row_factors=(4,), col_factors=(4,),
+            blocks=(8,), params=PARAMS, options=opts,
+        )
+        _, s = run_summa(A, B, grid=(4, 4), block=8, params=PARAMS,
+                         options=opts)
+        assert ml.total_time == pytest.approx(s.total_time)
+
+    def test_bad_factors_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_hsumma_multilevel(
+                PhantomArray((32, 32)), PhantomArray((32, 32)),
+                grid=(4, 4), row_factors=(3, 2), col_factors=(2, 2),
+                blocks=(8, 8), params=PARAMS,
+            )

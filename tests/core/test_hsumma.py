@@ -1,0 +1,177 @@
+"""Tests for the HSUMMA implementation — the paper's contribution."""
+
+import numpy as np
+import pytest
+
+from repro.blocks.verify import max_abs_error
+from repro.core.hsumma import HSummaConfig, run_hsumma
+from repro.core.summa import run_summa
+from repro.errors import ConfigurationError
+from repro.mpi.comm import CollectiveOptions
+from repro.network.model import HockneyParams
+from repro.payloads import PhantomArray
+
+PARAMS = HockneyParams(alpha=1e-4, beta=1e-9)
+VDG = CollectiveOptions(bcast="vandegeijn")
+
+
+class TestHSummaConfig:
+    def test_properties(self):
+        cfg = HSummaConfig(m=64, l=64, n=64, s=4, t=4, I=2, J=2,
+                           outer_block=16, inner_block=4)
+        assert cfg.groups == 4
+        assert cfg.inner_s == 2 and cfg.inner_t == 2
+        assert cfg.outer_steps == 4
+        assert cfg.inner_steps == 4
+
+    def test_group_grid_must_divide(self):
+        with pytest.raises(ConfigurationError):
+            HSummaConfig(m=64, l=64, n=64, s=4, t=4, I=3, J=1,
+                         outer_block=16, inner_block=16)
+
+    def test_inner_block_le_outer(self):
+        with pytest.raises(ConfigurationError, match="inner block"):
+            HSummaConfig(m=64, l=64, n=64, s=4, t=4, I=2, J=2,
+                         outer_block=8, inner_block=16)
+
+    def test_inner_divides_outer(self):
+        with pytest.raises(ConfigurationError):
+            HSummaConfig(m=64, l=64, n=64, s=4, t=4, I=2, J=2,
+                         outer_block=16, inner_block=6)
+
+    def test_outer_block_within_tile(self):
+        with pytest.raises(ConfigurationError):
+            HSummaConfig(m=64, l=64, n=64, s=4, t=4, I=2, J=2,
+                         outer_block=32, inner_block=32)
+
+
+class TestHSummaCorrectness:
+    @pytest.mark.parametrize("groups", [1, 2, 4, 8, 16])
+    def test_all_group_counts(self, rng, groups):
+        n = 32
+        A = rng.standard_normal((n, n))
+        B = rng.standard_normal((n, n))
+        C, _ = run_hsumma(A, B, grid=(4, 4), groups=groups,
+                          outer_block=8, params=PARAMS)
+        assert max_abs_error(C, A @ B) < 1e-10
+
+    def test_explicit_group_grid(self, rng):
+        n = 24
+        A = rng.standard_normal((n, n))
+        B = rng.standard_normal((n, n))
+        C, _ = run_hsumma(A, B, grid=(2, 6), groups=(2, 3),
+                          outer_block=4, params=PARAMS)
+        assert max_abs_error(C, A @ B) < 1e-10
+
+    def test_inner_block_smaller_than_outer(self, rng):
+        n = 32
+        A = rng.standard_normal((n, n))
+        B = rng.standard_normal((n, n))
+        C, _ = run_hsumma(A, B, grid=(4, 4), groups=4,
+                          outer_block=8, inner_block=2, params=PARAMS)
+        assert max_abs_error(C, A @ B) < 1e-10
+
+    def test_rectangular_matrices(self, rng):
+        A = rng.standard_normal((12, 24))
+        B = rng.standard_normal((24, 36))
+        C, _ = run_hsumma(A, B, grid=(2, 4), groups=(2, 2),
+                          outer_block=3, params=PARAMS)
+        assert max_abs_error(C, A @ B) < 1e-10
+
+    @pytest.mark.parametrize("bcast", ["binomial", "vandegeijn", "pipelined"])
+    def test_broadcast_algorithms(self, rng, bcast):
+        n = 16
+        A = rng.standard_normal((n, n))
+        B = rng.standard_normal((n, n))
+        C, _ = run_hsumma(A, B, grid=(4, 4), groups=4, outer_block=4,
+                          params=PARAMS, outer_bcast=bcast, inner_bcast=bcast)
+        assert max_abs_error(C, A @ B) < 1e-10
+
+    def test_mixed_level_broadcasts(self, rng):
+        """The paper allows different algorithms per level."""
+        n = 16
+        A = rng.standard_normal((n, n))
+        B = rng.standard_normal((n, n))
+        C, _ = run_hsumma(A, B, grid=(4, 4), groups=4, outer_block=4,
+                          params=PARAMS, outer_bcast="vandegeijn",
+                          inner_bcast="binomial")
+        assert max_abs_error(C, A @ B) < 1e-10
+
+
+class TestDegenerationIdentities:
+    """The paper's worst-case guarantee: G=1 and G=p reproduce SUMMA."""
+
+    @pytest.mark.parametrize("G", [1, 16])
+    def test_time_equals_summa(self, G):
+        n = 64
+        A = PhantomArray((n, n))
+        B = PhantomArray((n, n))
+        _, s_sim = run_summa(A, B, grid=(4, 4), block=8, params=PARAMS,
+                             options=VDG)
+        _, h_sim = run_hsumma(A, B, grid=(4, 4), groups=G, outer_block=8,
+                              params=PARAMS, options=VDG)
+        assert h_sim.total_time == pytest.approx(s_sim.total_time)
+        assert h_sim.comm_time == pytest.approx(s_sim.comm_time)
+
+    def test_message_volume_independent_of_groups(self):
+        """HSUMMA moves the same bytes as SUMMA for any G (binomial
+        trees forward whole copies, so compare at fixed algorithm)."""
+        n = 64
+        A = PhantomArray((n, n))
+        B = PhantomArray((n, n))
+        volumes = []
+        for G in (1, 4, 16):
+            _, sim = run_hsumma(A, B, grid=(4, 4), groups=G,
+                                outer_block=8, params=PARAMS)
+            volumes.append(sim.total_bytes)
+        assert volumes[0] == volumes[1] == volumes[2]
+
+
+class TestInteriorOptimum:
+    def test_u_shape_under_vdg(self):
+        """alpha/beta >> 2nb/p: an interior G must beat both extremes
+        (the paper's headline theorem)."""
+        n, p = 1024, 64
+        times = {}
+        for G in (1, 8, 64):
+            _, sim = run_hsumma(
+                PhantomArray((n, n)), PhantomArray((n, n)),
+                grid=(8, 8), groups=G, outer_block=16,
+                params=HockneyParams(alpha=1e-4, beta=1e-9), options=VDG,
+            )
+            times[G] = sim.comm_time
+        assert times[8] < times[1]
+        assert times[8] < times[64]
+
+    def test_flat_in_g_under_binomial(self):
+        """Table I: with binomial broadcast the G terms add to the same
+        totals, so HSUMMA(G) == SUMMA for every G."""
+        n = 64
+        ref = None
+        for G in (1, 2, 4, 8, 16):
+            _, sim = run_hsumma(
+                PhantomArray((n, n)), PhantomArray((n, n)),
+                grid=(4, 4), groups=G, outer_block=8, params=PARAMS,
+            )
+            if ref is None:
+                ref = sim.total_time
+            assert sim.total_time == pytest.approx(ref)
+
+
+class TestHSummaPhantom:
+    def test_phantom_equals_real_timing(self, rng):
+        n = 32
+        A = rng.standard_normal((n, n))
+        B = rng.standard_normal((n, n))
+        _, real = run_hsumma(A, B, grid=(4, 4), groups=4, outer_block=8,
+                             params=PARAMS, gamma=1e-9)
+        _, phantom = run_hsumma(
+            PhantomArray((n, n)), PhantomArray((n, n)),
+            grid=(4, 4), groups=4, outer_block=8, params=PARAMS, gamma=1e-9,
+        )
+        assert real.total_time == pytest.approx(phantom.total_time)
+
+    def test_invalid_group_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_hsumma(PhantomArray((32, 32)), PhantomArray((32, 32)),
+                       grid=(4, 4), groups=3, outer_block=8, params=PARAMS)

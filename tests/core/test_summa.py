@@ -1,0 +1,127 @@
+"""Tests for the SUMMA implementation."""
+
+import numpy as np
+import pytest
+
+from repro.blocks.verify import max_abs_error
+from repro.core.summa import SummaConfig, run_summa
+from repro.errors import ConfigurationError
+from repro.network.model import HockneyParams
+from repro.payloads import PhantomArray
+
+PARAMS = HockneyParams(alpha=1e-4, beta=1e-9)
+
+
+class TestSummaConfig:
+    def test_nsteps(self):
+        cfg = SummaConfig(m=64, l=64, n=64, s=4, t=4, block=8)
+        assert cfg.nsteps == 8
+
+    def test_block_must_divide_tiles(self):
+        with pytest.raises(ConfigurationError):
+            SummaConfig(m=64, l=64, n=64, s=4, t=4, block=24)
+
+    def test_grid_must_divide_dims(self):
+        with pytest.raises(ConfigurationError):
+            SummaConfig(m=65, l=64, n=64, s=4, t=4, block=8)
+
+    def test_rectangular_ok(self):
+        cfg = SummaConfig(m=12, l=24, n=36, s=2, t=3, block=4)
+        assert cfg.nsteps == 6
+
+
+class TestSummaCorrectness:
+    @pytest.mark.parametrize("grid,block", [((2, 2), 8), ((4, 4), 4), ((2, 4), 8), ((1, 4), 8), ((4, 1), 8)])
+    def test_square_matrices(self, rng, grid, block):
+        n = 32
+        A = rng.standard_normal((n, n))
+        B = rng.standard_normal((n, n))
+        C, _ = run_summa(A, B, grid=grid, block=block, params=PARAMS)
+        assert max_abs_error(C, A @ B) < 1e-10
+
+    def test_rectangular_matrices(self, rng):
+        A = rng.standard_normal((12, 24))
+        B = rng.standard_normal((24, 18))
+        C, _ = run_summa(A, B, grid=(2, 3), block=4, params=PARAMS)
+        assert max_abs_error(C, A @ B) < 1e-10
+
+    def test_single_rank(self, rng):
+        A = rng.standard_normal((8, 8))
+        B = rng.standard_normal((8, 8))
+        C, _ = run_summa(A, B, grid=(1, 1), block=4, params=PARAMS)
+        assert max_abs_error(C, A @ B) < 1e-10
+
+    def test_block_one(self, rng):
+        A = rng.standard_normal((8, 8))
+        B = rng.standard_normal((8, 8))
+        C, _ = run_summa(A, B, grid=(2, 2), block=1, params=PARAMS)
+        assert max_abs_error(C, A @ B) < 1e-10
+
+    @pytest.mark.parametrize("bcast", ["binomial", "vandegeijn", "flat", "chain", "pipelined", "binary"])
+    def test_any_broadcast_algorithm(self, rng, bcast):
+        n = 16
+        A = rng.standard_normal((n, n))
+        B = rng.standard_normal((n, n))
+        C, _ = run_summa(A, B, grid=(2, 2), block=4, params=PARAMS, bcast=bcast)
+        assert max_abs_error(C, A @ B) < 1e-10
+
+    def test_inner_dim_mismatch_rejected(self, rng):
+        A = rng.standard_normal((8, 8))
+        B = rng.standard_normal((6, 8))
+        with pytest.raises(ConfigurationError):
+            run_summa(A, B, grid=(2, 2), block=2, params=PARAMS)
+
+
+class TestSummaPhantom:
+    def test_phantom_result(self):
+        C, sim = run_summa(
+            PhantomArray((64, 64)), PhantomArray((64, 64)),
+            grid=(4, 4), block=8, params=PARAMS,
+        )
+        assert isinstance(C, PhantomArray)
+        assert C.shape == (64, 64)
+        assert sim.total_time > 0
+
+    def test_phantom_timing_matches_real(self, rng):
+        """Phantom and data modes must produce identical virtual times."""
+        n = 32
+        A = rng.standard_normal((n, n))
+        B = rng.standard_normal((n, n))
+        _, sim_real = run_summa(A, B, grid=(4, 4), block=8, params=PARAMS, gamma=1e-9)
+        _, sim_phantom = run_summa(
+            PhantomArray((n, n)), PhantomArray((n, n)),
+            grid=(4, 4), block=8, params=PARAMS, gamma=1e-9,
+        )
+        assert sim_real.total_time == pytest.approx(sim_phantom.total_time)
+        assert sim_real.comm_time == pytest.approx(sim_phantom.comm_time)
+
+
+class TestSummaTiming:
+    def test_smaller_block_more_latency(self):
+        """The paper's Fig 5 vs 6 setup: small blocks inflate the
+        latency term (more steps)."""
+        kw = dict(grid=(4, 4), params=PARAMS)
+        _, sim_small = run_summa(
+            PhantomArray((64, 64)), PhantomArray((64, 64)), block=2, **kw
+        )
+        _, sim_large = run_summa(
+            PhantomArray((64, 64)), PhantomArray((64, 64)), block=16, **kw
+        )
+        assert sim_small.comm_time > sim_large.comm_time
+
+    def test_compute_time_is_2n3_over_p(self):
+        gamma = 1e-9
+        n, p = 64, 16
+        _, sim = run_summa(
+            PhantomArray((n, n)), PhantomArray((n, n)),
+            grid=(4, 4), block=8, params=PARAMS, gamma=gamma,
+        )
+        assert sim.compute_time == pytest.approx(2 * n**3 / p * gamma)
+
+    def test_comm_plus_compute_equals_total(self):
+        _, sim = run_summa(
+            PhantomArray((64, 64)), PhantomArray((64, 64)),
+            grid=(4, 4), block=8, params=PARAMS, gamma=1e-9,
+        )
+        # On the critical-path rank the two must add up.
+        assert sim.comm_time + sim.compute_time == pytest.approx(sim.total_time)

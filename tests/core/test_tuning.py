@@ -1,0 +1,54 @@
+"""Tests for the empirical group-count tuner."""
+
+import pytest
+
+from repro.core.tuning import tune_group_count
+from repro.errors import ConfigurationError
+from repro.mpi.comm import CollectiveOptions
+from repro.network.model import HockneyParams
+
+PARAMS = HockneyParams(alpha=1e-4, beta=1e-9)
+VDG = CollectiveOptions(bcast="vandegeijn")
+
+
+class TestTuneGroupCount:
+    def test_finds_interior_optimum_under_vdg(self):
+        report = tune_group_count(
+            1024, (8, 8), 16, params=PARAMS, options=VDG, metric="comm"
+        )
+        assert report.best_groups not in (1, 64)
+        # The sampled time at the optimum is really the minimum.
+        assert report.best_time == min(report.times.values())
+
+    def test_all_valid_counts_sampled(self):
+        report = tune_group_count(256, (4, 4), 8, params=PARAMS, options=VDG)
+        assert sorted(report.times) == [1, 2, 4, 8, 16]
+
+    def test_explicit_candidates(self):
+        report = tune_group_count(
+            256, (4, 4), 8, candidates=[1, 4], params=PARAMS, options=VDG
+        )
+        assert sorted(report.times) == [1, 4]
+
+    def test_binomial_is_flat_ties_break_low(self):
+        """Under binomial broadcast all G tie; the tuner must pick the
+        smallest (deterministic tie-break)."""
+        report = tune_group_count(256, (4, 4), 8, params=PARAMS)
+        assert report.best_groups == 1
+
+    def test_metric_validation(self):
+        with pytest.raises(ConfigurationError):
+            tune_group_count(256, (4, 4), 8, metric="latency")
+
+    def test_total_metric_includes_compute(self):
+        r_comm = tune_group_count(
+            256, (4, 4), 8, params=PARAMS, options=VDG,
+            metric="comm", gamma=0.0,
+        )
+        r_total = tune_group_count(
+            256, (4, 4), 8, params=PARAMS, options=VDG,
+            metric="total", gamma=1e-6,
+        )
+        assert all(
+            r_total.times[g] > r_comm.times[g] for g in r_comm.times
+        )

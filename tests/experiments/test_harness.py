@@ -1,0 +1,62 @@
+"""Tests for the Series harness."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.harness import Series, speedup
+
+
+def _series():
+    return Series(
+        name="demo",
+        xlabel="groups",
+        x=[1, 2, 4],
+        columns={"a": [3.0, 1.0, 2.0], "b": [3.0, 3.0, 3.0]},
+        meta={"p": 16},
+    )
+
+
+class TestSeries:
+    def test_column_access(self):
+        s = _series()
+        assert s.column("a") == [3.0, 1.0, 2.0]
+
+    def test_unknown_column(self):
+        with pytest.raises(ConfigurationError, match="available"):
+            _series().column("zzz")
+
+    def test_min_of(self):
+        assert _series().min_of("a") == (2, 1.0)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Series(name="x", xlabel="g", x=[1, 2], columns={"a": [1.0]})
+
+    def test_to_table_contains_data(self):
+        out = _series().to_table()
+        assert "groups" in out
+        assert "demo" in out  # caption
+        assert "p=16" in out
+
+    def test_to_csv_roundtrip(self):
+        csv = _series().to_csv()
+        lines = csv.strip().splitlines()
+        assert lines[0] == "groups,a,b"
+        assert len(lines) == 4
+        assert lines[1].startswith("1,")
+
+    def test_custom_title(self):
+        out = _series().to_table(title="Custom")
+        assert out.splitlines()[0] == "Custom"
+
+
+class TestSpeedup:
+    def test_ratio(self):
+        s = _series()
+        assert speedup(s, "b", "a") == [1.0, 3.0, 1.5]
+
+    def test_nonpositive_rejected(self):
+        s = Series(name="x", xlabel="g", x=[1],
+                   columns={"a": [0.0], "b": [1.0]})
+        with pytest.raises(ConfigurationError):
+            speedup(s, "b", "a")

@@ -1,0 +1,80 @@
+"""Tests for per-step cost profiles."""
+
+import pytest
+
+from repro.core.hsumma import HSummaConfig
+from repro.core.summa import SummaConfig
+from repro.experiments.profiles import hsumma_step_profile, summa_step_profile
+from repro.experiments.stepmodel import (
+    AnalyticCoster,
+    TopologyCoster,
+    hsumma_step_model,
+    summa_step_model,
+)
+from repro.network.model import HockneyParams
+from repro.network.torus import Torus3D
+
+PARAMS = HockneyParams(alpha=1e-4, beta=1e-9)
+
+
+class TestSummaProfile:
+    def test_totals_match_step_model(self):
+        cfg = SummaConfig(m=256, l=256, n=256, s=4, t=4, block=16)
+        coster = AnalyticCoster(PARAMS, "vandegeijn")
+        profile = summa_step_profile(cfg, coster, gamma=1e-9)
+        report = summa_step_model(cfg, coster, gamma=1e-9)
+        assert profile.total_comm == pytest.approx(report.comm_time)
+        assert len(profile.comm_per_step) == cfg.nsteps
+
+    def test_homogeneous_is_flat(self):
+        cfg = SummaConfig(m=256, l=256, n=256, s=4, t=4, block=16)
+        profile = summa_step_profile(cfg, AnalyticCoster(PARAMS, "binomial"))
+        assert profile.variability() == pytest.approx(1.0)
+
+    def test_torus_varies_by_owner(self):
+        """On the torus the broadcast cost depends on where the root
+        sits, so the per-step profile is no longer flat (use the exact
+        micro-DES coster — the L/W-form TopologyCoster is root-blind
+        by construction)."""
+        from repro.experiments.stepmodel import MicroDesCoster
+
+        cfg = SummaConfig(m=256, l=256, n=256, s=4, t=4, block=16)
+        net = Torus3D((4, 2, 2), HockneyParams(3e-6, 1e-9), alpha_hop=2e-6)
+        profile = summa_step_profile(cfg, MicroDesCoster(net, "binomial"))
+        assert profile.variability() > 1.0
+
+    def test_gemm_per_step(self):
+        cfg = SummaConfig(m=64, l=64, n=64, s=4, t=4, block=8)
+        profile = summa_step_profile(cfg, AnalyticCoster(PARAMS), gamma=1e-9)
+        assert profile.gemm_per_step == pytest.approx(2 * 16 * 8 * 16 * 1e-9)
+
+
+class TestHSummaProfile:
+    def _cfg(self, inner):
+        return HSummaConfig(m=256, l=256, n=256, s=4, t=4, I=2, J=2,
+                            outer_block=32, inner_block=inner)
+
+    def test_totals_match_step_model(self):
+        cfg = self._cfg(8)
+        coster = AnalyticCoster(PARAMS, "vandegeijn")
+        profile = hsumma_step_profile(cfg, coster)
+        report = hsumma_step_model(cfg, coster)
+        assert profile.total_comm == pytest.approx(report.comm_time)
+        assert len(profile.comm_per_step) == cfg.outer_steps * cfg.inner_steps
+
+    def test_outer_steps_heavier(self):
+        """With b < B, the first inner step of each outer block carries
+        the outer broadcast — visibly heavier."""
+        cfg = self._cfg(8)
+        profile = hsumma_step_profile(cfg, AnalyticCoster(PARAMS))
+        per = profile.comm_per_step
+        inner_steps = cfg.inner_steps
+        for K in range(cfg.outer_steps):
+            first = per[K * inner_steps]
+            rest = per[K * inner_steps + 1 : (K + 1) * inner_steps]
+            assert all(first > r for r in rest)
+
+    def test_peak_step_is_an_outer_boundary(self):
+        cfg = self._cfg(8)
+        profile = hsumma_step_profile(cfg, AnalyticCoster(PARAMS))
+        assert profile.peak_step % cfg.inner_steps == 0

@@ -1,0 +1,38 @@
+"""Tests for the reproduction scorecard."""
+
+from repro.cli import main
+from repro.experiments.report import (
+    CheckResult,
+    build_scorecard,
+    render_scorecard,
+)
+
+
+class TestScorecard:
+    def test_all_checks_pass(self):
+        results = build_scorecard()
+        failing = [r for r in results if not r.passed]
+        assert not failing, [f"{r.name}: {r.detail}" for r in failing]
+
+    def test_covers_headline_claims(self):
+        names = [r.name for r in build_scorecard()]
+        assert any("numerics" in n for n in names)
+        assert any("degeneration" in n for n in names)
+        assert any("optimum" in n for n in names)
+        assert any("threshold" in n for n in names)
+
+    def test_render(self):
+        results = [
+            CheckResult("good", True, "fine"),
+            CheckResult("bad", False, "broken"),
+        ]
+        text = render_scorecard(results)
+        assert "[PASS] good" in text
+        assert "[FAIL] bad" in text
+        assert "1/2 checks passed" in text
+
+    def test_cli_report(self, capsys):
+        assert main(["report"]) == 0
+        out = capsys.readouterr().out
+        assert "scorecard" in out
+        assert "7/7" in out

@@ -1,0 +1,139 @@
+"""Tests for the block LU factorization (paper future work: LU/QR)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.factorization import LuConfig, run_block_lu
+from repro.factorization.lu import _getrf_nopiv
+from repro.mpi.comm import CollectiveOptions
+from repro.network.model import HockneyParams
+from repro.payloads import PhantomArray
+
+PARAMS = HockneyParams(alpha=1e-4, beta=1e-9)
+VDG = CollectiveOptions(bcast="vandegeijn")
+
+
+def _dd_matrix(rng, n):
+    """Diagonally dominant: safe for unpivoted LU."""
+    return rng.standard_normal((n, n)) + n * np.eye(n)
+
+
+class TestGetrfNopiv:
+    def test_reconstructs(self, rng):
+        a = _dd_matrix(rng, 8)
+        L, U = _getrf_nopiv(a)
+        assert np.allclose(L @ U, a)
+        assert np.allclose(np.diag(L), 1.0)
+        assert np.allclose(L, np.tril(L))
+        assert np.allclose(U, np.triu(U))
+
+    def test_zero_pivot_rejected(self):
+        with pytest.raises(ConfigurationError, match="pivot"):
+            _getrf_nopiv(np.zeros((3, 3)))
+
+    def test_identity(self):
+        L, U = _getrf_nopiv(np.eye(4))
+        assert np.allclose(L, np.eye(4))
+        assert np.allclose(U, np.eye(4))
+
+
+class TestLuConfig:
+    def test_nblocks(self):
+        assert LuConfig(n=64, b=8, s=2, t=2).nblocks == 8
+
+    def test_block_divides(self):
+        with pytest.raises(ConfigurationError):
+            LuConfig(n=60, b=8, s=2, t=2)
+
+    def test_groups_divide(self):
+        with pytest.raises(ConfigurationError):
+            LuConfig(n=64, b=8, s=2, t=2, I=3, J=1)
+
+
+class TestBlockLuCorrectness:
+    @pytest.mark.parametrize("grid", [(1, 1), (2, 2), (2, 3), (4, 4)])
+    def test_reconstruction(self, rng, grid):
+        n = 48
+        A = _dd_matrix(rng, n)
+        L, U, _ = run_block_lu(A, grid=grid, block=8, params=PARAMS)
+        assert np.max(np.abs(L @ U - A)) < 1e-9
+
+    def test_triangular_structure(self, rng):
+        n = 32
+        A = _dd_matrix(rng, n)
+        L, U, _ = run_block_lu(A, grid=(2, 2), block=8, params=PARAMS)
+        assert np.allclose(L, np.tril(L))
+        assert np.allclose(U, np.triu(U))
+        assert np.allclose(np.diag(L), 1.0)
+
+    @pytest.mark.parametrize("groups", [(2, 1), (2, 2), (1, 2)])
+    def test_hierarchical_same_result(self, rng, groups):
+        n = 48
+        A = _dd_matrix(rng, n)
+        L1, U1, _ = run_block_lu(A, grid=(2, 2), block=8, params=PARAMS)
+        L2, U2, _ = run_block_lu(A, grid=(2, 2), block=8, groups=groups,
+                                 params=PARAMS)
+        assert np.allclose(L1, L2)
+        assert np.allclose(U1, U2)
+
+    @pytest.mark.parametrize("bcast", ["binomial", "vandegeijn"])
+    def test_broadcast_algorithms(self, rng, bcast):
+        n = 32
+        A = _dd_matrix(rng, n)
+        opts = CollectiveOptions(bcast=bcast)
+        L, U, _ = run_block_lu(A, grid=(2, 2), block=8, groups=(2, 2),
+                               params=PARAMS, options=opts)
+        assert np.max(np.abs(L @ U - A)) < 1e-9
+
+    def test_non_square_rejected(self, rng):
+        with pytest.raises(ConfigurationError, match="square"):
+            run_block_lu(rng.standard_normal((8, 10)), grid=(2, 2),
+                         block=2, params=PARAMS)
+
+    def test_matches_scipy(self, rng):
+        """Against scipy's unpivoted path via solving: LUx = b."""
+        n = 32
+        A = _dd_matrix(rng, n)
+        b = rng.standard_normal(n)
+        L, U, _ = run_block_lu(A, grid=(2, 2), block=8, params=PARAMS)
+        import scipy.linalg
+
+        y = scipy.linalg.solve_triangular(L, b, lower=True, unit_diagonal=True)
+        x = scipy.linalg.solve_triangular(U, y)
+        assert np.allclose(A @ x, b)
+
+
+class TestBlockLuTiming:
+    def test_phantom_mode(self):
+        L, U, sim = run_block_lu(PhantomArray((256, 256)), grid=(2, 2),
+                                 block=16, params=PARAMS)
+        assert isinstance(L, PhantomArray)
+        assert sim.total_time > 0
+
+    def test_phantom_matches_real_timing(self, rng):
+        n = 48
+        A = _dd_matrix(rng, n)
+        _, _, real = run_block_lu(A, grid=(2, 2), block=8,
+                                  params=PARAMS, gamma=1e-9)
+        _, _, phantom = run_block_lu(PhantomArray((n, n)), grid=(2, 2),
+                                     block=8, params=PARAMS, gamma=1e-9)
+        assert real.total_time == pytest.approx(phantom.total_time)
+
+    def test_compute_is_two_thirds_n_cubed(self):
+        """Total flops across ranks ~ 2/3 n^3 for n >> b."""
+        n, b, gamma = 512, 16, 1e-9
+        _, _, sim = run_block_lu(PhantomArray((n, n)), grid=(4, 4),
+                                 block=b, params=PARAMS, gamma=gamma)
+        total_flops = sum(s.compute_time for s in sim.stats) / gamma
+        assert total_flops == pytest.approx((2 / 3) * n**3, rel=0.15)
+
+    def test_hierarchy_reduces_comm_under_vdg(self):
+        """The HSUMMA grouping carries over to LU panel broadcasts."""
+        n = 2048
+        _, _, flat = run_block_lu(PhantomArray((n, n)), grid=(8, 8),
+                                  block=32, params=PARAMS, options=VDG)
+        _, _, hier = run_block_lu(PhantomArray((n, n)), grid=(8, 8),
+                                  block=32, groups=(4, 4),
+                                  params=PARAMS, options=VDG)
+        assert hier.comm_time < flat.comm_time

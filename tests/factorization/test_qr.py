@@ -1,0 +1,114 @@
+"""Tests for the blocked Householder QR."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.factorization import run_block_qr
+from repro.factorization.qr import _panel_householder
+from repro.mpi.comm import CollectiveOptions
+from repro.network.model import HockneyParams
+from repro.payloads import PhantomArray
+
+PARAMS = HockneyParams(alpha=1e-4, beta=1e-9)
+VDG = CollectiveOptions(bcast="vandegeijn")
+
+
+class TestPanelHouseholder:
+    def test_reconstruction(self, rng):
+        P = rng.standard_normal((12, 4))
+        V, T, R = _panel_householder(P)
+        Q = np.eye(12) - V @ T @ V.T
+        rec = Q @ np.vstack([R, np.zeros((8, 4))])
+        assert np.max(np.abs(rec - P)) < 1e-12
+
+    def test_v_unit_lower(self, rng):
+        P = rng.standard_normal((10, 3))
+        V, _, _ = _panel_householder(P)
+        assert np.allclose(np.diag(V[:3]), 1.0)
+        assert np.allclose(np.triu(V[:3], 1), 0.0)
+
+    def test_q_orthogonal(self, rng):
+        P = rng.standard_normal((8, 8))
+        V, T, _ = _panel_householder(P)
+        Q = np.eye(8) - V @ T @ V.T
+        assert np.max(np.abs(Q.T @ Q - np.eye(8))) < 1e-12
+
+    def test_wide_panel_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            _panel_householder(rng.standard_normal((3, 5)))
+
+
+class TestBlockQrCorrectness:
+    @pytest.mark.parametrize("grid", [(1, 1), (2, 2), (2, 3), (4, 4)])
+    def test_gram_identity(self, rng, grid):
+        """R^T R == A^T A holds iff A = QR with orthogonal Q."""
+        n = 32
+        A = rng.standard_normal((n, n))
+        R, _ = run_block_qr(A, grid=grid, block=8, params=PARAMS)
+        assert np.max(np.abs(R.T @ R - A.T @ A)) < 1e-10
+
+    def test_upper_triangular(self, rng):
+        n = 32
+        A = rng.standard_normal((n, n))
+        R, _ = run_block_qr(A, grid=(2, 2), block=8, params=PARAMS)
+        assert np.allclose(R, np.triu(R))
+
+    def test_matches_numpy_up_to_signs(self, rng):
+        n = 24
+        A = rng.standard_normal((n, n))
+        R, _ = run_block_qr(A, grid=(2, 2), block=4, params=PARAMS)
+        _, Rref = np.linalg.qr(A)
+        assert np.max(np.abs(np.abs(R) - np.abs(Rref))) < 1e-10
+
+    @pytest.mark.parametrize("groups", [(2, 1), (1, 2), (2, 2)])
+    def test_hierarchical_same_result(self, rng, groups):
+        n = 32
+        A = rng.standard_normal((n, n))
+        R1, _ = run_block_qr(A, grid=(2, 2), block=8, params=PARAMS)
+        R2, _ = run_block_qr(A, grid=(2, 2), block=8, groups=groups,
+                             params=PARAMS)
+        assert np.allclose(R1, R2)
+
+    @pytest.mark.parametrize("bcast", ["binomial", "vandegeijn"])
+    def test_broadcast_algorithms(self, rng, bcast):
+        n = 32
+        A = rng.standard_normal((n, n))
+        opts = CollectiveOptions(bcast=bcast)
+        R, _ = run_block_qr(A, grid=(2, 2), block=8, groups=(2, 2),
+                            params=PARAMS, options=opts)
+        assert np.max(np.abs(R.T @ R - A.T @ A)) < 1e-10
+
+    def test_non_square_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            run_block_qr(rng.standard_normal((8, 10)), grid=(2, 2),
+                         block=2, params=PARAMS)
+
+
+class TestBlockQrTiming:
+    def test_phantom_mode(self):
+        R, sim = run_block_qr(PhantomArray((256, 256)), grid=(2, 2),
+                              block=16, params=PARAMS)
+        assert isinstance(R, PhantomArray)
+        assert sim.total_time > 0
+
+    def test_hierarchy_reduces_comm_under_vdg(self):
+        n = 1024
+        _, flat = run_block_qr(PhantomArray((n, n)), grid=(8, 8),
+                               block=32, params=PARAMS, options=VDG)
+        _, hier = run_block_qr(PhantomArray((n, n)), grid=(8, 8),
+                               block=32, groups=(4, 4),
+                               params=PARAMS, options=VDG)
+        assert hier.comm_time < flat.comm_time
+
+    def test_more_comm_than_lu(self):
+        """QR's allreduce-based trailing update costs more comm than
+        LU's broadcast-only pattern at the same size."""
+        from repro.factorization import run_block_lu
+
+        n = 512
+        _, qr_sim = run_block_qr(PhantomArray((n, n)), grid=(4, 4),
+                                 block=32, params=PARAMS)
+        _, _, lu_sim = run_block_lu(PhantomArray((n, n)), grid=(4, 4),
+                                    block=32, params=PARAMS)
+        assert qr_sim.comm_time > lu_sim.comm_time

@@ -1,0 +1,85 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_figure_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "11"])
+
+
+class TestCommands:
+    def test_validate(self, capsys):
+        assert main(["validate"]) == 0
+        out = capsys.readouterr().out
+        assert "grid5000-graphene" in out
+        assert "bluegene-p" in out
+        assert "exascale-2012" in out
+
+    def test_tables(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        assert "binomial" in out and "vandegeijn" in out
+
+    def test_multiply(self, capsys):
+        assert main([
+            "multiply", "--n", "256", "--procs", "16", "--block", "16",
+            "--algorithm", "hsumma", "--groups", "4",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "total" in out and "comm" in out
+
+    def test_multiply_bad_config_returns_2(self, capsys):
+        # Block does not divide the tile: a ReproError, exit code 2.
+        rc = main([
+            "multiply", "--n", "100", "--procs", "16", "--block", "7",
+            "--algorithm", "summa",
+        ])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_tune(self, capsys):
+        assert main(["tune", "--n", "256", "--procs", "16",
+                     "--block", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "best" in out
+
+    def test_lu(self, capsys):
+        assert main(["lu", "--n", "256", "--procs", "16", "--block", "16",
+                     "--group-rows", "2", "--group-cols", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "HLU" in out
+
+    def test_lu_flat(self, capsys):
+        assert main(["lu", "--n", "256", "--procs", "16",
+                     "--block", "16"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("LU")
+
+    def test_timeline(self, capsys):
+        assert main(["timeline", "--n", "64", "--procs", "4",
+                     "--block", "8", "--width", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "rank 0" in out
+        assert "s=send" in out
+
+    def test_timeline_overlap(self, capsys):
+        assert main(["timeline", "--n", "64", "--procs", "4",
+                     "--block", "8", "--overlap"]) == 0
+        assert "overlapped" in capsys.readouterr().out
+
+    def test_figure_10_csv(self, capsys):
+        assert main(["figure", "10", "--csv"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("groups,")
+
+    def test_figure_10_table(self, capsys):
+        assert main(["figure", "10"]) == 0
+        assert "hsumma_comm" in capsys.readouterr().out

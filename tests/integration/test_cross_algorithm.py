@@ -1,0 +1,105 @@
+"""Integration tests: all algorithms agree on the same product and the
+simulated timings respect the relationships the paper relies on."""
+
+import numpy as np
+import pytest
+
+from repro.blocks.verify import max_abs_error, relative_error
+from repro.core.api import multiply
+from repro.mpi.comm import CollectiveOptions
+from repro.network.model import HockneyParams
+from repro.payloads import PhantomArray
+
+PARAMS = HockneyParams(alpha=1e-4, beta=1e-9)
+VDG = CollectiveOptions(bcast="vandegeijn")
+
+
+class TestAllAlgorithmsAgree:
+    def test_same_product_everywhere(self, rng):
+        n = 24
+        A = rng.standard_normal((n, n))
+        B = rng.standard_normal((n, n))
+        ref = A @ B
+        results = {
+            "serial": multiply(A, B, algorithm="serial"),
+            "summa": multiply(A, B, grid=(2, 2), algorithm="summa",
+                              block=4, params=PARAMS),
+            "hsumma": multiply(A, B, grid=(2, 2), algorithm="hsumma",
+                               block=4, groups=2, params=PARAMS),
+            "cannon": multiply(A, B, grid=(2, 2), algorithm="cannon",
+                               params=PARAMS),
+            "fox": multiply(A, B, grid=(2, 2), algorithm="fox",
+                            params=PARAMS),
+            "3d": multiply(A, B, nprocs=8, algorithm="3d", params=PARAMS),
+            "2.5d": multiply(A, B, nprocs=8, algorithm="2.5d",
+                             replication=2, params=PARAMS),
+        }
+        for name, result in results.items():
+            assert max_abs_error(result.C, ref) < 1e-10, name
+
+    def test_ill_conditioned_still_accurate(self, rng):
+        """Relative error stays at machine precision even for badly
+        scaled inputs (the block algorithms only reorder the sum)."""
+        n = 16
+        A = rng.standard_normal((n, n)) * np.logspace(-8, 8, n)
+        B = rng.standard_normal((n, n))
+        ref = A @ B
+        r = multiply(A, B, grid=(2, 2), algorithm="hsumma", block=4,
+                     groups=2, params=PARAMS)
+        assert relative_error(r.C, ref) < 1e-12
+
+
+class TestPaperRelationships:
+    def test_hsumma_never_worse_than_summa_at_best_g(self):
+        """The paper's worst-case guarantee, measured end to end."""
+        n = 512
+        A, B = PhantomArray((n, n)), PhantomArray((n, n))
+        summa = multiply(A, B, grid=(4, 4), algorithm="summa",
+                         block=32, params=PARAMS, options=VDG)
+        best = min(
+            multiply(A, B, grid=(4, 4), algorithm="hsumma", block=32,
+                     groups=G, params=PARAMS, options=VDG).comm_time
+            for G in (1, 2, 4, 8, 16)
+        )
+        assert best <= summa.comm_time + 1e-12
+
+    def test_comm_fraction_grows_with_p(self):
+        """The paper's motivation: communication dominates as p grows
+        for a fixed problem."""
+        n = 256
+        gamma = 1e-9
+        fractions = []
+        for grid in ((2, 2), (4, 4), (8, 8)):
+            r = multiply(PhantomArray((n, n)), PhantomArray((n, n)),
+                         grid=grid, algorithm="summa", block=16,
+                         params=PARAMS, gamma=gamma, options=VDG)
+            fractions.append(r.comm_time / r.total_time)
+        assert fractions[0] < fractions[1] < fractions[2]
+
+    def test_deterministic_repeatability(self):
+        """Two identical simulations give bit-identical virtual times."""
+        n = 128
+        args = dict(grid=(4, 4), algorithm="hsumma", block=8, groups=4,
+                    params=PARAMS, options=VDG)
+        r1 = multiply(PhantomArray((n, n)), PhantomArray((n, n)), **args)
+        r2 = multiply(PhantomArray((n, n)), PhantomArray((n, n)), **args)
+        assert r1.total_time == r2.total_time
+        assert r1.comm_time == r2.comm_time
+
+
+class TestTuningIntegration:
+    def test_tuned_g_is_actually_best(self):
+        """The auto-tuner's pick must match an exhaustive full-run sweep."""
+        from repro.core.tuning import tune_group_count
+
+        n, grid, block = 512, (4, 4), 32
+        report = tune_group_count(n, grid, block, params=PARAMS,
+                                  options=VDG, metric="comm")
+        full = {}
+        for G in report.times:
+            r = multiply(PhantomArray((n, n)), PhantomArray((n, n)),
+                         grid=grid, algorithm="hsumma", block=block,
+                         groups=G, params=PARAMS, options=VDG)
+            full[G] = r.comm_time
+        best_full = min(full, key=lambda g: (full[g], g))
+        assert report.best_groups == best_full

@@ -1,0 +1,66 @@
+"""Smoke tests for the runnable examples (the fast ones).
+
+Each example is a script; these tests import and drive their ``main``
+(or the fast sub-functions) so a broken example fails CI rather than a
+user's first contact with the project.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def _load(name: str):
+    path = EXAMPLES / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(name, path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        mod = _load("quickstart")
+        mod.main()
+        out = capsys.readouterr().out
+        assert "max abs error" in out
+        assert "HSUMMA" in out
+
+    def test_exascale_forecast(self, capsys):
+        mod = _load("exascale_forecast")
+        mod.main()
+        out = capsys.readouterr().out
+        assert "G=1024" in out
+        assert "threshold" in out
+
+    def test_factorization_demo_verify(self, capsys):
+        mod = _load("factorization_demo")
+        mod.verify()
+        out = capsys.readouterr().out
+        assert "LU:" in out and "QR:" in out
+
+    def test_heterogeneous_cluster(self, capsys):
+        mod = _load("heterogeneous_cluster")
+        mod.main()
+        out = capsys.readouterr().out
+        assert "load balancing buys" in out
+
+    @pytest.mark.parametrize("name", [
+        "quickstart",
+        "optimal_groups",
+        "broadcast_showdown",
+        "bluegene_reproduction",
+        "exascale_forecast",
+        "factorization_demo",
+        "heterogeneous_cluster",
+    ])
+    def test_all_examples_importable(self, name):
+        """Every example parses and imports (without running main)."""
+        path = EXAMPLES / f"{name}.py"
+        source = path.read_text()
+        compile(source, str(path), "exec")

@@ -1,0 +1,99 @@
+"""API-stability tests: the documented public surface exists and works."""
+
+import numpy as np
+import pytest
+
+
+class TestTopLevelExports:
+    def test_documented_names_importable(self):
+        import repro
+
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"
+
+    def test_quickstart_snippet(self):
+        """The README quickstart must keep working verbatim."""
+        from repro import multiply, HockneyParams
+        from repro.mpi.comm import CollectiveOptions
+
+        A = np.random.default_rng(0).standard_normal((64, 64))
+        B = np.random.default_rng(1).standard_normal((64, 64))
+        result = multiply(
+            A, B,
+            nprocs=16,
+            algorithm="hsumma",
+            block=4,
+            groups=4,
+            params=HockneyParams(alpha=1e-4, beta=1e-9),
+            options=CollectiveOptions(bcast="vandegeijn"),
+            gamma=1e-9,
+        )
+        assert np.allclose(result.C, A @ B)
+        assert result.total_time > 0
+
+    def test_platform_presets(self):
+        from repro import bluegene_p, exascale_2012, grid5000_graphene
+
+        assert grid5000_graphene().name == "grid5000-graphene"
+        assert bluegene_p().name == "bluegene-p"
+        assert exascale_2012().name == "exascale-2012"
+
+    def test_run_spmd_surface(self):
+        from repro import run_spmd
+
+        def prog(ctx):
+            out = yield from ctx.world.allgather(ctx.rank)
+            return out
+
+        res = run_spmd(prog, 3)
+        assert res.return_values[0] == [0, 1, 2]
+
+    def test_factorize_surface(self):
+        from repro import factorize, KERNELS
+
+        assert set(KERNELS) == {"lu", "qr"}
+        rng = np.random.default_rng(2)
+        A = rng.standard_normal((16, 16)) + 16 * np.eye(16)
+        res = factorize(A, kernel="lu", grid=(2, 2), block=4)
+        L, U = res.factors
+        assert np.allclose(L @ U, A)
+
+    def test_phantom_surface(self):
+        from repro import PhantomArray, multiply
+
+        r = multiply(PhantomArray((64, 64)), PhantomArray((64, 64)),
+                     nprocs=16, algorithm="summa", block=4)
+        assert isinstance(r.C, PhantomArray)
+
+    def test_error_hierarchy(self):
+        from repro import ReproError
+        from repro.errors import (
+            CommunicatorError,
+            ConfigurationError,
+            DataMismatchError,
+            DeadlockError,
+            ModelError,
+            SimulationError,
+            TopologyError,
+        )
+
+        for exc in (CommunicatorError, ConfigurationError, DataMismatchError,
+                    DeadlockError, ModelError, SimulationError, TopologyError):
+            assert issubclass(exc, ReproError)
+
+    def test_tune_surface(self):
+        from repro import tune_group_count
+        from repro.mpi.comm import CollectiveOptions
+        from repro.network.model import HockneyParams
+
+        report = tune_group_count(
+            256, (4, 4), 8,
+            params=HockneyParams(1e-4, 1e-9),
+            options=CollectiveOptions(bcast="vandegeijn"),
+        )
+        assert report.best_groups in report.times

@@ -1,0 +1,79 @@
+"""Tests for Hockney parameter fitting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.models.calibration import calibrate_network, fit_hockney
+from repro.network.homogeneous import HomogeneousNetwork
+from repro.network.model import HockneyParams
+from repro.network.torus import Torus3D
+
+
+class TestFitHockney:
+    def test_exact_recovery(self):
+        true = HockneyParams(alpha=2e-5, beta=3e-9)
+        sizes = [0, 1000, 10_000, 100_000]
+        times = [true.transfer_time(s) for s in sizes]
+        fit = fit_hockney(sizes, times)
+        assert fit.params.alpha == pytest.approx(2e-5)
+        assert fit.params.beta == pytest.approx(3e-9)
+        assert fit.r_squared == pytest.approx(1.0)
+        assert fit.residual_rms < 1e-15
+
+    def test_noisy_recovery(self):
+        rng = np.random.default_rng(0)
+        true = HockneyParams(alpha=1e-4, beta=1e-9)
+        sizes = np.linspace(0, 1 << 20, 50)
+        times = np.array([true.transfer_time(s) for s in sizes])
+        times *= 1 + 0.01 * rng.standard_normal(50)
+        fit = fit_hockney(sizes, times)
+        assert fit.params.alpha == pytest.approx(1e-4, rel=0.2)
+        assert fit.params.beta == pytest.approx(1e-9, rel=0.05)
+        assert fit.r_squared > 0.99
+
+    def test_predict(self):
+        fit = fit_hockney([0, 1000], [1e-5, 1e-5 + 1e-6])
+        assert fit.predict(2000) == pytest.approx(1e-5 + 2e-6)
+
+    def test_needs_two_sizes(self):
+        with pytest.raises(ModelError):
+            fit_hockney([100, 100], [1e-5, 1e-5])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ModelError):
+            fit_hockney([1, 2, 3], [1e-5, 2e-5])
+
+    def test_nonphysical_rejected(self):
+        # Decreasing times with size -> negative beta.
+        with pytest.raises(ModelError, match="non-physical"):
+            fit_hockney([0, 1000, 2000], [3e-5, 2e-5, 1e-5])
+
+
+class TestCalibrateNetwork:
+    def test_homogeneous_recovers_exact(self):
+        params = HockneyParams(alpha=5e-6, beta=2e-10)
+        net = HomogeneousNetwork(8, params)
+        fit = calibrate_network(net)
+        assert fit.params.alpha == pytest.approx(5e-6)
+        assert fit.params.beta == pytest.approx(2e-10)
+
+    def test_torus_pair_dependent(self):
+        """Far pairs calibrate a larger alpha than near pairs."""
+        net = Torus3D((4, 4, 4), HockneyParams(3e-6, 1e-9), alpha_hop=1e-6)
+        near = calibrate_network(net, src=0, dst=1)
+        far = calibrate_network(net, src=0, dst=net.nranks - 1)
+        assert far.params.alpha > near.params.alpha
+        assert far.params.beta == pytest.approx(near.params.beta)
+
+    def test_calibration_closes_the_loop(self):
+        """Fitting the simulator's own platform preset returns the
+        preset parameters — the workflow a user would run on a real
+        machine."""
+        from repro.platforms.bluegene import BGP_PARAMS, bluegene_p
+
+        net = bluegene_p(64).network(64)
+        fit = calibrate_network(net, src=0, dst=net.nranks - 1)
+        assert fit.params.beta == pytest.approx(BGP_PARAMS.beta)
+        # The far pair crosses several torus hops: extra latency.
+        assert fit.params.alpha > BGP_PARAMS.alpha

@@ -1,0 +1,53 @@
+"""Tests for the exascale prediction (Figure 10)."""
+
+import pytest
+
+from repro.models.exascale import ExascaleScenario, exascale_prediction
+
+
+class TestScenario:
+    def test_paper_parameters(self):
+        sc = ExascaleScenario()
+        assert sc.n == 2**22
+        assert sc.p == 2**20
+        assert sc.b == 256
+        assert sc.alpha == pytest.approx(500e-9)
+
+    def test_gamma_from_machine_rate(self):
+        sc = ExascaleScenario()
+        # p ranks share 1 Eflop/s.
+        assert sc.gamma == pytest.approx(2**20 / 1e18)
+
+
+class TestPrediction:
+    def test_optimal_at_sqrt_p(self):
+        pred = exascale_prediction()
+        assert pred["optimal_G"] == 1024  # sqrt(2^20)
+
+    def test_hsumma_beats_summa(self):
+        pred = exascale_prediction()
+        assert min(pred["hsumma"]) < pred["summa"]
+
+    def test_endpoints_equal_summa(self):
+        pred = exascale_prediction()
+        assert pred["hsumma"][0] == pytest.approx(pred["summa"])
+        assert pred["hsumma"][-1] == pytest.approx(pred["summa"])
+
+    def test_u_shape(self):
+        pred = exascale_prediction()
+        hs = pred["hsumma"]
+        mid = hs.index(min(hs))
+        assert all(hs[i] >= hs[i + 1] - 1e-12 for i in range(mid))
+        assert all(hs[i] <= hs[i + 1] + 1e-12 for i in range(mid, len(hs) - 1))
+
+    def test_include_compute_shifts_both(self):
+        without = exascale_prediction()
+        with_c = exascale_prediction(include_compute=True)
+        shift = with_c["compute"]
+        assert shift > 0
+        assert with_c["summa"] == pytest.approx(without["summa"] + shift)
+
+    def test_custom_groups(self):
+        pred = exascale_prediction(groups=[1, 1024, 2**20])
+        assert pred["groups"] == [1, 1024, 2**20]
+        assert len(pred["hsumma"]) == 3

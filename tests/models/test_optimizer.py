@@ -1,0 +1,129 @@
+"""Tests for the extremum analysis (paper eqs. 6-12)."""
+
+import math
+
+import pytest
+
+from repro.errors import ModelError
+from repro.models.broadcast_model import BINOMIAL_MODEL, VANDEGEIJN_MODEL
+from repro.models.optimizer import (
+    critical_ratio,
+    hsumma_beats_summa,
+    optimal_group_count,
+    predicted_extremum_kind,
+    vdg_cost_derivative,
+)
+
+
+class TestCriticalRatio:
+    def test_formula(self):
+        assert critical_ratio(8192, 64, 128) == pytest.approx(8192.0)
+
+    def test_paper_grid5000_numbers(self):
+        """Section V-A-1: 2 * 8192 * 64 / 128 = 8192 < 1e5 = alpha/beta."""
+        assert hsumma_beats_summa(8192, 64, 128, 1e-4, 1e-9)
+
+    def test_paper_bgp_numbers(self):
+        """Section V-B-1: alpha/beta = 3000 > 2048 = 2nb/p."""
+        assert critical_ratio(65536, 256, 16384) == pytest.approx(2048.0)
+        assert hsumma_beats_summa(65536, 256, 16384, 3e-6, 1e-9)
+
+    def test_paper_exascale_numbers(self):
+        """Section V-C: 2 * 2^22 * 256 / 2^20 = 2048."""
+        assert critical_ratio(2**22, 256, 2**20) == pytest.approx(2048.0)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            critical_ratio(0, 64, 128)
+
+
+class TestExtremumKind:
+    def test_minimum(self):
+        assert predicted_extremum_kind(1024, 16, 4096, 1e-4, 1e-9) == "minimum"
+
+    def test_maximum(self):
+        assert predicted_extremum_kind(2**22, 4096, 64, 1e-4, 1e-9) == "maximum"
+
+    def test_flat(self):
+        n, b, p = 1024, 16, 64
+        alpha = 1e-9 * critical_ratio(n, b, p)
+        assert predicted_extremum_kind(n, b, p, alpha, 1e-9) == "flat"
+
+
+class TestDerivative:
+    def test_zero_at_sqrt_p(self):
+        assert vdg_cost_derivative(1024, 4096, 64.0, 16, 1e-4, 1e-9) == 0.0
+
+    def test_sign_flips_across_sqrt_p(self):
+        """Minimum case: negative below sqrt(p), positive above."""
+        n, p, b = 1024, 4096, 16
+        below = vdg_cost_derivative(n, p, 8, b, 1e-4, 1e-9)
+        above = vdg_cost_derivative(n, p, 512, b, 1e-4, 1e-9)
+        assert below < 0 < above
+
+    def test_sign_reversed_in_maximum_case(self):
+        n, p, b = 2**22, 64, 4096
+        below = vdg_cost_derivative(n, p, 2, b, 1e-4, 1e-9)
+        above = vdg_cost_derivative(n, p, 32, b, 1e-4, 1e-9)
+        assert below > 0 > above
+
+    def test_bounds(self):
+        with pytest.raises(ModelError):
+            vdg_cost_derivative(1024, 64, 0, 16, 1e-4, 1e-9)
+
+
+class TestCrossover:
+    def test_inverse_of_threshold(self):
+        from repro.models.optimizer import crossover_processor_count
+
+        n, b, alpha, beta = 65536, 256, 3e-6, 1e-9
+        p_star = crossover_processor_count(n, b, alpha, beta)
+        # Just below: threshold fails; just above: holds.
+        assert not hsumma_beats_summa(n, b, p_star * 0.99, alpha, beta)
+        assert hsumma_beats_summa(n, b, p_star * 1.01, alpha, beta)
+
+    def test_bgp_crossover_between_8k_and_16k(self):
+        """Explains Figure 9's model-side shape: parity through 8192,
+        win at 16384."""
+        from repro.models.optimizer import crossover_processor_count
+
+        p_star = crossover_processor_count(65536, 256, 3e-6, 1e-9)
+        assert 8192 < p_star < 16384
+
+    def test_validation(self):
+        from repro.models.optimizer import crossover_processor_count
+
+        with pytest.raises(ModelError):
+            crossover_processor_count(0, 1, 1, 1)
+
+
+class TestOptimalGroupCount:
+    def test_interior_optimum(self):
+        G, t = optimal_group_count(1024, 4096, 16, 1e-4, 1e-9)
+        assert G == 64  # sqrt(4096)
+        assert t > 0
+
+    def test_degenerate_optimum(self):
+        G, _ = optimal_group_count(2**22, 64, 4096, 1e-4, 1e-9)
+        assert G in (1, 64)
+
+    def test_binomial_flat_prefers_any(self):
+        G, t = optimal_group_count(1024, 64, 16, 1e-4, 1e-9, BINOMIAL_MODEL)
+        ref = optimal_group_count(1024, 64, 16, 1e-4, 1e-9, BINOMIAL_MODEL,
+                                  candidates=[1])[1]
+        assert t == pytest.approx(ref)
+
+    def test_explicit_candidates(self):
+        G, _ = optimal_group_count(
+            1024, 4096, 16, 1e-4, 1e-9, VANDEGEIJN_MODEL, candidates=[1, 2]
+        )
+        assert G == 2
+
+    def test_candidate_out_of_range(self):
+        with pytest.raises(ModelError):
+            optimal_group_count(1024, 64, 16, 1e-4, 1e-9,
+                                candidates=[128])
+
+    def test_non_square_p_includes_powers(self):
+        G, _ = optimal_group_count(1024, 128, 16, 1e-4, 1e-9)
+        assert 1 <= G <= 128

@@ -1,0 +1,90 @@
+"""Tests for the strong/weak scaling analysis."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.models.scaling import (
+    ScalingPoint,
+    scalability_limit,
+    strong_scaling,
+    weak_scaling,
+)
+
+# BG/P-flavoured parameters (beta per element).
+ARGS = dict(b=256, alpha=3e-6, beta=1e-9, gamma=3.7e-10)
+
+
+class TestStrongScaling:
+    def test_compute_shrinks_like_1_over_p(self):
+        pts = strong_scaling(65536, [1024, 4096], **ARGS)
+        assert pts[0].compute / pts[1].compute == pytest.approx(4.0)
+
+    def test_comm_fraction_grows(self):
+        """The paper's motivation: communication dominates at scale."""
+        pts = strong_scaling(65536, [256, 1024, 4096, 16384, 65536], **ARGS)
+        fracs = [pt.summa_comm_fraction for pt in pts]
+        assert all(b > a for a, b in zip(fracs, fracs[1:]))
+
+    def test_hsumma_fraction_never_larger(self):
+        pts = strong_scaling(65536, [1024, 16384, 65536], **ARGS)
+        for pt in pts:
+            assert pt.hsumma_comm <= pt.summa_comm * (1 + 1e-12)
+            assert pt.hsumma_comm_fraction <= pt.summa_comm_fraction + 1e-12
+
+    def test_point_accessors(self):
+        (pt,) = strong_scaling(65536, [16384], **ARGS)
+        assert pt.summa_total == pytest.approx(pt.compute + pt.summa_comm)
+        assert 0 < pt.summa_comm_fraction < 1
+        assert 1 <= pt.best_groups <= pt.p
+
+    def test_empty_rejected(self):
+        with pytest.raises(ModelError):
+            strong_scaling(65536, [], **ARGS)
+
+
+class TestWeakScaling:
+    def test_n_grows_with_sqrt_p(self):
+        pts = weak_scaling(512, [256, 1024], **ARGS)
+        assert pts[1].n == pytest.approx(2 * pts[0].n, rel=0.1)
+
+    def test_n_multiple_of_block(self):
+        for pt in weak_scaling(500, [64, 256, 4096], **ARGS):
+            assert pt.n % ARGS["b"] == 0
+
+    def test_comm_fraction_grows_slower_than_strong(self):
+        """Weak scaling is the friendly regime for 2-D algorithms."""
+        strong = strong_scaling(65536, [1024, 65536], **ARGS)
+        weak = weak_scaling(2048, [1024, 65536], **ARGS)
+        strong_growth = (strong[1].summa_comm_fraction
+                         - strong[0].summa_comm_fraction)
+        weak_growth = weak[1].summa_comm_fraction - weak[0].summa_comm_fraction
+        assert weak_growth < strong_growth
+
+    def test_invalid_memory(self):
+        with pytest.raises(ModelError):
+            weak_scaling(0, [16], **ARGS)
+
+
+class TestScalabilityLimit:
+    def test_hsumma_extends_the_limit(self):
+        """The paper's 'more scalable' claim as a number: HSUMMA's
+        comm-dominance point sits at a strictly larger p."""
+        p_summa = scalability_limit(65536, **ARGS, algorithm="summa")
+        p_hsumma = scalability_limit(65536, **ARGS, algorithm="hsumma")
+        assert p_hsumma >= 2 * p_summa
+
+    def test_limit_is_a_crossing(self):
+        p_star = scalability_limit(65536, **ARGS, algorithm="summa")
+        below = strong_scaling(65536, [p_star // 2], **ARGS)[0]
+        above = strong_scaling(65536, [p_star], **ARGS)[0]
+        assert below.summa_comm_fraction <= 0.5 < above.summa_comm_fraction
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ModelError):
+            scalability_limit(65536, **ARGS, algorithm="cannon")
+
+    def test_p_max_cap(self):
+        # Absurdly fast network: communication never dominates.
+        p = scalability_limit(65536, b=256, alpha=1e-12, beta=1e-15,
+                              gamma=1e-6, p_max=1 << 20)
+        assert p == 1 << 20

@@ -1,0 +1,85 @@
+"""Unit tests for repro.network.mapping."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.network.mapping import (
+    RankMapping,
+    block_mapping,
+    identity_mapping,
+    round_robin_mapping,
+    shuffled_mapping,
+)
+
+
+class TestRankMapping:
+    def test_node_lookup(self):
+        m = RankMapping([0, 0, 1, 1], 2)
+        assert m.node(0) == 0
+        assert m.node(3) == 1
+
+    def test_colocated(self):
+        m = RankMapping([0, 0, 1, 1], 2)
+        assert m.colocated(0, 1)
+        assert not m.colocated(1, 2)
+
+    def test_ranks_on(self):
+        m = RankMapping([0, 1, 0, 1], 2)
+        assert m.ranks_on(0) == [0, 2]
+        assert m.ranks_on(1) == [1, 3]
+
+    def test_out_of_range_rank(self):
+        m = RankMapping([0, 1], 2)
+        with pytest.raises(TopologyError):
+            m.node(5)
+
+    def test_node_out_of_range_rejected(self):
+        with pytest.raises(TopologyError):
+            RankMapping([0, 2], 2)
+
+    def test_zero_nodes_rejected(self):
+        with pytest.raises(TopologyError):
+            RankMapping([], 0)
+
+
+class TestFactories:
+    def test_identity(self):
+        m = identity_mapping(4)
+        assert [m.node(r) for r in range(4)] == [0, 1, 2, 3]
+
+    def test_block(self):
+        m = block_mapping(8, 4)
+        assert [m.node(r) for r in range(8)] == [0, 0, 0, 0, 1, 1, 1, 1]
+        assert m.nnodes == 2
+
+    def test_block_uneven(self):
+        m = block_mapping(5, 2)
+        assert m.nnodes == 3
+        assert m.node(4) == 2
+
+    def test_block_rejects_zero(self):
+        with pytest.raises(TopologyError):
+            block_mapping(4, 0)
+
+    def test_round_robin(self):
+        m = round_robin_mapping(6, 3)
+        assert [m.node(r) for r in range(6)] == [0, 1, 2, 0, 1, 2]
+
+    def test_round_robin_rejects_zero(self):
+        with pytest.raises(TopologyError):
+            round_robin_mapping(4, 0)
+
+    def test_shuffled_deterministic(self):
+        a = shuffled_mapping(16, 4, seed=7)
+        b = shuffled_mapping(16, 4, seed=7)
+        assert [a.node(r) for r in range(16)] == [b.node(r) for r in range(16)]
+
+    def test_shuffled_differs_by_seed(self):
+        a = shuffled_mapping(16, 4, seed=7)
+        b = shuffled_mapping(16, 4, seed=8)
+        assert [a.node(r) for r in range(16)] != [b.node(r) for r in range(16)]
+
+    def test_shuffled_preserves_occupancy(self):
+        m = shuffled_mapping(16, 4, seed=3)
+        counts = [len(m.ranks_on(node)) for node in range(m.nnodes)]
+        assert counts == [4, 4, 4, 4]

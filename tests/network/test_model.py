@@ -1,0 +1,72 @@
+"""Unit tests for repro.network.model (HockneyParams, Network base)."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.network.homogeneous import HomogeneousNetwork
+from repro.network.model import HockneyParams
+
+
+class TestHockneyParams:
+    def test_transfer_time_formula(self):
+        p = HockneyParams(alpha=1e-5, beta=2e-9)
+        assert p.transfer_time(1000) == pytest.approx(1e-5 + 1000 * 2e-9)
+
+    def test_zero_bytes_costs_latency(self):
+        p = HockneyParams(alpha=1e-5, beta=2e-9)
+        assert p.transfer_time(0) == pytest.approx(1e-5)
+
+    def test_negative_bytes_rejected(self):
+        p = HockneyParams(alpha=1e-5, beta=2e-9)
+        with pytest.raises(TopologyError):
+            p.transfer_time(-1)
+
+    def test_bandwidth_property(self):
+        p = HockneyParams(alpha=1e-5, beta=1e-9)
+        assert p.bandwidth == pytest.approx(1e9)
+
+    def test_from_bandwidth(self):
+        p = HockneyParams.from_bandwidth(1e-6, 100e9)
+        assert p.beta == pytest.approx(1e-11)
+
+    def test_rejects_nonpositive_alpha(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            HockneyParams(alpha=0, beta=1e-9)
+
+    def test_rejects_nonpositive_beta(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            HockneyParams(alpha=1e-6, beta=0)
+
+
+class TestNetworkBase:
+    def test_nranks(self):
+        net = HomogeneousNetwork(8, HockneyParams(1e-5, 1e-9))
+        assert net.nranks == 8
+
+    def test_out_of_range_pair(self):
+        net = HomogeneousNetwork(4, HockneyParams(1e-5, 1e-9))
+        with pytest.raises(TopologyError):
+            net.transfer_time(0, 4, 10)
+        with pytest.raises(TopologyError):
+            net.transfer_time(-1, 0, 10)
+
+    def test_self_transfer_free(self):
+        net = HomogeneousNetwork(4, HockneyParams(1e-5, 1e-9))
+        assert net.transfer_time(2, 2, 12345) == 0.0
+
+    def test_self_link_empty(self):
+        net = HomogeneousNetwork(4, HockneyParams(1e-5, 1e-9))
+        assert net.links(1, 1) == ()
+
+    def test_default_hops(self):
+        net = HomogeneousNetwork(4, HockneyParams(1e-5, 1e-9))
+        assert net.hops(0, 1) == 1
+        assert net.hops(2, 2) == 0
+
+    def test_rejects_empty_network(self):
+        with pytest.raises(TopologyError):
+            HomogeneousNetwork(0, HockneyParams(1e-5, 1e-9))

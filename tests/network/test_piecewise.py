@@ -1,0 +1,100 @@
+"""Tests for the piecewise (multi-regime) cost model."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.network.model import HockneyParams
+from repro.network.piecewise import PiecewiseHockney, PiecewiseNetwork
+
+
+def _three_regime():
+    return PiecewiseHockney([
+        (1024.0, HockneyParams(1e-6, 1e-9)),
+        (1048576.0, HockneyParams(1e-5, 1e-9)),
+        (float("inf"), HockneyParams(3e-5, 1e-9)),
+    ])
+
+
+class TestPiecewiseHockney:
+    def test_regime_selection(self):
+        model = _three_regime()
+        assert model.params_for(100).alpha == pytest.approx(1e-6)
+        assert model.params_for(1024).alpha == pytest.approx(1e-6)
+        assert model.params_for(1025).alpha == pytest.approx(1e-5)
+        assert model.params_for(1 << 30).alpha == pytest.approx(3e-5)
+
+    def test_transfer_time(self):
+        model = _three_regime()
+        assert model.transfer_time(100) == pytest.approx(1e-6 + 100e-9)
+
+    def test_jump_up_allowed(self):
+        # Eager -> rendezvous latency jump is physical.
+        model = _three_regime()
+        t_before = model.transfer_time(1024)
+        t_after = model.transfer_time(1025)
+        assert t_after > t_before
+
+    def test_drop_rejected(self):
+        with pytest.raises(TopologyError, match="monotone"):
+            PiecewiseHockney([
+                (1024.0, HockneyParams(1e-4, 1e-9)),
+                (float("inf"), HockneyParams(1e-7, 1e-10)),
+            ])
+
+    def test_bounds_must_increase(self):
+        with pytest.raises(TopologyError):
+            PiecewiseHockney([
+                (2048.0, HockneyParams(1e-6, 1e-9)),
+                (1024.0, HockneyParams(1e-5, 1e-9)),
+                (float("inf"), HockneyParams(1e-4, 1e-9)),
+            ])
+
+    def test_last_bound_must_be_inf(self):
+        with pytest.raises(TopologyError):
+            PiecewiseHockney([(1024.0, HockneyParams(1e-6, 1e-9))])
+
+    def test_empty_rejected(self):
+        with pytest.raises(TopologyError):
+            PiecewiseHockney([])
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(TopologyError):
+            _three_regime().params_for(-1)
+
+    def test_mpi_like_factory(self):
+        model = PiecewiseHockney.mpi_like(1e-5, 1e-9)
+        assert model.params_for(100).alpha == pytest.approx(0.5e-5)
+        assert model.params_for(1 << 16).alpha == pytest.approx(1e-5)
+        assert model.params_for(1 << 24).alpha == pytest.approx(3e-5)
+
+
+class TestPiecewiseNetwork:
+    def test_in_engine(self):
+        """A SUMMA run over the piecewise network completes and costs
+        more than the single-regime mid curve for big messages."""
+        import numpy as np
+
+        from repro.core.summa import run_summa
+        from repro.payloads import PhantomArray
+
+        model = PiecewiseHockney.mpi_like(1e-5, 1e-9, large_bytes=1 << 14)
+        net = PiecewiseNetwork(16, model)
+        C, sim = run_summa(
+            PhantomArray((128, 128)), PhantomArray((128, 128)),
+            grid=(4, 4), block=16, network=net,
+        )
+        assert sim.total_time > 0
+
+    def test_self_free(self):
+        net = PiecewiseNetwork(4, _three_regime())
+        assert net.transfer_time(1, 1, 100) == 0.0
+
+    def test_calibration_per_regime(self):
+        """Fitting only small (or only large) samples recovers that
+        regime's parameters."""
+        from repro.models.calibration import fit_hockney
+
+        net = PiecewiseNetwork(2, _three_regime())
+        small = [0, 256, 512, 1024]
+        fit = fit_hockney(small, [net.transfer_time(0, 1, s) for s in small])
+        assert fit.params.alpha == pytest.approx(1e-6)

@@ -1,0 +1,46 @@
+"""Unit tests for repro.network.subnet."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.network.model import HockneyParams
+from repro.network.subnet import SubNetwork
+from repro.network.torus import Torus3D
+
+PARAMS = HockneyParams(alpha=3e-6, beta=1e-9)
+
+
+class TestSubNetwork:
+    def test_translates_costs(self):
+        base = Torus3D((4, 4, 1), PARAMS)
+        sub = SubNetwork(base, [0, 5, 10, 15])
+        assert sub.transfer_time(0, 1, 100) == pytest.approx(
+            base.transfer_time(0, 5, 100)
+        )
+
+    def test_translates_hops_and_links(self):
+        base = Torus3D((4, 4, 1), PARAMS)
+        sub = SubNetwork(base, [2, 14])
+        assert sub.hops(0, 1) == base.hops(2, 14)
+        assert sub.links(0, 1) == base.links(2, 14)
+
+    def test_nranks(self):
+        base = Torus3D((2, 2, 2), PARAMS)
+        sub = SubNetwork(base, [0, 3, 7])
+        assert sub.nranks == 3
+
+    def test_duplicate_ranks_rejected(self):
+        base = Torus3D((2, 2, 2), PARAMS)
+        with pytest.raises(TopologyError):
+            SubNetwork(base, [0, 0, 1])
+
+    def test_out_of_range_rejected(self):
+        base = Torus3D((2, 2, 2), PARAMS)
+        with pytest.raises(TopologyError):
+            SubNetwork(base, [0, 99])
+
+    def test_index_bounds_enforced(self):
+        base = Torus3D((2, 2, 2), PARAMS)
+        sub = SubNetwork(base, [0, 1])
+        with pytest.raises(TopologyError):
+            sub.transfer_time(0, 2, 10)

@@ -1,0 +1,130 @@
+"""Unit tests for repro.network.torus (BlueGene/P model)."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.network.model import HockneyParams
+from repro.network.torus import Torus3D, TorusCoord, _signed_hop
+
+PARAMS = HockneyParams(alpha=3e-6, beta=1e-9)
+
+
+class TestSignedHop:
+    def test_same(self):
+        assert _signed_hop(3, 3, 8) == (0, 0)
+
+    def test_forward(self):
+        assert _signed_hop(0, 2, 8) == (2, 1)
+
+    def test_backward_shorter(self):
+        assert _signed_hop(0, 7, 8) == (1, -1)
+
+    def test_tie_goes_forward(self):
+        assert _signed_hop(0, 4, 8) == (4, 1)
+
+    def test_ring_of_one(self):
+        assert _signed_hop(0, 0, 1) == (0, 0)
+
+
+class TestGeometry:
+    def test_coord_roundtrip(self):
+        torus = Torus3D((4, 3, 2), PARAMS)
+        for node in range(4 * 3 * 2):
+            assert torus.node_index(torus.coord(node)) == node
+
+    def test_coord_order_x_fastest(self):
+        torus = Torus3D((4, 3, 2), PARAMS)
+        assert torus.coord(0) == TorusCoord(0, 0, 0)
+        assert torus.coord(1) == TorusCoord(1, 0, 0)
+        assert torus.coord(4) == TorusCoord(0, 1, 0)
+        assert torus.coord(12) == TorusCoord(0, 0, 1)
+
+    def test_coord_out_of_range(self):
+        torus = Torus3D((2, 2, 2), PARAMS)
+        with pytest.raises(TopologyError):
+            torus.coord(8)
+
+    def test_bad_dims(self):
+        with pytest.raises(TopologyError):
+            Torus3D((0, 2, 2), PARAMS)
+
+
+class TestHops:
+    def test_neighbor_one_hop(self):
+        torus = Torus3D((4, 4, 4), PARAMS)
+        assert torus.hops(0, 1) == 1
+
+    def test_wraparound(self):
+        torus = Torus3D((4, 4, 4), PARAMS)
+        # x=0 to x=3 is one hop backwards around the ring.
+        assert torus.hops(0, 3) == 1
+
+    def test_manhattan_with_wrap(self):
+        torus = Torus3D((4, 4, 4), PARAMS)
+        # (0,0,0) -> (2,1,3): 2 + 1 + 1 = 4 hops.
+        dst = torus.node_index(TorusCoord(2, 1, 3))
+        assert torus.hops(0, dst) == 4
+
+    def test_colocated_vn_mode(self):
+        torus = Torus3D((2, 2, 2), PARAMS, ranks_per_node=4)
+        assert torus.nranks == 32
+        assert torus.hops(0, 3) == 0  # same node
+        assert torus.hops(0, 4) >= 1  # next node
+
+    def test_symmetric(self):
+        torus = Torus3D((3, 4, 5), PARAMS)
+        for a, b in [(0, 17), (5, 40), (2, 59)]:
+            assert torus.hops(a, b) == torus.hops(b, a)
+
+
+class TestTransferTime:
+    def test_per_hop_latency(self):
+        torus = Torus3D((8, 1, 1), PARAMS, alpha_hop=1e-7)
+        t1 = torus.transfer_time(0, 1, 0)
+        t3 = torus.transfer_time(0, 3, 0)
+        assert t3 - t1 == pytest.approx(2 * 1e-7)
+
+    def test_bandwidth_distance_independent(self):
+        torus = Torus3D((8, 1, 1), PARAMS, alpha_hop=0.0)
+        t1 = torus.transfer_time(0, 1, 10_000)
+        t3 = torus.transfer_time(0, 3, 10_000)
+        assert t1 == pytest.approx(t3)
+
+    def test_intra_node_cheaper_than_link(self):
+        torus = Torus3D((2, 2, 2), PARAMS, ranks_per_node=4)
+        assert torus.transfer_time(0, 1, 4096) < torus.transfer_time(0, 4, 4096)
+
+    def test_self_free(self):
+        torus = Torus3D((2, 2, 2), PARAMS)
+        assert torus.transfer_time(3, 3, 999) == 0.0
+
+    def test_negative_alpha_hop_rejected(self):
+        with pytest.raises(TopologyError):
+            Torus3D((2, 2, 2), PARAMS, alpha_hop=-1.0)
+
+
+class TestRouting:
+    def test_route_length_equals_hops(self):
+        torus = Torus3D((4, 4, 4), PARAMS)
+        for a, b in [(0, 1), (0, 63), (7, 42), (13, 13)]:
+            assert len(torus.links(a, b)) == torus.hops(a, b)
+
+    def test_dimension_order(self):
+        torus = Torus3D((4, 4, 4), PARAMS)
+        dst = torus.node_index(TorusCoord(1, 1, 0))
+        claims = torus.links(0, dst)
+        dims = [c[2] for c in claims]
+        assert dims == sorted(dims)  # X before Y before Z
+
+    def test_intra_node_no_links(self):
+        torus = Torus3D((2, 2, 2), PARAMS, ranks_per_node=2)
+        assert torus.links(0, 1) == ()
+
+    def test_routes_are_physical_links(self):
+        torus = Torus3D((4, 2, 2), PARAMS)
+        for claim in torus.links(0, 9):
+            tag, node, dim, direction = claim
+            assert tag == "torus"
+            assert 0 <= node < 16
+            assert dim in (0, 1, 2)
+            assert direction in (-1, 1)

@@ -1,0 +1,101 @@
+"""Tests for the platform presets."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.network.torus import Torus3D
+from repro.network.tree import SwitchedCluster
+from repro.platforms import bluegene_p, exascale_2012, grid5000_graphene
+from repro.platforms.base import WORD_BYTES
+from repro.platforms.bluegene import RANKS_PER_NODE, torus_dims_for
+
+
+class TestGrid5000:
+    def test_paper_validation_parameters(self):
+        p = grid5000_graphene()
+        assert p.alpha == pytest.approx(1e-4)
+        # Per-element reciprocal bandwidth: the paper's 1e-9.
+        assert p.model_beta == pytest.approx(1e-9)
+
+    def test_network_is_switched_cluster(self):
+        net = grid5000_graphene(64).network(64)
+        assert isinstance(net, SwitchedCluster)
+        assert net.nranks == 64
+
+    def test_defaults(self):
+        p = grid5000_graphene()
+        assert p.default_n == 8192
+        assert p.options.bcast == "vandegeijn"
+
+    def test_grid(self):
+        assert grid5000_graphene(128).grid() == (8, 16)
+
+
+class TestBlueGene:
+    def test_paper_validation_parameters(self):
+        p = bluegene_p()
+        assert p.alpha == pytest.approx(3e-6)
+        assert p.model_beta == pytest.approx(1e-9)
+
+    def test_threshold_passes_like_paper(self):
+        """alpha/model_beta = 3000 > 2nb/p = 2048 (Section V-B-1)."""
+        p = bluegene_p()
+        assert p.alpha / p.model_beta > 2 * 65536 * 256 / 16384
+
+    def test_network_is_vn_mode_torus(self):
+        net = bluegene_p(2048).network(2048)
+        assert isinstance(net, Torus3D)
+        assert net.nranks == 2048
+        assert net.mapping.nnodes == 2048 // RANKS_PER_NODE
+
+    def test_non_vn_rank_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            bluegene_p().network(2047)
+
+    def test_grid_16384(self):
+        assert bluegene_p().grid() == (128, 128)
+
+
+class TestTorusDims:
+    def test_cubes(self):
+        assert torus_dims_for(4096) == (16, 16, 16)
+        assert torus_dims_for(8) == (2, 2, 2)
+
+    def test_non_cube(self):
+        dims = torus_dims_for(512)
+        x, y, z = dims
+        assert x * y * z == 512
+        assert x <= y <= z
+
+    def test_near_cubic_choice(self):
+        # 1024 = 8*8*16 is the most cubic factorisation.
+        assert torus_dims_for(1024) == (8, 8, 16)
+
+    def test_one(self):
+        assert torus_dims_for(1) == (1, 1, 1)
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            torus_dims_for(0)
+
+
+class TestExascale:
+    def test_roadmap_parameters(self):
+        p = exascale_2012()
+        assert p.alpha == pytest.approx(500e-9)
+        assert p.params.beta == pytest.approx(1e-11)  # 100 GB/s
+        assert p.model_beta == pytest.approx(WORD_BYTES * 1e-11)
+
+    def test_gamma_is_machine_share(self):
+        p = exascale_2012()
+        assert p.gamma == pytest.approx(2**20 / 1e18)
+
+    def test_nranks(self):
+        assert exascale_2012().nranks == 2**20
+
+
+class TestPlatformBase:
+    def test_network_size_validation(self):
+        p = grid5000_graphene()
+        with pytest.raises(ConfigurationError):
+            p.network(0)

@@ -1,0 +1,98 @@
+"""Property-based end-to-end tests of SUMMA/HSUMMA over random valid
+configurations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.blocks.verify import max_abs_error
+from repro.core.grouping import choose_group_grid, valid_group_counts
+from repro.core.hsumma import run_hsumma
+from repro.core.summa import run_summa
+from repro.mpi.comm import CollectiveOptions
+from repro.network.model import HockneyParams
+from repro.payloads import PhantomArray
+from repro.util.gridmath import divisors
+
+PARAMS = HockneyParams(alpha=1e-4, beta=1e-9)
+
+
+@st.composite
+def hsumma_configs(draw):
+    """A random valid (grid, groups, blocks, n) configuration."""
+    s = draw(st.sampled_from([1, 2, 3, 4]))
+    t = draw(st.sampled_from([1, 2, 3, 4, 6]))
+    counts = valid_group_counts(s, t)
+    G = draw(st.sampled_from(counts))
+    # Tile extents: outer block must divide l/s and l/t.
+    import math
+
+    unit = s * t // math.gcd(s, t)
+    outer = draw(st.sampled_from([1, 2, 4]))
+    inner = draw(st.sampled_from([d for d in divisors(outer)]))
+    l = outer * unit * draw(st.sampled_from([1, 2]))
+    m = s * draw(st.sampled_from([1, 3]))
+    n = t * draw(st.sampled_from([1, 2]))
+    return (s, t, G, outer, inner, m, l, n)
+
+
+class TestHSummaEndToEnd:
+    @settings(max_examples=30, deadline=None)
+    @given(cfg=hsumma_configs(), seed=st.integers(0, 2**16))
+    def test_correct_for_any_valid_config(self, cfg, seed):
+        s, t, G, outer, inner, m, l, n = cfg
+        rng = np.random.default_rng(seed)
+        A = rng.standard_normal((m, l))
+        B = rng.standard_normal((l, n))
+        C, _ = run_hsumma(A, B, grid=(s, t), groups=G,
+                          outer_block=outer, inner_block=inner,
+                          params=PARAMS)
+        assert max_abs_error(C, A @ B) < 1e-9
+
+    @settings(max_examples=15, deadline=None)
+    @given(cfg=hsumma_configs())
+    def test_comm_volume_positive_and_finite(self, cfg):
+        s, t, G, outer, inner, m, l, n = cfg
+        C, sim = run_hsumma(
+            PhantomArray((m, l)), PhantomArray((l, n)),
+            grid=(s, t), groups=G, outer_block=outer, inner_block=inner,
+            params=PARAMS,
+        )
+        assert np.isfinite(sim.total_time)
+        assert sim.total_time >= 0
+        if s * t > 1 and l > outer or G not in (1,):
+            assert sim.total_time >= 0
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        s=st.sampled_from([2, 4]),
+        t=st.sampled_from([2, 4]),
+        block=st.sampled_from([2, 4, 8]),
+        seed=st.integers(0, 2**16),
+    )
+    def test_summa_equals_hsumma_g1(self, s, t, block, seed):
+        """Data AND virtual-time identity at G=1, any config."""
+        l = block * s * t
+        rng = np.random.default_rng(seed)
+        A = rng.standard_normal((l, l))
+        B = rng.standard_normal((l, l))
+        opts = CollectiveOptions(bcast="vandegeijn")
+        C1, sim1 = run_summa(A, B, grid=(s, t), block=block,
+                             params=PARAMS, options=opts)
+        C2, sim2 = run_hsumma(A, B, grid=(s, t), groups=1,
+                              outer_block=block, params=PARAMS, options=opts)
+        assert max_abs_error(C1, C2) == 0.0
+        assert sim1.total_time == pytest.approx(sim2.total_time)
+
+
+class TestGroupingProperties:
+    @settings(max_examples=50)
+    @given(
+        s=st.integers(min_value=1, max_value=32),
+        t=st.integers(min_value=1, max_value=32),
+    )
+    def test_choose_group_grid_always_feasible(self, s, t):
+        for G in valid_group_counts(s, t):
+            I, J = choose_group_grid(s, t, G)
+            assert I * J == G
+            assert s % I == 0 and t % J == 0

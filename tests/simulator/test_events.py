@@ -1,0 +1,46 @@
+"""Unit tests for the event queue."""
+
+from repro.simulator.events import EventQueue
+
+
+class TestEventQueue:
+    def test_time_ordering(self):
+        q = EventQueue()
+        order = []
+        q.push(2.0, lambda: order.append("b"))
+        q.push(1.0, lambda: order.append("a"))
+        q.push(3.0, lambda: order.append("c"))
+        while q:
+            _, cb = q.pop()
+            cb()
+        assert order == ["a", "b", "c"]
+
+    def test_fifo_within_equal_time(self):
+        q = EventQueue()
+        order = []
+        for i in range(5):
+            q.push(1.0, lambda i=i: order.append(i))
+        while q:
+            q.pop()[1]()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_len_and_bool(self):
+        q = EventQueue()
+        assert not q
+        assert len(q) == 0
+        q.push(0.0, lambda: None)
+        assert q
+        assert len(q) == 1
+
+    def test_peek_time(self):
+        q = EventQueue()
+        q.push(5.0, lambda: None)
+        q.push(2.0, lambda: None)
+        assert q.peek_time() == 2.0
+
+    def test_pop_returns_time(self):
+        q = EventQueue()
+        q.push(7.5, lambda: "x")
+        t, cb = q.pop()
+        assert t == 7.5
+        assert cb() == "x"

@@ -1,0 +1,20 @@
+"""Execute the doctest examples embedded in module docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.hetero.partition
+import repro.util.gridmath
+
+MODULES = [
+    repro.util.gridmath,
+    repro.hetero.partition,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures"
+    assert results.attempted > 0, "expected at least one doctest example"

@@ -1,0 +1,53 @@
+"""Unit tests for repro.util.tables."""
+
+import pytest
+
+from repro.util.tables import format_table
+
+
+class TestFormatTable:
+    def test_headers_present(self):
+        out = format_table(["a", "bb"], [[1, 2], [3, 4]])
+        lines = out.splitlines()
+        assert "a" in lines[0] and "bb" in lines[0]
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="My Title")
+        assert out.splitlines()[0] == "My Title"
+
+    def test_numeric_right_aligned(self):
+        out = format_table(["v"], [[1], [100]])
+        rows = out.splitlines()[-2:]
+        assert rows[0].endswith("1")
+        assert rows[1].endswith("100")
+
+    def test_text_left_aligned(self):
+        out = format_table(["name", "v"], [["ab", 1], ["c", 22]])
+        body = out.splitlines()[-2:]
+        assert body[0].startswith("ab")
+        assert body[1].startswith("c ")
+
+    def test_float_shortening(self):
+        out = format_table(["v"], [[0.123456789]])
+        assert "0.1235" in out
+
+    def test_tiny_float_scientific(self):
+        out = format_table(["v"], [[1.5e-7]])
+        assert "1.5e-07" in out
+
+    def test_zero(self):
+        out = format_table(["v"], [[0.0]])
+        assert out.splitlines()[-1].strip() == "0"
+
+    def test_row_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_rows(self):
+        out = format_table(["a"], [])
+        assert "a" in out
+
+    def test_bool_not_numeric(self):
+        # Booleans render as text, not right-aligned numbers.
+        out = format_table(["flag"], [[True], [False]])
+        assert "True" in out and "False" in out

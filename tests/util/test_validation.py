@@ -1,0 +1,68 @@
+"""Unit tests for repro.util.validation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.util.validation import (
+    require,
+    require_divides,
+    require_positive,
+    require_power_of_two,
+    require_type,
+)
+
+
+class TestRequire:
+    def test_pass(self):
+        require(True, "never raised")
+
+    def test_fail_message(self):
+        with pytest.raises(ConfigurationError, match="boom"):
+            require(False, "boom")
+
+
+class TestRequirePositive:
+    def test_positive_ok(self):
+        require_positive(0.5, "x")
+
+    def test_zero_fails(self):
+        with pytest.raises(ConfigurationError, match="x"):
+            require_positive(0, "x")
+
+    def test_negative_fails(self):
+        with pytest.raises(ConfigurationError):
+            require_positive(-1, "x")
+
+
+class TestRequireDivides:
+    def test_divides(self):
+        require_divides(4, 12, "ctx")
+
+    def test_not_divides(self):
+        with pytest.raises(ConfigurationError, match="ctx"):
+            require_divides(5, 12, "ctx")
+
+    def test_zero_divisor(self):
+        with pytest.raises(ConfigurationError):
+            require_divides(0, 12, "ctx")
+
+
+class TestRequirePowerOfTwo:
+    def test_ok(self):
+        require_power_of_two(8, "n")
+
+    def test_fails(self):
+        with pytest.raises(ConfigurationError, match="n"):
+            require_power_of_two(12, "n")
+
+
+class TestRequireType:
+    def test_ok(self):
+        require_type(3, int, "v")
+
+    def test_tuple_of_types(self):
+        require_type(3.5, (int, float), "v")
+
+    def test_fails(self):
+        with pytest.raises(ConfigurationError, match="v"):
+            require_type("s", int, "v")
