@@ -28,6 +28,12 @@ from repro.core.hsumma import HSummaConfig, run_hsumma
 from repro.core.summa import SummaConfig, run_summa
 from repro.core.tuning import tune_group_count
 from repro.errors import ReproError
+from repro.metrics import (
+    critical_path,
+    phase_rollup,
+    spans_to_csv,
+    write_chrome_trace,
+)
 from repro.network.model import HockneyParams
 from repro.payloads import PhantomArray
 from repro.platforms import bluegene_p, exascale_2012, grid5000_graphene
@@ -47,12 +53,16 @@ __all__ = [
     "ReproError",
     "SummaConfig",
     "bluegene_p",
+    "critical_path",
     "exascale_2012",
     "grid5000_graphene",
     "multiply",
+    "phase_rollup",
     "run_hsumma",
     "run_spmd",
     "run_summa",
+    "spans_to_csv",
     "tune_group_count",
+    "write_chrome_trace",
     "__version__",
 ]

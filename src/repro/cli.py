@@ -9,6 +9,8 @@ Subcommands:
 * ``tune`` — empirical optimal group count for a configuration.
 * ``lu`` — run a simulated block LU factorization (flat or hierarchical).
 * ``timeline`` — ascii Gantt chart of a small traced SUMMA/HSUMMA run.
+* ``trace`` — run a traced multiplication; write a Chrome trace_event
+  JSON (loadable in Perfetto) and print the per-phase breakdown.
 * ``report`` — quick scorecard verifying the paper's claims end to end.
 """
 
@@ -163,6 +165,71 @@ def _cmd_timeline(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.core.hsumma import run_hsumma
+    from repro.core.summa import run_summa
+    from repro.errors import ConfigurationError
+    from repro.experiments.timeline import render_phase_timeline
+    from repro.metrics import (
+        critical_path,
+        phase_rollup,
+        spans_to_csv,
+        write_chrome_trace,
+    )
+    from repro.payloads import PhantomArray
+    from repro.util.gridmath import factor_grid
+
+    grid = factor_grid(args.procs)
+    A = PhantomArray((args.n, args.n))
+    B = PhantomArray((args.n, args.n))
+    if args.algo == "summa":
+        _, sim = run_summa(A, B, grid=grid, block=args.block,
+                           gamma=args.gamma, trace=True)
+        setting = f"grid {grid[0]}x{grid[1]}, b={args.block}"
+    elif args.algo == "hsumma":
+        groups = args.groups if args.groups is not None else _isqrt(args.procs)
+        _, sim = run_hsumma(A, B, grid=grid, groups=groups,
+                            outer_block=args.block, gamma=args.gamma,
+                            trace=True)
+        setting = f"grid {grid[0]}x{grid[1]}, G={groups}, B=b={args.block}"
+    else:  # argparse choices guard this
+        raise ConfigurationError(f"unknown algorithm {args.algo!r}")
+
+    try:
+        write_chrome_trace(sim, args.out)
+    except OSError as exc:
+        print(f"error: cannot write {args.out}: {exc}", file=sys.stderr)
+        return 2
+    breakdown = phase_rollup(sim)
+    print(f"{args.algo}: n={args.n} p={args.procs} ({setting})")
+    print(f"wrote Chrome trace to {args.out} (open in https://ui.perfetto.dev)")
+    print()
+    print(f"per-phase breakdown on critical rank {breakdown.rank} "
+          f"(makespan {sim.total_time:.6f}s):")
+    print(breakdown.to_table())
+    if args.csv:
+        try:
+            with open(args.csv, "w", encoding="utf-8") as fh:
+                fh.write(spans_to_csv(sim))
+        except OSError as exc:
+            print(f"error: cannot write {args.csv}: {exc}", file=sys.stderr)
+            return 2
+        print(f"\nwrote span CSV to {args.csv}")
+    if args.timeline:
+        print()
+        print(render_phase_timeline(sim, width=args.width))
+    if args.critical_path:
+        print()
+        print(critical_path(sim).to_table())
+    return 0
+
+
+def _isqrt(p: int) -> int:
+    import math
+
+    return max(1, math.isqrt(p))
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.report import build_scorecard, render_scorecard
 
@@ -219,6 +286,28 @@ def build_parser() -> argparse.ArgumentParser:
     p_tl.add_argument("--width", type=int, default=72)
     p_tl.add_argument("--overlap", action="store_true")
     p_tl.set_defaults(func=_cmd_timeline)
+
+    p_tr = sub.add_parser(
+        "trace",
+        help="traced run: Chrome trace JSON + per-phase breakdown",
+    )
+    p_tr.add_argument("--algo", choices=["summa", "hsumma"], default="hsumma")
+    p_tr.add_argument("-n", "--n", dest="n", type=int, default=1024)
+    p_tr.add_argument("-p", "--procs", dest="procs", type=int, default=16)
+    p_tr.add_argument("--block", type=int, default=64)
+    p_tr.add_argument("--groups", type=int, default=None,
+                      help="HSUMMA group count G (default sqrt(p))")
+    p_tr.add_argument("--gamma", type=float, default=5e-9)
+    p_tr.add_argument("--out", default="hsumma-trace.json",
+                      help="Chrome trace_event JSON output path")
+    p_tr.add_argument("--csv", default=None,
+                      help="also write every span as CSV to this path")
+    p_tr.add_argument("--timeline", action="store_true",
+                      help="print the per-phase ascii Gantt")
+    p_tr.add_argument("--critical-path", action="store_true",
+                      help="print the critical-path walk")
+    p_tr.add_argument("--width", type=int, default=72)
+    p_tr.set_defaults(func=_cmd_trace)
 
     p_rep = sub.add_parser("report", help="reproduction scorecard")
     p_rep.set_defaults(func=_cmd_report)

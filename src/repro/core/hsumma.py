@@ -158,7 +158,8 @@ def hsumma_program(
     for K in range(cfg.outer_steps):
         g0 = K * cfg.outer_block
 
-        # --- outer horizontal broadcast of A's pivot block column ---
+        # --- outer (between-groups) broadcasts: the paper's phase 1 ---
+        yield from ctx.span("bcast.inter", step=K)
         owner_grid_col = g0 // a_tile_cols
         yk, jk = divmod(owner_grid_col, tj)
         a_outer = None
@@ -170,7 +171,6 @@ def hsumma_program(
                 a_outer, root=yk, algorithm=cfg.outer_bcast
             )
 
-        # --- outer vertical broadcast of B's pivot block row ---
         owner_grid_row = g0 // b_tile_rows
         xk, ik = divmod(owner_grid_row, si)
         b_outer = None
@@ -181,10 +181,12 @@ def hsumma_program(
             b_outer = yield from outer_col.bcast(
                 b_outer, root=xk, algorithm=cfg.outer_bcast
             )
+        yield from ctx.end_span()
 
-        # --- inner SUMMA over the outer block ---
+        # --- inner SUMMA over the outer block: the paper's phase 2 ---
         for kk in range(cfg.inner_steps):
             off = kk * cfg.inner_block
+            yield from ctx.span("bcast.intra", step=K, inner_step=kk)
             a_piv = None
             if jj == jk:
                 a_piv = slice_cols(a_outer, off, off + cfg.inner_block)
@@ -197,7 +199,10 @@ def hsumma_program(
             b_piv = yield from inner_col.bcast(
                 b_piv, root=ik, algorithm=cfg.inner_bcast
             )
+            yield from ctx.end_span()
+            yield from ctx.span("gemm", step=K, inner_step=kk)
             c_tile = yield from local_gemm_acc(ctx, c_tile, a_piv, b_piv)
+            yield from ctx.end_span()
     return c_tile
 
 
@@ -222,6 +227,7 @@ def run_hsumma(
     outer_bcast: str | None = None,
     inner_bcast: str | None = None,
     contention: bool = False,
+    trace: bool = False,
 ) -> tuple[Any, SimResult]:
     """Multiply block-distributed ``A @ B`` with HSUMMA; returns
     ``(C, SimResult)``.
@@ -229,7 +235,10 @@ def run_hsumma(
     ``groups`` is either the total group count ``G`` (the group grid is
     chosen by :func:`repro.core.grouping.choose_group_grid`) or an
     explicit ``(I, J)``.  ``inner_block`` defaults to ``outer_block``
-    (the paper's experimental setting ``b = B``).
+    (the paper's experimental setting ``b = B``).  With ``trace=True``
+    the result carries ``bcast.inter`` / ``bcast.intra`` / ``gemm``
+    phase spans and the transfer trace (see :mod:`repro.metrics`);
+    timings are bit-identical either way.
     """
     from repro.core.grouping import choose_group_grid
 
@@ -264,9 +273,9 @@ def run_hsumma(
     programs = []
     for rank in range(nranks):
         gi, gj = divmod(rank, t)
-        ctx = MpiContext(rank, nranks, options=options, gamma=gamma)
+        ctx = MpiContext(rank, nranks, options=options, gamma=gamma, trace=trace)
         programs.append(hsumma_program(ctx, da.tile(gi, gj), db.tile(gi, gj), cfg))
-    sim = Engine(network, contention=contention).run(programs)
+    sim = Engine(network, contention=contention, collect_trace=trace).run(programs)
 
     dc = DistMatrix(
         PhantomArray((m, n)) if da.phantom or db.phantom else np.empty((m, n)),
@@ -388,6 +397,13 @@ def hsumma_multilevel_program(
         for lev in range(h):
             if g0 % blocks[lev] != 0:
                 continue  # not at a level-`lev` boundary
+            if lev == 0 and h > 1:
+                phase = "bcast.inter"
+            elif lev == h - 1:
+                phase = "bcast.intra"
+            else:
+                phase = f"bcast.mid{lev}"
+            yield from ctx.span(phase, step=step, level=lev)
             width = blocks[lev]
             # A broadcast at this level: participants share my column
             # digits at deeper levels; I participate iff my digits below
@@ -426,13 +442,16 @@ def hsumma_multilevel_program(
                     b_blocks[lev] = yield from v_comms[lev].bcast(
                         src, root=owner_row_digits[lev], algorithm=cfg.bcast
                     )
+            yield from ctx.end_span()
 
         # The innermost broadcast delivered to everyone in the deepest
         # communicator; but ranks not on the owner's digit path at
         # deeper levels received nothing this step.
         a_piv = a_blocks[h - 1]
         b_piv = b_blocks[h - 1]
+        yield from ctx.span("gemm", step=step)
         c_tile = yield from local_gemm_acc(ctx, c_tile, a_piv, b_piv)
+        yield from ctx.end_span()
     return c_tile
 
 
@@ -457,6 +476,7 @@ def run_hsumma_multilevel(
     options: CollectiveOptions | None = None,
     bcast: str | None = None,
     contention: bool = False,
+    trace: bool = False,
 ) -> tuple[Any, SimResult]:
     """Multiply with the multi-level hierarchy (h = len(factors) levels);
     same contract as :func:`run_hsumma`.
@@ -489,11 +509,11 @@ def run_hsumma_multilevel(
     programs = []
     for rank in range(nranks):
         gi, gj = divmod(rank, t)
-        ctx = MpiContext(rank, nranks, options=options, gamma=gamma)
+        ctx = MpiContext(rank, nranks, options=options, gamma=gamma, trace=trace)
         programs.append(
             hsumma_multilevel_program(ctx, da.tile(gi, gj), db.tile(gi, gj), cfg)
         )
-    sim = Engine(network, contention=contention).run(programs)
+    sim = Engine(network, contention=contention, collect_trace=trace).run(programs)
 
     dc = DistMatrix(
         PhantomArray((m, n)) if da.phantom or db.phantom else np.empty((m, n)),

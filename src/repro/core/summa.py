@@ -83,6 +83,7 @@ def summa_program(ctx: MpiContext, a_tile: Any, b_tile: Any, cfg: SummaConfig) -
     for k in range(cfg.nsteps):
         g0 = k * cfg.block
 
+        yield from ctx.span("bcast.row", step=k, matrix="A")
         owner_col = g0 // a_tile_cols
         a_piv = None
         if j == owner_col:
@@ -91,7 +92,9 @@ def summa_program(ctx: MpiContext, a_tile: Any, b_tile: Any, cfg: SummaConfig) -
         a_piv = yield from grid.row_comm.bcast(
             a_piv, root=owner_col, algorithm=cfg.bcast
         )
+        yield from ctx.end_span()
 
+        yield from ctx.span("bcast.col", step=k, matrix="B")
         owner_row = g0 // b_tile_rows
         b_piv = None
         if i == owner_row:
@@ -100,8 +103,11 @@ def summa_program(ctx: MpiContext, a_tile: Any, b_tile: Any, cfg: SummaConfig) -
         b_piv = yield from grid.col_comm.bcast(
             b_piv, root=owner_row, algorithm=cfg.bcast
         )
+        yield from ctx.end_span()
 
+        yield from ctx.span("gemm", step=k)
         c_tile = yield from local_gemm_acc(ctx, c_tile, a_piv, b_piv)
+        yield from ctx.end_span()
     return c_tile
 
 
@@ -124,13 +130,16 @@ def run_summa(
     options: CollectiveOptions | None = None,
     bcast: str | None = None,
     contention: bool = False,
+    trace: bool = False,
 ) -> tuple[Any, SimResult]:
     """Multiply block-distributed ``A @ B`` with SUMMA on a simulated
     platform; returns ``(C, SimResult)``.
 
     ``A``/``B`` may be numpy arrays (data mode — ``C`` is the concrete
     product) or :class:`PhantomArray` husks (scale mode — ``C`` is a
-    phantom and only the timing is meaningful).
+    phantom and only the timing is meaningful).  With ``trace=True``
+    the result carries phase spans and the transfer trace (see
+    :mod:`repro.metrics`); timings are bit-identical either way.
     """
     s, t = grid
     (m, l), (l2, n) = A.shape, B.shape
@@ -153,9 +162,9 @@ def run_summa(
     programs = []
     for rank in range(nranks):
         i, j = divmod(rank, t)
-        ctx = MpiContext(rank, nranks, options=options, gamma=gamma)
+        ctx = MpiContext(rank, nranks, options=options, gamma=gamma, trace=trace)
         programs.append(summa_program(ctx, da.tile(i, j), db.tile(i, j), cfg))
-    sim = Engine(network, contention=contention).run(programs)
+    sim = Engine(network, contention=contention, collect_trace=trace).run(programs)
 
     dc = DistMatrix(
         PhantomArray((m, n)) if da.phantom or db.phantom else np.empty((m, n)),

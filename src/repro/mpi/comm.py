@@ -34,9 +34,19 @@ from repro.simulator.requests import (
     RequestHandle,
     SendRequest,
     WaitRequest,
+    payload_nbytes,
 )
+from repro.simulator.spans import SpanCloseRequest, SpanOpenRequest
 
 Gen = Generator[Any, Any, Any]
+
+
+def _wire_size(payload: Any) -> int | None:
+    """Payload wire size for span annotations; None when unknowable."""
+    try:
+        return payload_nbytes(payload)
+    except Exception:
+        return None
 
 
 @dataclasses.dataclass(frozen=True)
@@ -82,6 +92,10 @@ class MpiContext:
         Seconds per floating-point operation, used by
         :meth:`compute_flops`.  The paper's model charges ``2*n^3/p``
         flops at ``gamma`` each.
+    trace:
+        Emit tracing spans (:mod:`repro.simulator.spans`).  Off by
+        default; when off the span helpers yield nothing, so untraced
+        runs carry zero overhead and bit-identical timings.
     """
 
     def __init__(
@@ -90,6 +104,7 @@ class MpiContext:
         nranks: int,
         options: CollectiveOptions | None = None,
         gamma: float = 0.0,
+        trace: bool = False,
     ) -> None:
         if not (0 <= rank < nranks):
             raise CommunicatorError(f"rank {rank} outside world of {nranks}")
@@ -99,6 +114,7 @@ class MpiContext:
         if gamma < 0:
             raise CommunicatorError(f"gamma must be >= 0, got {gamma}")
         self.gamma = gamma
+        self.trace = trace
         self.world = Comm(self, tuple(range(nranks)), cid=())
 
     def compute(self, seconds: float) -> Gen:
@@ -108,6 +124,37 @@ class MpiContext:
     def compute_flops(self, flops: float) -> Gen:
         """Charge ``flops`` floating-point operations at ``gamma`` s/flop."""
         yield ComputeRequest(flops * self.gamma)
+
+    # -- tracing spans ------------------------------------------------------
+
+    def span(self, name: str, **attrs: Any) -> Gen:
+        """Open a named span at the rank's current virtual time.
+
+        Usage (always paired with :meth:`end_span`)::
+
+            yield from ctx.span("bcast.inter", step=k)
+            ...
+            yield from ctx.end_span()
+
+        A no-op (nothing yielded) when tracing is disabled.
+        """
+        if self.trace:
+            yield SpanOpenRequest(name, attrs)
+
+    def end_span(self, **attrs: Any) -> Gen:
+        """Close the innermost open span, merging ``attrs`` into it."""
+        if self.trace:
+            yield SpanCloseRequest(attrs)
+
+    def in_span(self, name: str, gen: Gen, **attrs: Any) -> Gen:
+        """Run generator ``gen`` inside a span; returns its result."""
+        if not self.trace:
+            result = yield from gen
+            return result
+        yield SpanOpenRequest(name, attrs)
+        result = yield from gen
+        yield SpanCloseRequest()
+        return result
 
 
 class Comm:
@@ -223,6 +270,24 @@ class Comm:
         return payload
 
     # -- collectives ----------------------------------------------------------
+    #
+    # When the context traces, every collective call wraps itself in a
+    # ``coll.*`` span annotated with the resolved algorithm name, the
+    # communicator size and (at close, once known on every rank) the
+    # payload's wire size — so span trees self-document which collective
+    # ran where without the algorithms knowing about tracing at all.
+
+    def _coll_open(self, op: str, algorithm: str | None, **attrs: Any) -> Gen:
+        if self._ctx.trace:
+            info = {"comm_size": self.size}
+            if algorithm is not None:
+                info["algorithm"] = algorithm
+            info.update(attrs)
+            yield SpanOpenRequest(f"coll.{op}", info)
+
+    def _coll_close(self, payload: Any) -> Gen:
+        if self._ctx.trace:
+            yield SpanCloseRequest({"nbytes": _wire_size(payload)})
 
     def bcast(self, obj: Any, root: int, algorithm: str | None = None) -> Gen:
         """Broadcast ``obj`` from ``root``; returns the object on every rank.
@@ -232,10 +297,13 @@ class Comm:
         from repro.collectives import get_broadcast
 
         self._check_rank(root)
-        algo = get_broadcast(algorithm or self.options.bcast)
+        name = algorithm or self.options.bcast
+        algo = get_broadcast(name)
+        yield from self._coll_open("bcast", name, root=root)
         result = yield from algo(
             self, obj, root, segments=self.options.bcast_segments
         )
+        yield from self._coll_close(result)
         return result
 
     def scatter(self, parts: Sequence[Any] | None, root: int) -> Gen:
@@ -243,7 +311,9 @@ class Comm:
         from repro.collectives.scatter import scatter_binomial
 
         self._check_rank(root)
+        yield from self._coll_open("scatter", "binomial", root=root)
         result = yield from scatter_binomial(self, parts, root)
+        yield from self._coll_close(result)
         return result
 
     def gather(self, obj: Any, root: int) -> Gen:
@@ -251,15 +321,20 @@ class Comm:
         from repro.collectives.gather import gather_binomial
 
         self._check_rank(root)
+        yield from self._coll_open("gather", "binomial", root=root)
         result = yield from gather_binomial(self, obj, root)
+        yield from self._coll_close(obj)
         return result
 
     def allgather(self, obj: Any, algorithm: str | None = None) -> Gen:
         """All ranks end with the list of every rank's contribution."""
         from repro.collectives import get_allgather
 
-        algo = get_allgather(algorithm or self.options.allgather)
+        name = algorithm or self.options.allgather
+        algo = get_allgather(name)
+        yield from self._coll_open("allgather", name)
         result = yield from algo(self, obj)
+        yield from self._coll_close(obj)
         return result
 
     def reduce(self, obj: Any, root: int) -> Gen:
@@ -267,23 +342,31 @@ class Comm:
         from repro.collectives import get_reduce
 
         self._check_rank(root)
-        algo = get_reduce(self.options.reduce)
+        name = self.options.reduce
+        algo = get_reduce(name)
+        yield from self._coll_open("reduce", name, root=root)
         result = yield from algo(self, obj, root)
+        yield from self._coll_close(obj)
         return result
 
     def allreduce(self, obj: Any, algorithm: str | None = None) -> Gen:
         """Element-wise sum delivered to every rank."""
         from repro.collectives import get_allreduce
 
-        algo = get_allreduce(algorithm or self.options.allreduce)
+        name = algorithm or self.options.allreduce
+        algo = get_allreduce(name)
+        yield from self._coll_open("allreduce", name)
         result = yield from algo(self, obj)
+        yield from self._coll_close(obj)
         return result
 
     def barrier(self) -> Gen:
         """Dissemination barrier."""
         from repro.collectives.barrier import barrier_dissemination
 
+        yield from self._coll_open("barrier", "dissemination")
         yield from barrier_dissemination(self)
+        yield from self._coll_close(None)
 
     # -- derived communicators -------------------------------------------------
 

@@ -23,6 +23,13 @@ from repro.simulator.requests import (
     WaitRequest,
     payload_nbytes,
 )
+from repro.simulator.spans import (
+    Span,
+    SpanCloseRequest,
+    SpanOpenRequest,
+    iter_spans,
+    phase_of,
+)
 from repro.simulator.tracing import RankStats, SimResult, TransferRecord
 from repro.simulator.engine import Engine
 from repro.simulator.runtime import run_spmd
@@ -37,8 +44,13 @@ __all__ = [
     "RequestHandle",
     "SendRequest",
     "SimResult",
+    "Span",
+    "SpanCloseRequest",
+    "SpanOpenRequest",
     "TransferRecord",
     "WaitRequest",
+    "iter_spans",
     "payload_nbytes",
+    "phase_of",
     "run_spmd",
 ]

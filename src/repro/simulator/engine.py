@@ -38,6 +38,7 @@ from repro.simulator.requests import (
     SendRequest,
     WaitRequest,
 )
+from repro.simulator.spans import SpanCloseRequest, SpanOpenRequest, SpanRecorder
 from repro.simulator.tracing import RankStats, SimResult, TransferRecord
 
 RankProgram = Generator[Any, Any, Any]
@@ -47,7 +48,7 @@ class _Endpoint:
     """One side of a pending point-to-point operation."""
 
     __slots__ = ("rank", "post_time", "payload", "nbytes", "handle",
-                 "eager_arrival")
+                 "eager_arrival", "span")
 
     def __init__(
         self,
@@ -56,6 +57,7 @@ class _Endpoint:
         payload: Any = None,
         nbytes: int = 0,
         handle: RequestHandle | None = None,
+        span: str | None = None,
     ):
         self.rank = rank
         self.post_time = post_time
@@ -63,6 +65,7 @@ class _Endpoint:
         self.nbytes = nbytes
         self.handle = handle  # None => blocking operation
         self.eager_arrival: float | None = None  # set for in-flight eager sends
+        self.span = span  # sender's open-span path at post time
 
 
 class _RankState:
@@ -140,6 +143,7 @@ class Engine:
         self._recvs: dict[tuple[int, int, int], deque[_Endpoint]] = {}
         self._link_free: dict[Any, float] = {}
         self._trace: list[TransferRecord] = []
+        self._spans = SpanRecorder(len(gens))
         self._nevents = 0
 
         for state in self._ranks:
@@ -165,10 +169,14 @@ class Engine:
             more = "" if len(blocked) <= 8 else f" (+{len(blocked) - 8} more)"
             raise DeadlockError(f"simulation deadlocked: {detail}{more}")
 
+        for state in self._ranks:
+            self._spans.finish(state.stats.rank, state.stats.clock)
+
         return SimResult(
             stats=[s.stats for s in self._ranks],
             return_values=[s.retval for s in self._ranks],
             trace=self._trace,
+            spans=self._spans.roots,
         )
 
     # -- generator stepping -------------------------------------------------
@@ -188,6 +196,16 @@ class Engine:
             value = None
             now = state.stats.clock
 
+            if isinstance(request, SpanOpenRequest):
+                # Zero virtual time: absorbed inline, no event scheduled,
+                # so traced and untraced runs are bit-identical.
+                self._spans.open(state.stats.rank, request.name, request.attrs, now)
+                continue
+
+            if isinstance(request, SpanCloseRequest):
+                self._spans.close(state.stats.rank, request.attrs, now)
+                continue
+
             if isinstance(request, ComputeRequest):
                 state.blocked_on = request
                 state.stats.compute_time += request.seconds
@@ -204,7 +222,8 @@ class Engine:
                     )
                 state.blocked_on = request
                 state.block_start = now
-                ep = _Endpoint(state.stats.rank, now, request.payload, request.nbytes)
+                ep = _Endpoint(state.stats.rank, now, request.payload, request.nbytes,
+                               span=self._spans.current_path(state.stats.rank))
                 self._post_send(state.stats.rank, request.dst, request.tag, ep)
                 return
 
@@ -218,7 +237,8 @@ class Engine:
             if isinstance(request, ISendRequest):
                 handle = RequestHandle(state.stats.rank, "send")
                 ep = _Endpoint(
-                    state.stats.rank, now, request.payload, request.nbytes, handle
+                    state.stats.rank, now, request.payload, request.nbytes, handle,
+                    span=self._spans.current_path(state.stats.rank),
                 )
                 self._post_send(state.stats.rank, request.dst, request.tag, ep)
                 value = handle
@@ -287,7 +307,8 @@ class Engine:
             ep.eager_arrival = finish
             if self.collect_trace:
                 self._trace.append(
-                    TransferRecord(src, dst, tag, ep.nbytes, start, finish)
+                    TransferRecord(src, dst, tag, ep.nbytes, start, finish,
+                                   span=ep.span)
                 )
             stats = self._ranks[src].stats
             stats.messages_sent += 1
@@ -340,7 +361,8 @@ class Engine:
 
         if self.collect_trace:
             self._trace.append(
-                TransferRecord(src, dst, tag, send.nbytes, start, finish)
+                TransferRecord(src, dst, tag, send.nbytes, start, finish,
+                               span=send.span)
             )
 
         sender_stats = self._ranks[src].stats

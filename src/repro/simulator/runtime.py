@@ -32,6 +32,7 @@ def run_spmd(
     contention: bool = False,
     collect_trace: bool = False,
     eager_threshold: int = 0,
+    trace: bool = False,
 ) -> SimResult:
     """Run ``program`` on ``nranks`` simulated ranks.
 
@@ -54,24 +55,30 @@ def run_spmd(
         Seconds per flop for ``ctx.compute_flops``.
     contention, collect_trace, eager_threshold:
         Passed to the :class:`~repro.simulator.engine.Engine`.
+    trace:
+        Full observability mode: rank contexts emit spans
+        (:mod:`repro.simulator.spans`) and the engine records every
+        transfer, populating ``SimResult.spans`` and
+        ``SimResult.trace``.  Timings are bit-identical either way.
 
     Returns
     -------
     SimResult
-        Per-rank stats, rank return values, optional trace.
+        Per-rank stats, rank return values, optional trace and spans.
     """
     from repro.mpi.comm import MpiContext
 
     if network is None:
         network = HomogeneousNetwork(nranks, params or DEFAULT_PARAMS)
     programs = [
-        program(MpiContext(rank, nranks, options=options, gamma=gamma))
+        program(MpiContext(rank, nranks, options=options, gamma=gamma,
+                           trace=trace))
         for rank in range(nranks)
     ]
     engine = Engine(
         network,
         contention=contention,
-        collect_trace=collect_trace,
+        collect_trace=collect_trace or trace,
         eager_threshold=eager_threshold,
     )
     return engine.run(programs)

@@ -9,7 +9,9 @@ measures) plus per-rank detail and aggregate message statistics.
 from __future__ import annotations
 
 import dataclasses
-from typing import Iterable
+from typing import Iterable, Iterator
+
+from repro.simulator.spans import Span, iter_spans
 
 
 @dataclasses.dataclass
@@ -37,7 +39,12 @@ class RankStats:
 
 @dataclasses.dataclass(frozen=True)
 class TransferRecord:
-    """One completed point-to-point transfer (recorded when tracing)."""
+    """One completed point-to-point transfer (recorded when tracing).
+
+    ``span`` is the sender's open-span path at post time (e.g.
+    ``"bcast.inter/coll.bcast"``), or None when the sender had no span
+    open — it is what lets per-phase rollups attribute wire traffic.
+    """
 
     src: int
     dst: int
@@ -45,6 +52,7 @@ class TransferRecord:
     nbytes: int
     start: float
     finish: float
+    span: str | None = None
 
     @property
     def duration(self) -> float:
@@ -64,11 +72,16 @@ class SimResult:
         generator), indexed by rank.
     trace:
         Completed transfers, when tracing was enabled; else empty.
+    spans:
+        Top-level spans from every rank (in recording order), when the
+        rank programs emitted any; else empty.  See
+        :mod:`repro.simulator.spans`.
     """
 
     stats: list[RankStats]
     return_values: list[object]
     trace: list[TransferRecord] = dataclasses.field(default_factory=list)
+    spans: list[Span] = dataclasses.field(default_factory=list)
 
     @property
     def nranks(self) -> int:
@@ -102,6 +115,30 @@ class SimResult:
     @property
     def total_bytes(self) -> int:
         return sum(s.bytes_sent for s in self.stats)
+
+    def spans_for(self, rank: int) -> list[Span]:
+        """Top-level spans of one rank, in open order."""
+        return [s for s in self.spans if s.rank == rank]
+
+    def iter_spans(self) -> Iterator[Span]:
+        """Every recorded span (all ranks, all depths), depth-first."""
+        return iter_spans(self.spans)
+
+    @property
+    def critical_rank(self) -> int:
+        """The rank whose clock sets the makespan (lowest id on ties)."""
+        if not self.stats:
+            return 0
+        return max(range(len(self.stats)), key=lambda r: self.stats[r].clock)
+
+    def phase_breakdown(self, rank: int | None = None):
+        """Per-phase rollup for ``rank`` (default: the critical rank).
+
+        Convenience forwarding to :func:`repro.metrics.phase_rollup`.
+        """
+        from repro.metrics import phase_rollup
+
+        return phase_rollup(self, rank=rank)
 
     def summary(self) -> str:
         """One-line human summary."""

@@ -75,6 +75,43 @@ class TestCommands:
                      "--block", "8", "--overlap"]) == 0
         assert "overlapped" in capsys.readouterr().out
 
+    def test_trace_hsumma_acceptance(self, capsys, tmp_path):
+        """The issue's acceptance run: valid Chrome JSON, and the
+        per-phase rollup partitions the makespan to 1e-9."""
+        import json
+
+        out = tmp_path / "trace.json"
+        assert main(["trace", "--algo", "hsumma", "-p", "16", "-n", "1024",
+                     "--out", str(out)]) == 0
+        doc = json.loads(out.read_text())
+        assert doc["traceEvents"]
+        assert all(ev["ph"] in {"M", "X", "s", "f"}
+                   for ev in doc["traceEvents"])
+        text = capsys.readouterr().out
+        assert "bcast.inter" in text and "bcast.intra" in text
+        # Re-run the same configuration and check the 1e-9 bound.
+        from repro.core.hsumma import run_hsumma
+        from repro.metrics import phase_rollup
+        from repro.payloads import PhantomArray
+
+        A, B = PhantomArray((1024, 1024)), PhantomArray((1024, 1024))
+        _, sim = run_hsumma(A, B, grid=(4, 4), groups=4, outer_block=64,
+                            gamma=5e-9, trace=True)
+        breakdown = phase_rollup(sim)
+        assert abs(breakdown.attributed_total - sim.total_time) <= 1e-9
+        assert doc["otherData"]["total_time_s"] == sim.total_time
+
+    def test_trace_summa_with_extras(self, capsys, tmp_path):
+        out = tmp_path / "trace.json"
+        csv = tmp_path / "spans.csv"
+        assert main(["trace", "--algo", "summa", "-p", "4", "-n", "256",
+                     "--out", str(out), "--csv", str(csv),
+                     "--timeline", "--critical-path"]) == 0
+        text = capsys.readouterr().out
+        assert "bcast.row" in text
+        assert "critical path" in text
+        assert csv.read_text().startswith("rank,path,name,")
+
     def test_figure_10_csv(self, capsys):
         assert main(["figure", "10", "--csv"]) == 0
         out = capsys.readouterr().out

@@ -50,6 +50,19 @@ class TestExamples:
         out = capsys.readouterr().out
         assert "load balancing buys" in out
 
+    def test_trace_demo(self, capsys, tmp_path):
+        import json
+
+        out_file = tmp_path / "demo.json"
+        mod = _load("trace_demo")
+        mod.main(str(out_file))
+        out = capsys.readouterr().out
+        assert "bcast.inter" in out
+        assert "critical path" in out
+        assert "x reduction" in out
+        doc = json.loads(out_file.read_text())
+        assert doc["traceEvents"]
+
     @pytest.mark.parametrize("name", [
         "quickstart",
         "optimal_groups",
@@ -58,6 +71,7 @@ class TestExamples:
         "exascale_forecast",
         "factorization_demo",
         "heterogeneous_cluster",
+        "trace_demo",
     ])
     def test_all_examples_importable(self, name):
         """Every example parses and imports (without running main)."""

@@ -1,0 +1,28 @@
+"""Regenerate the golden Chrome trace for test_metrics.py.
+
+Run after an *intentional* exporter or simulator change:
+
+    PYTHONPATH=src python tests/metrics/regen_golden.py
+"""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[2] / "src"))
+
+from repro.core.summa import run_summa  # noqa: E402
+from repro.metrics import to_chrome_json  # noqa: E402
+from repro.payloads import PhantomArray  # noqa: E402
+
+
+def main() -> None:
+    A, B = PhantomArray((64, 64)), PhantomArray((64, 64))
+    _, sim = run_summa(A, B, grid=(2, 2), block=32, gamma=5e-9, trace=True)
+    out = pathlib.Path(__file__).parent / "golden_trace_2x2_summa.json"
+    out.write_text(to_chrome_json(sim) + "\n")
+    print(f"wrote {out} ({len(sim.trace)} transfers, "
+          f"{sum(1 for _ in sim.iter_spans())} spans)")
+
+
+if __name__ == "__main__":
+    main()

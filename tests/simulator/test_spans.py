@@ -1,0 +1,225 @@
+"""Tests for the span tracing subsystem (repro.simulator.spans)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.mpi.comm import MpiContext
+from repro.network.homogeneous import HomogeneousNetwork
+from repro.network.model import HockneyParams
+from repro.simulator.engine import Engine
+from repro.simulator.requests import ComputeRequest
+from repro.simulator.spans import (
+    Span,
+    SpanCloseRequest,
+    SpanOpenRequest,
+    phase_of,
+)
+
+PARAMS = HockneyParams(alpha=1e-5, beta=1e-9)
+
+
+def _run(*programs):
+    return Engine(HomogeneousNetwork(len(programs), PARAMS)).run(list(programs))
+
+
+class TestSpanTree:
+    def test_nesting(self):
+        def prog():
+            yield SpanOpenRequest("outer")
+            yield ComputeRequest(1.0)
+            yield SpanOpenRequest("inner")
+            yield ComputeRequest(2.0)
+            yield SpanCloseRequest()
+            yield SpanOpenRequest("inner")
+            yield ComputeRequest(3.0)
+            yield SpanCloseRequest()
+            yield SpanCloseRequest()
+
+        res = _run(prog())
+        assert len(res.spans) == 1
+        outer = res.spans[0]
+        assert outer.name == "outer"
+        assert outer.rank == 0
+        assert [c.name for c in outer.children] == ["inner", "inner"]
+        assert outer.start == 0.0
+        assert outer.end == pytest.approx(6.0)
+        assert outer.children[0].start == pytest.approx(1.0)
+        assert outer.children[0].end == pytest.approx(3.0)
+        assert outer.children[1].duration == pytest.approx(3.0)
+
+    def test_self_time_subtracts_children(self):
+        def prog():
+            yield SpanOpenRequest("outer")
+            yield ComputeRequest(1.0)
+            yield SpanOpenRequest("inner")
+            yield ComputeRequest(2.0)
+            yield SpanCloseRequest()
+            yield SpanCloseRequest()
+
+        res = _run(prog())
+        assert res.spans[0].self_time == pytest.approx(1.0)
+
+    def test_spans_cost_zero_virtual_time(self):
+        def plain():
+            yield ComputeRequest(1.0)
+
+        def spanned():
+            for _ in range(50):
+                yield SpanOpenRequest("phase")
+                yield SpanCloseRequest()
+            yield ComputeRequest(1.0)
+
+        assert _run(plain()).total_time == _run(spanned()).total_time
+
+    def test_attrs_merged_at_close(self):
+        def prog():
+            yield SpanOpenRequest("s", {"step": 3})
+            yield ComputeRequest(1.0)
+            yield SpanCloseRequest({"nbytes": 64})
+
+        span = _run(prog()).spans[0]
+        assert span.attrs == {"step": 3, "nbytes": 64}
+
+    def test_unbalanced_open_force_closed_at_rank_end(self):
+        def prog():
+            yield SpanOpenRequest("leaked")
+            yield ComputeRequest(2.5)
+
+        span = _run(prog()).spans[0]
+        assert span.end == pytest.approx(2.5)
+
+    def test_close_without_open_raises(self):
+        def prog():
+            yield SpanCloseRequest()
+
+        with pytest.raises(SimulationError, match="none is open"):
+            _run(prog())
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SimulationError):
+            SpanOpenRequest("")
+
+    def test_walk_and_find(self):
+        inner = Span("b", 0, 1.0, 2.0)
+        outer = Span("a", 0, 0.0, 3.0, children=[inner])
+        assert [s.name for s in outer.walk()] == ["a", "b"]
+        assert list(outer.find("b")) == [inner]
+
+    def test_spans_for_and_iter(self):
+        def prog(name):
+            def gen():
+                yield SpanOpenRequest(name)
+                yield ComputeRequest(1.0)
+                yield SpanCloseRequest()
+            return gen()
+
+        res = _run(prog("zero"), prog("one"))
+        assert [s.name for s in res.spans_for(1)] == ["one"]
+        assert sorted(s.name for s in res.iter_spans()) == ["one", "zero"]
+
+    def test_phase_of(self):
+        assert phase_of("bcast.inter/coll.bcast") == "bcast.inter"
+        assert phase_of("gemm") == "gemm"
+        assert phase_of(None) is None
+
+
+class TestContextHelpers:
+    def test_span_helpers_noop_when_tracing_off(self):
+        ctx = MpiContext(0, 1)
+        assert list(ctx.span("x", step=1)) == []
+        assert list(ctx.end_span()) == []
+
+    def test_span_helpers_emit_when_tracing_on(self):
+        ctx = MpiContext(0, 1, trace=True)
+        reqs = list(ctx.span("x", step=1))
+        assert len(reqs) == 1
+        assert isinstance(reqs[0], SpanOpenRequest)
+        assert reqs[0].attrs == {"step": 1}
+        assert isinstance(list(ctx.end_span())[0], SpanCloseRequest)
+
+    def test_in_span_wraps_generator(self):
+        ctx = MpiContext(0, 1, trace=True)
+
+        def prog():
+            result = yield from ctx.in_span(
+                "work", ctx.compute(1.0), step=0
+            )
+            return result
+
+        res = _run(prog())
+        assert [s.name for s in res.spans] == ["work"]
+        assert res.spans[0].duration == pytest.approx(1.0)
+
+
+class TestCollectiveSelfAnnotation:
+    def _bcast_run(self, trace):
+        def program(ctx):
+            def gen():
+                result = yield from ctx.world.bcast(
+                    b"x" * 1024 if ctx.rank == 0 else None, root=0
+                )
+                return result
+            return gen()
+
+        from repro.simulator.runtime import run_spmd
+
+        return run_spmd(program, 4, params=PARAMS, trace=trace)
+
+    def test_bcast_span_attrs(self):
+        res = self._bcast_run(trace=True)
+        spans = [s for s in res.iter_spans() if s.name == "coll.bcast"]
+        assert len(spans) == 4  # one per rank
+        for span in spans:
+            assert span.attrs["algorithm"] == "binomial"
+            assert span.attrs["comm_size"] == 4
+            assert span.attrs["root"] == 0
+            assert span.attrs["nbytes"] == 1024
+
+    def test_transfers_tagged_with_sender_span(self):
+        res = self._bcast_run(trace=True)
+        assert res.trace, "tracing should record transfers"
+        assert all(rec.span == "coll.bcast" for rec in res.trace)
+
+    def test_untraced_run_has_no_spans(self):
+        res = self._bcast_run(trace=False)
+        assert res.spans == []
+
+    def test_tracing_does_not_change_timing(self):
+        on = self._bcast_run(trace=True)
+        off = self._bcast_run(trace=False)
+        assert on.total_time == off.total_time
+        assert on.comm_time == off.comm_time
+
+
+class TestZeroOverheadBitIdentity:
+    """Traced and untraced algorithm runs must agree bit-for-bit."""
+
+    def test_hsumma_bit_identical(self):
+        from repro.core.hsumma import run_hsumma
+        from repro.payloads import PhantomArray
+
+        A, B = PhantomArray((256, 256)), PhantomArray((256, 256))
+        kwargs = dict(grid=(4, 4), groups=4, outer_block=32, gamma=5e-9)
+        _, on = run_hsumma(A, B, trace=True, **kwargs)
+        _, off = run_hsumma(A, B, **kwargs)
+        for a, b in zip(on.stats, off.stats):
+            assert a.clock == b.clock
+            assert a.comm_time == b.comm_time
+            assert a.compute_time == b.compute_time
+            assert a.messages_sent == b.messages_sent
+            assert a.bytes_sent == b.bytes_sent
+        assert off.spans == [] and off.trace == []
+        assert on.spans and on.trace
+
+    def test_summa_bit_identical(self):
+        from repro.core.summa import run_summa
+        from repro.payloads import PhantomArray
+
+        A, B = PhantomArray((256, 256)), PhantomArray((256, 256))
+        kwargs = dict(grid=(4, 4), block=32, gamma=5e-9)
+        _, on = run_summa(A, B, trace=True, **kwargs)
+        _, off = run_summa(A, B, **kwargs)
+        for a, b in zip(on.stats, off.stats):
+            assert a.clock == b.clock
+            assert a.comm_time == b.comm_time
+            assert a.compute_time == b.compute_time
