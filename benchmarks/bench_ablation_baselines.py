@@ -11,7 +11,6 @@ argument with numbers.
 from conftest import run_once
 
 from repro.core.api import multiply
-from repro.network.homogeneous import HomogeneousNetwork
 from repro.network.model import HockneyParams
 from repro.mpi.comm import CollectiveOptions
 from repro.payloads import PhantomArray

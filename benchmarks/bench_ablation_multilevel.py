@@ -9,14 +9,12 @@ a latency-dominated platform point and check the predicted ordering.
 
 from conftest import run_once
 
-import numpy as np
 
 from repro.blocks.dmatrix import DistMatrix
 from repro.core.hsumma import MultiLevelConfig, hsumma_multilevel_program
 from repro.mpi.comm import CollectiveOptions, MpiContext
 from repro.network.homogeneous import HomogeneousNetwork
 from repro.network.model import HockneyParams
-from repro.payloads import PhantomArray
 from repro.simulator.engine import Engine
 from repro.util.tables import format_table
 

@@ -9,7 +9,6 @@ Reproduction criteria: HSUMMA(G) <= SUMMA for all G, equality at G in
 from conftest import run_once
 
 from repro.experiments.figures import fig5
-from repro.experiments.harness import speedup
 
 
 def test_fig5_group_sweep(benchmark, record_output):

@@ -24,7 +24,6 @@ from repro.core.grouping import valid_group_counts
 from repro.core.hsumma import run_hsumma
 from repro.core.summa import run_summa
 from repro.experiments.figures import fig8
-from repro.mpi.comm import CollectiveOptions
 from repro.platforms.bluegene import bluegene_p
 from repro.util.gridmath import factor_grid
 from repro.util.tables import format_table

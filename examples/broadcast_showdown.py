@@ -14,7 +14,6 @@ Usage::
     python examples/broadcast_showdown.py
 """
 
-import numpy as np
 
 from repro import HockneyParams, PhantomArray
 from repro.collectives import BROADCAST_ALGORITHMS

@@ -25,11 +25,11 @@ from repro.blocks.dmatrix import DistMatrix
 from repro.blocks.distribution import BlockDistribution
 from repro.blocks.ops import local_gemm_acc
 from repro.errors import ConfigurationError
-from repro.mpi.comm import CollectiveOptions, MpiContext
+from repro.mpi.comm import CollectiveOptions, MpiContext, make_contexts
 from repro.network.homogeneous import HomogeneousNetwork
 from repro.network.model import Network
 from repro.payloads import PhantomArray
-from repro.simulator.engine import Engine
+from repro.simulator.backends import resolve_backend
 from repro.simulator.runtime import DEFAULT_PARAMS
 from repro.simulator.tracing import SimResult
 
@@ -109,6 +109,7 @@ def run_25d(
     gamma: float = 0.0,
     options: CollectiveOptions | None = None,
     contention: bool = False,
+    backend: Any = None,
 ) -> tuple[Any, SimResult]:
     """Multiply ``A @ B`` with the 2.5D algorithm.
 
@@ -130,15 +131,16 @@ def run_25d(
     if network is None:
         network = HomogeneousNetwork(nprocs, params or DEFAULT_PARAMS)
     programs = []
-    for rank in range(nprocs):
+    for rank, ctx in enumerate(
+        make_contexts(nprocs, options=options, gamma=gamma)
+    ):
         layer = rank % c
         j = (rank // c) % q
         i = rank // (c * q)
         a_t = da.tile(i, j) if layer == 0 else None
         b_t = db.tile(i, j) if layer == 0 else None
-        ctx = MpiContext(rank, nprocs, options=options, gamma=gamma)
         programs.append(algo25d_program(ctx, a_t, b_t, q, c))
-    sim = Engine(network, contention=contention).run(programs)
+    sim = resolve_backend(backend, network, contention=contention).run(programs)
 
     dc = DistMatrix(
         PhantomArray((m, n)) if da.phantom or db.phantom else np.empty((m, n)),

@@ -18,11 +18,11 @@ from repro.blocks.distribution import BlockDistribution
 from repro.blocks.ops import local_gemm_acc
 from repro.errors import ConfigurationError
 from repro.mpi.cart import CartComm
-from repro.mpi.comm import CollectiveOptions, MpiContext
+from repro.mpi.comm import CollectiveOptions, MpiContext, make_contexts
 from repro.network.homogeneous import HomogeneousNetwork
 from repro.network.model import Network
 from repro.payloads import PhantomArray
-from repro.simulator.engine import Engine
+from repro.simulator.backends import resolve_backend
 from repro.simulator.runtime import DEFAULT_PARAMS
 from repro.simulator.tracing import SimResult
 
@@ -94,6 +94,7 @@ def run_cannon(
     gamma: float = 0.0,
     options: CollectiveOptions | None = None,
     contention: bool = False,
+    backend: Any = None,
 ) -> tuple[Any, SimResult]:
     """Multiply ``A @ B`` with Cannon's algorithm; ``grid`` must be square."""
     s, t = grid
@@ -116,11 +117,12 @@ def run_cannon(
     if network is None:
         network = HomogeneousNetwork(nranks, params or DEFAULT_PARAMS)
     programs = []
-    for rank in range(nranks):
+    for rank, ctx in enumerate(
+        make_contexts(nranks, options=options, gamma=gamma)
+    ):
         i, j = divmod(rank, q)
-        ctx = MpiContext(rank, nranks, options=options, gamma=gamma)
         programs.append(cannon_program(ctx, da.tile(i, j), db.tile(i, j), q))
-    sim = Engine(network, contention=contention).run(programs)
+    sim = resolve_backend(backend, network, contention=contention).run(programs)
 
     dc = DistMatrix(
         PhantomArray((m, n)) if da.phantom or db.phantom else np.empty((m, n)),

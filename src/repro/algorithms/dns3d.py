@@ -27,11 +27,11 @@ from repro.blocks.dmatrix import DistMatrix
 from repro.blocks.distribution import BlockDistribution
 from repro.blocks.ops import local_gemm_acc
 from repro.errors import ConfigurationError
-from repro.mpi.comm import CollectiveOptions, MpiContext
+from repro.mpi.comm import CollectiveOptions, MpiContext, make_contexts
 from repro.network.homogeneous import HomogeneousNetwork
 from repro.network.model import Network
 from repro.payloads import PhantomArray
-from repro.simulator.engine import Engine
+from repro.simulator.backends import resolve_backend
 from repro.simulator.runtime import DEFAULT_PARAMS
 from repro.simulator.tracing import SimResult
 
@@ -125,6 +125,7 @@ def run_dns3d(
     gamma: float = 0.0,
     options: CollectiveOptions | None = None,
     contention: bool = False,
+    backend: Any = None,
 ) -> tuple[Any, SimResult]:
     """Multiply ``A @ B`` with the 3-D algorithm on ``nprocs = q^3`` ranks."""
     q = _cube_root(nprocs)
@@ -140,15 +141,16 @@ def run_dns3d(
     if network is None:
         network = HomogeneousNetwork(nprocs, params or DEFAULT_PARAMS)
     programs = []
-    for rank in range(nprocs):
+    for rank, ctx in enumerate(
+        make_contexts(nprocs, options=options, gamma=gamma)
+    ):
         k = rank % q
         j = (rank // q) % q
         i = rank // (q * q)
         a_t = da.tile(i, j) if k == 0 else None
         b_t = db.tile(i, j) if k == 0 else None
-        ctx = MpiContext(rank, nprocs, options=options, gamma=gamma)
         programs.append(dns3d_program(ctx, a_t, b_t, q))
-    sim = Engine(network, contention=contention).run(programs)
+    sim = resolve_backend(backend, network, contention=contention).run(programs)
 
     dc = DistMatrix(
         PhantomArray((m, n)) if da.phantom or db.phantom else np.empty((m, n)),

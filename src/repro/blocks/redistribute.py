@@ -169,14 +169,15 @@ def run_redistribute(
     *,
     network: Any = None,
     params: Any = None,
+    backend: Any = None,
 ) -> tuple[np.ndarray | PhantomArray, Any]:
     """Redistribute a global matrix between layouts on a simulated
     platform; returns ``(reassembled global matrix, SimResult)`` —
     the reassembly is from the *target* tiles, so equality with the
     input proves the exchange was complete and correctly placed."""
-    from repro.mpi.comm import MpiContext
+    from repro.mpi.comm import make_contexts
     from repro.network.homogeneous import HomogeneousNetwork
-    from repro.simulator.engine import Engine
+    from repro.simulator.backends import resolve_backend
     from repro.simulator.runtime import DEFAULT_PARAMS
 
     nranks = src.s * src.t
@@ -184,15 +185,14 @@ def run_redistribute(
     if network is None:
         network = HomogeneousNetwork(nranks, params or DEFAULT_PARAMS)
     programs = []
-    for rank in range(nranks):
+    for rank, ctx in enumerate(make_contexts(nranks)):
         i, j = divmod(rank, src.t)
         if phantom:
             tile: Any = PhantomArray(src.tile_shape(i, j))
         else:
             tile = src.extract_tile(np.asarray(M, dtype=float), i, j)
-        ctx = MpiContext(rank, nranks)
         programs.append(redistribute_program(ctx, tile, src, dst))
-    sim = Engine(network).run(programs)
+    sim = resolve_backend(backend, network).run(programs)
     if phantom:
         return PhantomArray((src.rows, src.cols)), sim
     tiles = {divmod(r, src.t): sim.return_values[r] for r in range(nranks)}

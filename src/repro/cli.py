@@ -82,11 +82,12 @@ def _cmd_multiply(args: argparse.Namespace) -> int:
         nprocs=args.procs,
         algorithm=args.algorithm,
         block=args.block,
+        backend=args.backend,
         **kwargs,
     )
     print(
         f"{args.algorithm}: n={args.n} p={args.procs} "
-        f"params={result.parameters}"
+        f"backend={args.backend} params={result.parameters}"
     )
     print(
         f"  total {result.total_time:.6f}s = comm {result.comm_time:.6f}s "
@@ -262,6 +263,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_mul.add_argument("--block", type=int, default=64)
     p_mul.add_argument("--algorithm", default="hsumma")
     p_mul.add_argument("--groups", type=int, default=None)
+    p_mul.add_argument(
+        "--backend", choices=["des", "macro"], default="des",
+        help="execution backend: full DES or collective-granularity macro",
+    )
     p_mul.set_defaults(func=_cmd_multiply)
 
     p_tune = sub.add_parser("tune", help="empirical optimal group count")

@@ -105,3 +105,71 @@ def bcast_time(
     L = bcast_latency_factor(algorithm, p)
     W = bcast_bandwidth_factor(algorithm, p)
     return L * params.alpha + m_bytes * W * params.beta
+
+
+def collective_time(
+    op: str,
+    algorithm: str,
+    m_bytes: float,
+    p: int,
+    params: HockneyParams,
+    *,
+    segments: int | None = None,
+) -> float:
+    """Closed-form Hockney cost of one collective among ``p`` ranks.
+
+    Size convention (shared with the macro backend): for rooted
+    distribution ops (``bcast``, ``scatter``) ``m_bytes`` is the total
+    payload at the root; for contribution ops (``gather``,
+    ``allgather``, ``reduce``, ``allreduce``) it is one rank's
+    contribution; for ``barrier`` it is ignored.
+
+    Broadcasts delegate to :func:`bcast_time` (the paper's eq. 1 forms);
+    the remaining ops use the standard critical-path costs of the
+    algorithms implemented in :mod:`repro.collectives`.
+    """
+    if m_bytes < 0:
+        raise ModelError(f"message size must be >= 0, got {m_bytes}")
+    if p < 1:
+        raise ModelError(f"p must be >= 1, got {p}")
+    if p == 1:
+        return 0.0
+    if op == "bcast":
+        return bcast_time(algorithm, m_bytes, p, params, segments=segments)
+    alpha, beta = params.alpha, params.beta
+    log2p = _log2ceil(p)
+    if op == "scatter":
+        # Binomial range-splitting tree: the payload halves each level.
+        return log2p * alpha + (p - 1) / p * m_bytes * beta
+    if op == "gather":
+        # Mirror of scatter with per-rank contributions: level k moves
+        # 2^k contributions, summing to (p-1) along the critical path.
+        return log2p * alpha + (p - 1) * m_bytes * beta
+    if op == "allgather":
+        if algorithm == "ring":
+            return (p - 1) * (alpha + m_bytes * beta)
+        if algorithm in ("recursive_doubling", "bruck"):
+            return log2p * alpha + (p - 1) * m_bytes * beta
+        raise ModelError(f"no closed-form allgather cost for {algorithm!r}")
+    if op == "reduce":
+        if algorithm == "flat":
+            return (p - 1) * (alpha + m_bytes * beta)
+        if algorithm == "binomial":
+            return log2p * (alpha + m_bytes * beta)
+        raise ModelError(f"no closed-form reduce cost for {algorithm!r}")
+    if op == "allreduce":
+        if algorithm == "rabenseifner":
+            return 2 * log2p * alpha + 2 * (p - 1) / p * m_bytes * beta
+        if algorithm == "recursive_doubling":
+            if p & (p - 1) == 0:
+                return log2p * (alpha + m_bytes * beta)
+            # The implementation falls back to reduce + bcast off
+            # powers of two.
+            return collective_time(
+                "reduce", "binomial", m_bytes, p, params
+            ) + bcast_time("binomial", m_bytes, p, params)
+        raise ModelError(f"no closed-form allreduce cost for {algorithm!r}")
+    if op == "barrier":
+        # Dissemination barrier: ceil(log2 p) zero-byte rounds.
+        return log2p * alpha
+    raise ModelError(f"unknown collective op {op!r}")

@@ -78,6 +78,7 @@ def multiply(
     params: Any = None,
     gamma: float = 0.0,
     options: Any = None,
+    backend: Any = None,
     **kwargs: Any,
 ) -> MatmulResult:
     """Multiply ``A @ B`` on a simulated distributed-memory platform.
@@ -108,6 +109,10 @@ def multiply(
         hiding communication behind the gemm.
     network, params, gamma, options:
         Platform modelling knobs, see :func:`repro.core.summa.run_summa`.
+    backend:
+        Execution backend: ``None``/``"des"`` (full discrete event
+        simulation) or ``"macro"`` (collective-granularity fast path);
+        see :mod:`repro.simulator.backends`.  Ignored by ``serial``.
 
     Returns
     -------
@@ -128,7 +133,8 @@ def multiply(
         grid = factor_grid(nprocs)
     if grid is not None:
         s, t = grid
-    common = dict(network=network, params=params, gamma=gamma, options=options)
+    common = dict(network=network, params=params, gamma=gamma, options=options,
+                  backend=backend)
     m, l = A.shape
     n = B.shape[1]
 

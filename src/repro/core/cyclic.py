@@ -35,11 +35,11 @@ from repro.blocks.ops import local_gemm_acc, slice_cols, slice_rows
 from repro.collectives.nonblocking import IBcast
 from repro.errors import ConfigurationError
 from repro.mpi.cart import CartComm
-from repro.mpi.comm import CollectiveOptions, MpiContext
+from repro.mpi.comm import CollectiveOptions, MpiContext, make_contexts
 from repro.network.homogeneous import HomogeneousNetwork
 from repro.network.model import Network
 from repro.payloads import PhantomArray
-from repro.simulator.engine import Engine
+from repro.simulator.backends import resolve_backend
 from repro.simulator.runtime import DEFAULT_PARAMS
 from repro.simulator.tracing import SimResult
 from repro.util.validation import require, require_divides
@@ -246,6 +246,7 @@ def run_cyclic(
     gamma: float = 0.0,
     options: CollectiveOptions | None = None,
     contention: bool = False,
+    backend: Any = None,
 ) -> tuple[Any, SimResult]:
     """Multiply block-cyclic ``A @ B``; returns ``(C, SimResult)``.
 
@@ -275,9 +276,10 @@ def run_cyclic(
     if network is None:
         network = HomogeneousNetwork(nranks, params or DEFAULT_PARAMS)
     programs = []
-    for rank in range(nranks):
+    for rank, ctx in enumerate(
+        make_contexts(nranks, options=options, gamma=gamma)
+    ):
         gi, gj = divmod(rank, t)
-        ctx = MpiContext(rank, nranks, options=options, gamma=gamma)
         programs.append(
             cyclic_summa_program(
                 ctx,
@@ -287,7 +289,7 @@ def run_cyclic(
                 overlap=overlap,
             )
         )
-    sim = Engine(network, contention=contention).run(programs)
+    sim = resolve_backend(backend, network, contention=contention).run(programs)
 
     tiles = {divmod(rank, t): sim.return_values[rank] for rank in range(nranks)}
     if phantom:

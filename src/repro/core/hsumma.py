@@ -34,10 +34,10 @@ from repro.blocks.distribution import BlockDistribution
 from repro.blocks.ops import local_gemm_acc, slice_cols, slice_rows
 from repro.errors import ConfigurationError
 from repro.mpi.cart import CartComm
-from repro.mpi.comm import CollectiveOptions, MpiContext
+from repro.mpi.comm import CollectiveOptions, MpiContext, make_contexts
 from repro.network.model import Network
 from repro.payloads import PhantomArray
-from repro.simulator.engine import Engine
+from repro.simulator.backends import resolve_backend
 from repro.simulator.tracing import SimResult
 from repro.util.validation import require, require_divides
 
@@ -228,6 +228,7 @@ def run_hsumma(
     inner_bcast: str | None = None,
     contention: bool = False,
     trace: bool = False,
+    backend: Any = None,
 ) -> tuple[Any, SimResult]:
     """Multiply block-distributed ``A @ B`` with HSUMMA; returns
     ``(C, SimResult)``.
@@ -271,11 +272,14 @@ def run_hsumma(
         network = HomogeneousNetwork(nranks, params or DEFAULT_PARAMS)
 
     programs = []
-    for rank in range(nranks):
+    for rank, ctx in enumerate(
+        make_contexts(nranks, options=options, gamma=gamma, trace=trace)
+    ):
         gi, gj = divmod(rank, t)
-        ctx = MpiContext(rank, nranks, options=options, gamma=gamma, trace=trace)
         programs.append(hsumma_program(ctx, da.tile(gi, gj), db.tile(gi, gj), cfg))
-    sim = Engine(network, contention=contention, collect_trace=trace).run(programs)
+    sim = resolve_backend(
+        backend, network, contention=contention, collect_trace=trace
+    ).run(programs)
 
     dc = DistMatrix(
         PhantomArray((m, n)) if da.phantom or db.phantom else np.empty((m, n)),
@@ -477,6 +481,7 @@ def run_hsumma_multilevel(
     bcast: str | None = None,
     contention: bool = False,
     trace: bool = False,
+    backend: Any = None,
 ) -> tuple[Any, SimResult]:
     """Multiply with the multi-level hierarchy (h = len(factors) levels);
     same contract as :func:`run_hsumma`.
@@ -507,13 +512,16 @@ def run_hsumma_multilevel(
     if network is None:
         network = HomogeneousNetwork(nranks, params or DEFAULT_PARAMS)
     programs = []
-    for rank in range(nranks):
+    for rank, ctx in enumerate(
+        make_contexts(nranks, options=options, gamma=gamma, trace=trace)
+    ):
         gi, gj = divmod(rank, t)
-        ctx = MpiContext(rank, nranks, options=options, gamma=gamma, trace=trace)
         programs.append(
             hsumma_multilevel_program(ctx, da.tile(gi, gj), db.tile(gi, gj), cfg)
         )
-    sim = Engine(network, contention=contention, collect_trace=trace).run(programs)
+    sim = resolve_backend(
+        backend, network, contention=contention, collect_trace=trace
+    ).run(programs)
 
     dc = DistMatrix(
         PhantomArray((m, n)) if da.phantom or db.phantom else np.empty((m, n)),

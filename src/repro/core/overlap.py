@@ -36,11 +36,11 @@ from repro.collectives.nonblocking import IBcast
 from repro.core.summa import SummaConfig
 from repro.errors import ConfigurationError
 from repro.mpi.cart import CartComm
-from repro.mpi.comm import CollectiveOptions, MpiContext
+from repro.mpi.comm import CollectiveOptions, MpiContext, make_contexts
 from repro.network.homogeneous import HomogeneousNetwork
 from repro.network.model import Network
 from repro.payloads import PhantomArray
-from repro.simulator.engine import Engine
+from repro.simulator.backends import resolve_backend
 from repro.simulator.runtime import DEFAULT_PARAMS
 from repro.simulator.tracing import SimResult
 
@@ -266,6 +266,7 @@ def run_hsumma_overlap(
     gamma: float = 0.0,
     options: CollectiveOptions | None = None,
     contention: bool = False,
+    backend: Any = None,
 ) -> tuple[Any, SimResult]:
     """Overlapped HSUMMA; same contract as
     :func:`repro.core.hsumma.run_hsumma`."""
@@ -295,13 +296,14 @@ def run_hsumma_overlap(
     if network is None:
         network = HomogeneousNetwork(nranks, params or DEFAULT_PARAMS)
     programs = []
-    for rank in range(nranks):
+    for rank, ctx in enumerate(
+        make_contexts(nranks, options=options, gamma=gamma)
+    ):
         gi, gj = divmod(rank, t)
-        ctx = MpiContext(rank, nranks, options=options, gamma=gamma)
         programs.append(
             hsumma_overlap_program(ctx, da.tile(gi, gj), db.tile(gi, gj), cfg)
         )
-    sim = Engine(network, contention=contention).run(programs)
+    sim = resolve_backend(backend, network, contention=contention).run(programs)
 
     dc = DistMatrix(
         PhantomArray((m, n)) if da.phantom or db.phantom else np.empty((m, n)),
@@ -322,6 +324,7 @@ def run_summa_overlap(
     gamma: float = 0.0,
     options: CollectiveOptions | None = None,
     contention: bool = False,
+    backend: Any = None,
 ) -> tuple[Any, SimResult]:
     """Overlapped SUMMA; same contract as
     :func:`repro.core.summa.run_summa`."""
@@ -340,13 +343,14 @@ def run_summa_overlap(
     if network is None:
         network = HomogeneousNetwork(nranks, params or DEFAULT_PARAMS)
     programs = []
-    for rank in range(nranks):
+    for rank, ctx in enumerate(
+        make_contexts(nranks, options=options, gamma=gamma)
+    ):
         i, j = divmod(rank, t)
-        ctx = MpiContext(rank, nranks, options=options, gamma=gamma)
         programs.append(
             summa_overlap_program(ctx, da.tile(i, j), db.tile(i, j), cfg)
         )
-    sim = Engine(network, contention=contention).run(programs)
+    sim = resolve_backend(backend, network, contention=contention).run(programs)
 
     dc = DistMatrix(
         PhantomArray((m, n)) if da.phantom or db.phantom else np.empty((m, n)),

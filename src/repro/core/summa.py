@@ -24,10 +24,10 @@ from repro.blocks.dmatrix import DistMatrix
 from repro.blocks.ops import local_gemm_acc, slice_cols, slice_rows
 from repro.errors import ConfigurationError
 from repro.mpi.cart import CartComm
-from repro.mpi.comm import CollectiveOptions, MpiContext
+from repro.mpi.comm import CollectiveOptions, MpiContext, make_contexts
 from repro.network.model import Network
 from repro.payloads import PhantomArray
-from repro.simulator.engine import Engine
+from repro.simulator.backends import resolve_backend
 from repro.simulator.tracing import SimResult
 from repro.util.validation import require, require_divides
 
@@ -131,6 +131,7 @@ def run_summa(
     bcast: str | None = None,
     contention: bool = False,
     trace: bool = False,
+    backend: Any = None,
 ) -> tuple[Any, SimResult]:
     """Multiply block-distributed ``A @ B`` with SUMMA on a simulated
     platform; returns ``(C, SimResult)``.
@@ -140,6 +141,8 @@ def run_summa(
     phantom and only the timing is meaningful).  With ``trace=True``
     the result carries phase spans and the transfer trace (see
     :mod:`repro.metrics`); timings are bit-identical either way.
+    ``backend`` selects the execution backend (``"des"``/``"macro"``
+    or a prebuilt engine; see :mod:`repro.simulator.backends`).
     """
     s, t = grid
     (m, l), (l2, n) = A.shape, B.shape
@@ -160,11 +163,14 @@ def run_summa(
         network = HomogeneousNetwork(nranks, params or DEFAULT_PARAMS)
 
     programs = []
-    for rank in range(nranks):
+    for rank, ctx in enumerate(
+        make_contexts(nranks, options=options, gamma=gamma, trace=trace)
+    ):
         i, j = divmod(rank, t)
-        ctx = MpiContext(rank, nranks, options=options, gamma=gamma, trace=trace)
         programs.append(summa_program(ctx, da.tile(i, j), db.tile(i, j), cfg))
-    sim = Engine(network, contention=contention, collect_trace=trace).run(programs)
+    sim = resolve_backend(
+        backend, network, contention=contention, collect_trace=trace
+    ).run(programs)
 
     dc = DistMatrix(
         PhantomArray((m, n)) if da.phantom or db.phantom else np.empty((m, n)),

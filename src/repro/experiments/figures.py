@@ -17,7 +17,6 @@ overridden (the test suite runs scaled-down variants).
 
 from __future__ import annotations
 
-import math
 from typing import Sequence
 
 from repro.core.grouping import choose_group_grid, valid_group_counts

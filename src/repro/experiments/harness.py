@@ -10,7 +10,6 @@ from __future__ import annotations
 
 import dataclasses
 import io
-from typing import Sequence
 
 from repro.errors import ConfigurationError
 from repro.util.tables import format_table

@@ -11,7 +11,6 @@ full benchmark suite.
 from __future__ import annotations
 
 import dataclasses
-import math
 from typing import Callable
 
 import numpy as np

@@ -10,8 +10,12 @@ sum over steps of
     ``max_over_row_comms(T_bcast(A)) + max_over_col_comms(T_bcast(B))
       + T_gemm``
 
-(generalised to outer + inner phases for HSUMMA).  This module computes
-that sum with pluggable per-broadcast *costers*:
+(generalised to outer + inner phases for HSUMMA).  This module now
+delegates that computation to the macro backend
+(:class:`repro.simulator.backends.MacroBackend`), which runs the *real*
+rank programs and satisfies every collective from a pluggable *coster*
+— so the step model and the discrete-event simulation share one
+schedule description by construction.  The costers:
 
 * :class:`AnalyticCoster` — closed-form Hockney costs (homogeneous
   networks; exactly what the full DES produces there, see the
@@ -31,17 +35,19 @@ import dataclasses
 from abc import ABC, abstractmethod
 from typing import Sequence
 
-from repro.blocks.ops import gemm_flops
 from repro.collectives.cost import bcast_time
+from repro.collectives.cost import collective_time as collective_cost
 from repro.core.hsumma import HSummaConfig
 from repro.core.summa import SummaConfig
 from repro.errors import ConfigurationError
-from repro.mpi.comm import CollectiveOptions, MpiContext
+from repro.mpi.comm import CollectiveOptions, MpiContext, make_contexts
+from repro.network.homogeneous import HomogeneousNetwork
 from repro.network.model import HockneyParams, Network
 from repro.network.subnet import SubNetwork
 from repro.payloads import PhantomArray
-from repro.platforms.base import WORD_BYTES
+from repro.simulator.backends import MacroBackend
 from repro.simulator.engine import Engine
+from repro.simulator.runtime import DEFAULT_PARAMS
 
 
 @dataclasses.dataclass(frozen=True)
@@ -59,7 +65,13 @@ class StepModelReport:
 
 
 class CollectiveCoster(ABC):
-    """Cost oracle for one broadcast among explicit world ranks."""
+    """Cost oracle for one collective among explicit world ranks.
+
+    The macro backend queries :meth:`collective_time` for every
+    collective a rank program issues; :meth:`bcast_time` is the
+    historical broadcast-only entry point the figure sweeps use
+    directly.
+    """
 
     @abstractmethod
     def bcast_time(
@@ -67,6 +79,31 @@ class CollectiveCoster(ABC):
     ) -> float:
         """Seconds for a broadcast of ``nbytes`` among ``participants``
         (world ranks) rooted at ``participants[root_index]``."""
+
+    def collective_time(
+        self,
+        op: str,
+        algorithm: str | None,
+        participants: Sequence[int],
+        root_index: int,
+        nbytes: int,
+        *,
+        segments: int | None = None,
+        cid: tuple | None = None,
+    ) -> float:
+        """Seconds for one collective (macro-backend oracle interface).
+
+        ``nbytes`` follows :func:`repro.collectives.cost.collective_time`
+        conventions (total at root for bcast/scatter, per-rank
+        contribution otherwise).  ``cid`` is the communicator context id
+        of the requesting collective, for costers that discriminate by
+        communicator; the closed-form costers ignore it.
+        """
+        if op == "bcast":
+            return self.bcast_time(participants, root_index, nbytes)
+        raise ConfigurationError(
+            f"{type(self).__name__} cannot cost collective op {op!r}"
+        )
 
 
 class AnalyticCoster(CollectiveCoster):
@@ -94,12 +131,33 @@ class AnalyticCoster(CollectiveCoster):
             segments=self.segments,
         )
 
+    def collective_time(
+        self,
+        op: str,
+        algorithm: str | None,
+        participants: Sequence[int],
+        root_index: int,
+        nbytes: int,
+        *,
+        segments: int | None = None,
+        cid: tuple | None = None,
+    ) -> float:
+        return collective_cost(
+            op,
+            algorithm or self.algorithm,
+            nbytes,
+            len(participants),
+            self.params,
+            segments=segments if segments is not None else self.segments,
+        )
+
 
 class MicroDesCoster(CollectiveCoster):
-    """Exact per-broadcast cost by simulating its message schedule on
+    """Exact per-collective cost by simulating its message schedule on
     the real topology.  Results are memoised on
-    ``(participants, root, nbytes)`` — and just on ``(size, nbytes)``
-    for homogeneous networks, where position is irrelevant."""
+    ``(op, algorithm, participants, root, nbytes)`` — with the
+    participant tuple collapsed to its size for homogeneous networks,
+    where position is irrelevant."""
 
     def __init__(
         self,
@@ -114,8 +172,6 @@ class MicroDesCoster(CollectiveCoster):
         self.contention = contention
         self.segments = segments
         self._memo: dict = {}
-        from repro.network.homogeneous import HomogeneousNetwork
-
         self._uniform = (
             isinstance(network, HomogeneousNetwork) and network.intra_params is None
         )
@@ -123,38 +179,100 @@ class MicroDesCoster(CollectiveCoster):
     def bcast_time(
         self, participants: Sequence[int], root_index: int, nbytes: int
     ) -> float:
+        return self.collective_time(
+            "bcast", self.algorithm, participants, root_index, nbytes,
+            segments=self.segments,
+        )
+
+    def collective_time(
+        self,
+        op: str,
+        algorithm: str | None,
+        participants: Sequence[int],
+        root_index: int,
+        nbytes: int,
+        *,
+        segments: int | None = None,
+        cid: tuple | None = None,
+    ) -> float:
         participants = tuple(participants)
         if len(participants) <= 1:
             return 0.0
+        if op == "bcast":
+            algorithm = algorithm or self.algorithm
+            if segments is None:
+                segments = self.segments
         if self._uniform:
-            key = (len(participants), 0, nbytes)
+            key = (op, algorithm, segments, len(participants), 0, nbytes)
             root = 0
         else:
-            key = (participants, root_index, nbytes)
+            key = (op, algorithm, segments, participants, root_index, nbytes)
             root = root_index
         hit = self._memo.get(key)
         if hit is not None:
             return hit
-        t = self._simulate(participants, root, nbytes)
+        t = self._simulate(op, algorithm, participants, root, nbytes, segments)
         self._memo[key] = t
         return t
 
     def _simulate(
-        self, participants: tuple[int, ...], root: int, nbytes: int
+        self,
+        op: str,
+        algorithm: str | None,
+        participants: tuple[int, ...],
+        root: int,
+        nbytes: int,
+        segments: int | None,
     ) -> float:
         subnet = SubNetwork(self.network, participants)
-        options = CollectiveOptions(bcast=self.algorithm, bcast_segments=self.segments)
-        algorithm = self.algorithm
+        n = len(participants)
+        kwargs: dict = {}
+        if algorithm is not None and op in ("bcast", "allgather", "reduce",
+                                            "allreduce"):
+            kwargs[op] = algorithm
+        if op == "bcast":
+            kwargs["bcast_segments"] = segments
+        options = CollectiveOptions(**kwargs)
 
         def program(ctx: MpiContext):
-            payload = (
-                PhantomArray((nbytes,), itemsize=1) if ctx.rank == root else None
-            )
-            yield from ctx.world.bcast(payload, root=root, algorithm=algorithm)
+            comm = ctx.world
+            if op == "bcast":
+                payload = (
+                    PhantomArray((nbytes,), itemsize=1)
+                    if ctx.rank == root else None
+                )
+                yield from comm.bcast(payload, root=root, algorithm=algorithm)
+            elif op == "scatter":
+                parts = None
+                if ctx.rank == root:
+                    base, extra = divmod(nbytes, n)
+                    parts = [
+                        PhantomArray((base + (1 if i < extra else 0),),
+                                     itemsize=1)
+                        for i in range(n)
+                    ]
+                yield from comm.scatter(parts, root=root)
+            elif op == "gather":
+                yield from comm.gather(
+                    PhantomArray((nbytes,), itemsize=1), root=root
+                )
+            elif op == "allgather":
+                yield from comm.allgather(PhantomArray((nbytes,), itemsize=1))
+            elif op == "reduce":
+                yield from comm.reduce(
+                    PhantomArray((nbytes,), itemsize=1), root=root
+                )
+            elif op == "allreduce":
+                yield from comm.allreduce(PhantomArray((nbytes,), itemsize=1))
+            elif op == "barrier":
+                yield from comm.barrier()
+            else:
+                raise ConfigurationError(
+                    f"micro-DES coster cannot simulate op {op!r}"
+                )
 
         programs = [
-            program(MpiContext(r, len(participants), options=options))
-            for r in range(len(participants))
+            program(MpiContext(r, n, options=options)) for r in range(n)
         ]
         sim = Engine(subnet, contention=self.contention).run(programs)
         return sim.total_time
@@ -203,18 +321,19 @@ class TopologyCoster(CollectiveCoster):
             return [
                 (a, b) for a in participants for b in participants if a != b
             ]
-        # Deterministic stride sampling over the ordered-pair lattice.
+        # Deterministic sample of MAX_PAIR_SAMPLES *distinct* ordered
+        # pairs, spread evenly over the pair lattice.  Enumerate the
+        # lattice as q in [0, all_pairs): q = a_idx*(n-1) + b_off, where
+        # b_off skips the diagonal.  Taking q = floor(i*all_pairs/M) for
+        # i in [0, M) gives strictly increasing q (since all_pairs > M),
+        # hence distinct pairs with uniform coverage of senders and
+        # receivers.
         pairs = []
-        stride = max(1, all_pairs // self.MAX_PAIR_SAMPLES)
-        idx = 0
-        while len(pairs) < self.MAX_PAIR_SAMPLES:
-            i, j = divmod(idx % all_pairs, n - 1)
-            a = participants[i % n]
-            others = idx % (n - 1)
-            b = participants[(i + 1 + others) % n]
-            if a != b:
-                pairs.append((a, b))
-            idx += stride + 1
+        for i in range(self.MAX_PAIR_SAMPLES):
+            q = (i * all_pairs) // self.MAX_PAIR_SAMPLES
+            a_idx, b_off = divmod(q, n - 1)
+            b_idx = b_off if b_off < a_idx else b_off + 1
+            pairs.append((participants[a_idx], participants[b_idx]))
         return pairs
 
     def bcast_time(
@@ -226,50 +345,135 @@ class TopologyCoster(CollectiveCoster):
         params = self._effective_params(participants)
         return bcast_time(self.algorithm, nbytes, len(participants), params)
 
+    def collective_time(
+        self,
+        op: str,
+        algorithm: str | None,
+        participants: Sequence[int],
+        root_index: int,
+        nbytes: int,
+        *,
+        segments: int | None = None,
+        cid: tuple | None = None,
+    ) -> float:
+        participants = tuple(participants)
+        if len(participants) <= 1:
+            return 0.0
+        params = self._effective_params(participants)
+        return collective_cost(
+            op,
+            algorithm or self.algorithm,
+            nbytes,
+            len(participants),
+            params,
+            segments=segments,
+        )
+
 
 # ---------------------------------------------------------------------------
-# Step models
+# Step models: thin compatibility wrappers over the macro backend
 # ---------------------------------------------------------------------------
+#
+# Historically these functions re-implemented the SUMMA/HSUMMA schedules
+# as hand-derived per-step maxima — a drift hazard against the rank
+# programs.  They now run the *real* rank programs on the macro backend
+# (collectives priced by the coster, everything else inherited from the
+# engine), so there is exactly one description of each schedule in the
+# repository.
+
+
+class _HsummaPhaseCoster(CollectiveCoster):
+    """Routes HSUMMA outer-phase collectives to a separate coster.
+
+    Discrimination is by communicator context id: ``hsumma_program``
+    derives its communicators from the world in a fixed order (Cart
+    row, Cart col, outer row, outer col, inner row, inner col), so the
+    outer-group communicators carry world child sequence numbers 2 and
+    3.  Coupled to that construction order by design.
+    """
+
+    _OUTER_SEQS = (2, 3)
+
+    def __init__(self, inner: CollectiveCoster, outer: CollectiveCoster):
+        self._inner = inner
+        self._outer = outer
+        self.algorithm = getattr(inner, "algorithm", "binomial")
+        self.segments = getattr(inner, "segments", None)
+
+    def bcast_time(
+        self, participants: Sequence[int], root_index: int, nbytes: int
+    ) -> float:
+        return self._inner.bcast_time(participants, root_index, nbytes)
+
+    def collective_time(
+        self,
+        op: str,
+        algorithm: str | None,
+        participants: Sequence[int],
+        root_index: int,
+        nbytes: int,
+        *,
+        segments: int | None = None,
+        cid: tuple | None = None,
+    ) -> float:
+        if cid and cid[0] in self._OUTER_SEQS:
+            coster = self._outer
+            algorithm = getattr(coster, "algorithm", algorithm)
+            segments = getattr(coster, "segments", segments)
+        else:
+            coster = self._inner
+        return coster.collective_time(
+            op, algorithm, participants, root_index, nbytes,
+            segments=segments, cid=cid,
+        )
+
+
+def _coster_network(coster: CollectiveCoster, nranks: int) -> Network:
+    """The network the macro backend should run over for ``coster``."""
+    net = getattr(coster, "network", None)
+    if net is not None and net.nranks >= nranks:
+        return net
+    params = getattr(coster, "params", None) or DEFAULT_PARAMS
+    return HomogeneousNetwork(nranks, params)
+
+
+def _run_macro(
+    cfg,
+    program_factory,
+    coster: CollectiveCoster,
+    gamma: float,
+    nsteps: int,
+    *,
+    network_coster: CollectiveCoster | None = None,
+) -> StepModelReport:
+    nranks = cfg.s * cfg.t
+    options = CollectiveOptions(
+        bcast=getattr(coster, "algorithm", "binomial"),
+        bcast_segments=getattr(coster, "segments", None),
+    )
+    a_tile = PhantomArray((cfg.m // cfg.s, cfg.l // cfg.t))
+    b_tile = PhantomArray((cfg.l // cfg.s, cfg.n // cfg.t))
+    programs = [
+        program_factory(ctx, a_tile, b_tile, cfg)
+        for ctx in make_contexts(nranks, options=options, gamma=gamma)
+    ]
+    network = _coster_network(network_coster or coster, nranks)
+    sim = MacroBackend(network, coster=coster).run(programs)
+    return StepModelReport(
+        total_time=sim.total_time,
+        comm_time=sim.comm_time,
+        compute_time=sim.compute_time,
+        nsteps=nsteps,
+    )
 
 
 def summa_step_model(
     cfg: SummaConfig, coster: CollectiveCoster, gamma: float = 0.0
 ) -> StepModelReport:
     """Predict a SUMMA run's times under the step-synchronous schedule."""
-    s, t = cfg.s, cfg.t
-    row_ranks = [tuple(i * t + j for j in range(t)) for i in range(s)]
-    col_ranks = [tuple(i * t + j for i in range(s)) for j in range(t)]
-    a_bytes = (cfg.m // s) * cfg.block * WORD_BYTES
-    b_bytes = cfg.block * (cfg.n // t) * WORD_BYTES
-    gemm = gamma * gemm_flops(cfg.m // s, cfg.block, cfg.n // t)
-    a_tile_cols = cfg.l // t
-    b_tile_rows = cfg.l // s
+    from repro.core.summa import summa_program
 
-    # The per-step maxima depend only on the owner coordinates, which
-    # cycle over the grid; memoise them.
-    a_max: dict[int, float] = {}
-    b_max: dict[int, float] = {}
-    comm = 0.0
-    for k in range(cfg.nsteps):
-        g0 = k * cfg.block
-        owner_col = g0 // a_tile_cols
-        owner_row = g0 // b_tile_rows
-        if owner_col not in a_max:
-            a_max[owner_col] = max(
-                coster.bcast_time(ranks, owner_col, a_bytes) for ranks in row_ranks
-            )
-        if owner_row not in b_max:
-            b_max[owner_row] = max(
-                coster.bcast_time(ranks, owner_row, b_bytes) for ranks in col_ranks
-            )
-        comm += a_max[owner_col] + b_max[owner_row]
-    compute = cfg.nsteps * gemm
-    return StepModelReport(
-        total_time=comm + compute,
-        comm_time=comm,
-        compute_time=compute,
-        nsteps=cfg.nsteps,
-    )
+    return _run_macro(cfg, summa_program, coster, gamma, cfg.nsteps)
 
 
 def hsumma_step_model(
@@ -284,87 +488,16 @@ def hsumma_step_model(
     ``outer_coster`` allows a different broadcast algorithm between
     groups (defaults to ``coster``).
     """
-    oc = outer_coster or coster
-    s, t = cfg.s, cfg.t
-    si, tj = cfg.inner_s, cfg.inner_t
-    I, J = cfg.I, cfg.J
+    from repro.core.hsumma import hsumma_program
 
-    # Outer-row comm for (grid row i, inner col jj): the J ranks
-    # (i, y*tj + jj); comm rank == y.
-    outer_row = {
-        (i, jj): tuple(i * t + (y * tj + jj) for y in range(J))
-        for i in range(s)
-        for jj in range(tj)
-    }
-    outer_col = {
-        (j, ii): tuple((x * si + ii) * t + j for x in range(I))
-        for j in range(t)
-        for ii in range(si)
-    }
-    # Inner-row comm for (grid row i, group col y): the tj ranks
-    # (i, y*tj + jj'); comm rank == jj.
-    inner_row = {
-        (i, y): tuple(i * t + (y * tj + jj) for jj in range(tj))
-        for i in range(s)
-        for y in range(J)
-    }
-    inner_col = {
-        (j, x): tuple((x * si + ii) * t + j for ii in range(si))
-        for j in range(t)
-        for x in range(I)
-    }
-
-    a_outer_bytes = (cfg.m // s) * cfg.outer_block * WORD_BYTES
-    b_outer_bytes = cfg.outer_block * (cfg.n // t) * WORD_BYTES
-    a_inner_bytes = (cfg.m // s) * cfg.inner_block * WORD_BYTES
-    b_inner_bytes = cfg.inner_block * (cfg.n // t) * WORD_BYTES
-    gemm = gamma * gemm_flops(cfg.m // s, cfg.inner_block, cfg.n // t)
-    a_tile_cols = cfg.l // t
-    b_tile_rows = cfg.l // s
-
-    # Step costs depend on the step index only through the owner
-    # coordinates, which cycle; memoise each phase's max on them.
-    outer_a_max: dict[tuple[int, int], float] = {}
-    outer_b_max: dict[tuple[int, int], float] = {}
-    inner_a_max: dict[int, float] = {}
-    inner_b_max: dict[int, float] = {}
-
-    comm = 0.0
-    for K in range(cfg.outer_steps):
-        g0 = K * cfg.outer_block
-        yk, jk = divmod(g0 // a_tile_cols, tj)
-        xk, ik = divmod(g0 // b_tile_rows, si)
-        # Outer phase: only the (i, jk) row comms / (j, ik) col comms act.
-        if (yk, jk) not in outer_a_max:
-            outer_a_max[(yk, jk)] = max(
-                oc.bcast_time(outer_row[(i, jk)], yk, a_outer_bytes)
-                for i in range(s)
-            )
-        comm += outer_a_max[(yk, jk)]
-        if (xk, ik) not in outer_b_max:
-            outer_b_max[(xk, ik)] = max(
-                oc.bcast_time(outer_col[(j, ik)], xk, b_outer_bytes)
-                for j in range(t)
-            )
-        comm += outer_b_max[(xk, ik)]
-        # Inner phase: every group broadcasts from its jk column / ik row.
-        if jk not in inner_a_max:
-            inner_a_max[jk] = max(
-                coster.bcast_time(inner_row[(i, y)], jk, a_inner_bytes)
-                for i in range(s)
-                for y in range(J)
-            )
-        if ik not in inner_b_max:
-            inner_b_max[ik] = max(
-                coster.bcast_time(inner_col[(j, x)], ik, b_inner_bytes)
-                for j in range(t)
-                for x in range(I)
-            )
-        comm += cfg.inner_steps * (inner_a_max[jk] + inner_b_max[ik])
-    compute = cfg.outer_steps * cfg.inner_steps * gemm
-    return StepModelReport(
-        total_time=comm + compute,
-        comm_time=comm,
-        compute_time=compute,
-        nsteps=cfg.outer_steps * cfg.inner_steps,
+    effective = coster
+    if outer_coster is not None:
+        effective = _HsummaPhaseCoster(coster, outer_coster)
+    return _run_macro(
+        cfg,
+        hsumma_program,
+        effective,
+        gamma,
+        cfg.outer_steps * cfg.inner_steps,
+        network_coster=coster,
     )

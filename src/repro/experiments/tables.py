@@ -29,7 +29,6 @@ from repro.models.optimizer import (
 )
 from repro.models.summa_model import (
     summa_bandwidth_factor,
-    summa_computation_cost,
     summa_latency_factor,
 )
 from repro.util.tables import format_table

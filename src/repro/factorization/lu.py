@@ -32,11 +32,11 @@ import scipy.linalg
 
 from repro.errors import ConfigurationError
 from repro.mpi.cart import CartComm
-from repro.mpi.comm import CollectiveOptions, MpiContext
+from repro.mpi.comm import CollectiveOptions, MpiContext, make_contexts
 from repro.network.homogeneous import HomogeneousNetwork
 from repro.network.model import Network
 from repro.payloads import PhantomArray
-from repro.simulator.engine import Engine
+from repro.simulator.backends import resolve_backend
 from repro.simulator.runtime import DEFAULT_PARAMS
 from repro.simulator.tracing import SimResult
 from repro.util.validation import require, require_divides
@@ -282,6 +282,7 @@ def run_block_lu(
     gamma: float = 0.0,
     options: CollectiveOptions | None = None,
     contention: bool = False,
+    backend: Any = None,
 ) -> tuple[Any, Any, SimResult]:
     """Factor ``A = L @ U`` on a simulated platform.
 
@@ -320,10 +321,11 @@ def run_block_lu(
     if network is None:
         network = HomogeneousNetwork(nranks, params or DEFAULT_PARAMS)
     programs = []
-    for rank in range(nranks):
-        ctx = MpiContext(rank, nranks, options=options, gamma=gamma)
+    for rank, ctx in enumerate(
+        make_contexts(nranks, options=options, gamma=gamma)
+    ):
         programs.append(lu_program(ctx, per_rank[rank], cfg))
-    sim = Engine(network, contention=contention).run(programs)
+    sim = resolve_backend(backend, network, contention=contention).run(programs)
 
     if phantom:
         return PhantomArray((n, n)), PhantomArray((n, n)), sim

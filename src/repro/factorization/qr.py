@@ -23,7 +23,6 @@ signs.
 
 from __future__ import annotations
 
-import dataclasses
 from typing import Any, Generator
 
 import numpy as np
@@ -32,11 +31,11 @@ import scipy.linalg
 from repro.errors import ConfigurationError
 from repro.factorization.lu import LuConfig
 from repro.mpi.cart import CartComm
-from repro.mpi.comm import CollectiveOptions, MpiContext
+from repro.mpi.comm import CollectiveOptions, MpiContext, make_contexts
 from repro.network.homogeneous import HomogeneousNetwork
 from repro.network.model import Network
 from repro.payloads import PhantomArray
-from repro.simulator.engine import Engine
+from repro.simulator.backends import resolve_backend
 from repro.simulator.runtime import DEFAULT_PARAMS
 from repro.simulator.tracing import SimResult
 
@@ -251,6 +250,7 @@ def run_block_qr(
     gamma: float = 0.0,
     options: CollectiveOptions | None = None,
     contention: bool = False,
+    backend: Any = None,
 ) -> tuple[Any, SimResult]:
     """Factor ``A = Q R`` on a simulated platform; returns ``(R, SimResult)``
     (``Q`` stays implicit in the reflectors, as in LAPACK)."""
@@ -280,10 +280,11 @@ def run_block_qr(
     if network is None:
         network = HomogeneousNetwork(nranks, params or DEFAULT_PARAMS)
     programs = []
-    for rank in range(nranks):
-        ctx = MpiContext(rank, nranks, options=options, gamma=gamma)
+    for rank, ctx in enumerate(
+        make_contexts(nranks, options=options, gamma=gamma)
+    ):
         programs.append(qr_program(ctx, per_rank[rank], cfg))
-    sim = Engine(network, contention=contention).run(programs)
+    sim = resolve_backend(backend, network, contention=contention).run(programs)
 
     if phantom:
         return PhantomArray((n, n)), sim

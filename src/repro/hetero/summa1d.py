@@ -24,14 +24,14 @@ from typing import Any, Generator, Sequence
 
 import numpy as np
 
-from repro.blocks.ops import gemm_flops, slice_cols
+from repro.blocks.ops import gemm_flops
 from repro.errors import ConfigurationError
 from repro.hetero.partition import partition_bounds
-from repro.mpi.comm import CollectiveOptions, MpiContext
+from repro.mpi.comm import CollectiveOptions, MpiContext, make_contexts
 from repro.network.homogeneous import HomogeneousNetwork
 from repro.network.model import Network
 from repro.payloads import PhantomArray
-from repro.simulator.engine import Engine
+from repro.simulator.backends import resolve_backend
 from repro.simulator.runtime import DEFAULT_PARAMS
 from repro.simulator.tracing import SimResult
 from repro.util.validation import require, require_divides
@@ -162,6 +162,7 @@ def run_hetero_summa1d(
     network: Network | None = None,
     params: Any = None,
     options: CollectiveOptions | None = None,
+    backend: Any = None,
 ) -> tuple[Any, SimResult]:
     """Multiply ``A @ B`` on ranks of relative ``speeds``.
 
@@ -188,6 +189,7 @@ def run_hetero_summa1d(
 
     if network is None:
         network = HomogeneousNetwork(p, params or DEFAULT_PARAMS)
+    contexts = make_contexts(p, options=options)
     programs = []
     for rank in range(p):
         a_panels: dict[int, Any] = {}
@@ -203,10 +205,10 @@ def run_hetero_summa1d(
             b_slice: Any = PhantomArray((l, hi - lo))
         else:
             b_slice = np.asarray(B, dtype=float)[:, lo:hi].copy()
-        ctx = MpiContext(rank, p, options=options,
-                         gamma=base_gamma / true_speeds[rank])
+        ctx = contexts[rank]
+        ctx.gamma = base_gamma / true_speeds[rank]
         programs.append(hetero_summa1d_program(ctx, a_panels, b_slice, cfg))
-    sim = Engine(network).run(programs)
+    sim = resolve_backend(backend, network).run(programs)
 
     if phantom:
         return PhantomArray((m, n)), sim

@@ -28,7 +28,6 @@ from typing import Sequence
 
 from repro.errors import ModelError
 from repro.models.broadcast_model import BroadcastModel, VANDEGEIJN_MODEL
-from repro.models.hsumma_model import hsumma_communication_cost
 from repro.models.optimizer import optimal_group_count
 from repro.models.summa_model import (
     summa_communication_cost,

@@ -25,8 +25,18 @@ import dataclasses
 import itertools
 from typing import Any, Callable, Generator, Sequence
 
+from repro.collectives import (
+    get_allgather,
+    get_allreduce,
+    get_broadcast,
+    get_reduce,
+)
+from repro.collectives.barrier import barrier_dissemination
+from repro.collectives.gather import gather_binomial
+from repro.collectives.scatter import scatter_binomial
 from repro.errors import CommunicatorError
 from repro.simulator.requests import (
+    CollectiveRequest,
     ComputeRequest,
     IRecvRequest,
     ISendRequest,
@@ -79,6 +89,48 @@ class CollectiveOptions:
         return dataclasses.replace(self, **kwargs)
 
 
+class _RankShared:
+    """Read-only state safely shared across the per-rank contexts of one
+    SPMD run.
+
+    Ranks behave like separate MPI processes, but each Python process
+    simulating p ranks would otherwise hold p copies of the world rank
+    tuple (O(p^2) memory at p=16384) and recompute every ``split_by``
+    partition p times (O(p^2) color evaluations).  Sharing is sound
+    because both are pure functions of collectively-executed calls: the
+    SPMD discipline already requires every member to derive identical
+    memberships, so the first rank's answer is every rank's answer.
+    """
+
+    __slots__ = ("world_ranks", "splits")
+
+    def __init__(self, nranks: int) -> None:
+        self.world_ranks = tuple(range(nranks))
+        #: child cid -> {color: ordered world-rank tuple}
+        self.splits: dict[tuple, dict[int, tuple[int, ...]]] = {}
+
+
+def make_contexts(
+    nranks: int,
+    options: CollectiveOptions | None = None,
+    gamma: float = 0.0,
+    trace: bool = False,
+) -> list["MpiContext"]:
+    """One :class:`MpiContext` per rank, sharing membership caches.
+
+    Preferred over constructing contexts in a loop for large worlds:
+    the shared :class:`_RankShared` keeps world/partition storage O(p)
+    instead of O(p^2).
+    """
+    shared = _RankShared(nranks)
+    opts = options or CollectiveOptions()
+    return [
+        MpiContext(r, nranks, options=opts, gamma=gamma, trace=trace,
+                   shared=shared)
+        for r in range(nranks)
+    ]
+
+
 class MpiContext:
     """Per-rank execution context: identity plus collective defaults.
 
@@ -96,6 +148,9 @@ class MpiContext:
         Emit tracing spans (:mod:`repro.simulator.spans`).  Off by
         default; when off the span helpers yield nothing, so untraced
         runs carry zero overhead and bit-identical timings.
+    shared:
+        Membership caches shared across the ranks of one run (see
+        :func:`make_contexts`).  A private one is created when omitted.
     """
 
     def __init__(
@@ -105,6 +160,7 @@ class MpiContext:
         options: CollectiveOptions | None = None,
         gamma: float = 0.0,
         trace: bool = False,
+        shared: _RankShared | None = None,
     ) -> None:
         if not (0 <= rank < nranks):
             raise CommunicatorError(f"rank {rank} outside world of {nranks}")
@@ -115,19 +171,29 @@ class MpiContext:
             raise CommunicatorError(f"gamma must be >= 0, got {gamma}")
         self.gamma = gamma
         self.trace = trace
-        self.world = Comm(self, tuple(range(nranks)), cid=())
+        if shared is None or len(shared.world_ranks) != nranks:
+            shared = _RankShared(nranks)
+        self._shared = shared
+        self.world = Comm(self, shared.world_ranks, cid=(), _index=rank)
 
-    def compute(self, seconds: float) -> Gen:
-        """Charge ``seconds`` of local computation."""
-        yield ComputeRequest(seconds)
+    def compute(self, seconds: float) -> Sequence[Any]:
+        """Charge ``seconds`` of local computation (drive with
+        ``yield from``)."""
+        return (ComputeRequest(seconds),)
 
-    def compute_flops(self, flops: float) -> Gen:
-        """Charge ``flops`` floating-point operations at ``gamma`` s/flop."""
-        yield ComputeRequest(flops * self.gamma)
+    def compute_flops(self, flops: float) -> Sequence[Any]:
+        """Charge ``flops`` floating-point operations at ``gamma`` s/flop
+        (drive with ``yield from``)."""
+        return (ComputeRequest(flops * self.gamma),)
 
     # -- tracing spans ------------------------------------------------------
+    #
+    # span/end_span return plain request tuples rather than generators:
+    # they are driven with ``yield from`` on every step of the hottest
+    # rank-program loops, and an empty tuple costs no frame when tracing
+    # is off.
 
-    def span(self, name: str, **attrs: Any) -> Gen:
+    def span(self, name: str, **attrs: Any) -> Sequence[Any]:
         """Open a named span at the rank's current virtual time.
 
         Usage (always paired with :meth:`end_span`)::
@@ -139,12 +205,14 @@ class MpiContext:
         A no-op (nothing yielded) when tracing is disabled.
         """
         if self.trace:
-            yield SpanOpenRequest(name, attrs)
+            return (SpanOpenRequest(name, attrs),)
+        return ()
 
-    def end_span(self, **attrs: Any) -> Gen:
+    def end_span(self, **attrs: Any) -> Sequence[Any]:
         """Close the innermost open span, merging ``attrs`` into it."""
         if self.trace:
-            yield SpanCloseRequest(attrs)
+            return (SpanCloseRequest(attrs),)
+        return ()
 
     def in_span(self, name: str, gen: Gen, **attrs: Any) -> Gen:
         """Run generator ``gen`` inside a span; returns its result."""
@@ -165,20 +233,37 @@ class Comm:
     methods take communicator-relative ranks.
     """
 
-    def __init__(self, ctx: MpiContext, world_ranks: Sequence[int], cid: tuple):
+    def __init__(
+        self,
+        ctx: MpiContext,
+        world_ranks: Sequence[int],
+        cid: tuple,
+        _index: int | None = None,
+    ):
         self._ctx = ctx
         self._world_ranks = tuple(world_ranks)
-        if len(set(self._world_ranks)) != len(self._world_ranks):
-            raise CommunicatorError(f"duplicate ranks in {self._world_ranks}")
-        try:
-            self.rank = self._world_ranks.index(ctx.rank)
-        except ValueError:
-            raise CommunicatorError(
-                f"world rank {ctx.rank} is not a member of {self._world_ranks}"
-            ) from None
+        if _index is not None:
+            # Fast path for internally-constructed communicators whose
+            # membership is known valid (world, cached splits): skips
+            # the O(size) duplicate check and index scan that dominate
+            # setup cost at p=16384.
+            self.rank = _index
+        else:
+            if len(set(self._world_ranks)) != len(self._world_ranks):
+                raise CommunicatorError(
+                    f"duplicate ranks in {self._world_ranks}"
+                )
+            try:
+                self.rank = self._world_ranks.index(ctx.rank)
+            except ValueError:
+                raise CommunicatorError(
+                    f"world rank {ctx.rank} is not a member of "
+                    f"{self._world_ranks}"
+                ) from None
         self.size = len(self._world_ranks)
         self._cid = cid
         self._child_seq = itertools.count()
+        self._coll_seq = itertools.count()
 
     # -- identity -----------------------------------------------------------
 
@@ -271,102 +356,167 @@ class Comm:
 
     # -- collectives ----------------------------------------------------------
     #
+    # Every collective first yields a CollectiveRequest announcing the
+    # operation.  The discrete-event backend absorbs it (resumes with
+    # None) and the method expands the collective into point-to-point
+    # messages exactly as before; the macro backend instead satisfies
+    # the request from a cost oracle and resumes with a
+    # CollectiveReply carrying the op's result, skipping the expansion.
+    #
     # When the context traces, every collective call wraps itself in a
     # ``coll.*`` span annotated with the resolved algorithm name, the
     # communicator size and (at close, once known on every rank) the
     # payload's wire size — so span trees self-document which collective
     # ran where without the algorithms knowing about tracing at all.
 
-    def _coll_open(self, op: str, algorithm: str | None, **attrs: Any) -> Gen:
-        if self._ctx.trace:
-            info = {"comm_size": self.size}
-            if algorithm is not None:
-                info["algorithm"] = algorithm
-            info.update(attrs)
-            yield SpanOpenRequest(f"coll.{op}", info)
-
-    def _coll_close(self, payload: Any) -> Gen:
-        if self._ctx.trace:
-            yield SpanCloseRequest({"nbytes": _wire_size(payload)})
+    def _announce(
+        self,
+        op: str,
+        algorithm: str,
+        payload: Any,
+        root: int | None = None,
+        segments: int | None = None,
+    ) -> CollectiveRequest:
+        return CollectiveRequest(
+            op,
+            algorithm,
+            self._cid,
+            next(self._coll_seq),
+            self._world_ranks,
+            self.rank,
+            root,
+            payload,
+            segments,
+        )
 
     def bcast(self, obj: Any, root: int, algorithm: str | None = None) -> Gen:
         """Broadcast ``obj`` from ``root``; returns the object on every rank.
 
         ``algorithm`` overrides the context default for this call.
         """
-        from repro.collectives import get_broadcast
-
         self._check_rank(root)
-        name = algorithm or self.options.bcast
-        algo = get_broadcast(name)
-        yield from self._coll_open("bcast", name, root=root)
-        result = yield from algo(
-            self, obj, root, segments=self.options.bcast_segments
+        options = self.options
+        name = algorithm or options.bcast
+        segments = options.bcast_segments
+        if self._ctx.trace:
+            yield SpanOpenRequest(
+                "coll.bcast",
+                {"comm_size": self.size, "algorithm": name, "root": root},
+            )
+        reply = yield self._announce(
+            "bcast", name, obj if self.rank == root else None,
+            root=root, segments=segments,
         )
-        yield from self._coll_close(result)
+        if reply is None:
+            # Algorithm lookup deferred to the expansion path: the
+            # macro backend answers most announcements without it.
+            algo = get_broadcast(name)
+            result = yield from algo(self, obj, root, segments=segments)
+        else:
+            result = reply.value
+        if self._ctx.trace:
+            yield SpanCloseRequest({"nbytes": _wire_size(result)})
         return result
 
     def scatter(self, parts: Sequence[Any] | None, root: int) -> Gen:
         """Scatter ``parts[i]`` to rank ``i``; ``parts`` given on root only."""
-        from repro.collectives.scatter import scatter_binomial
-
         self._check_rank(root)
-        yield from self._coll_open("scatter", "binomial", root=root)
-        result = yield from scatter_binomial(self, parts, root)
-        yield from self._coll_close(result)
+        if self._ctx.trace:
+            yield SpanOpenRequest(
+                "coll.scatter",
+                {"comm_size": self.size, "algorithm": "binomial", "root": root},
+            )
+        reply = yield self._announce(
+            "scatter", "binomial", parts if self.rank == root else None,
+            root=root,
+        )
+        if reply is None:
+            result = yield from scatter_binomial(self, parts, root)
+        else:
+            result = reply.value
+        if self._ctx.trace:
+            yield SpanCloseRequest({"nbytes": _wire_size(result)})
         return result
 
     def gather(self, obj: Any, root: int) -> Gen:
         """Gather every rank's ``obj`` to ``root`` (list indexed by rank)."""
-        from repro.collectives.gather import gather_binomial
-
         self._check_rank(root)
-        yield from self._coll_open("gather", "binomial", root=root)
-        result = yield from gather_binomial(self, obj, root)
-        yield from self._coll_close(obj)
+        if self._ctx.trace:
+            yield SpanOpenRequest(
+                "coll.gather",
+                {"comm_size": self.size, "algorithm": "binomial", "root": root},
+            )
+        reply = yield self._announce("gather", "binomial", obj, root=root)
+        if reply is None:
+            result = yield from gather_binomial(self, obj, root)
+        else:
+            result = reply.value
+        if self._ctx.trace:
+            yield SpanCloseRequest({"nbytes": _wire_size(obj)})
         return result
 
     def allgather(self, obj: Any, algorithm: str | None = None) -> Gen:
         """All ranks end with the list of every rank's contribution."""
-        from repro.collectives import get_allgather
-
         name = algorithm or self.options.allgather
-        algo = get_allgather(name)
-        yield from self._coll_open("allgather", name)
-        result = yield from algo(self, obj)
-        yield from self._coll_close(obj)
+        if self._ctx.trace:
+            yield SpanOpenRequest(
+                "coll.allgather", {"comm_size": self.size, "algorithm": name}
+            )
+        reply = yield self._announce("allgather", name, obj)
+        if reply is None:
+            result = yield from get_allgather(name)(self, obj)
+        else:
+            result = reply.value
+        if self._ctx.trace:
+            yield SpanCloseRequest({"nbytes": _wire_size(obj)})
         return result
 
     def reduce(self, obj: Any, root: int) -> Gen:
         """Element-wise sum onto ``root`` (None elsewhere)."""
-        from repro.collectives import get_reduce
-
         self._check_rank(root)
         name = self.options.reduce
-        algo = get_reduce(name)
-        yield from self._coll_open("reduce", name, root=root)
-        result = yield from algo(self, obj, root)
-        yield from self._coll_close(obj)
+        if self._ctx.trace:
+            yield SpanOpenRequest(
+                "coll.reduce",
+                {"comm_size": self.size, "algorithm": name, "root": root},
+            )
+        reply = yield self._announce("reduce", name, obj, root=root)
+        if reply is None:
+            result = yield from get_reduce(name)(self, obj, root)
+        else:
+            result = reply.value
+        if self._ctx.trace:
+            yield SpanCloseRequest({"nbytes": _wire_size(obj)})
         return result
 
     def allreduce(self, obj: Any, algorithm: str | None = None) -> Gen:
         """Element-wise sum delivered to every rank."""
-        from repro.collectives import get_allreduce
-
         name = algorithm or self.options.allreduce
-        algo = get_allreduce(name)
-        yield from self._coll_open("allreduce", name)
-        result = yield from algo(self, obj)
-        yield from self._coll_close(obj)
+        if self._ctx.trace:
+            yield SpanOpenRequest(
+                "coll.allreduce", {"comm_size": self.size, "algorithm": name}
+            )
+        reply = yield self._announce("allreduce", name, obj)
+        if reply is None:
+            result = yield from get_allreduce(name)(self, obj)
+        else:
+            result = reply.value
+        if self._ctx.trace:
+            yield SpanCloseRequest({"nbytes": _wire_size(obj)})
         return result
 
     def barrier(self) -> Gen:
         """Dissemination barrier."""
-        from repro.collectives.barrier import barrier_dissemination
-
-        yield from self._coll_open("barrier", "dissemination")
-        yield from barrier_dissemination(self)
-        yield from self._coll_close(None)
+        if self._ctx.trace:
+            yield SpanOpenRequest(
+                "coll.barrier",
+                {"comm_size": self.size, "algorithm": "dissemination"},
+            )
+        reply = yield self._announce("barrier", "dissemination", None)
+        if reply is None:
+            yield from barrier_dissemination(self)
+        if self._ctx.trace:
+            yield SpanCloseRequest({"nbytes": _wire_size(None)})
 
     # -- derived communicators -------------------------------------------------
 
@@ -388,14 +538,35 @@ class Comm:
         rank ``r`` of this communicator and must be pure functions so
         all members derive identical memberships.  Returns the new
         communicator containing this rank, ordered by ``(key, rank)``.
+
+        The full partition is computed once per run and shared across
+        ranks (keyed by the collectively-unique child context id) —
+        sound for exactly the reason the split is collective: every
+        member evaluates the same functions over the same members, so
+        the first rank's partition is every rank's partition.
         """
         cid = self._next_cid()
         my_color = color_of(self.rank)
-        members = [r for r in range(self.size) if color_of(r) == my_color]
-        if key_of is not None:
-            members.sort(key=lambda r: (key_of(r), r))
-        world = [self._world_ranks[r] for r in members]
-        return Comm(self._ctx, world, cid + (my_color,))
+        partition = self._ctx._shared.splits.get(cid)
+        if partition is None:
+            by_color: dict[int, list[int]] = {}
+            for r in range(self.size):
+                by_color.setdefault(color_of(r), []).append(r)
+            partition = {}
+            for color, members in by_color.items():
+                if key_of is not None:
+                    members.sort(key=lambda r: (key_of(r), r))
+                partition[color] = tuple(
+                    self._world_ranks[r] for r in members
+                )
+            self._ctx._shared.splits[cid] = partition
+        world = partition[my_color]
+        return Comm(
+            self._ctx,
+            world,
+            cid + (my_color,),
+            _index=world.index(self._ctx.rank),
+        )
 
     def subset(self, comm_ranks: Sequence[int]) -> "Comm | None":
         """Communicator over ``comm_ranks`` (collective over members).

@@ -170,13 +170,26 @@ def join_payload(segments: Sequence[_Segment]) -> Any:
 
 
 def combine_payloads(a: Any, b: Any) -> Any:
-    """Element-wise sum used by reductions; phantom + phantom = phantom."""
+    """Element-wise sum used by reductions; phantom + phantom = phantom.
+
+    A phantom-vs-real mix promotes the real operand to a phantom of the
+    same shape *and itemsize* (``np.asarray`` dtype), and the result
+    keeps the wider itemsize of the two — so a reduction tree that
+    mixes husks with concrete float32/float64 arrays still models the
+    correct wire size.
+    """
     if isinstance(a, PhantomArray) or isinstance(b, PhantomArray):
-        pa = a if isinstance(a, PhantomArray) else PhantomArray(np.shape(a))
-        pb = b if isinstance(b, PhantomArray) else PhantomArray(np.shape(b))
+        pa = a if isinstance(a, PhantomArray) else PhantomArray(
+            np.shape(a), np.asarray(a).dtype.itemsize
+        )
+        pb = b if isinstance(b, PhantomArray) else PhantomArray(
+            np.shape(b), np.asarray(b).dtype.itemsize
+        )
         if pa.shape != pb.shape:
             raise DataMismatchError(
                 f"cannot reduce phantoms of shapes {pa.shape} and {pb.shape}"
             )
+        if pb.itemsize > pa.itemsize:
+            return pb
         return pa
     return a + b

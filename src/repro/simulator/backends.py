@@ -1,0 +1,283 @@
+"""Execution backends: one rank-program path from p=4 to p=2^20.
+
+Every algorithm in this repository is written once, as a set of SPMD
+rank generators.  A *backend* decides how much machinery executes them:
+
+* :class:`DesBackend` — the full discrete-event engine.  Collectives
+  expand into their exact per-message point-to-point schedules; every
+  transfer is an event.  Bit-identical to the historical ``Engine``
+  (it *is* the engine), and the reference semantics everything else is
+  validated against.
+* :class:`MacroBackend` — the same generators, but each
+  :class:`~repro.simulator.requests.CollectiveRequest` is satisfied
+  directly from a :class:`~repro.experiments.stepmodel.CollectiveCoster`
+  oracle instead of being expanded: all participants synchronise at the
+  latest arrival, the oracle prices the collective once, and every
+  participant resumes at ``start + T``.  Point-to-point traffic and
+  compute still run through the inherited event machinery, so
+  algorithms mixing collectives with sends (block-cyclic, Cannon
+  shifts, overlap variants' split-phase broadcasts) remain faithful.
+
+On homogeneous networks the macro path reproduces the DES makespan
+*exactly* for the SUMMA family (see ``tests/properties``): the bcast
+root is always the latest participant, and the binomial/Van de Geijn
+schedules on power-of-two communicators finish all ranks
+simultaneously with every rank continuously blocked — so the
+barrier-per-collective abstraction loses nothing.  What the macro
+backend trades away is per-message detail *within* a collective:
+``messages_sent``/``bytes_sent`` do not count macro-satisfied
+collectives, per-transfer traces inside them are absent, and on
+heterogeneous topologies desynchronisation inside a collective is
+approximated by the coster.
+
+Why it scales: a p=16384 HSUMMA step is ~3 events instead of ~10^5.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Callable, Iterable
+
+from repro.errors import ConfigurationError
+from repro.network.model import Network
+from repro.payloads import combine_payloads
+from repro.simulator.engine import Engine, RankProgram, _RankState
+from repro.simulator.requests import CollectiveReply, CollectiveRequest
+from repro.simulator.tracing import SimResult
+
+
+class Backend(ABC):
+    """Executes a set of SPMD rank programs and returns a
+    :class:`~repro.simulator.tracing.SimResult`."""
+
+    @abstractmethod
+    def run(self, programs: Iterable[RankProgram]) -> SimResult:
+        """Run one generator per rank to completion."""
+
+
+class DesBackend(Engine, Backend):
+    """Full discrete-event execution (the reference semantics).
+
+    Identical to :class:`~repro.simulator.engine.Engine` — the alias
+    exists so call sites name the backend they chose.
+    """
+
+
+class MacroBackend(Engine, Backend):
+    """Step-synchronous execution: collectives priced by a cost oracle.
+
+    Parameters
+    ----------
+    network:
+        Network model; used for any point-to-point traffic the programs
+        issue and as the source of the default coster's parameters.
+    coster:
+        A :class:`~repro.experiments.stepmodel.CollectiveCoster`.
+        Defaults to the analytic closed forms on a plain homogeneous
+        network and to the micro-DES oracle (exact per-collective
+        simulation, memoised) on anything with topology.
+    contention, collect_trace, max_events, eager_threshold:
+        As on :class:`~repro.simulator.engine.Engine`; they govern the
+        point-to-point machinery, which is inherited unchanged.
+    """
+
+    _inline_compute = True
+
+    def __init__(
+        self,
+        network: Network,
+        *,
+        coster: Any = None,
+        contention: bool = False,
+        collect_trace: bool = False,
+        max_events: int = 200_000_000,
+        eager_threshold: int = 0,
+    ) -> None:
+        super().__init__(
+            network,
+            contention=contention,
+            collect_trace=collect_trace,
+            max_events=max_events,
+            eager_threshold=eager_threshold,
+        )
+        if coster is None:
+            coster = _default_coster(network, contention=contention)
+        self.coster = coster
+
+    def run(self, programs: Iterable[RankProgram]) -> SimResult:
+        #: (cid, seq) -> [(rank state, its request)]; a collective fires
+        #: once every participant has arrived.
+        self._pending: dict[tuple, list[tuple[_RankState, CollectiveRequest]]] = {}
+        #: coster result cache; costers are deterministic in the full
+        #: argument set, and bulk-synchronous algorithms repeat the
+        #: same (op, size, bytes) shape thousands of times.
+        self._durations: dict[tuple, float] = {}
+        return super().run(programs)
+
+    # -- the collective hook -------------------------------------------------
+
+    def _collective(
+        self, state: _RankState, request: CollectiveRequest, now: float
+    ) -> bool:
+        if len(request.participants) <= 1:
+            # Single-rank collectives are free no-ops; expanding them
+            # costs nothing and reuses the exact result semantics.
+            return False
+        state.blocked_on = request
+        state.block_start = now
+        key = (request.cid, request.seq)
+        entry = self._pending.get(key)
+        if entry is None:
+            entry = self._pending[key] = []
+        entry.append((state, request))
+        if len(entry) == len(request.participants):
+            del self._pending[key]
+            self._satisfy(entry)
+        return True
+
+    def _satisfy(
+        self, entry: list[tuple[_RankState, CollectiveRequest]]
+    ) -> None:
+        req0 = entry[0][1]
+        p = len(req0.participants)
+        payloads: list[Any] = [None] * p
+        start = 0.0
+        for st, req in entry:
+            payloads[req.me] = req.payload
+            clock = st.stats.clock
+            if clock > start:
+                start = clock
+        nbytes = _op_nbytes(req0.op, req0.root, entry)
+        root = req0.root if req0.root is not None else 0
+        key = (req0.op, req0.algorithm, req0.participants, root, nbytes,
+               req0.segments, req0.cid)
+        duration = self._durations.get(key)
+        if duration is None:
+            duration = self._durations[key] = self.coster.collective_time(
+                req0.op,
+                req0.algorithm,
+                req0.participants,
+                root,
+                nbytes,
+                segments=req0.segments,
+                cid=req0.cid,
+            )
+        finish = start + duration
+        results = _op_results(req0.op, req0.root, p, payloads)
+        self._events.push(
+            finish, self._make_collective_done(entry, results, finish)
+        )
+
+    def _make_collective_done(
+        self,
+        entry: list[tuple[_RankState, CollectiveRequest]],
+        results: list[Any],
+        finish: float,
+    ) -> Callable[[], None]:
+        def done() -> None:
+            resume = self._resume
+            reply = None
+            prev = done  # sentinel no payload can be
+            for st, req in entry:
+                st.stats.comm_time += finish - st.block_start
+                value = results[req.me]
+                if reply is None or value is not prev:
+                    # bcast/allgather/allreduce/barrier hand every rank
+                    # the same object; one reply wrapper serves them all.
+                    reply = CollectiveReply(value)
+                    prev = value
+                resume(st, reply, finish)
+
+        return done
+
+
+def _default_coster(network: Network, *, contention: bool) -> Any:
+    from repro.experiments.stepmodel import AnalyticCoster, MicroDesCoster
+    from repro.network.homogeneous import HomogeneousNetwork
+
+    if isinstance(network, HomogeneousNetwork) and network.intra_params is None:
+        return AnalyticCoster(network.params)
+    return MicroDesCoster(network, contention=contention)
+
+
+def _op_nbytes(
+    op: str,
+    root: int | None,
+    entry: list[tuple[_RankState, CollectiveRequest]],
+) -> int:
+    """Wire size following the coster convention: the root's total
+    payload for distribution ops, the largest per-rank contribution for
+    contribution ops."""
+    if op in ("bcast", "scatter"):
+        for _, req in entry:
+            if req.me == root:
+                return req.nbytes
+        return 0
+    if op == "barrier":
+        return 0
+    return max(req.nbytes for _, req in entry)
+
+
+def _op_results(
+    op: str, root: int | None, p: int, payloads: list[Any]
+) -> list[Any]:
+    """Per-participant results (indexed by communicator rank), matching
+    the expanded algorithms' return conventions."""
+    if op == "bcast":
+        return [payloads[root]] * p
+    if op == "scatter":
+        parts = payloads[root]
+        return [parts[i] for i in range(p)]
+    if op == "gather":
+        return [payloads if i == root else None for i in range(p)]
+    if op == "allgather":
+        return [payloads] * p
+    if op in ("reduce", "allreduce"):
+        acc = payloads[0]
+        for contribution in payloads[1:]:
+            acc = combine_payloads(acc, contribution)
+        if op == "allreduce":
+            return [acc] * p
+        return [acc if i == root else None for i in range(p)]
+    if op == "barrier":
+        return [None] * p
+    raise ConfigurationError(f"macro backend cannot satisfy op {op!r}")
+
+
+def resolve_backend(
+    backend: Any,
+    network: Network,
+    *,
+    contention: bool = False,
+    collect_trace: bool = False,
+    eager_threshold: int = 0,
+    coster: Any = None,
+) -> Engine:
+    """Turn a backend spec into a ready engine.
+
+    ``backend`` may be None or ``"des"`` (full discrete-event),
+    ``"macro"`` (coster-satisfied collectives), or an already-built
+    :class:`~repro.simulator.engine.Engine`/:class:`Backend` instance,
+    which is returned as-is (its own network/options win).
+    """
+    if isinstance(backend, Engine):
+        return backend
+    if backend is None or backend == "des":
+        return DesBackend(
+            network,
+            contention=contention,
+            collect_trace=collect_trace,
+            eager_threshold=eager_threshold,
+        )
+    if backend == "macro":
+        return MacroBackend(
+            network,
+            coster=coster,
+            contention=contention,
+            collect_trace=collect_trace,
+            eager_threshold=eager_threshold,
+        )
+    raise ConfigurationError(
+        f"unknown backend {backend!r} (expected 'des', 'macro', or an "
+        "Engine instance)"
+    )

@@ -30,6 +30,7 @@ from repro.errors import DeadlockError, SimulationError
 from repro.network.model import Network
 from repro.simulator.events import EventQueue
 from repro.simulator.requests import (
+    CollectiveRequest,
     ComputeRequest,
     IRecvRequest,
     ISendRequest,
@@ -105,6 +106,12 @@ class Engine:
         implementations eagerly buffer small messages, which removes
         the send-send deadlocks rendezvous would have.
     """
+
+    #: Advance compute requests inline instead of via a heap event.
+    #: Times are identical either way; the discovery *order* of
+    #: transfers (hence the pinned trace artifacts) is only guaranteed
+    #: stable with the event, so the base DES keeps it off.
+    _inline_compute = False
 
     def __init__(
         self,
@@ -184,31 +191,48 @@ class Engine:
     def _resume(self, state: _RankState, value: Any, time: float) -> None:
         """Resume ``state`` at virtual ``time`` with ``value``, then keep
         stepping it through zero-time requests until it blocks or ends."""
-        state.stats.clock = max(state.stats.clock, time)
+        stats = state.stats
+        if time > stats.clock:
+            stats.clock = time
+        send = state.gen.send
         while True:
             state.blocked_on = None
             try:
-                request = state.gen.send(value)
+                request = send(value)
             except StopIteration as stop:
                 state.finished = True
                 state.retval = stop.value
                 return
             value = None
-            now = state.stats.clock
+            now = stats.clock
 
-            if isinstance(request, SpanOpenRequest):
-                # Zero virtual time: absorbed inline, no event scheduled,
-                # so traced and untraced runs are bit-identical.
-                self._spans.open(state.stats.rank, request.name, request.attrs, now)
-                continue
-
-            if isinstance(request, SpanCloseRequest):
-                self._spans.close(state.stats.rank, request.attrs, now)
+            # Dispatch order is a pure optimisation: every request
+            # matches exactly one branch, and the hottest kinds
+            # (collective announcements, compute charges) come first.
+            if isinstance(request, CollectiveRequest):
+                # Zero virtual time to *announce*: the request describes
+                # the collective about to run.  The base engine absorbs
+                # it (resuming with None), so the communicator expands
+                # it into the exact point-to-point schedule — the
+                # pre-request behaviour, bit-identically.  Subclasses
+                # (the macro backend) may instead satisfy it from a
+                # cost oracle by returning True from _collective.
+                if self._collective(state, request, now):
+                    return
                 continue
 
             if isinstance(request, ComputeRequest):
+                stats.compute_time += request.seconds
+                if self._inline_compute:
+                    # Purely local: advance this rank's clock without a
+                    # wake-up event.  Subclasses with no ordering-
+                    # sensitive observers (the macro backend) opt in;
+                    # the base engine keeps the event so the transfer
+                    # trace's discovery order — a pinned artifact —
+                    # is unchanged.
+                    stats.clock = now + request.seconds
+                    continue
                 state.blocked_on = request
-                state.stats.compute_time += request.seconds
                 self._events.push(
                     now + request.seconds,
                     self._make_compute_done(state, now + request.seconds),
@@ -233,6 +257,16 @@ class Engine:
                 ep = _Endpoint(state.stats.rank, now)
                 self._post_recv(request.src, state.stats.rank, request.tag, ep)
                 return
+
+            if isinstance(request, SpanOpenRequest):
+                # Zero virtual time: absorbed inline, no event scheduled,
+                # so traced and untraced runs are bit-identical.
+                self._spans.open(state.stats.rank, request.name, request.attrs, now)
+                continue
+
+            if isinstance(request, SpanCloseRequest):
+                self._spans.close(state.stats.rank, request.attrs, now)
+                continue
 
             if isinstance(request, ISendRequest):
                 handle = RequestHandle(state.stats.rank, "send")
@@ -273,6 +307,18 @@ class Engine:
             raise SimulationError(
                 f"rank {state.stats.rank} yielded unknown request {request!r}"
             )
+
+    def _collective(self, state: _RankState, request: CollectiveRequest,
+                    now: float) -> bool:
+        """Hook: satisfy ``request`` directly instead of expanding it.
+
+        Return ``True`` after parking the rank (the subclass then owns
+        resumption, and must resume with a
+        :class:`~repro.simulator.requests.CollectiveReply`); return
+        ``False`` to absorb the announcement so the communicator
+        expands the collective into point-to-point messages.
+        """
+        return False
 
     def _make_compute_done(
         self, state: _RankState, finish: float

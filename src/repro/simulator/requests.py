@@ -122,6 +122,96 @@ class WaitRequest(_Request):
         return f"Wait({self.handle!r})"
 
 
+class CollectiveRequest(_Request):
+    """Structured description of one collective call, yielded by the
+    MPI layer *before* expanding into point-to-point messages.
+
+    The discrete-event backend absorbs it (resuming the rank with
+    ``None``), upon which the communicator expands the collective into
+    the exact per-message schedule — bit-identical to the pre-request
+    behaviour.  The macro backend instead satisfies the request
+    directly from a cost oracle and resumes every participant with a
+    :class:`CollectiveReply`, skipping the expansion entirely.
+
+    Attributes
+    ----------
+    op:
+        Operation name: "bcast", "scatter", "gather", "allgather",
+        "reduce", "allreduce" or "barrier".
+    algorithm:
+        Resolved algorithm registry name for ``op``.
+    cid:
+        Hierarchical context id of the communicator; identical across
+        ranks for the same communicator (SPMD discipline).
+    seq:
+        Per-communicator collective sequence number; ``(cid, seq)`` is
+        the cross-rank matching key.
+    participants:
+        World ranks of the communicator, in communicator-rank order.
+    me:
+        This rank's communicator rank (index into ``participants``).
+    root:
+        Communicator rank of the root for rooted operations, else None.
+    payload:
+        This rank's contribution (op-dependent: the message on a bcast
+        root, the parts list on a scatter root, the local contribution
+        for gather/allgather/reduce/allreduce, None otherwise).
+    segments:
+        Segment count for segmented algorithms (pipelined broadcast),
+        or None.
+    """
+
+    __slots__ = ("op", "algorithm", "cid", "seq", "participants", "me",
+                 "root", "payload", "nbytes", "segments")
+
+    def __init__(
+        self,
+        op: str,
+        algorithm: str,
+        cid: tuple,
+        seq: int,
+        participants: tuple,
+        me: int,
+        root: int | None,
+        payload: Any,
+        segments: int | None = None,
+    ):
+        self.op = op
+        self.algorithm = algorithm
+        self.cid = cid
+        self.seq = seq
+        self.participants = participants
+        self.me = me
+        self.root = root
+        self.payload = payload
+        self.nbytes = payload_nbytes(payload)
+        self.segments = segments
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        root = "" if self.root is None else f", root={self.root}"
+        return (f"Collective({self.op}/{self.algorithm}, "
+                f"p={len(self.participants)}{root}, cid={self.cid}, "
+                f"seq={self.seq})")
+
+
+class CollectiveReply:
+    """Macro-backend answer to a :class:`CollectiveRequest`.
+
+    Wrapping the value distinguishes "the collective was satisfied and
+    its result is None" (e.g. a reduce on a non-root rank) from "expand
+    the collective yourself" (the plain ``None`` the discrete-event
+    backend resumes with).
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any):
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"CollectiveReply({self.value!r})"
+
+
 class ComputeRequest(_Request):
     """Advance the rank's clock by ``seconds`` of local computation."""
 

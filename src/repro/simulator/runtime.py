@@ -11,7 +11,6 @@ from typing import Any, Callable, Generator
 
 from repro.network.homogeneous import HomogeneousNetwork
 from repro.network.model import HockneyParams, Network
-from repro.simulator.engine import Engine
 from repro.simulator.tracing import SimResult
 
 #: Generic commodity-cluster parameters used when no platform is given:
@@ -33,6 +32,7 @@ def run_spmd(
     collect_trace: bool = False,
     eager_threshold: int = 0,
     trace: bool = False,
+    backend: Any = None,
 ) -> SimResult:
     """Run ``program`` on ``nranks`` simulated ranks.
 
@@ -60,22 +60,29 @@ def run_spmd(
         (:mod:`repro.simulator.spans`) and the engine records every
         transfer, populating ``SimResult.spans`` and
         ``SimResult.trace``.  Timings are bit-identical either way.
+    backend:
+        Execution backend: ``None``/``"des"`` for the full discrete
+        event simulation, ``"macro"`` for the collective-granularity
+        macro backend, or a prebuilt engine instance (see
+        :mod:`repro.simulator.backends`).
 
     Returns
     -------
     SimResult
         Per-rank stats, rank return values, optional trace and spans.
     """
-    from repro.mpi.comm import MpiContext
+    from repro.mpi.comm import make_contexts
+    from repro.simulator.backends import resolve_backend
 
     if network is None:
         network = HomogeneousNetwork(nranks, params or DEFAULT_PARAMS)
     programs = [
-        program(MpiContext(rank, nranks, options=options, gamma=gamma,
-                           trace=trace))
-        for rank in range(nranks)
+        program(ctx)
+        for ctx in make_contexts(nranks, options=options, gamma=gamma,
+                                 trace=trace)
     ]
-    engine = Engine(
+    engine = resolve_backend(
+        backend,
         network,
         contention=contention,
         collect_trace=collect_trace or trace,

@@ -137,6 +137,28 @@ class TestCombine:
         assert isinstance(out, PhantomArray)
         assert out.shape == (3,)
 
+    def test_mixed_combine_keeps_real_itemsize(self):
+        # Regression: promoting the real operand used to default to
+        # 8-byte items, shrinking or inflating the modelled wire size
+        # of reductions over non-double data.
+        out = combine_payloads(
+            PhantomArray((4,), itemsize=4), np.zeros(4, dtype=np.float32)
+        )
+        assert isinstance(out, PhantomArray)
+        assert out.itemsize == 4
+        out = combine_payloads(np.zeros(4, dtype=np.float64), PhantomArray((4,), itemsize=4))
+        assert out.itemsize == 8
+
+    def test_mixed_combine_takes_wider_itemsize(self):
+        out = combine_payloads(
+            PhantomArray((2, 2), itemsize=2), PhantomArray((2, 2), itemsize=16)
+        )
+        assert out.itemsize == 16
+        out = combine_payloads(
+            PhantomArray((2, 2), itemsize=16), PhantomArray((2, 2), itemsize=2)
+        )
+        assert out.itemsize == 16
+
     def test_shape_mismatch_rejected(self):
         with pytest.raises(DataMismatchError):
             combine_payloads(PhantomArray((2,)), PhantomArray((3,)))

@@ -1,6 +1,5 @@
 """Tests for the analytic broadcast cost functions."""
 
-import math
 
 import pytest
 

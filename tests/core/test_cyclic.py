@@ -1,6 +1,5 @@
 """Tests for block-cyclic SUMMA/HSUMMA (paper future work: block-cyclic)."""
 
-import numpy as np
 import pytest
 
 from repro.blocks.verify import max_abs_error

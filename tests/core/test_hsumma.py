@@ -1,6 +1,5 @@
 """Tests for the HSUMMA implementation — the paper's contribution."""
 
-import numpy as np
 import pytest
 
 from repro.blocks.verify import max_abs_error

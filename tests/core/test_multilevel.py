@@ -96,7 +96,6 @@ class TestMultiLevelCorrectness:
     def test_two_level_timing_matches_hsumma_runner(self):
         """Multi-level with h=2 must cost the same as run_hsumma."""
         from repro.core.hsumma import run_hsumma
-        from repro.payloads import PhantomArray
 
         n = 32
         rng = np.random.default_rng(0)

@@ -148,3 +148,62 @@ class TestCosters:
 
         with pytest.raises(ConfigurationError):
             StepModelReport(total_time=-1, comm_time=0, compute_time=0, nsteps=1)
+
+
+class TestTopologyPairSampling:
+    """Regression tests for ``TopologyCoster._pairs``.
+
+    The old sampler drew ``(i * stride) % n`` index pairs, which both
+    repeated pairs (wasting samples) and biased the estimate toward
+    low-index participants.  The fixed sampler must return *distinct*
+    ordered pairs spread over the whole pair lattice.
+    """
+
+    def _coster(self, nranks=4096):
+        return TopologyCoster(HomogeneousNetwork(nranks, PARAMS))
+
+    def test_small_groups_use_all_ordered_pairs(self):
+        coster = self._coster()
+        participants = tuple(range(10, 20))  # 10*9 = 90 <= 512 cap
+        pairs = coster._pairs(participants)
+        assert len(pairs) == 10 * 9
+        assert len(set(pairs)) == len(pairs)
+        assert set(pairs) == {
+            (a, b) for a in participants for b in participants if a != b
+        }
+
+    def test_large_groups_sample_distinct_pairs(self):
+        coster = self._coster()
+        participants = tuple(range(0, 4096, 2))  # 2048 ranks, ~4.2M pairs
+        pairs = coster._pairs(participants)
+        assert len(pairs) == TopologyCoster.MAX_PAIR_SAMPLES
+        assert len(set(pairs)) == len(pairs), "sampler returned duplicates"
+        members = set(participants)
+        assert all(a in members and b in members and a != b for a, b in pairs)
+
+    def test_large_groups_cover_senders_evenly(self):
+        # The old sampler's senders clustered at low indices; the fixed
+        # one walks the lattice uniformly, so both halves of the group
+        # must appear as senders in roughly equal measure.
+        coster = self._coster()
+        participants = tuple(range(1024))
+        pairs = coster._pairs(participants)
+        mid = participants[len(participants) // 2]
+        low = sum(1 for a, _ in pairs if a < mid)
+        high = sum(1 for a, _ in pairs if a >= mid)
+        assert abs(low - high) <= TopologyCoster.MAX_PAIR_SAMPLES * 0.1
+
+    def test_sampling_is_deterministic(self):
+        coster = self._coster()
+        participants = tuple(range(0, 3000, 3))
+        assert coster._pairs(participants) == coster._pairs(participants)
+
+    def test_just_over_cap_still_distinct(self):
+        # Smallest group where sampling kicks in: n*(n-1) barely above
+        # the cap exercises the strictly-increasing-q argument hardest.
+        coster = self._coster()
+        n = 24  # 24*23 = 552 > 512
+        participants = tuple(range(100, 100 + n))
+        pairs = coster._pairs(participants)
+        assert len(pairs) == TopologyCoster.MAX_PAIR_SAMPLES
+        assert len(set(pairs)) == len(pairs)

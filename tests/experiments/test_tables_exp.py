@@ -5,7 +5,6 @@ import math
 import pytest
 
 from repro.experiments.tables import (
-    CostTableRow,
     cost_table,
     render_cost_table,
     table1,

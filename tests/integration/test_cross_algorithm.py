@@ -2,7 +2,6 @@
 simulated timings respect the relationships the paper relies on."""
 
 import numpy as np
-import pytest
 
 from repro.blocks.verify import max_abs_error, relative_error
 from repro.core.api import multiply

@@ -1,7 +1,6 @@
 """API-stability tests: the documented public surface exists and works."""
 
 import numpy as np
-import pytest
 
 
 class TestTopLevelExports:

@@ -50,9 +50,10 @@ class TestVdgShape:
         """eq. (9): the derivative vanishes at G = sqrt(p)."""
         n, p, b = 4096, 4096, 64
         q = math.sqrt(p)
-        f = lambda G: hsumma_communication_cost(
-            n, p, G, b, 1e-4, 1e-9, VANDEGEIJN_MODEL
-        )
+        def f(G):
+            return hsumma_communication_cost(
+                n, p, G, b, 1e-4, 1e-9, VANDEGEIJN_MODEL
+            )
         eps = 1e-3
         deriv = (f(q + eps) - f(q - eps)) / (2 * eps)
         scale = f(q) / q

@@ -1,6 +1,5 @@
 """Tests for the extremum analysis (paper eqs. 6-12)."""
 
-import math
 
 import pytest
 

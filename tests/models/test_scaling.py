@@ -4,7 +4,6 @@ import pytest
 
 from repro.errors import ModelError
 from repro.models.scaling import (
-    ScalingPoint,
     scalability_limit,
     strong_scaling,
     weak_scaling,

@@ -72,8 +72,6 @@ class TestPiecewiseNetwork:
     def test_in_engine(self):
         """A SUMMA run over the piecewise network completes and costs
         more than the single-regime mid curve for big messages."""
-        import numpy as np
-
         from repro.core.summa import run_summa
         from repro.payloads import PhantomArray
 

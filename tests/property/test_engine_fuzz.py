@@ -3,7 +3,6 @@ the engine must terminate with consistent accounting, under every
 protocol and contention setting."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.network.homogeneous import HomogeneousNetwork
@@ -12,10 +11,8 @@ from repro.network.torus import Torus3D
 from repro.simulator.engine import Engine
 from repro.simulator.requests import (
     ComputeRequest,
-    IRecvRequest,
     ISendRequest,
     RecvRequest,
-    SendRequest,
     WaitRequest,
 )
 

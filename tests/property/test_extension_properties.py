@@ -1,6 +1,5 @@
 """Property-based tests for the extension subsystems."""
 
-import math
 
 import numpy as np
 import pytest

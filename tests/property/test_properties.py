@@ -257,9 +257,10 @@ class TestModelProperties:
             return
         d_analytic = vdg_cost_derivative(n, p, G, b, alpha, beta)
         eps = G * 1e-6
-        f = lambda g: hsumma_communication_cost(
-            n, p, g, b, alpha, beta, VANDEGEIJN_MODEL
-        )
+        def f(g):
+            return hsumma_communication_cost(
+                n, p, g, b, alpha, beta, VANDEGEIJN_MODEL
+            )
         d_numeric = (f(G + eps) - f(G - eps)) / (2 * eps)
         assert d_analytic == pytest.approx(d_numeric, rel=1e-2, abs=1e-9)
 

@@ -126,7 +126,6 @@ class TestEagerSemantics:
 
     def test_matmul_correct_under_eager(self, rng):
         """End to end: eager buffering must not corrupt SUMMA."""
-        from repro.core.summa import run_summa
         from repro.network.homogeneous import HomogeneousNetwork
 
         n = 32
