@@ -1,0 +1,93 @@
+"""Robustness experiment: HSUMMA vs SUMMA on a machine with sick links.
+
+The paper evaluates both algorithms on healthy networks; here we
+degrade ``k`` links (both directions, 8x latency and 8x inverse
+bandwidth) on a p=64 grid and compare communication times under the
+paper's large-message broadcast pairing (van de Geijn).  SUMMA's
+grid-row broadcasts span the whole row, so one degraded link poisons
+every ring that crosses it; HSUMMA's two-level scheme confines most
+ring traffic inside groups, so its relative win *grows* once the
+network sickens (see docs/robustness.md).
+
+Runs in PhantomArray scale mode on the DES backend (the macro backend
+rejects fault schedules).
+"""
+
+from conftest import run_once
+
+from repro.core.hsumma import run_hsumma
+from repro.core.summa import run_summa
+from repro.faults import FaultSchedule, LinkDegradation
+from repro.mpi.comm import CollectiveOptions
+from repro.network.model import HockneyParams
+from repro.payloads import PhantomArray
+from repro.util.tables import format_table
+
+PARAMS = HockneyParams(alpha=1e-4, beta=1e-9)
+OPTS = CollectiveOptions(bcast="vandegeijn")
+N = 1024
+S = T = 8  # p = 64
+BLOCK = N // S
+GROUPS = 8  # sqrt(p), the paper's optimum
+DEGRADED_KS = (0, 1, 4)
+FACTOR = 8.0
+
+
+def _schedule(k: int) -> FaultSchedule:
+    """``k`` degraded links, both directions, spread across grid rows."""
+    faults = []
+    for i in range(k):
+        a, b = (S + 1) * i, (S + 1) * i + 1  # one link per grid row
+        faults.append(LinkDegradation(alpha_mult=FACTOR, beta_mult=FACTOR,
+                                      src=a, dst=b))
+        faults.append(LinkDegradation(alpha_mult=FACTOR, beta_mult=FACTOR,
+                                      src=b, dst=a))
+    return FaultSchedule(seed=0, faults=faults)
+
+
+def sweep():
+    A, B = PhantomArray((N, N)), PhantomArray((N, N))
+    out = {}
+    for k in DEGRADED_KS:
+        faults = _schedule(k)
+        _, summa = run_summa(A, B, grid=(S, T), block=BLOCK, params=PARAMS,
+                             options=OPTS, faults=faults)
+        _, hsumma = run_hsumma(A, B, grid=(S, T), groups=GROUPS,
+                               outer_block=BLOCK, params=PARAMS,
+                               options=OPTS, faults=faults)
+        out[k] = (summa, hsumma)
+    return out
+
+
+def test_hsumma_win_grows_on_degraded_links(benchmark, record_output):
+    results = run_once(benchmark, sweep)
+    rows = []
+    for k, (summa, hsumma) in results.items():
+        rows.append([k, summa.comm_time, hsumma.comm_time,
+                     summa.comm_time / hsumma.comm_time,
+                     summa.total_fault_delay, hsumma.total_fault_delay])
+    text = format_table(
+        ["degraded_links", "summa_comm", "hsumma_comm", "ratio",
+         "summa_fault_delay", "hsumma_fault_delay"],
+        rows,
+        title=(f"Degraded links — SUMMA vs HSUMMA comm time "
+               f"(p=64, n={N}, b=B={BLOCK}, G={GROUPS}, vandegeijn bcast, "
+               f"{FACTOR:g}x degradation)"),
+    )
+    record_output("degraded_links", text)
+
+    clean_ratio = rows[0][3]
+    for k, (summa, hsumma) in results.items():
+        # HSUMMA never loses, healthy or sick.
+        assert hsumma.comm_time <= summa.comm_time * (1 + 1e-9), k
+        if k == 0:
+            assert not summa.faulted and not hsumma.faulted
+        else:
+            # Degradation costs both algorithms time...
+            s0, h0 = results[0]
+            assert summa.comm_time > s0.comm_time
+            assert hsumma.comm_time > h0.comm_time
+            assert summa.total_fault_delay > 0
+            # ...but hurts the flat algorithm more: the hierarchy
+            # localises the damage, widening HSUMMA's relative win.
+            assert summa.comm_time / hsumma.comm_time > clean_ratio, k

@@ -110,6 +110,7 @@ def run_25d(
     options: CollectiveOptions | None = None,
     contention: bool = False,
     backend: Any = None,
+    faults: Any = None,
 ) -> tuple[Any, SimResult]:
     """Multiply ``A @ B`` with the 2.5D algorithm.
 
@@ -117,6 +118,8 @@ def run_25d(
     ``replication=1`` degenerates to a SUMMA-like 2-D run, and
     ``replication=p^(1/3)`` recovers the 3-D algorithm's layout.
     """
+    from repro.faults.spec import coerce_faults
+
     c = replication
     q = _layer_grid(nprocs, c)
     (m, l), (l2, n) = A.shape, B.shape
@@ -130,9 +133,11 @@ def run_25d(
 
     if network is None:
         network = HomogeneousNetwork(nprocs, params or DEFAULT_PARAMS)
+    faults = coerce_faults(faults)
     programs = []
     for rank, ctx in enumerate(
-        make_contexts(nprocs, options=options, gamma=gamma)
+        make_contexts(nprocs, options=options, gamma=gamma,
+                      retry=faults.retry if faults is not None else None)
     ):
         layer = rank % c
         j = (rank // c) % q
@@ -140,7 +145,8 @@ def run_25d(
         a_t = da.tile(i, j) if layer == 0 else None
         b_t = db.tile(i, j) if layer == 0 else None
         programs.append(algo25d_program(ctx, a_t, b_t, q, c))
-    sim = resolve_backend(backend, network, contention=contention).run(programs)
+    sim = resolve_backend(backend, network, contention=contention,
+                          faults=faults).run(programs)
 
     dc = DistMatrix(
         PhantomArray((m, n)) if da.phantom or db.phantom else np.empty((m, n)),

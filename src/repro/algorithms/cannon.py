@@ -95,8 +95,11 @@ def run_cannon(
     options: CollectiveOptions | None = None,
     contention: bool = False,
     backend: Any = None,
+    faults: Any = None,
 ) -> tuple[Any, SimResult]:
     """Multiply ``A @ B`` with Cannon's algorithm; ``grid`` must be square."""
+    from repro.faults.spec import coerce_faults
+
     s, t = grid
     if s != t:
         raise ConfigurationError(
@@ -116,13 +119,16 @@ def run_cannon(
     nranks = q * q
     if network is None:
         network = HomogeneousNetwork(nranks, params or DEFAULT_PARAMS)
+    faults = coerce_faults(faults)
     programs = []
     for rank, ctx in enumerate(
-        make_contexts(nranks, options=options, gamma=gamma)
+        make_contexts(nranks, options=options, gamma=gamma,
+                      retry=faults.retry if faults is not None else None)
     ):
         i, j = divmod(rank, q)
         programs.append(cannon_program(ctx, da.tile(i, j), db.tile(i, j), q))
-    sim = resolve_backend(backend, network, contention=contention).run(programs)
+    sim = resolve_backend(backend, network, contention=contention,
+                          faults=faults).run(programs)
 
     dc = DistMatrix(
         PhantomArray((m, n)) if da.phantom or db.phantom else np.empty((m, n)),

@@ -126,8 +126,11 @@ def run_dns3d(
     options: CollectiveOptions | None = None,
     contention: bool = False,
     backend: Any = None,
+    faults: Any = None,
 ) -> tuple[Any, SimResult]:
     """Multiply ``A @ B`` with the 3-D algorithm on ``nprocs = q^3`` ranks."""
+    from repro.faults.spec import coerce_faults
+
     q = _cube_root(nprocs)
     (m, l), (l2, n) = A.shape, B.shape
     if l != l2:
@@ -140,9 +143,11 @@ def run_dns3d(
 
     if network is None:
         network = HomogeneousNetwork(nprocs, params or DEFAULT_PARAMS)
+    faults = coerce_faults(faults)
     programs = []
     for rank, ctx in enumerate(
-        make_contexts(nprocs, options=options, gamma=gamma)
+        make_contexts(nprocs, options=options, gamma=gamma,
+                      retry=faults.retry if faults is not None else None)
     ):
         k = rank % q
         j = (rank // q) % q
@@ -150,7 +155,8 @@ def run_dns3d(
         a_t = da.tile(i, j) if k == 0 else None
         b_t = db.tile(i, j) if k == 0 else None
         programs.append(dns3d_program(ctx, a_t, b_t, q))
-    sim = resolve_backend(backend, network, contention=contention).run(programs)
+    sim = resolve_backend(backend, network, contention=contention,
+                          faults=faults).run(programs)
 
     dc = DistMatrix(
         PhantomArray((m, n)) if da.phantom or db.phantom else np.empty((m, n)),

@@ -68,8 +68,11 @@ def run_fox(
     options: CollectiveOptions | None = None,
     contention: bool = False,
     backend: Any = None,
+    faults: Any = None,
 ) -> tuple[Any, SimResult]:
     """Multiply ``A @ B`` with Fox's algorithm; ``grid`` must be square."""
+    from repro.faults.spec import coerce_faults
+
     s, t = grid
     if s != t:
         raise ConfigurationError(f"Fox requires a square grid, got {s}x{t}")
@@ -86,13 +89,16 @@ def run_fox(
     nranks = q * q
     if network is None:
         network = HomogeneousNetwork(nranks, params or DEFAULT_PARAMS)
+    faults = coerce_faults(faults)
     programs = []
     for rank, ctx in enumerate(
-        make_contexts(nranks, options=options, gamma=gamma)
+        make_contexts(nranks, options=options, gamma=gamma,
+                      retry=faults.retry if faults is not None else None)
     ):
         i, j = divmod(rank, q)
         programs.append(fox_program(ctx, da.tile(i, j), db.tile(i, j), q))
-    sim = resolve_backend(backend, network, contention=contention).run(programs)
+    sim = resolve_backend(backend, network, contention=contention,
+                          faults=faults).run(programs)
 
     dc = DistMatrix(
         PhantomArray((m, n)) if da.phantom or db.phantom else np.empty((m, n)),

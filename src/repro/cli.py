@@ -76,6 +76,12 @@ def _cmd_multiply(args: argparse.Namespace) -> int:
     kwargs = {}
     if args.groups is not None:
         kwargs["groups"] = args.groups
+    faults = None
+    if args.faults is not None:
+        from repro.faults import parse_fault_spec
+
+        faults = parse_fault_spec(args.faults, seed=args.fault_seed)
+        print(f"injecting {faults.describe()}")
     result = multiply(
         A,
         B,
@@ -83,6 +89,7 @@ def _cmd_multiply(args: argparse.Namespace) -> int:
         algorithm=args.algorithm,
         block=args.block,
         backend=args.backend,
+        faults=faults,
         **kwargs,
     )
     print(
@@ -93,6 +100,8 @@ def _cmd_multiply(args: argparse.Namespace) -> int:
         f"  total {result.total_time:.6f}s = comm {result.comm_time:.6f}s "
         f"+ compute {result.compute_time:.6f}s"
     )
+    if faults is not None:
+        print(f"  {result.sim.fault_summary()}")
     return 0
 
 
@@ -266,6 +275,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_mul.add_argument(
         "--backend", choices=["des", "macro"], default="des",
         help="execution backend: full DES or collective-granularity macro",
+    )
+    p_mul.add_argument(
+        "--faults", default=None, metavar="SPEC",
+        help="fault spec, e.g. 'drop(p=0.05); slow(rank=3,factor=10)' "
+             "(see docs/robustness.md); DES backend only",
+    )
+    p_mul.add_argument(
+        "--fault-seed", type=int, default=0,
+        help="seed for the fault schedule's deterministic randomness",
     )
     p_mul.set_defaults(func=_cmd_multiply)
 

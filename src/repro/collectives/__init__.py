@@ -26,6 +26,7 @@ from repro.collectives.bcast import (
     bcast_pipelined,
     bcast_vandegeijn,
 )
+from repro.collectives.ft import bcast_ft
 from repro.collectives.allgather import allgather_rd, allgather_ring
 from repro.collectives.extra import (
     allgather_bruck,
@@ -49,6 +50,7 @@ BROADCAST_ALGORITHMS: dict[str, Callable[..., Gen]] = {
     "chain": bcast_chain,
     "pipelined": bcast_pipelined,
     "vandegeijn": bcast_vandegeijn,
+    "ft_binomial": bcast_ft,
 }
 
 ALLGATHER_ALGORITHMS: dict[str, Callable[..., Gen]] = {
@@ -130,6 +132,7 @@ __all__ = [
     "bcast_chain",
     "bcast_pipelined",
     "bcast_vandegeijn",
+    "bcast_ft",
     "allgather_ring",
     "allgather_rd",
     "reduce_binomial",

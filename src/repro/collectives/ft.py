@@ -1,0 +1,118 @@
+"""Fault-tolerant broadcast: binomial tree with ancestor escalation.
+
+``ft_binomial`` delivers the same payload as the plain binomial
+broadcast (bit-identical numerics) but survives transient faults that
+delay any interior node of the tree:
+
+* The tree shape is the classical binomial one — relative rank ``vr``'s
+  parent is ``vr`` with its highest set bit cleared, so the *ancestor
+  chain* of ``vr`` is obtained by clearing highest bits one at a time
+  down to the root (relative rank 0).
+* Every receiver walks its ancestor chain: it first posts a *timed*
+  receive from its parent (escalation level 0); on expiry it re-posts
+  from the grandparent with a longer window (level 1), and so on.  The
+  final receive — from the root — is blocking, which is safe because
+  the root owns the payload from time zero and proactively serves every
+  level (below).
+* Every rank, once it holds the payload, posts one *backup* nonblocking
+  send to each member of its subtree, tagged with the escalation level
+  at which that descendant would ask it.  Under the engine's rendezvous
+  semantics an unmatched send costs no virtual time and is never
+  waited, so backups that nobody escalates to are free.
+
+Trade-offs (documented in ``docs/robustness.md``):
+
+* Sends are ``isend`` and never waited, so a sender's clock does not
+  block on slow children — slightly optimistic versus the blocking
+  binomial tree, in exchange for deadlock-freedom under escalation.
+* Backup fan-out is the whole subtree, so a broadcast posts
+  ``O(p log p)`` send descriptors in total (only ``p - 1`` of them ever
+  match on a healthy run).  With a nonzero ``eager_threshold`` the
+  unmatched backups *would* inject wire traffic; ``ft_binomial`` is
+  meant for the default rendezvous mode.
+* Fail-stop death of an ancestor still aborts the run via
+  :class:`repro.errors.RankFailure`; escalation recovers from ranks
+  that are *late* (stragglers, degraded links), which is the transient
+  model this package targets.
+
+Timeout windows come from the communicator context's
+:class:`repro.faults.RetryPolicy` (``escalation_timeout``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Iterator
+
+from repro.collectives.bcast import _abs, _rel
+from repro.simulator.requests import RECV_TIMEOUT, CounterRequest
+
+Gen = Generator[Any, Any, Any]
+
+#: Tag base for ft-broadcast messages; each invocation gets a block of
+#: :data:`MAX_LEVELS` tags below it (per-communicator ``_ft_seq`` salt),
+#: so concurrent/successive broadcasts never cross-match.
+TAG_FT_BCAST = -100_000
+
+#: Tags reserved per invocation — one per escalation level, enough for
+#: any communicator below 2**64 ranks.
+MAX_LEVELS = 64
+
+
+def ancestor_chain(vr: int) -> list[int]:
+    """Relative-rank ancestors of ``vr``: parent, grandparent, ..., 0."""
+    chain = []
+    while vr:
+        vr -= 1 << (vr.bit_length() - 1)
+        chain.append(vr)
+    return chain
+
+
+def subtree_backups(vr: int, size: int) -> Iterator[tuple[int, int]]:
+    """Yield ``(descendant, level)`` for every rank in ``vr``'s subtree.
+
+    ``level`` is the escalation level at which that descendant receives
+    from ``vr``: the number of highest-bit clears taking the descendant
+    to ``vr``, minus one.  Ascending descendant order (deterministic).
+    """
+    for d in range(vr + 1, size):
+        x = d
+        hops = 0
+        while x > vr:
+            x -= 1 << (x.bit_length() - 1)
+            hops += 1
+        if x == vr:
+            yield d, hops - 1
+
+
+def bcast_ft(comm: Any, obj: Any, root: int, *,
+             segments: int | None = None) -> Gen:
+    """Fault-tolerant binomial broadcast (registry name ``ft_binomial``).
+
+    Same result object as ``binomial`` on every rank; completes under
+    any transient fault schedule.  Counts one recovery per rank that
+    obtained the payload above escalation level 0.
+    """
+    size = comm.size
+    if size == 1:
+        return obj
+    policy = comm.ctx.retry
+    base = TAG_FT_BCAST - next(comm._ft_seq) * MAX_LEVELS
+    vr = _rel(comm.rank, root, size)
+
+    if vr != 0:
+        chain = ancestor_chain(vr)
+        for level, anc in enumerate(chain):
+            last = level == len(chain) - 1
+            timeout = None if last else policy.escalation_timeout(level)
+            got = yield from comm.recv(
+                _abs(anc, root, size), tag=base - level, timeout=timeout
+            )
+            if got is not RECV_TIMEOUT:
+                obj = got
+                if level > 0:
+                    yield CounterRequest("recoveries")
+                break
+
+    for d, level in subtree_backups(vr, size):
+        yield from comm.isend(obj, _abs(d, root, size), tag=base - level)
+    return obj

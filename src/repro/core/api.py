@@ -79,6 +79,7 @@ def multiply(
     gamma: float = 0.0,
     options: Any = None,
     backend: Any = None,
+    faults: Any = None,
     **kwargs: Any,
 ) -> MatmulResult:
     """Multiply ``A @ B`` on a simulated distributed-memory platform.
@@ -113,12 +114,23 @@ def multiply(
         Execution backend: ``None``/``"des"`` (full discrete event
         simulation) or ``"macro"`` (collective-granularity fast path);
         see :mod:`repro.simulator.backends`.  Ignored by ``serial``.
+    faults:
+        Fault injection: a :class:`repro.faults.FaultSchedule` or a
+        spec string for :func:`repro.faults.parse_fault_spec`.
+        Discrete-event backend only; see ``docs/robustness.md``.
 
     Returns
     -------
     MatmulResult
     """
+    from repro.faults.spec import coerce_faults
+
+    faults = coerce_faults(faults)
     if algorithm == "serial":
+        if faults is not None and not faults.empty:
+            raise ConfigurationError(
+                "the serial algorithm has no network to inject faults into"
+            )
         from repro.algorithms.serial import run_serial
 
         C, sim = run_serial(A, B, gamma=gamma)
@@ -134,7 +146,7 @@ def multiply(
     if grid is not None:
         s, t = grid
     common = dict(network=network, params=params, gamma=gamma, options=options,
-                  backend=backend)
+                  backend=backend, faults=faults)
     m, l = A.shape
     n = B.shape[1]
 

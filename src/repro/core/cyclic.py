@@ -247,6 +247,7 @@ def run_cyclic(
     options: CollectiveOptions | None = None,
     contention: bool = False,
     backend: Any = None,
+    faults: Any = None,
 ) -> tuple[Any, SimResult]:
     """Multiply block-cyclic ``A @ B``; returns ``(C, SimResult)``.
 
@@ -254,6 +255,8 @@ def run_cyclic(
     broadcast; ``overlap=True`` enables one-step lookahead (flat
     variant).
     """
+    from repro.faults.spec import coerce_faults
+
     s, t = grid
     I, J = groups
     (m, l), (l2, n) = A.shape, B.shape
@@ -275,9 +278,11 @@ def run_cyclic(
     nranks = s * t
     if network is None:
         network = HomogeneousNetwork(nranks, params or DEFAULT_PARAMS)
+    faults = coerce_faults(faults)
     programs = []
     for rank, ctx in enumerate(
-        make_contexts(nranks, options=options, gamma=gamma)
+        make_contexts(nranks, options=options, gamma=gamma,
+                      retry=faults.retry if faults is not None else None)
     ):
         gi, gj = divmod(rank, t)
         programs.append(
@@ -289,7 +294,8 @@ def run_cyclic(
                 overlap=overlap,
             )
         )
-    sim = resolve_backend(backend, network, contention=contention).run(programs)
+    sim = resolve_backend(backend, network, contention=contention,
+                          faults=faults).run(programs)
 
     tiles = {divmod(rank, t): sim.return_values[rank] for rank in range(nranks)}
     if phantom:

@@ -229,6 +229,7 @@ def run_hsumma(
     contention: bool = False,
     trace: bool = False,
     backend: Any = None,
+    faults: Any = None,
 ) -> tuple[Any, SimResult]:
     """Multiply block-distributed ``A @ B`` with HSUMMA; returns
     ``(C, SimResult)``.
@@ -239,7 +240,9 @@ def run_hsumma(
     (the paper's experimental setting ``b = B``).  With ``trace=True``
     the result carries ``bcast.inter`` / ``bcast.intra`` / ``gemm``
     phase spans and the transfer trace (see :mod:`repro.metrics`);
-    timings are bit-identical either way.
+    timings are bit-identical either way.  ``faults`` injects a
+    :class:`repro.faults.FaultSchedule` (or spec string) on the
+    discrete-event backend; see ``docs/robustness.md``.
     """
     from repro.core.grouping import choose_group_grid
 
@@ -264,21 +267,25 @@ def run_hsumma(
     db = DistMatrix(B if isinstance(B, PhantomArray) else np.asarray(B, dtype=float),
                     BlockDistribution(l, n, s, t))
 
+    from repro.faults.spec import coerce_faults
     from repro.network.homogeneous import HomogeneousNetwork
     from repro.simulator.runtime import DEFAULT_PARAMS
 
     nranks = s * t
     if network is None:
         network = HomogeneousNetwork(nranks, params or DEFAULT_PARAMS)
+    faults = coerce_faults(faults)
 
     programs = []
     for rank, ctx in enumerate(
-        make_contexts(nranks, options=options, gamma=gamma, trace=trace)
+        make_contexts(nranks, options=options, gamma=gamma, trace=trace,
+                      retry=faults.retry if faults is not None else None)
     ):
         gi, gj = divmod(rank, t)
         programs.append(hsumma_program(ctx, da.tile(gi, gj), db.tile(gi, gj), cfg))
     sim = resolve_backend(
-        backend, network, contention=contention, collect_trace=trace
+        backend, network, contention=contention, collect_trace=trace,
+        faults=faults,
     ).run(programs)
 
     dc = DistMatrix(
@@ -482,6 +489,7 @@ def run_hsumma_multilevel(
     contention: bool = False,
     trace: bool = False,
     backend: Any = None,
+    faults: Any = None,
 ) -> tuple[Any, SimResult]:
     """Multiply with the multi-level hierarchy (h = len(factors) levels);
     same contract as :func:`run_hsumma`.
@@ -505,22 +513,26 @@ def run_hsumma_multilevel(
     db = DistMatrix(B if isinstance(B, PhantomArray) else np.asarray(B, dtype=float),
                     BlockDistribution(l, n, s, t))
 
+    from repro.faults.spec import coerce_faults
     from repro.network.homogeneous import HomogeneousNetwork
     from repro.simulator.runtime import DEFAULT_PARAMS
 
     nranks = s * t
     if network is None:
         network = HomogeneousNetwork(nranks, params or DEFAULT_PARAMS)
+    faults = coerce_faults(faults)
     programs = []
     for rank, ctx in enumerate(
-        make_contexts(nranks, options=options, gamma=gamma, trace=trace)
+        make_contexts(nranks, options=options, gamma=gamma, trace=trace,
+                      retry=faults.retry if faults is not None else None)
     ):
         gi, gj = divmod(rank, t)
         programs.append(
             hsumma_multilevel_program(ctx, da.tile(gi, gj), db.tile(gi, gj), cfg)
         )
     sim = resolve_backend(
-        backend, network, contention=contention, collect_trace=trace
+        backend, network, contention=contention, collect_trace=trace,
+        faults=faults,
     ).run(programs)
 
     dc = DistMatrix(

@@ -267,11 +267,13 @@ def run_hsumma_overlap(
     options: CollectiveOptions | None = None,
     contention: bool = False,
     backend: Any = None,
+    faults: Any = None,
 ) -> tuple[Any, SimResult]:
     """Overlapped HSUMMA; same contract as
     :func:`repro.core.hsumma.run_hsumma`."""
     from repro.core.grouping import choose_group_grid
     from repro.core.hsumma import HSummaConfig
+    from repro.faults.spec import coerce_faults
 
     s, t = grid
     if isinstance(groups, tuple):
@@ -295,15 +297,18 @@ def run_hsumma_overlap(
     nranks = s * t
     if network is None:
         network = HomogeneousNetwork(nranks, params or DEFAULT_PARAMS)
+    faults = coerce_faults(faults)
     programs = []
     for rank, ctx in enumerate(
-        make_contexts(nranks, options=options, gamma=gamma)
+        make_contexts(nranks, options=options, gamma=gamma,
+                      retry=faults.retry if faults is not None else None)
     ):
         gi, gj = divmod(rank, t)
         programs.append(
             hsumma_overlap_program(ctx, da.tile(gi, gj), db.tile(gi, gj), cfg)
         )
-    sim = resolve_backend(backend, network, contention=contention).run(programs)
+    sim = resolve_backend(backend, network, contention=contention,
+                          faults=faults).run(programs)
 
     dc = DistMatrix(
         PhantomArray((m, n)) if da.phantom or db.phantom else np.empty((m, n)),
@@ -325,9 +330,12 @@ def run_summa_overlap(
     options: CollectiveOptions | None = None,
     contention: bool = False,
     backend: Any = None,
+    faults: Any = None,
 ) -> tuple[Any, SimResult]:
     """Overlapped SUMMA; same contract as
     :func:`repro.core.summa.run_summa`."""
+    from repro.faults.spec import coerce_faults
+
     s, t = grid
     (m, l), (l2, n) = A.shape, B.shape
     if l != l2:
@@ -342,15 +350,18 @@ def run_summa_overlap(
     nranks = s * t
     if network is None:
         network = HomogeneousNetwork(nranks, params or DEFAULT_PARAMS)
+    faults = coerce_faults(faults)
     programs = []
     for rank, ctx in enumerate(
-        make_contexts(nranks, options=options, gamma=gamma)
+        make_contexts(nranks, options=options, gamma=gamma,
+                      retry=faults.retry if faults is not None else None)
     ):
         i, j = divmod(rank, t)
         programs.append(
             summa_overlap_program(ctx, da.tile(i, j), db.tile(i, j), cfg)
         )
-    sim = resolve_backend(backend, network, contention=contention).run(programs)
+    sim = resolve_backend(backend, network, contention=contention,
+                          faults=faults).run(programs)
 
     dc = DistMatrix(
         PhantomArray((m, n)) if da.phantom or db.phantom else np.empty((m, n)),

@@ -132,6 +132,7 @@ def run_summa(
     contention: bool = False,
     trace: bool = False,
     backend: Any = None,
+    faults: Any = None,
 ) -> tuple[Any, SimResult]:
     """Multiply block-distributed ``A @ B`` with SUMMA on a simulated
     platform; returns ``(C, SimResult)``.
@@ -143,6 +144,8 @@ def run_summa(
     :mod:`repro.metrics`); timings are bit-identical either way.
     ``backend`` selects the execution backend (``"des"``/``"macro"``
     or a prebuilt engine; see :mod:`repro.simulator.backends`).
+    ``faults`` injects a :class:`repro.faults.FaultSchedule` (or spec
+    string) — discrete-event backend only; see ``docs/robustness.md``.
     """
     s, t = grid
     (m, l), (l2, n) = A.shape, B.shape
@@ -155,21 +158,25 @@ def run_summa(
     db = DistMatrix(B if isinstance(B, PhantomArray) else np.asarray(B, dtype=float),
                     _dist(l, n, s, t))
 
+    from repro.faults.spec import coerce_faults
     from repro.network.homogeneous import HomogeneousNetwork
     from repro.simulator.runtime import DEFAULT_PARAMS
 
     nranks = s * t
     if network is None:
         network = HomogeneousNetwork(nranks, params or DEFAULT_PARAMS)
+    faults = coerce_faults(faults)
 
     programs = []
     for rank, ctx in enumerate(
-        make_contexts(nranks, options=options, gamma=gamma, trace=trace)
+        make_contexts(nranks, options=options, gamma=gamma, trace=trace,
+                      retry=faults.retry if faults is not None else None)
     ):
         i, j = divmod(rank, t)
         programs.append(summa_program(ctx, da.tile(i, j), db.tile(i, j), cfg))
     sim = resolve_backend(
-        backend, network, contention=contention, collect_trace=trace
+        backend, network, contention=contention, collect_trace=trace,
+        faults=faults,
     ).run(programs)
 
     dc = DistMatrix(

@@ -58,3 +58,28 @@ class DataMismatchError(ReproError):
 
 class ModelError(ReproError):
     """An analytic performance model was evaluated outside its domain."""
+
+
+class RankFailure(ReproError):
+    """A simulated rank suffered a fail-stop fault.
+
+    Structured: ``rank`` is the dead rank's world id and ``time`` the
+    virtual time of death, so supervisors can react programmatically
+    (and tests can assert on both).
+    """
+
+    def __init__(self, rank: int, time: float, reason: str = "fail-stop"):
+        self.rank = rank
+        self.time = time
+        self.reason = reason
+        super().__init__(
+            f"rank {rank} failed ({reason}) at virtual time {time:.6g}s"
+        )
+
+
+class FaultToleranceError(ReproError):
+    """A recovery mechanism exhausted its retry budget.
+
+    Raised by :meth:`repro.mpi.comm.Comm.recv_retry` when every timed
+    attempt expired without a matching message.
+    """

@@ -1,0 +1,52 @@
+"""Deterministic fault injection for the discrete-event simulator.
+
+At the paper's target scales (p = 2^14 ... 2^20, Figure 10) faults and
+stragglers are the steady state, not the exception.  This package adds
+a *deterministic, seedable* fault model so robustness questions —
+"what does a degraded link do to HSUMMA vs SUMMA?", "does the run
+survive transient message loss?" — get reproducible answers:
+
+* :class:`FaultSchedule` — a pure function of ``(seed, rank/link,
+  virtual time)``; no wall-clock randomness anywhere, so the same seed
+  and spec always replay the same fault sequence (pinned by
+  ``tests/faults/test_determinism.py``).
+* Fault classes: :class:`LinkDegradation` (alpha/beta multipliers over
+  time windows), :class:`MessageDrop` (transient per-attempt loss),
+  :class:`RankSlowdown` (compute stragglers) and :class:`RankDeath`
+  (fail-stop, surfaced as :class:`repro.errors.RankFailure`).
+* :class:`RetryPolicy` — backoff/timeout knobs shared by the engine's
+  automatic retransmission and the MPI layer's timed receives and
+  fault-tolerant broadcast (:mod:`repro.collectives.ft`).
+* :func:`parse_fault_spec` — the CLI's ``--faults`` mini-language.
+
+Only the discrete-event backend injects faults; the macro backend
+refuses them explicitly (see :mod:`repro.simulator.backends`).  See
+``docs/robustness.md`` for the full model and its guarantees.
+"""
+
+from repro.faults.schedule import (
+    DEFAULT_RETRY_POLICY,
+    FaultSchedule,
+    LinkDegradation,
+    MessageDrop,
+    RankDeath,
+    RankSlowdown,
+    RetryPolicy,
+    chan_digest,
+    unit_hash,
+)
+from repro.faults.spec import coerce_faults, parse_fault_spec
+
+__all__ = [
+    "DEFAULT_RETRY_POLICY",
+    "FaultSchedule",
+    "LinkDegradation",
+    "MessageDrop",
+    "RankDeath",
+    "RankSlowdown",
+    "RetryPolicy",
+    "chan_digest",
+    "coerce_faults",
+    "parse_fault_spec",
+    "unit_hash",
+]

@@ -1,0 +1,134 @@
+"""Textual fault-spec mini-language for the CLI and scripts.
+
+A spec is a ``;``-separated list of clauses ``name(key=value, ...)``:
+
+========  ==================================================  ==========================
+clause    keys                                                example
+========  ==================================================  ==========================
+drop      p (required), src, dst, t0, t1                      ``drop(p=0.05)``
+degrade   alpha, beta (multipliers), src, dst, t0, t1         ``degrade(src=0,dst=1,beta=8)``
+slow      rank, factor (required), t0, t1                     ``slow(rank=3,factor=10)``
+kill      rank, t (required)                                  ``kill(rank=5,t=0.25)``
+retry     timeout, timeout_multiplier, backoff,               ``retry(timeout=0.01)``
+          backoff_multiplier, max_backoff,
+          max_retransmits, max_attempts
+========  ==================================================  ==========================
+
+Example::
+
+    parse_fault_spec("drop(p=0.02); slow(rank=1,factor=8,t0=0,t1=0.5)",
+                     seed=42)
+
+Whitespace is ignored everywhere; numbers use Python float/int syntax.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import ConfigurationError
+from repro.faults.schedule import (
+    FaultSchedule,
+    LinkDegradation,
+    MessageDrop,
+    RankDeath,
+    RankSlowdown,
+    RetryPolicy,
+)
+
+_CLAUSE_RE = re.compile(r"^\s*([a-z_]+)\s*\(([^()]*)\)\s*$")
+
+_INT_KEYS = {"src", "dst", "rank", "max_retransmits", "max_attempts"}
+
+
+def _parse_kwargs(clause: str, body: str) -> dict:
+    kwargs: dict = {}
+    body = body.strip()
+    if not body:
+        return kwargs
+    for item in body.split(","):
+        if "=" not in item:
+            raise ConfigurationError(
+                f"fault spec: expected key=value in {clause!r}, got {item!r}"
+            )
+        key, _, value = item.partition("=")
+        key = key.strip()
+        value = value.strip()
+        try:
+            kwargs[key] = int(value) if key in _INT_KEYS else float(value)
+        except ValueError:
+            raise ConfigurationError(
+                f"fault spec: bad number {value!r} for {key!r} in {clause!r}"
+            ) from None
+    return kwargs
+
+
+def _build(name: str, kwargs: dict, clause: str):
+    try:
+        if name == "drop":
+            return MessageDrop(**kwargs)
+        if name == "degrade":
+            mapped = dict(kwargs)
+            if "alpha" in mapped:
+                mapped["alpha_mult"] = mapped.pop("alpha")
+            if "beta" in mapped:
+                mapped["beta_mult"] = mapped.pop("beta")
+            return LinkDegradation(**mapped)
+        if name == "slow":
+            return RankSlowdown(**kwargs)
+        if name == "kill":
+            mapped = dict(kwargs)
+            if "t" in mapped:
+                mapped["time"] = mapped.pop("t")
+            return RankDeath(**mapped)
+        if name == "retry":
+            return RetryPolicy(**kwargs)
+    except TypeError as exc:
+        raise ConfigurationError(f"fault spec: {clause!r}: {exc}") from None
+    raise ConfigurationError(
+        f"fault spec: unknown clause {name!r} in {clause!r} "
+        "(expected drop, degrade, slow, kill or retry)"
+    )
+
+
+def coerce_faults(faults: object, seed: int = 0) -> FaultSchedule | None:
+    """Normalise a runner's ``faults=`` argument.
+
+    Accepts ``None`` (pass through), a ready :class:`FaultSchedule`
+    (pass through; ``seed`` ignored), or a spec string, which is parsed
+    with :func:`parse_fault_spec` under ``seed``.
+    """
+    if faults is None or isinstance(faults, FaultSchedule):
+        return faults
+    if isinstance(faults, str):
+        return parse_fault_spec(faults, seed=seed)
+    raise ConfigurationError(
+        f"faults must be None, a FaultSchedule or a spec string, "
+        f"got {type(faults).__name__}"
+    )
+
+
+def parse_fault_spec(spec: str, seed: int = 0) -> FaultSchedule:
+    """Parse a ``--faults`` spec string into a :class:`FaultSchedule`."""
+    faults = []
+    retry: RetryPolicy | None = None
+    for clause in spec.split(";"):
+        if not clause.strip():
+            continue
+        match = _CLAUSE_RE.match(clause)
+        if match is None:
+            raise ConfigurationError(
+                f"fault spec: cannot parse clause {clause.strip()!r} "
+                "(expected name(key=value, ...))"
+            )
+        name, body = match.group(1), match.group(2)
+        built = _build(name, _parse_kwargs(clause.strip(), body), clause.strip())
+        if isinstance(built, RetryPolicy):
+            if retry is not None:
+                raise ConfigurationError(
+                    "fault spec: retry(...) given more than once"
+                )
+            retry = built
+        else:
+            faults.append(built)
+    return FaultSchedule(seed=seed, faults=faults, retry=retry)

@@ -459,3 +459,109 @@ def spans_to_csv(result: SimResult) -> str:
     for root in result.spans:
         emit(root, "")
     return out.getvalue()
+
+
+# ---------------------------------------------------------------------------
+# Fault accounting
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultRow:
+    """One rank's fault-recovery counters (see ``docs/robustness.md``).
+
+    ``retries`` counts engine-level retransmissions of dropped
+    messages, ``timeouts`` counts timed receives that expired,
+    ``recoveries`` counts successful fallbacks after a timeout, and
+    ``fault_delay`` is the virtual time this rank's transfers and
+    computations lost to injected faults.
+    """
+
+    rank: int
+    retries: int
+    timeouts: int
+    recoveries: int
+    fault_delay: float
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultReport:
+    """Per-rank fault counters for a run, plus totals.
+
+    ``rows`` holds only the ranks that saw any fault activity; a
+    fault-free run yields an empty report (``faulted`` is False).
+    """
+
+    nranks: int
+    rows: tuple[FaultRow, ...]
+
+    @property
+    def faulted(self) -> bool:
+        """True when any rank recorded fault activity."""
+        return bool(self.rows)
+
+    @property
+    def total_retries(self) -> int:
+        return sum(r.retries for r in self.rows)
+
+    @property
+    def total_timeouts(self) -> int:
+        return sum(r.timeouts for r in self.rows)
+
+    @property
+    def total_recoveries(self) -> int:
+        return sum(r.recoveries for r in self.rows)
+
+    @property
+    def total_fault_delay(self) -> float:
+        return sum(r.fault_delay for r in self.rows)
+
+    def __getitem__(self, rank: int) -> FaultRow:
+        for row in self.rows:
+            if row.rank == rank:
+                return row
+        raise KeyError(rank)
+
+    def to_table(self) -> str:
+        """Aligned text table (rank, retries, timeouts, recoveries, delay)."""
+        header = ("rank", "retries", "timeouts", "recoveries", "fault delay (s)")
+        body = [
+            (str(r.rank), str(r.retries), str(r.timeouts),
+             str(r.recoveries), f"{r.fault_delay:.6f}")
+            for r in self.rows
+        ]
+        body.append(("total", str(self.total_retries), str(self.total_timeouts),
+                     str(self.total_recoveries),
+                     f"{self.total_fault_delay:.6f}"))
+        widths = [max(len(header[c]), *(len(row[c]) for row in body))
+                  for c in range(len(header))]
+        lines = [
+            "  ".join(h.ljust(w) for h, w in zip(header, widths)),
+            "  ".join("-" * w for w in widths),
+        ]
+        for row in body:
+            lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        out = io.StringIO()
+        out.write("rank,retries,timeouts,recoveries,fault_delay\n")
+        for r in self.rows:
+            out.write(f"{r.rank},{r.retries},{r.timeouts},"
+                      f"{r.recoveries},{r.fault_delay!r}\n")
+        return out.getvalue()
+
+
+def fault_report(result: SimResult) -> FaultReport:
+    """Per-rank fault-recovery counters of a run.
+
+    Works on any :class:`SimResult` (no trace needed).  Ranks with no
+    fault activity are omitted, so a clean run returns an empty report.
+    """
+    rows = tuple(
+        FaultRow(rank=s.rank, retries=s.retries, timeouts=s.timeouts,
+                 recoveries=s.recoveries, fault_delay=s.fault_delay)
+        for s in result.stats
+        if s.retries or s.timeouts or s.recoveries or s.fault_delay
+    )
+    return FaultReport(nranks=result.nranks, rows=rows)

@@ -34,10 +34,13 @@ from repro.collectives import (
 from repro.collectives.barrier import barrier_dissemination
 from repro.collectives.gather import gather_binomial
 from repro.collectives.scatter import scatter_binomial
-from repro.errors import CommunicatorError
+from repro.errors import CommunicatorError, FaultToleranceError
+from repro.faults.schedule import DEFAULT_RETRY_POLICY, RetryPolicy
 from repro.simulator.requests import (
+    RECV_TIMEOUT,
     CollectiveRequest,
     ComputeRequest,
+    CounterRequest,
     IRecvRequest,
     ISendRequest,
     RecvRequest,
@@ -115,6 +118,7 @@ def make_contexts(
     options: CollectiveOptions | None = None,
     gamma: float = 0.0,
     trace: bool = False,
+    retry: RetryPolicy | None = None,
 ) -> list["MpiContext"]:
     """One :class:`MpiContext` per rank, sharing membership caches.
 
@@ -126,7 +130,7 @@ def make_contexts(
     opts = options or CollectiveOptions()
     return [
         MpiContext(r, nranks, options=opts, gamma=gamma, trace=trace,
-                   shared=shared)
+                   shared=shared, retry=retry)
         for r in range(nranks)
     ]
 
@@ -151,6 +155,10 @@ class MpiContext:
     shared:
         Membership caches shared across the ranks of one run (see
         :func:`make_contexts`).  A private one is created when omitted.
+    retry:
+        :class:`repro.faults.RetryPolicy` governing timed receives and
+        the fault-tolerant broadcast on this rank's communicators.
+        Defaults to :data:`repro.faults.DEFAULT_RETRY_POLICY`.
     """
 
     def __init__(
@@ -161,6 +169,7 @@ class MpiContext:
         gamma: float = 0.0,
         trace: bool = False,
         shared: _RankShared | None = None,
+        retry: RetryPolicy | None = None,
     ) -> None:
         if not (0 <= rank < nranks):
             raise CommunicatorError(f"rank {rank} outside world of {nranks}")
@@ -171,6 +180,7 @@ class MpiContext:
             raise CommunicatorError(f"gamma must be >= 0, got {gamma}")
         self.gamma = gamma
         self.trace = trace
+        self.retry = retry or DEFAULT_RETRY_POLICY
         if shared is None or len(shared.world_ranks) != nranks:
             shared = _RankShared(nranks)
         self._shared = shared
@@ -264,6 +274,7 @@ class Comm:
         self._cid = cid
         self._child_seq = itertools.count()
         self._coll_seq = itertools.count()
+        self._ft_seq = itertools.count()  # ft-bcast invocation salts
 
     # -- identity -----------------------------------------------------------
 
@@ -303,11 +314,47 @@ class Comm:
         self._check_rank(dest)
         yield SendRequest(self._world_ranks[dest], self._tag(tag), obj, nbytes)
 
-    def recv(self, source: int, tag: int = 0) -> Gen:
-        """Blocking receive from communicator rank ``source``."""
+    def recv(self, source: int, tag: int = 0,
+             timeout: float | None = None) -> Gen:
+        """Blocking receive from communicator rank ``source``.
+
+        With ``timeout`` set, returns :data:`repro.simulator.requests.
+        RECV_TIMEOUT` if no matching send was posted within that much
+        virtual time (the building block of the recovery protocols —
+        see :meth:`recv_retry` and :mod:`repro.collectives.ft`).
+        """
         self._check_rank(source)
-        payload = yield RecvRequest(self._world_ranks[source], self._tag(tag))
+        payload = yield RecvRequest(self._world_ranks[source], self._tag(tag),
+                                    timeout=timeout)
         return payload
+
+    def recv_retry(self, source: int, tag: int = 0,
+                   policy: RetryPolicy | None = None) -> Gen:
+        """Receive with timeout-and-retry: re-post the receive with
+        exponentially growing windows until a message arrives.
+
+        Counts one *recovery* in the rank's stats when the receive
+        succeeds after at least one expiry.  Raises
+        :class:`repro.errors.FaultToleranceError` once
+        ``policy.max_attempts`` windows have all expired — by then the
+        peer is presumed dead, not slow.
+        """
+        self._check_rank(source)
+        policy = policy or self._ctx.retry
+        wire_tag = self._tag(tag)
+        src = self._world_ranks[source]
+        for attempt in range(policy.max_attempts):
+            payload = yield RecvRequest(
+                src, wire_tag, timeout=policy.escalation_timeout(attempt)
+            )
+            if payload is not RECV_TIMEOUT:
+                if attempt > 0:
+                    yield CounterRequest("recoveries")
+                return payload
+        raise FaultToleranceError(
+            f"recv from rank {source} (tag {tag}): all "
+            f"{policy.max_attempts} timed attempts expired"
+        )
 
     def isend(self, obj: Any, dest: int, tag: int = 0, nbytes: int | None = None) -> Gen:
         """Nonblocking send; returns a handle for :meth:`wait`."""

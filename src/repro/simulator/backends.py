@@ -92,7 +92,17 @@ class MacroBackend(Engine, Backend):
         collect_trace: bool = False,
         max_events: int = 200_000_000,
         eager_threshold: int = 0,
+        faults: Any = None,
     ) -> None:
+        if faults is not None and not getattr(faults, "empty", False):
+            # The coster oracle prices whole collectives analytically;
+            # it has no notion of per-message drops, degraded windows or
+            # escalation, so silently accepting a schedule would report
+            # healthy timings for a faulty run.
+            raise ConfigurationError(
+                "the macro backend does not support fault injection; "
+                "use backend='des' for faulted runs"
+            )
         super().__init__(
             network,
             contention=contention,
@@ -252,6 +262,7 @@ def resolve_backend(
     collect_trace: bool = False,
     eager_threshold: int = 0,
     coster: Any = None,
+    faults: Any = None,
 ) -> Engine:
     """Turn a backend spec into a ready engine.
 
@@ -259,8 +270,18 @@ def resolve_backend(
     ``"macro"`` (coster-satisfied collectives), or an already-built
     :class:`~repro.simulator.engine.Engine`/:class:`Backend` instance,
     which is returned as-is (its own network/options win).
+
+    ``faults`` is a :class:`repro.faults.FaultSchedule`; only the
+    discrete-event path can honour one (the macro backend raises, and a
+    prebuilt engine must have been constructed with the schedule).
     """
+    active = faults is not None and not getattr(faults, "empty", False)
     if isinstance(backend, Engine):
+        if active and getattr(backend, "_faults", None) is not faults:
+            raise ConfigurationError(
+                "a prebuilt engine cannot adopt a fault schedule; pass "
+                "faults= to the engine constructor instead"
+            )
         return backend
     if backend is None or backend == "des":
         return DesBackend(
@@ -268,6 +289,7 @@ def resolve_backend(
             contention=contention,
             collect_trace=collect_trace,
             eager_threshold=eager_threshold,
+            faults=faults,
         )
     if backend == "macro":
         return MacroBackend(
@@ -276,6 +298,7 @@ def resolve_backend(
             contention=contention,
             collect_trace=collect_trace,
             eager_threshold=eager_threshold,
+            faults=faults,
         )
     raise ConfigurationError(
         f"unknown backend {backend!r} (expected 'des', 'macro', or an "

@@ -26,12 +26,15 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Callable, Generator, Iterable
 
-from repro.errors import DeadlockError, SimulationError
+from repro.errors import DeadlockError, RankFailure, SimulationError
+from repro.faults.schedule import chan_digest
 from repro.network.model import Network
 from repro.simulator.events import EventQueue
 from repro.simulator.requests import (
+    RECV_TIMEOUT,
     CollectiveRequest,
     ComputeRequest,
+    CounterRequest,
     IRecvRequest,
     ISendRequest,
     RecvRequest,
@@ -49,7 +52,7 @@ class _Endpoint:
     """One side of a pending point-to-point operation."""
 
     __slots__ = ("rank", "post_time", "payload", "nbytes", "handle",
-                 "eager_arrival", "span")
+                 "eager_arrival", "span", "matched")
 
     def __init__(
         self,
@@ -67,6 +70,7 @@ class _Endpoint:
         self.handle = handle  # None => blocking operation
         self.eager_arrival: float | None = None  # set for in-flight eager sends
         self.span = span  # sender's open-span path at post time
+        self.matched = False  # set when paired; gates timed-recv expiry
 
 
 class _RankState:
@@ -105,6 +109,12 @@ class Engine:
         rendezvous semantics the paper's model assumes; real MPI
         implementations eagerly buffer small messages, which removes
         the send-send deadlocks rendezvous would have.
+    faults:
+        Optional :class:`repro.faults.FaultSchedule` injecting link
+        degradation, message drops (with automatic retransmission),
+        rank slowdowns and fail-stop deaths.  ``None`` (and an empty
+        schedule) leaves every code path — including float operation
+        order — bit-identical to the fault-free engine.
     """
 
     #: Advance compute requests inline instead of via a heap event.
@@ -121,6 +131,7 @@ class Engine:
         collect_trace: bool = False,
         max_events: int = 200_000_000,
         eager_threshold: int = 0,
+        faults: Any = None,
     ) -> None:
         self.network = network
         self.contention = contention
@@ -131,6 +142,9 @@ class Engine:
                 f"eager_threshold must be >= 0, got {eager_threshold}"
             )
         self.eager_threshold = eager_threshold
+        if faults is not None and getattr(faults, "empty", False):
+            faults = None  # empty schedule: take the fault-free fast path
+        self._faults = faults
 
     # -- public API --------------------------------------------------------
 
@@ -152,6 +166,20 @@ class Engine:
         self._trace: list[TransferRecord] = []
         self._spans = SpanRecorder(len(gens))
         self._nevents = 0
+        # Per-(src, dst, tag) message ordinals and per-tag channel
+        # digests for deterministic drop decisions (see repro.faults).
+        self._chan_ord: dict[tuple[int, int, Any], int] = {}
+        self._chan_digests: dict[Any, int] = {}
+
+        if self._faults is not None:
+            # Deaths are pushed before the initial resumes so that at
+            # equal virtual times a fail-stop preempts completions —
+            # a deterministic, documented tie-break.  Deaths aimed at
+            # ranks not in this run are ignored (a schedule may be
+            # reused across runs of different sizes).
+            for death in self._faults.death_events():
+                if death.rank < len(self._ranks):
+                    self._events.push(death.time, self._make_rank_death(death))
 
         for state in self._ranks:
             self._resume(state, None, state.stats.clock)
@@ -222,7 +250,14 @@ class Engine:
                 continue
 
             if isinstance(request, ComputeRequest):
-                stats.compute_time += request.seconds
+                seconds = request.seconds
+                if self._faults is not None:
+                    factor = self._faults.compute_factor(stats.rank, now)
+                    if factor != 1.0:
+                        slowed = seconds * factor
+                        stats.fault_delay += slowed - seconds
+                        seconds = slowed
+                stats.compute_time += seconds
                 if self._inline_compute:
                     # Purely local: advance this rank's clock without a
                     # wake-up event.  Subclasses with no ordering-
@@ -230,12 +265,12 @@ class Engine:
                     # the base engine keeps the event so the transfer
                     # trace's discovery order — a pinned artifact —
                     # is unchanged.
-                    stats.clock = now + request.seconds
+                    stats.clock = now + seconds
                     continue
                 state.blocked_on = request
                 self._events.push(
-                    now + request.seconds,
-                    self._make_compute_done(state, now + request.seconds),
+                    now + seconds,
+                    self._make_compute_done(state, now + seconds),
                 )
                 return
 
@@ -255,7 +290,19 @@ class Engine:
                 state.blocked_on = request
                 state.block_start = now
                 ep = _Endpoint(state.stats.rank, now)
-                self._post_recv(request.src, state.stats.rank, request.tag, ep)
+                matched = self._post_recv(
+                    request.src, state.stats.rank, request.tag, ep
+                )
+                if request.timeout is not None and not matched:
+                    # The deadline bounds *matching*, not completion:
+                    # once a send pairs up, the transfer always runs
+                    # to the end (as on a real wire).
+                    key = (request.src, state.stats.rank, request.tag)
+                    deadline = now + request.timeout
+                    self._events.push(
+                        deadline,
+                        self._make_recv_timeout(state, ep, key, deadline),
+                    )
                 return
 
             if isinstance(request, SpanOpenRequest):
@@ -266,6 +313,12 @@ class Engine:
 
             if isinstance(request, SpanCloseRequest):
                 self._spans.close(state.stats.rank, request.attrs, now)
+                continue
+
+            if isinstance(request, CounterRequest):
+                # Zero virtual time: the MPI layer reporting a recovery.
+                setattr(stats, request.name,
+                        getattr(stats, request.name) + request.amount)
                 continue
 
             if isinstance(request, ISendRequest):
@@ -334,29 +387,30 @@ class Engine:
         key = (src, dst, tag)
         queue = self._recvs.get(key)
         if queue:
-            self._start_transfer(key, ep, queue.popleft())
+            recv = queue.popleft()
+            recv.matched = True
+            self._start_transfer(key, ep, recv)
             return
         if ep.nbytes <= self.eager_threshold and src != dst:
             # Eager protocol: inject now; the sender completes at
             # wire-clear time, the receive matches later.
             start = ep.post_time
-            duration = self.network.transfer_time(src, dst, ep.nbytes)
+            links = None
             if self.contention:
                 links = self.network.links(src, dst)
                 for link in links:
                     start = max(start, self._link_free.get(link, 0.0))
-                finish = start + duration
+            stats = self._ranks[src].stats
+            finish = self._transfer_finish(src, dst, tag, ep.nbytes, start, stats)
+            if links is not None:
                 for link in links:
                     self._link_free[link] = finish
-            else:
-                finish = start + duration
             ep.eager_arrival = finish
             if self.collect_trace:
                 self._trace.append(
                     TransferRecord(src, dst, tag, ep.nbytes, start, finish,
                                    span=ep.span)
                 )
-            stats = self._ranks[src].stats
             stats.messages_sent += 1
             stats.bytes_sent += ep.nbytes
             self._events.push(
@@ -370,13 +424,16 @@ class Engine:
 
         return done
 
-    def _post_recv(self, src: int, dst: int, tag: int, ep: _Endpoint) -> None:
+    def _post_recv(self, src: int, dst: int, tag: int, ep: _Endpoint) -> bool:
+        """Post a receive; return True when a send matched immediately."""
         key = (src, dst, tag)
         queue = self._sends.get(key)
         if queue:
+            ep.matched = True
             self._start_transfer(key, queue.popleft(), ep)
-        else:
-            self._recvs.setdefault(key, deque()).append(ep)
+            return True
+        self._recvs.setdefault(key, deque()).append(ep)
+        return False
 
     def _start_transfer(
         self, key: tuple[int, int, int], send: _Endpoint, recv: _Endpoint
@@ -394,16 +451,18 @@ class Engine:
             return
 
         start = max(send.post_time, recv.post_time)
-        duration = self.network.transfer_time(src, dst, send.nbytes)
+        links = None
         if self.contention and src != dst:
             links = self.network.links(src, dst)
             for link in links:
                 start = max(start, self._link_free.get(link, 0.0))
-            finish = start + duration
+
+        sender_stats = self._ranks[src].stats
+        finish = self._transfer_finish(src, dst, tag, send.nbytes, start,
+                                       sender_stats)
+        if links is not None:
             for link in links:
                 self._link_free[link] = finish
-        else:
-            finish = start + duration
 
         if self.collect_trace:
             self._trace.append(
@@ -411,11 +470,88 @@ class Engine:
                                span=send.span)
             )
 
-        sender_stats = self._ranks[src].stats
         sender_stats.messages_sent += 1
         sender_stats.bytes_sent += send.nbytes
 
         self._events.push(finish, self._make_transfer_done(send, recv, finish))
+
+    # -- fault injection ----------------------------------------------------
+
+    def _transfer_finish(self, src: int, dst: int, tag: Any, nbytes: int,
+                         start: float, sender_stats: RankStats) -> float:
+        """Wire-clear time of a transfer starting at ``start``.
+
+        The fault-free branch performs exactly the pre-fault float
+        operations, keeping untraced healthy runs bit-identical.
+        """
+        if self._faults is None:
+            return start + self.network.transfer_time(src, dst, nbytes)
+        return self._faulty_finish(src, dst, tag, nbytes, start, sender_stats)
+
+    def _faulty_finish(self, src: int, dst: int, tag: Any, nbytes: int,
+                       start: float, sender_stats: RankStats) -> float:
+        """One logical message under the fault schedule.
+
+        Dropped attempts waste the (possibly degraded) wire time plus a
+        backoff from the retry policy, then retransmit — the payload
+        always arrives eventually, so numerics are untouched; only
+        virtual time and the retry counters change.  Drop decisions
+        hash structural coordinates (channel digest, per-channel
+        ordinal, attempt), never the clock, so they replay identically
+        across runs — see :mod:`repro.faults.schedule`.
+        """
+        faults = self._faults
+        clean = self.network.transfer_time(src, dst, nbytes)
+        if src == dst:
+            return start + clean
+        key = (src, dst, tag)
+        ordinal = self._chan_ord.get(key, 0)
+        self._chan_ord[key] = ordinal + 1
+        chan = self._chan_digests.get(tag)
+        if chan is None:
+            chan = chan_digest(tag)
+            self._chan_digests[tag] = chan
+        retry = faults.retry
+        t = start
+        attempt = 0
+        while (attempt < retry.max_retransmits
+               and faults.drop(src, dst, chan, ordinal, attempt, t)):
+            t += faults.transfer_time(self.network, src, dst, nbytes, t)
+            t += retry.backoff_delay(attempt)
+            attempt += 1
+            sender_stats.retries += 1
+        finish = t + faults.transfer_time(self.network, src, dst, nbytes, t)
+        sender_stats.fault_delay += finish - (start + clean)
+        return finish
+
+    def _make_recv_timeout(
+        self, state: _RankState, ep: _Endpoint,
+        key: tuple[int, int, Any], deadline: float,
+    ) -> Callable[[], None]:
+        def expired() -> None:
+            if ep.matched:
+                return  # a send paired up first; the transfer will finish
+            queue = self._recvs.get(key)
+            if queue is not None:
+                try:
+                    queue.remove(ep)
+                except ValueError:  # pragma: no cover - defensive
+                    pass
+            ep.matched = True
+            state.stats.timeouts += 1
+            state.stats.comm_time += deadline - state.block_start
+            self._resume(state, RECV_TIMEOUT, deadline)
+
+        return expired
+
+    def _make_rank_death(self, death: Any) -> Callable[[], None]:
+        def die() -> None:
+            state = self._ranks[death.rank]
+            if state.finished:
+                return  # outlived its death time; nothing to kill
+            raise RankFailure(death.rank, death.time)
+
+        return die
 
     def _make_transfer_done(
         self, send: _Endpoint, recv: _Endpoint, finish: float

@@ -67,16 +67,66 @@ class SendRequest(_Request):
 
 
 class RecvRequest(_Request):
-    """Blocking receive from ``src`` with ``tag``; resumes with the payload."""
+    """Blocking receive from ``src`` with ``tag``; resumes with the payload.
 
-    __slots__ = ("src", "tag")
+    With ``timeout`` set, the receive expires after that much virtual
+    time if no matching send has been *posted* by then, resuming the
+    rank with the :data:`RECV_TIMEOUT` sentinel instead of a payload
+    (the fault-tolerance primitive — see ``docs/robustness.md``).  Once
+    a send has matched, the transfer always completes, even past the
+    deadline.
+    """
 
-    def __init__(self, src: int, tag: int):
+    __slots__ = ("src", "tag", "timeout")
+
+    def __init__(self, src: int, tag: int, timeout: float | None = None):
         self.src = src
         self.tag = tag
+        if timeout is not None and timeout <= 0:
+            raise SimulationError(f"recv timeout must be > 0, got {timeout}")
+        self.timeout = timeout
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return f"Recv(src={self.src}, tag={self.tag})"
+        extra = "" if self.timeout is None else f", timeout={self.timeout:.3g}"
+        return f"Recv(src={self.src}, tag={self.tag}{extra})"
+
+
+class _RecvTimeout:
+    """Singleton sentinel a timed receive resumes with on expiry."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "RECV_TIMEOUT"
+
+
+#: Returned by ``yield RecvRequest(..., timeout=...)`` when it expires.
+RECV_TIMEOUT = _RecvTimeout()
+
+
+class CounterRequest(_Request):
+    """Bump a named fault counter on this rank's stats (zero time).
+
+    The MPI layer uses it to report recoveries (a receive that
+    succeeded after at least one timeout/escalation) without the
+    engine having to understand the protocol.
+    """
+
+    __slots__ = ("name", "amount")
+
+    #: Counters a rank program may bump (RankStats field names).
+    ALLOWED = frozenset({"recoveries"})
+
+    def __init__(self, name: str, amount: int = 1):
+        if name not in self.ALLOWED:
+            raise SimulationError(
+                f"unknown counter {name!r}; allowed: {sorted(self.ALLOWED)}"
+            )
+        self.name = name
+        self.amount = amount
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Counter({self.name}+={self.amount})"
 
 
 class ISendRequest(_Request):

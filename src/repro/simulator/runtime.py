@@ -33,6 +33,7 @@ def run_spmd(
     eager_threshold: int = 0,
     trace: bool = False,
     backend: Any = None,
+    faults: Any = None,
 ) -> SimResult:
     """Run ``program`` on ``nranks`` simulated ranks.
 
@@ -65,21 +66,28 @@ def run_spmd(
         event simulation, ``"macro"`` for the collective-granularity
         macro backend, or a prebuilt engine instance (see
         :mod:`repro.simulator.backends`).
+    faults:
+        Fault injection: a :class:`~repro.faults.FaultSchedule` or a
+        spec string for :func:`repro.faults.parse_fault_spec` (DES
+        backend only; see ``docs/robustness.md``).
 
     Returns
     -------
     SimResult
         Per-rank stats, rank return values, optional trace and spans.
     """
+    from repro.faults.spec import coerce_faults
     from repro.mpi.comm import make_contexts
     from repro.simulator.backends import resolve_backend
 
     if network is None:
         network = HomogeneousNetwork(nranks, params or DEFAULT_PARAMS)
+    faults = coerce_faults(faults)
     programs = [
         program(ctx)
         for ctx in make_contexts(nranks, options=options, gamma=gamma,
-                                 trace=trace)
+                                 trace=trace,
+                                 retry=faults.retry if faults is not None else None)
     ]
     engine = resolve_backend(
         backend,
@@ -87,5 +95,6 @@ def run_spmd(
         contention=contention,
         collect_trace=collect_trace or trace,
         eager_threshold=eager_threshold,
+        faults=faults,
     )
     return engine.run(programs)

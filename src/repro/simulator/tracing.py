@@ -22,6 +22,17 @@ class RankStats:
     communication call (send/recv/wait), including time waiting for the
     partner to arrive — exactly what wrapping MPI calls in timers
     measures on a real machine.
+
+    The fault counters are all zero on fault-free runs:
+
+    * ``retries`` — messages this rank retransmitted after an injected
+      drop (engine-level automatic recovery).
+    * ``timeouts`` — timed receives that expired on this rank.
+    * ``recoveries`` — receives that ultimately succeeded after at
+      least one timeout/escalation (reported by the MPI layer).
+    * ``fault_delay`` — extra virtual seconds this rank's operations
+      took because of injected faults (wasted wire time, backoff,
+      degradation and slowdown deltas).
     """
 
     rank: int
@@ -30,6 +41,10 @@ class RankStats:
     compute_time: float = 0.0
     messages_sent: int = 0
     bytes_sent: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    recoveries: int = 0
+    fault_delay: float = 0.0
 
     @property
     def other_time(self) -> float:
@@ -115,6 +130,43 @@ class SimResult:
     @property
     def total_bytes(self) -> int:
         return sum(s.bytes_sent for s in self.stats)
+
+    # -- fault/recovery aggregates (all zero on fault-free runs) ----------
+
+    @property
+    def total_retries(self) -> int:
+        """Messages retransmitted after injected drops, summed over ranks."""
+        return sum(s.retries for s in self.stats)
+
+    @property
+    def total_timeouts(self) -> int:
+        """Expired timed receives, summed over ranks."""
+        return sum(s.timeouts for s in self.stats)
+
+    @property
+    def total_recoveries(self) -> int:
+        """Receives that succeeded after escalation, summed over ranks."""
+        return sum(s.recoveries for s in self.stats)
+
+    @property
+    def total_fault_delay(self) -> float:
+        """Injected extra virtual seconds, summed over ranks."""
+        return sum(s.fault_delay for s in self.stats)
+
+    @property
+    def faulted(self) -> bool:
+        """True when any fault/recovery counter is nonzero."""
+        return bool(self.total_retries or self.total_timeouts
+                    or self.total_recoveries or self.total_fault_delay)
+
+    def fault_summary(self) -> str:
+        """One-line fault/recovery summary."""
+        return (
+            f"faults: {self.total_retries} retransmits, "
+            f"{self.total_timeouts} timeouts, "
+            f"{self.total_recoveries} recoveries, "
+            f"{self.total_fault_delay:.6f}s injected delay"
+        )
 
     def spans_for(self, rank: int) -> list[Span]:
         """Top-level spans of one rank, in open order."""

@@ -144,5 +144,6 @@ class TestRegistry:
 
     def test_all_registered(self):
         assert set(ALGOS) == {
-            "binary", "binomial", "chain", "flat", "pipelined", "vandegeijn",
+            "binary", "binomial", "chain", "flat", "ft_binomial",
+            "pipelined", "vandegeijn",
         }

@@ -1,0 +1,202 @@
+"""Split-phase (nonblocking) broadcast: phase protocol, delivery,
+out-of-order completion of concurrent broadcasts, and error paths."""
+
+import numpy as np
+import pytest
+
+from repro.collectives.nonblocking import IBcast
+from repro.errors import CommunicatorError
+from repro.network.model import HockneyParams
+from repro.payloads import PhantomArray
+from repro.simulator import run_spmd
+
+PARAMS = HockneyParams(alpha=1e-4, beta=1e-9)
+
+
+def _simple(root, payload_factory):
+    def prog(ctx):
+        b = IBcast(ctx.world, root)
+        yield from b.post()
+        obj = payload_factory() if ctx.rank == root else None
+        out = yield from b.complete(obj)
+        yield from b.finish()
+        return out
+
+    return prog
+
+
+class TestDelivery:
+    @pytest.mark.parametrize("size", [1, 2, 3, 4, 5, 8, 13, 16])
+    def test_all_ranks_receive(self, size):
+        res = run_spmd(_simple(0, lambda: np.arange(24.0)), size,
+                       params=PARAMS)
+        for value in res.return_values:
+            assert np.array_equal(value, np.arange(24.0))
+
+    @pytest.mark.parametrize("root", [0, 1, 3, 6])
+    def test_nonzero_roots(self, root):
+        res = run_spmd(_simple(root, lambda: np.full(6, float(root))), 7,
+                       params=PARAMS)
+        for value in res.return_values:
+            assert np.array_equal(value, np.full(6, float(root)))
+
+    def test_phantom_payload(self):
+        res = run_spmd(_simple(0, lambda: PhantomArray((4, 4))), 6,
+                       params=PARAMS)
+        for value in res.return_values:
+            assert isinstance(value, PhantomArray)
+
+    def test_matches_blocking_binomial_timing(self):
+        """Post-then-complete with no interleaved work moves the same
+        bytes over the same tree as the blocking binomial broadcast."""
+
+        def blocking(ctx):
+            obj = np.zeros(512) if ctx.rank == 0 else None
+            out = yield from ctx.world.bcast(obj, root=0,
+                                             algorithm="binomial")
+            return out
+
+        split = run_spmd(_simple(0, lambda: np.zeros(512)), 8, params=PARAMS)
+        ref = run_spmd(blocking, 8, params=PARAMS)
+        assert split.total_messages == ref.total_messages
+        assert split.total_bytes == ref.total_bytes
+
+
+class TestRootSkip:
+    def test_root_post_is_noop(self):
+        """The root has no parent: post() must yield no requests and
+        complete() must not wait on anything."""
+
+        def prog(ctx):
+            b = IBcast(ctx.world, 0)
+            if ctx.rank == 0:
+                assert b._parent() is None
+            yield from b.post()
+            if ctx.rank == 0:
+                assert b._recv_handle is None
+            out = yield from b.complete(
+                np.arange(4.0) if ctx.rank == 0 else None)
+            yield from b.finish()
+            return out
+
+        res = run_spmd(prog, 4, params=PARAMS)
+        assert np.array_equal(res.return_values[0], np.arange(4.0))
+
+    def test_single_rank_broadcast_is_free(self):
+        res = run_spmd(_simple(0, lambda: np.zeros(100)), 1, params=PARAMS)
+        assert res.total_time == 0.0
+
+
+class TestOutOfOrderCompletion:
+    def test_two_broadcasts_completed_in_reverse(self):
+        """Both broadcasts are posted up front, then completed in the
+        opposite order; tag salts keep the payloads apart."""
+
+        def prog(ctx):
+            b0 = IBcast(ctx.world, 0, tag_salt=0)
+            b1 = IBcast(ctx.world, 0, tag_salt=1)
+            yield from b0.post()
+            yield from b1.post()
+            second = yield from b1.complete(
+                np.full(8, 2.0) if ctx.rank == 0 else None)
+            first = yield from b0.complete(
+                np.full(8, 1.0) if ctx.rank == 0 else None)
+            yield from b0.finish()
+            yield from b1.finish()
+            return (first, second)
+
+        res = run_spmd(prog, 8, params=PARAMS)
+        for first, second in res.return_values:
+            assert np.array_equal(first, np.full(8, 1.0))
+            assert np.array_equal(second, np.full(8, 2.0))
+
+    def test_pipelined_rounds(self):
+        """A rolling window of broadcasts (post k+1 before finishing k),
+        as the overlap schedules use them."""
+
+        def prog(ctx):
+            rounds = 4
+            bcasts = [IBcast(ctx.world, k % 2, tag_salt=k)
+                      for k in range(rounds)]
+            yield from bcasts[0].post()
+            out = []
+            for k in range(rounds):
+                if k + 1 < rounds:
+                    yield from bcasts[k + 1].post()
+                payload = np.full(4, float(k)) if ctx.rank == k % 2 else None
+                out.append((yield from bcasts[k].complete(payload)))
+            for b in bcasts:
+                yield from b.finish()
+            return out
+
+        res = run_spmd(prog, 6, params=PARAMS)
+        for per_rank in res.return_values:
+            for k, value in enumerate(per_rank):
+                assert np.array_equal(value, np.full(4, float(k)))
+
+
+class TestFinish:
+    def test_finish_drains_send_handles(self):
+        def prog(ctx):
+            b = IBcast(ctx.world, 0)
+            yield from b.post()
+            yield from b.complete(np.zeros(16) if ctx.rank == 0 else None)
+            had = len(b._send_handles)
+            yield from b.finish()
+            return (had, len(b._send_handles))
+
+        res = run_spmd(prog, 8, params=PARAMS)
+        # Interior nodes had outstanding sends; afterwards nobody does.
+        assert any(had > 0 for had, _ in res.return_values)
+        assert all(left == 0 for _, left in res.return_values)
+
+    def test_finish_idempotent(self):
+        def prog(ctx):
+            b = IBcast(ctx.world, 0)
+            yield from b.post()
+            out = yield from b.complete(
+                np.zeros(4) if ctx.rank == 0 else None)
+            yield from b.finish()
+            yield from b.finish()  # second call must be a no-op
+            return out
+
+        res = run_spmd(prog, 4, params=PARAMS)
+        for value in res.return_values:
+            assert np.array_equal(value, np.zeros(4))
+
+
+class TestErrorPaths:
+    def test_bad_root_rejected(self):
+        def prog(ctx):
+            IBcast(ctx.world, 9)
+            yield from ctx.compute(0.0)
+
+        with pytest.raises(CommunicatorError, match="root 9"):
+            run_spmd(prog, 4, params=PARAMS)
+
+    def test_post_twice_rejected(self):
+        def prog(ctx):
+            b = IBcast(ctx.world, 0)
+            yield from b.post()
+            yield from b.post()
+
+        with pytest.raises(CommunicatorError, match="post called twice"):
+            run_spmd(prog, 2, params=PARAMS)
+
+    def test_complete_before_post_rejected(self):
+        def prog(ctx):
+            b = IBcast(ctx.world, 0)
+            yield from b.complete(np.zeros(2) if ctx.rank == 0 else None)
+
+        with pytest.raises(CommunicatorError, match="before post"):
+            run_spmd(prog, 2, params=PARAMS)
+
+    def test_complete_twice_rejected(self):
+        def prog(ctx):
+            b = IBcast(ctx.world, 0)
+            yield from b.post()
+            yield from b.complete(np.zeros(2) if ctx.rank == 0 else None)
+            yield from b.complete(np.zeros(2) if ctx.rank == 0 else None)
+
+        with pytest.raises(CommunicatorError, match="complete called twice"):
+            run_spmd(prog, 2, params=PARAMS)

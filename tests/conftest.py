@@ -8,6 +8,23 @@ import pytest
 from repro.network.model import HockneyParams
 
 
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--regen-golden",
+        action="store_true",
+        default=False,
+        help="rewrite golden reference files from the current output "
+             "instead of failing on a mismatch (commit the diff after "
+             "an intentional behaviour change)",
+    )
+
+
+@pytest.fixture
+def regen_golden(request: pytest.FixtureRequest) -> bool:
+    """True when the run should rewrite golden files (``--regen-golden``)."""
+    return request.config.getoption("--regen-golden")
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     """Deterministic RNG; tests that need other seeds spawn their own."""

@@ -1,28 +1,29 @@
-"""Regenerate the golden Chrome trace for test_metrics.py.
+"""Thin wrapper around ``pytest --regen-golden`` (kept for muscle memory).
 
-Run after an *intentional* exporter or simulator change:
+Golden regeneration now lives in the test suite itself: any golden test
+rewrites its reference file when run with the ``--regen-golden`` option
+(see tests/conftest.py and docs/observability.md).  Equivalent to:
 
-    PYTHONPATH=src python tests/metrics/regen_golden.py
+    PYTHONPATH=src python -m pytest tests/metrics --regen-golden
 """
 
+import os
 import pathlib
+import subprocess
 import sys
 
-sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[2] / "src"))
 
-from repro.core.summa import run_summa  # noqa: E402
-from repro.metrics import to_chrome_json  # noqa: E402
-from repro.payloads import PhantomArray  # noqa: E402
-
-
-def main() -> None:
-    A, B = PhantomArray((64, 64)), PhantomArray((64, 64))
-    _, sim = run_summa(A, B, grid=(2, 2), block=32, gamma=5e-9, trace=True)
-    out = pathlib.Path(__file__).parent / "golden_trace_2x2_summa.json"
-    out.write_text(to_chrome_json(sim) + "\n")
-    print(f"wrote {out} ({len(sim.trace)} transfers, "
-          f"{sum(1 for _ in sim.iter_spans())} spans)")
+def main() -> int:
+    repo = pathlib.Path(__file__).resolve().parents[2]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (str(repo / "src"), env.get("PYTHONPATH")) if p)
+    return subprocess.call(
+        [sys.executable, "-m", "pytest", str(repo / "tests" / "metrics"),
+         "--regen-golden", "-q"],
+        env=env,
+    )
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

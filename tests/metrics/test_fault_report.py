@@ -1,0 +1,63 @@
+"""The fault-accounting metrics view (``repro.metrics.fault_report``)."""
+
+import pytest
+
+from repro.metrics import FaultReport, FaultRow, fault_report
+from repro.simulator.tracing import RankStats, SimResult
+
+
+def _sim(stats):
+    return SimResult(stats=stats, return_values=[None] * len(stats))
+
+
+class TestFaultReport:
+    def test_clean_run_is_empty(self):
+        rep = fault_report(_sim([RankStats(rank=0), RankStats(rank=1)]))
+        assert rep.rows == ()
+        assert not rep.faulted
+        assert rep.total_retries == 0
+        assert rep.total_fault_delay == 0.0
+
+    def test_only_faulted_ranks_included(self):
+        rep = fault_report(_sim([
+            RankStats(rank=0),
+            RankStats(rank=1, retries=2, fault_delay=0.5),
+            RankStats(rank=2, timeouts=1),
+        ]))
+        assert [r.rank for r in rep.rows] == [1, 2]
+        assert rep.nranks == 3
+        assert rep.faulted
+
+    def test_totals(self):
+        rep = fault_report(_sim([
+            RankStats(rank=0, retries=2, fault_delay=0.5),
+            RankStats(rank=1, timeouts=3, recoveries=1, fault_delay=0.25),
+        ]))
+        assert rep.total_retries == 2
+        assert rep.total_timeouts == 3
+        assert rep.total_recoveries == 1
+        assert rep.total_fault_delay == pytest.approx(0.75)
+
+    def test_getitem_by_rank(self):
+        rep = fault_report(_sim([
+            RankStats(rank=0), RankStats(rank=1, retries=4)]))
+        assert rep[1] == FaultRow(rank=1, retries=4, timeouts=0,
+                                  recoveries=0, fault_delay=0.0)
+        with pytest.raises(KeyError):
+            rep[0]  # clean rank: not in the report
+
+    def test_table_and_csv(self):
+        rep = fault_report(_sim([
+            RankStats(rank=0, retries=2, fault_delay=0.5),
+            RankStats(rank=3, recoveries=1),
+        ]))
+        table = rep.to_table()
+        assert "rank" in table and "total" in table
+        assert "0.500000" in table
+        csv = rep.to_csv()
+        assert csv.splitlines()[0] == "rank,retries,timeouts,recoveries,fault_delay"
+        assert len(csv.splitlines()) == 3
+
+    def test_empty_table_renders(self):
+        table = FaultReport(nranks=2, rows=()).to_table()
+        assert "total" in table

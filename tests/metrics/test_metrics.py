@@ -178,13 +178,16 @@ class TestChromeExporter:
         doc = json.loads(out.read_text())
         assert doc["traceEvents"]
 
-    def test_golden_2x2_summa(self):
+    def test_golden_2x2_summa(self, regen_golden):
         """The exporter output on a fixed 2x2 SUMMA run is pinned: the
         trace is a reproducible artifact, so any diff here is a real
-        behaviour change (regenerate with tests/metrics/regen_golden.py)."""
-        produced = json.loads(to_chrome_json(_summa_2x2()))
+        behaviour change (regenerate with ``pytest --regen-golden``,
+        see docs/observability.md)."""
+        produced = to_chrome_json(_summa_2x2())
+        if regen_golden:
+            GOLDEN.write_text(produced + "\n")
         golden = json.loads(GOLDEN.read_text())
-        assert produced == golden
+        assert json.loads(produced) == golden
 
 
 class TestSpanCsv:

@@ -1,0 +1,122 @@
+"""Chaos/property tests: under *any* seeded transient fault schedule the
+algorithms must produce bit-identical products, and virtual time must be
+monotonically non-decreasing in fault severity."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.hsumma import run_hsumma
+from repro.core.summa import run_summa
+from repro.faults import (
+    FaultSchedule,
+    LinkDegradation,
+    MessageDrop,
+    RankSlowdown,
+)
+from repro.network.model import HockneyParams
+
+PARAMS = HockneyParams(alpha=1e-4, beta=1e-9)
+
+#: Small fixed inputs: the properties quantify over schedules, not data.
+_RNG = np.random.default_rng(2024)
+A16 = _RNG.standard_normal((16, 16))
+B16 = _RNG.standard_normal((16, 16))
+
+
+@st.composite
+def transient_schedules(draw):
+    """A random transient (death-free) schedule over a 4-rank world."""
+    faults = []
+    for _ in range(draw(st.integers(0, 2))):
+        faults.append(MessageDrop(
+            p=draw(st.floats(0.0, 0.7)),
+            src=draw(st.sampled_from([None, 0, 1, 2, 3])),
+            dst=draw(st.sampled_from([None, 0, 1, 2, 3])),
+        ))
+    for _ in range(draw(st.integers(0, 2))):
+        t0 = draw(st.floats(0.0, 0.01))
+        faults.append(LinkDegradation(
+            alpha_mult=draw(st.floats(1.0, 8.0)),
+            beta_mult=draw(st.floats(1.0, 8.0)),
+            t0=t0, t1=t0 + draw(st.floats(0.0, 0.05)),
+        ))
+    for _ in range(draw(st.integers(0, 1))):
+        faults.append(RankSlowdown(
+            rank=draw(st.integers(0, 3)),
+            factor=draw(st.floats(1.0, 10.0)),
+        ))
+    return FaultSchedule(seed=draw(st.integers(0, 2**32)), faults=faults)
+
+
+class TestBitIdenticalUnderTransients:
+    @settings(max_examples=25, deadline=None)
+    @given(sched=transient_schedules())
+    def test_summa_product_unchanged(self, sched):
+        clean, _ = run_summa(A16, B16, grid=(2, 2), block=4, params=PARAMS)
+        faulty, sim = run_summa(A16, B16, grid=(2, 2), block=4, params=PARAMS,
+                                faults=sched)
+        assert np.array_equal(clean, faulty)
+        assert sim.total_fault_delay >= 0.0
+
+    @settings(max_examples=25, deadline=None)
+    @given(sched=transient_schedules())
+    def test_hsumma_product_unchanged(self, sched):
+        clean, _ = run_hsumma(A16, B16, grid=(2, 2), groups=2, outer_block=4,
+                              params=PARAMS)
+        faulty, sim = run_hsumma(A16, B16, grid=(2, 2), groups=2,
+                                 outer_block=4, params=PARAMS, faults=sched)
+        assert np.array_equal(clean, faulty)
+
+    @settings(max_examples=10, deadline=None)
+    @given(sched=transient_schedules(), seed=st.integers(0, 2**16))
+    def test_faulty_run_never_faster(self, sched, seed):
+        """Faults only add delay: the faulted makespan is bounded below
+        by the fault-free one."""
+        rng = np.random.default_rng(seed)
+        A = rng.standard_normal((16, 16))
+        B = rng.standard_normal((16, 16))
+        _, clean = run_summa(A, B, grid=(2, 2), block=4, params=PARAMS)
+        _, faulty = run_summa(A, B, grid=(2, 2), block=4, params=PARAMS,
+                              faults=sched)
+        assert faulty.total_time >= clean.total_time
+
+
+class TestSeverityMonotonicity:
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 2**32),
+           p_lo=st.floats(0.0, 0.4), p_hi=st.floats(0.0, 0.4))
+    def test_more_drops_never_cheaper(self, seed, p_lo, p_hi):
+        """With a fixed seed the drop variates are fixed, so raising the
+        drop probability can only add retransmissions and delay."""
+        p_lo, p_hi = sorted((p_lo, p_hi))
+        times = []
+        for p in (p_lo, p_hi):
+            _, sim = run_summa(A16, B16, grid=(2, 2), block=4, params=PARAMS,
+                               faults=FaultSchedule(
+                                   seed=seed, faults=[MessageDrop(p=p)]))
+            times.append(sim.total_time)
+        assert times[1] >= times[0]
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 2**32), factor=st.floats(1.0, 8.0))
+    def test_degradation_scales_with_factor(self, seed, factor):
+        base = FaultSchedule(seed=seed, faults=[
+            LinkDegradation(beta_mult=factor)])
+        worse = FaultSchedule(seed=seed, faults=[
+            LinkDegradation(beta_mult=2.0 * factor)])
+        _, lo = run_summa(A16, B16, grid=(2, 2), block=4, params=PARAMS,
+                          faults=base)
+        _, hi = run_summa(A16, B16, grid=(2, 2), block=4, params=PARAMS,
+                          faults=worse)
+        assert hi.total_time >= lo.total_time
+
+    def test_drop_ladder_monotone(self):
+        """A fixed-seed severity ladder: 0 < 0.1 < 0.3 < 0.6 drop
+        probability gives non-decreasing makespans."""
+        times = []
+        for p in (0.0, 0.1, 0.3, 0.6):
+            faults = FaultSchedule(seed=99, faults=[MessageDrop(p=p)])
+            _, sim = run_summa(A16, B16, grid=(2, 2), block=4, params=PARAMS,
+                               faults=faults)
+            times.append(sim.total_time)
+        assert times == sorted(times)

@@ -61,3 +61,33 @@ class TestMergeMax:
         total, comm = merge_max([a, b])
         assert total == 2.0
         assert comm == 0.3
+
+
+class TestFaultCounters:
+    def test_defaults_are_zero(self):
+        s = RankStats(rank=0)
+        assert (s.retries, s.timeouts, s.recoveries, s.fault_delay) == (0, 0, 0, 0.0)
+
+    def test_totals_aggregate_over_ranks(self):
+        stats = [RankStats(rank=0, retries=2, fault_delay=0.5),
+                 RankStats(rank=1, timeouts=1, recoveries=1, fault_delay=0.25)]
+        res = SimResult(stats=stats, return_values=[None, None])
+        assert res.total_retries == 2
+        assert res.total_timeouts == 1
+        assert res.total_recoveries == 1
+        assert res.total_fault_delay == pytest.approx(0.75)
+        assert res.faulted
+
+    def test_clean_run_not_faulted(self):
+        res = _result([1.0], [0.5], [0.5])
+        assert not res.faulted
+
+    def test_fault_summary_mentions_every_counter(self):
+        stats = [RankStats(rank=0, retries=3, timeouts=2, recoveries=1,
+                           fault_delay=0.125)]
+        res = SimResult(stats=stats, return_values=[None])
+        text = res.fault_summary()
+        assert "3 retransmits" in text
+        assert "2 timeouts" in text
+        assert "1 recoveries" in text
+        assert "0.125000s" in text
