@@ -11,8 +11,9 @@ from conftest import run_once
 from repro.experiments.figures import fig5
 
 
-def test_fig5_group_sweep(benchmark, record_output):
-    series = run_once(benchmark, fig5)
+def test_fig5_group_sweep(benchmark, record_output, sweep_jobs, sweep_cache):
+    series = run_once(benchmark, fig5,
+                      jobs=sweep_jobs, cache=sweep_cache)
     best_g, best = series.min_of("hsumma_comm")
     summa = series.column("summa_comm")[0]
     lines = [

@@ -12,8 +12,9 @@ from conftest import run_once
 from repro.experiments.figures import fig7
 
 
-def test_fig7_scalability(benchmark, record_output):
-    series = run_once(benchmark, fig7)
+def test_fig7_scalability(benchmark, record_output, sweep_jobs, sweep_cache):
+    series = run_once(benchmark, fig7,
+                      jobs=sweep_jobs, cache=sweep_cache)
     hs = series.column("hsumma_comm")
     su = series.column("summa_comm")
     ratios = [s / h for s, h in zip(su, hs)]

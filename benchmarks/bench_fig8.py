@@ -16,8 +16,9 @@ from conftest import run_once
 from repro.experiments.figures import fig8
 
 
-def test_fig8_bgp_group_sweep(benchmark, record_output):
-    series = run_once(benchmark, fig8)
+def test_fig8_bgp_group_sweep(benchmark, record_output, sweep_jobs, sweep_cache):
+    series = run_once(benchmark, fig8,
+                      jobs=sweep_jobs, cache=sweep_cache)
     best_g, best_comm = series.min_of("hsumma_comm")
     _, best_total = series.min_of("hsumma_total")
     summa_comm = series.column("summa_comm")[0]

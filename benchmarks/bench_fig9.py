@@ -15,8 +15,9 @@ from conftest import run_once
 from repro.experiments.figures import fig9
 
 
-def test_fig9_bgp_scalability(benchmark, record_output):
-    series = run_once(benchmark, fig9)
+def test_fig9_bgp_scalability(benchmark, record_output, sweep_jobs, sweep_cache):
+    series = run_once(benchmark, fig9,
+                      jobs=sweep_jobs, cache=sweep_cache)
     hs = series.column("hsumma_comm")
     su = series.column("summa_comm")
     ratios = [s / h for s, h in zip(su, hs)]

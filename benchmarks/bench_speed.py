@@ -1,0 +1,196 @@
+#!/usr/bin/env python
+"""Engine speed benchmark: canonical workloads, baseline file, CI gate.
+
+Times a fixed set of workloads that together cover the simulator's hot
+paths — full DES SUMMA/HSUMMA, the macro collective backend at scale,
+and a faulty DES run — and writes the numbers to ``BENCH_engine.json``
+at the repository root.  The file keeps three numbers per workload:
+
+* ``seed``     — wall-clock of the pre-optimisation engine (measured
+                 once on the same machine, pinned in the committed file)
+* ``current``  — wall-clock of this run
+* ``speedup``  — seed / current
+
+Usage::
+
+    python benchmarks/bench_speed.py            # full workloads (~2 min)
+    python benchmarks/bench_speed.py --quick    # scaled-down CI smoke (~10 s)
+    python benchmarks/bench_speed.py --quick --check
+        # regression gate: fail (exit 1) if the DES smoke workload is
+        # more than GATE_SLOWDOWN x slower than the committed baseline
+
+``--check`` compares against the ``current`` numbers already in the
+committed ``BENCH_engine.json`` *before* overwriting them, so CI fails
+when a change regresses the engine even though the file is regenerated.
+
+Virtual results are bit-pinned elsewhere (golden trace/timing tests);
+this file is only about wall-clock.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+BASELINE_PATH = REPO_ROOT / "BENCH_engine.json"
+
+#: CI gate: fail when the gate workload runs slower than this factor
+#: times the committed baseline.  Generous on purpose — CI machines
+#: vary — while still catching a hot path accidentally reverted.
+GATE_SLOWDOWN = 1.5
+GATE_WORKLOAD = "des_summa_p64"
+
+
+# -- workloads ----------------------------------------------------------------
+#
+# Each is a zero-argument callable built fresh per repetition (payload
+# construction is inside the timed region only where it is negligible).
+
+def _grid5000(p):
+    from repro.platforms.grid5000 import grid5000_graphene
+
+    return grid5000_graphene(p)
+
+
+def _des_summa(n, grid, block, p):
+    from repro.core.summa import run_summa
+    from repro.payloads import PhantomArray
+
+    plat = _grid5000(p)
+    A, B = PhantomArray((n, n)), PhantomArray((n, n))
+    run_summa(A, B, grid=grid, block=block, network=plat.network(p),
+              options=plat.options, gamma=plat.gamma)
+
+
+def _des_hsumma(n, grid, groups, block, p):
+    from repro.core.hsumma import run_hsumma
+    from repro.payloads import PhantomArray
+
+    plat = _grid5000(p)
+    A, B = PhantomArray((n, n)), PhantomArray((n, n))
+    run_hsumma(A, B, grid=grid, groups=groups, outer_block=block,
+               network=plat.network(p), options=plat.options,
+               gamma=plat.gamma)
+
+
+def _macro_cyclic(n, grid, nb):
+    from repro.core.cyclic import run_cyclic
+    from repro.network.model import HockneyParams
+    from repro.payloads import PhantomArray
+
+    A, B = PhantomArray((n, n)), PhantomArray((n, n))
+    run_cyclic(A, B, grid=grid, nb=nb,
+               params=HockneyParams(alpha=1e-4, beta=1e-9),
+               gamma=1e-10, backend="macro")
+
+
+def _des_faulty_summa(n, grid, block, p):
+    from repro.core.summa import run_summa
+    from repro.faults import parse_fault_spec
+    from repro.payloads import PhantomArray
+
+    plat = _grid5000(p)
+    A, B = PhantomArray((n, n)), PhantomArray((n, n))
+    faults = parse_fault_spec(
+        "drop(p=0.02); slow(rank=3,factor=4)", seed=0
+    )
+    run_summa(A, B, grid=grid, block=block, network=plat.network(p),
+              options=plat.options, gamma=plat.gamma, faults=faults)
+
+
+FULL = {
+    "des_summa_p128": (lambda: _des_summa(2048, (8, 16), 64, 128), 3),
+    "des_hsumma_p128": (lambda: _des_hsumma(2048, (8, 16), 8, 64, 128), 3),
+    "macro_cyclic_p16384": (lambda: _macro_cyclic(32768, (128, 128), 256), 1),
+    "des_faulty_summa_p64": (lambda: _des_faulty_summa(1024, (8, 8), 64, 64), 3),
+}
+
+QUICK = {
+    "des_summa_p64": (lambda: _des_summa(1024, (8, 8), 64, 64), 3),
+    "des_hsumma_p64": (lambda: _des_hsumma(1024, (8, 8), 4, 64, 64), 3),
+    "macro_cyclic_p1024": (lambda: _macro_cyclic(8192, (32, 32), 256), 2),
+    "des_faulty_summa_p16": (lambda: _des_faulty_summa(512, (4, 4), 64, 16), 3),
+}
+
+
+def measure(workloads):
+    """Best-of-reps wall-clock per workload, in definition order."""
+    out = {}
+    for name, (fn, reps) in workloads.items():
+        best = min(_time_one(fn) for _ in range(reps))
+        out[name] = round(best, 4)
+        print(f"  {name:24s} {best:8.3f} s  (best of {reps})")
+    return out
+
+
+def _time_one(fn):
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def load_baseline():
+    try:
+        return json.loads(BASELINE_PATH.read_text())
+    except (FileNotFoundError, json.JSONDecodeError):
+        return {}
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="scaled-down smoke workloads (CI)")
+    parser.add_argument("--check", action="store_true",
+                        help="fail if the gate workload regressed "
+                             f">{GATE_SLOWDOWN}x vs the committed baseline")
+    parser.add_argument("--no-write", action="store_true",
+                        help="measure only; leave BENCH_engine.json alone")
+    args = parser.parse_args(argv)
+
+    mode = "quick" if args.quick else "full"
+    workloads = QUICK if args.quick else FULL
+    print(f"bench_speed ({mode} mode):")
+    baseline = load_baseline()
+    committed = baseline.get(mode, {})
+    current = measure(workloads)
+
+    # Regression gate — against the *committed* numbers, read above.
+    status = 0
+    if args.check:
+        old = committed.get(GATE_WORKLOAD, {}).get("current")
+        new = current.get(GATE_WORKLOAD)
+        if old is None or new is None:
+            print(f"gate: no committed baseline for {GATE_WORKLOAD}; skipped")
+        elif new > GATE_SLOWDOWN * old:
+            print(f"gate: FAIL — {GATE_WORKLOAD} took {new:.3f} s, "
+                  f"baseline {old:.3f} s ({new / old:.2f}x > "
+                  f"{GATE_SLOWDOWN}x allowed)")
+            status = 1
+        else:
+            print(f"gate: ok — {GATE_WORKLOAD} {new:.3f} s vs baseline "
+                  f"{old:.3f} s ({new / old:.2f}x)")
+
+    if not args.no_write:
+        section = {}
+        for name, secs in current.items():
+            seed = committed.get(name, {}).get("seed")
+            entry = {"seed": seed, "current": secs}
+            if seed:
+                entry["speedup"] = round(seed / secs, 2)
+            section[name] = entry
+        baseline[mode] = section
+        baseline["gate"] = {"workload": GATE_WORKLOAD,
+                            "max_slowdown": GATE_SLOWDOWN, "mode": "quick"}
+        BASELINE_PATH.write_text(
+            json.dumps(baseline, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {BASELINE_PATH.relative_to(REPO_ROOT)}")
+    return status
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    raise SystemExit(main())

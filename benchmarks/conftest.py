@@ -3,15 +3,57 @@
 Every benchmark regenerates one table or figure of the paper, prints it
 (visible with ``pytest -s``) and also writes it under
 ``benchmarks/results/`` so the artefacts survive output capturing.
+Wall-clock per benchmark additionally lands in
+``benchmarks/results/bench_times.json``, so any full benchmark run
+feeds the performance trajectory (see docs/performance.md).
+
+Sweep-based benchmarks accept two suite-wide knobs:
+
+* ``--sweep-jobs N`` — fan independent sweep points across N worker
+  processes (results are bit-identical for every N).
+* ``--sweep-cache`` — reuse previously computed sweep points from
+  ``benchmarks/results/.cache/`` (content-addressed; entries invalidate
+  automatically when anything that can change a result changes).
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
+import time
 
 import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+TIMES_PATH = RESULTS_DIR / "bench_times.json"
+CACHE_DIR = RESULTS_DIR / ".cache"
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--sweep-jobs", type=int, default=1, metavar="N",
+        help="worker processes for independent sweep points (default 1)",
+    )
+    parser.addoption(
+        "--sweep-cache", action="store_true",
+        help="reuse cached sweep points from benchmarks/results/.cache/",
+    )
+
+
+@pytest.fixture
+def sweep_jobs(request) -> int:
+    return request.config.getoption("--sweep-jobs")
+
+
+@pytest.fixture
+def sweep_cache(request):
+    """A SweepCache under benchmarks/results/.cache/, or None when the
+    run did not opt in with --sweep-cache."""
+    if not request.config.getoption("--sweep-cache"):
+        return None
+    from repro.experiments.parallel import SweepCache
+
+    return SweepCache(CACHE_DIR)
 
 
 @pytest.fixture
@@ -29,12 +71,27 @@ def record_output():
     return write
 
 
+def _record_time(name: str, seconds: float) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    try:
+        times = json.loads(TIMES_PATH.read_text())
+    except (FileNotFoundError, json.JSONDecodeError):
+        times = {}
+    times[name] = round(seconds, 6)
+    TIMES_PATH.write_text(json.dumps(times, indent=2, sort_keys=True) + "\n")
+
+
 def run_once(benchmark, fn, *args, **kwargs):
     """Run ``fn`` exactly once under pytest-benchmark timing.
 
     The reproduction sweeps are deterministic simulations — repeating
     them only reruns identical arithmetic — so one round is both honest
-    and fast.
+    and fast.  Wall-clock is also appended to
+    ``benchmarks/results/bench_times.json`` keyed by benchmark name, so
+    every benchmark run contributes a point to the speed trajectory.
     """
-    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
-                              rounds=1, iterations=1, warmup_rounds=0)
+    start = time.perf_counter()
+    result = benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                rounds=1, iterations=1, warmup_rounds=0)
+    _record_time(benchmark.name, time.perf_counter() - start)
+    return result

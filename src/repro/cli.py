@@ -33,7 +33,12 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         "9": figures.fig9,
         "10": figures.fig10,
     }[args.number]
-    series = driver()
+    kwargs = {"jobs": args.jobs}
+    if args.cache_dir is not None:
+        from repro.experiments.parallel import SweepCache
+
+        kwargs["cache"] = SweepCache(args.cache_dir)
+    series = driver(**kwargs)
     if args.csv:
         print(series.to_csv(), end="")
     else:
@@ -258,6 +263,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig = sub.add_parser("figure", help="regenerate a paper figure")
     p_fig.add_argument("number", choices=["5", "6", "7", "8", "9", "10"])
     p_fig.add_argument("--csv", action="store_true", help="emit CSV")
+    p_fig.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="evaluate independent sweep points across N worker processes",
+    )
+    p_fig.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="reuse previously computed sweep points from this directory "
+             "(content-addressed; safe across concurrent runs)",
+    )
     p_fig.set_defaults(func=_cmd_figure)
 
     p_tab = sub.add_parser("tables", help="print Tables I and II")

@@ -17,13 +17,15 @@ overridden (the test suite runs scaled-down variants).
 
 from __future__ import annotations
 
-from typing import Sequence
+import dataclasses
+from typing import Any, Mapping, Sequence
 
 from repro.core.grouping import choose_group_grid, valid_group_counts
 from repro.core.hsumma import HSummaConfig
 from repro.core.summa import SummaConfig
 from repro.errors import ConfigurationError
 from repro.experiments.harness import Series
+from repro.experiments.parallel import SweepCache, parallel_map
 from repro.experiments.stepmodel import (
     AnalyticCoster,
     CollectiveCoster,
@@ -35,6 +37,7 @@ from repro.experiments.stepmodel import (
 from repro.models.exascale import ExascaleScenario, exascale_prediction
 from repro.platforms.base import Platform
 from repro.platforms.bluegene import bluegene_p
+from repro.platforms.exa import exascale_2012
 from repro.platforms.grid5000 import grid5000_graphene
 from repro.util.gridmath import factor_grid
 
@@ -52,6 +55,101 @@ def _coster(platform: Platform, p: int, kind: str) -> CollectiveCoster:
     )
 
 
+# -- sweep points -------------------------------------------------------------
+#
+# One sweep point = one (platform, p, n, block, G) evaluation; G=None is
+# the SUMMA reference.  Points are described by JSON specs so they can
+# cross a process boundary and double as cache keys (see
+# repro.experiments.parallel).  Worker processes rebuild the platform
+# from its registered factory; the spec embeds the platform signature
+# (Hockney parameters, gamma, collective options), so any preset change
+# invalidates cached entries and _portable() refuses to ship customised
+# platform objects to workers that would rebuild the stock one.
+
+_PLATFORM_FACTORIES = {
+    "grid5000-graphene": grid5000_graphene,
+    "bluegene-p": bluegene_p,
+    "exascale-2012": exascale_2012,
+}
+
+
+def _platform_sig(platform: Platform) -> dict[str, Any]:
+    return {
+        "alpha": platform.params.alpha,
+        "beta": platform.params.beta,
+        "gamma": platform.gamma,
+        "options": dataclasses.asdict(platform.options),
+    }
+
+
+def _portable(platform: Platform) -> bool:
+    """True when worker processes can rebuild ``platform`` faithfully
+    from its name alone."""
+    factory = _PLATFORM_FACTORIES.get(platform.name)
+    if factory is None:
+        return False
+    return _platform_sig(factory(platform.nranks)) == _platform_sig(platform)
+
+
+def _point_spec(platform: Platform, p: int, n: int, block: int,
+                kind: str, G: int | None) -> dict[str, Any]:
+    return {
+        "kind": kind,
+        "platform": platform.name,
+        "sig": _platform_sig(platform),
+        "p": p,
+        "n": n,
+        "block": block,
+        "G": G,
+        "faults": None,  # reserved: sweeps are healthy-run today
+    }
+
+
+def _eval_point(platform: Platform, spec: Mapping[str, Any]) -> dict[str, float]:
+    """Evaluate one sweep point on an already-built platform."""
+    p, n, block, G = spec["p"], spec["n"], spec["block"], spec["G"]
+    kind = spec["kind"]
+    s, t = factor_grid(p)
+    gamma = platform.gamma
+    if kind == "des":
+        from repro.core.hsumma import run_hsumma
+        from repro.core.summa import run_summa
+        from repro.payloads import PhantomArray
+
+        A = PhantomArray((n, n))
+        B = PhantomArray((n, n))
+        if G is None:
+            _, sim = run_summa(
+                A, B, grid=(s, t), block=block, network=platform.network(p),
+                options=platform.options, gamma=gamma,
+            )
+        else:
+            _, sim = run_hsumma(
+                A, B, grid=(s, t), groups=G, outer_block=block,
+                network=platform.network(p), options=platform.options,
+                gamma=gamma,
+            )
+        return {"comm": sim.comm_time, "total": sim.total_time}
+    coster = _coster(platform, p, kind)
+    if G is None:
+        scfg = SummaConfig(m=n, l=n, n=n, s=s, t=t, block=block)
+        rep = summa_step_model(scfg, coster, gamma)
+    else:
+        I, J = choose_group_grid(s, t, G)
+        hcfg = HSummaConfig(
+            m=n, l=n, n=n, s=s, t=t, I=I, J=J,
+            outer_block=block, inner_block=block,
+        )
+        rep = hsumma_step_model(hcfg, coster, gamma)
+    return {"comm": rep.comm_time, "total": rep.total_time}
+
+
+def _sweep_point(spec: Mapping[str, Any]) -> dict[str, float]:
+    """Worker entry point: rebuild the platform by name, then evaluate."""
+    factory = _PLATFORM_FACTORIES[spec["platform"]]
+    return _eval_point(factory(spec["p"]), spec)
+
+
 def group_sweep(
     platform: Platform,
     p: int,
@@ -61,6 +159,8 @@ def group_sweep(
     groups: Sequence[int] | None = None,
     coster_kind: str = "micro",
     name: str = "sweep",
+    jobs: int = 1,
+    cache: SweepCache | None = None,
 ) -> Series:
     """Comm/total time of HSUMMA per group count, with the SUMMA
     reference — the common core of figures 5, 6, 8 and 10.
@@ -68,74 +168,42 @@ def group_sweep(
     ``coster_kind="des"`` bypasses the step model entirely and runs the
     full event simulation per configuration (phantom payloads) —
     exact, but only sensible for small ``p``.
+
+    Points are independent: ``jobs > 1`` fans them across worker
+    processes and ``cache`` reuses previously computed points from
+    disk.  Both are transparent — the Series is identical for every
+    ``jobs`` value and cache state (results merge in input order, and
+    cache keys hash every parameter that can influence a point).
+    Platforms not rebuildable from their registered name are computed
+    in-process and uncached.
     """
     s, t = factor_grid(p)
     if groups is None:
         groups = valid_group_counts(s, t)
-    gamma = platform.gamma
 
+    specs = [_point_spec(platform, p, n, block, coster_kind, G)
+             for G in (None, *groups)]
+    if _portable(platform):
+        points = parallel_map(_sweep_point, specs, jobs=jobs, cache=cache)
+    else:
+        points = [_eval_point(platform, spec) for spec in specs]
+
+    sref, hs = points[0], points[1:]
+    meta: dict[str, Any] = {"platform": platform.name, "p": p, "n": n,
+                            "b": block}
     if coster_kind == "des":
-        from repro.core.hsumma import run_hsumma
-        from repro.core.summa import run_summa
-        from repro.payloads import PhantomArray
-
-        A = PhantomArray((n, n))
-        B = PhantomArray((n, n))
-        _, sim = run_summa(
-            A, B, grid=(s, t), block=block, network=platform.network(p),
-            options=platform.options, gamma=gamma,
-        )
-        sref_comm, sref_total = sim.comm_time, sim.total_time
-        hs_comm, hs_total = [], []
-        for G in groups:
-            _, sim = run_hsumma(
-                A, B, grid=(s, t), groups=G, outer_block=block,
-                network=platform.network(p), options=platform.options,
-                gamma=gamma,
-            )
-            hs_comm.append(sim.comm_time)
-            hs_total.append(sim.total_time)
-        return Series(
-            name=name,
-            xlabel="groups",
-            x=list(groups),
-            columns={
-                "hsumma_comm": hs_comm,
-                "summa_comm": [sref_comm] * len(groups),
-                "hsumma_total": hs_total,
-                "summa_total": [sref_total] * len(groups),
-            },
-            meta={"platform": platform.name, "p": p, "n": n, "b": block,
-                  "fidelity": "des"},
-        )
-
-    coster = _coster(platform, p, coster_kind)
-
-    scfg = SummaConfig(m=n, l=n, n=n, s=s, t=t, block=block)
-    sref = summa_step_model(scfg, coster, gamma)
-
-    hs_comm, hs_total = [], []
-    for G in groups:
-        I, J = choose_group_grid(s, t, G)
-        hcfg = HSummaConfig(
-            m=n, l=n, n=n, s=s, t=t, I=I, J=J,
-            outer_block=block, inner_block=block,
-        )
-        rep = hsumma_step_model(hcfg, coster, gamma)
-        hs_comm.append(rep.comm_time)
-        hs_total.append(rep.total_time)
-
+        meta["fidelity"] = "des"
     return Series(
         name=name,
         xlabel="groups",
         x=list(groups),
         columns={
-            "hsumma_comm": hs_comm,
-            "summa_comm": [sref.comm_time] * len(groups),
-            "hsumma_total": hs_total,
-            "summa_total": [sref.total_time] * len(groups),
+            "hsumma_comm": [pt["comm"] for pt in hs],
+            "summa_comm": [sref["comm"]] * len(groups),
+            "hsumma_total": [pt["total"] for pt in hs],
+            "summa_total": [sref["total"]] * len(groups),
         },
-        meta={"platform": platform.name, "p": p, "n": n, "b": block},
+        meta=meta,
     )
 
 
@@ -145,11 +213,13 @@ def fig5(
     block: int = 64,
     *,
     coster_kind: str = "micro",
+    jobs: int = 1,
+    cache: SweepCache | None = None,
 ) -> Series:
     """Figure 5: HSUMMA vs SUMMA comm time on Grid5000, b = B = 64."""
     return group_sweep(
         grid5000_graphene(p), p, n, block,
-        coster_kind=coster_kind, name="fig5",
+        coster_kind=coster_kind, name="fig5", jobs=jobs, cache=cache,
     )
 
 
@@ -159,11 +229,13 @@ def fig6(
     block: int = 512,
     *,
     coster_kind: str = "micro",
+    jobs: int = 1,
+    cache: SweepCache | None = None,
 ) -> Series:
     """Figure 6: same sweep with the largest block, b = B = 512."""
     return group_sweep(
         grid5000_graphene(p), p, n, block,
-        coster_kind=coster_kind, name="fig6",
+        coster_kind=coster_kind, name="fig6", jobs=jobs, cache=cache,
     )
 
 
@@ -173,6 +245,8 @@ def fig7(
     block: int = 512,
     *,
     coster_kind: str = "micro",
+    jobs: int = 1,
+    cache: SweepCache | None = None,
 ) -> Series:
     """Figure 7: Grid5000 scalability — comm time vs processor count,
     HSUMMA at its per-p best group count."""
@@ -181,6 +255,7 @@ def fig7(
         sweep = group_sweep(
             grid5000_graphene(p), p, n, block,
             coster_kind=coster_kind, name="fig7-inner",
+            jobs=jobs, cache=cache,
         )
         g, t = sweep.min_of("hsumma_comm")
         hs.append(t)
@@ -202,6 +277,8 @@ def fig8(
     *,
     groups: Sequence[int] | None = None,
     coster_kind: str = "topology",
+    jobs: int = 1,
+    cache: SweepCache | None = None,
 ) -> Series:
     """Figure 8: BlueGene/P 16384 cores — overall and comm time vs G."""
     if groups is None:
@@ -211,6 +288,7 @@ def fig8(
     return group_sweep(
         bluegene_p(p), p, n, block,
         groups=groups, coster_kind=coster_kind, name="fig8",
+        jobs=jobs, cache=cache,
     )
 
 
@@ -220,6 +298,8 @@ def fig9(
     block: int = 256,
     *,
     coster_kind: str = "topology",
+    jobs: int = 1,
+    cache: SweepCache | None = None,
 ) -> Series:
     """Figure 9: BlueGene/P scalability — comm time vs core count,
     HSUMMA at its per-p best group count."""
@@ -230,6 +310,7 @@ def fig9(
         sweep = group_sweep(
             bluegene_p(p), p, n, block,
             groups=groups, coster_kind=coster_kind, name="fig9-inner",
+            jobs=jobs, cache=cache,
         )
         g, tmin = sweep.min_of("hsumma_comm")
         hs.append(tmin)
@@ -247,8 +328,16 @@ def fig9(
 def fig10(
     scenario: ExascaleScenario | None = None,
     groups: Sequence[int] | None = None,
+    *,
+    jobs: int = 1,
+    cache: SweepCache | None = None,
 ) -> Series:
-    """Figure 10: exascale prediction — model time vs G, p = 2^20."""
+    """Figure 10: exascale prediction — model time vs G, p = 2^20.
+
+    ``jobs``/``cache`` are accepted for driver uniformity but unused:
+    the prediction is a closed-form model evaluated in microseconds,
+    so there is nothing worth fanning out or caching."""
+    del jobs, cache
     sc = scenario or ExascaleScenario()
     pred = exascale_prediction(sc, list(groups) if groups else None)
     gs = pred["groups"]
@@ -276,6 +365,8 @@ def headline_ratios(
     block: int = 256,
     *,
     coster_kind: str = "topology",
+    jobs: int = 1,
+    cache: SweepCache | None = None,
 ) -> dict[int, dict[str, float]]:
     """The paper's headline claims: comm-time and overall-time ratios of
     SUMMA over best-G HSUMMA on BG/P (2.08x / 5.89x comm, 1.2x / 2.36x
@@ -287,6 +378,7 @@ def headline_ratios(
         sweep = group_sweep(
             bluegene_p(p), p, n, block,
             groups=groups, coster_kind=coster_kind, name="headline",
+            jobs=jobs, cache=cache,
         )
         g_c, hs_comm = sweep.min_of("hsumma_comm")
         _, hs_total = sweep.min_of("hsumma_total")

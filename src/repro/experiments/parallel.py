@@ -1,0 +1,170 @@
+"""Parallel sweep execution with an on-disk content-hash result cache.
+
+Every paper figure is a *sweep*: the same deterministic simulation (or
+step model) evaluated at many independent configurations — group
+counts, processor counts, block sizes.  Points share nothing, so they
+are embarrassingly parallel; and because the simulator is bit-exact,
+a point's result is a pure function of its configuration, so it can be
+cached on disk and reused across runs forever (until the algorithms
+themselves change — see :data:`SWEEP_CACHE_SALT`).
+
+Two pieces:
+
+* :func:`parallel_map` — evaluate ``fn(spec)`` over a list of specs,
+  optionally across worker processes, returning results **in input
+  order** regardless of completion order (the deterministic merge; a
+  sweep's output must not depend on ``--jobs``).
+* :class:`SweepCache` — maps ``sha256(fn, salt, spec)`` to the point's
+  JSON result under a cache directory (the benchmarks use
+  ``benchmarks/results/.cache/``).
+
+Constraints for ``fn``: it must be a *module-level* function (worker
+processes import it by qualified name via pickle) and ``spec``/result
+must be JSON-serialisable — which they want to be anyway, since the
+spec doubles as the cache key and the result as the cached value.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+import tempfile
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.errors import ConfigurationError
+
+#: Version salt folded into every cache key.  Bump whenever a change —
+#: an engine optimisation gone wrong, a collective algorithm fix, a
+#: cost-model correction — could alter any sweep point's value: every
+#: previously cached entry then misses and is recomputed.
+SWEEP_CACHE_SALT = "des-hotpath-1"
+
+#: Distinguishes "not cached" from a cached ``None``.
+_MISS = object()
+
+
+def spec_key(fn_name: str, spec: Mapping[str, Any],
+             salt: str = SWEEP_CACHE_SALT) -> str:
+    """Content hash of one sweep point: function identity + version
+    salt + canonical-JSON spec.  Any parameter that can influence the
+    result — network parameters, grid shape, block sizes, fault spec —
+    must be inside ``spec``; two specs differing in any leaf hash to
+    different keys."""
+    try:
+        blob = json.dumps(
+            {"fn": fn_name, "salt": salt, "spec": spec},
+            sort_keys=True, separators=(",", ":"),
+        )
+    except TypeError as exc:
+        raise ConfigurationError(
+            f"sweep spec is not JSON-serialisable: {exc}"
+        ) from None
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class SweepCache:
+    """On-disk result cache for sweep points.
+
+    One JSON file per point under ``root``, named by the content hash
+    of (function, salt, spec).  Entries record their spec and salt, so
+    the cache is self-describing and :meth:`prune` can drop entries
+    written under older salts.  Writes are atomic (rename from a temp
+    file), making concurrent sweeps over the same cache safe.
+    """
+
+    def __init__(self, root: str | os.PathLike,
+                 *, salt: str = SWEEP_CACHE_SALT):
+        self.root = pathlib.Path(root)
+        self.salt = salt
+
+    def _path(self, key: str) -> pathlib.Path:
+        return self.root / f"{key}.json"
+
+    def lookup(self, fn_name: str, spec: Mapping[str, Any]) -> Any:
+        """Cached value for the point, or the module's miss sentinel."""
+        path = self._path(spec_key(fn_name, spec, self.salt))
+        try:
+            entry = json.loads(path.read_text())
+        except (FileNotFoundError, json.JSONDecodeError):
+            return _MISS
+        return entry.get("value")
+
+    def store(self, fn_name: str, spec: Mapping[str, Any], value: Any) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        key = spec_key(fn_name, spec, self.salt)
+        entry = {"fn": fn_name, "salt": self.salt, "spec": dict(spec),
+                 "value": value}
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(entry, fh, sort_keys=True)
+            os.replace(tmp, self._path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def prune(self) -> int:
+        """Delete entries written under a different salt; returns the
+        number removed.  (Stale entries are already unreachable — their
+        keys embed the old salt — so this is purely disk hygiene.)"""
+        removed = 0
+        if not self.root.is_dir():
+            return 0
+        for path in self.root.glob("*.json"):
+            try:
+                entry = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError):
+                continue
+            if entry.get("salt") != self.salt:
+                path.unlink(missing_ok=True)
+                removed += 1
+        return removed
+
+
+def parallel_map(
+    fn: Callable[[Mapping[str, Any]], Any],
+    specs: Sequence[Mapping[str, Any]],
+    *,
+    jobs: int | None = 1,
+    cache: SweepCache | None = None,
+) -> list[Any]:
+    """Evaluate ``fn`` at every spec; return results in input order.
+
+    ``jobs > 1`` fans uncached points across that many worker
+    processes.  Completion order is arbitrary, but results are merged
+    by input index, so the returned list — and anything derived from
+    it — is identical for every ``jobs`` value.  With a ``cache``,
+    hits are served from disk and misses are stored after evaluation.
+    """
+    if jobs is not None and jobs < 1:
+        raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+    fn_name = f"{fn.__module__}.{fn.__qualname__}"
+    results: list[Any] = [None] * len(specs)
+    pending: list[int] = []
+    for i, spec in enumerate(specs):
+        if cache is not None:
+            hit = cache.lookup(fn_name, spec)
+            if hit is not _MISS:
+                results[i] = hit
+                continue
+        pending.append(i)
+
+    if jobs is not None and jobs > 1 and len(pending) > 1:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+            futures = {pool.submit(fn, specs[i]): i for i in pending}
+            for fut in as_completed(futures):
+                results[futures[fut]] = fut.result()
+    else:
+        for i in pending:
+            results[i] = fn(specs[i])
+
+    if cache is not None:
+        for i in pending:
+            cache.store(fn_name, specs[i], results[i])
+    return results

@@ -45,8 +45,8 @@ from repro.simulator.requests import (
     ISendRequest,
     RecvRequest,
     RequestHandle,
+    SendRecvRequest,
     SendRequest,
-    WaitRequest,
     payload_nbytes,
 )
 from repro.simulator.spans import SpanCloseRequest, SpanOpenRequest
@@ -275,6 +275,7 @@ class Comm:
         self._child_seq = itertools.count()
         self._coll_seq = itertools.count()
         self._ft_seq = itertools.count()  # ft-bcast invocation salts
+        self._tag_cache: dict[int, tuple] = {}
 
     # -- identity -----------------------------------------------------------
 
@@ -302,7 +303,14 @@ class Comm:
             )
 
     def _tag(self, tag: int) -> tuple:
-        return (self._cid, tag)
+        # Wire tags repeat across the steps of bulk-synchronous
+        # algorithms; interning the (cid, tag) tuple keeps the engine's
+        # channel-table probes on identical objects (equal either way —
+        # this is purely an allocation saving).
+        wire = self._tag_cache.get(tag)
+        if wire is None:
+            wire = self._tag_cache[tag] = (self._cid, tag)
+        return wire
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Comm(size={self.size}, rank={self.rank}, cid={self._cid})"
@@ -368,16 +376,21 @@ class Comm:
         handle = yield IRecvRequest(self._world_ranks[source], self._tag(tag))
         return handle
 
+    # A bare RequestHandle yielded to the engine waits on itself; the
+    # wait helpers yield handles directly rather than allocating a
+    # WaitRequest wrapper per wait (identical semantics — see the
+    # engine's dispatch table).
+
     def wait(self, handle: RequestHandle) -> Gen:
         """Block until ``handle`` completes; returns irecv payload."""
-        payload = yield WaitRequest(handle)
+        payload = yield handle
         return payload
 
     def waitall(self, handles: Sequence[RequestHandle]) -> Gen:
         """Wait on every handle; returns payloads in handle order."""
         results = []
         for handle in handles:
-            payload = yield WaitRequest(handle)
+            payload = yield handle
             results.append(payload)
         return results
 
@@ -393,12 +406,15 @@ class Comm:
         """Simultaneous send+receive (the Cannon/Fox shift primitive)."""
         self._check_rank(dest)
         self._check_rank(source)
-        shandle = yield ISendRequest(
-            self._world_ranks[dest], self._tag(sendtag), sendobj, nbytes
+        world = self._world_ranks
+        # The engine's fused shift primitive: both posts plus both
+        # waits (receive first, send second) in one resume — identical
+        # on the wire and in every charged wait time to the explicit
+        # isend/irecv/wait sequence.
+        payload = yield SendRecvRequest(
+            world[dest], world[source], self._tag(sendtag),
+            self._tag(recvtag), sendobj, nbytes,
         )
-        rhandle = yield IRecvRequest(self._world_ranks[source], self._tag(recvtag))
-        payload = yield WaitRequest(rhandle)
-        yield WaitRequest(shandle)
         return payload
 
     # -- collectives ----------------------------------------------------------
@@ -442,10 +458,11 @@ class Comm:
         ``algorithm`` overrides the context default for this call.
         """
         self._check_rank(root)
-        options = self.options
+        ctx = self._ctx
+        options = ctx.options
         name = algorithm or options.bcast
         segments = options.bcast_segments
-        if self._ctx.trace:
+        if ctx.trace:
             yield SpanOpenRequest(
                 "coll.bcast",
                 {"comm_size": self.size, "algorithm": name, "root": root},
@@ -461,7 +478,7 @@ class Comm:
             result = yield from algo(self, obj, root, segments=segments)
         else:
             result = reply.value
-        if self._ctx.trace:
+        if ctx.trace:
             yield SpanCloseRequest({"nbytes": _wire_size(result)})
         return result
 

@@ -18,6 +18,7 @@ round trip.
 from __future__ import annotations
 
 import dataclasses
+import functools
 from typing import Any, Sequence
 
 import numpy as np
@@ -42,14 +43,17 @@ class PhantomArray:
         if self.itemsize <= 0:
             raise DataMismatchError(f"itemsize must be positive, got {self.itemsize}")
 
-    @property
+    # cached_property writes through __dict__, which a frozen dataclass
+    # permits — the husk is immutable, so both values are constants and
+    # the simulator reads nbytes on every send of every message.
+    @functools.cached_property
     def size(self) -> int:
         n = 1
         for s in self.shape:
             n *= s
         return n
 
-    @property
+    @functools.cached_property
     def nbytes(self) -> int:
         return self.size * self.itemsize
 
@@ -88,7 +92,9 @@ class _Segment:
     shape: tuple[int, ...]  # original payload shape
     phantom: bool
 
-    @property
+    # Queried on every hop the segment travels (ring allgathers ask
+    # size-1 times); the segment is frozen, so cache the answer.
+    @functools.cached_property
     def nbytes(self) -> int:
         return int(self.data.nbytes)
 
@@ -165,8 +171,52 @@ def join_payload(segments: Sequence[_Segment]) -> Any:
     if segs[0].phantom:
         itemsize = segs[0].data.itemsize
         return PhantomArray(shape, itemsize)
+    base = _contiguous_base(segs)
+    if base is not None:
+        # Zero-copy fast path: the segments are untouched in-order
+        # views of one flat buffer (the common case — a split that
+        # travelled through the simulator and came back whole), so the
+        # buffer itself *is* the joined payload.  Payloads move by
+        # reference through the simulated wire, so handing back the
+        # shared buffer matches what an unsegmented broadcast does.
+        return base.reshape(shape)
     flat = np.concatenate([s.data for s in segs])
     return flat.reshape(shape)
+
+
+def _contiguous_base(segments: Sequence[_Segment]) -> Any:
+    """The single flat buffer ``segments`` are in-order contiguous views
+    of, or None when they aren't (then joining must copy).
+
+    Zero-size segments carry no bytes and are skipped entirely — their
+    (arbitrary) data pointers say nothing about adjacency.
+    """
+    base = None
+    expected_ptr = None
+    covered = 0
+    for seg in segments:
+        data = seg.data
+        n = data.size
+        if n == 0:
+            continue
+        if data.base is None or not data.flags.c_contiguous:
+            return None
+        ptr = data.__array_interface__["data"][0]
+        if base is None:
+            base = data.base
+            if (not isinstance(base, np.ndarray) or base.ndim != 1
+                    or not base.flags.c_contiguous
+                    or ptr != base.__array_interface__["data"][0]):
+                return None
+        elif data.base is not base or ptr != expected_ptr:
+            return None
+        if data.dtype != base.dtype:
+            return None
+        expected_ptr = ptr + data.nbytes
+        covered += n
+    if base is None or covered != base.size:
+        return None
+    return base
 
 
 def combine_payloads(a: Any, b: Any) -> Any:

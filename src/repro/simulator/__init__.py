@@ -19,6 +19,7 @@ from repro.simulator.requests import (
     ISendRequest,
     RecvRequest,
     RequestHandle,
+    SendRecvRequest,
     SendRequest,
     WaitRequest,
     payload_nbytes,
@@ -42,6 +43,7 @@ __all__ = [
     "RankStats",
     "RecvRequest",
     "RequestHandle",
+    "SendRecvRequest",
     "SendRequest",
     "SimResult",
     "Span",

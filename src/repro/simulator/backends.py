@@ -36,7 +36,7 @@ Why it scales: a p=16384 HSUMMA step is ~3 events instead of ~10^5.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Any, Callable, Iterable
+from typing import Any, Iterable
 
 from repro.errors import ConfigurationError
 from repro.network.model import Network
@@ -44,6 +44,10 @@ from repro.payloads import combine_payloads
 from repro.simulator.engine import Engine, RankProgram, _RankState
 from repro.simulator.requests import CollectiveReply, CollectiveRequest
 from repro.simulator.tracing import SimResult
+
+#: Sentinel for "no previous payload" in the reply-reuse loop; never a
+#: value a collective can produce.
+_NOTHING = object()
 
 
 class Backend(ABC):
@@ -175,30 +179,27 @@ class MacroBackend(Engine, Backend):
         finish = start + duration
         results = _op_results(req0.op, req0.root, p, payloads)
         self._events.push(
-            finish, self._make_collective_done(entry, results, finish)
+            finish, self._collective_done, (entry, results, finish)
         )
 
-    def _make_collective_done(
+    def _collective_done(
         self,
         entry: list[tuple[_RankState, CollectiveRequest]],
         results: list[Any],
         finish: float,
-    ) -> Callable[[], None]:
-        def done() -> None:
-            resume = self._resume
-            reply = None
-            prev = done  # sentinel no payload can be
-            for st, req in entry:
-                st.stats.comm_time += finish - st.block_start
-                value = results[req.me]
-                if reply is None or value is not prev:
-                    # bcast/allgather/allreduce/barrier hand every rank
-                    # the same object; one reply wrapper serves them all.
-                    reply = CollectiveReply(value)
-                    prev = value
-                resume(st, reply, finish)
-
-        return done
+    ) -> None:
+        resume = self._resume
+        reply = None
+        prev = _NOTHING
+        for st, req in entry:
+            st.stats.comm_time += finish - st.block_start
+            value = results[req.me]
+            if reply is None or value is not prev:
+                # bcast/allgather/allreduce/barrier hand every rank
+                # the same object; one reply wrapper serves them all.
+                reply = CollectiveReply(value)
+                prev = value
+            resume(st, reply, finish)
 
 
 def _default_coster(network: Network, *, contention: bool) -> Any:

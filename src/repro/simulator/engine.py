@@ -19,12 +19,32 @@ Semantics
 
 The engine is single-threaded and fully deterministic: equal-time
 events run in scheduling order.
+
+Hot path
+--------
+This module is the bottom of every figure and test in the repository,
+so its inner loop is written for speed without changing a single
+observable bit (see ``docs/performance.md``):
+
+* Requests dispatch through a table keyed on the request's class
+  instead of an isinstance ladder.
+* Events are ``(method, args)`` records in the
+  :class:`~repro.simulator.events.EventQueue` — no closure is
+  allocated per event.
+* Per-``(src, dst, tag)`` match state lives in interned
+  :class:`_Channel` objects (one dict probe per post, queues allocated
+  once, the fault layer's ordinal inline).
+* :class:`_Endpoint` objects are pooled across transfers.
+* Fault-free transfer times are memoised on each channel per message
+  size — networks are pure cost models, so the cached float is the
+  exact float the network would return.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Callable, Generator, Iterable
+from heapq import heappush
+from typing import Any, Generator, Iterable
 
 from repro.errors import DeadlockError, RankFailure, SimulationError
 from repro.faults.schedule import chan_digest
@@ -39,6 +59,7 @@ from repro.simulator.requests import (
     ISendRequest,
     RecvRequest,
     RequestHandle,
+    SendRecvRequest,
     SendRequest,
     WaitRequest,
 )
@@ -47,12 +68,29 @@ from repro.simulator.tracing import RankStats, SimResult, TransferRecord
 
 RankProgram = Generator[Any, Any, Any]
 
+#: Returned by request handlers when the rank parked; never a payload.
+_PARKED = object()
+
+#: Marks a handle as the *last* leg of a pair wait: its completion
+#: resumes the parked rank with the stashed ``resume_value`` (the first
+#: leg's payload) instead of its own.
+_PAIR_FINAL = object()
+
+#: Upper bound on pooled endpoints (a pool can never grow past the
+#: peak number of simultaneously pending operations anyway; the cap is
+#: a belt-and-braces guard against pathological programs).
+_EP_POOL_MAX = 4096
+
+#: Cap on recycled fused-sendrecv handles (two live per parked rank, so
+#: even a 2048-rank run stays within the cap).
+_RH_POOL_MAX = 4096
+
 
 class _Endpoint:
     """One side of a pending point-to-point operation."""
 
     __slots__ = ("rank", "post_time", "payload", "nbytes", "handle",
-                 "eager_arrival", "span", "matched")
+                 "eager_arrival", "span", "matched", "timed")
 
     def __init__(
         self,
@@ -71,10 +109,36 @@ class _Endpoint:
         self.eager_arrival: float | None = None  # set for in-flight eager sends
         self.span = span  # sender's open-span path at post time
         self.matched = False  # set when paired; gates timed-recv expiry
+        self.timed = False  # a pending expiry event references this ep
+
+
+class _Channel:
+    """Interned match state of one ``(src, dst, tag)`` channel.
+
+    Holds the FIFO send/recv queues plus the fault layer's per-channel
+    message ordinal, so the hot matching path performs a single dict
+    probe and never allocates queues it immediately throws away.
+    """
+
+    __slots__ = ("src", "dst", "tag", "sends", "recvs", "ordinal", "tt")
+
+    def __init__(self, src: int, dst: int, tag: Any):
+        self.src = src
+        self.dst = dst
+        self.tag = tag
+        self.sends: deque[_Endpoint] = deque()
+        self.recvs: deque[_Endpoint] = deque()
+        self.ordinal = 0  # messages already charged to the fault layer
+        #: nbytes -> fault-free wire time; networks are pure cost
+        #: functions, so the cached float is exactly what the model
+        #: would return (bulk-synchronous traffic repeats a handful of
+        #: message sizes per channel thousands of times).
+        self.tt: dict[int, float] = {}
 
 
 class _RankState:
-    __slots__ = ("gen", "stats", "blocked_on", "block_start", "finished", "retval")
+    __slots__ = ("gen", "stats", "blocked_on", "block_start", "finished",
+                 "retval", "resume_value")
 
     def __init__(self, rank: int, gen: RankProgram):
         self.gen = gen
@@ -83,6 +147,7 @@ class _RankState:
         self.block_start = 0.0
         self.finished = False
         self.retval: Any = None
+        self.resume_value: Any = None  # stashed for _PAIR_FINAL wake-ups
 
 
 class Engine:
@@ -145,6 +210,31 @@ class Engine:
         if faults is not None and getattr(faults, "empty", False):
             faults = None  # empty schedule: take the fault-free fast path
         self._faults = faults
+        # Request class -> bound handler; the unknown-subclass path
+        # resolves through _resolve_handler and caches here.
+        self._dispatch = {
+            CollectiveRequest: self._handle_collective,
+            ComputeRequest: self._handle_compute,
+            SendRequest: self._handle_send,
+            RecvRequest: self._handle_recv,
+            SpanOpenRequest: self._handle_span_open,
+            SpanCloseRequest: self._handle_span_close,
+            CounterRequest: self._handle_counter,
+            ISendRequest: self._handle_isend,
+            IRecvRequest: self._handle_irecv,
+            WaitRequest: self._handle_wait,
+            # A bare handle yielded as a request waits on itself — the
+            # allocation-free form of WaitRequest the MPI layer's hot
+            # paths use.
+            RequestHandle: self._handle_wait_handle,
+            # A 2-tuple batches two operations into one resume: a pair
+            # of nonblocking requests posts both, a pair of handles
+            # waits on both in tuple order (see _handle_tuple).
+            tuple: self._handle_tuple,
+            # The fused shift primitive: both posts plus both waits in
+            # one resume (see _handle_sendrecv).
+            SendRecvRequest: self._handle_sendrecv,
+        }
 
     # -- public API --------------------------------------------------------
 
@@ -160,15 +250,25 @@ class Engine:
             )
         self._ranks = [_RankState(i, g) for i, g in enumerate(gens)]
         self._events = EventQueue()
-        self._sends: dict[tuple[int, int, int], deque[_Endpoint]] = {}
-        self._recvs: dict[tuple[int, int, int], deque[_Endpoint]] = {}
+        # tag -> (src * nranks + dst) -> channel: the int inner key is
+        # cheap to hash and spares a 3-tuple allocation per post.
+        self._channels: dict[Any, dict[int, _Channel]] = {}
+        self._rankmul = self.network.nranks
         self._link_free: dict[Any, float] = {}
+        self._links_cache: dict[tuple[int, int], tuple] = {}
+        self._ep_pool: list[_Endpoint] = []
+        # Handles created by the fused sendrecv path never escape the
+        # engine, so they are recycled once their pair wait resumes.
+        self._rh_pool: list[RequestHandle] = []
+        # No contention, no tracing, no faults: every transfer cost is
+        # a memoised per-channel lookup — the branch-free fast path.
+        self._fast = (not self.contention and not self.collect_trace
+                      and self._faults is None)
         self._trace: list[TransferRecord] = []
         self._spans = SpanRecorder(len(gens))
         self._nevents = 0
-        # Per-(src, dst, tag) message ordinals and per-tag channel
-        # digests for deterministic drop decisions (see repro.faults).
-        self._chan_ord: dict[tuple[int, int, Any], int] = {}
+        # Per-tag channel digests for deterministic drop decisions
+        # (see repro.faults); the per-channel ordinal lives on _Channel.
         self._chan_digests: dict[Any, int] = {}
 
         if self._faults is not None:
@@ -179,20 +279,23 @@ class Engine:
             # reused across runs of different sizes).
             for death in self._faults.death_events():
                 if death.rank < len(self._ranks):
-                    self._events.push(death.time, self._make_rank_death(death))
+                    self._events.push(death.time, self._rank_death, (death,))
 
         for state in self._ranks:
             self._resume(state, None, state.stats.clock)
 
-        while self._events:
-            self._nevents += 1
-            if self._nevents > self.max_events:
+        events = self._events
+        max_events = self.max_events
+        while events:
+            _time, batch = events.pop_batch()
+            self._nevents += len(batch)
+            if self._nevents > max_events:
                 raise SimulationError(
-                    f"event cap of {self.max_events} exceeded; "
+                    f"event cap of {max_events} exceeded; "
                     "likely a livelock in a rank program"
                 )
-            _time, callback = self._events.pop()
-            callback()
+            for _t, _seq, fn, args in batch:
+                fn(*args)
 
         blocked = [
             (s.stats.rank, s.blocked_on)
@@ -222,144 +325,522 @@ class Engine:
         stats = state.stats
         if time > stats.clock:
             stats.clock = time
+        # Handlers that park set blocked_on again; while the rank is
+        # actively stepping it is by definition not blocked, so one
+        # clear per resume replaces one per request.
+        state.blocked_on = None
         send = state.gen.send
+        dispatch = self._dispatch
         while True:
-            state.blocked_on = None
             try:
                 request = send(value)
             except StopIteration as stop:
                 state.finished = True
                 state.retval = stop.value
                 return
-            value = None
-            now = stats.clock
-
-            # Dispatch order is a pure optimisation: every request
-            # matches exactly one branch, and the hottest kinds
-            # (collective announcements, compute charges) come first.
-            if isinstance(request, CollectiveRequest):
-                # Zero virtual time to *announce*: the request describes
-                # the collective about to run.  The base engine absorbs
-                # it (resuming with None), so the communicator expands
-                # it into the exact point-to-point schedule — the
-                # pre-request behaviour, bit-identically.  Subclasses
-                # (the macro backend) may instead satisfy it from a
-                # cost oracle by returning True from _collective.
-                if self._collective(state, request, now):
-                    return
-                continue
-
-            if isinstance(request, ComputeRequest):
-                seconds = request.seconds
-                if self._faults is not None:
-                    factor = self._faults.compute_factor(stats.rank, now)
-                    if factor != 1.0:
-                        slowed = seconds * factor
-                        stats.fault_delay += slowed - seconds
-                        seconds = slowed
-                stats.compute_time += seconds
-                if self._inline_compute:
-                    # Purely local: advance this rank's clock without a
-                    # wake-up event.  Subclasses with no ordering-
-                    # sensitive observers (the macro backend) opt in;
-                    # the base engine keeps the event so the transfer
-                    # trace's discovery order — a pinned artifact —
-                    # is unchanged.
-                    stats.clock = now + seconds
-                    continue
-                state.blocked_on = request
-                self._events.push(
-                    now + seconds,
-                    self._make_compute_done(state, now + seconds),
-                )
+            try:
+                handler = dispatch[request.__class__]
+            except KeyError:
+                handler = self._resolve_handler(state, request)
+            value = handler(state, request, stats.clock)
+            if value is _PARKED:
                 return
 
-            if isinstance(request, SendRequest):
-                if request.dst == state.stats.rank:
-                    raise SimulationError(
-                        f"rank {state.stats.rank}: blocking send to self deadlocks"
-                    )
-                state.blocked_on = request
-                state.block_start = now
-                ep = _Endpoint(state.stats.rank, now, request.payload, request.nbytes,
-                               span=self._spans.current_path(state.stats.rank))
-                self._post_send(state.stats.rank, request.dst, request.tag, ep)
-                return
+    def _resolve_handler(self, state: _RankState, request: Any):
+        """Slow path: map an unseen request subclass to its handler."""
+        for cls, handler in list(self._dispatch.items()):
+            if isinstance(request, cls):
+                self._dispatch[request.__class__] = handler
+                return handler
+        raise SimulationError(
+            f"rank {state.stats.rank} yielded unknown request {request!r}"
+        )
 
-            if isinstance(request, RecvRequest):
-                state.blocked_on = request
-                state.block_start = now
-                ep = _Endpoint(state.stats.rank, now)
-                matched = self._post_recv(
-                    request.src, state.stats.rank, request.tag, ep
-                )
-                if request.timeout is not None and not matched:
-                    # The deadline bounds *matching*, not completion:
-                    # once a send pairs up, the transfer always runs
-                    # to the end (as on a real wire).
-                    key = (request.src, state.stats.rank, request.tag)
-                    deadline = now + request.timeout
-                    self._events.push(
-                        deadline,
-                        self._make_recv_timeout(state, ep, key, deadline),
-                    )
-                return
+    # -- request handlers ---------------------------------------------------
+    #
+    # Each handler returns the value to feed back into the generator,
+    # or the _PARKED sentinel when the rank blocked (the engine then
+    # returns to the event loop; a later event resumes the rank).
 
-            if isinstance(request, SpanOpenRequest):
-                # Zero virtual time: absorbed inline, no event scheduled,
-                # so traced and untraced runs are bit-identical.
-                self._spans.open(state.stats.rank, request.name, request.attrs, now)
-                continue
+    def _handle_collective(self, state: _RankState,
+                           request: CollectiveRequest, now: float) -> Any:
+        # Zero virtual time to *announce*: the request describes the
+        # collective about to run.  The base engine absorbs it (resuming
+        # with None), so the communicator expands it into the exact
+        # point-to-point schedule — the pre-request behaviour,
+        # bit-identically.  Subclasses (the macro backend) may instead
+        # satisfy it from a cost oracle by returning True from
+        # _collective.
+        if self._collective(state, request, now):
+            return _PARKED
+        return None
 
-            if isinstance(request, SpanCloseRequest):
-                self._spans.close(state.stats.rank, request.attrs, now)
-                continue
+    def _handle_compute(self, state: _RankState, request: ComputeRequest,
+                        now: float) -> Any:
+        stats = state.stats
+        seconds = request.seconds
+        if self._faults is not None:
+            factor = self._faults.compute_factor(stats.rank, now)
+            if factor != 1.0:
+                slowed = seconds * factor
+                stats.fault_delay += slowed - seconds
+                seconds = slowed
+        stats.compute_time += seconds
+        if self._inline_compute:
+            # Purely local: advance this rank's clock without a wake-up
+            # event.  Subclasses with no ordering-sensitive observers
+            # (the macro backend) opt in; the base engine keeps the
+            # event so the transfer trace's discovery order — a pinned
+            # artifact — is unchanged.
+            stats.clock = now + seconds
+            return None
+        state.blocked_on = request
+        finish = now + seconds
+        self._events.push(finish, self._resume, (state, None, finish))
+        return _PARKED
 
-            if isinstance(request, CounterRequest):
-                # Zero virtual time: the MPI layer reporting a recovery.
-                setattr(stats, request.name,
-                        getattr(stats, request.name) + request.amount)
-                continue
+    # The four point-to-point handlers inline endpoint acquisition,
+    # channel lookup and FIFO matching (the bodies _acquire_ep /
+    # _channel / _post_send / _post_recv used to share): each is called
+    # hundreds of thousands of times per run and the call overhead was
+    # measurable.  All four follow the same shape — pool an endpoint,
+    # probe the channel, match against the opposite queue or park.
+    #
+    # Pool invariant (established at every release site): a pooled
+    # endpoint has payload=None, handle=None, span=None,
+    # eager_arrival=None, matched=False, timed=False.  Only rank,
+    # post_time and nbytes are stale, so acquisition writes just the
+    # fields the operation needs.
 
-            if isinstance(request, ISendRequest):
-                handle = RequestHandle(state.stats.rank, "send")
-                ep = _Endpoint(
-                    state.stats.rank, now, request.payload, request.nbytes, handle,
-                    span=self._spans.current_path(state.stats.rank),
-                )
-                self._post_send(state.stats.rank, request.dst, request.tag, ep)
-                value = handle
-                continue
-
-            if isinstance(request, IRecvRequest):
-                handle = RequestHandle(state.stats.rank, "recv")
-                ep = _Endpoint(state.stats.rank, now, handle=handle)
-                self._post_recv(request.src, state.stats.rank, request.tag, ep)
-                value = handle
-                continue
-
-            if isinstance(request, WaitRequest):
-                handle = request.handle
-                if handle.rank != state.stats.rank:
-                    raise SimulationError(
-                        f"rank {state.stats.rank} waiting on rank "
-                        f"{handle.rank}'s handle"
-                    )
-                if handle.done:
-                    wait = max(0.0, handle.finish_time - now)
-                    state.stats.comm_time += wait
-                    state.stats.clock = now + wait
-                    value = handle.payload
-                    continue
-                state.blocked_on = request
-                state.block_start = now
-                handle._waiter = True
-                handle._parked_state = state  # type: ignore[attr-defined]
-                return
-
+    def _handle_send(self, state: _RankState, request: SendRequest,
+                     now: float) -> Any:
+        rank = state.stats.rank
+        dst = request.dst
+        if dst == rank:
             raise SimulationError(
-                f"rank {state.stats.rank} yielded unknown request {request!r}"
+                f"rank {rank}: blocking send to self deadlocks"
             )
+        state.blocked_on = request
+        state.block_start = now
+        spans = self._spans
+        span = spans.current_path(rank) if spans.nopen else None
+        pool = self._ep_pool
+        if pool:
+            ep = pool.pop()
+            ep.rank = rank
+            ep.post_time = now
+            ep.payload = request.payload
+            ep.nbytes = request.nbytes
+            ep.span = span
+        else:
+            ep = _Endpoint(rank, now, request.payload, request.nbytes,
+                           None, span)
+        tag = request.tag
+        try:
+            chan = self._channels[tag][rank * self._rankmul + dst]
+        except KeyError:
+            chan = self._make_channel(rank, dst, tag)
+        queue = chan.recvs
+        if queue:
+            recv = queue.popleft()
+            recv.matched = True
+            self._start_transfer(chan, ep, recv)
+            return _PARKED
+        if ep.nbytes <= self.eager_threshold:
+            self._eager_send(chan, ep)
+        chan.sends.append(ep)
+        return _PARKED
+
+    def _handle_recv(self, state: _RankState, request: RecvRequest,
+                     now: float) -> Any:
+        rank = state.stats.rank
+        state.blocked_on = request
+        state.block_start = now
+        pool = self._ep_pool
+        if pool:
+            ep = pool.pop()
+            ep.rank = rank
+            ep.post_time = now
+        else:
+            ep = _Endpoint(rank, now)
+        tag = request.tag
+        src = request.src
+        try:
+            chan = self._channels[tag][src * self._rankmul + rank]
+        except KeyError:
+            chan = self._make_channel(src, rank, tag)
+        queue = chan.sends
+        if queue:
+            ep.matched = True
+            self._start_transfer(chan, queue.popleft(), ep)
+            return _PARKED
+        chan.recvs.append(ep)
+        if request.timeout is not None:
+            # The deadline bounds *matching*, not completion: once a
+            # send pairs up, the transfer always runs to the end (as on
+            # a real wire).
+            ep.timed = True
+            deadline = now + request.timeout
+            self._events.push(
+                deadline, self._recv_timeout, (state, ep, chan, deadline)
+            )
+        return _PARKED
+
+    def _handle_span_open(self, state: _RankState, request: SpanOpenRequest,
+                          now: float) -> Any:
+        # Zero virtual time: absorbed inline, no event scheduled, so
+        # traced and untraced runs are bit-identical.
+        self._spans.open(state.stats.rank, request.name, request.attrs, now)
+        return None
+
+    def _handle_span_close(self, state: _RankState, request: SpanCloseRequest,
+                           now: float) -> Any:
+        self._spans.close(state.stats.rank, request.attrs, now)
+        return None
+
+    def _handle_counter(self, state: _RankState, request: CounterRequest,
+                        now: float) -> Any:
+        # Zero virtual time: the MPI layer reporting a recovery.
+        stats = state.stats
+        setattr(stats, request.name,
+                getattr(stats, request.name) + request.amount)
+        return None
+
+    def _handle_isend(self, state: _RankState, request: ISendRequest,
+                      now: float) -> Any:
+        rank = state.stats.rank
+        dst = request.dst
+        handle = RequestHandle(rank, "send")
+        spans = self._spans
+        span = spans.current_path(rank) if spans.nopen else None
+        pool = self._ep_pool
+        if pool:
+            ep = pool.pop()
+            ep.rank = rank
+            ep.post_time = now
+            ep.payload = request.payload
+            ep.nbytes = request.nbytes
+            ep.handle = handle
+            ep.span = span
+        else:
+            ep = _Endpoint(rank, now, request.payload, request.nbytes,
+                           handle, span)
+        tag = request.tag
+        try:
+            chan = self._channels[tag][rank * self._rankmul + dst]
+        except KeyError:
+            chan = self._make_channel(rank, dst, tag)
+        queue = chan.recvs
+        if queue:
+            recv = queue.popleft()
+            recv.matched = True
+            self._start_transfer(chan, ep, recv)
+            return handle
+        if ep.nbytes <= self.eager_threshold and rank != dst:
+            self._eager_send(chan, ep)
+        chan.sends.append(ep)
+        return handle
+
+    def _handle_irecv(self, state: _RankState, request: IRecvRequest,
+                      now: float) -> Any:
+        rank = state.stats.rank
+        handle = RequestHandle(rank, "recv")
+        pool = self._ep_pool
+        if pool:
+            ep = pool.pop()
+            ep.rank = rank
+            ep.post_time = now
+            ep.handle = handle
+        else:
+            ep = _Endpoint(rank, now, handle=handle)
+        tag = request.tag
+        src = request.src
+        try:
+            chan = self._channels[tag][src * self._rankmul + rank]
+        except KeyError:
+            chan = self._make_channel(src, rank, tag)
+        queue = chan.sends
+        if queue:
+            ep.matched = True
+            self._start_transfer(chan, queue.popleft(), ep)
+        else:
+            chan.recvs.append(ep)
+        return handle
+
+    def _handle_wait(self, state: _RankState, request: WaitRequest,
+                     now: float) -> Any:
+        value = self._handle_wait_handle(state, request.handle, now)
+        if value is _PARKED:
+            state.blocked_on = request  # park on the request, not the handle
+        return value
+
+    def _handle_wait_handle(self, state: _RankState, handle: RequestHandle,
+                            now: float) -> Any:
+        stats = state.stats
+        if handle.rank != stats.rank:
+            raise SimulationError(
+                f"rank {stats.rank} waiting on rank {handle.rank}'s handle"
+            )
+        if handle.done:
+            wait = handle.finish_time - now
+            if wait > 0.0:
+                stats.comm_time += wait
+                stats.clock = now + wait
+            return handle.payload
+        state.blocked_on = handle
+        state.block_start = now
+        handle._waiter = True
+        handle._parked_state = state
+        return _PARKED
+
+    def _handle_tuple(self, state: _RankState, batch: tuple, now: float) -> Any:
+        """Batched yield: two operations in one generator resume.
+
+        ``(ISendRequest, IRecvRequest)`` posts both nonblocking
+        operations and resumes with ``(handle, handle)``;
+        ``(handle, handle)`` waits on both **in tuple order** with
+        exactly the float operations of two sequential waits (see
+        :meth:`_pair_continue`).  Each saves one full trip through the
+        generator stack, which on deeply delegated collective loops
+        (``summa -> bcast -> ring``) is the single largest remaining
+        hot-path cost.
+        """
+        if len(batch) != 2:
+            raise SimulationError(
+                f"rank {state.stats.rank} yielded a {len(batch)}-tuple; "
+                "batched yields are pairs"
+            )
+        a, b = batch
+        if a.__class__ is RequestHandle and b.__class__ is RequestHandle:
+            return self._handle_wait_pair(state, batch, now)
+        dispatch = self._dispatch
+        ha = dispatch.get(a.__class__) or self._resolve_handler(state, a)
+        va = ha(state, a, now)
+        hb = dispatch.get(b.__class__) or self._resolve_handler(state, b)
+        vb = hb(state, b, now)
+        if va is _PARKED or vb is _PARKED:
+            raise SimulationError(
+                f"rank {state.stats.rank} batched a blocking request; "
+                "only nonblocking posts and completed waits may be batched"
+            )
+        return (va, vb)
+
+    def _handle_wait_pair(self, state: _RankState, pair: tuple,
+                          now: float) -> Any:
+        """Wait on two handles in tuple order without an intermediate
+        resume.  Resumes with the *first* handle's payload.
+        Bit-identical to two sequential waits: the wait time of each
+        handle is charged in tuple order with the same float
+        operations."""
+        first, second = pair
+        stats = state.stats
+        if first.rank != stats.rank or second.rank != stats.rank:
+            raise SimulationError(
+                f"rank {stats.rank} waiting on another rank's handle"
+            )
+        if first.done:
+            wait = first.finish_time - now
+            if wait > 0.0:
+                stats.comm_time += wait
+                stats.clock = now + wait
+            now = stats.clock
+            if second.done:
+                wait = second.finish_time - now
+                if wait > 0.0:
+                    stats.comm_time += wait
+                    stats.clock = now + wait
+                return first.payload
+            # First already over: only the second leg remains.
+            state.blocked_on = second
+            state.block_start = now
+            state.resume_value = first.payload
+            second._waiter = True
+            second._parked_state = state
+            second._pair = _PAIR_FINAL
+            return _PARKED
+        state.blocked_on = pair
+        state.block_start = now
+        first._waiter = True
+        first._parked_state = state
+        first._pair = second
+        return _PARKED
+
+    def _pair_continue(self, parked: _RankState, second: RequestHandle,
+                       now: float, value: Any) -> None:
+        """Second half of a parked pair wait.  The first handle just
+        completed (its wait already charged by the caller, its payload
+        passed as ``value``); mirror the float operations of resuming
+        the rank and immediately waiting on ``second`` — without
+        actually resuming the generator."""
+        stats = parked.stats
+        if now > stats.clock:
+            stats.clock = now
+        if second.done:
+            wait = second.finish_time - stats.clock
+            if wait > 0.0:
+                stats.comm_time += wait
+                stats.clock += wait
+            self._resume(parked, value, stats.clock)
+            if second._internal:
+                rpool = self._rh_pool
+                if len(rpool) < _RH_POOL_MAX:
+                    second.done = False
+                    second.payload = None
+                    second._parked_state = None
+                    rpool.append(second)
+            return
+        parked.blocked_on = second
+        parked.block_start = stats.clock
+        parked.resume_value = value
+        second._waiter = True
+        second._parked_state = parked
+        second._pair = _PAIR_FINAL
+
+    def _handle_sendrecv(self, state: _RankState, request: SendRecvRequest,
+                         now: float) -> Any:
+        """Post the send, post the receive, wait on both (receive
+        first) — the bodies of _handle_isend, _handle_irecv and
+        _handle_wait_pair fused into one resume.  Completions arrive
+        via events, so neither handle can be done here: always park on
+        the receive with the send as its pair.
+
+        This is the hottest handler of any run built on ring
+        collectives, so the fault-free/untraced transfer start is
+        inlined (``self._fast``) and both handles come from a recycle
+        pool — they never escape the engine, so their lifetime ends
+        with the pair wait (see the ``_internal`` recycling in the
+        completion callbacks)."""
+        stats = state.stats
+        rank = stats.rank
+        spans = self._spans
+        span = spans.current_path(rank) if spans.nopen else None
+        pool = self._ep_pool
+        rpool = self._rh_pool
+        channels = self._channels
+        rankmul = self._rankmul
+        fast = self._fast
+        # Event scheduling is inlined (EventQueue.push semantics): this
+        # handler runs once per ring round on every rank, so even the
+        # bound-method call is measurable.
+        events = self._events
+        heap = events._heap
+        # -- send leg ---------------------------------------------------
+        if rpool:
+            shandle = rpool.pop()
+            shandle.rank = rank
+            shandle.kind = "send"
+        else:
+            shandle = RequestHandle(rank, "send")
+            shandle._internal = True
+        nbytes = request.nbytes
+        dst = request.dst
+        tag = request.sendtag
+        try:
+            chan = channels[tag][rank * rankmul + dst]
+        except KeyError:
+            chan = self._make_channel(rank, dst, tag)
+        queue = chan.recvs
+        if queue and fast:
+            # Matched immediately on the fault-free path: no send
+            # endpoint at all — the completion callback works from the
+            # bare handle.  The queued receive was posted at or before
+            # ``now``, so the transfer starts now.
+            recv = queue.popleft()
+            recv.matched = True
+            try:
+                finish = now + chan.tt[nbytes]
+            except KeyError:
+                wire = chan.tt[nbytes] = self.network.transfer_time(
+                    rank, dst, nbytes
+                )
+                finish = now + wire
+            stats.messages_sent += 1
+            stats.bytes_sent += nbytes
+            seq = events._seq
+            events._seq = seq + 1
+            heappush(heap, (finish, seq, self._fused_send_done,
+                            (shandle, recv, request.payload, finish)))
+        else:
+            if pool:
+                sep = pool.pop()
+                sep.rank = rank
+                sep.post_time = now
+                sep.payload = request.payload
+                sep.nbytes = nbytes
+                sep.handle = shandle
+                sep.span = span
+            else:
+                sep = _Endpoint(rank, now, request.payload, nbytes,
+                                shandle, span)
+            if queue:
+                recv = queue.popleft()
+                recv.matched = True
+                self._start_transfer(chan, sep, recv)
+            else:
+                if nbytes <= self.eager_threshold and rank != dst:
+                    self._eager_send(chan, sep)
+                chan.sends.append(sep)
+        # -- receive leg ------------------------------------------------
+        if rpool:
+            rhandle = rpool.pop()
+            rhandle.rank = rank
+            rhandle.kind = "recv"
+        else:
+            rhandle = RequestHandle(rank, "recv")
+            rhandle._internal = True
+        src = request.src
+        tag = request.recvtag
+        try:
+            chan = channels[tag][src * rankmul + rank]
+        except KeyError:
+            chan = self._make_channel(src, rank, tag)
+        queue = chan.sends
+        if queue:
+            send = queue.popleft()
+            if fast and send.eager_arrival is None:
+                # Matched rendezvous on the fault-free path: the bare
+                # handle stands in for the receive endpoint.
+                snb = send.nbytes
+                try:
+                    finish = now + chan.tt[snb]
+                except KeyError:
+                    wire = chan.tt[snb] = self.network.transfer_time(
+                        src, rank, snb
+                    )
+                    finish = now + wire
+                sender_stats = self._ranks[src].stats
+                sender_stats.messages_sent += 1
+                sender_stats.bytes_sent += snb
+                seq = events._seq
+                events._seq = seq + 1
+                heappush(heap, (finish, seq, self._fused_recv_done,
+                                (send, rhandle, finish)))
+            else:
+                if pool:
+                    rep = pool.pop()
+                    rep.rank = rank
+                    rep.post_time = now
+                    rep.handle = rhandle
+                else:
+                    rep = _Endpoint(rank, now, handle=rhandle)
+                rep.matched = True
+                self._start_transfer(chan, send, rep)
+        else:
+            if pool:
+                rep = pool.pop()
+                rep.rank = rank
+                rep.post_time = now
+                rep.handle = rhandle
+            else:
+                rep = _Endpoint(rank, now, handle=rhandle)
+            chan.recvs.append(rep)
+        # -- wait (recv, send) ------------------------------------------
+        state.blocked_on = rhandle
+        state.block_start = now
+        rhandle._waiter = True
+        rhandle._parked_state = state
+        rhandle._pair = shandle
+        return _PARKED
 
     def _collective(self, state: _RankState, request: CollectiveRequest,
                     now: float) -> bool:
@@ -373,123 +854,129 @@ class Engine:
         """
         return False
 
-    def _make_compute_done(
-        self, state: _RankState, finish: float
-    ) -> Callable[[], None]:
-        def done() -> None:
-            self._resume(state, None, finish)
-
-        return done
-
     # -- matching -----------------------------------------------------------
 
-    def _post_send(self, src: int, dst: int, tag: int, ep: _Endpoint) -> None:
-        key = (src, dst, tag)
-        queue = self._recvs.get(key)
-        if queue:
-            recv = queue.popleft()
-            recv.matched = True
-            self._start_transfer(key, ep, recv)
-            return
-        if ep.nbytes <= self.eager_threshold and src != dst:
-            # Eager protocol: inject now; the sender completes at
-            # wire-clear time, the receive matches later.
-            start = ep.post_time
-            links = None
-            if self.contention:
-                links = self.network.links(src, dst)
-                for link in links:
-                    start = max(start, self._link_free.get(link, 0.0))
-            stats = self._ranks[src].stats
-            finish = self._transfer_finish(src, dst, tag, ep.nbytes, start, stats)
-            if links is not None:
-                for link in links:
-                    self._link_free[link] = finish
-            ep.eager_arrival = finish
-            if self.collect_trace:
-                self._trace.append(
-                    TransferRecord(src, dst, tag, ep.nbytes, start, finish,
-                                   span=ep.span)
-                )
-            stats.messages_sent += 1
-            stats.bytes_sent += ep.nbytes
-            self._events.push(
-                finish, self._make_eager_sent(ep, finish)
+    def _make_channel(self, src: int, dst: int, tag: Any) -> _Channel:
+        """Slow path of the channel probe: first post on the channel
+        (or the tag)."""
+        by_tag = self._channels.get(tag)
+        if by_tag is None:
+            by_tag = self._channels[tag] = {}
+        key = src * self._rankmul + dst
+        chan = by_tag.get(key)
+        if chan is None:
+            chan = by_tag[key] = _Channel(src, dst, tag)
+        return chan
+
+    def _eager_send(self, chan: _Channel, ep: _Endpoint) -> None:
+        """Eager protocol: inject the message now; the sender completes
+        at wire-clear time, the receive matches later.  The caller still
+        queues ``ep`` on the channel's send FIFO."""
+        src, dst = chan.src, chan.dst
+        start = ep.post_time
+        links = None
+        if self.contention:
+            links = self._links(src, dst)
+            for link in links:
+                start = max(start, self._link_free.get(link, 0.0))
+        stats = self._ranks[src].stats
+        finish = self._transfer_finish(chan, ep.nbytes, start, stats)
+        if links is not None:
+            for link in links:
+                self._link_free[link] = finish
+        ep.eager_arrival = finish
+        if self.collect_trace:
+            self._trace.append(
+                TransferRecord(src, dst, chan.tag, ep.nbytes, start, finish,
+                               span=ep.span)
             )
-        self._sends.setdefault(key, deque()).append(ep)
+        stats.messages_sent += 1
+        stats.bytes_sent += ep.nbytes
+        self._events.push(finish, self._complete_endpoint,
+                          (ep, finish, None))
 
-    def _make_eager_sent(self, ep: _Endpoint, finish: float) -> Callable[[], None]:
-        def done() -> None:
-            self._complete_endpoint(ep, finish, None)
-
-        return done
-
-    def _post_recv(self, src: int, dst: int, tag: int, ep: _Endpoint) -> bool:
-        """Post a receive; return True when a send matched immediately."""
-        key = (src, dst, tag)
-        queue = self._sends.get(key)
-        if queue:
-            ep.matched = True
-            self._start_transfer(key, queue.popleft(), ep)
-            return True
-        self._recvs.setdefault(key, deque()).append(ep)
-        return False
-
-    def _start_transfer(
-        self, key: tuple[int, int, int], send: _Endpoint, recv: _Endpoint
-    ) -> None:
-        src, dst, tag = key
-
+    def _start_transfer(self, chan: _Channel, send: _Endpoint,
+                        recv: _Endpoint) -> None:
         if send.eager_arrival is not None:
             # Already in flight (eager): the receive completes when the
             # message has arrived and the receive is posted; the sender
             # was completed at injection time.
             finish = max(recv.post_time, send.eager_arrival)
-            self._events.push(
-                finish, self._make_recv_done(recv, send.payload, finish)
-            )
+            self._events.push(finish, self._eager_recv_done,
+                              (recv, send.payload, finish))
             return
 
-        start = max(send.post_time, recv.post_time)
+        src = chan.src
+        start = send.post_time
+        if recv.post_time > start:
+            start = recv.post_time
         links = None
-        if self.contention and src != dst:
-            links = self.network.links(src, dst)
+        if self.contention and src != chan.dst:
+            links = self._links(src, chan.dst)
             for link in links:
-                start = max(start, self._link_free.get(link, 0.0))
+                free = self._link_free.get(link, 0.0)
+                if free > start:
+                    start = free
 
+        nbytes = send.nbytes
         sender_stats = self._ranks[src].stats
-        finish = self._transfer_finish(src, dst, tag, send.nbytes, start,
-                                       sender_stats)
+        if self._faults is None:
+            try:
+                finish = start + chan.tt[nbytes]
+            except KeyError:
+                wire = chan.tt[nbytes] = self.network.transfer_time(
+                    src, chan.dst, nbytes
+                )
+                finish = start + wire
+        else:
+            finish = self._faulty_finish(chan, nbytes, start, sender_stats)
         if links is not None:
             for link in links:
                 self._link_free[link] = finish
 
         if self.collect_trace:
             self._trace.append(
-                TransferRecord(src, dst, tag, send.nbytes, start, finish,
-                               span=send.span)
+                TransferRecord(src, chan.dst, chan.tag, nbytes, start,
+                               finish, span=send.span)
             )
 
         sender_stats.messages_sent += 1
-        sender_stats.bytes_sent += send.nbytes
+        sender_stats.bytes_sent += nbytes
 
-        self._events.push(finish, self._make_transfer_done(send, recv, finish))
+        self._events.push(finish, self._transfer_done, (send, recv, finish))
+
+    def _links(self, src: int, dst: int) -> tuple:
+        """Physical links of the (src, dst) route, memoised — routes are
+        static for the lifetime of a network model."""
+        key = (src, dst)
+        links = self._links_cache.get(key)
+        if links is None:
+            links = self._links_cache[key] = tuple(self.network.links(src, dst))
+        return links
 
     # -- fault injection ----------------------------------------------------
 
-    def _transfer_finish(self, src: int, dst: int, tag: Any, nbytes: int,
-                         start: float, sender_stats: RankStats) -> float:
+    def _transfer_finish(self, chan: _Channel, nbytes: int, start: float,
+                         sender_stats: RankStats) -> float:
         """Wire-clear time of a transfer starting at ``start``.
 
         The fault-free branch performs exactly the pre-fault float
-        operations, keeping untraced healthy runs bit-identical.
+        operations, keeping untraced healthy runs bit-identical; the
+        memoised network time is the identical float the network model
+        returns (networks are pure cost functions — see
+        ``docs/performance.md``).
         """
         if self._faults is None:
-            return start + self.network.transfer_time(src, dst, nbytes)
-        return self._faulty_finish(src, dst, tag, nbytes, start, sender_stats)
+            wire = chan.tt.get(nbytes)
+            if wire is None:
+                wire = chan.tt[nbytes] = self.network.transfer_time(
+                    chan.src, chan.dst, nbytes
+                )
+            return start + wire
+        return self._faulty_finish(chan, nbytes, start, sender_stats)
 
-    def _faulty_finish(self, src: int, dst: int, tag: Any, nbytes: int,
-                       start: float, sender_stats: RankStats) -> float:
+    def _faulty_finish(self, chan: _Channel, nbytes: int, start: float,
+                       sender_stats: RankStats) -> float:
         """One logical message under the fault schedule.
 
         Dropped attempts waste the (possibly degraded) wire time plus a
@@ -501,21 +988,20 @@ class Engine:
         across runs — see :mod:`repro.faults.schedule`.
         """
         faults = self._faults
+        src, dst, tag = chan.src, chan.dst, chan.tag
         clean = self.network.transfer_time(src, dst, nbytes)
         if src == dst:
             return start + clean
-        key = (src, dst, tag)
-        ordinal = self._chan_ord.get(key, 0)
-        self._chan_ord[key] = ordinal + 1
-        chan = self._chan_digests.get(tag)
-        if chan is None:
-            chan = chan_digest(tag)
-            self._chan_digests[tag] = chan
+        ordinal = chan.ordinal
+        chan.ordinal = ordinal + 1
+        digest = self._chan_digests.get(tag)
+        if digest is None:
+            digest = self._chan_digests[tag] = chan_digest(tag)
         retry = faults.retry
         t = start
         attempt = 0
         while (attempt < retry.max_retransmits
-               and faults.drop(src, dst, chan, ordinal, attempt, t)):
+               and faults.drop(src, dst, digest, ordinal, attempt, t)):
             t += faults.transfer_time(self.network, src, dst, nbytes, t)
             t += retry.backoff_delay(attempt)
             attempt += 1
@@ -524,51 +1010,270 @@ class Engine:
         sender_stats.fault_delay += finish - (start + clean)
         return finish
 
-    def _make_recv_timeout(
-        self, state: _RankState, ep: _Endpoint,
-        key: tuple[int, int, Any], deadline: float,
-    ) -> Callable[[], None]:
-        def expired() -> None:
-            if ep.matched:
-                return  # a send paired up first; the transfer will finish
-            queue = self._recvs.get(key)
-            if queue is not None:
-                try:
-                    queue.remove(ep)
-                except ValueError:  # pragma: no cover - defensive
-                    pass
-            ep.matched = True
-            state.stats.timeouts += 1
-            state.stats.comm_time += deadline - state.block_start
-            self._resume(state, RECV_TIMEOUT, deadline)
+    # -- event callbacks ----------------------------------------------------
+    #
+    # Scheduled as (method, args) records on the EventQueue; no closure
+    # is allocated per event.
 
-        return expired
+    def _recv_timeout(self, state: _RankState, ep: _Endpoint,
+                      chan: _Channel, deadline: float) -> None:
+        if ep.matched:
+            return  # a send paired up first; the transfer will finish
+        try:
+            chan.recvs.remove(ep)
+        except ValueError:  # pragma: no cover - defensive
+            pass
+        ep.matched = True
+        state.stats.timeouts += 1
+        state.stats.comm_time += deadline - state.block_start
+        self._resume(state, RECV_TIMEOUT, deadline)
 
-    def _make_rank_death(self, death: Any) -> Callable[[], None]:
-        def die() -> None:
-            state = self._ranks[death.rank]
-            if state.finished:
-                return  # outlived its death time; nothing to kill
-            raise RankFailure(death.rank, death.time)
+    def _rank_death(self, death: Any) -> None:
+        state = self._ranks[death.rank]
+        if state.finished:
+            return  # outlived its death time; nothing to kill
+        raise RankFailure(death.rank, death.time)
 
-        return die
+    def _transfer_done(self, send: _Endpoint, recv: _Endpoint,
+                       finish: float) -> None:
+        # Both completions inline _complete_endpoint (this callback
+        # fires once per rendezvous transfer — the most common event in
+        # any run).  Order matters and is part of the pinned semantics:
+        # the sender completes (and may resume) before the receiver.
+        ranks = self._ranks
+        rpool = self._rh_pool
+        state = ranks[send.rank]
+        handle = send.handle
+        if handle is None:
+            state.stats.comm_time += finish - state.block_start
+            self._resume(state, None, finish)
+        else:
+            handle.done = True
+            handle.finish_time = finish
+            if handle._waiter:
+                parked: _RankState = handle._parked_state
+                handle._waiter = False
+                second = handle._pair
+                parked.stats.comm_time += finish - parked.block_start
+                if second is None:
+                    self._resume(parked, None, finish)
+                elif second is _PAIR_FINAL:
+                    handle._pair = None
+                    value = parked.resume_value
+                    parked.resume_value = None
+                    self._resume(parked, value, finish)
+                    if handle._internal and len(rpool) < _RH_POOL_MAX:
+                        handle.done = False
+                        handle.payload = None
+                        handle._parked_state = None
+                        rpool.append(handle)
+                else:
+                    handle._pair = None
+                    self._pair_continue(parked, second, finish, None)
+                    if handle._internal and len(rpool) < _RH_POOL_MAX:
+                        handle.done = False
+                        handle.payload = None
+                        handle._parked_state = None
+                        rpool.append(handle)
+        payload = send.payload
+        state = ranks[recv.rank]
+        handle = recv.handle
+        if handle is None:
+            state.stats.comm_time += finish - state.block_start
+            self._resume(state, payload, finish)
+        else:
+            handle.done = True
+            handle.finish_time = finish
+            handle.payload = payload
+            if handle._waiter:
+                parked = handle._parked_state
+                handle._waiter = False
+                second = handle._pair
+                parked.stats.comm_time += finish - parked.block_start
+                if second is None:
+                    self._resume(parked, payload, finish)
+                elif second is _PAIR_FINAL:
+                    handle._pair = None
+                    value = parked.resume_value
+                    parked.resume_value = None
+                    self._resume(parked, value, finish)
+                    if handle._internal and len(rpool) < _RH_POOL_MAX:
+                        handle.done = False
+                        handle.payload = None
+                        handle._parked_state = None
+                        rpool.append(handle)
+                else:
+                    handle._pair = None
+                    self._pair_continue(parked, second, finish, payload)
+                    if handle._internal and len(rpool) < _RH_POOL_MAX:
+                        handle.done = False
+                        handle.payload = None
+                        handle._parked_state = None
+                        rpool.append(handle)
+        # Both rendezvous endpoints are dead here — nothing else
+        # references them.  Timed receives are the exception: their
+        # pending expiry event still holds the object, so they are
+        # never recycled (the eager path keeps its own endpoints for
+        # the same reason).  Releases restore the pool invariant (see
+        # the point-to-point handlers).
+        pool = self._ep_pool
+        if len(pool) < _EP_POOL_MAX:
+            send.payload = None
+            send.handle = None
+            send.span = None
+            send.matched = False
+            pool.append(send)
+            if not recv.timed:
+                recv.handle = None
+                recv.matched = False
+                pool.append(recv)
 
-    def _make_transfer_done(
-        self, send: _Endpoint, recv: _Endpoint, finish: float
-    ) -> Callable[[], None]:
-        def done() -> None:
-            self._complete_endpoint(send, finish, None)
-            self._complete_endpoint(recv, finish, send.payload)
+    def _fused_send_done(self, shandle: RequestHandle, recv: _Endpoint,
+                         payload: Any, finish: float) -> None:
+        """Rendezvous completion whose send side is a bare fused-path
+        handle (no endpoint was ever created).  Mirrors
+        :meth:`_transfer_done` exactly: sender first, then receiver."""
+        shandle.done = True
+        shandle.finish_time = finish
+        rpool = self._rh_pool
+        if shandle._waiter:
+            # Parked _PAIR_FINAL-style: the receive leg already
+            # finished; resume with its stashed payload.
+            parked: _RankState = shandle._parked_state
+            shandle._waiter = False
+            shandle._pair = None
+            parked.stats.comm_time += finish - parked.block_start
+            value = parked.resume_value
+            parked.resume_value = None
+            self._resume(parked, value, finish)
+            if len(rpool) < _RH_POOL_MAX:
+                shandle.done = False
+                shandle.payload = None
+                shandle._parked_state = None
+                rpool.append(shandle)
+        state = self._ranks[recv.rank]
+        handle = recv.handle
+        if handle is None:
+            state.stats.comm_time += finish - state.block_start
+            self._resume(state, payload, finish)
+        else:
+            handle.done = True
+            handle.finish_time = finish
+            handle.payload = payload
+            if handle._waiter:
+                parked = handle._parked_state
+                handle._waiter = False
+                second = handle._pair
+                parked.stats.comm_time += finish - parked.block_start
+                if second is None:
+                    self._resume(parked, payload, finish)
+                elif second is _PAIR_FINAL:
+                    handle._pair = None
+                    value = parked.resume_value
+                    parked.resume_value = None
+                    self._resume(parked, value, finish)
+                    self._maybe_recycle_handle(handle)
+                else:
+                    handle._pair = None
+                    self._pair_continue(parked, second, finish, payload)
+                    self._maybe_recycle_handle(handle)
+        if not recv.timed and len(self._ep_pool) < _EP_POOL_MAX:
+            recv.handle = None
+            recv.matched = False
+            self._ep_pool.append(recv)
 
-        return done
+    def _fused_recv_done(self, send: _Endpoint, rhandle: RequestHandle,
+                         finish: float) -> None:
+        """Rendezvous completion whose receive side is a bare fused-path
+        handle.  The handle is by construction still parked (the fused
+        wait blocks on the receive), so the receiver side is exactly the
+        pair-wait continuation."""
+        state = self._ranks[send.rank]
+        handle = send.handle
+        rpool = self._rh_pool
+        if handle is None:
+            state.stats.comm_time += finish - state.block_start
+            self._resume(state, None, finish)
+        else:
+            handle.done = True
+            handle.finish_time = finish
+            if handle._waiter:
+                parked: _RankState = handle._parked_state
+                handle._waiter = False
+                second = handle._pair
+                parked.stats.comm_time += finish - parked.block_start
+                if second is None:
+                    self._resume(parked, None, finish)
+                elif second is _PAIR_FINAL:
+                    handle._pair = None
+                    value = parked.resume_value
+                    parked.resume_value = None
+                    self._resume(parked, value, finish)
+                    self._maybe_recycle_handle(handle)
+                else:
+                    handle._pair = None
+                    self._pair_continue(parked, second, finish, None)
+                    self._maybe_recycle_handle(handle)
+        payload = send.payload
+        parked = rhandle._parked_state
+        rhandle._waiter = False
+        second = rhandle._pair
+        rhandle._pair = None
+        stats = parked.stats
+        stats.comm_time += finish - parked.block_start
+        # _pair_continue inlined (this is the hottest completion): the
+        # receive leg is over; finish the wait on the send leg.
+        if finish > stats.clock:
+            stats.clock = finish
+        if second.done:
+            wait = second.finish_time - stats.clock
+            if wait > 0.0:
+                stats.comm_time += wait
+                stats.clock += wait
+            self._resume(parked, payload, stats.clock)
+            if second._internal and len(rpool) < _RH_POOL_MAX:
+                second.done = False
+                second.payload = None
+                second._parked_state = None
+                rpool.append(second)
+        else:
+            parked.blocked_on = second
+            parked.block_start = stats.clock
+            parked.resume_value = payload
+            second._waiter = True
+            second._parked_state = parked
+            second._pair = _PAIR_FINAL
+        if len(rpool) < _RH_POOL_MAX:
+            rhandle.done = False
+            rhandle.payload = None
+            rhandle._parked_state = None
+            rpool.append(rhandle)
+        pool = self._ep_pool
+        if len(pool) < _EP_POOL_MAX:
+            send.payload = None
+            send.handle = None
+            send.span = None
+            send.matched = False
+            pool.append(send)
 
-    def _make_recv_done(
-        self, recv: _Endpoint, payload: Any, finish: float
-    ) -> Callable[[], None]:
-        def done() -> None:
-            self._complete_endpoint(recv, finish, payload)
+    def _maybe_recycle_handle(self, handle: RequestHandle) -> None:
+        """Return a dead fused-sendrecv handle to the pool (cold path;
+        the rendezvous callback inlines this check)."""
+        if handle._internal:
+            rpool = self._rh_pool
+            if len(rpool) < _RH_POOL_MAX:
+                handle.done = False
+                handle.payload = None
+                handle._parked_state = None
+                rpool.append(handle)
 
-        return done
+    def _eager_recv_done(self, recv: _Endpoint, payload: Any,
+                         finish: float) -> None:
+        self._complete_endpoint(recv, finish, payload)
+        if not recv.timed and len(self._ep_pool) < _EP_POOL_MAX:
+            recv.handle = None
+            recv.matched = False
+            self._ep_pool.append(recv)
 
     def _complete_endpoint(
         self, ep: _Endpoint, finish: float, payload: Any
@@ -586,5 +1291,17 @@ class Engine:
         if handle._waiter:
             parked: _RankState = handle._parked_state  # type: ignore[attr-defined]
             handle._waiter = False
+            second = handle._pair
             parked.stats.comm_time += finish - parked.block_start
-            self._resume(parked, payload, finish)
+            if second is None:
+                self._resume(parked, payload, finish)
+            elif second is _PAIR_FINAL:
+                handle._pair = None
+                value = parked.resume_value
+                parked.resume_value = None
+                self._resume(parked, value, finish)
+                self._maybe_recycle_handle(handle)
+            else:
+                handle._pair = None
+                self._pair_continue(parked, second, finish, payload)
+                self._maybe_recycle_handle(handle)

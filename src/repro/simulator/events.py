@@ -3,34 +3,64 @@
 A thin wrapper over :mod:`heapq` that breaks time ties with a
 monotonically increasing sequence number, making the simulation fully
 deterministic regardless of callback identity.
+
+Events are stored as flat ``(time, seq, fn, args)`` records rather
+than zero-argument closures: the engine pushes a bound method plus its
+argument tuple, so scheduling an event allocates nothing beyond the
+record itself.  This is the hot allocation path of the discrete-event
+simulation — every message completion passes through here — and the
+record form is both cheaper to build and cheaper to collect than a
+closure capturing the same state.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
 from typing import Any, Callable
 
-Callback = Callable[[], Any]
+Callback = Callable[..., Any]
+
+#: One scheduled event: ``(time, seq, fn, args)``.
+Event = tuple[float, int, Callback, tuple]
 
 
 class EventQueue:
-    """Priority queue of ``(time, callback)`` events, FIFO within a time."""
+    """Priority queue of ``(time, fn, args)`` events, FIFO within a time."""
 
     __slots__ = ("_heap", "_seq")
 
     def __init__(self) -> None:
-        self._heap: list[tuple[float, int, Callback]] = []
-        self._seq = itertools.count()
+        self._heap: list[Event] = []
+        self._seq = 0
 
-    def push(self, time: float, callback: Callback) -> None:
-        """Schedule ``callback`` to run at virtual ``time``."""
-        heapq.heappush(self._heap, (time, next(self._seq), callback))
+    def push(self, time: float, fn: Callback, args: tuple = ()) -> None:
+        """Schedule ``fn(*args)`` to run at virtual ``time``."""
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(self._heap, (time, seq, fn, args))
 
-    def pop(self) -> tuple[float, Callback]:
-        """Remove and return the earliest ``(time, callback)``."""
-        time, _seq, callback = heapq.heappop(self._heap)
-        return time, callback
+    def pop(self) -> tuple[float, Callback, tuple]:
+        """Remove and return the earliest ``(time, fn, args)``."""
+        time, _seq, fn, args = heapq.heappop(self._heap)
+        return time, fn, args
+
+    def pop_batch(self) -> tuple[float, list[Event]]:
+        """Remove and return every event at the current earliest time.
+
+        Returns ``(time, events)`` with the events in push (FIFO)
+        order.  Events pushed *while the batch executes* — even at the
+        same virtual time — are deliberately not part of it: they carry
+        larger sequence numbers and surface in the next batch, which is
+        exactly the order one-at-a-time :meth:`pop` calls would give.
+        """
+        heap = self._heap
+        first = heapq.heappop(heap)
+        time = first[0]
+        batch = [first]
+        append = batch.append
+        while heap and heap[0][0] == time:
+            append(heapq.heappop(heap))
+        return time, batch
 
     def peek_time(self) -> float:
         """Time of the earliest event (queue must be non-empty)."""

@@ -157,6 +157,33 @@ class IRecvRequest(_Request):
         return f"IRecv(src={self.src}, tag={self.tag})"
 
 
+class SendRecvRequest(_Request):
+    """Fused shift primitive: post a nonblocking send to ``dst`` and a
+    nonblocking receive from ``src``, then block until both complete.
+
+    Semantically identical to isend + irecv + wait(recv) + wait(send)
+    — same posting order, same charged wait times — but the engine
+    satisfies it in a single generator resume, which matters in ring
+    loops (Cannon shifts, the Van de Geijn allgather).  Resumes with
+    the received payload.
+    """
+
+    __slots__ = ("dst", "src", "sendtag", "recvtag", "payload", "nbytes")
+
+    def __init__(self, dst: int, src: int, sendtag: int, recvtag: int,
+                 payload: Any, nbytes: int | None = None):
+        self.dst = dst
+        self.src = src
+        self.sendtag = sendtag
+        self.recvtag = recvtag
+        self.payload = payload
+        self.nbytes = payload_nbytes(payload) if nbytes is None else int(nbytes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"SendRecv(dst={self.dst}, src={self.src}, "
+                f"nbytes={self.nbytes})")
+
+
 class WaitRequest(_Request):
     """Block until ``handle`` completes; resumes with the received
     payload (for irecv handles) or ``None`` (for isend handles)."""
@@ -289,7 +316,8 @@ class RequestHandle:
         Delivered object for irecv handles (valid once ``done``).
     """
 
-    __slots__ = ("rank", "kind", "done", "finish_time", "payload", "_waiter", "_parked_state")
+    __slots__ = ("rank", "kind", "done", "finish_time", "payload", "_waiter",
+                 "_parked_state", "_pair", "_internal")
 
     def __init__(self, rank: int, kind: str):
         self.rank = rank
@@ -299,6 +327,8 @@ class RequestHandle:
         self.payload: Any = None
         self._waiter = False  # rank parked on this handle?
         self._parked_state: Any = None  # engine-internal: the parked rank
+        self._pair: Any = None  # second handle of a parked pair wait
+        self._internal = False  # engine-owned (never seen by a program)?
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "done" if self.done else "pending"

@@ -137,6 +137,9 @@ class SpanRecorder:
     def __init__(self, nranks: int):
         self._stacks: list[list[Span]] = [[] for _ in range(nranks)]
         self.roots: list[Span] = []
+        #: Open spans across all ranks; zero on untraced runs, letting
+        #: the engine skip the per-transfer current_path call entirely.
+        self.nopen = 0
 
     def open(self, rank: int, name: str, attrs: dict[str, Any], time: float) -> None:
         span = Span(name=name, rank=rank, start=time, attrs=attrs)
@@ -146,6 +149,7 @@ class SpanRecorder:
         else:
             self.roots.append(span)
         stack.append(span)
+        self.nopen += 1
 
     def close(self, rank: int, attrs: dict[str, Any], time: float) -> None:
         stack = self._stacks[rank]
@@ -157,12 +161,14 @@ class SpanRecorder:
         span.end = time
         if attrs:
             span.attrs.update(attrs)
+        self.nopen -= 1
 
     def finish(self, rank: int, time: float) -> None:
         """Force-close anything still open when the rank's program ends."""
         stack = self._stacks[rank]
         while stack:
             stack.pop().end = time
+            self.nopen -= 1
 
     def current_path(self, rank: int) -> str | None:
         """Slash-joined names of the rank's open spans (outermost first),

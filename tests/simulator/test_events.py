@@ -7,21 +7,22 @@ class TestEventQueue:
     def test_time_ordering(self):
         q = EventQueue()
         order = []
-        q.push(2.0, lambda: order.append("b"))
-        q.push(1.0, lambda: order.append("a"))
-        q.push(3.0, lambda: order.append("c"))
+        q.push(2.0, order.append, ("b",))
+        q.push(1.0, order.append, ("a",))
+        q.push(3.0, order.append, ("c",))
         while q:
-            _, cb = q.pop()
-            cb()
+            _, fn, args = q.pop()
+            fn(*args)
         assert order == ["a", "b", "c"]
 
     def test_fifo_within_equal_time(self):
         q = EventQueue()
         order = []
         for i in range(5):
-            q.push(1.0, lambda i=i: order.append(i))
+            q.push(1.0, order.append, (i,))
         while q:
-            q.pop()[1]()
+            _, fn, args = q.pop()
+            fn(*args)
         assert order == [0, 1, 2, 3, 4]
 
     def test_len_and_bool(self):
@@ -41,6 +42,47 @@ class TestEventQueue:
     def test_pop_returns_time(self):
         q = EventQueue()
         q.push(7.5, lambda: "x")
-        t, cb = q.pop()
+        t, fn, args = q.pop()
         assert t == 7.5
-        assert cb() == "x"
+        assert fn(*args) == "x"
+
+    def test_pop_batch_groups_equal_times(self):
+        q = EventQueue()
+        for i in range(3):
+            q.push(1.0, str, (i,))
+        q.push(2.0, str, (99,))
+        t, batch = q.pop_batch()
+        assert t == 1.0
+        assert [args for _, _, _, args in batch] == [(0,), (1,), (2,)]
+        t, batch = q.pop_batch()
+        assert t == 2.0
+        assert [args for _, _, _, args in batch] == [(99,)]
+        assert not q
+
+    def test_pop_batch_excludes_events_pushed_mid_batch(self):
+        """Same-time events pushed while a batch runs land in the next
+        batch — exactly the order one-at-a-time pops would give."""
+        q = EventQueue()
+        order = []
+        q.push(1.0, order.append, ("first",))
+        t, batch = q.pop_batch()
+        assert len(batch) == 1
+        q.push(1.0, order.append, ("second",))  # same virtual time
+        for _, _, fn, args in batch:
+            fn(*args)
+        t2, batch2 = q.pop_batch()
+        assert t2 == 1.0
+        for _, _, fn, args in batch2:
+            fn(*args)
+        assert order == ["first", "second"]
+
+    def test_sequence_is_plain_int(self):
+        """The tie-break is an int counter (no itertools.count): entries
+        remain comparable and FIFO across mixed pushes."""
+        q = EventQueue()
+        q.push(1.0, lambda: None)
+        q.push(1.0, lambda: None)
+        assert q._seq == 2
+        first = q.pop()
+        second = q.pop()
+        assert first[0] == second[0] == 1.0
