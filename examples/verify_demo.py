@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Verification demo: prove a run clean, then watch the verifier catch
+a seeded communication bug.
+
+Part 1 runs HSUMMA with ``verify=True``: the recorder shadows every
+rank, the structural checks and the K-schedule determinism harness all
+pass, and the verdict prints CLEAN — at zero virtual-time cost.
+
+Part 2 runs a deliberately broken SPMD program (one rank broadcasts
+from the wrong root) and shows the structured diagnosis: the exception
+carries the check id and a full verdict instead of a bare hang.
+
+Part 3 deadlocks two ranks on crossed receives and prints the wait-for
+cycle the diagnoser extracts.
+
+Usage::
+
+    python examples/verify_demo.py
+"""
+
+import numpy as np
+
+from repro import multiply
+from repro.errors import CollectiveMismatchError, DeadlockError
+from repro.simulator.runtime import run_spmd
+from repro.verify import VerifyOptions
+
+
+def part1_clean() -> None:
+    rng = np.random.default_rng(42)
+    n = 64
+    A = rng.standard_normal((n, n))
+    B = rng.standard_normal((n, n))
+
+    result = multiply(A, B, nprocs=16, algorithm="hsumma",
+                      verify=VerifyOptions(schedules=3))
+    verdict = result.sim.verdict
+    print("— part 1: HSUMMA under full verification —")
+    print(f"  {verdict.summary()}")
+    print(f"  observed ops: {verdict.meta['observed_ops']}, "
+          f"collectives: {verdict.meta['observed_collectives']}")
+    assert verdict.ok
+    assert np.allclose(result.C, A @ B)
+
+
+def part2_wrong_root() -> None:
+    def program(ctx):
+        def gen():
+            root = 1 if ctx.world.rank == 2 else 0
+            out = yield from ctx.world.bcast(
+                1.0 if ctx.world.rank == root else None, root=root)
+            return out
+        return gen()
+
+    print("— part 2: one rank broadcasts from the wrong root —")
+    try:
+        run_spmd(program, 4, verify=True)
+    except CollectiveMismatchError as exc:
+        print(f"  caught: {exc}")
+        print(f"  check id: {exc.check}")
+    else:
+        raise AssertionError("the mismatch went undetected")
+
+
+def part3_deadlock() -> None:
+    def program(ctx):
+        def gen():
+            # Both ranks receive first — the classic crossed exchange.
+            peer = 1 - ctx.world.rank
+            got = yield from ctx.world.recv(peer)
+            yield from ctx.world.send(b"reply", peer)
+            return got
+        return gen()
+
+    print("— part 3: crossed blocking receives —")
+    try:
+        run_spmd(program, 2, verify=True)
+    except DeadlockError as exc:
+        [finding] = exc.verdict.by_check("deadlock")
+        print(f"  diagnosis: {finding.message}")
+        print(f"  cycle: {finding.detail['cycle']}")
+    else:
+        raise AssertionError("the deadlock went undetected")
+
+
+def main() -> None:
+    part1_clean()
+    part2_wrong_root()
+    part3_deadlock()
+    print("all three scenarios behaved as documented.")
+
+
+if __name__ == "__main__":
+    main()

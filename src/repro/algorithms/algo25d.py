@@ -29,7 +29,7 @@ from repro.mpi.comm import CollectiveOptions, MpiContext, make_contexts
 from repro.network.homogeneous import HomogeneousNetwork
 from repro.network.model import Network
 from repro.payloads import PhantomArray
-from repro.simulator.backends import resolve_backend
+from repro.verify.session import run_verified
 from repro.simulator.runtime import DEFAULT_PARAMS
 from repro.simulator.tracing import SimResult
 
@@ -111,6 +111,7 @@ def run_25d(
     contention: bool = False,
     backend: Any = None,
     faults: Any = None,
+    verify: Any = None,
 ) -> tuple[Any, SimResult]:
     """Multiply ``A @ B`` with the 2.5D algorithm.
 
@@ -134,19 +135,26 @@ def run_25d(
     if network is None:
         network = HomogeneousNetwork(nprocs, params or DEFAULT_PARAMS)
     faults = coerce_faults(faults)
-    programs = []
-    for rank, ctx in enumerate(
-        make_contexts(nprocs, options=options, gamma=gamma,
-                      retry=faults.retry if faults is not None else None)
-    ):
-        layer = rank % c
-        j = (rank // c) % q
-        i = rank // (c * q)
-        a_t = da.tile(i, j) if layer == 0 else None
-        b_t = db.tile(i, j) if layer == 0 else None
-        programs.append(algo25d_program(ctx, a_t, b_t, q, c))
-    sim = resolve_backend(backend, network, contention=contention,
-                          faults=faults).run(programs)
+
+    def make_programs():
+        programs = []
+        for rank, ctx in enumerate(
+            make_contexts(nprocs, options=options, gamma=gamma,
+                          retry=faults.retry if faults is not None else None)
+        ):
+            layer = rank % c
+            j = (rank // c) % q
+            i = rank // (c * q)
+            a_t = da.tile(i, j) if layer == 0 else None
+            b_t = db.tile(i, j) if layer == 0 else None
+            programs.append(algo25d_program(ctx, a_t, b_t, q, c))
+        return programs
+
+    sim = run_verified(
+        make_programs, verify=verify, backend=backend, network=network,
+        contention=contention, faults=faults,
+        meta={"program": "25d", "grid": f"{q}x{q}", "replication": c},
+    )
 
     dc = DistMatrix(
         PhantomArray((m, n)) if da.phantom or db.phantom else np.empty((m, n)),

@@ -22,7 +22,7 @@ from repro.mpi.comm import CollectiveOptions, MpiContext, make_contexts
 from repro.network.homogeneous import HomogeneousNetwork
 from repro.network.model import Network
 from repro.payloads import PhantomArray
-from repro.simulator.backends import resolve_backend
+from repro.verify.session import run_verified
 from repro.simulator.runtime import DEFAULT_PARAMS
 from repro.simulator.tracing import SimResult
 
@@ -96,6 +96,7 @@ def run_cannon(
     contention: bool = False,
     backend: Any = None,
     faults: Any = None,
+    verify: Any = None,
 ) -> tuple[Any, SimResult]:
     """Multiply ``A @ B`` with Cannon's algorithm; ``grid`` must be square."""
     from repro.faults.spec import coerce_faults
@@ -120,15 +121,24 @@ def run_cannon(
     if network is None:
         network = HomogeneousNetwork(nranks, params or DEFAULT_PARAMS)
     faults = coerce_faults(faults)
-    programs = []
-    for rank, ctx in enumerate(
-        make_contexts(nranks, options=options, gamma=gamma,
-                      retry=faults.retry if faults is not None else None)
-    ):
-        i, j = divmod(rank, q)
-        programs.append(cannon_program(ctx, da.tile(i, j), db.tile(i, j), q))
-    sim = resolve_backend(backend, network, contention=contention,
-                          faults=faults).run(programs)
+
+    def make_programs():
+        programs = []
+        for rank, ctx in enumerate(
+            make_contexts(nranks, options=options, gamma=gamma,
+                          retry=faults.retry if faults is not None else None)
+        ):
+            i, j = divmod(rank, q)
+            programs.append(
+                cannon_program(ctx, da.tile(i, j), db.tile(i, j), q)
+            )
+        return programs
+
+    sim = run_verified(
+        make_programs, verify=verify, backend=backend, network=network,
+        contention=contention, faults=faults,
+        meta={"program": "cannon", "grid": f"{q}x{q}"},
+    )
 
     dc = DistMatrix(
         PhantomArray((m, n)) if da.phantom or db.phantom else np.empty((m, n)),

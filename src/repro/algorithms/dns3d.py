@@ -31,7 +31,7 @@ from repro.mpi.comm import CollectiveOptions, MpiContext, make_contexts
 from repro.network.homogeneous import HomogeneousNetwork
 from repro.network.model import Network
 from repro.payloads import PhantomArray
-from repro.simulator.backends import resolve_backend
+from repro.verify.session import run_verified
 from repro.simulator.runtime import DEFAULT_PARAMS
 from repro.simulator.tracing import SimResult
 
@@ -127,6 +127,7 @@ def run_dns3d(
     contention: bool = False,
     backend: Any = None,
     faults: Any = None,
+    verify: Any = None,
 ) -> tuple[Any, SimResult]:
     """Multiply ``A @ B`` with the 3-D algorithm on ``nprocs = q^3`` ranks."""
     from repro.faults.spec import coerce_faults
@@ -144,19 +145,26 @@ def run_dns3d(
     if network is None:
         network = HomogeneousNetwork(nprocs, params or DEFAULT_PARAMS)
     faults = coerce_faults(faults)
-    programs = []
-    for rank, ctx in enumerate(
-        make_contexts(nprocs, options=options, gamma=gamma,
-                      retry=faults.retry if faults is not None else None)
-    ):
-        k = rank % q
-        j = (rank // q) % q
-        i = rank // (q * q)
-        a_t = da.tile(i, j) if k == 0 else None
-        b_t = db.tile(i, j) if k == 0 else None
-        programs.append(dns3d_program(ctx, a_t, b_t, q))
-    sim = resolve_backend(backend, network, contention=contention,
-                          faults=faults).run(programs)
+
+    def make_programs():
+        programs = []
+        for rank, ctx in enumerate(
+            make_contexts(nprocs, options=options, gamma=gamma,
+                          retry=faults.retry if faults is not None else None)
+        ):
+            k = rank % q
+            j = (rank // q) % q
+            i = rank // (q * q)
+            a_t = da.tile(i, j) if k == 0 else None
+            b_t = db.tile(i, j) if k == 0 else None
+            programs.append(dns3d_program(ctx, a_t, b_t, q))
+        return programs
+
+    sim = run_verified(
+        make_programs, verify=verify, backend=backend, network=network,
+        contention=contention, faults=faults,
+        meta={"program": "dns3d", "cube": f"{q}x{q}x{q}"},
+    )
 
     dc = DistMatrix(
         PhantomArray((m, n)) if da.phantom or db.phantom else np.empty((m, n)),

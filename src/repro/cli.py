@@ -12,6 +12,8 @@ Subcommands:
 * ``trace`` — run a traced multiplication; write a Chrome trace_event
   JSON (loadable in Perfetto) and print the per-phase breakdown.
 * ``report`` — quick scorecard verifying the paper's claims end to end.
+* ``verify`` — run the communication-correctness verifier over the
+  algorithm corpus (see ``docs/verification.md``).
 """
 
 from __future__ import annotations
@@ -253,6 +255,37 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0 if all(r.passed for r in results) else 1
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.verify import VerifyOptions
+    from repro.verify.corpus import run_corpus
+
+    options = VerifyOptions(schedules=args.schedules, seed=args.seed)
+    names = args.cases or None
+    results = run_corpus(names, verify=options)
+
+    if args.json:
+        payload = [
+            {"case": case.name, "description": case.description,
+             **verdict.to_dict()}
+            for case, verdict in results
+        ]
+        print(json.dumps(payload, indent=2, default=str))
+    else:
+        width = max(len(case.name) for case, _ in results)
+        for case, verdict in results:
+            print(f"{case.name:<{width}}  {verdict.summary()}")
+            if not verdict.ok or args.verbose:
+                for line in verdict.to_text().splitlines()[1:]:
+                    print(f"{'':<{width}}  {line.strip()}")
+    failed = [case.name for case, verdict in results if not verdict.ok]
+    if failed:
+        print(f"FAILED: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="hsumma",
@@ -348,6 +381,27 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_rep = sub.add_parser("report", help="reproduction scorecard")
     p_rep.set_defaults(func=_cmd_report)
+
+    p_ver = sub.add_parser(
+        "verify",
+        help="communication-correctness verifier over the algorithm corpus",
+    )
+    p_ver.add_argument(
+        "cases", nargs="*", metavar="CASE",
+        help="corpus case names to run (default: all)",
+    )
+    p_ver.add_argument(
+        "--schedules", type=int, default=2, metavar="K",
+        help="perturbed delivery schedules for the determinism pass "
+             "(0 disables it)",
+    )
+    p_ver.add_argument("--seed", type=int, default=0,
+                       help="seed for the schedule perturbations")
+    p_ver.add_argument("--json", action="store_true",
+                       help="emit the verdicts as JSON")
+    p_ver.add_argument("--verbose", action="store_true",
+                       help="print findings even for clean cases")
+    p_ver.set_defaults(func=_cmd_verify)
 
     return parser
 

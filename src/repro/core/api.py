@@ -80,6 +80,7 @@ def multiply(
     options: Any = None,
     backend: Any = None,
     faults: Any = None,
+    verify: Any = None,
     **kwargs: Any,
 ) -> MatmulResult:
     """Multiply ``A @ B`` on a simulated distributed-memory platform.
@@ -118,6 +119,11 @@ def multiply(
         Fault injection: a :class:`repro.faults.FaultSchedule` or a
         spec string for :func:`repro.faults.parse_fault_spec`.
         Discrete-event backend only; see ``docs/robustness.md``.
+    verify:
+        Communication-correctness verification: ``True`` for the
+        defaults, a :class:`repro.verify.VerifyOptions`, or a dict of
+        its fields.  The verdict lands on ``result.sim.verdict`` (see
+        ``docs/verification.md``).  Ignored by ``serial``.
 
     Returns
     -------
@@ -146,7 +152,7 @@ def multiply(
     if grid is not None:
         s, t = grid
     common = dict(network=network, params=params, gamma=gamma, options=options,
-                  backend=backend, faults=faults)
+                  backend=backend, faults=faults, verify=verify)
     m, l = A.shape
     n = B.shape[1]
 

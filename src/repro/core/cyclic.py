@@ -39,7 +39,7 @@ from repro.mpi.comm import CollectiveOptions, MpiContext, make_contexts
 from repro.network.homogeneous import HomogeneousNetwork
 from repro.network.model import Network
 from repro.payloads import PhantomArray
-from repro.simulator.backends import resolve_backend
+from repro.verify.session import run_verified
 from repro.simulator.runtime import DEFAULT_PARAMS
 from repro.simulator.tracing import SimResult
 from repro.util.validation import require, require_divides
@@ -248,6 +248,7 @@ def run_cyclic(
     contention: bool = False,
     backend: Any = None,
     faults: Any = None,
+    verify: Any = None,
 ) -> tuple[Any, SimResult]:
     """Multiply block-cyclic ``A @ B``; returns ``(C, SimResult)``.
 
@@ -279,23 +280,30 @@ def run_cyclic(
     if network is None:
         network = HomogeneousNetwork(nranks, params or DEFAULT_PARAMS)
     faults = coerce_faults(faults)
-    programs = []
-    for rank, ctx in enumerate(
-        make_contexts(nranks, options=options, gamma=gamma,
-                      retry=faults.retry if faults is not None else None)
-    ):
-        gi, gj = divmod(rank, t)
-        programs.append(
-            cyclic_summa_program(
-                ctx,
-                tile(da_dist, A, gi, gj),
-                tile(db_dist, B, gi, gj),
-                cfg,
-                overlap=overlap,
+
+    def make_programs():
+        programs = []
+        for rank, ctx in enumerate(
+            make_contexts(nranks, options=options, gamma=gamma,
+                          retry=faults.retry if faults is not None else None)
+        ):
+            gi, gj = divmod(rank, t)
+            programs.append(
+                cyclic_summa_program(
+                    ctx,
+                    tile(da_dist, A, gi, gj),
+                    tile(db_dist, B, gi, gj),
+                    cfg,
+                    overlap=overlap,
+                )
             )
-        )
-    sim = resolve_backend(backend, network, contention=contention,
-                          faults=faults).run(programs)
+        return programs
+
+    sim = run_verified(
+        make_programs, verify=verify, backend=backend, network=network,
+        contention=contention, faults=faults,
+        meta={"program": "cyclic", "grid": f"{s}x{t}"},
+    )
 
     tiles = {divmod(rank, t): sim.return_values[rank] for rank in range(nranks)}
     if phantom:

@@ -37,8 +37,8 @@ from repro.mpi.cart import CartComm
 from repro.mpi.comm import CollectiveOptions, MpiContext, make_contexts
 from repro.network.model import Network
 from repro.payloads import PhantomArray
-from repro.simulator.backends import resolve_backend
 from repro.simulator.tracing import SimResult
+from repro.verify.session import run_verified
 from repro.util.validation import require, require_divides
 
 Gen = Generator[Any, Any, Any]
@@ -230,6 +230,7 @@ def run_hsumma(
     trace: bool = False,
     backend: Any = None,
     faults: Any = None,
+    verify: Any = None,
 ) -> tuple[Any, SimResult]:
     """Multiply block-distributed ``A @ B`` with HSUMMA; returns
     ``(C, SimResult)``.
@@ -242,7 +243,8 @@ def run_hsumma(
     phase spans and the transfer trace (see :mod:`repro.metrics`);
     timings are bit-identical either way.  ``faults`` injects a
     :class:`repro.faults.FaultSchedule` (or spec string) on the
-    discrete-event backend; see ``docs/robustness.md``.
+    discrete-event backend; see ``docs/robustness.md``.  ``verify``
+    enables the communication verifier (``docs/verification.md``).
     """
     from repro.core.grouping import choose_group_grid
 
@@ -276,17 +278,23 @@ def run_hsumma(
         network = HomogeneousNetwork(nranks, params or DEFAULT_PARAMS)
     faults = coerce_faults(faults)
 
-    programs = []
-    for rank, ctx in enumerate(
-        make_contexts(nranks, options=options, gamma=gamma, trace=trace,
-                      retry=faults.retry if faults is not None else None)
-    ):
-        gi, gj = divmod(rank, t)
-        programs.append(hsumma_program(ctx, da.tile(gi, gj), db.tile(gi, gj), cfg))
-    sim = resolve_backend(
-        backend, network, contention=contention, collect_trace=trace,
-        faults=faults,
-    ).run(programs)
+    def make_programs():
+        programs = []
+        for rank, ctx in enumerate(
+            make_contexts(nranks, options=options, gamma=gamma, trace=trace,
+                          retry=faults.retry if faults is not None else None)
+        ):
+            gi, gj = divmod(rank, t)
+            programs.append(
+                hsumma_program(ctx, da.tile(gi, gj), db.tile(gi, gj), cfg)
+            )
+        return programs
+
+    sim = run_verified(
+        make_programs, verify=verify, backend=backend, network=network,
+        contention=contention, collect_trace=trace, faults=faults,
+        meta={"program": "hsumma", "grid": f"{s}x{t}", "groups": f"{I}x{J}"},
+    )
 
     dc = DistMatrix(
         PhantomArray((m, n)) if da.phantom or db.phantom else np.empty((m, n)),
@@ -490,6 +498,7 @@ def run_hsumma_multilevel(
     trace: bool = False,
     backend: Any = None,
     faults: Any = None,
+    verify: Any = None,
 ) -> tuple[Any, SimResult]:
     """Multiply with the multi-level hierarchy (h = len(factors) levels);
     same contract as :func:`run_hsumma`.
@@ -521,19 +530,27 @@ def run_hsumma_multilevel(
     if network is None:
         network = HomogeneousNetwork(nranks, params or DEFAULT_PARAMS)
     faults = coerce_faults(faults)
-    programs = []
-    for rank, ctx in enumerate(
-        make_contexts(nranks, options=options, gamma=gamma, trace=trace,
-                      retry=faults.retry if faults is not None else None)
-    ):
-        gi, gj = divmod(rank, t)
-        programs.append(
-            hsumma_multilevel_program(ctx, da.tile(gi, gj), db.tile(gi, gj), cfg)
-        )
-    sim = resolve_backend(
-        backend, network, contention=contention, collect_trace=trace,
-        faults=faults,
-    ).run(programs)
+
+    def make_programs():
+        programs = []
+        for rank, ctx in enumerate(
+            make_contexts(nranks, options=options, gamma=gamma, trace=trace,
+                          retry=faults.retry if faults is not None else None)
+        ):
+            gi, gj = divmod(rank, t)
+            programs.append(
+                hsumma_multilevel_program(
+                    ctx, da.tile(gi, gj), db.tile(gi, gj), cfg
+                )
+            )
+        return programs
+
+    sim = run_verified(
+        make_programs, verify=verify, backend=backend, network=network,
+        contention=contention, collect_trace=trace, faults=faults,
+        meta={"program": "hsumma-multilevel", "grid": f"{s}x{t}",
+              "levels": len(cfg.blocks)},
+    )
 
     dc = DistMatrix(
         PhantomArray((m, n)) if da.phantom or db.phantom else np.empty((m, n)),

@@ -40,7 +40,7 @@ from repro.mpi.comm import CollectiveOptions, MpiContext, make_contexts
 from repro.network.homogeneous import HomogeneousNetwork
 from repro.network.model import Network
 from repro.payloads import PhantomArray
-from repro.simulator.backends import resolve_backend
+from repro.verify.session import run_verified
 from repro.simulator.runtime import DEFAULT_PARAMS
 from repro.simulator.tracing import SimResult
 
@@ -268,6 +268,7 @@ def run_hsumma_overlap(
     contention: bool = False,
     backend: Any = None,
     faults: Any = None,
+    verify: Any = None,
 ) -> tuple[Any, SimResult]:
     """Overlapped HSUMMA; same contract as
     :func:`repro.core.hsumma.run_hsumma`."""
@@ -298,17 +299,25 @@ def run_hsumma_overlap(
     if network is None:
         network = HomogeneousNetwork(nranks, params or DEFAULT_PARAMS)
     faults = coerce_faults(faults)
-    programs = []
-    for rank, ctx in enumerate(
-        make_contexts(nranks, options=options, gamma=gamma,
-                      retry=faults.retry if faults is not None else None)
-    ):
-        gi, gj = divmod(rank, t)
-        programs.append(
-            hsumma_overlap_program(ctx, da.tile(gi, gj), db.tile(gi, gj), cfg)
-        )
-    sim = resolve_backend(backend, network, contention=contention,
-                          faults=faults).run(programs)
+
+    def make_programs():
+        programs = []
+        for rank, ctx in enumerate(
+            make_contexts(nranks, options=options, gamma=gamma,
+                          retry=faults.retry if faults is not None else None)
+        ):
+            gi, gj = divmod(rank, t)
+            programs.append(
+                hsumma_overlap_program(ctx, da.tile(gi, gj), db.tile(gi, gj),
+                                       cfg)
+            )
+        return programs
+
+    sim = run_verified(
+        make_programs, verify=verify, backend=backend, network=network,
+        contention=contention, faults=faults,
+        meta={"program": "hsumma-overlap", "grid": f"{s}x{t}"},
+    )
 
     dc = DistMatrix(
         PhantomArray((m, n)) if da.phantom or db.phantom else np.empty((m, n)),
@@ -331,6 +340,7 @@ def run_summa_overlap(
     contention: bool = False,
     backend: Any = None,
     faults: Any = None,
+    verify: Any = None,
 ) -> tuple[Any, SimResult]:
     """Overlapped SUMMA; same contract as
     :func:`repro.core.summa.run_summa`."""
@@ -351,17 +361,24 @@ def run_summa_overlap(
     if network is None:
         network = HomogeneousNetwork(nranks, params or DEFAULT_PARAMS)
     faults = coerce_faults(faults)
-    programs = []
-    for rank, ctx in enumerate(
-        make_contexts(nranks, options=options, gamma=gamma,
-                      retry=faults.retry if faults is not None else None)
-    ):
-        i, j = divmod(rank, t)
-        programs.append(
-            summa_overlap_program(ctx, da.tile(i, j), db.tile(i, j), cfg)
-        )
-    sim = resolve_backend(backend, network, contention=contention,
-                          faults=faults).run(programs)
+
+    def make_programs():
+        programs = []
+        for rank, ctx in enumerate(
+            make_contexts(nranks, options=options, gamma=gamma,
+                          retry=faults.retry if faults is not None else None)
+        ):
+            i, j = divmod(rank, t)
+            programs.append(
+                summa_overlap_program(ctx, da.tile(i, j), db.tile(i, j), cfg)
+            )
+        return programs
+
+    sim = run_verified(
+        make_programs, verify=verify, backend=backend, network=network,
+        contention=contention, faults=faults,
+        meta={"program": "summa-overlap", "grid": f"{s}x{t}"},
+    )
 
     dc = DistMatrix(
         PhantomArray((m, n)) if da.phantom or db.phantom else np.empty((m, n)),

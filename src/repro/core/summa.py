@@ -27,8 +27,8 @@ from repro.mpi.cart import CartComm
 from repro.mpi.comm import CollectiveOptions, MpiContext, make_contexts
 from repro.network.model import Network
 from repro.payloads import PhantomArray
-from repro.simulator.backends import resolve_backend
 from repro.simulator.tracing import SimResult
+from repro.verify.session import run_verified
 from repro.util.validation import require, require_divides
 
 Gen = Generator[Any, Any, Any]
@@ -133,6 +133,7 @@ def run_summa(
     trace: bool = False,
     backend: Any = None,
     faults: Any = None,
+    verify: Any = None,
 ) -> tuple[Any, SimResult]:
     """Multiply block-distributed ``A @ B`` with SUMMA on a simulated
     platform; returns ``(C, SimResult)``.
@@ -146,6 +147,9 @@ def run_summa(
     or a prebuilt engine; see :mod:`repro.simulator.backends`).
     ``faults`` injects a :class:`repro.faults.FaultSchedule` (or spec
     string) — discrete-event backend only; see ``docs/robustness.md``.
+    ``verify`` enables the communication verifier (True or a
+    :class:`repro.verify.VerifyOptions`); the verdict lands on
+    ``SimResult.verdict`` — see ``docs/verification.md``.
     """
     s, t = grid
     (m, l), (l2, n) = A.shape, B.shape
@@ -167,17 +171,23 @@ def run_summa(
         network = HomogeneousNetwork(nranks, params or DEFAULT_PARAMS)
     faults = coerce_faults(faults)
 
-    programs = []
-    for rank, ctx in enumerate(
-        make_contexts(nranks, options=options, gamma=gamma, trace=trace,
-                      retry=faults.retry if faults is not None else None)
-    ):
-        i, j = divmod(rank, t)
-        programs.append(summa_program(ctx, da.tile(i, j), db.tile(i, j), cfg))
-    sim = resolve_backend(
-        backend, network, contention=contention, collect_trace=trace,
-        faults=faults,
-    ).run(programs)
+    def make_programs():
+        programs = []
+        for rank, ctx in enumerate(
+            make_contexts(nranks, options=options, gamma=gamma, trace=trace,
+                          retry=faults.retry if faults is not None else None)
+        ):
+            i, j = divmod(rank, t)
+            programs.append(
+                summa_program(ctx, da.tile(i, j), db.tile(i, j), cfg)
+            )
+        return programs
+
+    sim = run_verified(
+        make_programs, verify=verify, backend=backend, network=network,
+        contention=contention, collect_trace=trace, faults=faults,
+        meta={"program": "summa", "grid": f"{s}x{t}"},
+    )
 
     dc = DistMatrix(
         PhantomArray((m, n)) if da.phantom or db.phantom else np.empty((m, n)),

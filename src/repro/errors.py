@@ -34,6 +34,30 @@ class CommunicatorError(ReproError):
     """
 
 
+class CollectiveMismatchError(CommunicatorError):
+    """Two ranks called the same collective slot inconsistently.
+
+    Raised by the communicator layer's announcement registry the moment
+    a second rank announces a ``(cid, seq)`` collective with a different
+    operation, root, algorithm or membership than the first — instead of
+    letting the mismatch surface later as a payload error or deadlock.
+
+    Structured: ``check`` is the verification check id
+    (e.g. ``"collective-root-mismatch"``), ``cid``/``seq`` identify the
+    collective slot, and ``expected``/``observed`` are the two
+    conflicting signatures (mappings of field name to value).
+    """
+
+    def __init__(self, message: str, *, check: str, cid: tuple, seq: int,
+                 expected: dict, observed: dict):
+        self.check = check
+        self.cid = cid
+        self.seq = seq
+        self.expected = dict(expected)
+        self.observed = dict(observed)
+        super().__init__(message)
+
+
 class DeadlockError(ReproError):
     """The discrete-event simulation reached a state where no rank can
     make progress but at least one rank has not terminated.
@@ -41,7 +65,19 @@ class DeadlockError(ReproError):
     The message lists the blocked ranks and the operation each is
     waiting on, which is usually enough to diagnose a mismatched
     send/recv pair in an algorithm.
+
+    Structured: ``blocked`` maps each unfinished rank to a dict
+    describing its pending operation — at least ``kind`` (``"send"``,
+    ``"recv"``, ``"wait-send"``, ``"wait-recv"``, ``"wait-pair"``,
+    ``"collective"`` or ``"unknown"``) and ``repr``; point-to-point
+    entries add ``peer`` (the world rank waited on, when known) and
+    ``tag``.  Built by the engine's quiescence check so supervisors and
+    the :mod:`repro.verify` diagnoser can react programmatically.
     """
+
+    def __init__(self, message: str, blocked: dict | None = None):
+        self.blocked: dict[int, dict] = dict(blocked or {})
+        super().__init__(message)
 
 
 class SimulationError(ReproError):
@@ -83,3 +119,20 @@ class FaultToleranceError(ReproError):
     Raised by :meth:`repro.mpi.comm.Comm.recv_retry` when every timed
     attempt expired without a matching message.
     """
+
+
+class VerificationError(ReproError):
+    """A verified run produced a non-clean verdict in strict mode.
+
+    Structured: ``verdict`` is the full
+    :class:`repro.verify.Verdict`, so callers can inspect the findings
+    that failed the run.
+    """
+
+    def __init__(self, verdict):
+        self.verdict = verdict
+        errors = [f.check for f in verdict.errors]
+        super().__init__(
+            f"verification failed with {len(errors)} error finding(s): "
+            + ", ".join(sorted(set(errors)))
+        )

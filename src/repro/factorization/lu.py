@@ -36,7 +36,7 @@ from repro.mpi.comm import CollectiveOptions, MpiContext, make_contexts
 from repro.network.homogeneous import HomogeneousNetwork
 from repro.network.model import Network
 from repro.payloads import PhantomArray
-from repro.simulator.backends import resolve_backend
+from repro.verify.session import run_verified
 from repro.simulator.runtime import DEFAULT_PARAMS
 from repro.simulator.tracing import SimResult
 from repro.util.validation import require, require_divides
@@ -283,6 +283,7 @@ def run_block_lu(
     options: CollectiveOptions | None = None,
     contention: bool = False,
     backend: Any = None,
+    verify: Any = None,
 ) -> tuple[Any, Any, SimResult]:
     """Factor ``A = L @ U`` on a simulated platform.
 
@@ -320,12 +321,19 @@ def run_block_lu(
     nranks = s * t
     if network is None:
         network = HomogeneousNetwork(nranks, params or DEFAULT_PARAMS)
-    programs = []
-    for rank, ctx in enumerate(
-        make_contexts(nranks, options=options, gamma=gamma)
-    ):
-        programs.append(lu_program(ctx, per_rank[rank], cfg))
-    sim = resolve_backend(backend, network, contention=contention).run(programs)
+    def make_programs():
+        return [
+            lu_program(ctx, dict(per_rank[rank]), cfg)
+            for rank, ctx in enumerate(
+                make_contexts(nranks, options=options, gamma=gamma)
+            )
+        ]
+
+    sim = run_verified(
+        make_programs, verify=verify, backend=backend, network=network,
+        contention=contention,
+        meta={"program": "lu", "grid": f"{s}x{t}"},
+    )
 
     if phantom:
         return PhantomArray((n, n)), PhantomArray((n, n)), sim

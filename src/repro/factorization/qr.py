@@ -35,7 +35,7 @@ from repro.mpi.comm import CollectiveOptions, MpiContext, make_contexts
 from repro.network.homogeneous import HomogeneousNetwork
 from repro.network.model import Network
 from repro.payloads import PhantomArray
-from repro.simulator.backends import resolve_backend
+from repro.verify.session import run_verified
 from repro.simulator.runtime import DEFAULT_PARAMS
 from repro.simulator.tracing import SimResult
 
@@ -251,6 +251,7 @@ def run_block_qr(
     options: CollectiveOptions | None = None,
     contention: bool = False,
     backend: Any = None,
+    verify: Any = None,
 ) -> tuple[Any, SimResult]:
     """Factor ``A = Q R`` on a simulated platform; returns ``(R, SimResult)``
     (``Q`` stays implicit in the reflectors, as in LAPACK)."""
@@ -279,12 +280,19 @@ def run_block_qr(
     nranks = s * t
     if network is None:
         network = HomogeneousNetwork(nranks, params or DEFAULT_PARAMS)
-    programs = []
-    for rank, ctx in enumerate(
-        make_contexts(nranks, options=options, gamma=gamma)
-    ):
-        programs.append(qr_program(ctx, per_rank[rank], cfg))
-    sim = resolve_backend(backend, network, contention=contention).run(programs)
+    def make_programs():
+        return [
+            qr_program(ctx, dict(per_rank[rank]), cfg)
+            for rank, ctx in enumerate(
+                make_contexts(nranks, options=options, gamma=gamma)
+            )
+        ]
+
+    sim = run_verified(
+        make_programs, verify=verify, backend=backend, network=network,
+        contention=contention,
+        meta={"program": "qr", "grid": f"{s}x{t}"},
+    )
 
     if phantom:
         return PhantomArray((n, n)), sim

@@ -31,7 +31,7 @@ from repro.mpi.comm import CollectiveOptions, MpiContext, make_contexts
 from repro.network.homogeneous import HomogeneousNetwork
 from repro.network.model import Network
 from repro.payloads import PhantomArray
-from repro.simulator.backends import resolve_backend
+from repro.verify.session import run_verified
 from repro.simulator.runtime import DEFAULT_PARAMS
 from repro.simulator.tracing import SimResult
 from repro.util.validation import require, require_divides
@@ -163,6 +163,7 @@ def run_hetero_summa1d(
     params: Any = None,
     options: CollectiveOptions | None = None,
     backend: Any = None,
+    verify: Any = None,
 ) -> tuple[Any, SimResult]:
     """Multiply ``A @ B`` on ranks of relative ``speeds``.
 
@@ -189,26 +190,33 @@ def run_hetero_summa1d(
 
     if network is None:
         network = HomogeneousNetwork(p, params or DEFAULT_PARAMS)
-    contexts = make_contexts(p, options=options)
-    programs = []
-    for rank in range(p):
-        a_panels: dict[int, Any] = {}
-        for k in range(cfg.nsteps):
-            if k % p == rank:
-                if phantom:
-                    a_panels[k] = PhantomArray((m, block))
-                else:
-                    Ad = np.asarray(A, dtype=float)
-                    a_panels[k] = Ad[:, k * block : (k + 1) * block].copy()
-        lo, hi = bounds[rank]
-        if phantom:
-            b_slice: Any = PhantomArray((l, hi - lo))
-        else:
-            b_slice = np.asarray(B, dtype=float)[:, lo:hi].copy()
-        ctx = contexts[rank]
-        ctx.gamma = base_gamma / true_speeds[rank]
-        programs.append(hetero_summa1d_program(ctx, a_panels, b_slice, cfg))
-    sim = resolve_backend(backend, network).run(programs)
+
+    def make_programs():
+        contexts = make_contexts(p, options=options)
+        programs = []
+        for rank in range(p):
+            a_panels: dict[int, Any] = {}
+            for k in range(cfg.nsteps):
+                if k % p == rank:
+                    if phantom:
+                        a_panels[k] = PhantomArray((m, block))
+                    else:
+                        Ad = np.asarray(A, dtype=float)
+                        a_panels[k] = Ad[:, k * block : (k + 1) * block].copy()
+            lo, hi = bounds[rank]
+            if phantom:
+                b_slice: Any = PhantomArray((l, hi - lo))
+            else:
+                b_slice = np.asarray(B, dtype=float)[:, lo:hi].copy()
+            ctx = contexts[rank]
+            ctx.gamma = base_gamma / true_speeds[rank]
+            programs.append(hetero_summa1d_program(ctx, a_panels, b_slice, cfg))
+        return programs
+
+    sim = run_verified(
+        make_programs, verify=verify, backend=backend, network=network,
+        meta={"program": "hetero-summa1d", "ranks": p},
+    )
 
     if phantom:
         return PhantomArray((m, n)), sim

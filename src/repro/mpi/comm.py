@@ -34,7 +34,11 @@ from repro.collectives import (
 from repro.collectives.barrier import barrier_dissemination
 from repro.collectives.gather import gather_binomial
 from repro.collectives.scatter import scatter_binomial
-from repro.errors import CommunicatorError, FaultToleranceError
+from repro.errors import (
+    CollectiveMismatchError,
+    CommunicatorError,
+    FaultToleranceError,
+)
 from repro.faults.schedule import DEFAULT_RETRY_POLICY, RetryPolicy
 from repro.simulator.requests import (
     RECV_TIMEOUT,
@@ -105,12 +109,21 @@ class _RankShared:
     memberships, so the first rank's answer is every rank's answer.
     """
 
-    __slots__ = ("world_ranks", "splits")
+    __slots__ = ("world_ranks", "splits", "collectives")
 
     def __init__(self, nranks: int) -> None:
         self.world_ranks = tuple(range(nranks))
         #: child cid -> {color: ordered world-rank tuple}
         self.splits: dict[tuple, dict[int, tuple[int, ...]]] = {}
+        #: (cid, seq) -> [signature tuple, ranks seen]: the collective
+        #: announcement registry.  The first announcement of a slot
+        #: seeds it; every later announcement must match field for
+        #: field, so a wrong root or a desynchronised call order fails
+        #: at the *call site* of the second rank instead of as a
+        #: downstream payload error or deadlock.  Entries are dropped
+        #: once every participant has announced, keeping the registry
+        #: O(concurrent collectives).
+        self.collectives: dict[tuple, list] = {}
 
 
 def make_contexts(
@@ -432,6 +445,16 @@ class Comm:
     # payload's wire size — so span trees self-document which collective
     # ran where without the algorithms knowing about tracing at all.
 
+    #: Announcement signature fields, with the check id a mismatch in
+    #: each maps to (compared in order; the first difference wins).
+    _SIG_FIELDS = (
+        ("participants", "collective-comm-mismatch"),
+        ("op", "collective-op-mismatch"),
+        ("root", "collective-root-mismatch"),
+        ("algorithm", "collective-arg-mismatch"),
+        ("segments", "collective-arg-mismatch"),
+    )
+
     def _announce(
         self,
         op: str,
@@ -440,16 +463,54 @@ class Comm:
         root: int | None = None,
         segments: int | None = None,
     ) -> CollectiveRequest:
+        seq = next(self._coll_seq)
+        sig = (self._world_ranks, op, root, algorithm, segments)
+        registry = self._ctx._shared.collectives
+        key = (self._cid, seq)
+        entry = registry.get(key)
+        if entry is None:
+            registry[key] = [sig, 1]
+        else:
+            if entry[0] != sig:
+                self._reject_announcement(key, entry[0], sig)
+            entry[1] += 1
+            if entry[1] >= len(self._world_ranks):
+                del registry[key]
         return CollectiveRequest(
             op,
             algorithm,
             self._cid,
-            next(self._coll_seq),
+            seq,
             self._world_ranks,
             self.rank,
             root,
             payload,
             segments,
+        )
+
+    def _reject_announcement(self, key: tuple, expected: tuple,
+                             observed: tuple) -> None:
+        """A second rank announced collective slot ``key`` with a
+        different signature: name the first differing field and fail
+        eagerly with the verification check id a verifier would
+        assign."""
+        names = [name for name, _ in self._SIG_FIELDS]
+        exp = dict(zip(names, expected))
+        obs = dict(zip(names, observed))
+        for name, check in self._SIG_FIELDS:
+            if exp[name] != obs[name]:
+                raise CollectiveMismatchError(
+                    f"rank {self._ctx.rank}: collective #{key[1]} on "
+                    f"communicator {key[0] or '()'} announced "
+                    f"{name}={obs[name]!r} but another participant "
+                    f"announced {name}={exp[name]!r} ({check})",
+                    check=check, cid=key[0], seq=key[1],
+                    expected=exp, observed=obs,
+                )
+        raise CollectiveMismatchError(  # pragma: no cover - defensive
+            f"inconsistent collective announcement for {key}",
+            check="collective-arg-mismatch", cid=key[0], seq=key[1],
+            expected=exp, observed=obs,
         )
 
     def bcast(self, obj: Any, root: int, algorithm: str | None = None) -> Gen:
@@ -485,6 +546,18 @@ class Comm:
     def scatter(self, parts: Sequence[Any] | None, root: int) -> Gen:
         """Scatter ``parts[i]`` to rank ``i``; ``parts`` given on root only."""
         self._check_rank(root)
+        if self.rank == root:
+            # Early argument validation: fail at the call site instead
+            # of as a downstream IndexError inside the scatter tree.
+            if parts is None:
+                raise CommunicatorError(
+                    f"scatter root {root} must supply the parts sequence"
+                )
+            if len(parts) < self.size:
+                raise CommunicatorError(
+                    f"scatter root {root} supplied {len(parts)} parts for a "
+                    f"communicator of size {self.size}"
+                )
         if self._ctx.trace:
             yield SpanOpenRequest(
                 "coll.scatter",

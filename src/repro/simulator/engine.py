@@ -150,6 +150,33 @@ class _RankState:
         self.resume_value: Any = None  # stashed for _PAIR_FINAL wake-ups
 
 
+def _pending_op_info(op: Any) -> dict:
+    """Machine-readable description of a blocked rank's pending
+    operation, for :class:`~repro.errors.DeadlockError`'s structured
+    ``blocked`` payload.  ``peer`` is a world rank when the operation
+    names one; tags are the wire tags the engine matches on."""
+    info: dict[str, Any] = {"repr": repr(op)}
+    cls = op.__class__
+    if cls is RecvRequest:
+        info.update(kind="recv", peer=op.src, tag=op.tag)
+    elif cls is SendRequest:
+        info.update(kind="send", peer=op.dst, tag=op.tag)
+    elif cls is RequestHandle:
+        info.update(kind=f"wait-{op.kind}", peer=None, tag=None)
+    elif cls is WaitRequest:
+        info.update(kind=f"wait-{op.handle.kind}", peer=None, tag=None)
+    elif cls is tuple:
+        info.update(kind="wait-pair", peer=None, tag=None)
+    elif cls is CollectiveRequest:
+        info.update(kind="collective", op=op.op, cid=op.cid, seq=op.seq,
+                    participants=op.participants)
+    elif cls is SendRecvRequest:
+        info.update(kind="sendrecv", peer=op.src, tag=op.recvtag)
+    else:
+        info.update(kind="unknown")
+    return info
+
+
 class Engine:
     """Run a set of rank programs to completion over ``network``.
 
@@ -305,7 +332,10 @@ class Engine:
         if blocked:
             detail = ", ".join(f"rank {r} on {op!r}" for r, op in blocked[:8])
             more = "" if len(blocked) <= 8 else f" (+{len(blocked) - 8} more)"
-            raise DeadlockError(f"simulation deadlocked: {detail}{more}")
+            raise DeadlockError(
+                f"simulation deadlocked: {detail}{more}",
+                blocked={r: _pending_op_info(op) for r, op in blocked},
+            )
 
         for state in self._ranks:
             self._spans.finish(state.stats.rank, state.stats.clock)

@@ -34,6 +34,7 @@ def run_spmd(
     trace: bool = False,
     backend: Any = None,
     faults: Any = None,
+    verify: Any = None,
 ) -> SimResult:
     """Run ``program`` on ``nranks`` simulated ranks.
 
@@ -70,6 +71,13 @@ def run_spmd(
         Fault injection: a :class:`~repro.faults.FaultSchedule` or a
         spec string for :func:`repro.faults.parse_fault_spec` (DES
         backend only; see ``docs/robustness.md``).
+    verify:
+        Communication-correctness verification: ``True`` for the
+        defaults, a :class:`~repro.verify.VerifyOptions`, or a dict of
+        its fields.  The verdict lands on ``SimResult.verdict`` (see
+        ``docs/verification.md``).  ``None`` (default) disables the
+        verifier entirely; the run is then bit-identical to older
+        releases.
 
     Returns
     -------
@@ -78,23 +86,29 @@ def run_spmd(
     """
     from repro.faults.spec import coerce_faults
     from repro.mpi.comm import make_contexts
-    from repro.simulator.backends import resolve_backend
+    from repro.verify.session import run_verified
 
     if network is None:
         network = HomogeneousNetwork(nranks, params or DEFAULT_PARAMS)
     faults = coerce_faults(faults)
-    programs = [
-        program(ctx)
-        for ctx in make_contexts(nranks, options=options, gamma=gamma,
-                                 trace=trace,
-                                 retry=faults.retry if faults is not None else None)
-    ]
-    engine = resolve_backend(
-        backend,
-        network,
+
+    def make_programs():
+        return [
+            program(ctx)
+            for ctx in make_contexts(
+                nranks, options=options, gamma=gamma, trace=trace,
+                retry=faults.retry if faults is not None else None)
+        ]
+
+    return run_verified(
+        make_programs,
+        verify=verify,
+        backend=backend,
+        network=network,
         contention=contention,
         collect_trace=collect_trace or trace,
         eager_threshold=eager_threshold,
         faults=faults,
+        meta={"program": getattr(program, "__name__", "spmd"),
+              "ranks": nranks},
     )
-    return engine.run(programs)

@@ -91,12 +91,16 @@ class SimResult:
         Top-level spans from every rank (in recording order), when the
         rank programs emitted any; else empty.  See
         :mod:`repro.simulator.spans`.
+    verdict:
+        The :class:`repro.verify.Verdict` of a verified run, or None
+        when the run executed without verification.
     """
 
     stats: list[RankStats]
     return_values: list[object]
     trace: list[TransferRecord] = dataclasses.field(default_factory=list)
     spans: list[Span] = dataclasses.field(default_factory=list)
+    verdict: object = None
 
     @property
     def nranks(self) -> int:

@@ -1,0 +1,54 @@
+"""repro.verify — communication-correctness and determinism verifier.
+
+Observes an SPMD simulation (without perturbing it) and renders a
+structured :class:`Verdict`:
+
+* **Recorder** (:mod:`repro.verify.recorder`) — wraps each rank
+  program's generator and rebuilds the engine's match graph of sends,
+  receives and collective announcements from the program side.  Zero
+  virtual-time cost; with verification off nothing is even installed.
+* **Structural checks** (:mod:`repro.verify.checks`) — unmatched and
+  leaked operations, collective call-order/argument consistency per
+  communicator, payload-size mismatches, self-send hazards.
+* **Deadlock diagnoser** (:mod:`repro.verify.deadlock`) — wait-for
+  graph, minimal blocking cycle, per-rank pending-operation naming.
+* **Determinism harness** (:mod:`repro.verify.schedules`) — reruns the
+  program under K legally perturbed delivery schedules and asserts the
+  numeric results stay bit-identical.
+
+Every runner accepts ``verify=`` (None/True/:class:`VerifyOptions`);
+the CLI exposes ``repro verify`` over the built-in corpus.  See
+``docs/verification.md`` for the check catalogue and verdict schema.
+"""
+
+from repro.verify.checks import CHECKS, run_structural_checks
+from repro.verify.corpus import CorpusCase, build_corpus, run_corpus
+from repro.verify.deadlock import diagnose_deadlock
+from repro.verify.recorder import Recorder
+from repro.verify.schedules import JitteredNetwork, bit_identical, check_schedules
+from repro.verify.session import (
+    VerifyOptions,
+    VerifySession,
+    coerce_verify,
+    run_verified,
+)
+from repro.verify.verdict import Finding, Verdict
+
+__all__ = [
+    "CHECKS",
+    "CorpusCase",
+    "Finding",
+    "JitteredNetwork",
+    "Recorder",
+    "Verdict",
+    "VerifyOptions",
+    "VerifySession",
+    "bit_identical",
+    "build_corpus",
+    "check_schedules",
+    "coerce_verify",
+    "diagnose_deadlock",
+    "run_corpus",
+    "run_structural_checks",
+    "run_verified",
+]

@@ -1,0 +1,189 @@
+"""The verification corpus: every shipped algorithm as a runnable case.
+
+Each :class:`CorpusCase` wraps one runner in a small, fast
+configuration and executes it with the verifier enabled.  The corpus is
+what ``hsumma verify`` and the CI verify job run: it asserts that the
+whole algorithm zoo — SUMMA, HSUMMA (two-level and multilevel), the
+overlap schedules, block-cyclic, Cannon, Fox, the 3-D and 2.5D
+algorithms, heterogeneous 1-D SUMMA, and the LU/QR factorizations —
+passes every structural check and the K-schedule determinism harness.
+
+The sizes are deliberately tiny (tens of rows, single-digit grids):
+the verifier checks communication *structure*, which does not depend on
+matrix size, and the corpus must stay cheap enough to run on every CI
+push.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Iterable
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.verify.session import VerifyOptions, coerce_verify
+from repro.verify.verdict import Verdict
+
+
+@dataclasses.dataclass(frozen=True)
+class CorpusCase:
+    """One verifiable configuration of a shipped algorithm."""
+
+    name: str
+    run: Callable[[Any], Verdict]
+    description: str = ""
+
+
+def _matrices(n: int = 24, seed: int = 7) -> tuple[np.ndarray, np.ndarray]:
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((n, n)), rng.standard_normal((n, n))
+
+
+def _multiply_case(name: str, description: str, **kwargs: Any) -> CorpusCase:
+    def run(verify: Any) -> Verdict:
+        from repro.core.api import multiply
+
+        A, B = _matrices()
+        result = multiply(A, B, verify=verify, **kwargs)
+        return result.sim.verdict
+
+    return CorpusCase(name=name, run=run, description=description)
+
+
+def _multilevel_case() -> CorpusCase:
+    def run(verify: Any) -> Verdict:
+        from repro.core.hsumma import run_hsumma_multilevel
+
+        A, B = _matrices(32)
+        _, sim = run_hsumma_multilevel(
+            A, B, grid=(4, 4), row_factors=(2, 2), col_factors=(2, 2),
+            blocks=(8, 4), verify=verify,
+        )
+        return sim.verdict
+
+    return CorpusCase(
+        name="hsumma-multilevel",
+        run=run,
+        description="three-level hierarchy on a 4x4 grid",
+    )
+
+
+def _hetero_case() -> CorpusCase:
+    def run(verify: Any) -> Verdict:
+        from repro.hetero.summa1d import run_hetero_summa1d
+
+        A, B = _matrices()
+        _, sim = run_hetero_summa1d(
+            A, B, speeds=[1.0, 2.0, 1.0, 4.0], block=6, groups=2,
+            verify=verify,
+        )
+        return sim.verdict
+
+    return CorpusCase(
+        name="hetero-summa1d",
+        run=run,
+        description="heterogeneous 1-D SUMMA, grouped broadcasts",
+    )
+
+
+def _lu_case() -> CorpusCase:
+    def run(verify: Any) -> Verdict:
+        from repro.factorization.lu import run_block_lu
+
+        A, _ = _matrices()
+        M = A @ A.T + A.shape[0] * np.eye(A.shape[0])
+        _, _, sim = run_block_lu(M, grid=(2, 2), block=6, groups=(2, 2),
+                                 verify=verify)
+        return sim.verdict
+
+    return CorpusCase(name="lu", run=run,
+                      description="hierarchical block LU on a 2x2 grid")
+
+
+def _qr_case() -> CorpusCase:
+    def run(verify: Any) -> Verdict:
+        from repro.factorization.qr import run_block_qr
+
+        A, _ = _matrices()
+        _, sim = run_block_qr(A, grid=(2, 2), block=6, verify=verify)
+        return sim.verdict
+
+    return CorpusCase(name="qr", run=run,
+                      description="blocked Householder QR on a 2x2 grid")
+
+
+def _ft_bcast_case() -> CorpusCase:
+    def run(verify: Any) -> Verdict:
+        from repro.simulator.runtime import run_spmd
+
+        def program(ctx):
+            def gen():
+                payload = np.arange(8.0) if ctx.world.rank == 0 else None
+                out = yield from ctx.world.bcast(payload, root=0)
+                total = yield from ctx.world.allreduce(float(out.sum()))
+                return total
+            return gen()
+
+        sim = run_spmd(program, 4, verify=verify)
+        return sim.verdict
+
+    return CorpusCase(
+        name="spmd-collectives",
+        run=run,
+        description="plain run_spmd program mixing bcast and allreduce",
+    )
+
+
+def build_corpus() -> list[CorpusCase]:
+    """The full corpus, in the order reports print it."""
+    return [
+        _multiply_case("summa", "pivot-broadcast SUMMA on a 2x2 grid",
+                       nprocs=4, algorithm="summa"),
+        _multiply_case("hsumma", "two-level HSUMMA on a 2x2 grid",
+                       nprocs=4, algorithm="hsumma"),
+        _multilevel_case(),
+        _multiply_case("summa-overlap", "SUMMA with one-step lookahead",
+                       nprocs=4, algorithm="summa", overlap=True),
+        _multiply_case("hsumma-overlap", "HSUMMA with one-step lookahead",
+                       nprocs=4, algorithm="hsumma", overlap=True),
+        _multiply_case("cyclic", "block-cyclic SUMMA", nprocs=4,
+                       algorithm="cyclic", block=6),
+        _multiply_case("cannon", "Cannon's shift algorithm", nprocs=4,
+                       algorithm="cannon"),
+        _multiply_case("fox", "Fox's broadcast-roll algorithm", nprocs=4,
+                       algorithm="fox"),
+        _multiply_case("dns3d", "3-D (DNS) algorithm on a 2x2x2 mesh",
+                       nprocs=8, algorithm="3d"),
+        _multiply_case("25d", "2.5D algorithm, replication 2",
+                       nprocs=8, algorithm="2.5d", replication=2),
+        _hetero_case(),
+        _lu_case(),
+        _qr_case(),
+        _ft_bcast_case(),
+    ]
+
+
+def run_corpus(
+    names: Iterable[str] | None = None,
+    *,
+    verify: Any = True,
+) -> list[tuple[CorpusCase, Verdict]]:
+    """Run (a subset of) the corpus; returns ``(case, verdict)`` pairs.
+
+    ``verify`` accepts anything :func:`repro.verify.coerce_verify`
+    does; the default enables the standard checks plus the two-schedule
+    determinism pass.
+    """
+    options = coerce_verify(verify) or VerifyOptions()
+    corpus = build_corpus()
+    if names is not None:
+        wanted = set(names)
+        unknown = wanted - {case.name for case in corpus}
+        if unknown:
+            known = ", ".join(case.name for case in corpus)
+            raise ConfigurationError(
+                f"unknown corpus case(s) {sorted(unknown)}; known: {known}"
+            )
+        corpus = [case for case in corpus if case.name in wanted]
+    return [(case, case.run(options)) for case in corpus]

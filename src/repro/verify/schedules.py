@@ -1,0 +1,170 @@
+"""Determinism harness: rerun under perturbed-but-legal schedules.
+
+A correct SPMD program in this library must compute bit-identical
+results regardless of *when* messages arrive, because matching is
+FIFO per channel with no wildcards — delivery timing may only affect
+virtual clocks, never numerics.  A program whose output depends on
+timing (polling ``handle.done``, racing a timed receive against real
+traffic, keying behaviour off the clock) is nondeterministic, and this
+harness exposes it by rerunning the program under K *jittered*
+delivery schedules and asserting the results stay bit-identical.
+
+The jitter is multiplicative per ``(src, dst, nbytes)`` and driven by
+the same splitmix64 hashing the fault layer uses
+(:func:`repro.faults.schedule.unit_hash`), so schedules are themselves
+reproducible: seed k always produces the same perturbation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable
+
+from repro.faults.schedule import unit_hash
+from repro.network.model import Network
+from repro.verify.verdict import Finding
+
+
+class JitteredNetwork(Network):
+    """Wrap ``base`` with deterministic per-edge transfer-time jitter.
+
+    Each ``(src, dst, nbytes)`` triple gets a fixed multiplier in
+    ``[1, 1 + amplitude)``; self-transfers stay at the base cost (zero,
+    by the :class:`~repro.network.model.Network` contract).  Routing
+    (``links``/``hops``) delegates unchanged, so contention behaviour
+    perturbs consistently with the times.
+    """
+
+    def __init__(self, base: Network, seed: int, amplitude: float = 0.05):
+        super().__init__(base.nranks)
+        if amplitude <= 0:
+            raise ValueError(f"jitter amplitude must be > 0, got {amplitude}")
+        self.base = base
+        self.seed = seed
+        self.amplitude = amplitude
+
+    def transfer_time(self, src: int, dst: int, nbytes: float) -> float:
+        t = self.base.transfer_time(src, dst, nbytes)
+        if src == dst:
+            return t
+        return t * (1.0 + self.amplitude * unit_hash(
+            self.seed, src, dst, int(nbytes)))
+
+    def links(self, src: int, dst: int):
+        return self.base.links(src, dst)
+
+    def hops(self, src: int, dst: int) -> int:
+        return self.base.hops(src, dst)
+
+
+def check_schedules(
+    run: Callable[[Network], Any],
+    base_network: Network,
+    *,
+    schedules: int,
+    seed: int = 0,
+    amplitude: float = 0.05,
+    baseline: Any = None,
+    label: str = "results",
+) -> list[Finding]:
+    """Rerun ``run`` under ``schedules`` jittered networks and compare.
+
+    ``run`` is invoked once per schedule with a perturbed network and
+    must return the comparable outcome (rank return values, a result
+    matrix, ...).  ``baseline`` is the unperturbed outcome; when None
+    it is computed with ``run(base_network)`` first.
+
+    Returns a list of findings: empty when every schedule reproduced
+    the baseline bit-identically, else one ``nondeterminism`` finding
+    per deviating schedule.
+    """
+    findings: list[Finding] = []
+    if baseline is None:
+        baseline = run(base_network)
+    for k in range(schedules):
+        net = JitteredNetwork(base_network, seed=seed + 1 + k,
+                              amplitude=amplitude)
+        try:
+            outcome = run(net)
+        except Exception as exc:  # a schedule-dependent crash
+            findings.append(Finding(
+                "nondeterminism", "error",
+                f"schedule {k + 1}/{schedules} (seed {net.seed}) raised "
+                f"{type(exc).__name__}: {exc} — the program's control flow "
+                "depends on delivery timing",
+                (),
+                {"schedule": k + 1, "seed": net.seed,
+                 "exception": type(exc).__name__},
+            ))
+            continue
+        where = _first_difference(baseline, outcome, path=label)
+        if where is not None:
+            findings.append(Finding(
+                "nondeterminism", "error",
+                f"schedule {k + 1}/{schedules} (seed {net.seed}) changed "
+                f"{where} — numeric results must not depend on message "
+                "timing",
+                (),
+                {"schedule": k + 1, "seed": net.seed, "difference": where},
+            ))
+    return findings
+
+
+def bit_identical(a: Any, b: Any) -> bool:
+    """True when ``a`` and ``b`` are bit-identical comparable outcomes."""
+    return _first_difference(a, b, path="value") is None
+
+
+def _first_difference(a: Any, b: Any, path: str) -> str | None:
+    """Path of the first bitwise difference between two outcomes, or
+    None when identical.  Understands numpy arrays (compared via raw
+    bytes, so NaN payloads and signed zeros count), phantom payloads,
+    containers, and floats (NaN == NaN here: reproducing the same NaN
+    *is* deterministic)."""
+    if a is b:
+        return None
+    if type(a) is not type(b):
+        return f"{path} (type {type(a).__name__} vs {type(b).__name__})"
+    tobytes = getattr(a, "tobytes", None)
+    if tobytes is not None and hasattr(b, "tobytes"):  # numpy arrays
+        shape_a = getattr(a, "shape", None)
+        if shape_a != getattr(b, "shape", None):
+            return f"{path}.shape"
+        if getattr(a, "dtype", None) != getattr(b, "dtype", None):
+            return f"{path}.dtype"
+        if a.tobytes() != b.tobytes():
+            return f"{path} (array bytes)"
+        return None
+    if isinstance(a, float):
+        if math.isnan(a) and math.isnan(b):
+            return None
+        return None if a == b else path
+    if isinstance(a, (list, tuple)):
+        if len(a) != len(b):
+            return f"{path}.len"
+        for i, (xa, xb) in enumerate(zip(a, b)):
+            where = _first_difference(xa, xb, f"{path}[{i}]")
+            if where is not None:
+                return where
+        return None
+    if isinstance(a, dict):
+        if set(a) != set(b):
+            return f"{path}.keys"
+        for key in a:
+            where = _first_difference(a[key], b[key], f"{path}[{key!r}]")
+            if where is not None:
+                return where
+        return None
+    fields = getattr(a, "__dataclass_fields__", None)
+    if fields is not None:  # PhantomArray and friends
+        for name in fields:
+            where = _first_difference(getattr(a, name), getattr(b, name),
+                                      f"{path}.{name}")
+            if where is not None:
+                return where
+        return None
+    try:
+        equal = bool(a == b)
+    except Exception:
+        return f"{path} (incomparable)"
+    return None if equal else path

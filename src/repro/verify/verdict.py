@@ -1,0 +1,141 @@
+"""Verdict model: structured findings a verified run renders.
+
+A verification pass reduces everything it observed to a
+:class:`Verdict` — a list of :class:`Finding`\\ s, each tagged with a
+check id from the catalogue in :mod:`repro.verify.checks`, a severity,
+the ranks involved and a JSON-safe detail payload.  ``Verdict.ok`` is
+the single bit CI gates on: no *error*-severity findings (warnings —
+e.g. the fault-tolerant broadcast's deliberately leaked backup sends —
+do not fail a run).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any, Iterable
+
+#: Finding severities, in increasing order of badness.
+SEVERITIES = ("info", "warning", "error")
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    """One verification finding.
+
+    Attributes
+    ----------
+    check:
+        Check id from :data:`repro.verify.checks.CHECKS`.
+    severity:
+        ``"error"`` findings fail the verdict; ``"warning"`` and
+        ``"info"`` findings are reported but keep it clean.
+    message:
+        Human-readable one-liner.
+    ranks:
+        World ranks involved (empty when not rank-specific).
+    detail:
+        Machine-readable payload (JSON-serialisable via ``default=str``).
+    """
+
+    check: str
+    severity: str
+    message: str
+    ranks: tuple[int, ...] = ()
+    detail: dict[str, Any] = dataclasses.field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(f"unknown severity {self.severity!r}")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "check": self.check,
+            "severity": self.severity,
+            "message": self.message,
+            "ranks": list(self.ranks),
+            "detail": dict(self.detail),
+        }
+
+
+@dataclasses.dataclass
+class Verdict:
+    """Outcome of one verification pass over a rank program set.
+
+    Attributes
+    ----------
+    findings:
+        Every finding, in detection order.
+    nranks:
+        Number of ranks the verified run spawned.
+    checks:
+        Ids of the checks that ran (a finding's absence only means
+        something for checks listed here).
+    meta:
+        Free-form context: program name, backend, schedule count, the
+        exception that ended the run, ...
+    """
+
+    findings: list[Finding] = dataclasses.field(default_factory=list)
+    nranks: int = 0
+    checks: tuple[str, ...] = ()
+    meta: dict[str, Any] = dataclasses.field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """True when no error-severity finding was recorded."""
+        return not any(f.severity == "error" for f in self.findings)
+
+    @property
+    def errors(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity == "error"]
+
+    @property
+    def warnings(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity == "warning"]
+
+    def by_check(self, check: str) -> list[Finding]:
+        """Findings carrying a given check id."""
+        return [f for f in self.findings if f.check == check]
+
+    def extend(self, findings: Iterable[Finding]) -> None:
+        self.findings.extend(findings)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "ok": self.ok,
+            "nranks": self.nranks,
+            "checks": list(self.checks),
+            "findings": [f.to_dict() for f in self.findings],
+            "meta": dict(self.meta),
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """Render as JSON (tuples become lists, exotic values stringify)."""
+        return json.dumps(self.to_dict(), indent=indent, default=str,
+                          sort_keys=False)
+
+    def to_text(self) -> str:
+        """Multi-line human report."""
+        lines = [self.summary()]
+        for f in self.findings:
+            ranks = "" if not f.ranks else " ranks=" + _format_ranks(f.ranks)
+            lines.append(f"  [{f.severity}] {f.check}{ranks}: {f.message}")
+        return "\n".join(lines)
+
+    def summary(self) -> str:
+        """One-line outcome."""
+        state = "CLEAN" if self.ok else "FAIL"
+        nerr = len(self.errors)
+        nwarn = len(self.warnings)
+        return (
+            f"verify: {state} ({self.nranks} ranks, "
+            f"{len(self.checks)} checks, {nerr} errors, {nwarn} warnings)"
+        )
+
+
+def _format_ranks(ranks: tuple[int, ...], limit: int = 8) -> str:
+    shown = ",".join(str(r) for r in ranks[:limit])
+    if len(ranks) > limit:
+        shown += f",+{len(ranks) - limit}"
+    return "{" + shown + "}"

@@ -1,0 +1,73 @@
+"""The shipped-algorithm corpus must verify clean, and the verdict /
+report machinery must round-trip.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.verify import Finding, Verdict, VerifyOptions
+from repro.verify.corpus import build_corpus, run_corpus
+
+#: One determinism schedule keeps the full-corpus test affordable while
+#: still exercising the rerun path for every algorithm.
+FAST = VerifyOptions(schedules=1)
+
+CASES = [case.name for case in build_corpus()]
+
+
+class TestCorpus:
+    @pytest.mark.parametrize("name", CASES)
+    def test_case_is_clean(self, name):
+        [(case, verdict)] = run_corpus([name], verify=FAST)
+        assert verdict is not None, f"{name}: runner dropped the verdict"
+        assert verdict.ok, f"{name}:\n{verdict.to_text()}"
+        assert verdict.meta["outcome"] == "clean"
+        assert verdict.meta["observed_ops"] > 0
+
+    def test_unknown_case_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown corpus"):
+            run_corpus(["does-not-exist"], verify=FAST)
+
+    def test_corpus_names_unique(self):
+        assert len(CASES) == len(set(CASES))
+
+
+class TestVerdictReports:
+    def _sample(self) -> Verdict:
+        return Verdict(
+            findings=[
+                Finding("deadlock", "error", "blocking cycle 0 -> 1 -> 0",
+                        ranks=(0, 1), detail={"cycle": [0, 1]}),
+                Finding("leaked-send", "warning", "1 isend never received",
+                        ranks=(2,)),
+            ],
+            nranks=4,
+            checks=("deadlock", "leaked-send"),
+            meta={"outcome": "error"},
+        )
+
+    def test_text_report(self):
+        text = self._sample().to_text()
+        assert "FAIL" in text
+        assert "[error] deadlock" in text
+        assert "[warning] leaked-send" in text
+
+    def test_json_roundtrip(self):
+        verdict = self._sample()
+        payload = json.loads(verdict.to_json())
+        assert payload["ok"] is False
+        assert payload["nranks"] == 4
+        checks = {f["check"] for f in payload["findings"]}
+        assert checks == {"deadlock", "leaked-send"}
+
+    def test_ok_semantics(self):
+        warnings_only = Verdict(
+            findings=[Finding("leaked-send", "warning", "m")],
+            nranks=2, checks=("leaked-send",), meta={},
+        )
+        assert warnings_only.ok
+        assert not self._sample().ok

@@ -1,0 +1,249 @@
+"""Seeded-defect tests: every mutated rank program must be flagged
+with the right check id.
+
+Each test takes a correct communication pattern, introduces one of the
+classic SPMD bugs, and asserts the verifier (a) notices and (b) names
+the defect class correctly — the property the verifier exists for.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    CollectiveMismatchError,
+    DeadlockError,
+    SimulationError,
+    VerificationError,
+)
+from repro.network.homogeneous import HomogeneousNetwork
+from repro.network.model import HockneyParams
+from repro.simulator.requests import (
+    IRecvRequest,
+    ISendRequest,
+    RecvRequest,
+    SendRequest,
+)
+from repro.simulator.runtime import run_spmd
+from repro.verify import VerifyOptions, run_verified
+
+PARAMS = HockneyParams(alpha=1e-5, beta=1e-9)
+
+#: Structural checks only — the mutants here are about matching, not
+#: numerics, and skipping the rerun keeps the failure paths isolated.
+NO_SCHED = VerifyOptions(schedules=0)
+
+
+def _net(n: int) -> HomogeneousNetwork:
+    return HomogeneousNetwork(n, PARAMS)
+
+
+def _run_raw(programs_factory, nranks: int, verify=NO_SCHED):
+    return run_verified(programs_factory, verify=verify,
+                        backend=None, network=_net(nranks))
+
+
+class TestDroppedRecv:
+    def test_unmatched_send_and_deadlock(self):
+        """Mutant: the receiver forgets one of two expected receives."""
+
+        def make():
+            def sender():
+                yield SendRequest(1, 0, b"a" * 64)
+                yield SendRequest(1, 0, b"b" * 64)  # never received
+
+            def receiver():
+                yield RecvRequest(0, 0)
+                # dropped: the second RecvRequest
+
+            return [sender(), receiver()]
+
+        with pytest.raises(DeadlockError) as exc_info:
+            _run_raw(make, 2)
+        verdict = exc_info.value.verdict
+        assert verdict is not None and not verdict.ok
+        assert verdict.by_check("unmatched-send")
+        [finding] = verdict.by_check("deadlock")
+        assert 0 in finding.ranks
+
+    def test_dropped_nonblocking_recv_is_leak_warning(self):
+        """A never-waited irecv with no matching send is a leak, not an
+        error — the simulation still completed."""
+
+        def make():
+            def lonely():
+                yield IRecvRequest(1, 0)
+                return "done"
+
+            def idle():
+                return "idle"
+                yield  # pragma: no cover
+
+            return [lonely(), idle()]
+
+        sim = _run_raw(make, 2)
+        assert sim.verdict.ok
+        assert sim.verdict.by_check("leaked-recv")
+
+
+class TestTransposedSendOrder:
+    def test_swapped_tags_deadlock(self):
+        """Mutant: sender emits tags 1 then 2; receiver wants 2 then 1.
+        Rendezvous blocks both ranks — the diagnoser must name the
+        cycle."""
+
+        def make():
+            def sender():
+                yield SendRequest(1, 1, b"x" * 32)
+                yield SendRequest(1, 2, b"y" * 32)
+
+            def receiver():
+                yield RecvRequest(0, 2)
+                yield RecvRequest(0, 1)
+
+            return [sender(), receiver()]
+
+        with pytest.raises(DeadlockError) as exc_info:
+            _run_raw(make, 2)
+        verdict = exc_info.value.verdict
+        [finding] = verdict.by_check("deadlock")
+        assert finding.severity == "error"
+        assert "cycle" in finding.message
+        assert set(finding.ranks) == {0, 1}
+
+
+class TestWrongBcastRoot:
+    def test_collective_root_mismatch(self):
+        """Mutant: one rank broadcasts from root 1 while the rest use
+        root 0."""
+
+        def program(ctx):
+            def gen():
+                root = 1 if ctx.world.rank == 2 else 0
+                payload = 1.0 if ctx.world.rank == root else None
+                out = yield from ctx.world.bcast(payload, root=root)
+                return out
+            return gen()
+
+        with pytest.raises(CollectiveMismatchError) as exc_info:
+            run_spmd(program, 4, verify=NO_SCHED)
+        exc = exc_info.value
+        assert exc.check == "collective-root-mismatch"
+        verdict = exc.verdict
+        assert verdict is not None and not verdict.ok
+        assert verdict.by_check("collective-root-mismatch")
+
+
+class TestSkippedCollective:
+    def test_missing_participant_deadlocks_with_names(self):
+        """Mutant: rank 3 skips the allreduce entirely and exits."""
+
+        def program(ctx):
+            def gen():
+                if ctx.world.rank == 3:
+                    return 0.0
+                out = yield from ctx.world.allreduce(float(ctx.world.rank))
+                return out
+            return gen()
+
+        with pytest.raises(DeadlockError) as exc_info:
+            run_spmd(program, 4, verify=NO_SCHED)
+        verdict = exc_info.value.verdict
+        [finding] = verdict.by_check("deadlock")
+        # The finding must name the ranks parked in the collective.
+        assert {0, 1, 2} <= set(finding.ranks)
+
+    def test_wrong_op_is_op_mismatch(self):
+        """Mutant: one rank calls reduce where the others allreduce."""
+
+        def program(ctx):
+            def gen():
+                if ctx.world.rank == 1:
+                    out = yield from ctx.world.reduce(1.0, root=0)
+                else:
+                    out = yield from ctx.world.allreduce(1.0)
+                return out
+            return gen()
+
+        with pytest.raises(CollectiveMismatchError) as exc_info:
+            run_spmd(program, 4, verify=NO_SCHED)
+        assert exc_info.value.check == "collective-op-mismatch"
+        assert exc_info.value.verdict.by_check("collective-op-mismatch")
+
+
+class TestSelfSend:
+    def test_blocking_self_send_flagged(self):
+        """Mutant: rank 0 blocking-sends to itself — rendezvous can
+        never complete."""
+
+        def make():
+            def bad():
+                yield SendRequest(0, 0, b"oops")
+
+            def fine():
+                return None
+                yield  # pragma: no cover
+
+            return [bad(), fine()]
+
+        with pytest.raises(SimulationError) as exc_info:
+            _run_raw(make, 2)
+        verdict = exc_info.value.verdict
+        assert verdict is not None and not verdict.ok
+        [finding] = verdict.by_check("self-send")
+        assert finding.ranks == (0,)
+
+
+class TestPayloadMismatch:
+    def test_allreduce_nbytes_mismatch(self):
+        """Mutant: rank 0 contributes a (1,) vector to an allreduce the
+        others feed (8,) vectors.  numpy broadcasting lets the run
+        finish — only the verifier sees the wire-size disagreement."""
+
+        def program(ctx):
+            def gen():
+                width = 1 if ctx.world.rank == 0 else 8
+                out = yield from ctx.world.allreduce(np.ones(width))
+                return out
+            return gen()
+
+        sim = run_spmd(program, 4, verify=NO_SCHED)
+        assert not sim.verdict.ok
+        [finding] = sim.verdict.by_check("collective-payload-mismatch")
+        assert finding.severity == "error"
+
+    def test_strict_mode_raises(self):
+        def program(ctx):
+            def gen():
+                width = 1 if ctx.world.rank == 0 else 8
+                out = yield from ctx.world.allreduce(np.ones(width))
+                return out
+            return gen()
+
+        with pytest.raises(VerificationError) as exc_info:
+            run_spmd(program, 4,
+                     verify=VerifyOptions(schedules=0, strict=True))
+        assert not exc_info.value.verdict.ok
+
+
+class TestLeakedSend:
+    def test_unwaited_isend_is_warning_only(self):
+        """An isend that is matched but never waited on is sloppy, not
+        wrong — warning severity, verdict stays ok (the ft_binomial
+        backup-send idiom depends on this)."""
+
+        def make():
+            def sender():
+                yield ISendRequest(1, 0, b"z" * 16)
+                return "sent"
+
+            def receiver():
+                got = yield RecvRequest(0, 0)
+                return got
+
+            return [sender(), receiver()]
+
+        sim = _run_raw(make, 2)
+        assert sim.verdict.ok
+        assert sim.verdict.by_check("unwaited-handle")
