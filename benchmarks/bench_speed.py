@@ -16,8 +16,9 @@ Usage::
     python benchmarks/bench_speed.py            # full workloads (~2 min)
     python benchmarks/bench_speed.py --quick    # scaled-down CI smoke (~10 s)
     python benchmarks/bench_speed.py --quick --check
-        # regression gate: fail (exit 1) if the DES smoke workload is
-        # more than GATE_SLOWDOWN x slower than the committed baseline
+        # regression gate: fail (exit 1) if any gate workload (one per
+        # engine tier — DES, macro, predictor) is more than
+        # GATE_SLOWDOWN x slower than the committed baseline
 
 ``--check`` compares against the ``current`` numbers already in the
 committed ``BENCH_engine.json`` *before* overwriting them, so CI fails
@@ -38,11 +39,14 @@ import time
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 BASELINE_PATH = REPO_ROOT / "BENCH_engine.json"
 
-#: CI gate: fail when the gate workload runs slower than this factor
+#: CI gate: fail when a gate workload runs slower than this factor
 #: times the committed baseline.  Generous on purpose — CI machines
 #: vary — while still catching a hot path accidentally reverted.
 GATE_SLOWDOWN = 1.5
-GATE_WORKLOAD = "des_summa_p64"
+#: One gate per engine tier: full DES, the symmetry-collapsed macro
+#: path, and the zero-stepping closed-form predictor.
+GATE_WORKLOADS = ("des_summa_p64", "macro_cyclic_p1024",
+                  "predictor_fig10_sweep")
 
 
 # -- workloads ----------------------------------------------------------------
@@ -102,11 +106,24 @@ def _des_faulty_summa(n, grid, block, p):
               options=plat.options, gamma=plat.gamma, faults=faults)
 
 
+def _predictor_sweep(p, n, block):
+    """The paper's fig10 question — HSUMMA vs SUMMA across group
+    counts at exascale — priced entirely by the closed-form predictor
+    (zero simulation stepping; see docs/cost_model.md)."""
+    from repro.experiments.figures import group_sweep
+    from repro.platforms.exa import exascale_2012
+
+    group_sweep(exascale_2012(p), p, n, block, coster_kind="predictor",
+                groups=[2 ** k for k in range(1, 11)])
+
+
 FULL = {
     "des_summa_p128": (lambda: _des_summa(2048, (8, 16), 64, 128), 3),
     "des_hsumma_p128": (lambda: _des_hsumma(2048, (8, 16), 8, 64, 128), 3),
     "macro_cyclic_p16384": (lambda: _macro_cyclic(32768, (128, 128), 256), 1),
     "des_faulty_summa_p64": (lambda: _des_faulty_summa(1024, (8, 8), 64, 64), 3),
+    "predictor_fig10_sweep": (
+        lambda: _predictor_sweep(1 << 20, 1 << 22, 256), 3),
 }
 
 QUICK = {
@@ -114,6 +131,10 @@ QUICK = {
     "des_hsumma_p64": (lambda: _des_hsumma(1024, (8, 8), 4, 64, 64), 3),
     "macro_cyclic_p1024": (lambda: _macro_cyclic(8192, (32, 32), 256), 2),
     "des_faulty_summa_p16": (lambda: _des_faulty_summa(512, (4, 4), 64, 16), 3),
+    # Same fig10-scale sweep as full mode: p = 2^20 costs the
+    # predictor well under a second, so the smoke run keeps it whole.
+    "predictor_fig10_sweep": (
+        lambda: _predictor_sweep(1 << 20, 1 << 22, 256), 3),
 }
 
 
@@ -145,7 +166,7 @@ def main(argv=None):
     parser.add_argument("--quick", action="store_true",
                         help="scaled-down smoke workloads (CI)")
     parser.add_argument("--check", action="store_true",
-                        help="fail if the gate workload regressed "
+                        help="fail if any gate workload regressed "
                              f">{GATE_SLOWDOWN}x vs the committed baseline")
     parser.add_argument("--no-write", action="store_true",
                         help="measure only; leave BENCH_engine.json alone")
@@ -161,18 +182,19 @@ def main(argv=None):
     # Regression gate — against the *committed* numbers, read above.
     status = 0
     if args.check:
-        old = committed.get(GATE_WORKLOAD, {}).get("current")
-        new = current.get(GATE_WORKLOAD)
-        if old is None or new is None:
-            print(f"gate: no committed baseline for {GATE_WORKLOAD}; skipped")
-        elif new > GATE_SLOWDOWN * old:
-            print(f"gate: FAIL — {GATE_WORKLOAD} took {new:.3f} s, "
-                  f"baseline {old:.3f} s ({new / old:.2f}x > "
-                  f"{GATE_SLOWDOWN}x allowed)")
-            status = 1
-        else:
-            print(f"gate: ok — {GATE_WORKLOAD} {new:.3f} s vs baseline "
-                  f"{old:.3f} s ({new / old:.2f}x)")
+        for workload in GATE_WORKLOADS:
+            old = committed.get(workload, {}).get("current")
+            new = current.get(workload)
+            if old is None or new is None:
+                print(f"gate: no committed baseline for {workload}; skipped")
+            elif new > GATE_SLOWDOWN * old:
+                print(f"gate: FAIL — {workload} took {new:.3f} s, "
+                      f"baseline {old:.3f} s ({new / old:.2f}x > "
+                      f"{GATE_SLOWDOWN}x allowed)")
+                status = 1
+            else:
+                print(f"gate: ok — {workload} {new:.3f} s vs baseline "
+                      f"{old:.3f} s ({new / old:.2f}x)")
 
     if not args.no_write:
         section = {}
@@ -183,7 +205,7 @@ def main(argv=None):
                 entry["speedup"] = round(seed / secs, 2)
             section[name] = entry
         baseline[mode] = section
-        baseline["gate"] = {"workload": GATE_WORKLOAD,
+        baseline["gate"] = {"workloads": list(GATE_WORKLOADS),
                             "max_slowdown": GATE_SLOWDOWN, "mode": "quick"}
         BASELINE_PATH.write_text(
             json.dumps(baseline, indent=2, sort_keys=True) + "\n")

@@ -320,8 +320,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_mul.add_argument("--algorithm", default="hsumma")
     p_mul.add_argument("--groups", type=int, default=None)
     p_mul.add_argument(
-        "--backend", choices=["des", "macro"], default="des",
-        help="execution backend: full DES or collective-granularity macro",
+        "--backend", choices=["des", "macro", "predictor"], default="des",
+        help="execution backend: full DES, collective-granularity macro, "
+             "or the zero-stepping closed-form predictor "
+             "(see docs/cost_model.md)",
     )
     p_mul.add_argument(
         "--faults", default=None, metavar="SPEC",

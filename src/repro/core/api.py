@@ -113,8 +113,12 @@ def multiply(
         Platform modelling knobs, see :func:`repro.core.summa.run_summa`.
     backend:
         Execution backend: ``None``/``"des"`` (full discrete event
-        simulation) or ``"macro"`` (collective-granularity fast path);
-        see :mod:`repro.simulator.backends`.  Ignored by ``serial``.
+        simulation), ``"macro"`` (collective-granularity fast path;
+        collapses symmetric ranks automatically when eligible) or
+        ``"predictor"`` (zero stepping — composes the coster's closed
+        forms; summa/hsumma/cyclic without overlap, phantom inputs
+        only); see :mod:`repro.simulator.backends` and
+        ``docs/cost_model.md``.  Ignored by ``serial``.
     faults:
         Fault injection: a :class:`repro.faults.FaultSchedule` or a
         spec string for :func:`repro.faults.parse_fault_spec`.

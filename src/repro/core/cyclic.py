@@ -281,6 +281,28 @@ def run_cyclic(
         network = HomogeneousNetwork(nranks, params or DEFAULT_PARAMS)
     faults = coerce_faults(faults)
 
+    if backend == "predictor":
+        from repro.simulator.predictor import (
+            _require_predictable,
+            predict_cyclic,
+        )
+
+        if overlap:
+            raise ConfigurationError(
+                "the predictor has no closed form for the overlap "
+                "(split-phase) schedule; use backend='des' or 'macro'"
+            )
+        _require_predictable(
+            "cyclic", phantom=phantom, faults=faults,
+            verify=verify, contention=contention,
+        )
+        sim = predict_cyclic(
+            cfg, network=network, options=options, gamma=gamma,
+            a_itemsize=A.itemsize if isinstance(A, PhantomArray) else 8,
+            b_itemsize=B.itemsize if isinstance(B, PhantomArray) else 8,
+        )
+        return PhantomArray((m, n)), sim
+
     def make_programs():
         programs = []
         for rank, ctx in enumerate(
@@ -299,9 +321,15 @@ def run_cyclic(
             )
         return programs
 
+    from repro.simulator.collapse import cyclic_symmetry
+
     sim = run_verified(
         make_programs, verify=verify, backend=backend, network=network,
         contention=contention, faults=faults,
+        # The overlap schedule runs split-phase broadcasts through the
+        # point-to-point machinery, which the collapse cannot cover —
+        # declaring no symmetry keeps it on the per-rank path outright.
+        symmetry=None if overlap else cyclic_symmetry(s, t, I, J),
         meta={"program": "cyclic", "grid": f"{s}x{t}"},
     )
 

@@ -278,6 +278,23 @@ def run_hsumma(
         network = HomogeneousNetwork(nranks, params or DEFAULT_PARAMS)
     faults = coerce_faults(faults)
 
+    if backend == "predictor":
+        from repro.simulator.predictor import (
+            _require_predictable,
+            predict_hsumma,
+        )
+
+        _require_predictable(
+            "hsumma", phantom=da.phantom or db.phantom, faults=faults,
+            verify=verify, contention=contention, trace=trace,
+        )
+        sim = predict_hsumma(
+            cfg, network=network, options=options, gamma=gamma,
+            a_itemsize=A.itemsize if isinstance(A, PhantomArray) else 8,
+            b_itemsize=B.itemsize if isinstance(B, PhantomArray) else 8,
+        )
+        return PhantomArray((m, n)), sim
+
     def make_programs():
         programs = []
         for rank, ctx in enumerate(
@@ -290,9 +307,12 @@ def run_hsumma(
             )
         return programs
 
+    from repro.simulator.collapse import hsumma_symmetry
+
     sim = run_verified(
         make_programs, verify=verify, backend=backend, network=network,
         contention=contention, collect_trace=trace, faults=faults,
+        symmetry=hsumma_symmetry(s, t, I, J),
         meta={"program": "hsumma", "grid": f"{s}x{t}", "groups": f"{I}x{J}"},
     )
 

@@ -143,8 +143,13 @@ def run_summa(
     phantom and only the timing is meaningful).  With ``trace=True``
     the result carries phase spans and the transfer trace (see
     :mod:`repro.metrics`); timings are bit-identical either way.
-    ``backend`` selects the execution backend (``"des"``/``"macro"``
-    or a prebuilt engine; see :mod:`repro.simulator.backends`).
+    ``backend`` selects the execution backend (``"des"``, ``"macro"``,
+    ``"predictor"`` or a prebuilt engine; see
+    :mod:`repro.simulator.backends`).  The macro backend collapses
+    symmetric ranks automatically when eligible (bit-identical; see
+    ``docs/cost_model.md``); ``"predictor"`` skips simulation entirely
+    and composes the coster's closed forms — phantom inputs only, no
+    faults/verify/contention/tracing.
     ``faults`` injects a :class:`repro.faults.FaultSchedule` (or spec
     string) — discrete-event backend only; see ``docs/robustness.md``.
     ``verify`` enables the communication verifier (True or a
@@ -171,6 +176,23 @@ def run_summa(
         network = HomogeneousNetwork(nranks, params or DEFAULT_PARAMS)
     faults = coerce_faults(faults)
 
+    if backend == "predictor":
+        from repro.simulator.predictor import (
+            _require_predictable,
+            predict_summa,
+        )
+
+        _require_predictable(
+            "summa", phantom=da.phantom or db.phantom, faults=faults,
+            verify=verify, contention=contention, trace=trace,
+        )
+        sim = predict_summa(
+            cfg, network=network, options=options, gamma=gamma,
+            a_itemsize=A.itemsize if isinstance(A, PhantomArray) else 8,
+            b_itemsize=B.itemsize if isinstance(B, PhantomArray) else 8,
+        )
+        return PhantomArray((m, n)), sim
+
     def make_programs():
         programs = []
         for rank, ctx in enumerate(
@@ -183,9 +205,12 @@ def run_summa(
             )
         return programs
 
+    from repro.simulator.collapse import summa_symmetry
+
     sim = run_verified(
         make_programs, verify=verify, backend=backend, network=network,
         contention=contention, collect_trace=trace, faults=faults,
+        symmetry=summa_symmetry(s, t),
         meta={"program": "summa", "grid": f"{s}x{t}"},
     )
 

@@ -51,7 +51,8 @@ def _coster(platform: Platform, p: int, kind: str) -> CollectiveCoster:
     if kind == "topology":
         return TopologyCoster(platform.network(p), algo)
     raise ConfigurationError(
-        f"unknown coster kind {kind!r}; use analytic, micro or topology"
+        f"unknown coster kind {kind!r}; use analytic, micro, topology "
+        "or predictor"
     )
 
 
@@ -129,6 +130,28 @@ def _eval_point(platform: Platform, spec: Mapping[str, Any]) -> dict[str, float]
                 network=platform.network(p), options=platform.options,
                 gamma=gamma,
             )
+        return {"comm": sim.comm_time, "total": sim.total_time}
+    if kind == "predictor":
+        # Zero stepping: compose the analytic closed forms per phase
+        # (topology-blind — the platform's Hockney parameters price
+        # every communicator).  See docs/cost_model.md for the
+        # fidelity contract versus the macro backend.
+        from repro.simulator.predictor import predict_hsumma, predict_summa
+
+        coster = AnalyticCoster(platform.params, platform.options.bcast)
+        net = platform.network(p)
+        if G is None:
+            scfg = SummaConfig(m=n, l=n, n=n, s=s, t=t, block=block)
+            sim = predict_summa(scfg, network=net, options=platform.options,
+                                gamma=gamma, coster=coster)
+        else:
+            I, J = choose_group_grid(s, t, G)
+            hcfg = HSummaConfig(
+                m=n, l=n, n=n, s=s, t=t, I=I, J=J,
+                outer_block=block, inner_block=block,
+            )
+            sim = predict_hsumma(hcfg, network=net, options=platform.options,
+                                 gamma=gamma, coster=coster)
         return {"comm": sim.comm_time, "total": sim.total_time}
     coster = _coster(platform, p, kind)
     if G is None:

@@ -71,7 +71,16 @@ class CollectiveCoster(ABC):
     collective a rank program issues; :meth:`bcast_time` is the
     historical broadcast-only entry point the figure sweeps use
     directly.
+
+    ``participant_invariant`` declares that :meth:`collective_time`
+    depends only on ``(op, algorithm, len(participants), nbytes,
+    segments, cid)`` — never on *which* world ranks participate or
+    which is root.  The symmetry-collapsed macro path and the
+    predictor rely on it (see ``docs/cost_model.md``); costers that
+    price by topology position must leave it False.
     """
+
+    participant_invariant: bool = False
 
     @abstractmethod
     def bcast_time(
@@ -108,6 +117,8 @@ class CollectiveCoster(ABC):
 
 class AnalyticCoster(CollectiveCoster):
     """Closed-form Hockney cost; topology-blind (homogeneous networks)."""
+
+    participant_invariant = True
 
     def __init__(
         self,
@@ -175,6 +186,10 @@ class MicroDesCoster(CollectiveCoster):
         self._uniform = (
             isinstance(network, HomogeneousNetwork) and network.intra_params is None
         )
+        # On a uniform network the memo key already collapses the
+        # participant tuple to its size, which is exactly the
+        # invariance contract.
+        self.participant_invariant = self._uniform
 
     def bcast_time(
         self, participants: Sequence[int], root_index: int, nbytes: int
@@ -399,6 +414,10 @@ class _HsummaPhaseCoster(CollectiveCoster):
         self._outer = outer
         self.algorithm = getattr(inner, "algorithm", "binomial")
         self.segments = getattr(inner, "segments", None)
+        self.participant_invariant = (
+            getattr(inner, "participant_invariant", False)
+            and getattr(outer, "participant_invariant", False)
+        )
 
     def bcast_time(
         self, participants: Sequence[int], root_index: int, nbytes: int
@@ -445,6 +464,7 @@ def _run_macro(
     nsteps: int,
     *,
     network_coster: CollectiveCoster | None = None,
+    symmetry=None,
 ) -> StepModelReport:
     nranks = cfg.s * cfg.t
     options = CollectiveOptions(
@@ -453,12 +473,16 @@ def _run_macro(
     )
     a_tile = PhantomArray((cfg.m // cfg.s, cfg.l // cfg.t))
     b_tile = PhantomArray((cfg.l // cfg.s, cfg.n // cfg.t))
-    programs = [
-        program_factory(ctx, a_tile, b_tile, cfg)
-        for ctx in make_contexts(nranks, options=options, gamma=gamma)
-    ]
+
+    def make_programs():
+        return [
+            program_factory(ctx, a_tile, b_tile, cfg)
+            for ctx in make_contexts(nranks, options=options, gamma=gamma)
+        ]
+
     network = _coster_network(network_coster or coster, nranks)
-    sim = MacroBackend(network, coster=coster).run(programs)
+    backend = MacroBackend(network, coster=coster, symmetry=symmetry)
+    sim = backend.run_with_factory(make_programs)
     return StepModelReport(
         total_time=sim.total_time,
         comm_time=sim.comm_time,
@@ -472,8 +496,12 @@ def summa_step_model(
 ) -> StepModelReport:
     """Predict a SUMMA run's times under the step-synchronous schedule."""
     from repro.core.summa import summa_program
+    from repro.simulator.collapse import summa_symmetry
 
-    return _run_macro(cfg, summa_program, coster, gamma, cfg.nsteps)
+    return _run_macro(
+        cfg, summa_program, coster, gamma, cfg.nsteps,
+        symmetry=summa_symmetry(cfg.s, cfg.t),
+    )
 
 
 def hsumma_step_model(
@@ -489,6 +517,7 @@ def hsumma_step_model(
     groups (defaults to ``coster``).
     """
     from repro.core.hsumma import hsumma_program
+    from repro.simulator.collapse import hsumma_symmetry
 
     effective = coster
     if outer_coster is not None:
@@ -500,4 +529,5 @@ def hsumma_step_model(
         gamma,
         cfg.outer_steps * cfg.inner_steps,
         network_coster=coster,
+        symmetry=hsumma_symmetry(cfg.s, cfg.t, cfg.I, cfg.J),
     )

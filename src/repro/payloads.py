@@ -18,7 +18,6 @@ round trip.
 from __future__ import annotations
 
 import dataclasses
-import functools
 from typing import Any, Sequence
 
 import numpy as np
@@ -37,25 +36,25 @@ class PhantomArray:
     shape: tuple[int, ...]
     itemsize: int = 8
 
+    # size/nbytes are computed eagerly in __post_init__ and stored
+    # through object.__setattr__ (permitted on a frozen dataclass).
+    # They used to be cached_property, but husks are ephemeral — one is
+    # built per segment per collective step and queried once — so the
+    # descriptor machinery cost more than the two multiplies it saved.
     def __post_init__(self) -> None:
-        if any(s < 0 for s in self.shape):
-            raise DataMismatchError(f"negative dimension in shape {self.shape}")
-        if self.itemsize <= 0:
-            raise DataMismatchError(f"itemsize must be positive, got {self.itemsize}")
-
-    # cached_property writes through __dict__, which a frozen dataclass
-    # permits — the husk is immutable, so both values are constants and
-    # the simulator reads nbytes on every send of every message.
-    @functools.cached_property
-    def size(self) -> int:
         n = 1
         for s in self.shape:
+            if s < 0:
+                raise DataMismatchError(
+                    f"negative dimension in shape {self.shape}"
+                )
             n *= s
-        return n
-
-    @functools.cached_property
-    def nbytes(self) -> int:
-        return self.size * self.itemsize
+        if self.itemsize <= 0:
+            raise DataMismatchError(
+                f"itemsize must be positive, got {self.itemsize}"
+            )
+        object.__setattr__(self, "size", n)
+        object.__setattr__(self, "nbytes", n * self.itemsize)
 
     @property
     def ndim(self) -> int:
@@ -93,10 +92,11 @@ class _Segment:
     phantom: bool
 
     # Queried on every hop the segment travels (ring allgathers ask
-    # size-1 times); the segment is frozen, so cache the answer.
-    @functools.cached_property
-    def nbytes(self) -> int:
-        return int(self.data.nbytes)
+    # size-1 times); computed eagerly for the same reason as
+    # PhantomArray.size — segments are ephemeral, so lazy caching via
+    # cached_property paid descriptor overhead on every instance.
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "nbytes", int(self.data.nbytes))
 
 
 def nbytes_of(payload: Any) -> int:
@@ -127,11 +127,15 @@ def split_payload(payload: Any, parts: int) -> list[_Segment]:
         raise DataMismatchError(f"parts must be >= 1, got {parts}")
     if isinstance(payload, PhantomArray):
         base, rem = divmod(payload.size, parts)
+        # Husks are immutable, so all equal-size segments can share the
+        # same instance instead of allocating `parts` identical ones.
+        small = PhantomArray((base,), payload.itemsize)
+        big = PhantomArray((base + 1,), payload.itemsize) if rem else small
         return [
             _Segment(
                 index=i,
                 total=parts,
-                data=PhantomArray((base + (1 if i < rem else 0),), payload.itemsize),
+                data=big if i < rem else small,
                 shape=payload.shape,
                 phantom=True,
             )

@@ -17,6 +17,18 @@ rank generators.  A *backend* decides how much machinery executes them:
   compute still run through the inherited event machinery, so
   algorithms mixing collectives with sends (block-cyclic, Cannon
   shifts, overlap variants' split-phase broadcasts) remain faithful.
+  When the runner declares a :class:`~repro.simulator.collapse.
+  GridSymmetry` and the run is eligible (participant-invariant coster,
+  no faults/contention/tracing), :meth:`MacroBackend.run_with_factory`
+  steps only a covering *probe set* of ranks and replicates the rest
+  from their behavioural twins — bit-identical to the per-rank path,
+  ``O(s + t)`` generators instead of ``s * t`` (see
+  :mod:`repro.simulator.collapse` and ``docs/cost_model.md``).
+* :class:`~repro.simulator.predictor.PredictorBackend` — no stepping at
+  all: the runners compose the coster's closed forms phase by phase
+  (``backend="predictor"``).  Exact for total/compute time versus the
+  macro backend on homogeneous networks; see ``docs/cost_model.md``
+  for the documented tolerance on ``comm_time``.
 
 On homogeneous networks the macro path reproduces the DES makespan
 *exactly* for the SUMMA family (see ``tests/properties``): the bcast
@@ -83,6 +95,11 @@ class MacroBackend(Engine, Backend):
     contention, collect_trace, max_events, eager_threshold:
         As on :class:`~repro.simulator.engine.Engine`; they govern the
         point-to-point machinery, which is inherited unchanged.
+    symmetry:
+        Optional :class:`~repro.simulator.collapse.GridSymmetry`
+        declaring the run's rank-equivalence structure.  Only
+        :meth:`run_with_factory` uses it (to attempt the collapsed
+        fast path); :meth:`run` always executes per rank.
     """
 
     _inline_compute = True
@@ -97,6 +114,7 @@ class MacroBackend(Engine, Backend):
         max_events: int = 200_000_000,
         eager_threshold: int = 0,
         faults: Any = None,
+        symmetry: Any = None,
     ) -> None:
         if faults is not None and not getattr(faults, "empty", False):
             # The coster oracle prices whole collectives analytically;
@@ -117,6 +135,67 @@ class MacroBackend(Engine, Backend):
         if coster is None:
             coster = _default_coster(network, contention=contention)
         self.coster = coster
+        self.symmetry = symmetry
+        #: How the last :meth:`run_with_factory` call executed:
+        #: ``{"mode": "collapsed", "probed": k}`` or
+        #: ``{"mode": "per-rank", "reason": ...}``.  Diagnostics only.
+        self.collapse_report: dict[str, Any] = {
+            "mode": "per-rank", "reason": "run_with_factory not used"}
+
+    def run_with_factory(self, make_programs) -> SimResult:
+        """Run ``make_programs()``, collapsing symmetric ranks when safe.
+
+        When a :class:`~repro.simulator.collapse.GridSymmetry` was
+        declared and the configuration is eligible, only a covering
+        probe set of rank generators is stepped and the rest are
+        replicated from their twins — bit-identical to :meth:`run` by
+        the congruence argument in ``docs/cost_model.md``, and verified
+        en route: any observation outside the declared symmetry makes
+        the attempt raise internally, after which this method falls
+        back to :meth:`run` with *fresh* generators from
+        ``make_programs``.  ``self.collapse_report`` records which path
+        executed and why.
+        """
+        reason = self._collapse_blocker()
+        if reason is None:
+            from repro.simulator.collapse import (
+                CollapsedMacroEngine,
+                SymmetryBroken,
+            )
+
+            engine = CollapsedMacroEngine(
+                self.network,
+                symmetry=self.symmetry,
+                coster=self.coster,
+                max_events=self.max_events,
+            )
+            try:
+                sim = engine.run(make_programs())
+            except SymmetryBroken as broken:
+                reason = str(broken)
+            else:
+                self.collapse_report = {
+                    "mode": "collapsed",
+                    "probed": len(self.symmetry.probe_indices()),
+                    "ranks": self.symmetry.nranks,
+                }
+                return sim
+        self.collapse_report = {"mode": "per-rank", "reason": reason}
+        return self.run(make_programs())
+
+    def _collapse_blocker(self) -> str | None:
+        """Why the collapsed path cannot be attempted, or None."""
+        if self.symmetry is None:
+            return "no grid symmetry declared"
+        if not getattr(self.coster, "participant_invariant", False):
+            return "coster depends on participant identity"
+        if self.contention:
+            return "contention modelling enabled"
+        if self.collect_trace:
+            return "transfer tracing enabled"
+        if self.symmetry.covers_grid:
+            return "probe set covers the whole grid"
+        return None
 
     def run(self, programs: Iterable[RankProgram]) -> SimResult:
         #: (cid, seq) -> [(rank state, its request)]; a collective fires
@@ -264,20 +343,29 @@ def resolve_backend(
     eager_threshold: int = 0,
     coster: Any = None,
     faults: Any = None,
-) -> Engine:
+    symmetry: Any = None,
+) -> Backend:
     """Turn a backend spec into a ready engine.
 
     ``backend`` may be None or ``"des"`` (full discrete-event),
-    ``"macro"`` (coster-satisfied collectives), or an already-built
-    :class:`~repro.simulator.engine.Engine`/:class:`Backend` instance,
-    which is returned as-is (its own network/options win).
+    ``"macro"`` (coster-satisfied collectives), ``"predictor"``
+    (closed-form composition — only meaningful through the algorithm
+    runners, which compute the prediction without building an engine;
+    resolving it here returns a :class:`~repro.simulator.predictor.
+    PredictorBackend` whose :meth:`run` explains that), or an
+    already-built :class:`~repro.simulator.engine.Engine` /
+    :class:`Backend` instance, which is returned as-is (its own
+    network/options win).
 
     ``faults`` is a :class:`repro.faults.FaultSchedule`; only the
     discrete-event path can honour one (the macro backend raises, and a
     prebuilt engine must have been constructed with the schedule).
+    ``symmetry`` is a :class:`~repro.simulator.collapse.GridSymmetry`
+    enabling the macro backend's collapsed fast path; the other
+    backends ignore it.
     """
     active = faults is not None and not getattr(faults, "empty", False)
-    if isinstance(backend, Engine):
+    if isinstance(backend, (Engine, Backend)):
         if active and getattr(backend, "_faults", None) is not faults:
             raise ConfigurationError(
                 "a prebuilt engine cannot adopt a fault schedule; pass "
@@ -300,8 +388,13 @@ def resolve_backend(
             collect_trace=collect_trace,
             eager_threshold=eager_threshold,
             faults=faults,
+            symmetry=symmetry,
         )
+    if backend == "predictor":
+        from repro.simulator.predictor import PredictorBackend
+
+        return PredictorBackend(network, faults=faults)
     raise ConfigurationError(
-        f"unknown backend {backend!r} (expected 'des', 'macro', or an "
-        "Engine instance)"
+        f"unknown backend {backend!r} (expected 'des', 'macro', "
+        "'predictor', or an Engine instance)"
     )

@@ -1,0 +1,565 @@
+"""Symmetry-collapsed execution of the macro backend.
+
+An SPMD run of a SUMMA-family algorithm on a homogeneous network has
+only O(grid-dimension) *distinct* rank behaviours: rank ``(i, j)``'s
+entire timeline — which collectives it announces, the guards it takes,
+the sizes it ships, the virtual times it observes — is a function of
+its structural role (inner coordinates modulo the group grid), not of
+``(i, j)`` itself.  The per-rank macro backend nevertheless steps all
+``s*t`` generators; at p=16384 that is tens of millions of generator
+resumes pricing collectives whose answers repeat ``O(s)``-fold.
+
+This module collapses that redundancy without giving up exactness:
+
+* A runner *declares* its symmetry as a :class:`GridSymmetry` — which
+  rows/columns of the grid form a covering **probe set**, and how a
+  communicator's context id maps to an **equivalence class** of comms
+  with bit-identical (start, finish) behaviour.
+* :class:`CollapsedMacroEngine` steps only the probed ranks' generators
+  through the inherited macro machinery (structure-of-arrays state for
+  everyone else).  A collective whose participants are all probed fires
+  normally and records a *memo* for its class; a collective with only
+  some participants probed is satisfied from the memo — after checking
+  the arrival clock, signature and payload size match it exactly.
+* Any observation the congruence argument cannot cover — point-to-point
+  traffic, spans, unknown communicators, a clock past the memoed start,
+  concrete (non-phantom) payloads, leftover parked ranks — raises
+  :class:`SymmetryBroken`, and
+  :meth:`~repro.simulator.backends.MacroBackend.run_with_factory` falls
+  back to the per-rank path with fresh generators.
+* At the end, the unprobed ranks' stats and return values are
+  replicated from their probed *twin* ``(i mod probe_rows,
+  j mod probe_cols)`` via numpy gathers.  By the congruence argument
+  (docs/cost_model.md, "Rank equivalence classes") the twin's floats
+  are bit-identical to what the per-rank run would have produced, so
+  the assembled :class:`~repro.simulator.tracing.SimResult` — including
+  the max-over-ranks times — is exact, not approximate.
+
+The collapse is *attempted*, never assumed: every run either proves its
+own symmetry en route or falls back, and the property suite pins
+bit-identity against the per-rank implementation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Iterable, Mapping
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.network.model import Network
+from repro.simulator.backends import MacroBackend, _op_nbytes, _op_results
+from repro.simulator.engine import RankProgram, _RankState
+from repro.simulator.events import EventQueue
+from repro.simulator.requests import CollectiveRequest
+from repro.simulator.spans import SpanRecorder
+from repro.simulator.tracing import RankStats, SimResult
+
+
+class SymmetryBroken(Exception):
+    """The run made an observation the declared symmetry cannot cover.
+
+    Internal control flow: callers
+    (:meth:`~repro.simulator.backends.MacroBackend.run_with_factory`)
+    catch it and rerun per-rank.  Never escapes to user code.
+    """
+
+
+def _const(color: int) -> int:
+    """Class-key callable: all communicators of this child sequence
+    behave identically (one class)."""
+    return 0
+
+
+@dataclasses.dataclass(frozen=True)
+class GridSymmetry:
+    """A runner's declaration of its rank-equivalence structure.
+
+    Parameters
+    ----------
+    s, t:
+        The process grid; world rank ``r`` sits at ``divmod(r, t)``.
+    probe_rows, probe_cols:
+        The probe set is grid rows ``0..probe_rows-1`` plus grid
+        columns ``0..probe_cols-1``.  It must be chosen so that every
+        equivalence class of communicators contains at least one comm
+        whose participants are *all* probed (the class primary), and so
+        that ``(i % probe_rows, j % probe_cols)`` is a behavioural twin
+        of ``(i, j)``.  Flat SUMMA/cyclic: 1x1 (a cross).  HSUMMA with
+        an ``I x J`` group grid: ``(s/I) x (t/J)`` (one full group row
+        and column of groups).
+    class_keys:
+        Maps a communicator's world child sequence number (``cid[0]``
+        for depth-1 communicators) to a callable turning its split
+        color (``cid[1]``) into a class subkey.  Comms with equal
+        ``(child_seq, subkey)`` must announce in lockstep: same
+        per-comm collective sequence numbering, same (start, finish),
+        same signature, same per-member payload sizes.  An announcement
+        on any other communicator breaks the symmetry.
+    """
+
+    s: int
+    t: int
+    probe_rows: int
+    probe_cols: int
+    class_keys: Mapping[int, Callable[[int], Any]]
+
+    def __post_init__(self) -> None:
+        if self.s <= 0 or self.t <= 0:
+            raise SimulationError(
+                f"grid dims must be positive: {self.s}x{self.t}")
+        if not (0 < self.probe_rows and 0 < self.probe_cols):
+            raise SimulationError(
+                f"probe dims must be positive: "
+                f"{self.probe_rows}x{self.probe_cols}")
+
+    @property
+    def nranks(self) -> int:
+        return self.s * self.t
+
+    @property
+    def covers_grid(self) -> bool:
+        """True when the probe set is the whole grid (no collapse win)."""
+        return self.probe_rows >= self.s or self.probe_cols >= self.t
+
+    def probe_indices(self) -> list[int]:
+        """World ranks in the probe set, ascending."""
+        pr = min(self.probe_rows, self.s)
+        pc = min(self.probe_cols, self.t)
+        out = list(range(pr * self.t))
+        for i in range(pr, self.s):
+            base = i * self.t
+            out.extend(range(base, base + pc))
+        return out
+
+    def class_key(self, cid: tuple) -> tuple:
+        """Equivalence class of the communicator with context id ``cid``."""
+        if len(cid) != 2:
+            raise SymmetryBroken(
+                f"collective on unexpected communicator depth: cid={cid!r}")
+        child_seq, color = cid
+        fn = self.class_keys.get(child_seq)
+        if fn is None:
+            raise SymmetryBroken(
+                f"collective on undeclared communicator family "
+                f"(child seq {child_seq})")
+        return (child_seq, fn(color))
+
+
+class _Memo:
+    """What one class primary observed for one collective sequence."""
+
+    __slots__ = ("op", "algorithm", "root", "segments", "p",
+                 "start", "finish", "nbytes_by_me", "results")
+
+    def __init__(self, op, algorithm, root, segments, p,
+                 start, finish, nbytes_by_me, results):
+        self.op = op
+        self.algorithm = algorithm
+        self.root = root
+        self.segments = segments
+        self.p = p
+        self.start = start
+        self.finish = finish
+        self.nbytes_by_me = nbytes_by_me
+        self.results = results
+
+
+def _phantom_ok(value: Any) -> bool:
+    """True when ``value`` carries no concrete data a partial comm's
+    unobserved members could have influenced."""
+    from repro.payloads import is_phantom
+
+    if value is None or is_phantom(value):
+        return True
+    if isinstance(value, (list, tuple)):
+        return all(_phantom_ok(v) for v in value)
+    return False
+
+
+class CollapsedMacroEngine(MacroBackend):
+    """Macro backend stepping only the probe set of a symmetric grid.
+
+    Constructed internally by
+    :meth:`~repro.simulator.backends.MacroBackend.run_with_factory`;
+    raises :class:`SymmetryBroken` the moment the run strays outside
+    the declared symmetry (the caller then falls back per-rank).
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        *,
+        symmetry: GridSymmetry,
+        coster: Any = None,
+        max_events: int = 200_000_000,
+    ) -> None:
+        super().__init__(network, coster=coster, max_events=max_events)
+        self.symmetry = symmetry
+
+    # -- run loop: Engine.run for a sparse rank subset ---------------------
+
+    def run(self, programs: Iterable[RankProgram]) -> SimResult:
+        gens = list(programs)
+        sym = self.symmetry
+        if len(gens) != sym.nranks:
+            raise SimulationError(
+                f"{len(gens)} programs but symmetry declares a "
+                f"{sym.s}x{sym.t} grid")
+        if len(gens) > self.network.nranks:
+            raise SimulationError(
+                f"{len(gens)} programs but network only models "
+                f"{self.network.nranks} ranks")
+
+        probe = sym.probe_indices()
+        probed = bytearray(len(gens))
+        for r in probe:
+            probed[r] = 1
+        self._probed = probed
+        # Only the probed generators ever start; the rest are dropped
+        # unexecuted (their twins stand in for them).
+        self._ranks = [_RankState(r, gens[r]) for r in probe]
+        self._events = EventQueue()
+        self._pending = {}
+        self._durations = {}
+        #: (class key, seq) -> _Memo recorded by the class primary.
+        self._memos: dict[tuple, _Memo] = {}
+        #: (class key, seq) -> [(state, request)] waiting for a primary.
+        self._parked: dict[tuple, list] = {}
+        self._full_by_cid: dict[tuple, bool] = {}
+        self._class_by_cid: dict[tuple, tuple] = {}
+        self._trace = []
+        self._spans = SpanRecorder(len(gens))
+        self._nevents = 0
+
+        for state in self._ranks:
+            self._resume(state, None, state.stats.clock)
+
+        events = self._events
+        max_events = self.max_events
+        while events:
+            _time, batch = events.pop_batch()
+            self._nevents += len(batch)
+            if self._nevents > max_events:
+                raise SimulationError(
+                    f"event cap of {max_events} exceeded; "
+                    "likely a livelock in a rank program"
+                )
+            for _t, _seq, fn, args in batch:
+                fn(*args)
+
+        stuck = [s for s in self._ranks if not s.finished]
+        if stuck:
+            # Either an equivalence class never produced a fully-probed
+            # primary (the declaration is too coarse for this run) or a
+            # genuine deadlock; the per-rank fallback distinguishes them.
+            raise SymmetryBroken(
+                f"{len(stuck)} probed ranks left blocked "
+                f"(first: rank {stuck[0].stats.rank} on "
+                f"{stuck[0].blocked_on!r})")
+        if self._parked or self._pending:
+            raise SymmetryBroken(
+                "collectives left waiting at end of run")
+        return self._assemble(len(gens))
+
+    # -- collective hook ---------------------------------------------------
+
+    def _collective(
+        self, state: _RankState, request: CollectiveRequest, now: float
+    ) -> bool:
+        if len(request.participants) <= 1:
+            return False  # free no-op; expand for the exact result
+        ckey = self._class_of(request.cid)
+        state.blocked_on = request
+        state.block_start = now
+        if self._all_probed(request):
+            key = (request.cid, request.seq)
+            entry = self._pending.get(key)
+            if entry is None:
+                entry = self._pending[key] = []
+            entry.append((state, request))
+            if len(entry) == len(request.participants):
+                del self._pending[key]
+                self._satisfy_primary(entry, (ckey, request.seq))
+        else:
+            mkey = (ckey, request.seq)
+            memo = self._memos.get(mkey)
+            if memo is not None:
+                self._join(state, request, memo)
+            else:
+                self._parked.setdefault(mkey, []).append((state, request))
+        return True
+
+    def _class_of(self, cid: tuple) -> tuple:
+        ckey = self._class_by_cid.get(cid)
+        if ckey is None:
+            ckey = self._class_by_cid[cid] = self.symmetry.class_key(cid)
+        return ckey
+
+    def _all_probed(self, request: CollectiveRequest) -> bool:
+        full = self._full_by_cid.get(request.cid)
+        if full is None:
+            probed = self._probed
+            full = self._full_by_cid[request.cid] = all(
+                probed[r] for r in request.participants)
+        return full
+
+    def _satisfy_primary(self, entry: list, mkey: tuple) -> None:
+        """Fire a fully-probed collective; record or verify its memo."""
+        req0 = entry[0][1]
+        p = len(req0.participants)
+        payloads: list[Any] = [None] * p
+        nbytes_by_me = [0] * p
+        start = 0.0
+        for st, req in entry:
+            payloads[req.me] = req.payload
+            nbytes_by_me[req.me] = req.nbytes
+            clock = st.stats.clock
+            if clock > start:
+                start = clock
+        nbytes = _op_nbytes(req0.op, req0.root, entry)
+        root = req0.root if req0.root is not None else 0
+        # Participant-invariant costers (a collapse precondition) price
+        # by communicator size, so the duration memo can drop the
+        # participant tuple — same float, one coster call per class.
+        dkey = (req0.op, req0.algorithm, p, root, nbytes, req0.segments,
+                req0.cid[0] if req0.cid else None)
+        duration = self._durations.get(dkey)
+        if duration is None:
+            duration = self._durations[dkey] = self.coster.collective_time(
+                req0.op,
+                req0.algorithm,
+                req0.participants,
+                root,
+                nbytes,
+                segments=req0.segments,
+                cid=req0.cid,
+            )
+        finish = start + duration
+        results = _op_results(req0.op, req0.root, p, payloads)
+        memo = self._memos.get(mkey)
+        if memo is None:
+            self._memos[mkey] = memo = _Memo(
+                req0.op, req0.algorithm, req0.root, req0.segments, p,
+                start, finish, nbytes_by_me, results,
+            )
+            waiting = self._parked.pop(mkey, None)
+            if waiting:
+                for st, req in waiting:
+                    self._join(st, req, memo)
+        elif (memo.start != start or memo.finish != finish
+              or memo.op != req0.op or memo.algorithm != req0.algorithm
+              or memo.root != req0.root or memo.segments != req0.segments
+              or memo.p != p or memo.nbytes_by_me != nbytes_by_me):
+            # Two primaries of one class disagreed: the class key is
+            # too coarse for this run.
+            raise SymmetryBroken(
+                f"class {mkey[0]!r} primaries diverged at seq {mkey[1]}")
+        self._events.push(
+            finish, self._collective_done, (entry, results, finish)
+        )
+
+    def _join(self, state: _RankState, request: CollectiveRequest,
+              memo: _Memo) -> None:
+        """Satisfy a partially-probed member from its class memo."""
+        if (request.op != memo.op
+                or request.algorithm != memo.algorithm
+                or request.root != memo.root
+                or request.segments != memo.segments
+                or len(request.participants) != memo.p
+                or request.nbytes != memo.nbytes_by_me[request.me]):
+            raise SymmetryBroken(
+                f"rank {state.stats.rank} announced "
+                f"{request.op}/{request.algorithm} diverging from its "
+                f"class memo")
+        if state.stats.clock > memo.start:
+            raise SymmetryBroken(
+                f"rank {state.stats.rank} arrived at "
+                f"{state.stats.clock!r}, after its class started at "
+                f"{memo.start!r}")
+        value = memo.results[request.me]
+        if not _phantom_ok(value):
+            raise SymmetryBroken(
+                "collective carries concrete data; unobserved members "
+                "could contribute different values")
+        # Inherited _collective_done: comm_time += finish - block_start,
+        # then resume with a CollectiveReply — the same float operations
+        # the rank's own communicator would have produced, since by
+        # congruence its start/duration equal the memoed ones.
+        self._events.push(
+            memo.finish, self._collective_done,
+            ([(state, request)], memo.results, memo.finish),
+        )
+
+    # -- everything the congruence argument cannot cover -------------------
+
+    def _refuse(self, state: _RankState, request: Any, now: float) -> Any:
+        raise SymmetryBroken(
+            f"rank {state.stats.rank} issued {request!r}; only "
+            "collectives and compute are collapsible")
+
+    _handle_send = _refuse
+    _handle_recv = _refuse
+    _handle_isend = _refuse
+    _handle_irecv = _refuse
+    _handle_sendrecv = _refuse
+    _handle_wait = _refuse
+    _handle_wait_handle = _refuse
+    _handle_tuple = _refuse
+    _handle_span_open = _refuse
+    _handle_span_close = _refuse
+    _handle_counter = _refuse
+
+    # -- result assembly ---------------------------------------------------
+
+    def _assemble(self, nranks: int) -> SimResult:
+        """Replicate probed stats/results onto their twins (SoA gathers)."""
+        sym = self.symmetry
+        states = self._ranks
+        for st in states:
+            s = st.stats
+            if (s.messages_sent or s.bytes_sent or s.retries
+                    or s.timeouts or s.recoveries or s.fault_delay):
+                raise SymmetryBroken(
+                    f"rank {s.rank} has point-to-point or fault activity")
+            if not _phantom_ok(st.retval):
+                raise SymmetryBroken(
+                    f"rank {s.rank} returned concrete data")
+            self._spans.finish(s.rank, s.clock)
+
+        # Probe-slot arrays (structure-of-arrays view of the run)...
+        clock = np.array([st.stats.clock for st in states])
+        comm = np.array([st.stats.comm_time for st in states])
+        comp = np.array([st.stats.compute_time for st in states])
+        slot = np.full(nranks, -1, dtype=np.intp)
+        for idx, st in enumerate(states):
+            slot[st.stats.rank] = idx
+
+        # ...gathered through the twin map (i, j) -> (i % pr, j % pc)
+        # for unprobed ranks, identity for probed ones.
+        t = sym.t
+        ranks = np.arange(nranks)
+        gi, gj = ranks // t, ranks % t
+        on_probe = slot >= 0
+        twin = np.where(on_probe, ranks,
+                        (gi % sym.probe_rows) * t + (gj % sym.probe_cols))
+        tslot = slot[twin]
+        if np.any(tslot < 0):  # pragma: no cover - probe-set invariant
+            raise SymmetryBroken("twin map left the probe set")
+        all_clock = clock[tslot]
+        all_comm = comm[tslot]
+        all_comp = comp[tslot]
+
+        stats: list[RankStats] = []
+        for r in range(nranks):
+            if on_probe[r]:
+                stats.append(states[slot[r]].stats)
+            else:
+                rs = RankStats(rank=r)
+                rs.clock = float(all_clock[r])
+                rs.comm_time = float(all_comm[r])
+                rs.compute_time = float(all_comp[r])
+                stats.append(rs)
+        return_values = [states[tslot[r]].retval for r in range(nranks)]
+        return SimResult(
+            stats=stats,
+            return_values=return_values,
+            trace=self._trace,
+            spans=self._spans.roots,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Symmetry declarations for the in-repo algorithms
+# ---------------------------------------------------------------------------
+#
+# The class-key maps below are coupled, by design, to the communicator
+# creation order of the rank programs (CartComm row = world child 0,
+# col = 1; then outer row/outer col/inner row/inner col = 2..5 where
+# the program creates them).  docs/cost_model.md derives each map from
+# the program's per-step clock evolution.
+
+
+def summa_symmetry(s: int, t: int) -> GridSymmetry:
+    """Flat SUMMA (and flat block-cyclic SUMMA): every row comm behaves
+    like every other row comm, ditto columns — a 1x1 probe cross."""
+    return GridSymmetry(s, t, 1, 1, {0: _const, 1: _const})
+
+
+def hsumma_symmetry(s: int, t: int, I: int, J: int) -> GridSymmetry:
+    """HSUMMA with an ``I x J`` group grid; probe one group's worth of
+    full rows and columns.
+
+    Within an outer step the guarded outer phases desynchronise ranks
+    by their inner coordinates, so the class keys carry exactly the
+    coordinates that phase order makes observable: outer-row comms
+    split by ``jj`` (guard + seq alignment), outer-col comms by
+    ``(ii, jj)`` (seq alignment + start-time split), inner-row comms
+    by ``ii`` (start-time split), inner-col comms are uniform.
+
+    Degenerate group strips simplify: a trivial outer dimension's
+    broadcast is a free single-member no-op, so the desync (and the
+    probe) shrinks with it.
+    """
+    si, tj = s // I, t // J
+    if I == 1 and J == 1:
+        # Both outer phases are free; the inner comms span full grid
+        # rows/columns and stay in lockstep — SUMMA's cross probe.
+        return GridSymmetry(s, t, 1, 1, {4: _const, 5: _const})
+    if I == 1:
+        # No outer-col phase, so nothing desynchronises by ii: the
+        # inner comms run uniformly and only jj (outer-row guard)
+        # structures the run.
+        return GridSymmetry(s, t, 1, tj, {
+            2: lambda color: color % tj,  # color = i*tj + jj
+            4: _const,
+            5: _const,
+        })
+    if J == 1:
+        # No outer-row phase; outer-col comms need ii for sequence
+        # alignment, and inner-row comms (whose members all share ii)
+        # start at different times depending on ii == ik.
+        return GridSymmetry(s, t, si, 1, {
+            3: lambda color: color % si,  # color = j*si + ii
+            4: lambda color: color % si,  # color = i*J + y = i
+            5: _const,
+        })
+    return GridSymmetry(s, t, si, tj, {
+        2: lambda color: color % tj,                      # color = i*tj + jj
+        3: lambda color: (color % si, (color // si) % tj),  # = j*si + ii
+        4: lambda color: (color // J) % si,               # color = i*J + y
+        5: _const,                                        # color = j*I + x
+    })
+
+
+def cyclic_symmetry(s: int, t: int, I: int = 1, J: int = 1) -> GridSymmetry:
+    """Block-cyclic SUMMA; the hierarchical variant interleaves the
+    phases (outer-row, inner-row, outer-col, inner-col), which makes
+    both inner families start uniformly — the outer families still
+    need their guard coordinate for sequence alignment, because a
+    guarded comm only announces in the steps its ``jj``/``ii`` matches
+    the rotating owner."""
+    if I * J <= 1:
+        return summa_symmetry(s, t)
+    si, tj = s // I, t // J
+    if I == 1:
+        return GridSymmetry(s, t, 1, tj, {
+            2: lambda color: color % tj,
+            4: _const,
+            5: _const,
+        })
+    if J == 1:
+        # Unlike HSUMMA's J=1 case, the inner-row phase here runs
+        # *before* the guarded outer-col phase, so it starts uniformly.
+        return GridSymmetry(s, t, si, 1, {
+            3: lambda color: color % si,
+            4: _const,
+            5: _const,
+        })
+    return GridSymmetry(s, t, si, tj, {
+        2: lambda color: color % tj,   # color = i*tj + jj
+        3: lambda color: color % si,   # color = j*si + ii
+        4: _const,
+        5: _const,
+    })

@@ -1,0 +1,316 @@
+"""Closed-form performance prediction: the zero-stepping backend.
+
+The macro backend executes rank generators and satisfies every
+collective from a :class:`~repro.experiments.stepmodel.CollectiveCoster`
+oracle.  On a homogeneous fault-free network the resulting virtual
+times follow a *fixed critical chain* per algorithm step — e.g. one
+SUMMA step is exactly ``clock += T_row; clock += T_col; clock += g`` —
+so the whole run can be priced without ever building generators,
+communicators or an event queue.  This module composes those chains
+directly from the coster's analytic forms (see ``docs/cost_model.md``
+for the derivations and the congruence argument).
+
+Fidelity contract versus ``backend="macro"`` on the same network:
+
+* ``total_time`` and ``compute_time`` are **bit-identical** — the
+  predictor performs the same float additions in the same order as the
+  critical rank's clock in the macro engine.
+* ``comm_time`` is bit-identical for the flat variants (SUMMA, cyclic
+  SUMMA) and agrees within a few ULPs (documented as 1e-9 relative)
+  for the hierarchical variants, where macro ranks accumulate the same
+  per-step phase times under different groupings.
+
+The prediction carries **one representative rank** in
+``SimResult.stats`` (a p=2^20 grid would otherwise materialise a
+million ``RankStats``) and empty ``return_values``; the runners build
+the phantom ``C`` themselves.  Use ``backend="predictor"`` through
+:func:`repro.core.summa.run_summa` / :func:`repro.core.hsumma.
+run_hsumma` / :func:`repro.core.cyclic.run_cyclic` or the CLI.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import ConfigurationError
+from repro.network.model import Network
+from repro.simulator.backends import Backend
+from repro.simulator.tracing import RankStats, SimResult
+
+
+class PredictorBackend(Backend):
+    """Marker backend returned by ``resolve_backend("predictor")``.
+
+    The predictor never steps rank programs, so :meth:`run` cannot
+    exist in a meaningful form — the algorithm runners detect
+    ``backend="predictor"`` *before* building programs and call the
+    ``predict_*`` functions below instead.  Resolving the name still
+    succeeds (so generic plumbing can validate backend specs), but
+    executing it raises with directions.
+    """
+
+    def __init__(self, network: Network, *, faults: Any = None) -> None:
+        if faults is not None and not getattr(faults, "empty", False):
+            raise ConfigurationError(
+                "the predictor backend does not support fault injection; "
+                "use backend='des' for faulted runs"
+            )
+        self.network = network
+
+    def run(self, programs: Any) -> SimResult:
+        raise ConfigurationError(
+            "the predictor backend composes closed forms and cannot "
+            "execute rank programs; call it through the algorithm "
+            "runners (run_summa/run_hsumma/run_cyclic with "
+            "backend='predictor') or the CLI"
+        )
+
+
+def _require_predictable(
+    name: str,
+    *,
+    phantom: bool,
+    faults: Any,
+    verify: Any,
+    contention: bool,
+    trace: bool = False,
+) -> None:
+    """Validate a runner's arguments for ``backend="predictor"``.
+
+    The predictor produces timings only; anything that needs actual
+    execution — concrete data, fault injection, the verifier's
+    recorder, contention modelling, transfer tracing — has no closed
+    form and must use a simulating backend.
+    """
+    from repro.verify.session import coerce_verify
+
+    if not phantom:
+        raise ConfigurationError(
+            f"backend='predictor' cannot compute a concrete C for "
+            f"{name}; pass PhantomArray inputs (scale mode) or use "
+            "backend='des'/'macro'"
+        )
+    if faults is not None and not getattr(faults, "empty", False):
+        raise ConfigurationError(
+            "the predictor backend does not support fault injection; "
+            "use backend='des' for faulted runs"
+        )
+    if coerce_verify(verify) is not None:
+        raise ConfigurationError(
+            "the predictor backend runs no rank programs, so there is "
+            "nothing for the verifier to observe; drop verify= or use "
+            "a simulating backend"
+        )
+    if contention:
+        raise ConfigurationError(
+            "the predictor's closed forms assume an uncontended "
+            "network; use backend='des' with contention=True"
+        )
+    if trace:
+        raise ConfigurationError(
+            "the predictor produces no transfers or spans to trace; "
+            "use backend='des'/'macro' with trace=True"
+        )
+
+
+def _resolve_coster(network: Network, coster: Any) -> Any:
+    from repro.simulator.backends import _default_coster
+
+    if coster is None:
+        coster = _default_coster(network, contention=False)
+    if not getattr(coster, "participant_invariant", False):
+        raise ConfigurationError(
+            "the predictor requires a participant-invariant coster "
+            "(analytic forms or a uniform micro-DES oracle); this "
+            "network/coster prices collectives per participant set — "
+            "use backend='macro' instead"
+        )
+    return coster
+
+
+class _Chain:
+    """The critical rank's clock chain, mirroring the macro engine's
+    float operations exactly.
+
+    A macro collective finishes at ``start + T`` with ``start`` the
+    latest participant clock and charges ``finish - block_start`` of
+    comm time; on the critical chain ``start == block_start == clock``,
+    so each phase is ``finish = clock + T; comm += finish - clock;
+    clock = finish`` — reproduced verbatim here.  Compute requests add
+    ``seconds`` to both the compute counter and the clock, as in
+    :meth:`repro.simulator.engine.Engine._handle_compute`.
+    """
+
+    __slots__ = ("clock", "comm", "compute", "_coster", "_memo")
+
+    def __init__(self, coster: Any) -> None:
+        self.clock = 0.0
+        self.comm = 0.0
+        self.compute = 0.0
+        self._coster = coster
+        self._memo: dict[tuple, float] = {}
+
+    def collective(self, op: str, algorithm: str | None, p: int,
+                   nbytes: int, *, segments: Any = None,
+                   cid0: int = 0) -> None:
+        if p <= 1:
+            # The engine expands single-rank collectives as free no-ops.
+            return
+        key = (op, algorithm, p, nbytes, segments, cid0)
+        duration = self._memo.get(key)
+        if duration is None:
+            duration = self._memo[key] = self._coster.collective_time(
+                op, algorithm, tuple(range(p)), 0, nbytes,
+                segments=segments, cid=(cid0, 0),
+            )
+        finish = self.clock + duration
+        self.comm += finish - self.clock
+        self.clock = finish
+
+    def compute_seconds(self, seconds: float) -> None:
+        self.compute += seconds
+        self.clock = self.clock + seconds
+
+    def result(self) -> SimResult:
+        rep = RankStats(rank=0, clock=self.clock, comm_time=self.comm,
+                        compute_time=self.compute)
+        return SimResult(stats=[rep], return_values=[])
+
+
+def _bcast_alg(override: Any, options: Any) -> str:
+    if override is not None:
+        return override
+    if options is not None:
+        return options.bcast
+    from repro.mpi.comm import CollectiveOptions
+
+    return CollectiveOptions().bcast
+
+
+def _segments(options: Any) -> Any:
+    return options.bcast_segments if options is not None else None
+
+
+def predict_summa(
+    cfg: Any,
+    *,
+    network: Network,
+    options: Any = None,
+    gamma: float = 0.0,
+    coster: Any = None,
+    a_itemsize: int = 8,
+    b_itemsize: int = 8,
+) -> SimResult:
+    """Closed-form prediction of a SUMMA run (``cfg`` as
+    :class:`repro.core.summa.SummaConfig`); see the module docstring
+    for the fidelity contract."""
+    from repro.blocks.ops import gemm_flops
+
+    coster = _resolve_coster(network, coster)
+    alg = _bcast_alg(cfg.bcast, options)
+    seg = _segments(options)
+    chain = _Chain(coster)
+    mloc, nloc = cfg.m // cfg.s, cfg.n // cfg.t
+    a_bytes = mloc * cfg.block * a_itemsize
+    b_bytes = cfg.block * nloc * b_itemsize
+    gemm = gemm_flops(mloc, cfg.block, nloc) * gamma
+    for _ in range(cfg.nsteps):
+        chain.collective("bcast", alg, cfg.t, a_bytes, segments=seg, cid0=0)
+        chain.collective("bcast", alg, cfg.s, b_bytes, segments=seg, cid0=1)
+        chain.compute_seconds(gemm)
+    return chain.result()
+
+
+def predict_hsumma(
+    cfg: Any,
+    *,
+    network: Network,
+    options: Any = None,
+    gamma: float = 0.0,
+    coster: Any = None,
+    a_itemsize: int = 8,
+    b_itemsize: int = 8,
+) -> SimResult:
+    """Closed-form prediction of an HSUMMA run (``cfg`` as
+    :class:`repro.core.hsumma.HSummaConfig`).
+
+    Per outer step the critical chain is outer-row, outer-col, then
+    ``inner_steps`` repetitions of inner-row, inner-col, gemm — the
+    order every macro rank's clock converges to (the guarded outer
+    phases desynchronise ranks within a step; the first unguarded
+    inner collective re-synchronises them at the latest arrival).
+    """
+    from repro.blocks.ops import gemm_flops
+
+    coster = _resolve_coster(network, coster)
+    outer_alg = _bcast_alg(cfg.outer_bcast, options)
+    inner_alg = _bcast_alg(cfg.inner_bcast, options)
+    seg = _segments(options)
+    chain = _Chain(coster)
+    mloc, nloc = cfg.m // cfg.s, cfg.n // cfg.t
+    si, tj = cfg.inner_s, cfg.inner_t
+    a_outer = mloc * cfg.outer_block * a_itemsize
+    b_outer = cfg.outer_block * nloc * b_itemsize
+    a_inner = mloc * cfg.inner_block * a_itemsize
+    b_inner = cfg.inner_block * nloc * b_itemsize
+    gemm = gemm_flops(mloc, cfg.inner_block, nloc) * gamma
+    for _ in range(cfg.outer_steps):
+        chain.collective("bcast", outer_alg, cfg.J, a_outer,
+                         segments=seg, cid0=2)
+        chain.collective("bcast", outer_alg, cfg.I, b_outer,
+                         segments=seg, cid0=3)
+        for _ in range(cfg.inner_steps):
+            chain.collective("bcast", inner_alg, tj, a_inner,
+                             segments=seg, cid0=4)
+            chain.collective("bcast", inner_alg, si, b_inner,
+                             segments=seg, cid0=5)
+            chain.compute_seconds(gemm)
+    return chain.result()
+
+
+def predict_cyclic(
+    cfg: Any,
+    *,
+    network: Network,
+    options: Any = None,
+    gamma: float = 0.0,
+    coster: Any = None,
+    a_itemsize: int = 8,
+    b_itemsize: int = 8,
+) -> SimResult:
+    """Closed-form prediction of a block-cyclic (H)SUMMA run (``cfg``
+    as :class:`repro.core.cyclic.CyclicConfig`, blocking schedule).
+
+    The flat variant is two broadcasts and a gemm per rotating pivot;
+    the hierarchical variant follows :func:`repro.core.cyclic.
+    cyclic_summa_program`'s ``hier_blocking`` order (outer-row,
+    inner-row, outer-col, inner-col).  The overlap schedule posts
+    split-phase broadcasts through the point-to-point machinery and
+    has no closed form here.
+    """
+    from repro.blocks.ops import gemm_flops
+
+    coster = _resolve_coster(network, coster)
+    alg = _bcast_alg(None, options)
+    seg = _segments(options)
+    chain = _Chain(coster)
+    mloc, nloc = cfg.m // cfg.s, cfg.n // cfg.t
+    a_bytes = mloc * cfg.nb * a_itemsize
+    b_bytes = cfg.nb * nloc * b_itemsize
+    gemm = gemm_flops(mloc, cfg.nb, nloc) * gamma
+    if not cfg.hierarchical:
+        for _ in range(cfg.nsteps):
+            chain.collective("bcast", alg, cfg.t, a_bytes,
+                             segments=seg, cid0=0)
+            chain.collective("bcast", alg, cfg.s, b_bytes,
+                             segments=seg, cid0=1)
+            chain.compute_seconds(gemm)
+        return chain.result()
+    si, tj = cfg.s // cfg.I, cfg.t // cfg.J
+    for _ in range(cfg.nsteps):
+        chain.collective("bcast", alg, cfg.J, a_bytes, segments=seg, cid0=2)
+        chain.collective("bcast", alg, tj, a_bytes, segments=seg, cid0=4)
+        chain.collective("bcast", alg, cfg.I, b_bytes, segments=seg, cid0=3)
+        chain.collective("bcast", alg, si, b_bytes, segments=seg, cid0=5)
+        chain.compute_seconds(gemm)
+    return chain.result()

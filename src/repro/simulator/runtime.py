@@ -66,7 +66,10 @@ def run_spmd(
         Execution backend: ``None``/``"des"`` for the full discrete
         event simulation, ``"macro"`` for the collective-granularity
         macro backend, or a prebuilt engine instance (see
-        :mod:`repro.simulator.backends`).
+        :mod:`repro.simulator.backends`).  ``"predictor"`` is not
+        usable here — it has no per-rank programs to run; reach it
+        through the algorithm runners (:func:`repro.core.api.multiply`
+        with ``backend="predictor"``).
     faults:
         Fault injection: a :class:`~repro.faults.FaultSchedule` or a
         spec string for :func:`repro.faults.parse_fault_spec` (DES

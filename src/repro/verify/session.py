@@ -152,6 +152,7 @@ def run_verified(
     eager_threshold: int = 0,
     coster: Any = None,
     faults: Any = None,
+    symmetry: Any = None,
     meta: dict | None = None,
 ) -> SimResult:
     """Execute a rank-program set, optionally under verification.
@@ -159,11 +160,16 @@ def run_verified(
     ``make_programs`` must return a *fresh* list of rank generators on
     every call — the determinism pass calls it once per schedule.  All
     other keyword arguments mirror
-    :func:`repro.simulator.backends.resolve_backend`.
+    :func:`repro.simulator.backends.resolve_backend`; ``symmetry``
+    additionally enables the macro backend's symmetry-collapsed fast
+    path (bit-identical, see :mod:`repro.simulator.collapse`), which
+    engages only on the unverified path — the recorder must observe
+    every rank, so a verified run always steps per rank.
 
     With ``verify=None`` this is exactly
-    ``resolve_backend(...).run(make_programs())``; nothing is wrapped
-    or recorded and the run is bit-identical to the pre-verifier code
+    ``resolve_backend(...).run(make_programs())`` (modulo the collapse
+    fast path, which is bit-identical by construction); nothing is
+    wrapped or recorded and the run reproduces the pre-verifier code
     path.
     """
     from repro.simulator.backends import resolve_backend
@@ -174,12 +180,16 @@ def run_verified(
             backend, net,
             contention=contention, collect_trace=collect_trace,
             eager_threshold=eager_threshold, coster=coster,
-            faults=with_faults,
+            faults=with_faults, symmetry=symmetry,
         )
 
     opts = coerce_verify(verify)
     if opts is None:
-        return build(network, faults).run(make_programs())
+        engine = build(network, faults)
+        collapse = getattr(engine, "run_with_factory", None)
+        if collapse is not None:
+            return collapse(make_programs)
+        return engine.run(make_programs())
 
     programs = list(make_programs())
     session = VerifySession(opts, len(programs))

@@ -1,0 +1,313 @@
+"""Property-based validation of symmetry collapse and the predictor.
+
+Three contracts, swept with Hypothesis over valid configurations:
+
+* **Collapsed macro == per-rank macro, bit for bit.**  On homogeneous
+  networks with a participant-invariant coster, stepping only the probe
+  set and replicating the rest must reproduce every per-rank clock,
+  comm and compute figure *exactly* (``==``, not approx) — the
+  congruence argument of ``docs/cost_model.md`` holds or the engine
+  must have refused to collapse.
+* **Predictor == macro.**  The closed-form predictor reproduces the
+  macro backend's total and compute times bit-for-bit, and its comm
+  time to 1e-9 relative (hierarchical schedules group the identical
+  per-step float additions differently).
+* **Asymmetry degrades safely.**  Faults are refused outright by the
+  macro backend; heterogeneous costers, real (numpy) payloads and
+  tracing fall back to the per-rank path — observable through
+  ``collapse_report`` — and numerics stay correct.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.cyclic import run_cyclic
+from repro.core.grouping import choose_group_grid, valid_group_counts
+from repro.core.hsumma import run_hsumma
+from repro.core.summa import run_summa
+from repro.errors import ConfigurationError
+from repro.mpi.comm import CollectiveOptions
+from repro.network.homogeneous import HomogeneousNetwork
+from repro.network.model import HockneyParams
+from repro.payloads import PhantomArray
+from repro.simulator.backends import MacroBackend
+from repro.simulator.collapse import (
+    cyclic_symmetry,
+    hsumma_symmetry,
+    summa_symmetry,
+)
+
+PARAMS = HockneyParams(alpha=1e-4, beta=1e-9)
+GAMMA = 1e-10
+COMM_TOL = 1e-9
+
+
+def _run_both(runner, symmetry, nranks, **kwargs):
+    """Run ``runner`` twice on identical prebuilt macro backends — one
+    per-rank (no symmetry declared), one collapsed — and return the two
+    sims plus the collapsed backend's report."""
+    net = HomogeneousNetwork(nranks, PARAMS)
+    ref = MacroBackend(net)
+    col = MacroBackend(net, symmetry=symmetry)
+    _, sim_ref = runner(network=net, backend=ref, **kwargs)
+    _, sim_col = runner(network=net, backend=col, **kwargs)
+    return sim_ref, sim_col, col.collapse_report
+
+
+def _assert_bit_identical(sim_ref, sim_col):
+    assert sim_col.nranks == sim_ref.nranks
+    for a, b in zip(sim_ref.stats, sim_col.stats):
+        assert b.clock == a.clock, f"rank {a.rank} clock"
+        assert b.comm_time == a.comm_time, f"rank {a.rank} comm"
+        assert b.compute_time == a.compute_time, f"rank {a.rank} compute"
+
+
+@st.composite
+def summa_configs(draw):
+    s = draw(st.sampled_from([2, 4, 8]))
+    t = draw(st.sampled_from([2, 4, 8]))
+    block = draw(st.sampled_from([1, 2, 4]))
+    unit = block * s * t
+    l = unit * draw(st.sampled_from([1, 2]))
+    m = s * t * draw(st.sampled_from([1, 2]))
+    n = s * t * draw(st.sampled_from([1, 3]))
+    bcast = draw(st.sampled_from(["binomial", "vandegeijn"]))
+    return (s, t, block, m, l, n, bcast)
+
+
+@st.composite
+def hsumma_configs(draw):
+    """Includes strip group grids (I==1 or J==1) — the probe-set
+    special cases — via the full valid_group_counts range."""
+    s = draw(st.sampled_from([2, 4]))
+    t = draw(st.sampled_from([2, 4, 8]))
+    G = draw(st.sampled_from(valid_group_counts(s, t)))
+    outer = draw(st.sampled_from([2, 4]))
+    inner = draw(st.sampled_from([b for b in (1, 2) if outer % b == 0]))
+    unit = outer * s * t
+    l = unit * draw(st.sampled_from([1, 2]))
+    m = s * t * draw(st.sampled_from([1, 2]))
+    n = s * t * draw(st.sampled_from([1, 2]))
+    bcast = draw(st.sampled_from(["binomial", "vandegeijn"]))
+    return (s, t, G, outer, inner, m, l, n, bcast)
+
+
+@st.composite
+def cyclic_configs(draw):
+    s = draw(st.sampled_from([2, 4]))
+    t = draw(st.sampled_from([2, 4]))
+    I = draw(st.sampled_from([i for i in (1, 2) if s % i == 0]))
+    J = draw(st.sampled_from([j for j in (1, 2, 4) if t % j == 0]))
+    nb = draw(st.sampled_from([1, 2]))
+    unit = nb * s * t
+    l = unit * draw(st.sampled_from([1, 2]))
+    m = s * t * draw(st.sampled_from([1, 2]))
+    n = s * t * draw(st.sampled_from([1, 2]))
+    return (s, t, I, J, nb, m, l, n)
+
+
+class TestCollapsedEqualsPerRank:
+    """Collapsed macro must be bit-identical to per-rank macro."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(cfg=summa_configs())
+    def test_summa(self, cfg):
+        s, t, block, m, l, n, bcast = cfg
+        sim_ref, sim_col, report = _run_both(
+            lambda **kw: run_summa(
+                PhantomArray((m, l)), PhantomArray((l, n)),
+                grid=(s, t), block=block, gamma=GAMMA,
+                options=CollectiveOptions(bcast=bcast), **kw,
+            ),
+            summa_symmetry(s, t), s * t,
+        )
+        assert report["mode"] == "collapsed"
+        # The probe set is an L-shape — one full probe row plus the
+        # probe column of every remaining row — so flat SUMMA steps
+        # s + t - 1 ranks however large the grid.
+        assert report["probed"] == s + t - 1
+        _assert_bit_identical(sim_ref, sim_col)
+
+    @settings(max_examples=20, deadline=None)
+    @given(cfg=hsumma_configs())
+    def test_hsumma(self, cfg):
+        s, t, G, outer, inner, m, l, n, bcast = cfg
+        I, J = choose_group_grid(s, t, G)
+        sim_ref, sim_col, report = _run_both(
+            lambda **kw: run_hsumma(
+                PhantomArray((m, l)), PhantomArray((l, n)),
+                grid=(s, t), groups=G, outer_block=outer,
+                inner_block=inner, gamma=GAMMA,
+                options=CollectiveOptions(bcast=bcast), **kw,
+            ),
+            hsumma_symmetry(s, t, I, J), s * t,
+        )
+        assert report["mode"] == "collapsed"
+        # The probe set is one group (or one strip of it), never the
+        # whole grid — otherwise collapsing would be pointless.
+        assert report["probed"] < s * t
+        _assert_bit_identical(sim_ref, sim_col)
+
+    @settings(max_examples=15, deadline=None)
+    @given(cfg=cyclic_configs())
+    def test_cyclic(self, cfg):
+        s, t, I, J, nb, m, l, n = cfg
+        sim_ref, sim_col, report = _run_both(
+            lambda **kw: run_cyclic(
+                PhantomArray((m, l)), PhantomArray((l, n)),
+                grid=(s, t), nb=nb, groups=(I, J), gamma=GAMMA, **kw,
+            ),
+            cyclic_symmetry(s, t, I, J), s * t,
+        )
+        assert report["mode"] == "collapsed"
+        _assert_bit_identical(sim_ref, sim_col)
+
+
+class TestPredictorMatchesMacro:
+    """Closed-form predictor vs the (collapsed) macro backend."""
+
+    @settings(max_examples=15, deadline=None)
+    @given(cfg=summa_configs())
+    def test_summa(self, cfg):
+        s, t, block, m, l, n, bcast = cfg
+        opts = CollectiveOptions(bcast=bcast)
+        kwargs = dict(grid=(s, t), block=block, params=PARAMS,
+                      gamma=GAMMA, options=opts)
+        A, B = PhantomArray((m, l)), PhantomArray((l, n))
+        _, sim_macro = run_summa(A, B, backend="macro", **kwargs)
+        _, sim_pred = run_summa(A, B, backend="predictor", **kwargs)
+        # Flat schedules accumulate comm in the same order on every
+        # rank, so even comm_time is bit-identical.
+        assert sim_pred.total_time == sim_macro.total_time
+        assert sim_pred.compute_time == sim_macro.compute_time
+        assert sim_pred.comm_time == sim_macro.comm_time
+
+    @settings(max_examples=15, deadline=None)
+    @given(cfg=hsumma_configs())
+    def test_hsumma(self, cfg):
+        s, t, G, outer, inner, m, l, n, bcast = cfg
+        opts = CollectiveOptions(bcast=bcast)
+        kwargs = dict(grid=(s, t), groups=G, outer_block=outer,
+                      inner_block=inner, params=PARAMS, gamma=GAMMA,
+                      options=opts)
+        A, B = PhantomArray((m, l)), PhantomArray((l, n))
+        _, sim_macro = run_hsumma(A, B, backend="macro", **kwargs)
+        _, sim_pred = run_hsumma(A, B, backend="predictor", **kwargs)
+        assert sim_pred.total_time == sim_macro.total_time
+        assert sim_pred.compute_time == sim_macro.compute_time
+        # Hierarchical schedules group the same per-step additions
+        # differently across ranks; the sums agree to float
+        # re-association only.
+        assert sim_pred.comm_time == pytest.approx(
+            sim_macro.comm_time, rel=COMM_TOL
+        )
+
+    @settings(max_examples=10, deadline=None)
+    @given(cfg=cyclic_configs())
+    def test_cyclic(self, cfg):
+        s, t, I, J, nb, m, l, n = cfg
+        kwargs = dict(grid=(s, t), nb=nb, groups=(I, J), params=PARAMS,
+                      gamma=GAMMA)
+        A, B = PhantomArray((m, l)), PhantomArray((l, n))
+        _, sim_macro = run_cyclic(A, B, backend="macro", **kwargs)
+        _, sim_pred = run_cyclic(A, B, backend="predictor", **kwargs)
+        assert sim_pred.total_time == sim_macro.total_time
+        assert sim_pred.compute_time == sim_macro.compute_time
+        assert sim_pred.comm_time == pytest.approx(
+            sim_macro.comm_time, rel=COMM_TOL
+        )
+
+
+class TestAsymmetryFallsBack:
+    """Symmetry breakage must be refused or fall back, never mispriced."""
+
+    def test_macro_rejects_faults(self):
+        A, B = PhantomArray((16, 16)), PhantomArray((16, 16))
+        with pytest.raises(ConfigurationError, match="fault"):
+            run_summa(A, B, grid=(4, 4), block=4, params=PARAMS,
+                      backend="macro", faults="drop(p=0.02)")
+
+    def test_heterogeneous_coster_blocks_collapse(self):
+        from repro.network.mapping import block_mapping
+
+        net = HomogeneousNetwork(
+            16, PARAMS,
+            intra_params=HockneyParams(alpha=1e-6, beta=1e-10),
+            mapping=block_mapping(16, 4),
+        )
+        col = MacroBackend(net, symmetry=summa_symmetry(4, 4))
+        A, B = PhantomArray((16, 16)), PhantomArray((16, 16))
+        _, sim = run_summa(A, B, grid=(4, 4), block=4, network=net,
+                           backend=col, gamma=GAMMA)
+        assert col.collapse_report["mode"] == "per-rank"
+        assert "participant identity" in col.collapse_report["reason"]
+        assert sim.total_time > 0.0
+
+    def test_real_data_falls_back_with_correct_product(self):
+        rng = np.random.default_rng(7)
+        A = rng.standard_normal((16, 16))
+        B = rng.standard_normal((16, 16))
+        net = HomogeneousNetwork(16, PARAMS)
+        col = MacroBackend(net, symmetry=summa_symmetry(4, 4))
+        C, sim = run_summa(A, B, grid=(4, 4), block=4, network=net,
+                           backend=col, gamma=GAMMA)
+        assert col.collapse_report["mode"] == "per-rank"
+        np.testing.assert_allclose(C, A @ B, rtol=1e-10)
+        # The fallback is the ordinary per-rank macro path: it must
+        # agree bit-for-bit with a backend that never tried to collapse.
+        ref = MacroBackend(net)
+        _, sim_ref = run_summa(A, B, grid=(4, 4), block=4, network=net,
+                               backend=ref, gamma=GAMMA)
+        _assert_bit_identical(sim_ref, sim)
+
+    def test_tracing_blocks_collapse(self):
+        net = HomogeneousNetwork(16, PARAMS)
+        col = MacroBackend(net, collect_trace=True,
+                           symmetry=summa_symmetry(4, 4))
+        A, B = PhantomArray((16, 16)), PhantomArray((16, 16))
+        run_summa(A, B, grid=(4, 4), block=4, network=net, backend=col,
+                  gamma=GAMMA, trace=True)
+        assert col.collapse_report["mode"] == "per-rank"
+        assert "tracing" in col.collapse_report["reason"]
+
+
+class TestPredictorGates:
+    """The predictor refuses everything it cannot price."""
+
+    def test_rejects_real_data(self):
+        A = np.ones((16, 16))
+        with pytest.raises(ConfigurationError, match="Phantom"):
+            run_summa(A, A, grid=(4, 4), block=4, params=PARAMS,
+                      backend="predictor")
+
+    def test_rejects_faults(self):
+        A = PhantomArray((16, 16))
+        with pytest.raises(ConfigurationError, match="fault"):
+            run_summa(A, A, grid=(4, 4), block=4, params=PARAMS,
+                      backend="predictor", faults="drop(p=0.02)")
+
+    def test_rejects_verify(self):
+        A = PhantomArray((16, 16))
+        with pytest.raises(ConfigurationError, match="verif"):
+            run_summa(A, A, grid=(4, 4), block=4, params=PARAMS,
+                      backend="predictor", verify=True)
+
+    def test_rejects_overlap_cyclic(self):
+        A = PhantomArray((16, 16))
+        with pytest.raises(ConfigurationError, match="overlap"):
+            run_cyclic(A, A, grid=(4, 4), nb=4, params=PARAMS,
+                       backend="predictor", overlap=True)
+
+    def test_rejects_heterogeneous_network(self):
+        from repro.network.mapping import block_mapping
+
+        net = HomogeneousNetwork(
+            16, PARAMS,
+            intra_params=HockneyParams(alpha=1e-6, beta=1e-10),
+            mapping=block_mapping(16, 4),
+        )
+        A = PhantomArray((16, 16))
+        with pytest.raises(ConfigurationError, match="macro"):
+            run_summa(A, A, grid=(4, 4), block=4, network=net,
+                      backend="predictor")
