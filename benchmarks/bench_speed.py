@@ -44,9 +44,16 @@ BASELINE_PATH = REPO_ROOT / "BENCH_engine.json"
 #: vary — while still catching a hot path accidentally reverted.
 GATE_SLOWDOWN = 1.5
 #: One gate per engine tier: full DES, the symmetry-collapsed macro
-#: path, and the zero-stepping closed-form predictor.
+#: path, the zero-stepping closed-form predictor, and the plan
+#: service's hot cache path.
 GATE_WORKLOADS = ("des_summa_p64", "macro_cyclic_p1024",
-                  "predictor_fig10_sweep")
+                  "predictor_fig10_sweep", "planner_plans_per_sec")
+
+#: The plan-cache contract: a repeated query must be served at least
+#: this much faster than the cold enumerate/rank/refine path.
+PLANNER_MIN_SPEEDUP = 100.0
+PLANNER_COLD_ITERS = 5
+PLANNER_HOT_ITERS = 2000
 
 
 # -- workloads ----------------------------------------------------------------
@@ -117,6 +124,35 @@ def _predictor_sweep(p, n, block):
                 groups=[2 ** k for k in range(1, 11)])
 
 
+def _planner_cold():
+    """Cold plans: fresh service per plan, so every call pays the full
+    enumerate -> closed-form rank -> predictor-refine pipeline."""
+    from repro.planner import PlanQuery, PlanService
+
+    q = PlanQuery(n=16384, p=16384, platform="bluegene-p")
+    for _ in range(PLANNER_COLD_ITERS):
+        PlanService().plan(q)
+
+
+_PLANNER_HOT_STATE: dict = {}
+
+
+def _planner_hot():
+    """Hot plans: one warmed service answering the same (pre-resolved)
+    query from its in-process memo — the repeated-query fast path."""
+    from repro.planner import PlanQuery, PlanService
+
+    if "svc" not in _PLANNER_HOT_STATE:
+        svc = PlanService()
+        rq = PlanQuery(n=16384, p=16384, platform="bluegene-p").resolve()
+        svc.plan(rq)  # warm the memo (cold, outside best-of-reps)
+        _PLANNER_HOT_STATE.update(svc=svc, rq=rq)
+    svc = _PLANNER_HOT_STATE["svc"]
+    rq = _PLANNER_HOT_STATE["rq"]
+    for _ in range(PLANNER_HOT_ITERS):
+        svc.plan(rq)
+
+
 FULL = {
     "des_summa_p128": (lambda: _des_summa(2048, (8, 16), 64, 128), 3),
     "des_hsumma_p128": (lambda: _des_hsumma(2048, (8, 16), 8, 64, 128), 3),
@@ -124,6 +160,8 @@ FULL = {
     "des_faulty_summa_p64": (lambda: _des_faulty_summa(1024, (8, 8), 64, 64), 3),
     "predictor_fig10_sweep": (
         lambda: _predictor_sweep(1 << 20, 1 << 22, 256), 3),
+    "planner_cold": (_planner_cold, 3),
+    "planner_plans_per_sec": (_planner_hot, 3),
 }
 
 QUICK = {
@@ -135,7 +173,21 @@ QUICK = {
     # predictor well under a second, so the smoke run keeps it whole.
     "predictor_fig10_sweep": (
         lambda: _predictor_sweep(1 << 20, 1 << 22, 256), 3),
+    # The planner is already sub-second at the flagship size, so the
+    # smoke run keeps the full workloads (and the 100x cache gate).
+    "planner_cold": (_planner_cold, 3),
+    "planner_plans_per_sec": (_planner_hot, 3),
 }
+
+
+def planner_cache_speedup(current):
+    """Hot-vs-cold per-plan speedup from the two planner workloads, or
+    None when either is missing."""
+    cold = current.get("planner_cold")
+    hot = current.get("planner_plans_per_sec")
+    if not cold or not hot:
+        return None
+    return (cold / PLANNER_COLD_ITERS) / (hot / PLANNER_HOT_ITERS)
 
 
 def measure(workloads):
@@ -179,9 +231,19 @@ def main(argv=None):
     committed = baseline.get(mode, {})
     current = measure(workloads)
 
+    cache_speedup = planner_cache_speedup(current)
+    if cache_speedup is not None:
+        print(f"  planner cache speedup    {cache_speedup:8.0f} x  "
+              f"(hot vs cold, min {PLANNER_MIN_SPEEDUP:.0f}x)")
+
     # Regression gate — against the *committed* numbers, read above.
     status = 0
     if args.check:
+        if cache_speedup is not None and cache_speedup < PLANNER_MIN_SPEEDUP:
+            print(f"gate: FAIL — plan cache only {cache_speedup:.0f}x faster "
+                  f"than cold planning (contract: >= "
+                  f"{PLANNER_MIN_SPEEDUP:.0f}x)")
+            status = 1
         for workload in GATE_WORKLOADS:
             old = committed.get(workload, {}).get("current")
             new = current.get(workload)
@@ -204,9 +266,15 @@ def main(argv=None):
             if seed:
                 entry["speedup"] = round(seed / secs, 2)
             section[name] = entry
+        if cache_speedup is not None:
+            section["planner_cache_speedup"] = {
+                "hot_vs_cold": round(cache_speedup, 1),
+                "min_required": PLANNER_MIN_SPEEDUP,
+            }
         baseline[mode] = section
         baseline["gate"] = {"workloads": list(GATE_WORKLOADS),
-                            "max_slowdown": GATE_SLOWDOWN, "mode": "quick"}
+                            "max_slowdown": GATE_SLOWDOWN, "mode": "quick",
+                            "planner_min_speedup": PLANNER_MIN_SPEEDUP}
         BASELINE_PATH.write_text(
             json.dumps(baseline, indent=2, sort_keys=True) + "\n")
         print(f"wrote {BASELINE_PATH.relative_to(REPO_ROOT)}")

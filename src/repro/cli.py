@@ -11,6 +11,8 @@ Subcommands:
 * ``timeline`` — ascii Gantt chart of a small traced SUMMA/HSUMMA run.
 * ``trace`` — run a traced multiplication; write a Chrome trace_event
   JSON (loadable in Perfetto) and print the per-phase breakdown.
+* ``plan`` — best algorithm + parameters for a problem/machine via the
+  plan service (``docs/planner.md``); text or JSON.
 * ``report`` — quick scorecard verifying the paper's claims end to end.
 * ``verify`` — run the communication-correctness verifier over the
   algorithm corpus (see ``docs/verification.md``).
@@ -247,6 +249,29 @@ def _isqrt(p: int) -> int:
     return max(1, math.isqrt(p))
 
 
+def _cmd_plan(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.planner import PlanQuery, PlanService
+
+    service = PlanService(cache_dir=args.cache_dir, top_k=args.top_k,
+                          refine=args.refine)
+    memory_bytes = (args.memory_gb * 2.0**30
+                    if args.memory_gb is not None else None)
+    result = service.plan(PlanQuery(
+        n=args.n, p=args.p, dtype=args.dtype, platform=args.platform,
+        alpha=args.alpha, beta=args.beta, gamma=args.gamma,
+        memory_bytes=memory_bytes, faults=args.faults,
+    ))
+    if args.json:
+        out = result.to_dict()
+        out["from_cache"] = result.from_cache
+        print(json.dumps(out, indent=2, sort_keys=True))
+    else:
+        print(result.summary())
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.report import build_scorecard, render_scorecard
 
@@ -380,6 +405,49 @@ def build_parser() -> argparse.ArgumentParser:
                       help="print the critical-path walk")
     p_tr.add_argument("--width", type=int, default=72)
     p_tr.set_defaults(func=_cmd_trace)
+
+    p_plan = sub.add_parser(
+        "plan",
+        help="best algorithm + parameters for a problem/machine "
+             "(plan service; see docs/planner.md)",
+    )
+    p_plan.add_argument("--n", type=int, required=True,
+                        help="matrix dimension (n x n)")
+    p_plan.add_argument("-p", "--p", "--procs", dest="p", type=int,
+                        required=True, help="rank count")
+    p_plan.add_argument("--dtype", default="float64",
+                        help="element type (default float64)")
+    p_plan.add_argument(
+        "--platform", default=None,
+        choices=["grid5000-graphene", "bluegene-p", "exascale-2012"],
+        help="named machine preset for alpha/beta/gamma",
+    )
+    p_plan.add_argument("--alpha", type=float, default=None,
+                        help="latency in seconds (overrides platform)")
+    p_plan.add_argument("--beta", type=float, default=None,
+                        help="seconds per byte (overrides platform)")
+    p_plan.add_argument("--gamma", type=float, default=None,
+                        help="seconds per flop (overrides platform)")
+    p_plan.add_argument("--memory-gb", type=float, default=None,
+                        help="per-rank memory budget in GiB")
+    p_plan.add_argument("--faults", default=None, metavar="SPEC",
+                        help="fault spec; restricts plans to "
+                             "fault-tolerant broadcasts")
+    p_plan.add_argument("--top-k", type=int, default=4,
+                        help="ranking leaders re-priced by the "
+                             "refinement backend")
+    p_plan.add_argument(
+        "--refine", choices=["predictor", "macro", "none"],
+        default="predictor",
+        help="refinement backend for the ranking leaders",
+    )
+    p_plan.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="content-addressed plan cache directory (reused across runs)",
+    )
+    p_plan.add_argument("--json", action="store_true",
+                        help="emit the plan as JSON")
+    p_plan.set_defaults(func=_cmd_plan)
 
     p_rep = sub.add_parser("report", help="reproduction scorecard")
     p_rep.set_defaults(func=_cmd_report)

@@ -26,6 +26,7 @@ from __future__ import annotations
 import math
 from typing import Any, Generator
 
+from repro.costs.registry import optimal_pipeline_segments  # noqa: F401 (re-export; the closed form lives in the cost registry)
 from repro.errors import ConfigurationError
 from repro.collectives.scatter import range_scatter_rel
 from repro.payloads import join_payload, split_payload
@@ -116,15 +117,6 @@ def bcast_chain(comm: Any, obj: Any, root: int, *, segments: int | None = None) 
     if vr + 1 < size:
         yield from comm.send(obj, _abs(vr + 1, root, size), tag=TAG_BCAST)
     return obj
-
-
-def optimal_pipeline_segments(m_bytes: float, p: int, alpha: float, beta: float) -> int:
-    """Segment count minimising the pipelined-chain completion time
-    ``(p-2+S)(alpha + m*beta/S)``: ``S* = sqrt(m*beta*(p-2)/alpha)``."""
-    if p <= 2 or m_bytes <= 0 or alpha <= 0:
-        return 1
-    s = math.sqrt(m_bytes * beta * (p - 2) / alpha)
-    return max(1, round(s))
 
 
 def bcast_pipelined(

@@ -1,83 +1,29 @@
-"""Analytic Hockney-model costs of the broadcast algorithms.
+"""Analytic Hockney-model costs of the collectives — registry front-end.
+
+The closed forms themselves live in :mod:`repro.costs.registry` (the
+single source of truth shared with the analytic models and the
+predictor; see ``docs/cost_model.md``).  This module keeps the
+historical function-style interface the costers and the figure sweeps
+call, delegating every evaluation to the registry's
+:class:`~repro.costs.registry.CostQuery` →
+:class:`~repro.costs.registry.CostEstimate` interface.
 
 The paper's general broadcast model (its eq. 1) is
 
     ``T_bcast(m, p) = L(p) * alpha + m * W(p) * beta``
 
-This module provides ``L`` and ``W`` for each algorithm in the registry
-(where that linear form holds) and a direct ``bcast_time`` that also
-covers the pipelined chain (whose optimal-segment cost is not of that
-form).  The binomial and Van de Geijn entries match the formulas the
-paper quotes in Section IV:
-
-* binomial: ``log2(p) * (alpha + m*beta)``
-* Van de Geijn: ``(log2(p) + p - 1)*alpha + 2*(p-1)/p * m*beta``
+``bcast_latency_factor`` / ``bcast_bandwidth_factor`` expose the
+registry's *discrete* ``L`` and ``W`` (what the executable collectives
+realise on the wire); the smooth flavours the optimiser differentiates
+through are re-exported by :mod:`repro.models.broadcast_model` from the
+same registry rows.
 """
 
 from __future__ import annotations
 
-import math
-
-from repro.errors import ModelError
+from repro.costs.registry import CostQuery, estimate
+from repro.costs.registry import bcast_bandwidth_factor, bcast_latency_factor  # noqa: F401 (re-export)
 from repro.network.model import HockneyParams
-from repro.collectives.bcast import optimal_pipeline_segments
-
-
-def _log2ceil(p: int) -> int:
-    if p < 1:
-        raise ModelError(f"p must be >= 1, got {p}")
-    return (p - 1).bit_length()
-
-
-def _binary_depth(p: int) -> int:
-    """Depth of the balanced binary tree over ``p`` nodes (root depth 0)."""
-    return max(0, int(math.floor(math.log2(p))))
-
-
-def bcast_latency_factor(algorithm: str, p: int) -> float:
-    """``L(p)``: the number of ``alpha`` terms on the critical path."""
-    if p < 1:
-        raise ModelError(f"p must be >= 1, got {p}")
-    if p == 1:
-        return 0.0
-    if algorithm == "flat":
-        return float(p - 1)
-    if algorithm == "chain":
-        return float(p - 1)
-    if algorithm == "binomial":
-        return float(_log2ceil(p))
-    if algorithm == "binary":
-        # Inner nodes forward to two children sequentially: about two
-        # sends per level on the critical path.
-        return float(2 * _binary_depth(p))
-    if algorithm == "vandegeijn":
-        return float(_log2ceil(p) + (p - 1))
-    raise ModelError(
-        f"no closed-form L(p) for algorithm {algorithm!r} "
-        "(use bcast_time for the pipelined chain)"
-    )
-
-
-def bcast_bandwidth_factor(algorithm: str, p: int) -> float:
-    """``W(p)``: the multiplier on ``m * beta`` on the critical path."""
-    if p < 1:
-        raise ModelError(f"p must be >= 1, got {p}")
-    if p == 1:
-        return 0.0
-    if algorithm == "flat":
-        return float(p - 1)
-    if algorithm == "chain":
-        return float(p - 1)
-    if algorithm == "binomial":
-        return float(_log2ceil(p))
-    if algorithm == "binary":
-        return float(2 * _binary_depth(p))
-    if algorithm == "vandegeijn":
-        return 2.0 * (p - 1) / p
-    raise ModelError(
-        f"no closed-form W(p) for algorithm {algorithm!r} "
-        "(use bcast_time for the pipelined chain)"
-    )
 
 
 def bcast_time(
@@ -93,18 +39,10 @@ def bcast_time(
     For the pipelined chain, ``segments=None`` uses the analytically
     optimal segment count for these parameters.
     """
-    if m_bytes < 0:
-        raise ModelError(f"message size must be >= 0, got {m_bytes}")
-    if p == 1:
-        return 0.0
-    if algorithm == "pipelined":
-        s = segments or optimal_pipeline_segments(
-            m_bytes, p, params.alpha, params.beta
-        )
-        return (p - 2 + s) * (params.alpha + (m_bytes / s) * params.beta)
-    L = bcast_latency_factor(algorithm, p)
-    W = bcast_bandwidth_factor(algorithm, p)
-    return L * params.alpha + m_bytes * W * params.beta
+    return estimate(CostQuery(
+        op="bcast", algorithm=algorithm, p=p, nbytes=m_bytes,
+        alpha=params.alpha, beta=params.beta, segments=segments,
+    )).seconds
 
 
 def collective_time(
@@ -123,53 +61,8 @@ def collective_time(
     payload at the root; for contribution ops (``gather``,
     ``allgather``, ``reduce``, ``allreduce``) it is one rank's
     contribution; for ``barrier`` it is ignored.
-
-    Broadcasts delegate to :func:`bcast_time` (the paper's eq. 1 forms);
-    the remaining ops use the standard critical-path costs of the
-    algorithms implemented in :mod:`repro.collectives`.
     """
-    if m_bytes < 0:
-        raise ModelError(f"message size must be >= 0, got {m_bytes}")
-    if p < 1:
-        raise ModelError(f"p must be >= 1, got {p}")
-    if p == 1:
-        return 0.0
-    if op == "bcast":
-        return bcast_time(algorithm, m_bytes, p, params, segments=segments)
-    alpha, beta = params.alpha, params.beta
-    log2p = _log2ceil(p)
-    if op == "scatter":
-        # Binomial range-splitting tree: the payload halves each level.
-        return log2p * alpha + (p - 1) / p * m_bytes * beta
-    if op == "gather":
-        # Mirror of scatter with per-rank contributions: level k moves
-        # 2^k contributions, summing to (p-1) along the critical path.
-        return log2p * alpha + (p - 1) * m_bytes * beta
-    if op == "allgather":
-        if algorithm == "ring":
-            return (p - 1) * (alpha + m_bytes * beta)
-        if algorithm in ("recursive_doubling", "bruck"):
-            return log2p * alpha + (p - 1) * m_bytes * beta
-        raise ModelError(f"no closed-form allgather cost for {algorithm!r}")
-    if op == "reduce":
-        if algorithm == "flat":
-            return (p - 1) * (alpha + m_bytes * beta)
-        if algorithm == "binomial":
-            return log2p * (alpha + m_bytes * beta)
-        raise ModelError(f"no closed-form reduce cost for {algorithm!r}")
-    if op == "allreduce":
-        if algorithm == "rabenseifner":
-            return 2 * log2p * alpha + 2 * (p - 1) / p * m_bytes * beta
-        if algorithm == "recursive_doubling":
-            if p & (p - 1) == 0:
-                return log2p * (alpha + m_bytes * beta)
-            # The implementation falls back to reduce + bcast off
-            # powers of two.
-            return collective_time(
-                "reduce", "binomial", m_bytes, p, params
-            ) + bcast_time("binomial", m_bytes, p, params)
-        raise ModelError(f"no closed-form allreduce cost for {algorithm!r}")
-    if op == "barrier":
-        # Dissemination barrier: ceil(log2 p) zero-byte rounds.
-        return log2p * alpha
-    raise ModelError(f"unknown collective op {op!r}")
+    return estimate(CostQuery(
+        op=op, algorithm=algorithm, p=p, nbytes=m_bytes,
+        alpha=params.alpha, beta=params.beta, segments=segments,
+    )).seconds

@@ -289,8 +289,11 @@ def run_cyclic(
 
         if overlap:
             raise ConfigurationError(
-                "the predictor has no closed form for the overlap "
-                "(split-phase) schedule; use backend='des' or 'macro'"
+                "backend='predictor' cannot price cyclic: feature "
+                "'overlap' requires execution — the split-phase "
+                "schedule posts broadcasts through the point-to-point "
+                "machinery and has no closed form; fallback: use "
+                "backend='des' or backend='macro'"
             )
         _require_predictable(
             "cyclic", phantom=phantom, faults=faults,

@@ -1,0 +1,372 @@
+"""The single source of truth for per-collective closed-form costs.
+
+Historically three layers each carried their own copy of the Hockney
+closed forms: :mod:`repro.models.broadcast_model` (the paper's smooth
+``L(p)/W(p)`` factor functions the optimiser differentiates through),
+:mod:`repro.collectives.cost` (the discrete critical-path factors the
+DES engine realises), and the predictor/macro costers built on top.
+This registry collapses them into one table:
+
+* :data:`BCAST_ENTRIES` — one :class:`BcastEntry` per broadcast
+  algorithm, holding **both** flavours of each factor function:
+
+  - ``L``/``W`` — *discrete* (integer ``p``, ``ceil``/``floor`` tree
+    depths) — exactly what the executable collectives in
+    :mod:`repro.collectives` realise on the wire, pinned by the
+    DES cross-validation tests;
+  - ``L_smooth``/``W_smooth`` — *smooth* (real ``p``) — the paper's
+    analytic forms, differentiable through non-integer ``sqrt(p)``,
+    consumed by :mod:`repro.costs.closed_forms` (eqs. 2-12) and the
+    group-count optimiser.
+
+  The two flavours agree exactly at powers of two (the drift test in
+  ``tests/costs/test_drift.py`` pins this, plus object identity of the
+  re-exports, so the layers can never diverge again).
+
+* :func:`estimate` — the one query interface: a :class:`CostQuery`
+  (op, algorithm, participant count, message bytes, network
+  parameters) in, a :class:`CostEstimate` (seconds plus its
+  latency/bandwidth decomposition) out.  Every non-broadcast
+  collective's critical-path cost lives here too.
+
+Size convention (shared with the macro backend): for rooted
+distribution ops (``bcast``, ``scatter``) ``nbytes`` is the total
+payload at the root; for contribution ops (``gather``, ``allgather``,
+``reduce``, ``allreduce``) it is one rank's contribution; ``barrier``
+ignores it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Callable
+
+from repro.errors import ModelError
+from repro.network.model import HockneyParams
+
+
+# ---------------------------------------------------------------------------
+# Broadcast factor functions, discrete and smooth
+# ---------------------------------------------------------------------------
+
+def _log2ceil(p: int) -> int:
+    """Discrete binomial-tree depth: ``ceil(log2 p)``."""
+    if p < 1:
+        raise ModelError(f"p must be >= 1, got {p}")
+    return (p - 1).bit_length()
+
+
+def _binary_depth(p: int) -> int:
+    """Depth of the balanced binary tree over ``p`` nodes (root depth 0)."""
+    return max(0, int(math.floor(math.log2(p))))
+
+
+def _log2_smooth(p: float) -> float:
+    return math.log2(p) if p > 1 else 0.0
+
+
+@dataclasses.dataclass(frozen=True)
+class BroadcastModel:
+    """Latency/bandwidth factor functions of a broadcast algorithm.
+
+    ``L`` and ``W`` take the participant count ``p`` (a positive float —
+    the optimizer differentiates through non-integer ``p``) and return
+    the factor multiplying ``alpha`` / ``m * beta``.
+    """
+
+    name: str
+    L: Callable[[float], float]
+    W: Callable[[float], float]
+
+    def time(self, m_elements: float, p: float, alpha: float, beta: float) -> float:
+        """``L(p)*alpha + m*W(p)*beta`` (zero at ``p == 1``)."""
+        if p <= 1:
+            return 0.0
+        return self.L(p) * alpha + m_elements * self.W(p) * beta
+
+
+@dataclasses.dataclass(frozen=True)
+class BcastEntry:
+    """One broadcast algorithm's registry row: both factor flavours.
+
+    ``L``/``W`` take an integer ``p >= 2`` and return the discrete
+    critical-path factor; ``L_smooth``/``W_smooth`` take a real
+    ``p > 1``.  (Callers guard ``p == 1``, where every factor is zero.)
+    """
+
+    name: str
+    L: Callable[[int], float]
+    W: Callable[[int], float]
+    L_smooth: Callable[[float], float]
+    W_smooth: Callable[[float], float]
+
+
+BCAST_ENTRIES: dict[str, BcastEntry] = {
+    e.name: e
+    for e in (
+        BcastEntry(
+            name="flat",
+            L=lambda p: float(p - 1),
+            W=lambda p: float(p - 1),
+            L_smooth=lambda p: p - 1.0 if p > 1 else 0.0,
+            W_smooth=lambda p: p - 1.0 if p > 1 else 0.0,
+        ),
+        BcastEntry(
+            name="chain",
+            L=lambda p: float(p - 1),
+            W=lambda p: float(p - 1),
+            L_smooth=lambda p: p - 1.0 if p > 1 else 0.0,
+            W_smooth=lambda p: p - 1.0 if p > 1 else 0.0,
+        ),
+        BcastEntry(
+            name="binomial",
+            L=lambda p: float(_log2ceil(p)),
+            W=lambda p: float(_log2ceil(p)),
+            L_smooth=_log2_smooth,
+            W_smooth=_log2_smooth,
+        ),
+        BcastEntry(
+            # Inner nodes forward to two children sequentially: about
+            # two sends per level on the critical path.
+            name="binary",
+            L=lambda p: float(2 * _binary_depth(p)),
+            W=lambda p: float(2 * _binary_depth(p)),
+            L_smooth=lambda p: 2.0 * _log2_smooth(p),
+            W_smooth=lambda p: 2.0 * _log2_smooth(p),
+        ),
+        BcastEntry(
+            # Scatter-allgather: (log2 p + p - 1) alpha + 2(p-1)/p m beta.
+            name="vandegeijn",
+            L=lambda p: float(_log2ceil(p) + (p - 1)),
+            W=lambda p: 2.0 * (p - 1) / p,
+            L_smooth=lambda p: _log2_smooth(p) + (p - 1.0) if p > 1 else 0.0,
+            W_smooth=lambda p: 2.0 * (p - 1.0) / p if p > 1 else 0.0,
+        ),
+    )
+}
+
+#: The paper's eq.-1 models built on the registry's smooth factors —
+#: ``repro.models.broadcast_model`` re-exports these very objects, so
+#: the analytic layer and this registry cannot drift.
+SMOOTH_MODELS: dict[str, BroadcastModel] = {
+    name: BroadcastModel(name=name, L=entry.L_smooth, W=entry.W_smooth)
+    for name, entry in BCAST_ENTRIES.items()
+}
+
+
+def bcast_entry(algorithm: str) -> BcastEntry:
+    """The registry row for ``algorithm``; :class:`ModelError` if the
+    algorithm has no linear ``L/W`` form (e.g. the pipelined chain)."""
+    entry = BCAST_ENTRIES.get(algorithm)
+    if entry is None:
+        raise ModelError(
+            f"no closed-form L/W entry for broadcast algorithm "
+            f"{algorithm!r} (the pipelined chain is priced directly by "
+            "estimate/bcast_time)"
+        )
+    return entry
+
+
+def bcast_latency_factor(algorithm: str, p: int) -> float:
+    """``L(p)``: the number of ``alpha`` terms on the critical path
+    (discrete flavour — what the executable collective realises)."""
+    if p < 1:
+        raise ModelError(f"p must be >= 1, got {p}")
+    if p == 1:
+        return 0.0
+    return bcast_entry(algorithm).L(p)
+
+
+def bcast_bandwidth_factor(algorithm: str, p: int) -> float:
+    """``W(p)``: the multiplier on ``m * beta`` on the critical path
+    (discrete flavour)."""
+    if p < 1:
+        raise ModelError(f"p must be >= 1, got {p}")
+    if p == 1:
+        return 0.0
+    return bcast_entry(algorithm).W(p)
+
+
+def optimal_pipeline_segments(m_bytes: float, p: int, alpha: float, beta: float) -> int:
+    """Segment count minimising the pipelined-chain completion time
+    ``(p-2+S)(alpha + m*beta/S)``: ``S* = sqrt(m*beta*(p-2)/alpha)``."""
+    if p <= 2 or m_bytes <= 0 or alpha <= 0:
+        return 1
+    s = math.sqrt(m_bytes * beta * (p - 2) / alpha)
+    return max(1, round(s))
+
+
+# ---------------------------------------------------------------------------
+# The query interface
+# ---------------------------------------------------------------------------
+
+@dataclasses.dataclass(frozen=True)
+class CostQuery:
+    """One collective to price: what, among how many, over which wire.
+
+    ``alpha``/``beta`` are the Hockney parameters of the (homogeneous)
+    network the collective runs over, per **byte**; ``nbytes`` follows
+    the module-level size convention.  ``algorithm=None`` asks for the
+    op's default algorithm where one exists.
+    """
+
+    op: str
+    algorithm: str | None
+    p: int
+    nbytes: float
+    alpha: float
+    beta: float
+    segments: int | None = None
+
+    @classmethod
+    def from_params(
+        cls,
+        op: str,
+        algorithm: str | None,
+        p: int,
+        nbytes: float,
+        params: HockneyParams,
+        *,
+        segments: int | None = None,
+    ) -> "CostQuery":
+        return cls(op=op, algorithm=algorithm, p=p, nbytes=nbytes,
+                   alpha=params.alpha, beta=params.beta, segments=segments)
+
+
+@dataclasses.dataclass(frozen=True)
+class CostEstimate:
+    """A priced collective: total seconds plus its decomposition.
+
+    ``seconds`` is the authoritative number (computed with the same
+    float-operation order the macro/predictor fidelity contract pins);
+    ``alpha_terms`` and ``beta_bytes`` decompose it as
+    ``alpha_terms * alpha + beta_bytes * beta`` up to float
+    reassociation — useful for latency/bandwidth attribution and the
+    lower-bound gap analysis.
+    """
+
+    seconds: float
+    alpha_terms: float
+    beta_bytes: float
+
+    def __add__(self, other: "CostEstimate") -> "CostEstimate":
+        return CostEstimate(
+            seconds=self.seconds + other.seconds,
+            alpha_terms=self.alpha_terms + other.alpha_terms,
+            beta_bytes=self.beta_bytes + other.beta_bytes,
+        )
+
+
+_ZERO = CostEstimate(seconds=0.0, alpha_terms=0.0, beta_bytes=0.0)
+
+
+def _bcast_estimate(q: CostQuery) -> CostEstimate:
+    m, p, alpha, beta = q.nbytes, q.p, q.alpha, q.beta
+    if q.algorithm == "pipelined":
+        s = q.segments or optimal_pipeline_segments(m, p, alpha, beta)
+        return CostEstimate(
+            seconds=(p - 2 + s) * (alpha + (m / s) * beta),
+            alpha_terms=float(p - 2 + s),
+            beta_bytes=(p - 2 + s) * (m / s),
+        )
+    entry = bcast_entry(q.algorithm)
+    L, W = entry.L(p), entry.W(p)
+    return CostEstimate(
+        seconds=L * alpha + m * W * beta,
+        alpha_terms=L,
+        beta_bytes=m * W,
+    )
+
+
+def estimate(q: CostQuery) -> CostEstimate:
+    """Price one collective from the registry's closed forms.
+
+    This is *the* cost function: :mod:`repro.collectives.cost`, the
+    macro backend's :class:`~repro.experiments.stepmodel.AnalyticCoster`
+    / :class:`~repro.experiments.stepmodel.TopologyCoster`, and (through
+    them) the closed-form predictor all route here.  Validation and the
+    float-operation order match the historical
+    ``repro.collectives.cost.collective_time`` exactly.
+    """
+    if q.nbytes < 0:
+        raise ModelError(f"message size must be >= 0, got {q.nbytes}")
+    if q.p < 1:
+        raise ModelError(f"p must be >= 1, got {q.p}")
+    if q.p == 1:
+        return _ZERO
+    if q.op == "bcast":
+        return _bcast_estimate(q)
+    m, p, alpha, beta = q.nbytes, q.p, q.alpha, q.beta
+    log2p = _log2ceil(p)
+    if q.op == "scatter":
+        # Binomial range-splitting tree: the payload halves each level.
+        return CostEstimate(
+            seconds=log2p * alpha + (p - 1) / p * m * beta,
+            alpha_terms=float(log2p),
+            beta_bytes=(p - 1) / p * m,
+        )
+    if q.op == "gather":
+        # Mirror of scatter with per-rank contributions: level k moves
+        # 2^k contributions, summing to (p-1) along the critical path.
+        return CostEstimate(
+            seconds=log2p * alpha + (p - 1) * m * beta,
+            alpha_terms=float(log2p),
+            beta_bytes=(p - 1) * m,
+        )
+    if q.op == "allgather":
+        if q.algorithm == "ring":
+            return CostEstimate(
+                seconds=(p - 1) * (alpha + m * beta),
+                alpha_terms=float(p - 1),
+                beta_bytes=(p - 1) * m,
+            )
+        if q.algorithm in ("recursive_doubling", "bruck"):
+            return CostEstimate(
+                seconds=log2p * alpha + (p - 1) * m * beta,
+                alpha_terms=float(log2p),
+                beta_bytes=(p - 1) * m,
+            )
+        raise ModelError(f"no closed-form allgather cost for {q.algorithm!r}")
+    if q.op == "reduce":
+        if q.algorithm == "flat":
+            return CostEstimate(
+                seconds=(p - 1) * (alpha + m * beta),
+                alpha_terms=float(p - 1),
+                beta_bytes=(p - 1) * m,
+            )
+        if q.algorithm == "binomial":
+            return CostEstimate(
+                seconds=log2p * (alpha + m * beta),
+                alpha_terms=float(log2p),
+                beta_bytes=log2p * m,
+            )
+        raise ModelError(f"no closed-form reduce cost for {q.algorithm!r}")
+    if q.op == "allreduce":
+        if q.algorithm == "rabenseifner":
+            return CostEstimate(
+                seconds=2 * log2p * alpha + 2 * (p - 1) / p * m * beta,
+                alpha_terms=float(2 * log2p),
+                beta_bytes=2 * (p - 1) / p * m,
+            )
+        if q.algorithm == "recursive_doubling":
+            if p & (p - 1) == 0:
+                return CostEstimate(
+                    seconds=log2p * (alpha + m * beta),
+                    alpha_terms=float(log2p),
+                    beta_bytes=log2p * m,
+                )
+            # The implementation falls back to reduce + bcast off
+            # powers of two.
+            return estimate(
+                dataclasses.replace(q, op="reduce", algorithm="binomial")
+            ) + estimate(
+                dataclasses.replace(q, op="bcast", algorithm="binomial")
+            )
+        raise ModelError(f"no closed-form allreduce cost for {q.algorithm!r}")
+    if q.op == "barrier":
+        # Dissemination barrier: ceil(log2 p) zero-byte rounds.
+        return CostEstimate(
+            seconds=log2p * alpha, alpha_terms=float(log2p), beta_bytes=0.0
+        )
+    raise ModelError(f"unknown collective op {q.op!r}")

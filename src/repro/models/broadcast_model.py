@@ -3,63 +3,35 @@
     ``T_bcast(m, p) = L(p) * alpha + m * W(p) * beta``
 
 with ``L(1) = W(1) = 0``.  A :class:`BroadcastModel` bundles the two
-factor functions; the two instances the paper analyses — binomial tree
-and Van de Geijn — are provided, built on the same closed forms the
-executable collectives satisfy (tests pin the DES to these formulas).
+factor functions.  The instances here are the *smooth* rows of the
+unified cost registry (:data:`repro.costs.registry.SMOOTH_MODELS`) —
+the very same objects, not copies — so this module and the discrete
+factors :mod:`repro.collectives.cost` exposes can never drift apart
+(``tests/costs/test_drift.py`` pins both the identity and the
+power-of-two agreement).
 """
 
 from __future__ import annotations
 
-import dataclasses
-import math
-from typing import Callable
+from repro.costs.registry import SMOOTH_MODELS, BroadcastModel
 
-
-@dataclasses.dataclass(frozen=True)
-class BroadcastModel:
-    """Latency/bandwidth factor functions of a broadcast algorithm.
-
-    ``L`` and ``W`` take the participant count ``p`` (a positive float —
-    the optimizer differentiates through non-integer ``p``) and return
-    the factor multiplying ``alpha`` / ``m * beta``.
-    """
-
-    name: str
-    L: Callable[[float], float]
-    W: Callable[[float], float]
-
-    def time(self, m_elements: float, p: float, alpha: float, beta: float) -> float:
-        """``L(p)*alpha + m*W(p)*beta`` (zero at ``p == 1``)."""
-        if p <= 1:
-            return 0.0
-        return self.L(p) * alpha + m_elements * self.W(p) * beta
-
-
-def _log2(p: float) -> float:
-    return math.log2(p) if p > 1 else 0.0
-
+__all__ = [
+    "BroadcastModel",
+    "BINOMIAL_MODEL",
+    "VANDEGEIJN_MODEL",
+    "FLAT_MODEL",
+    "MODELS",
+]
 
 #: Binomial tree: ``log2(p) * (alpha + m*beta)`` (paper Section IV).
-BINOMIAL_MODEL = BroadcastModel(
-    name="binomial",
-    L=_log2,
-    W=_log2,
-)
+BINOMIAL_MODEL = SMOOTH_MODELS["binomial"]
 
 #: Van de Geijn scatter-allgather:
 #: ``(log2(p) + p - 1)*alpha + 2*(p-1)/p * m*beta`` (paper Section IV).
-VANDEGEIJN_MODEL = BroadcastModel(
-    name="vandegeijn",
-    L=lambda p: _log2(p) + (p - 1.0) if p > 1 else 0.0,
-    W=lambda p: 2.0 * (p - 1.0) / p if p > 1 else 0.0,
-)
+VANDEGEIJN_MODEL = SMOOTH_MODELS["vandegeijn"]
 
 #: Flat tree (for completeness; never optimal but a useful worst case).
-FLAT_MODEL = BroadcastModel(
-    name="flat",
-    L=lambda p: p - 1.0 if p > 1 else 0.0,
-    W=lambda p: p - 1.0 if p > 1 else 0.0,
-)
+FLAT_MODEL = SMOOTH_MODELS["flat"]
 
 MODELS: dict[str, BroadcastModel] = {
     m.name: m for m in (BINOMIAL_MODEL, VANDEGEIJN_MODEL, FLAT_MODEL)

@@ -1,101 +1,24 @@
-"""Closed-form HSUMMA costs — the paper's equations (3)-(5) and the
-HSUMMA rows of Tables I/II.
+"""Closed-form HSUMMA costs — the paper's equations (3)-(5), (12) and
+the HSUMMA rows of Tables I/II.
 
-With ``G`` groups on a square grid (group grid ``sqrt(G) x sqrt(G)``,
-inner grids ``sqrt(p/G) x sqrt(p/G)``), outer block ``B`` and inner
-block ``b``:
-
-* outer (between-group) phase: ``n/B`` broadcasts of ``n*B/sqrt(p)``
-  elements among ``sqrt(G)`` ranks, per direction;
-* inner (within-group) phase: ``n/b`` broadcasts of ``n*b/sqrt(p)``
-  elements among ``sqrt(p/G)`` ranks, per direction.
-
-    ``T_HS = 2*(n/B)*L(sqrt(G))*alpha + 2*(n/b)*L(sqrt(p/G))*alpha
-           + 2*(n^2/sqrt(p)) * (W(sqrt(G)) + W(sqrt(p/G))) * beta``
-
-``G = 1`` and ``G = p`` recover SUMMA exactly (asserted by tests).
+The formulas live in the unified cost registry
+(:mod:`repro.costs.closed_forms`); this module re-exports them under
+their historical names.  ``G = 1`` and ``G = p`` recover SUMMA exactly
+(asserted by tests).
 """
 
 from __future__ import annotations
 
-import math
+from repro.costs.closed_forms import (
+    hsumma_bandwidth_factor,
+    hsumma_communication_cost,
+    hsumma_latency_factor,
+    hsumma_optimal_vdg_cost,
+)
 
-from repro.errors import ModelError
-from repro.models.broadcast_model import BroadcastModel
-
-
-def _check(n: float, p: float, G: float, b: float, B: float) -> None:
-    if n <= 0 or p < 1 or b <= 0 or B <= 0:
-        raise ModelError(
-            f"need n > 0, p >= 1, b > 0, B > 0; got n={n}, p={p}, b={b}, B={B}"
-        )
-    if not (1 <= G <= p):
-        raise ModelError(f"group count G={G} outside [1, p={p}]")
-    if b > B:
-        raise ModelError(f"inner block {b} must be <= outer block {B}")
-
-
-def hsumma_communication_cost(
-    n: float,
-    p: float,
-    G: float,
-    b: float,
-    alpha: float,
-    beta: float,
-    model: BroadcastModel,
-    *,
-    B: float | None = None,
-    outer_model: BroadcastModel | None = None,
-) -> float:
-    """Equations (3)-(5) generalised to ``b != B`` and to a different
-    broadcast algorithm per level (``outer_model`` defaults to
-    ``model``)."""
-    B = b if B is None else B
-    _check(n, p, G, b, B)
-    om = outer_model or model
-    qG = math.sqrt(G)
-    qI = math.sqrt(p / G)
-    latency = 2.0 * ((n / B) * om.L(qG) + (n / b) * model.L(qI)) * alpha
-    volume = n * n / math.sqrt(p)
-    bandwidth = 2.0 * volume * (om.W(qG) + model.W(qI)) * beta
-    return latency + bandwidth
-
-
-def hsumma_latency_factor(
-    n: float, p: float, G: float, b: float, model: BroadcastModel, *, B: float | None = None
-) -> float:
-    """Multiplier on ``alpha`` (HSUMMA rows of Tables I/II, both levels)."""
-    B = b if B is None else B
-    _check(n, p, G, b, B)
-    return 2.0 * (
-        (n / B) * model.L(math.sqrt(G)) + (n / b) * model.L(math.sqrt(p / G))
-    )
-
-
-def hsumma_bandwidth_factor(
-    n: float, p: float, G: float, model: BroadcastModel
-) -> float:
-    """Multiplier on ``beta`` (HSUMMA rows of Tables I/II, both levels)."""
-    if n <= 0 or p < 1 or not (1 <= G <= p):
-        raise ModelError(f"bad arguments n={n}, p={p}, G={G}")
-    volume = n * n / math.sqrt(p)
-    return 2.0 * volume * (
-        model.W(math.sqrt(G)) + model.W(math.sqrt(p / G))
-    )
-
-
-def hsumma_optimal_vdg_cost(
-    n: float, p: float, b: float, alpha: float, beta: float
-) -> float:
-    """The paper's equation (12): HSUMMA cost at the optimum
-    ``G = sqrt(p)`` with the Van de Geijn broadcast and ``b = B``:
-
-    ``(log2(p) + 4*(p^(1/4) - 1)) * (n/b) * alpha
-      + 8*(1 - p^(-1/4)) * (n^2/sqrt(p)) * beta``
-    """
-    if n <= 0 or p < 1 or b <= 0:
-        raise ModelError(f"need n > 0, p >= 1, b > 0; got {n}, {p}, {b}")
-    q4 = p ** 0.25
-    latency = (math.log2(p) + 4.0 * (q4 - 1.0)) * (n / b) * alpha
-    bandwidth = 8.0 * (1.0 - 1.0 / q4) * (n * n / math.sqrt(p)) * beta
-    return latency + bandwidth
+__all__ = [
+    "hsumma_communication_cost",
+    "hsumma_latency_factor",
+    "hsumma_bandwidth_factor",
+    "hsumma_optimal_vdg_cost",
+]

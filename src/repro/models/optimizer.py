@@ -7,9 +7,12 @@ For the Van de Geijn broadcast with ``b = B`` the derivative is
 so ``G = sqrt(p)`` is always a stationary point, and it is the *minimum*
 exactly when ``alpha/beta > 2*n*b/p`` (eq. 10) — otherwise it is the
 maximum and the best HSUMMA degenerates to SUMMA (``G = 1`` or
-``G = p``).  This module provides the threshold test, the derivative, a
-generic numeric optimiser over valid integer group counts, and the
-extremum-kind classifier.
+``G = p``).  The threshold test, the derivative and the
+extremum-kind classifier are the registry's closed forms
+(:mod:`repro.costs.closed_forms`), re-exported here; this module adds
+the numeric optimiser over integer group counts — optionally
+restricted to the counts actually *realisable* on a processor grid
+(feasible ``I x J`` splits), which is what the planner uses.
 """
 
 from __future__ import annotations
@@ -17,69 +20,57 @@ from __future__ import annotations
 import math
 from typing import Iterable
 
+from repro.costs.closed_forms import (  # noqa: F401 (re-exports)
+    critical_ratio,
+    crossover_processor_count,
+    hsumma_beats_summa,
+    hsumma_communication_cost,
+    predicted_extremum_kind,
+    vdg_cost_derivative,
+)
 from repro.errors import ModelError
 from repro.models.broadcast_model import BroadcastModel, VANDEGEIJN_MODEL
-from repro.models.hsumma_model import hsumma_communication_cost
+
+__all__ = [
+    "critical_ratio",
+    "crossover_processor_count",
+    "hsumma_beats_summa",
+    "predicted_extremum_kind",
+    "vdg_cost_derivative",
+    "default_group_candidates",
+    "optimal_group_count",
+]
 
 
-def critical_ratio(n: float, b: float, p: float) -> float:
-    """The paper's threshold ``2*n*b/p`` (eq. 10/11), in elements."""
-    if n <= 0 or b <= 0 or p < 1:
-        raise ModelError(f"need n > 0, b > 0, p >= 1; got {n}, {b}, {p}")
-    return 2.0 * n * b / p
+def default_group_candidates(
+    p: int, grid: tuple[int, int] | None = None
+) -> list[int]:
+    """Candidate group counts for the numeric search.
 
+    Without a ``grid``: powers of two in ``[1, p]`` plus exact
+    ``sqrt(p)`` if integral — the paper's sweep grid.  With a
+    ``grid=(s, t)``: only the counts with a feasible ``I x J`` split
+    (``I | s``, ``J | t``) — an unrestricted sweep can nominate a ``G``
+    no HSUMMA run can realise (e.g. ``G = 2`` on a ``3 x 3`` grid).
+    """
+    if p < 1:
+        raise ModelError(f"p must be >= 1, got {p}")
+    if grid is not None:
+        from repro.core.grouping import valid_group_counts
 
-def hsumma_beats_summa(
-    n: float, b: float, p: float, alpha: float, beta: float
-) -> bool:
-    """Equation (10): True when ``alpha/beta > 2nb/p`` so HSUMMA's cost
-    has its minimum at ``G = sqrt(p)`` strictly inside ``(1, p)``."""
-    if alpha <= 0 or beta <= 0:
-        raise ModelError(f"need alpha, beta > 0; got {alpha}, {beta}")
-    return alpha / beta > critical_ratio(n, b, p)
-
-
-def predicted_extremum_kind(
-    n: float, b: float, p: float, alpha: float, beta: float
-) -> str:
-    """'minimum', 'maximum', or 'flat' at ``G = sqrt(p)`` for the Van de
-    Geijn cost function (eqs. 10/11)."""
-    r = alpha / beta
-    c = critical_ratio(n, b, p)
-    if math.isclose(r, c, rel_tol=1e-12):
-        return "flat"
-    return "minimum" if r > c else "maximum"
-
-
-def vdg_cost_derivative(
-    n: float, p: float, G: float, b: float, alpha: float, beta: float
-) -> float:
-    """Equation (9): ``dT_HS/dG`` for the Van de Geijn broadcast, b=B."""
-    if not (0 < G <= p):
-        raise ModelError(f"G={G} outside (0, p={p}]")
-    return (G - math.sqrt(p)) / (G * math.sqrt(G)) * (
-        n * alpha / b - 2.0 * n * n * beta / p
-    )
-
-
-def crossover_processor_count(
-    n: float, b: float, alpha: float, beta: float
-) -> float:
-    """The processor count beyond which HSUMMA's interior minimum
-    exists: solving eq. (10) ``alpha/beta > 2nb/p`` for ``p`` gives
-
-        ``p* = 2 n b beta / alpha``
-
-    — the crossover of Figure 9.  For the paper's BG/P parameters
-    (n=65536, b=256, alpha/beta=3000 elements) this is ~11185, i.e.
-    between the measured 8192 and 16384 core counts, matching where the
-    model's parity ends."""
-    if n <= 0 or b <= 0 or alpha <= 0 or beta <= 0:
-        raise ModelError(
-            f"need positive arguments; got n={n}, b={b}, "
-            f"alpha={alpha}, beta={beta}"
-        )
-    return 2.0 * n * b * beta / alpha
+        s, t = grid
+        if s * t != p:
+            raise ModelError(f"grid {s}x{t} does not have p={p} ranks")
+        return valid_group_counts(s, t)
+    cands = []
+    g = 1
+    while g <= p:
+        cands.append(g)
+        g *= 2
+    r = math.isqrt(p)
+    if r * r == p and r not in cands:
+        cands.append(r)
+    return sorted(cands)
 
 
 def optimal_group_count(
@@ -90,20 +81,20 @@ def optimal_group_count(
     beta: float,
     model: BroadcastModel = VANDEGEIJN_MODEL,
     candidates: Iterable[int] | None = None,
+    *,
+    grid: tuple[int, int] | None = None,
 ) -> tuple[int, float]:
     """Numerically best integer ``G`` (and its cost) over ``candidates``
-    (default: powers of two in ``[1, p]`` plus exact ``sqrt(p)`` if
-    integral — the paper's sweep grid)."""
+    (default: :func:`default_group_candidates` — the paper's
+    power-of-two sweep, or, when ``grid`` is given, exactly the counts
+    feasible on that ``s x t`` grid).
+
+    Ties (e.g. the degenerate ``alpha/beta == 2nb/p`` threshold, where
+    the Van de Geijn cost is flat in ``G``) resolve to the smallest
+    candidate, so the choice is deterministic.
+    """
     if candidates is None:
-        cands = []
-        g = 1
-        while g <= p:
-            cands.append(g)
-            g *= 2
-        r = math.isqrt(p)
-        if r * r == p and r not in cands:
-            cands.append(r)
-        candidates = sorted(cands)
+        candidates = default_group_candidates(p, grid)
     best_g, best_t = None, math.inf
     for G in candidates:
         if not (1 <= G <= p):
@@ -111,5 +102,6 @@ def optimal_group_count(
         t = hsumma_communication_cost(n, p, G, b, alpha, beta, model)
         if t < best_t:
             best_g, best_t = G, t
-    assert best_g is not None
+    if best_g is None:
+        raise ModelError("no group-count candidates to search")
     return best_g, best_t

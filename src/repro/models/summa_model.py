@@ -1,63 +1,23 @@
 """Closed-form SUMMA costs — the paper's equation (2) and Tables I/II.
 
-The analysis assumes ``n x n`` matrices on a square ``sqrt(p) x
-sqrt(p)`` grid with block size ``b``.  Per step, the pivot column and
-pivot row (each ``n/sqrt(p) * b`` elements) are broadcast among
-``sqrt(p)`` ranks; there are ``n/b`` steps.  Communication cost:
-
-    ``T_S(n, p) = 2 * ( (n/b) * L(sqrt(p)) * alpha
-                        + (n^2/sqrt(p)) * W(sqrt(p)) * beta )``
-
-``beta`` is per *element*; see :mod:`repro.models`.
+The formulas live in the unified cost registry
+(:mod:`repro.costs.closed_forms`); this module re-exports them under
+their historical names.  ``beta`` is per *element*; see
+:mod:`repro.models`.
 """
 
 from __future__ import annotations
 
-import math
+from repro.costs.closed_forms import (
+    summa_bandwidth_factor,
+    summa_communication_cost,
+    summa_computation_cost,
+    summa_latency_factor,
+)
 
-from repro.errors import ModelError
-from repro.models.broadcast_model import BroadcastModel
-
-
-def _check(n: float, p: float, b: float) -> None:
-    if n <= 0 or p < 1 or b <= 0:
-        raise ModelError(f"need n > 0, p >= 1, b > 0; got n={n}, p={p}, b={b}")
-    if b > n:
-        raise ModelError(f"block size {b} exceeds matrix size {n}")
-
-
-def summa_communication_cost(
-    n: float,
-    p: float,
-    b: float,
-    alpha: float,
-    beta: float,
-    model: BroadcastModel,
-) -> float:
-    """Equation (2): total SUMMA communication time."""
-    _check(n, p, b)
-    q = math.sqrt(p)
-    steps = n / b
-    volume = n * n / q  # elements broadcast per direction in total
-    return 2.0 * (steps * model.L(q) * alpha + volume * model.W(q) * beta)
-
-
-def summa_latency_factor(n: float, p: float, b: float, model: BroadcastModel) -> float:
-    """The multiplier on ``alpha`` (Table I/II 'Latency Factor' column)."""
-    _check(n, p, b)
-    return 2.0 * (n / b) * model.L(math.sqrt(p))
-
-
-def summa_bandwidth_factor(n: float, p: float, model: BroadcastModel) -> float:
-    """The multiplier on ``beta`` (Table I/II 'Bandwidth Factor' column)."""
-    if n <= 0 or p < 1:
-        raise ModelError(f"need n > 0 and p >= 1; got n={n}, p={p}")
-    q = math.sqrt(p)
-    return 2.0 * (n * n / q) * model.W(q)
-
-
-def summa_computation_cost(n: float, p: float, gamma: float) -> float:
-    """The ``2 n^3 / p`` flops at ``gamma`` seconds each (Tables I/II)."""
-    if n <= 0 or p < 1 or gamma < 0:
-        raise ModelError(f"need n > 0, p >= 1, gamma >= 0; got {n}, {p}, {gamma}")
-    return 2.0 * n**3 / p * gamma
+__all__ = [
+    "summa_communication_cost",
+    "summa_latency_factor",
+    "summa_bandwidth_factor",
+    "summa_computation_cost",
+]

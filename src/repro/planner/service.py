@@ -1,0 +1,266 @@
+"""The plan service: rank candidates by closed form, refine the top-k
+with the simulator's predictor (or macro) backend, cache the winner.
+
+Cold path per query: enumerate the space (:mod:`repro.planner.space`),
+drop candidates over the memory budget, rank by the registry closed
+forms, re-price the ``top_k`` leaders with
+``repro.simulator.predictor`` (``refine="predictor"``, the default;
+``"macro"`` steps the symmetry-collapsed engine instead, ``"none"``
+trusts the ranking), and report the winner with its gap to the
+communication lower bound.
+
+Hot path: an in-process memo (exact :class:`Plan` objects) in front of
+an optional on-disk content-hash cache (the sweep harness's
+:class:`~repro.experiments.parallel.SweepCache`, under its own salt) —
+so repeated queries cost a dict lookup, and plans survive across
+processes when a cache directory is given.  ``plan_many`` deduplicates
+equivalent queries (same resolved numbers) before pricing.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable, Sequence
+
+from repro.costs import lower_bound_time, summa_computation_cost
+from repro.errors import ConfigurationError
+from repro.experiments.parallel import _MISS, SweepCache
+from repro.planner.query import Plan, PlanQuery, ResolvedQuery
+from repro.planner.space import (
+    Candidate,
+    candidate_memory_elements,
+    closed_form_cost,
+    enumerate_candidates,
+)
+
+#: Bump when the search space, ranking forms, or refinement change in a
+#: way that invalidates stored plans.
+PLAN_CACHE_SALT = "planner-1"
+_PLAN_FN = "repro.planner.plan"
+
+REFINE_BACKENDS = ("predictor", "macro", "none")
+
+
+class PlanService:
+    """Stateful planner: memoised, optionally disk-backed.
+
+    Parameters
+    ----------
+    cache_dir:
+        Directory for the on-disk plan cache; ``None`` keeps plans
+        in-process only.
+    top_k:
+        How many ranking leaders the refinement backend re-prices.
+    refine:
+        ``"predictor"`` (default), ``"macro"``, or ``"none"``.
+    """
+
+    def __init__(self, *, cache_dir: str | None = None, top_k: int = 4,
+                 refine: str = "predictor"):
+        if refine not in REFINE_BACKENDS:
+            raise ConfigurationError(
+                f"unknown refinement backend {refine!r}; "
+                f"choose from {REFINE_BACKENDS}"
+            )
+        if top_k < 1:
+            raise ConfigurationError(f"top_k must be >= 1, got {top_k}")
+        self.top_k = top_k
+        self.refine = refine
+        self._disk = (SweepCache(cache_dir, salt=PLAN_CACHE_SALT)
+                      if cache_dir is not None else None)
+        self._memo: dict[str, Plan] = {}
+        self.stats = {"memo_hits": 0, "disk_hits": 0, "planned": 0,
+                      "deduped": 0}
+
+    # -- public API ---------------------------------------------------
+
+    def plan(self, query: PlanQuery | ResolvedQuery) -> Plan:
+        """The best plan for one query (cached)."""
+        rq = query.resolve() if isinstance(query, PlanQuery) else query
+        spec = self._spec(rq)
+        key = json.dumps(spec, sort_keys=True)
+        hit = self._memo.get(key)
+        if hit is not None:
+            self.stats["memo_hits"] += 1
+            return _as_cached(hit)
+        if self._disk is not None:
+            stored = self._disk.lookup(_PLAN_FN, spec)
+            if stored is not _MISS:
+                self.stats["disk_hits"] += 1
+                plan = Plan.from_dict(stored, from_cache=True)
+                self._memo[key] = plan
+                return plan
+        plan = self._price(rq)
+        self.stats["planned"] += 1
+        if self._disk is not None:
+            self._disk.store(_PLAN_FN, spec, plan.to_dict())
+        # Memoise the cache-flagged variant so every later hit is a
+        # plain dict lookup (no per-hit Plan rebuild).
+        self._memo[key] = _as_cached(plan)
+        return plan
+
+    def plan_many(self, queries: Iterable[PlanQuery | ResolvedQuery]
+                  ) -> list[Plan]:
+        """Plans for a batch, pricing each distinct resolved query once
+        (queries that resolve to the same numbers share one plan)."""
+        resolved = [q.resolve() if isinstance(q, PlanQuery) else q
+                    for q in queries]
+        plans: dict[str, Plan] = {}
+        out: list[Plan] = []
+        for rq in resolved:
+            key = json.dumps(self._spec(rq), sort_keys=True)
+            if key in plans:
+                self.stats["deduped"] += 1
+                out.append(plans[key])
+            else:
+                plan = self.plan(rq)
+                plans[key] = _as_cached(plan)
+                out.append(plan)
+        return out
+
+    # -- internals ----------------------------------------------------
+
+    def _spec(self, rq: ResolvedQuery) -> dict[str, Any]:
+        spec = rq.canonical()
+        spec["top_k"] = self.top_k
+        spec["refine"] = self.refine
+        return spec
+
+    def _price(self, rq: ResolvedQuery) -> Plan:
+        cands = enumerate_candidates(rq)
+        total = len(cands)
+        if rq.memory_elements is not None:
+            fits = [c for c in cands
+                    if candidate_memory_elements(rq, c) <= rq.memory_elements]
+            if not fits:
+                tightest = min(candidate_memory_elements(rq, c)
+                               for c in cands)
+                raise ConfigurationError(
+                    f"no candidate fits the {rq.memory_elements:.0f}-element "
+                    f"per-rank memory budget (smallest footprint: "
+                    f"{tightest:.0f} elements); raise memory_bytes or p"
+                )
+            cands = fits
+        # Only predictor-refinable families compete for the answer;
+        # 2.5D (DES-executable, but without a closed-form chain) is
+        # reported as an advisory so ranking-fidelity pricing never
+        # outvotes predictor-refined candidates.
+        executable = [c for c in cands if c.algorithm != "2.5d"]
+        analytic = [c for c in cands if c.algorithm == "2.5d"]
+        if not executable:
+            raise ConfigurationError(
+                f"no refinable candidate for n={rq.n}, p={rq.p} "
+                "(every SUMMA/HSUMMA configuration was filtered out)"
+            )
+        ranked = sorted(executable, key=lambda c: closed_form_cost(rq, c))
+        leaders = ranked[: self.top_k]
+        best: tuple[float, float, float, str, Candidate] | None = None
+        for cand in leaders:
+            refined = self._refine(rq, cand)
+            if best is None or refined[0] < best[0]:
+                best = (*refined, cand)
+        assert best is not None  # leaders is non-empty
+        predicted, comm, compute, backend, cand = best
+        advisory: dict[str, Any] = {}
+        if analytic:
+            adv = min(analytic, key=lambda c: closed_form_cost(rq, c))
+            advisory["25d"] = {
+                "replication": adv.replication,
+                "closed_form_time": closed_form_cost(rq, adv),
+            }
+        lb = lower_bound_time(rq.n, rq.p, rq.alpha, rq.beta_element,
+                              rq.gamma, memory_elements=rq.memory_elements)
+        gap = predicted / lb.seconds if lb.seconds > 0 else float("inf")
+        params = cand.params()
+        if rq.faulty:
+            params["fault_profile"] = rq.faults
+        return Plan(
+            algorithm=cand.algorithm,
+            params=params,
+            predicted_time=predicted,
+            comm_time=comm,
+            compute_time=compute,
+            closed_form_time=closed_form_cost(rq, cand),
+            backend=backend,
+            lower_bound_time=lb.seconds,
+            lower_bound_gap=gap,
+            query=self._spec(rq),
+            candidates=total,
+            advisory=advisory,
+        )
+
+    def _refine(self, rq: ResolvedQuery, cand: Candidate
+                ) -> tuple[float, float, float, str]:
+        """(total, comm, compute, backend) for one executable candidate."""
+        if self.refine == "none":
+            compute = summa_computation_cost(rq.n, rq.p, rq.gamma)
+            total = closed_form_cost(rq, cand)
+            return total, total - compute, compute, "closed-form"
+        cfg = _build_config(rq, cand)
+        if self.refine == "predictor":
+            from repro.network.homogeneous import HomogeneousNetwork
+            from repro.network.model import HockneyParams
+            from repro.simulator.predictor import predict_hsumma, predict_summa
+
+            network = HomogeneousNetwork(rq.p, HockneyParams(rq.alpha, rq.beta))
+            predict = (predict_summa if cand.algorithm == "summa"
+                       else predict_hsumma)
+            res = predict(cfg, network=network, gamma=rq.gamma,
+                          a_itemsize=rq.itemsize, b_itemsize=rq.itemsize)
+            st = res.stats[0]
+            return st.clock, st.comm_time, st.compute_time, "predictor"
+        from repro.experiments.stepmodel import (
+            AnalyticCoster,
+            hsumma_step_model,
+            summa_step_model,
+        )
+        from repro.network.model import HockneyParams
+
+        params = HockneyParams(rq.alpha, rq.beta)
+        if cand.algorithm == "summa":
+            rep = summa_step_model(cfg, AnalyticCoster(params, cand.bcast),
+                                   rq.gamma)
+        else:
+            rep = hsumma_step_model(
+                cfg, AnalyticCoster(params, cand.bcast), rq.gamma,
+                outer_coster=AnalyticCoster(params, cand.outer_bcast),
+            )
+        return rep.total_time, rep.comm_time, rep.compute_time, "macro"
+
+
+def _build_config(rq: ResolvedQuery, cand: Candidate):
+    n = rq.n
+    if cand.algorithm == "summa":
+        from repro.core.summa import SummaConfig
+
+        return SummaConfig(m=n, l=n, n=n, s=cand.s, t=cand.t,
+                           block=cand.block, bcast=cand.bcast)
+    from repro.core.hsumma import HSummaConfig
+
+    I, J = cand.group_grid
+    return HSummaConfig(
+        m=n, l=n, n=n, s=cand.s, t=cand.t, I=I, J=J,
+        outer_block=cand.block, inner_block=cand.inner_block,
+        outer_bcast=cand.outer_bcast, inner_bcast=cand.bcast,
+    )
+
+
+def _as_cached(plan: Plan) -> Plan:
+    return plan if plan.from_cache else Plan.from_dict(
+        plan.to_dict(), from_cache=True
+    )
+
+
+def plan(query: PlanQuery | ResolvedQuery, *, cache_dir: str | None = None,
+         top_k: int = 4, refine: str = "predictor") -> Plan:
+    """One-shot convenience wrapper around :class:`PlanService`."""
+    return PlanService(cache_dir=cache_dir, top_k=top_k,
+                       refine=refine).plan(query)
+
+
+def plan_many(queries: Sequence[PlanQuery | ResolvedQuery], *,
+              cache_dir: str | None = None, top_k: int = 4,
+              refine: str = "predictor") -> list[Plan]:
+    """One-shot batched planning (shared cache, deduplicated)."""
+    return PlanService(cache_dir=cache_dir, top_k=top_k,
+                       refine=refine).plan_many(queries)

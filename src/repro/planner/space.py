@@ -1,0 +1,229 @@
+"""Candidate enumeration and closed-form ranking for the planner.
+
+The planner searches algorithm x parameter space: SUMMA and HSUMMA
+grids/blocks/group counts/broadcast algorithms, plus the 2.5D
+replication family as an analytic yardstick.  Ranking costs are
+assembled from the unified cost registry's broadcast factors
+(:mod:`repro.costs`) — the same ``L(p)``/``W(p)`` the simulator's
+closed forms reduce to — generalised to rectangular ``s x t`` grids;
+on square grids they reduce to the paper's eq. (2)-(5).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Any
+
+from repro.costs import (
+    algo25d_communication_cost,
+    bcast_bandwidth_factor,
+    bcast_latency_factor,
+    summa_computation_cost,
+)
+from repro.errors import ConfigurationError
+from repro.planner.query import ResolvedQuery
+
+#: Broadcast algorithms the planner considers.  Pipelined broadcasts
+#: are excluded (their optimum needs a segment sweep per message size);
+#: under a fault profile only the fault-tolerant binomial tree remains.
+BCAST_CHOICES = ("binomial", "vandegeijn")
+FT_BCAST_CHOICES = ("binomial",)
+
+#: Enumeration caps: most-square grids kept per p, trailing (largest)
+#: power-of-two blocks kept per grid, and the pivot-panel ceiling.
+MAX_GRIDS = 3
+MAX_BLOCKS = 4
+MAX_BLOCK = 1024
+
+
+@dataclasses.dataclass(frozen=True)
+class Candidate:
+    """One point of the search space (algorithm + all tunables)."""
+
+    algorithm: str  # "summa" | "hsumma" | "2.5d"
+    s: int
+    t: int
+    block: int = 0          # SUMMA pivot block / HSUMMA outer block B
+    inner_block: int = 0    # HSUMMA inner block b
+    groups: int = 0         # HSUMMA G
+    group_grid: tuple[int, int] | None = None  # HSUMMA (I, J)
+    bcast: str | None = None
+    outer_bcast: str | None = None
+    replication: int = 1    # 2.5D c
+
+    def params(self) -> dict[str, Any]:
+        """The plan's parameter dict (only the fields this algorithm
+        actually has)."""
+        if self.algorithm == "2.5d":
+            return {"replication": self.replication}
+        out: dict[str, Any] = {"grid": [self.s, self.t]}
+        if self.algorithm == "summa":
+            out.update(block=self.block, bcast=self.bcast)
+        elif self.algorithm == "hsumma":
+            out.update(
+                groups=self.groups,
+                group_grid=list(self.group_grid or ()),
+                block=self.block,
+                inner_block=self.inner_block,
+                bcast=self.bcast,
+                outer_bcast=self.outer_bcast,
+            )
+        elif self.algorithm == "2.5d":
+            out.update(replication=self.replication)
+        return out
+
+
+def candidate_grids(p: int, *, max_aspect: int = 4,
+                    limit: int = MAX_GRIDS) -> list[tuple[int, int]]:
+    """Factor pairs ``(s, t)`` of ``p`` with ``s <= t``, most square
+    first, aspect ratio at most ``max_aspect`` — falling back to the
+    most square pair available (e.g. ``(1, p)`` for prime ``p``)."""
+    if p < 1:
+        raise ConfigurationError(f"p must be >= 1, got {p}")
+    pairs = [(s, p // s) for s in range(1, math.isqrt(p) + 1) if p % s == 0]
+    pairs.sort(key=lambda st: st[1] / st[0])
+    keep = [st for st in pairs if st[1] / st[0] <= max_aspect]
+    if not keep:
+        keep = pairs[:1]
+    return keep[:limit]
+
+
+def candidate_blocks(n: int, s: int, t: int, *,
+                     limit: int = MAX_BLOCKS) -> list[int]:
+    """Power-of-two pivot blocks valid on an ``s x t`` grid: the chain
+    ``1, 2, 4, ...`` dividing both tile dimensions ``n/s`` and ``n/t``
+    (capped at :data:`MAX_BLOCK`), largest ``limit`` kept."""
+    g = math.gcd(n // s, n // t)
+    if g < 1:
+        raise ConfigurationError(
+            f"grid {s}x{t} does not tile an n={n} matrix"
+        )
+    chain = [1]
+    while g % (chain[-1] * 2) == 0 and chain[-1] * 2 <= MAX_BLOCK:
+        chain.append(chain[-1] * 2)
+    return chain[-limit:]
+
+
+def candidate_replications(p: int) -> list[int]:
+    """2.5D replication factors realisable by ``run_25d``'s layout:
+    powers of two ``c >= 2`` with ``p = q^2 * c`` for integer ``q`` and
+    ``c | q`` (``c = 1`` is the plain 2D layout, already in the
+    space)."""
+    out = []
+    c = 2
+    while c ** 3 <= p:
+        if p % c == 0:
+            q = math.isqrt(p // c)
+            if q * q * c == p and q % c == 0:
+                out.append(c)
+        c *= 2
+    return out
+
+
+def _bcast_choices(rq: ResolvedQuery) -> tuple[str, ...]:
+    choices = FT_BCAST_CHOICES if rq.faulty else BCAST_CHOICES
+    if rq.bcast_default in choices:
+        # Try the platform's default algorithm first (ties in the
+        # ranking resolve to the earlier candidate).
+        ordered = (rq.bcast_default,) + tuple(
+            a for a in choices if a != rq.bcast_default
+        )
+        return ordered
+    return choices
+
+
+def enumerate_candidates(rq: ResolvedQuery) -> list[Candidate]:
+    """The full search space for one query."""
+    from repro.core.grouping import choose_group_grid, valid_group_counts
+
+    n, p = rq.n, rq.p
+    algs = _bcast_choices(rq)
+    out: list[Candidate] = []
+    for s, t in candidate_grids(p):
+        blocks = candidate_blocks(n, s, t)
+        for b in blocks:
+            for alg in algs:
+                out.append(Candidate("summa", s, t, block=b, bcast=alg))
+        if p == 1:
+            continue
+        groups = [G for G in valid_group_counts(s, t) if 1 < G < p]
+        for G in groups:
+            gg = choose_group_grid(s, t, G)
+            for B in blocks:
+                # b = B is the paper's main regime; one finer inner
+                # block probes the b < B latency/pipeline trade.
+                inner = [B] + ([B // 4] if B % 4 == 0 else [])
+                for ib in inner:
+                    for alg in algs:
+                        out.append(Candidate(
+                            "hsumma", s, t, block=B, inner_block=ib,
+                            groups=G, group_grid=gg,
+                            bcast=alg, outer_bcast=alg,
+                        ))
+    if not rq.faulty:
+        # Under a fault profile only the fault-tolerant 2D family is
+        # offered; the 2.5D schedule has no FT broadcast variant.
+        for c in candidate_replications(p):
+            side = math.isqrt(p // c) or 1
+            out.append(Candidate("2.5d", side, side, replication=c))
+    return out
+
+
+def candidate_memory_elements(rq: ResolvedQuery, cand: Candidate) -> float:
+    """Per-rank footprint in elements: the three resident tiles plus
+    the algorithm's pivot-panel receive buffers (2.5D replicates all
+    three tiles ``c`` times)."""
+    n = rq.n
+    if cand.algorithm == "2.5d":
+        return 3.0 * cand.replication * n * n / rq.p
+    rows, cols = n / cand.s, n / cand.t
+    total = 3.0 * rows * cols
+    if cand.algorithm == "summa":
+        total += rows * cand.block + cand.block * cols
+    else:
+        total += rows * cand.block + cand.block * cols      # outer B
+        total += rows * cand.inner_block + cand.inner_block * cols
+    return total
+
+
+def closed_form_cost(rq: ResolvedQuery, cand: Candidate) -> float:
+    """Ranking-stage estimate in seconds (communication + computation),
+    assembled from the registry's broadcast factors."""
+    compute = summa_computation_cost(rq.n, rq.p, rq.gamma)
+    return _comm_cost(rq, cand) + compute
+
+
+def _bcast_term(alg: str, p: int, elements: float,
+                alpha: float, beta_el: float) -> float:
+    return (bcast_latency_factor(alg, p) * alpha
+            + elements * bcast_bandwidth_factor(alg, p) * beta_el)
+
+
+def _comm_cost(rq: ResolvedQuery, cand: Candidate) -> float:
+    n, alpha, beta_el = rq.n, rq.alpha, rq.beta_element
+    if cand.algorithm == "2.5d":
+        return algo25d_communication_cost(n, rq.p, cand.replication,
+                                          alpha, beta_el)
+    rows, cols = n / cand.s, n / cand.t
+    if cand.algorithm == "summa":
+        steps = n / cand.block
+        return steps * (
+            _bcast_term(cand.bcast, cand.t, rows * cand.block, alpha, beta_el)
+            + _bcast_term(cand.bcast, cand.s, cand.block * cols, alpha, beta_el)
+        )
+    # HSUMMA: outer broadcasts across the I x J group grid, inner
+    # broadcasts within each (s/I) x (t/J) group (paper eqs. 3-5,
+    # rectangular generalisation).
+    I, J = cand.group_grid
+    inner_s, inner_t = cand.s // I, cand.t // J
+    B, b = cand.block, cand.inner_block
+    outer = (n / B) * (
+        _bcast_term(cand.outer_bcast, J, rows * B, alpha, beta_el)
+        + _bcast_term(cand.outer_bcast, I, B * cols, alpha, beta_el)
+    )
+    inner = (n / b) * (
+        _bcast_term(cand.bcast, inner_t, rows * b, alpha, beta_el)
+        + _bcast_term(cand.bcast, inner_s, b * cols, alpha, beta_el)
+    )
+    return outer + inner

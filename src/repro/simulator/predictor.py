@@ -52,8 +52,10 @@ class PredictorBackend(Backend):
     def __init__(self, network: Network, *, faults: Any = None) -> None:
         if faults is not None and not getattr(faults, "empty", False):
             raise ConfigurationError(
-                "the predictor backend does not support fault injection; "
-                "use backend='des' for faulted runs"
+                "backend='predictor' cannot run: feature 'fault "
+                "injection' requires execution — closed forms price "
+                "healthy runs only; fallback: use backend='des' for "
+                "faulted runs"
             )
         self.network = network
 
@@ -64,6 +66,20 @@ class PredictorBackend(Backend):
             "runners (run_summa/run_hsumma/run_cyclic with "
             "backend='predictor') or the CLI"
         )
+
+
+def _refuse(name: str, feature: str, detail: str, fallback: str) -> None:
+    """Raise the predictor's structured refusal.
+
+    Every refusal names the offending *feature* and the cheapest
+    backend that supports it, so a caller (or the planner) can react
+    programmatically instead of parsing prose.
+    """
+    raise ConfigurationError(
+        f"backend='predictor' cannot price {name}: feature "
+        f"{feature!r} requires execution — {detail}; "
+        f"fallback: use {fallback}"
+    )
 
 
 def _require_predictable(
@@ -80,36 +96,43 @@ def _require_predictable(
     The predictor produces timings only; anything that needs actual
     execution — concrete data, fault injection, the verifier's
     recorder, contention modelling, transfer tracing — has no closed
-    form and must use a simulating backend.
+    form and must use a simulating backend.  Each refusal names the
+    offending feature and suggests the fallback backend.
     """
     from repro.verify.session import coerce_verify
 
     if not phantom:
-        raise ConfigurationError(
-            f"backend='predictor' cannot compute a concrete C for "
-            f"{name}; pass PhantomArray inputs (scale mode) or use "
-            "backend='des'/'macro'"
+        _refuse(
+            name, "concrete data",
+            "the predictor composes closed forms and never computes a "
+            "concrete C; pass PhantomArray inputs (scale mode)",
+            "backend='des' or backend='macro' for real data",
         )
     if faults is not None and not getattr(faults, "empty", False):
-        raise ConfigurationError(
-            "the predictor backend does not support fault injection; "
-            "use backend='des' for faulted runs"
+        _refuse(
+            name, "fault injection",
+            "closed forms price healthy runs only (retransmission "
+            "schedules depend on event interleaving)",
+            "backend='des' for faulted runs",
         )
     if coerce_verify(verify) is not None:
-        raise ConfigurationError(
-            "the predictor backend runs no rank programs, so there is "
-            "nothing for the verifier to observe; drop verify= or use "
-            "a simulating backend"
+        _refuse(
+            name, "verify",
+            "the predictor runs no rank programs, so there is nothing "
+            "for the verifier's recorder to observe",
+            "backend='des' or backend='macro' with verify=",
         )
     if contention:
-        raise ConfigurationError(
-            "the predictor's closed forms assume an uncontended "
-            "network; use backend='des' with contention=True"
+        _refuse(
+            name, "contention",
+            "the closed forms assume an uncontended network",
+            "backend='des' with contention=True",
         )
     if trace:
-        raise ConfigurationError(
-            "the predictor produces no transfers or spans to trace; "
-            "use backend='des'/'macro' with trace=True"
+        _refuse(
+            name, "trace",
+            "the predictor produces no transfers or spans to record",
+            "backend='des' or backend='macro' with trace=True",
         )
 
 
@@ -120,10 +143,12 @@ def _resolve_coster(network: Network, coster: Any) -> Any:
         coster = _default_coster(network, contention=False)
     if not getattr(coster, "participant_invariant", False):
         raise ConfigurationError(
-            "the predictor requires a participant-invariant coster "
-            "(analytic forms or a uniform micro-DES oracle); this "
-            "network/coster prices collectives per participant set — "
-            "use backend='macro' instead"
+            "backend='predictor' cannot price this run: feature "
+            "'participant-dependent costs' requires stepping — this "
+            "network/coster prices collectives per participant set "
+            "(heterogeneous links or a topology-positional coster), "
+            "not per participant count; fallback: use backend='macro' "
+            "(per-rank stepping with the same coster) or backend='des'"
         )
     return coster
 

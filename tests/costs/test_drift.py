@@ -1,0 +1,90 @@
+"""Anti-drift tests: the SUMMA/HSUMMA/broadcast closed forms live in
+exactly one module (`repro.costs`), and every consumer — the models
+layer, the collectives layer, the macro costers and the predictor —
+delegates to it.  If someone re-introduces a local copy of a formula,
+these tests fail."""
+
+
+import pytest
+
+from repro import costs
+from repro.collectives import cost as collectives_cost
+from repro.costs.registry import BCAST_ENTRIES, SMOOTH_MODELS
+from repro.models import broadcast_model, hsumma_model, summa_model
+from repro.network.model import HockneyParams
+
+PARAMS = HockneyParams(alpha=1e-4, beta=1e-9)
+
+
+class TestSingleSourceOfTruth:
+    def test_models_broadcast_objects_are_registry_objects(self):
+        """The smooth models re-exported by the models layer ARE the
+        registry's objects (identity, not equal copies)."""
+        assert broadcast_model.BINOMIAL_MODEL is SMOOTH_MODELS["binomial"]
+        assert broadcast_model.VANDEGEIJN_MODEL is SMOOTH_MODELS["vandegeijn"]
+        assert broadcast_model.FLAT_MODEL is SMOOTH_MODELS["flat"]
+        for name, model in broadcast_model.MODELS.items():
+            assert model is SMOOTH_MODELS[name]
+
+    def test_collectives_factor_functions_are_registry_functions(self):
+        assert (collectives_cost.bcast_latency_factor
+                is costs.bcast_latency_factor)
+        assert (collectives_cost.bcast_bandwidth_factor
+                is costs.bcast_bandwidth_factor)
+
+    def test_model_closed_forms_are_registry_functions(self):
+        assert (summa_model.summa_communication_cost
+                is costs.summa_communication_cost)
+        assert (summa_model.summa_computation_cost
+                is costs.summa_computation_cost)
+        assert (hsumma_model.hsumma_communication_cost
+                is costs.hsumma_communication_cost)
+        assert (hsumma_model.hsumma_optimal_vdg_cost
+                is costs.hsumma_optimal_vdg_cost)
+
+    def test_optimizer_reexports_are_registry_functions(self):
+        from repro.models import optimizer
+
+        assert optimizer.critical_ratio is costs.critical_ratio
+        assert optimizer.hsumma_beats_summa is costs.hsumma_beats_summa
+        assert (optimizer.crossover_processor_count
+                is costs.crossover_processor_count)
+
+    def test_no_closed_forms_left_in_front_ends(self):
+        """The collectives front-end holds no arithmetic of its own:
+        its `collective_time` is a thin shim over `costs.estimate`."""
+        import inspect
+
+        src = inspect.getsource(collectives_cost)
+        # The telltale of a duplicated closed form is tree-depth math
+        # in the front-end module.
+        assert "bit_length" not in src
+        assert "log2" not in src
+
+
+class TestDiscreteSmoothAgreement:
+    """The discrete (DES-matching) and smooth (optimizer-friendly)
+    factor flavours agree exactly at powers of two — where
+    ceil(log2 p) == log2 p — for every registered broadcast."""
+
+    @pytest.mark.parametrize("p", [2, 4, 8, 64, 1024])
+    def test_latency_agrees_at_powers_of_two(self, p):
+        for name, entry in BCAST_ENTRIES.items():
+            assert entry.L(p) == pytest.approx(entry.L_smooth(float(p))), name
+
+    @pytest.mark.parametrize("p", [2, 4, 8, 64, 1024])
+    def test_bandwidth_agrees_at_powers_of_two(self, p):
+        for name, entry in BCAST_ENTRIES.items():
+            assert entry.W(p) == pytest.approx(entry.W_smooth(float(p))), name
+
+    @pytest.mark.parametrize("p", [4, 16, 64])
+    def test_collectives_and_models_price_bcasts_identically(self, p):
+        """At powers of two the per-byte collectives path and the
+        per-element models path give the same broadcast time."""
+        m_bytes = 8192
+        for name in ("binomial", "vandegeijn", "flat"):
+            discrete = collectives_cost.bcast_time(name, m_bytes, p, PARAMS)
+            smooth = SMOOTH_MODELS[name].time(
+                float(m_bytes), float(p), PARAMS.alpha, PARAMS.beta
+            )
+            assert discrete == pytest.approx(smooth, rel=1e-12), name

@@ -1,0 +1,95 @@
+"""Tests for the communication lower bounds (`repro.costs.lower_bounds`)."""
+
+
+import math
+
+import pytest
+
+from repro.costs import (
+    bandwidth_lower_bound_elements,
+    latency_lower_bound_terms,
+    lower_bound_time,
+    memory_dependent_bound_elements,
+    memory_independent_bound_elements,
+)
+from repro.errors import ModelError
+
+
+class TestMemoryIndependent:
+    def test_formula(self):
+        assert memory_independent_bound_elements(1024, 64) == pytest.approx(
+            1024**2 / 64 ** (2 / 3)
+        )
+
+    def test_serial_is_free(self):
+        assert memory_independent_bound_elements(1024, 1) == 0.0
+
+    def test_decreases_with_p(self):
+        values = [memory_independent_bound_elements(4096, p)
+                  for p in (8, 64, 512)]
+        assert values == sorted(values, reverse=True)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            memory_independent_bound_elements(0, 4)
+
+
+class TestMemoryDependent:
+    def test_2d_memory_sits_at_n2_over_sqrt_p(self):
+        """With M = Theta(n^2/p) the bound scales as n^2/sqrt(p)."""
+        n, p = 4096, 256
+        M = 3 * n * n / p
+        w = memory_dependent_bound_elements(n, p, M)
+        assert w == pytest.approx(n**3 / (p * math.sqrt(8 * M)) - M)
+        assert w > 0
+
+    def test_huge_memory_clamps_to_zero(self):
+        assert memory_dependent_bound_elements(64, 4, 1e12) == 0.0
+
+    def test_dominates_when_memory_scarce(self):
+        # The memory-dependent branch n^2/sqrt(8p) overtakes the
+        # memory-independent n^2/p^(2/3) once p > 512.
+        n, p = 8192, 4096
+        scarce = n * n / p  # ~1 tile of memory
+        assert (memory_dependent_bound_elements(n, p, scarce)
+                > memory_independent_bound_elements(n, p))
+
+
+class TestCombined:
+    def test_max_of_applicable_bounds(self):
+        n, p = 8192, 4096
+        scarce = n * n / p
+        assert bandwidth_lower_bound_elements(n, p, scarce) == (
+            memory_dependent_bound_elements(n, p, scarce)
+        )
+        assert bandwidth_lower_bound_elements(n, p) == (
+            memory_independent_bound_elements(n, p)
+        )
+
+    def test_latency_floor(self):
+        assert latency_lower_bound_terms(1) == 0.0
+        assert latency_lower_bound_terms(2) == 1.0
+        assert latency_lower_bound_terms(64) == 6.0
+        assert latency_lower_bound_terms(65) == 7.0
+
+
+class TestLowerBoundTime:
+    def test_assembly(self):
+        lb = lower_bound_time(1024, 64, alpha=1e-4, beta=1e-9, gamma=1e-11)
+        assert lb.comm_seconds == pytest.approx(
+            6 * 1e-4 + lb.elements * 1e-9
+        )
+        assert lb.compute_seconds == pytest.approx(2 * 1024**3 / 64 * 1e-11)
+        assert lb.seconds == lb.comm_seconds + lb.compute_seconds
+        assert lb.overlap_seconds == max(lb.comm_seconds, lb.compute_seconds)
+
+    def test_memory_budget_tightens(self):
+        n, p = 8192, 4096
+        loose = lower_bound_time(n, p, 1e-4, 1e-9)
+        tight = lower_bound_time(n, p, 1e-4, 1e-9,
+                                 memory_elements=n * n / p)
+        assert tight.seconds > loose.seconds
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            lower_bound_time(1024, 64, -1e-4, 1e-9)

@@ -126,3 +126,117 @@ class TestOptimalGroupCount:
     def test_non_square_p_includes_powers(self):
         G, _ = optimal_group_count(1024, 128, 16, 1e-4, 1e-9)
         assert 1 <= G <= 128
+
+
+class TestGridRestrictedCandidates:
+    """The planner-facing extension: candidate ``G`` restricted to the
+    counts actually realisable on an ``s x t`` processor grid."""
+
+    def test_default_candidates_without_grid(self):
+        from repro.models.optimizer import default_group_candidates
+
+        cands = default_group_candidates(64)
+        assert cands == [1, 2, 4, 8, 16, 32, 64]
+
+    def test_default_candidates_include_exact_sqrt(self):
+        from repro.models.optimizer import default_group_candidates
+
+        assert 3 in default_group_candidates(9)
+
+    def test_grid_restricts_to_feasible_counts(self):
+        from repro.core.grouping import valid_group_counts
+        from repro.models.optimizer import default_group_candidates
+
+        assert default_group_candidates(9, grid=(3, 3)) == (
+            valid_group_counts(3, 3)
+        )
+
+    def test_grid_excludes_unrealisable_counts(self):
+        """G=2 on a 3x3 grid has no I|3, J|3 split with I*J=2."""
+        from repro.models.optimizer import default_group_candidates
+
+        assert 2 not in default_group_candidates(9, grid=(3, 3))
+
+    def test_grid_must_match_p(self):
+        from repro.models.optimizer import default_group_candidates
+
+        with pytest.raises(ModelError):
+            default_group_candidates(64, grid=(4, 4))
+
+    def test_optimal_group_count_with_grid(self):
+        G, _ = optimal_group_count(1024, 9, 16, 1e-4, 1e-9, grid=(3, 3))
+        assert G in (1, 3, 9)
+
+    def test_grid_and_unrestricted_agree_on_square_pow2(self):
+        """On a 64x64 grid every power of two is feasible, so the
+        restricted optimum can only improve on the sweep's."""
+        p = 4096
+        g_free, t_free = optimal_group_count(1024, p, 16, 1e-4, 1e-9)
+        g_grid, t_grid = optimal_group_count(1024, p, 16, 1e-4, 1e-9,
+                                             grid=(64, 64))
+        assert t_grid <= t_free + 1e-18
+        assert g_grid == g_free == 64
+
+    def test_empty_candidates_raise(self):
+        with pytest.raises(ModelError):
+            optimal_group_count(1024, 64, 16, 1e-4, 1e-9, candidates=[])
+
+
+class TestBoundaries:
+    """Boundary behaviour: degenerate group counts and the exact
+    alpha/beta = 2nb/p threshold."""
+
+    def test_g1_and_gp_price_identically(self):
+        """G=1 and G=p both degenerate to SUMMA (paper Section III)."""
+        from repro.models.optimizer import hsumma_communication_cost
+
+        n, p, b = 1024, 4096, 16
+        t1 = hsumma_communication_cost(n, p, 1, b, 1e-4, 1e-9,
+                                       VANDEGEIJN_MODEL)
+        tp = hsumma_communication_cost(n, p, p, b, 1e-4, 1e-9,
+                                       VANDEGEIJN_MODEL)
+        assert t1 == pytest.approx(tp, rel=1e-12)
+
+    def test_g1_in_candidates_always_valid(self):
+        G, _ = optimal_group_count(1024, 64, 16, 1e-4, 1e-9, candidates=[1])
+        assert G == 1
+
+    def test_gp_in_candidates_always_valid(self):
+        G, _ = optimal_group_count(1024, 64, 16, 1e-4, 1e-9, candidates=[64])
+        assert G == 64
+
+    def test_exact_threshold_vdg_cost_is_flat(self):
+        """At alpha/beta == 2nb/p the VdG cost is constant in G, the
+        derivative vanishes everywhere, and ties resolve to the
+        smallest candidate."""
+        from repro.models.optimizer import (
+            critical_ratio,
+            predicted_extremum_kind,
+            vdg_cost_derivative,
+        )
+
+        n, p, b = 1024, 64, 16
+        beta = 1e-9
+        alpha = beta * critical_ratio(n, b, p)
+        assert predicted_extremum_kind(n, b, p, alpha, beta) == "flat"
+        times = [
+            optimal_group_count(n, p, b, alpha, beta, candidates=[G])[1]
+            for G in (1, 2, 8, 64)
+        ]
+        for t in times[1:]:
+            assert t == pytest.approx(times[0], rel=1e-12)
+        for G in (2.0, 8.0, 32.0):
+            assert vdg_cost_derivative(n, p, G, b, alpha, beta) == (
+                pytest.approx(0.0, abs=1e-24)
+            )
+        G, _ = optimal_group_count(n, p, b, alpha, beta)
+        assert G == 1  # deterministic tie-break to the smallest
+
+    def test_just_off_threshold_breaks_the_tie(self):
+        from repro.models.optimizer import critical_ratio
+
+        n, p, b = 1024, 64, 16
+        beta = 1e-9
+        alpha = beta * critical_ratio(n, b, p)
+        g_hi, _ = optimal_group_count(n, p, b, alpha * 1.01, beta)
+        assert g_hi == 8  # sqrt(p) minimum appears above threshold

@@ -1,0 +1,88 @@
+"""Planner <-> simulator fidelity: the times a plan reports are the
+simulator backends' own numbers, not a reimplementation.
+
+* ``refine="predictor"`` plans carry the predictor's prediction
+  *bit-identically* (rebuilding the config from the plan's params and
+  calling the predictor reproduces predicted/comm/compute exactly).
+* ``refine="macro"`` plans match the predictor's totals within the
+  documented fidelity contract (totals bit-identical, communication
+  within 1e-9 relative; see ``repro.simulator.predictor``).
+"""
+
+
+import pytest
+
+from repro.core.hsumma import HSummaConfig
+from repro.core.summa import SummaConfig
+from repro.network.homogeneous import HomogeneousNetwork
+from repro.network.model import HockneyParams
+from repro.planner import PlanQuery, PlanService
+from repro.simulator.predictor import predict_hsumma, predict_summa
+
+
+def _replay_with_predictor(result, rq):
+    """Rebuild the chosen config from the plan and ask the predictor."""
+    n = rq.n
+    params = result.params
+    s, t = params["grid"]
+    if result.algorithm == "summa":
+        cfg = SummaConfig(m=n, l=n, n=n, s=s, t=t,
+                          block=params["block"], bcast=params["bcast"])
+        predict = predict_summa
+    else:
+        I, J = params["group_grid"]
+        cfg = HSummaConfig(
+            m=n, l=n, n=n, s=s, t=t, I=I, J=J,
+            outer_block=params["block"],
+            inner_block=params["inner_block"],
+            outer_bcast=params["outer_bcast"],
+            inner_bcast=params["bcast"],
+        )
+        predict = predict_hsumma
+    network = HomogeneousNetwork(rq.p, HockneyParams(rq.alpha, rq.beta))
+    res = predict(cfg, network=network, gamma=rq.gamma,
+                  a_itemsize=rq.itemsize, b_itemsize=rq.itemsize)
+    return res.stats[0]
+
+
+QUERIES = [
+    PlanQuery(n=2048, p=64),
+    PlanQuery(n=2048, p=64, platform="grid5000-graphene"),
+    PlanQuery(n=4096, p=256, platform="bluegene-p"),
+    PlanQuery(n=4096, p=1024),
+]
+
+
+class TestPredictorFidelity:
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_plan_times_are_the_predictors_bit_for_bit(self, query):
+        rq = query.resolve()
+        result = PlanService().plan(rq)
+        st = _replay_with_predictor(result, rq)
+        assert result.predicted_time == st.clock
+        assert result.comm_time == st.comm_time
+        assert result.compute_time == st.compute_time
+
+
+class TestMacroFidelity:
+    @pytest.mark.parametrize("query", QUERIES[:2])
+    def test_macro_plan_matches_predictor_contract(self, query):
+        """Re-pricing the macro plan's config with the predictor must
+        agree per the predictor's documented contract: totals and
+        compute bit-identical, communication within 1e-9 relative."""
+        rq = query.resolve()
+        result = PlanService(refine="macro").plan(rq)
+        assert result.backend == "macro"
+        st = _replay_with_predictor(result, rq)
+        assert result.predicted_time == st.clock
+        assert result.compute_time == st.compute_time
+        assert result.comm_time == pytest.approx(st.comm_time, rel=1e-9)
+
+    def test_macro_and_predictor_choose_comparable_plans(self):
+        """Backends of identical fidelity must produce plans with
+        identical predicted times (they price the same candidates)."""
+        q = PlanQuery(n=2048, p=64)
+        a = PlanService(refine="predictor").plan(q)
+        b = PlanService(refine="macro").plan(q)
+        assert a.predicted_time == b.predicted_time
+        assert a.algorithm == b.algorithm

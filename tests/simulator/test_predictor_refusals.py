@@ -1,0 +1,113 @@
+"""Every predictor refusal names the offending feature and suggests a
+fallback backend — one test per refusal branch.
+
+The contract (``repro.simulator.predictor._refuse``): the message
+contains ``backend='predictor' cannot price``, the feature name in
+quotes, and a ``fallback: use backend=...`` clause naming a backend
+that supports the feature.
+"""
+
+
+import numpy as np
+import pytest
+
+from repro.core.cyclic import run_cyclic
+from repro.core.summa import run_summa
+from repro.errors import ConfigurationError
+from repro.payloads import PhantomArray
+from repro.simulator.predictor import PredictorBackend, _require_predictable
+from repro.verify import VerifyOptions
+
+
+def _phantoms(n=64):
+    return PhantomArray((n, n)), PhantomArray((n, n))
+
+
+def _refusal(excinfo, feature, fallback_fragment):
+    msg = str(excinfo.value)
+    assert "backend='predictor' cannot price" in msg
+    assert f"'{feature}'" in msg
+    assert "fallback: use" in msg
+    assert fallback_fragment in msg
+    return msg
+
+
+class TestRunnerRefusals:
+    def test_concrete_data(self):
+        A = np.ones((64, 64))
+        B = np.ones((64, 64))
+        with pytest.raises(ConfigurationError) as exc:
+            run_summa(A, B, grid=(2, 2), block=16, backend="predictor")
+        msg = _refusal(exc, "concrete data", "backend='des'")
+        assert "Phantom" in msg  # tells the caller the scale-mode fix
+
+    def test_fault_injection(self):
+        A, B = _phantoms()
+        with pytest.raises(ConfigurationError) as exc:
+            run_summa(A, B, grid=(2, 2), block=16, backend="predictor",
+                      faults="kill(rank=1,t=0.5)")
+        _refusal(exc, "fault injection", "backend='des'")
+
+    def test_verify(self):
+        A, B = _phantoms()
+        with pytest.raises(ConfigurationError) as exc:
+            run_summa(A, B, grid=(2, 2), block=16, backend="predictor",
+                      verify=VerifyOptions())
+        _refusal(exc, "verify", "backend='des'")
+
+    def test_contention(self):
+        A, B = _phantoms()
+        with pytest.raises(ConfigurationError) as exc:
+            run_summa(A, B, grid=(2, 2), block=16, backend="predictor",
+                      contention=True)
+        _refusal(exc, "contention", "backend='des'")
+
+    def test_trace(self):
+        with pytest.raises(ConfigurationError) as exc:
+            _require_predictable("summa", phantom=True, faults=None,
+                                 verify=None, contention=False, trace=True)
+        _refusal(exc, "trace", "backend='des'")
+
+    def test_overlap(self):
+        A, B = _phantoms()
+        with pytest.raises(ConfigurationError) as exc:
+            run_cyclic(A, B, grid=(2, 2), nb=16, backend="predictor",
+                       overlap=True)
+        msg = _refusal(exc, "overlap", "backend='des'")
+        assert "macro" in msg
+
+
+class TestCosterRefusal:
+    def test_participant_dependent_coster(self):
+        """A topology-positional network has no participant-count form;
+        the refusal points at the macro backend, which can step the
+        very same coster."""
+        from repro.network.model import HockneyParams
+        from repro.network.tree import SwitchedCluster
+
+        A, B = _phantoms()
+        network = SwitchedCluster(
+            nnodes=4, nodes_per_switch=2,
+            params=HockneyParams(1e-6, 1e-10),
+        )
+        with pytest.raises(ConfigurationError) as exc:
+            run_summa(A, B, grid=(2, 2), block=16, backend="predictor",
+                      network=network)
+        msg = str(exc.value)
+        assert "participant-dependent costs" in msg
+        assert "backend='macro'" in msg
+
+
+class TestBackendObject:
+    def test_faulted_backend_construction_refuses(self):
+        from repro.faults import parse_fault_spec
+        from repro.network.homogeneous import HomogeneousNetwork
+        from repro.simulator.runtime import DEFAULT_PARAMS
+
+        network = HomogeneousNetwork(4, DEFAULT_PARAMS)
+        schedule = parse_fault_spec("kill(rank=1,t=0.5)", seed=0)
+        with pytest.raises(ConfigurationError) as exc:
+            PredictorBackend(network, faults=schedule)
+        msg = str(exc.value)
+        assert "'fault injection'" in msg
+        assert "fallback: use backend='des'" in msg
