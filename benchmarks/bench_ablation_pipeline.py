@@ -1,0 +1,188 @@
+#!/usr/bin/env python
+"""Ablation: pipelined overlap-SUMMA vs bulk-synchronous HSUMMA.
+
+ISSUE 8's crossover chart.  For a grid of ``(n, p, alpha/beta)``
+regimes — latency-bound, balanced, bandwidth-bound — we race:
+
+* **bulk HSUMMA**: the paper's hierarchical schedule, best of the
+  binomial/vandegeijn broadcasts, no overlap;
+* **pipelined overlap-SUMMA**: the one-step-lookahead flat schedule
+  with its split-phase broadcasts streamed in ``s`` pipeline segments,
+  best of ``s = 1`` (bulk split-phase) and the registry's closed-form
+  optimum ``s*`` (capped; see below).
+
+Two crossovers live in the table:
+
+* the **depth crossover** along the alpha/beta axis — latency-bound
+  regimes pick ``s = 1`` (segments only add alphas), bandwidth-bound
+  regimes pick ``s* > 1``;
+* the **schedule margin** — where compute can hide communication the
+  flat pipelined schedule beats the bulk hierarchy outright (the
+  acceptance regime), and its lead grows with beta.
+
+The pipeline depth is capped at :data:`MAX_SEGMENTS`: past ~p segments
+the simulator's infinite-NIC wire model lets every in-flight segment
+overlap, which flatters deep pipelines beyond what the closed forms
+(or hardware) support.
+
+Usage::
+
+    python benchmarks/bench_ablation_pipeline.py            # full grid
+    python benchmarks/bench_ablation_pipeline.py --quick    # CI smoke
+
+Exit status is non-zero when no regime shows pipelined overlap-SUMMA
+beating bulk HSUMMA, or when the depth crossover is missing — CI runs
+``--quick`` as a gate.  Under pytest the same grid runs as a benchmark
+and writes ``benchmarks/results/ablation_pipeline.txt``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import pathlib
+import sys
+
+#: Hard cap on the enumerated pipeline depth (see module docstring).
+MAX_SEGMENTS = 16
+
+#: (n, p, alpha, beta, label); gamma fixed so the balanced points have
+#: comparable per-step comm and compute.
+GAMMA = 2e-9
+FULL_GRID = [
+    (512, 64, 1e-3, 1e-9, "latency-bound"),
+    (512, 64, 1e-4, 1e-9, "balanced"),
+    (2048, 64, 1e-5, 5e-9, "bandwidth-bound"),
+    (512, 256, 1e-3, 1e-9, "latency-bound"),
+    (2048, 256, 1e-4, 1e-9, "balanced"),
+    (2048, 256, 1e-5, 5e-9, "bandwidth-bound"),
+]
+QUICK_GRID = [
+    (512, 64, 1e-3, 1e-9, "latency-bound"),
+    (512, 64, 1e-4, 1e-9, "balanced"),
+    (1024, 64, 1e-5, 5e-9, "bandwidth-bound"),
+]
+
+
+def _point(n, p, alpha, beta):
+    """One grid point: (hsumma_time, hsumma_alg, overlap_time, depth)."""
+    from repro.core.hsumma import run_hsumma
+    from repro.core.overlap import run_summa_overlap
+    from repro.costs import optimal_pipeline_segments
+    from repro.mpi.comm import CollectiveOptions
+    from repro.network.model import HockneyParams
+    from repro.payloads import PhantomArray
+
+    s = math.isqrt(p)
+    grid = (s, s)
+    block = n // s
+    while block > 64 or (n // s) % block:
+        block //= 2
+    params = HockneyParams(alpha, beta)
+    A, B = PhantomArray((n, n)), PhantomArray((n, n))
+
+    best_hs = None
+    for alg in ("binomial", "vandegeijn"):
+        _, sim = run_hsumma(
+            A, B, grid=grid, groups=s, outer_block=block,
+            options=CollectiveOptions(bcast=alg), params=params,
+            gamma=GAMMA,
+        )
+        if best_hs is None or sim.total_time < best_hs[0]:
+            best_hs = (sim.total_time, alg)
+
+    m_bytes = (n // s) * block * 8
+    s_opt = min(MAX_SEGMENTS,
+                optimal_pipeline_segments(m_bytes, s, alpha, beta,
+                                          "segmented"))
+    best_ov = None
+    for seg in sorted({1, s_opt}):
+        _, sim = run_summa_overlap(A, B, grid=grid, block=block,
+                                   params=params, gamma=GAMMA,
+                                   bcast_segments=seg)
+        if best_ov is None or sim.total_time < best_ov[0]:
+            best_ov = (sim.total_time, seg)
+
+    return best_hs[0], best_hs[1], best_ov[0], best_ov[1]
+
+
+def sweep(points):
+    rows = []
+    for n, p, alpha, beta, label in points:
+        t_hs, alg, t_ov, seg = _point(n, p, alpha, beta)
+        rows.append({
+            "n": n, "p": p, "alpha": alpha, "beta": beta, "label": label,
+            "hsumma_s": t_hs, "hsumma_alg": alg,
+            "overlap_s": t_ov, "depth": seg,
+            "winner": "overlap" if t_ov < t_hs else "hsumma",
+            "speedup": t_hs / t_ov if t_ov > 0 else float("inf"),
+        })
+    return rows
+
+
+def render(rows):
+    from repro.util.tables import format_table
+
+    table = format_table(
+        ["regime", "n", "p", "alpha", "beta", "hsumma_s", "overlap_s",
+         "depth s", "winner", "speedup"],
+        [[r["label"], r["n"], r["p"], f"{r['alpha']:.0e}",
+          f"{r['beta']:.0e}", r["hsumma_s"], r["overlap_s"], r["depth"],
+          r["winner"], round(r["speedup"], 2)] for r in rows],
+        title=("Ablation — pipelined overlap-SUMMA vs bulk HSUMMA "
+               f"(gamma={GAMMA:.0e}, depth capped at {MAX_SEGMENTS})"),
+    )
+    depths = sorted({r["depth"] for r in rows})
+    return table + (
+        "\n\ndepth crossover: chosen pipeline depths span "
+        f"{depths} — latency regimes stay at s=1, bandwidth regimes "
+        "climb to the closed-form optimum.\n"
+    )
+
+
+def check(rows):
+    """The acceptance gates; returns a list of failure strings."""
+    failures = []
+    pipelined_wins = [r for r in rows
+                      if r["winner"] == "overlap" and r["depth"] > 1]
+    if not pipelined_wins:
+        failures.append(
+            "no (n, p, alpha/beta) regime shows pipelined (s > 1) "
+            "overlap-SUMMA beating bulk-synchronous HSUMMA"
+        )
+    if not any(r["depth"] == 1 for r in rows):
+        failures.append("no latency regime chose s = 1 (depth "
+                        "crossover missing on the shallow side)")
+    if not any(r["depth"] > 1 for r in rows):
+        failures.append("no bandwidth regime chose s > 1 (depth "
+                        "crossover missing on the deep side)")
+    return failures
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke: p=64 column only")
+    args = parser.parse_args(argv)
+    rows = sweep(QUICK_GRID if args.quick else FULL_GRID)
+    text = render(rows)
+    print(text)
+    results = pathlib.Path(__file__).parent / "results"
+    results.mkdir(exist_ok=True)
+    (results / "ablation_pipeline.txt").write_text(text + "\n")
+    failures = check(rows)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def test_pipeline_crossover(benchmark, record_output):
+    from conftest import run_once
+
+    rows = run_once(benchmark, sweep, FULL_GRID)
+    record_output("ablation_pipeline", render(rows))
+    assert not check(rows)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -85,6 +85,15 @@ def _cmd_multiply(args: argparse.Namespace) -> int:
     kwargs = {}
     if args.groups is not None:
         kwargs["groups"] = args.groups
+    if args.bcast is not None or args.pipeline_depth is not None:
+        from repro.mpi.comm import CollectiveOptions
+
+        options = CollectiveOptions()
+        if args.bcast is not None:
+            options = options.replace(bcast=args.bcast)
+        if args.pipeline_depth is not None:
+            options = options.replace(bcast_segments=args.pipeline_depth)
+        kwargs["options"] = options
     faults = None
     if args.faults is not None:
         from repro.faults import parse_fault_spec
@@ -344,6 +353,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_mul.add_argument("--block", type=int, default=64)
     p_mul.add_argument("--algorithm", default="hsumma")
     p_mul.add_argument("--groups", type=int, default=None)
+    p_mul.add_argument(
+        "--bcast", default=None,
+        help="broadcast algorithm (binomial, vandegeijn, pipelined, "
+             "segmented, fourcolor, hypersystolic, ...); default: the "
+             "context default",
+    )
+    p_mul.add_argument(
+        "--pipeline-depth", type=int, default=None, metavar="S",
+        help="segment count for the pipelined broadcast family "
+             "(pipelined/segmented/fourcolor/hypersystolic and the "
+             "overlap runners' streamed IBcast); default: per-algorithm "
+             "auto",
+    )
     p_mul.add_argument(
         "--backend", choices=["des", "macro", "predictor"], default="des",
         help="execution backend: full DES, collective-granularity macro, "

@@ -27,6 +27,13 @@ from repro.collectives.bcast import (
     bcast_vandegeijn,
 )
 from repro.collectives.ft import bcast_ft
+from repro.collectives.pipelined import (
+    bcast_fourcolor,
+    bcast_hypersystolic,
+    bcast_segmented,
+    fourcolor_schedule,
+    validate_link_coloring,
+)
 from repro.collectives.allgather import allgather_rd, allgather_ring
 from repro.collectives.extra import (
     allgather_bruck,
@@ -49,6 +56,9 @@ BROADCAST_ALGORITHMS: dict[str, Callable[..., Gen]] = {
     "binary": bcast_binary,
     "chain": bcast_chain,
     "pipelined": bcast_pipelined,
+    "segmented": bcast_segmented,
+    "fourcolor": bcast_fourcolor,
+    "hypersystolic": bcast_hypersystolic,
     "vandegeijn": bcast_vandegeijn,
     "ft_binomial": bcast_ft,
 }
@@ -131,8 +141,13 @@ __all__ = [
     "bcast_binary",
     "bcast_chain",
     "bcast_pipelined",
+    "bcast_segmented",
+    "bcast_fourcolor",
+    "bcast_hypersystolic",
     "bcast_vandegeijn",
     "bcast_ft",
+    "fourcolor_schedule",
+    "validate_link_coloring",
     "allgather_ring",
     "allgather_rd",
     "reduce_binomial",

@@ -14,11 +14,19 @@ chain           ``(p-1) * (alpha + m*beta)``
 binomial        ``ceil(log2 p) * (alpha + m*beta)``
 binary          ``~2*depth * (alpha + m*beta)``
 pipelined       ``(p-2+S) * (alpha + (m/S)*beta)``, S segments
+segmented       ``(fill(p)-2+2S) * (alpha + (m/S)*beta)``, binary tree
+fourcolor       ``(p-2+S) * (alpha + (m/(2S))*beta)``, bidirectional ring
+hypersystolic   ``(D(p)+S-1) * (alpha + (m/S)*beta)``, stride-K ring
 vandegeijn      ``(log2 p + p - 1)*alpha + 2*(p-1)/p * m*beta``
 ==============  =======================================================
 
 The last one is the Van de Geijn/Barnett scatter–ring-allgather used by
-the paper's Table II; binomial is Table I.
+the paper's Table II; binomial is Table I.  The segmented family
+(middle three rows) lives in :mod:`repro.collectives.pipelined`:
+``fill(p)`` is the pipelined binary tree's fill depth
+(:func:`repro.costs.segmented_fill_slots`), ``D(p)`` the
+hyper-systolic two-level ring depth at the registry's optimal stride
+(:func:`repro.costs.hypersystolic_depth`).
 """
 
 from __future__ import annotations

@@ -22,11 +22,15 @@ from __future__ import annotations
 
 from typing import Any, Generator
 
-from repro.errors import CommunicatorError
+from repro.errors import CommunicatorError, ConfigurationError
+from repro.payloads import join_payload, split_payload
 
 Gen = Generator[Any, Any, Any]
 
 TAG_IBCAST = -70
+#: Segment-streaming tags live on their own residue class (mod 10) so
+#: they can never collide with whole-message IBcasts of any salt.
+TAG_IBCAST_SEG = -71
 
 
 class IBcast:
@@ -36,19 +40,40 @@ class IBcast:
     ``post`` (all ranks), ``complete`` (all ranks), ``finish``
     (optional, senders only).  ``tag_salt`` distinguishes concurrent
     broadcasts on the same communicator (e.g. per pivot step).
+
+    ``segments`` switches on pipeline streaming: the payload is cut
+    into that many segments which flow down the tree independently, so
+    a forwarded early segment can cross the wire while later segments
+    are still arriving — and, in the overlap runners, while the caller
+    is inside its gemm.  All participants of one broadcast must agree
+    on the segment count (it is part of the wire protocol); segment
+    tags are ``TAG_IBCAST_SEG - 10*(tag_salt*segments + k)``, a residue
+    class disjoint from the whole-message tags.  ``segments=None``
+    keeps the classic single-message protocol bit-for-bit.
     """
 
-    def __init__(self, comm: Any, root: int, tag_salt: int = 0):
+    def __init__(self, comm: Any, root: int, tag_salt: int = 0,
+                 segments: int | None = None):
         if not (0 <= root < comm.size):
             raise CommunicatorError(
                 f"root {root} outside communicator of size {comm.size}"
             )
+        if segments is not None and segments < 1:
+            raise ConfigurationError(
+                f"segments must be >= 1, got {segments}"
+            )
         self.comm = comm
         self.root = root
         self.tag = TAG_IBCAST - 10 * tag_salt
+        self.segments = segments
+        self._seg_tag0 = (
+            TAG_IBCAST_SEG - 10 * (tag_salt * segments)
+            if segments is not None else None
+        )
         size = comm.size
         self.vr = (comm.rank - root) % size
         self._recv_handle = None
+        self._recv_handles: list[Any] = []
         self._send_handles: list[Any] = []
         self._posted = False
         self._completed = False
@@ -71,30 +96,65 @@ class IBcast:
         return out
 
     def post(self) -> Gen:
-        """Pre-post the receive from the tree parent (no-op on the root)."""
+        """Pre-post the receive(s) from the tree parent (no-op on the
+        root): one handle per segment when streaming."""
         if self._posted:
             raise CommunicatorError("IBcast.post called twice")
         self._posted = True
         parent = self._parent()
-        if parent is not None:
+        if parent is None:
+            return
+        if self.segments is None:
             self._recv_handle = yield from self.comm.irecv(parent, tag=self.tag)
+            return
+        for k in range(self.segments):
+            h = yield from self.comm.irecv(
+                parent, tag=self._seg_tag0 - 10 * k)
+            self._recv_handles.append(h)
 
     def complete(self, obj: Any = None) -> Gen:
         """Obtain the payload (``obj`` on the root) and forward it
-        nonblockingly down the tree; returns the payload."""
+        nonblockingly down the tree; returns the payload.
+
+        When streaming, each segment is forwarded the moment it lands,
+        so downstream ranks see segment ``k`` without waiting for
+        segment ``k+1`` to reach us.
+        """
         if not self._posted:
             raise CommunicatorError("IBcast.complete before post")
         if self._completed:
             raise CommunicatorError("IBcast.complete called twice")
         self._completed = True
-        if self._recv_handle is not None:
-            obj = yield from self.comm.wait(self._recv_handle)
-        elif self.vr != 0:
+        children = self._children()
+        if self.segments is None:
+            if self._recv_handle is not None:
+                obj = yield from self.comm.wait(self._recv_handle)
+            elif self.vr != 0:
+                raise CommunicatorError("non-root rank completed without post")
+            for child in children:
+                handle = yield from self.comm.isend(obj, child, tag=self.tag)
+                self._send_handles.append(handle)
+            return obj
+        if self.vr == 0:
+            parts = split_payload(obj, self.segments)
+            for k, part in enumerate(parts):
+                for child in children:
+                    h = yield from self.comm.isend(
+                        part, child, tag=self._seg_tag0 - 10 * k)
+                    self._send_handles.append(h)
+            return obj
+        if not self._recv_handles:
             raise CommunicatorError("non-root rank completed without post")
-        for child in self._children():
-            handle = yield from self.comm.isend(obj, child, tag=self.tag)
-            self._send_handles.append(handle)
-        return obj
+        parts = []
+        for k in range(self.segments):
+            part = yield from self.comm.wait(self._recv_handles[k])
+            parts.append(part)
+            for child in children:
+                h = yield from self.comm.isend(
+                    part, child, tag=self._seg_tag0 - 10 * k)
+                self._send_handles.append(h)
+        self._recv_handles = []
+        return join_payload(parts)
 
     def finish(self) -> Gen:
         """Wait for all outstanding forward sends (idempotent)."""

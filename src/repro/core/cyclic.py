@@ -245,6 +245,7 @@ def run_cyclic(
     params: Any = None,
     gamma: float = 0.0,
     options: CollectiveOptions | None = None,
+    bcast_segments: int | None = None,
     contention: bool = False,
     backend: Any = None,
     faults: Any = None,
@@ -254,11 +255,15 @@ def run_cyclic(
 
     ``groups=(I, J)`` enables the hierarchical (HSUMMA-style) two-phase
     broadcast; ``overlap=True`` enables one-step lookahead (flat
-    variant).
+    variant).  ``bcast_segments`` sets the segmented-broadcast pipeline
+    depth (shorthand for ``options.bcast_segments``).
     """
     from repro.faults.spec import coerce_faults
 
     s, t = grid
+    if bcast_segments is not None:
+        options = (options or CollectiveOptions()).replace(
+            bcast_segments=bcast_segments)
     I, J = groups
     (m, l), (l2, n) = A.shape, B.shape
     if l != l2:

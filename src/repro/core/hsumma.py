@@ -226,6 +226,7 @@ def run_hsumma(
     options: CollectiveOptions | None = None,
     outer_bcast: str | None = None,
     inner_bcast: str | None = None,
+    bcast_segments: int | None = None,
     contention: bool = False,
     trace: bool = False,
     backend: Any = None,
@@ -233,7 +234,9 @@ def run_hsumma(
     verify: Any = None,
 ) -> tuple[Any, SimResult]:
     """Multiply block-distributed ``A @ B`` with HSUMMA; returns
-    ``(C, SimResult)``.
+    ``(C, SimResult)``.  ``bcast_segments`` sets the pipeline depth of
+    the segmented broadcast family (shorthand for
+    ``options.bcast_segments``; applies to both hierarchy levels).
 
     ``groups`` is either the total group count ``G`` (the group grid is
     chosen by :func:`repro.core.grouping.choose_group_grid`) or an
@@ -249,6 +252,9 @@ def run_hsumma(
     from repro.core.grouping import choose_group_grid
 
     s, t = grid
+    if bcast_segments is not None:
+        options = (options or CollectiveOptions()).replace(
+            bcast_segments=bcast_segments)
     if isinstance(groups, tuple):
         I, J = groups
     else:

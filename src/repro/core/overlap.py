@@ -47,6 +47,22 @@ from repro.simulator.tracing import SimResult
 Gen = Generator[Any, Any, Any]
 
 
+def _refuse_overlap_predictor(name: str, backend: Any) -> None:
+    """The overlap schedules hide transfers behind the gemm through the
+    point-to-point machinery; the predictor's serial phase chain has no
+    model for that, so it refuses with the named-feature error instead
+    of silently pricing the bulk-synchronous schedule."""
+    if backend == "predictor":
+        from repro.simulator.predictor import _refuse
+
+        _refuse(
+            f"a {name} run", "overlap",
+            "the lookahead schedule hides transfers behind the gemm and "
+            "the phase chain prices phases serially",
+            "backend='des' (exact schedule) or backend='macro'",
+        )
+
+
 def summa_overlap_program(
     ctx: MpiContext, a_tile: Any, b_tile: Any, cfg: SummaConfig
 ) -> Gen:
@@ -79,11 +95,13 @@ def summa_overlap_program(
             b_src = slice_rows(b_tile, r0, r0 + cfg.block)
         return owner_col, a_src, owner_row, b_src
 
+    seg = ctx.options.bcast_segments
+
     def make_step(k: int) -> tuple[IBcast, IBcast]:
         owner_col, _, owner_row, _ = pivot_sources(k)
         return (
-            IBcast(grid.row_comm, owner_col, tag_salt=2 * k),
-            IBcast(grid.col_comm, owner_row, tag_salt=2 * k + 1),
+            IBcast(grid.row_comm, owner_col, tag_salt=2 * k, segments=seg),
+            IBcast(grid.col_comm, owner_row, tag_salt=2 * k + 1, segments=seg),
         )
 
     # Prime the pipeline: post step 0's receives.
@@ -168,10 +186,14 @@ def hsumma_overlap_program(
         xk, ik = divmod(g0 // b_tile_rows, si)
         return yk, jk, xk, ik
 
+    seg = ctx.options.bcast_segments
+
     def make_outer(K: int) -> tuple[IBcast | None, IBcast | None]:
         yk, jk, xk, ik = outer_owner(K)
-        oa = IBcast(outer_row, yk, tag_salt=K) if jj == jk else None
-        ob = IBcast(outer_col, xk, tag_salt=K) if ii == ik else None
+        oa = (IBcast(outer_row, yk, tag_salt=K, segments=seg)
+              if jj == jk else None)
+        ob = (IBcast(outer_col, xk, tag_salt=K, segments=seg)
+              if ii == ik else None)
         return oa, ob
 
     def post_outer(pair) -> Gen:
@@ -181,8 +203,8 @@ def hsumma_overlap_program(
 
     def make_inner(q: int, jk: int, ik: int) -> tuple[IBcast, IBcast]:
         return (
-            IBcast(inner_row, jk, tag_salt=q),
-            IBcast(inner_col, ik, tag_salt=q),
+            IBcast(inner_row, jk, tag_salt=q, segments=seg),
+            IBcast(inner_col, ik, tag_salt=q, segments=seg),
         )
 
     # Prime: post outer 0 and (after completing it at K=0 below) inner 0.
@@ -265,18 +287,25 @@ def run_hsumma_overlap(
     params: Any = None,
     gamma: float = 0.0,
     options: CollectiveOptions | None = None,
+    bcast_segments: int | None = None,
     contention: bool = False,
     backend: Any = None,
     faults: Any = None,
     verify: Any = None,
 ) -> tuple[Any, SimResult]:
     """Overlapped HSUMMA; same contract as
-    :func:`repro.core.hsumma.run_hsumma`."""
+    :func:`repro.core.hsumma.run_hsumma`.  ``bcast_segments`` streams
+    each split-phase broadcast in that many pipeline stages (see
+    :class:`repro.collectives.nonblocking.IBcast`)."""
     from repro.core.grouping import choose_group_grid
     from repro.core.hsumma import HSummaConfig
     from repro.faults.spec import coerce_faults
 
+    _refuse_overlap_predictor("hsumma-overlap", backend)
     s, t = grid
+    if bcast_segments is not None:
+        options = (options or CollectiveOptions()).replace(
+            bcast_segments=bcast_segments)
     if isinstance(groups, tuple):
         I, J = groups
     else:
@@ -337,16 +366,23 @@ def run_summa_overlap(
     params: Any = None,
     gamma: float = 0.0,
     options: CollectiveOptions | None = None,
+    bcast_segments: int | None = None,
     contention: bool = False,
     backend: Any = None,
     faults: Any = None,
     verify: Any = None,
 ) -> tuple[Any, SimResult]:
     """Overlapped SUMMA; same contract as
-    :func:`repro.core.summa.run_summa`."""
+    :func:`repro.core.summa.run_summa`.  ``bcast_segments`` streams
+    each split-phase broadcast in that many pipeline stages (see
+    :class:`repro.collectives.nonblocking.IBcast`)."""
     from repro.faults.spec import coerce_faults
 
+    _refuse_overlap_predictor("summa-overlap", backend)
     s, t = grid
+    if bcast_segments is not None:
+        options = (options or CollectiveOptions()).replace(
+            bcast_segments=bcast_segments)
     (m, l), (l2, n) = A.shape, B.shape
     if l != l2:
         raise ConfigurationError(f"inner dims differ: {A.shape} @ {B.shape}")

@@ -129,6 +129,7 @@ def run_summa(
     gamma: float = 0.0,
     options: CollectiveOptions | None = None,
     bcast: str | None = None,
+    bcast_segments: int | None = None,
     contention: bool = False,
     trace: bool = False,
     backend: Any = None,
@@ -137,6 +138,11 @@ def run_summa(
 ) -> tuple[Any, SimResult]:
     """Multiply block-distributed ``A @ B`` with SUMMA on a simulated
     platform; returns ``(C, SimResult)``.
+
+    ``bcast_segments`` sets the pipeline depth ``s`` of the segmented
+    broadcast family (``pipelined``/``segmented``/``fourcolor``/
+    ``hypersystolic``; ``None`` = each algorithm's default) — a
+    shorthand for ``options.bcast_segments``.
 
     ``A``/``B`` may be numpy arrays (data mode — ``C`` is the concrete
     product) or :class:`PhantomArray` husks (scale mode — ``C`` is a
@@ -161,6 +167,9 @@ def run_summa(
     if l != l2:
         raise ConfigurationError(f"inner dims differ: A is {A.shape}, B is {B.shape}")
     cfg = SummaConfig(m=m, l=l, n=n, s=s, t=t, block=block, bcast=bcast)
+    if bcast_segments is not None:
+        options = (options or CollectiveOptions()).replace(
+            bcast_segments=bcast_segments)
 
     da = DistMatrix(A if isinstance(A, PhantomArray) else np.asarray(A, dtype=float),
                     _dist(m, l, s, t))

@@ -44,6 +44,7 @@ from repro.costs.lower_bounds import (
 )
 from repro.costs.registry import (
     BCAST_ENTRIES,
+    PIPELINED_BCASTS,
     SMOOTH_MODELS,
     BcastEntry,
     BroadcastModel,
@@ -53,11 +54,15 @@ from repro.costs.registry import (
     bcast_entry,
     bcast_latency_factor,
     estimate,
+    hypersystolic_depth,
+    hypersystolic_stride,
     optimal_pipeline_segments,
+    segmented_fill_slots,
 )
 
 __all__ = [
     "BCAST_ENTRIES",
+    "PIPELINED_BCASTS",
     "SMOOTH_MODELS",
     "BcastEntry",
     "BroadcastModel",
@@ -77,6 +82,8 @@ __all__ = [
     "hsumma_communication_cost",
     "hsumma_latency_factor",
     "hsumma_optimal_vdg_cost",
+    "hypersystolic_depth",
+    "hypersystolic_stride",
     "latency_lower_bound_terms",
     "lower_bound_time",
     "matmul_flops",
@@ -84,6 +91,7 @@ __all__ = [
     "memory_independent_bound_elements",
     "optimal_pipeline_segments",
     "predicted_extremum_kind",
+    "segmented_fill_slots",
     "summa_bandwidth_factor",
     "summa_communication_cost",
     "summa_computation_cost",

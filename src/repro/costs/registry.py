@@ -39,6 +39,7 @@ ignores it.
 from __future__ import annotations
 
 import dataclasses
+import functools
 import math
 from typing import Callable
 
@@ -188,12 +189,116 @@ def bcast_bandwidth_factor(algorithm: str, p: int) -> float:
     return bcast_entry(algorithm).W(p)
 
 
-def optimal_pipeline_segments(m_bytes: float, p: int, alpha: float, beta: float) -> int:
-    """Segment count minimising the pipelined-chain completion time
-    ``(p-2+S)(alpha + m*beta/S)``: ``S* = sqrt(m*beta*(p-2)/alpha)``."""
+#: The segmented broadcast family: every algorithm whose completion
+#: time is ``(base + rate*S) * (alpha + m*beta/(chunks*S))`` for some
+#: pipeline depth ``S`` — priced directly by :func:`estimate` (no
+#: linear ``L/W`` row) and enumerated over ``S`` by the planner.
+PIPELINED_BCASTS = frozenset(
+    {"pipelined", "segmented", "fourcolor", "hypersystolic"}
+)
+
+
+@functools.lru_cache(maxsize=None)
+def segmented_fill_slots(p: int) -> int:
+    """Fill latency of the pipelined balanced binary tree: the slot in
+    which segment 0 reaches the *last* rank.
+
+    Node ``v`` (heap order, root 0) receives segment 0 after its parent
+    chain has forwarded it, two blocking sends per inner node (child
+    ``2v+1`` first, then ``2v+2``), which works out to
+    ``bit_length(v+1) + popcount(v+1) - 2`` slots — depth plus one
+    extra slot per right-edge on the path.  The maximum over
+    ``w = v+1 in [1, p]`` is either the deepest all-ones ``w`` (a pure
+    right spine) or the max-popcount ``w`` of full bit-length, found by
+    the classic clear-one-bit-set-all-lower scan.  Exhaustively checked
+    against the ``O(p)`` scan in the conformance tests.
+    """
+    if p < 2:
+        return 0
+    L = p.bit_length()
+    best = 2 * (L - 1) if L > 1 else 2  # w = 2^(L-1)-1: all-ones, shorter
+    ones_above = 0
+    max_pc = 0
+    for i in range(L - 1, -1, -1):
+        if (p >> i) & 1:
+            if i < L - 1:
+                # Clear bit i of p, set every lower bit: the largest
+                # popcount among length-L values <= p branching here.
+                max_pc = max(max_pc, ones_above + i)
+            ones_above += 1
+    max_pc = max(max_pc, ones_above)  # w = p itself
+    return max(best, L + max_pc) - 2
+
+
+def _hypersystolic_depth_at(p: int, k: int) -> int:
+    """Deepest rank's segment-0 arrival slot at stride ``k``: group
+    ``a``'s member ``j`` sits at depth ``a + j``."""
+    ngroups = -(-p // k)
+    return max(a + min(k, p - a * k) - 1 for a in range(ngroups))
+
+
+@functools.lru_cache(maxsize=None)
+def hypersystolic_stride(p: int) -> int:
+    """The anchor stride ``K`` the hyper-systolic broadcast uses:
+    minimiser of the exact fill depth (ties to the smaller ``K``),
+    scanned over ``K <= 2*sqrt(p)+2`` — beyond that the first group's
+    own chain (``K-1`` slots) already exceeds the ``~2*sqrt(p)``
+    optimum."""
+    if p < 2:
+        return 1
+    best_k, best_d = 1, _hypersystolic_depth_at(p, 1)
+    for k in range(2, min(p, 2 * math.isqrt(p) + 2) + 1):
+        d = _hypersystolic_depth_at(p, k)
+        if d < best_d:
+            best_k, best_d = k, d
+    return best_k
+
+
+@functools.lru_cache(maxsize=None)
+def hypersystolic_depth(p: int) -> int:
+    """Fill depth ``D`` at the chosen stride: segment ``k`` reaches the
+    deepest rank in slot ``D + k``."""
+    if p < 2:
+        return 0
+    return _hypersystolic_depth_at(p, hypersystolic_stride(p))
+
+
+#: ``(base, rate, chunks)`` per pipelined algorithm: completion time is
+#: ``(base + rate*S) * (alpha + m*beta/(chunks*S))`` (functions of p).
+def _pipeline_shape(algorithm: str, p: int) -> tuple[int, int, int]:
+    if algorithm == "pipelined":
+        return p - 2, 1, 1
+    if algorithm == "segmented":
+        if p == 2:
+            return 0, 1, 1
+        return segmented_fill_slots(p) - 2, 2, 1
+    if algorithm == "fourcolor":
+        return p - 2, 1, 2
+    if algorithm == "hypersystolic":
+        return hypersystolic_depth(p) - 1, 1, 1
+    raise ModelError(f"not a pipelined broadcast algorithm: {algorithm!r}")
+
+
+def optimal_pipeline_segments(
+    m_bytes: float, p: int, alpha: float, beta: float,
+    algorithm: str = "pipelined",
+) -> int:
+    """Segment count minimising a pipelined broadcast's completion time
+    ``(base + rate*S)(alpha + m*beta/(chunks*S))``:
+    ``S* = sqrt(base*m*beta/(chunks*rate*alpha))``.
+
+    For the default pipelined chain this is the classic
+    ``sqrt(m*beta*(p-2)/alpha)``; the other family members substitute
+    their own fill latency (``segmented``: tree fill minus 2, at rate
+    2 slots/segment; ``fourcolor``: ``p-2`` over ``2S`` chunks;
+    ``hypersystolic``: ``D-1``).
+    """
     if p <= 2 or m_bytes <= 0 or alpha <= 0:
         return 1
-    s = math.sqrt(m_bytes * beta * (p - 2) / alpha)
+    base, rate, chunks = _pipeline_shape(algorithm, p)
+    if base <= 0:
+        return 1
+    s = math.sqrt(m_bytes * beta * base / (chunks * rate * alpha))
     return max(1, round(s))
 
 
@@ -269,6 +374,20 @@ def _bcast_estimate(q: CostQuery) -> CostEstimate:
             seconds=(p - 2 + s) * (alpha + (m / s) * beta),
             alpha_terms=float(p - 2 + s),
             beta_bytes=(p - 2 + s) * (m / s),
+        )
+    if q.algorithm in PIPELINED_BCASTS:
+        s = q.segments or optimal_pipeline_segments(m, p, alpha, beta,
+                                                    q.algorithm)
+        if q.algorithm == "fourcolor" and p == 2:
+            # One link pair: the executable sends the message whole.
+            slots, chunk = 1, m
+        else:
+            base, rate, chunks = _pipeline_shape(q.algorithm, p)
+            slots, chunk = base + rate * s, m / (chunks * s)
+        return CostEstimate(
+            seconds=slots * (alpha + chunk * beta),
+            alpha_terms=float(slots),
+            beta_bytes=slots * chunk,
         )
     entry = bcast_entry(q.algorithm)
     L, W = entry.L(p), entry.W(p)

@@ -75,9 +75,11 @@ class CollectiveOptions:
     bcast:
         Broadcast algorithm name from
         :data:`repro.collectives.BROADCAST_ALGORITHMS` ("binomial",
-        "vandegeijn", "flat", "binary", "chain", "pipelined").
+        "vandegeijn", "flat", "binary", "chain", "pipelined",
+        "segmented", "fourcolor", "hypersystolic").
     bcast_segments:
-        Segment count for the pipelined broadcast (None = auto).
+        Pipeline depth ``s``: segment count for the pipelined /
+        segmented broadcast family (None = auto).
     allgather:
         "ring", "recursive_doubling" or "bruck".
     reduce:

@@ -237,7 +237,7 @@ class Plan:
         if grid:
             lines.append(f"  grid         {grid[0]}x{grid[1]}")
         for key in ("groups", "group_grid", "block", "inner_block",
-                    "bcast", "outer_bcast", "replication"):
+                    "bcast", "outer_bcast", "segments", "replication"):
             if key in self.params and self.params[key] is not None:
                 lines.append(f"  {key:<12} {self.params[key]}")
         gap = (f"{self.lower_bound_gap:.2f}x"

@@ -35,7 +35,7 @@ from repro.planner.space import (
 
 #: Bump when the search space, ranking forms, or refinement change in a
 #: way that invalidates stored plans.
-PLAN_CACHE_SALT = "planner-1"
+PLAN_CACHE_SALT = "planner-2"  # planner-2: pipelined broadcast family + s axis
 _PLAN_FN = "repro.planner.plan"
 
 REFINE_BACKENDS = ("predictor", "macro", "none")
@@ -197,7 +197,14 @@ class PlanService:
             total = closed_form_cost(rq, cand)
             return total, total - compute, compute, "closed-form"
         cfg = _build_config(rq, cand)
-        if self.refine == "predictor":
+        # The predictor refuses the segmented broadcast family (it has
+        # no stage-overlap model), so pipelined candidates are refined
+        # at macro fidelity regardless of the configured backend.
+        from repro.costs import PIPELINED_BCASTS
+
+        pipelined = (cand.bcast in PIPELINED_BCASTS
+                     or cand.outer_bcast in PIPELINED_BCASTS)
+        if self.refine == "predictor" and not pipelined:
             from repro.network.homogeneous import HomogeneousNetwork
             from repro.network.model import HockneyParams
             from repro.simulator.predictor import predict_hsumma, predict_summa
@@ -218,12 +225,17 @@ class PlanService:
 
         params = HockneyParams(rq.alpha, rq.beta)
         if cand.algorithm == "summa":
-            rep = summa_step_model(cfg, AnalyticCoster(params, cand.bcast),
-                                   rq.gamma)
+            rep = summa_step_model(
+                cfg,
+                AnalyticCoster(params, cand.bcast, segments=cand.segments),
+                rq.gamma)
         else:
             rep = hsumma_step_model(
-                cfg, AnalyticCoster(params, cand.bcast), rq.gamma,
-                outer_coster=AnalyticCoster(params, cand.outer_bcast),
+                cfg,
+                AnalyticCoster(params, cand.bcast, segments=cand.segments),
+                rq.gamma,
+                outer_coster=AnalyticCoster(params, cand.outer_bcast,
+                                            segments=cand.segments),
             )
         return rep.total_time, rep.comm_time, rep.compute_time, "macro"
 

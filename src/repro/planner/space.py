@@ -16,18 +16,26 @@ import math
 from typing import Any
 
 from repro.costs import (
+    CostQuery,
     algo25d_communication_cost,
     bcast_bandwidth_factor,
     bcast_latency_factor,
+    estimate,
+    optimal_pipeline_segments,
     summa_computation_cost,
 )
+from repro.costs import PIPELINED_BCASTS
 from repro.errors import ConfigurationError
 from repro.planner.query import ResolvedQuery
 
-#: Broadcast algorithms the planner considers.  Pipelined broadcasts
-#: are excluded (their optimum needs a segment sweep per message size);
-#: under a fault profile only the fault-tolerant binomial tree remains.
+#: Broadcast algorithms the planner considers.  The segmented family
+#: (PIPELINED_CHOICES) is enumerated with an explicit pipeline depth
+#: ``s`` per candidate — ``s*`` from the registry's closed-form optimum
+#: plus a half/double probe; the plain pipelined chain is omitted as it
+#: is dominated by ``hypersystolic`` (same bandwidth, shorter fill).
+#: Under a fault profile only the fault-tolerant binomial tree remains.
 BCAST_CHOICES = ("binomial", "vandegeijn")
+PIPELINED_CHOICES = ("segmented", "fourcolor", "hypersystolic")
 FT_BCAST_CHOICES = ("binomial",)
 
 #: Enumeration caps: most-square grids kept per p, trailing (largest)
@@ -51,6 +59,7 @@ class Candidate:
     bcast: str | None = None
     outer_bcast: str | None = None
     replication: int = 1    # 2.5D c
+    segments: int | None = None  # pipeline depth s (segmented family)
 
     def params(self) -> dict[str, Any]:
         """The plan's parameter dict (only the fields this algorithm
@@ -71,6 +80,8 @@ class Candidate:
             )
         elif self.algorithm == "2.5d":
             out.update(replication=self.replication)
+        if self.segments is not None:
+            out["segments"] = self.segments
         return out
 
 
@@ -133,23 +144,40 @@ def _bcast_choices(rq: ResolvedQuery) -> tuple[str, ...]:
     return choices
 
 
+def _segment_choices(rq: ResolvedQuery, alg: str, elements: float,
+                     p: int) -> list[int]:
+    """Pipeline depths to enumerate for one pipelined candidate: the
+    registry's closed-form optimum ``s*`` for the (dominant) row
+    message, plus a half/double probe around it."""
+    s_opt = optimal_pipeline_segments(
+        elements, p, rq.alpha, rq.beta_element, alg)
+    return sorted({max(1, s_opt // 2), s_opt, 2 * s_opt})
+
+
 def enumerate_candidates(rq: ResolvedQuery) -> list[Candidate]:
     """The full search space for one query."""
     from repro.core.grouping import choose_group_grid, valid_group_counts
 
     n, p = rq.n, rq.p
     algs = _bcast_choices(rq)
+    pipelined = PIPELINED_CHOICES if not rq.faulty else ()
     out: list[Candidate] = []
     for s, t in candidate_grids(p):
         blocks = candidate_blocks(n, s, t)
+        rows, cols = n / s, n / t
         for b in blocks:
             for alg in algs:
                 out.append(Candidate("summa", s, t, block=b, bcast=alg))
+            for alg in pipelined:
+                for seg in _segment_choices(rq, alg, rows * b, t):
+                    out.append(Candidate("summa", s, t, block=b,
+                                         bcast=alg, segments=seg))
         if p == 1:
             continue
         groups = [G for G in valid_group_counts(s, t) if 1 < G < p]
         for G in groups:
             gg = choose_group_grid(s, t, G)
+            inner_t = t // gg[1]
             for B in blocks:
                 # b = B is the paper's main regime; one finer inner
                 # block probes the b < B latency/pipeline trade.
@@ -161,6 +189,16 @@ def enumerate_candidates(rq: ResolvedQuery) -> list[Candidate]:
                             groups=G, group_grid=gg,
                             bcast=alg, outer_bcast=alg,
                         ))
+                    for alg in pipelined:
+                        # The pipeline depth follows the inner (hot)
+                        # message; the outer level shares the depth.
+                        for seg in _segment_choices(
+                                rq, alg, rows * ib, max(inner_t, 2)):
+                            out.append(Candidate(
+                                "hsumma", s, t, block=B, inner_block=ib,
+                                groups=G, group_grid=gg,
+                                bcast=alg, outer_bcast=alg, segments=seg,
+                            ))
     if not rq.faulty:
         # Under a fault profile only the fault-tolerant 2D family is
         # offered; the 2.5D schedule has no FT broadcast variant.
@@ -195,7 +233,18 @@ def closed_form_cost(rq: ResolvedQuery, cand: Candidate) -> float:
 
 
 def _bcast_term(alg: str, p: int, elements: float,
-                alpha: float, beta_el: float) -> float:
+                alpha: float, beta_el: float,
+                segments: int | None = None) -> float:
+    if alg in PIPELINED_BCASTS:
+        # No linear L/W form: priced directly by the registry (element
+        # counts with a per-element beta are dimensionally equivalent
+        # to its bytes convention).
+        if p <= 1:
+            return 0.0
+        return estimate(CostQuery(
+            op="bcast", algorithm=alg, p=p, nbytes=elements,
+            alpha=alpha, beta=beta_el, segments=segments,
+        )).seconds
     return (bcast_latency_factor(alg, p) * alpha
             + elements * bcast_bandwidth_factor(alg, p) * beta_el)
 
@@ -206,11 +255,14 @@ def _comm_cost(rq: ResolvedQuery, cand: Candidate) -> float:
         return algo25d_communication_cost(n, rq.p, cand.replication,
                                           alpha, beta_el)
     rows, cols = n / cand.s, n / cand.t
+    seg = cand.segments
     if cand.algorithm == "summa":
         steps = n / cand.block
         return steps * (
-            _bcast_term(cand.bcast, cand.t, rows * cand.block, alpha, beta_el)
-            + _bcast_term(cand.bcast, cand.s, cand.block * cols, alpha, beta_el)
+            _bcast_term(cand.bcast, cand.t, rows * cand.block, alpha,
+                        beta_el, seg)
+            + _bcast_term(cand.bcast, cand.s, cand.block * cols, alpha,
+                          beta_el, seg)
         )
     # HSUMMA: outer broadcasts across the I x J group grid, inner
     # broadcasts within each (s/I) x (t/J) group (paper eqs. 3-5,
@@ -219,11 +271,11 @@ def _comm_cost(rq: ResolvedQuery, cand: Candidate) -> float:
     inner_s, inner_t = cand.s // I, cand.t // J
     B, b = cand.block, cand.inner_block
     outer = (n / B) * (
-        _bcast_term(cand.outer_bcast, J, rows * B, alpha, beta_el)
-        + _bcast_term(cand.outer_bcast, I, B * cols, alpha, beta_el)
+        _bcast_term(cand.outer_bcast, J, rows * B, alpha, beta_el, seg)
+        + _bcast_term(cand.outer_bcast, I, B * cols, alpha, beta_el, seg)
     )
     inner = (n / b) * (
-        _bcast_term(cand.bcast, inner_t, rows * b, alpha, beta_el)
-        + _bcast_term(cand.bcast, inner_s, b * cols, alpha, beta_el)
+        _bcast_term(cand.bcast, inner_t, rows * b, alpha, beta_el, seg)
+        + _bcast_term(cand.bcast, inner_s, b * cols, alpha, beta_el, seg)
     )
     return outer + inner

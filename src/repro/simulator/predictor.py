@@ -136,6 +136,27 @@ def _require_predictable(
         )
 
 
+def _refuse_pipelined(name: str, algorithm: str | None) -> None:
+    """Refuse the segmented broadcast family (except the grandfathered
+    plain ``pipelined`` chain, whose bulk closed form predates this
+    policy).
+
+    In a DES run the family's pre-posted stage receives overlap the
+    neighbouring gemm and the next step's broadcast; the predictor's
+    serial phase chain would price every stage bulk-synchronously and
+    silently overstate the run it claims to predict.
+    """
+    if algorithm in ("segmented", "fourcolor", "hypersystolic"):
+        _refuse(
+            name, f"pipelined broadcast {algorithm}",
+            "the phase chain prices collectives bulk-synchronously and "
+            "has no model for the stage overlap the segmented schedule "
+            "exists for",
+            "backend='macro' (oracle pricing, same closed forms) or "
+            "backend='des'",
+        )
+
+
 def _resolve_coster(network: Network, coster: Any) -> Any:
     from repro.simulator.backends import _default_coster
 
@@ -233,6 +254,7 @@ def predict_summa(
 
     coster = _resolve_coster(network, coster)
     alg = _bcast_alg(cfg.bcast, options)
+    _refuse_pipelined("a SUMMA run", alg)
     seg = _segments(options)
     chain = _Chain(coster)
     mloc, nloc = cfg.m // cfg.s, cfg.n // cfg.t
@@ -270,6 +292,8 @@ def predict_hsumma(
     coster = _resolve_coster(network, coster)
     outer_alg = _bcast_alg(cfg.outer_bcast, options)
     inner_alg = _bcast_alg(cfg.inner_bcast, options)
+    _refuse_pipelined("an HSUMMA run", outer_alg)
+    _refuse_pipelined("an HSUMMA run", inner_alg)
     seg = _segments(options)
     chain = _Chain(coster)
     mloc, nloc = cfg.m // cfg.s, cfg.n // cfg.t
@@ -317,6 +341,7 @@ def predict_cyclic(
 
     coster = _resolve_coster(network, coster)
     alg = _bcast_alg(None, options)
+    _refuse_pipelined("a block-cyclic run", alg)
     seg = _segments(options)
     chain = _Chain(coster)
     mloc, nloc = cfg.m // cfg.s, cfg.n // cfg.t

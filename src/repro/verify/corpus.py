@@ -5,8 +5,10 @@ configuration and executes it with the verifier enabled.  The corpus is
 what ``hsumma verify`` and the CI verify job run: it asserts that the
 whole algorithm zoo — SUMMA, HSUMMA (two-level and multilevel), the
 overlap schedules, block-cyclic, Cannon, Fox, the 3-D and 2.5D
-algorithms, heterogeneous 1-D SUMMA, and the LU/QR factorizations —
-passes every structural check and the K-schedule determinism harness.
+algorithms, heterogeneous 1-D SUMMA, the LU/QR factorizations, and the
+segmented broadcast family (pipelined tree, 4-color ring,
+hyper-systolic ring) — passes every structural check and the
+K-schedule determinism harness.
 
 The sizes are deliberately tiny (tens of rows, single-digit grids):
 the verifier checks communication *structure*, which does not depend on
@@ -135,6 +137,31 @@ def _ft_bcast_case() -> CorpusCase:
     )
 
 
+def _pipelined_spmd_case(name: str, algorithm: str, nranks: int,
+                         segments: int, description: str) -> CorpusCase:
+    """A bare segmented-family broadcast on an awkward (odd/prime) comm
+    size: the verifier must see clean matching and K-schedule
+    determinism from the pre-posted stage receives and the
+    fire-and-forget forwards."""
+    def run(verify: Any) -> Verdict:
+        from repro.simulator.runtime import run_spmd
+
+        def program(ctx):
+            def gen():
+                ctx.options = ctx.options.replace(bcast_segments=segments)
+                payload = np.arange(30.0) if ctx.world.rank == 1 else None
+                out = yield from ctx.world.bcast(payload, root=1,
+                                                 algorithm=algorithm)
+                total = yield from ctx.world.allreduce(float(out.sum()))
+                return total
+            return gen()
+
+        sim = run_spmd(program, nranks, verify=verify)
+        return sim.verdict
+
+    return CorpusCase(name=name, run=run, description=description)
+
+
 def build_corpus() -> list[CorpusCase]:
     """The full corpus, in the order reports print it."""
     return [
@@ -161,6 +188,20 @@ def build_corpus() -> list[CorpusCase]:
         _lu_case(),
         _qr_case(),
         _ft_bcast_case(),
+        _multiply_case(
+            "summa-segmented",
+            "SUMMA over the pipelined binary-tree broadcast, depth 3",
+            nprocs=4, algorithm="summa", bcast="segmented",
+            bcast_segments=3,
+        ),
+        _pipelined_spmd_case(
+            "spmd-fourcolor", "fourcolor", 5, 2,
+            "4-color bidirectional ring multicast on 5 ranks, root 1",
+        ),
+        _pipelined_spmd_case(
+            "spmd-hypersystolic", "hypersystolic", 7, 3,
+            "hyper-systolic ring broadcast on 7 ranks, root 1",
+        ),
     ]
 
 

@@ -145,5 +145,6 @@ class TestRegistry:
     def test_all_registered(self):
         assert set(ALGOS) == {
             "binary", "binomial", "chain", "flat", "ft_binomial",
-            "pipelined", "vandegeijn",
+            "fourcolor", "hypersystolic", "pipelined", "segmented",
+            "vandegeijn",
         }

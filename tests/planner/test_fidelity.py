@@ -3,7 +3,10 @@ simulator backends' own numbers, not a reimplementation.
 
 * ``refine="predictor"`` plans carry the predictor's prediction
   *bit-identically* (rebuilding the config from the plan's params and
-  calling the predictor reproduces predicted/comm/compute exactly).
+  calling the predictor reproduces predicted/comm/compute exactly) —
+  except for segmented-family winners, which the predictor refuses by
+  design and the service prices at macro fidelity instead; those must
+  replay bit-identically through the macro step model.
 * ``refine="macro"`` plans match the predictor's totals within the
   documented fidelity contract (totals bit-identical, communication
   within 1e-9 relative; see ``repro.simulator.predictor``).
@@ -14,35 +17,62 @@ import pytest
 
 from repro.core.hsumma import HSummaConfig
 from repro.core.summa import SummaConfig
+from repro.costs import PIPELINED_BCASTS
 from repro.network.homogeneous import HomogeneousNetwork
 from repro.network.model import HockneyParams
 from repro.planner import PlanQuery, PlanService
 from repro.simulator.predictor import predict_hsumma, predict_summa
 
 
-def _replay_with_predictor(result, rq):
-    """Rebuild the chosen config from the plan and ask the predictor."""
+def _rebuild_config(result, rq):
     n = rq.n
     params = result.params
     s, t = params["grid"]
     if result.algorithm == "summa":
-        cfg = SummaConfig(m=n, l=n, n=n, s=s, t=t,
-                          block=params["block"], bcast=params["bcast"])
-        predict = predict_summa
-    else:
-        I, J = params["group_grid"]
-        cfg = HSummaConfig(
-            m=n, l=n, n=n, s=s, t=t, I=I, J=J,
-            outer_block=params["block"],
-            inner_block=params["inner_block"],
-            outer_bcast=params["outer_bcast"],
-            inner_bcast=params["bcast"],
-        )
-        predict = predict_hsumma
+        return SummaConfig(m=n, l=n, n=n, s=s, t=t,
+                           block=params["block"], bcast=params["bcast"])
+    I, J = params["group_grid"]
+    return HSummaConfig(
+        m=n, l=n, n=n, s=s, t=t, I=I, J=J,
+        outer_block=params["block"],
+        inner_block=params["inner_block"],
+        outer_bcast=params["outer_bcast"],
+        inner_bcast=params["bcast"],
+    )
+
+
+def _replay_with_predictor(result, rq):
+    """Rebuild the chosen config from the plan and ask the predictor."""
+    cfg = _rebuild_config(result, rq)
+    predict = predict_summa if result.algorithm == "summa" else predict_hsumma
     network = HomogeneousNetwork(rq.p, HockneyParams(rq.alpha, rq.beta))
     res = predict(cfg, network=network, gamma=rq.gamma,
                   a_itemsize=rq.itemsize, b_itemsize=rq.itemsize)
     return res.stats[0]
+
+
+def _replay_with_macro(result, rq):
+    """Rebuild the chosen config and step the macro engine (the only
+    backend that prices segmented-family plans)."""
+    from repro.experiments.stepmodel import (
+        AnalyticCoster,
+        hsumma_step_model,
+        summa_step_model,
+    )
+
+    cfg = _rebuild_config(result, rq)
+    hock = HockneyParams(rq.alpha, rq.beta)
+    seg = result.params.get("segments")
+    if result.algorithm == "summa":
+        return summa_step_model(
+            cfg, AnalyticCoster(hock, result.params["bcast"], segments=seg),
+            rq.gamma)
+    return hsumma_step_model(
+        cfg, AnalyticCoster(hock, result.params["bcast"], segments=seg),
+        rq.gamma,
+        outer_coster=AnalyticCoster(hock, result.params["outer_bcast"],
+                                    segments=seg),
+    )
 
 
 QUERIES = [
@@ -55,9 +85,30 @@ QUERIES = [
 
 class TestPredictorFidelity:
     @pytest.mark.parametrize("query", QUERIES)
-    def test_plan_times_are_the_predictors_bit_for_bit(self, query):
+    def test_plan_times_are_the_backends_bit_for_bit(self, query):
         rq = query.resolve()
         result = PlanService().plan(rq)
+        if result.backend == "macro":
+            # A segmented-family winner: the predictor refuses these,
+            # so the reported numbers must be the macro engine's own.
+            assert result.params["bcast"] in PIPELINED_BCASTS
+            rep = _replay_with_macro(result, rq)
+            assert result.predicted_time == rep.total_time
+            assert result.comm_time == rep.comm_time
+            assert result.compute_time == rep.compute_time
+        else:
+            assert result.backend == "predictor"
+            st = _replay_with_predictor(result, rq)
+            assert result.predicted_time == st.clock
+            assert result.comm_time == st.comm_time
+            assert result.compute_time == st.compute_time
+
+    def test_faulty_plan_times_are_the_predictors_bit_for_bit(self):
+        """Fault-tolerant plans never pick the segmented family, so the
+        classic predictor bit-identity contract stays pinned here."""
+        rq = PlanQuery(n=2048, p=64, faults="kill(rank=1,t=0.5)").resolve()
+        result = PlanService().plan(rq)
+        assert result.backend == "predictor"
         st = _replay_with_predictor(result, rq)
         assert result.predicted_time == st.clock
         assert result.comm_time == st.comm_time
@@ -66,21 +117,29 @@ class TestPredictorFidelity:
 
 class TestMacroFidelity:
     @pytest.mark.parametrize("query", QUERIES[:2])
-    def test_macro_plan_matches_predictor_contract(self, query):
-        """Re-pricing the macro plan's config with the predictor must
-        agree per the predictor's documented contract: totals and
-        compute bit-identical, communication within 1e-9 relative."""
+    def test_macro_plan_matches_replay_contract(self, query):
+        """Re-pricing the macro plan's config must agree per the
+        documented fidelity contract.  For predictor-refinable winners
+        that means the predictor's totals (bit-identical, communication
+        within 1e-9 relative); segmented-family winners replay through
+        the macro engine bit-identically."""
         rq = query.resolve()
         result = PlanService(refine="macro").plan(rq)
         assert result.backend == "macro"
-        st = _replay_with_predictor(result, rq)
-        assert result.predicted_time == st.clock
-        assert result.compute_time == st.compute_time
-        assert result.comm_time == pytest.approx(st.comm_time, rel=1e-9)
+        if result.params.get("bcast") in PIPELINED_BCASTS:
+            rep = _replay_with_macro(result, rq)
+            assert result.predicted_time == rep.total_time
+            assert result.comm_time == rep.comm_time
+        else:
+            st = _replay_with_predictor(result, rq)
+            assert result.predicted_time == st.clock
+            assert result.compute_time == st.compute_time
+            assert result.comm_time == pytest.approx(st.comm_time, rel=1e-9)
 
     def test_macro_and_predictor_choose_comparable_plans(self):
         """Backends of identical fidelity must produce plans with
-        identical predicted times (they price the same candidates)."""
+        identical predicted times (they price the same candidates, and
+        segmented-family candidates route to macro under both)."""
         q = PlanQuery(n=2048, p=64)
         a = PlanService(refine="predictor").plan(q)
         b = PlanService(refine="macro").plan(q)

@@ -77,6 +77,72 @@ class TestRunnerRefusals:
         assert "macro" in msg
 
 
+class TestPipelinedBcastRefusals:
+    """The phase chain prices collectives bulk-synchronously, so every
+    segmented-family algorithm is refused by name — one test per new
+    algorithm — rather than silently mis-priced at its s=1 shape."""
+
+    @pytest.mark.parametrize("algorithm",
+                             ["segmented", "fourcolor", "hypersystolic"])
+    def test_summa_refuses_each_new_algorithm(self, algorithm):
+        A, B = _phantoms()
+        with pytest.raises(ConfigurationError) as exc:
+            run_summa(A, B, grid=(2, 2), block=16, backend="predictor",
+                      bcast=algorithm)
+        msg = _refusal(exc, f"pipelined broadcast {algorithm}",
+                       "backend='macro'")
+        assert "stage overlap" in msg
+
+    @pytest.mark.parametrize("algorithm",
+                             ["segmented", "fourcolor", "hypersystolic"])
+    def test_hsumma_refuses_each_new_algorithm(self, algorithm):
+        from repro.core.hsumma import run_hsumma
+
+        A, B = _phantoms()
+        with pytest.raises(ConfigurationError) as exc:
+            run_hsumma(A, B, grid=(4, 4), groups=4, outer_block=16,
+                       backend="predictor", inner_bcast=algorithm)
+        _refusal(exc, f"pipelined broadcast {algorithm}",
+                 "backend='macro'")
+
+    def test_cyclic_refuses_pipelined_family(self):
+        from repro.mpi.comm import CollectiveOptions
+
+        A, B = _phantoms()
+        with pytest.raises(ConfigurationError) as exc:
+            run_cyclic(A, B, grid=(2, 2), nb=16, backend="predictor",
+                       options=CollectiveOptions(bcast="hypersystolic"))
+        _refusal(exc, "pipelined broadcast hypersystolic",
+                 "backend='macro'")
+
+    def test_legacy_pipelined_chain_is_grandfathered(self):
+        """The plain pipelined chain predates the refusal policy and
+        keeps its bulk-synchronous closed-form price."""
+        A, B = _phantoms()
+        _, sim = run_summa(A, B, grid=(2, 2), block=16,
+                           backend="predictor", bcast="pipelined")
+        assert sim.total_time > 0
+
+    def test_overlap_runner_refuses_predictor(self):
+        from repro.core.overlap import run_summa_overlap
+
+        A, B = _phantoms()
+        with pytest.raises(ConfigurationError) as exc:
+            run_summa_overlap(A, B, grid=(2, 2), block=16,
+                              backend="predictor")
+        msg = _refusal(exc, "overlap", "backend='des'")
+        assert "macro" in msg
+
+    def test_hsumma_overlap_runner_refuses_predictor(self):
+        from repro.core.overlap import run_hsumma_overlap
+
+        A, B = _phantoms()
+        with pytest.raises(ConfigurationError) as exc:
+            run_hsumma_overlap(A, B, grid=(4, 4), groups=4,
+                               outer_block=16, backend="predictor")
+        _refusal(exc, "overlap", "backend='des'")
+
+
 class TestCosterRefusal:
     def test_participant_dependent_coster(self):
         """A topology-positional network has no participant-count form;
