@@ -44,10 +44,12 @@ BASELINE_PATH = REPO_ROOT / "BENCH_engine.json"
 #: vary — while still catching a hot path accidentally reverted.
 GATE_SLOWDOWN = 1.5
 #: One gate per engine tier: full DES, the symmetry-collapsed macro
-#: path, the zero-stepping closed-form predictor, and the plan
-#: service's hot cache path.
+#: path (SUMMA-cyclic plus the torus-shift cannon family landed with
+#: the PR-9 symmetries), the zero-stepping closed-form predictor, and
+#: the plan service's hot cache path.
 GATE_WORKLOADS = ("des_summa_p64", "macro_cyclic_p1024",
-                  "predictor_fig10_sweep", "planner_plans_per_sec")
+                  "macro_cannon_p1024", "predictor_fig10_sweep",
+                  "planner_plans_per_sec")
 
 #: The plan-cache contract: a repeated query must be served at least
 #: this much faster than the cold enumerate/rank/refine path.
@@ -99,6 +101,44 @@ def _macro_cyclic(n, grid, nb):
                gamma=1e-10, backend="macro")
 
 
+def _macro_cannon(n, q):
+    from repro.algorithms.cannon import run_cannon
+    from repro.network.model import HockneyParams
+    from repro.payloads import PhantomArray
+
+    A, B = PhantomArray((n, n)), PhantomArray((n, n))
+    run_cannon(A, B, grid=(q, q),
+               params=HockneyParams(alpha=1e-4, beta=1e-9),
+               gamma=1e-10, backend="macro")
+
+
+def _macro_dns3d(n, q):
+    from repro.algorithms.dns3d import run_dns3d
+    from repro.network.model import HockneyParams
+    from repro.payloads import PhantomArray
+
+    A, B = PhantomArray((n, n)), PhantomArray((n, n))
+    run_dns3d(A, B, nprocs=q**3,
+              params=HockneyParams(alpha=1e-4, beta=1e-9),
+              gamma=1e-10, backend="macro")
+
+
+def _predictor_25d_sweep(p, n):
+    """Price the 2.5D replication family at exascale through its
+    predictor chain — every ``c`` with ``p = q^2 c`` and ``c | q``
+    (zero simulation stepping)."""
+    from repro.algorithms.algo25d import run_25d
+    from repro.network.model import HockneyParams
+    from repro.payloads import PhantomArray
+    from repro.planner.space import candidate_replications
+
+    A, B = PhantomArray((n, n)), PhantomArray((n, n))
+    for c in candidate_replications(p):
+        run_25d(A, B, nprocs=p, replication=c,
+                params=HockneyParams(alpha=1e-6, beta=1e-11),
+                gamma=1e-12, backend="predictor")
+
+
 def _des_faulty_summa(n, grid, block, p):
     from repro.core.summa import run_summa
     from repro.faults import parse_fault_spec
@@ -124,12 +164,14 @@ def _predictor_sweep(p, n, block):
                 groups=[2 ** k for k in range(1, 11)])
 
 
-def _planner_cold():
+def _planner_cold(n, p):
     """Cold plans: fresh service per plan, so every call pays the full
-    enumerate -> closed-form rank -> predictor-refine pipeline."""
+    enumerate -> closed-form rank -> refine pipeline (at flagship size
+    the leaders include segmented-family candidates, which refine
+    through the macro engine — by far the dominant cost)."""
     from repro.planner import PlanQuery, PlanService
 
-    q = PlanQuery(n=16384, p=16384, platform="bluegene-p")
+    q = PlanQuery(n=n, p=p, platform="bluegene-p")
     for _ in range(PLANNER_COLD_ITERS):
         PlanService().plan(q)
 
@@ -137,14 +179,14 @@ def _planner_cold():
 _PLANNER_HOT_STATE: dict = {}
 
 
-def _planner_hot():
+def _planner_hot(n, p):
     """Hot plans: one warmed service answering the same (pre-resolved)
     query from its in-process memo — the repeated-query fast path."""
     from repro.planner import PlanQuery, PlanService
 
     if "svc" not in _PLANNER_HOT_STATE:
         svc = PlanService()
-        rq = PlanQuery(n=16384, p=16384, platform="bluegene-p").resolve()
+        rq = PlanQuery(n=n, p=p, platform="bluegene-p").resolve()
         svc.plan(rq)  # warm the memo (cold, outside best-of-reps)
         _PLANNER_HOT_STATE.update(svc=svc, rq=rq)
     svc = _PLANNER_HOT_STATE["svc"]
@@ -157,26 +199,37 @@ FULL = {
     "des_summa_p128": (lambda: _des_summa(2048, (8, 16), 64, 128), 3),
     "des_hsumma_p128": (lambda: _des_hsumma(2048, (8, 16), 8, 64, 128), 3),
     "macro_cyclic_p16384": (lambda: _macro_cyclic(32768, (128, 128), 256), 1),
+    "macro_cannon_p16384": (lambda: _macro_cannon(32768, 128), 1),
+    "macro_dns3d_p16384": (lambda: _macro_dns3d(26624, 26), 2),
     "des_faulty_summa_p64": (lambda: _des_faulty_summa(1024, (8, 8), 64, 64), 3),
     "predictor_fig10_sweep": (
         lambda: _predictor_sweep(1 << 20, 1 << 22, 256), 3),
-    "planner_cold": (_planner_cold, 3),
-    "planner_plans_per_sec": (_planner_hot, 3),
+    "predictor_25d_sweep": (
+        lambda: _predictor_25d_sweep(1 << 20, 1 << 22), 3),
+    "planner_cold": (lambda: _planner_cold(16384, 16384), 1),
+    "planner_plans_per_sec": (lambda: _planner_hot(16384, 16384), 3),
 }
 
 QUICK = {
     "des_summa_p64": (lambda: _des_summa(1024, (8, 8), 64, 64), 3),
     "des_hsumma_p64": (lambda: _des_hsumma(1024, (8, 8), 4, 64, 64), 3),
     "macro_cyclic_p1024": (lambda: _macro_cyclic(8192, (32, 32), 256), 2),
+    "macro_cannon_p1024": (lambda: _macro_cannon(8192, 32), 2),
+    "macro_dns3d_p512": (lambda: _macro_dns3d(2048, 8), 3),
     "des_faulty_summa_p16": (lambda: _des_faulty_summa(512, (4, 4), 64, 16), 3),
     # Same fig10-scale sweep as full mode: p = 2^20 costs the
     # predictor well under a second, so the smoke run keeps it whole.
     "predictor_fig10_sweep": (
         lambda: _predictor_sweep(1 << 20, 1 << 22, 256), 3),
-    # The planner is already sub-second at the flagship size, so the
-    # smoke run keeps the full workloads (and the 100x cache gate).
-    "planner_cold": (_planner_cold, 3),
-    "planner_plans_per_sec": (_planner_hot, 3),
+    # The 2.5D chain sweep is zero-stepping, so quick mode runs it at
+    # the full p = 2^20 scale too.
+    "predictor_25d_sweep": (
+        lambda: _predictor_25d_sweep(1 << 20, 1 << 22), 3),
+    # Flagship-size cold plans pay multi-second macro refinement of the
+    # segmented-family leaders, so the smoke run scales the planner
+    # workloads down (the 100x cache gate applies at both sizes).
+    "planner_cold": (lambda: _planner_cold(4096, 1024), 3),
+    "planner_plans_per_sec": (lambda: _planner_hot(4096, 1024), 3),
 }
 
 

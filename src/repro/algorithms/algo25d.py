@@ -150,9 +150,29 @@ def run_25d(
             programs.append(algo25d_program(ctx, a_t, b_t, q, c))
         return programs
 
+    if backend == "predictor":
+        from repro.simulator.predictor import (
+            Summa25dConfig,
+            _require_predictable,
+            predict_summa25d,
+        )
+
+        _require_predictable(
+            "the 2.5D algorithm", phantom=da.phantom or db.phantom,
+            faults=faults, verify=verify, contention=contention,
+        )
+        sim = predict_summa25d(
+            Summa25dConfig(m=m, l=l, n=n, q=q, c=c),
+            network=network, options=options, gamma=gamma,
+        )
+        return PhantomArray((m, n)), sim
+
+    from repro.simulator.collapse import summa25d_symmetry
+
     sim = run_verified(
         make_programs, verify=verify, backend=backend, network=network,
         contention=contention, faults=faults,
+        symmetry=summa25d_symmetry(q, c),
         meta={"program": "25d", "grid": f"{q}x{q}", "replication": c},
     )
 

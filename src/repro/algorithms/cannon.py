@@ -134,9 +134,28 @@ def run_cannon(
             )
         return programs
 
+    if backend == "predictor":
+        from repro.simulator.predictor import (
+            CannonConfig,
+            _require_predictable,
+            predict_cannon,
+        )
+
+        _require_predictable(
+            "Cannon's algorithm", phantom=da.phantom or db.phantom,
+            faults=faults, verify=verify, contention=contention,
+        )
+        sim = predict_cannon(
+            CannonConfig(m=m, l=l, n=n, q=q),
+            network=network, options=options, gamma=gamma,
+        )
+        return PhantomArray((m, n)), sim
+
+    from repro.simulator.collapse import cannon_symmetry
+
     sim = run_verified(
         make_programs, verify=verify, backend=backend, network=network,
-        contention=contention, faults=faults,
+        contention=contention, faults=faults, symmetry=cannon_symmetry(q),
         meta={"program": "cannon", "grid": f"{q}x{q}"},
     )
 

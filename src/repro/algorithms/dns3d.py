@@ -160,9 +160,28 @@ def run_dns3d(
             programs.append(dns3d_program(ctx, a_t, b_t, q))
         return programs
 
+    if backend == "predictor":
+        from repro.simulator.predictor import (
+            Dns3dConfig,
+            _require_predictable,
+            predict_dns3d,
+        )
+
+        _require_predictable(
+            "the 3-D (DNS) algorithm", phantom=da.phantom or db.phantom,
+            faults=faults, verify=verify, contention=contention,
+        )
+        sim = predict_dns3d(
+            Dns3dConfig(m=m, l=l, n=n, q=q),
+            network=network, options=options, gamma=gamma,
+        )
+        return PhantomArray((m, n)), sim
+
+    from repro.simulator.collapse import dns3d_symmetry
+
     sim = run_verified(
         make_programs, verify=verify, backend=backend, network=network,
-        contention=contention, faults=faults,
+        contention=contention, faults=faults, symmetry=dns3d_symmetry(q),
         meta={"program": "dns3d", "cube": f"{q}x{q}x{q}"},
     )
 

@@ -102,9 +102,28 @@ def run_fox(
             programs.append(fox_program(ctx, da.tile(i, j), db.tile(i, j), q))
         return programs
 
+    if backend == "predictor":
+        from repro.simulator.predictor import (
+            FoxConfig,
+            _require_predictable,
+            predict_fox,
+        )
+
+        _require_predictable(
+            "Fox's algorithm", phantom=da.phantom or db.phantom,
+            faults=faults, verify=verify, contention=contention,
+        )
+        sim = predict_fox(
+            FoxConfig(m=m, l=l, n=n, q=q),
+            network=network, options=options, gamma=gamma,
+        )
+        return PhantomArray((m, n)), sim
+
+    from repro.simulator.collapse import fox_symmetry
+
     sim = run_verified(
         make_programs, verify=verify, backend=backend, network=network,
-        contention=contention, faults=faults,
+        contention=contention, faults=faults, symmetry=fox_symmetry(q),
         meta={"program": "fox", "grid": f"{q}x{q}"},
     )
 

@@ -571,9 +571,23 @@ def run_hsumma_multilevel(
             )
         return programs
 
+    if backend == "predictor":
+        from repro.simulator.predictor import _refuse
+
+        _refuse(
+            "a multi-level HSUMMA run", "level-recursive scheduling",
+            "the h-level hierarchy nests per-level broadcast loops whose "
+            "phase boundaries have no closed form beyond h=2 "
+            "(run_hsumma covers that case)",
+            "backend='macro' (symmetry-collapsed) for deep hierarchies",
+        )
+
+    from repro.simulator.collapse import multilevel_symmetry
+
     sim = run_verified(
         make_programs, verify=verify, backend=backend, network=network,
         contention=contention, collect_trace=trace, faults=faults,
+        symmetry=multilevel_symmetry(s, t, cfg.row_factors, cfg.col_factors),
         meta={"program": "hsumma-multilevel", "grid": f"{s}x{t}",
               "levels": len(cfg.blocks)},
     )

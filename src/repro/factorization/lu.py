@@ -329,6 +329,17 @@ def run_block_lu(
             )
         ]
 
+    if backend == "predictor":
+        from repro.simulator.predictor import _refuse
+
+        _refuse(
+            "a block LU factorisation", "data-dependent panel ownership",
+            "the trailing-update schedule shrinks with the elimination "
+            "front, so each rank's broadcast participation depends on "
+            "the step index and has no per-step closed form",
+            "backend='macro' for scale runs, backend='des' for data",
+        )
+
     sim = run_verified(
         make_programs, verify=verify, backend=backend, network=network,
         contention=contention,

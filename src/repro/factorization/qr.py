@@ -288,6 +288,17 @@ def run_block_qr(
             )
         ]
 
+    if backend == "predictor":
+        from repro.simulator.predictor import _refuse
+
+        _refuse(
+            "a block QR factorisation", "data-dependent reflector flow",
+            "panel factorisation and trailing updates couple through "
+            "reflector broadcasts whose extents shrink with the "
+            "factorisation front, leaving no per-step closed form",
+            "backend='macro' for scale runs, backend='des' for data",
+        )
+
     sim = run_verified(
         make_programs, verify=verify, backend=backend, network=network,
         contention=contention,

@@ -254,11 +254,21 @@ class Plan:
             + (" (cache hit)" if self.from_cache else ""),
         ]
         adv = self.advisory.get("25d")
-        if adv:
+        if adv and "predicted_time" in adv:
+            lines.append(
+                f"  advisory     2.5D replication c={adv['replication']} "
+                f"predicts {adv['predicted_time']:.6g}s = "
+                f"comm {adv['comm_time']:.6g}s + "
+                f"compute {adv['compute_time']:.6g}s [{adv['backend']}]"
+            )
+        elif adv:
+            # The layer grid q = sqrt(p/c) does not tile n: this
+            # variant never entered the refined competition, so only
+            # its ranking closed form is known.
             lines.append(
                 f"  advisory     2.5D replication c={adv['replication']} "
                 f"prices at {adv['closed_form_time']:.6g}s on the closed "
-                "forms (no predictor chain; validate with "
+                "forms (layer grid does not tile n; validate with "
                 "multiply(algorithm='2.5d') under the DES backend)"
             )
         return "\n".join(lines)

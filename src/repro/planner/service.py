@@ -35,7 +35,7 @@ from repro.planner.space import (
 
 #: Bump when the search space, ranking forms, or refinement change in a
 #: way that invalidates stored plans.
-PLAN_CACHE_SALT = "planner-2"  # planner-2: pipelined broadcast family + s axis
+PLAN_CACHE_SALT = "planner-3"  # planner-3: 2.5D refined at predictor fidelity
 _PLAN_FN = "repro.planner.plan"
 
 REFINE_BACKENDS = ("predictor", "macro", "none")
@@ -141,33 +141,60 @@ class PlanService:
                     f"{tightest:.0f} elements); raise memory_bytes or p"
                 )
             cands = fits
-        # Only predictor-refinable families compete for the answer;
-        # 2.5D (DES-executable, but without a closed-form chain) is
-        # reported as an advisory so ranking-fidelity pricing never
-        # outvotes predictor-refined candidates.
-        executable = [c for c in cands if c.algorithm != "2.5d"]
-        analytic = [c for c in cands if c.algorithm == "2.5d"]
-        if not executable:
+        # Every family competes at refinement fidelity: SUMMA/HSUMMA
+        # and 2.5D all have predictor chains now, so the ranking's
+        # top_k leaders are re-priced on equal footing.  The one
+        # eligibility wrinkle: 2.5D's layer grid comes from p alone
+        # (q = sqrt(p/c)), so q may not tile an n the 2-D grids tile
+        # fine — such candidates keep the old closed-form advisory
+        # instead of competing.
+        refinable = [c for c in cands
+                     if c.algorithm != "2.5d" or rq.n % c.s == 0]
+        if not refinable:
             raise ConfigurationError(
                 f"no refinable candidate for n={rq.n}, p={rq.p} "
-                "(every SUMMA/HSUMMA configuration was filtered out)"
+                "(every configuration was filtered out)"
             )
-        ranked = sorted(executable, key=lambda c: closed_form_cost(rq, c))
+        ranked = sorted(refinable, key=lambda c: closed_form_cost(rq, c))
         leaders = ranked[: self.top_k]
+        # The best 2.5D candidate is always refined — even when it does
+        # not lead the ranking — so the plan's 2.5D advisory reports
+        # predictor-fidelity times, not the ranking closed form.
+        analytic = [c for c in refinable if c.algorithm == "2.5d"]
+        adv_cand: Candidate | None = None
+        if analytic:
+            adv_cand = min(analytic, key=lambda c: closed_form_cost(rq, c))
+            if adv_cand not in leaders:
+                leaders = leaders + [adv_cand]
         best: tuple[float, float, float, str, Candidate] | None = None
+        adv_refined: tuple[float, float, float, str] | None = None
         for cand in leaders:
             refined = self._refine(rq, cand)
+            if cand is adv_cand:
+                adv_refined = refined
             if best is None or refined[0] < best[0]:
                 best = (*refined, cand)
         assert best is not None  # leaders is non-empty
         predicted, comm, compute, backend, cand = best
         advisory: dict[str, Any] = {}
-        if analytic:
-            adv = min(analytic, key=lambda c: closed_form_cost(rq, c))
+        if adv_refined is not None and adv_cand is not None:
             advisory["25d"] = {
-                "replication": adv.replication,
-                "closed_form_time": closed_form_cost(rq, adv),
+                "replication": adv_cand.replication,
+                "predicted_time": adv_refined[0],
+                "comm_time": adv_refined[1],
+                "compute_time": adv_refined[2],
+                "backend": adv_refined[3],
+                "closed_form_time": closed_form_cost(rq, adv_cand),
             }
+        else:
+            skipped = [c for c in cands if c.algorithm == "2.5d"
+                       and c not in analytic]
+            if skipped:
+                adv = min(skipped, key=lambda c: closed_form_cost(rq, c))
+                advisory["25d"] = {
+                    "replication": adv.replication,
+                    "closed_form_time": closed_form_cost(rq, adv),
+                }
         lb = lower_bound_time(rq.n, rq.p, rq.alpha, rq.beta_element,
                               rq.gamma, memory_elements=rq.memory_elements)
         gap = predicted / lb.seconds if lb.seconds > 0 else float("inf")
@@ -191,12 +218,26 @@ class PlanService:
 
     def _refine(self, rq: ResolvedQuery, cand: Candidate
                 ) -> tuple[float, float, float, str]:
-        """(total, comm, compute, backend) for one executable candidate."""
+        """(total, comm, compute, backend) for one candidate."""
         if self.refine == "none":
             compute = summa_computation_cost(rq.n, rq.p, rq.gamma)
             total = closed_form_cost(rq, cand)
             return total, total - compute, compute, "closed-form"
         cfg = _build_config(rq, cand)
+        if cand.algorithm == "2.5d":
+            # 2.5D has no step model, so refine="macro" also takes the
+            # predictor chain — it replays the macro engine's floats
+            # bit-identically, so the label stays honest.
+            from repro.network.homogeneous import HomogeneousNetwork
+            from repro.network.model import HockneyParams
+            from repro.simulator.predictor import predict_summa25d
+
+            network = HomogeneousNetwork(rq.p, HockneyParams(rq.alpha, rq.beta))
+            res = predict_summa25d(cfg, network=network, gamma=rq.gamma,
+                                   a_itemsize=rq.itemsize,
+                                   b_itemsize=rq.itemsize)
+            st = res.stats[0]
+            return st.clock, st.comm_time, st.compute_time, "predictor"
         # The predictor refuses the segmented broadcast family (it has
         # no stage-overlap model), so pipelined candidates are refined
         # at macro fidelity regardless of the configured backend.
@@ -247,6 +288,11 @@ def _build_config(rq: ResolvedQuery, cand: Candidate):
 
         return SummaConfig(m=n, l=n, n=n, s=cand.s, t=cand.t,
                            block=cand.block, bcast=cand.bcast)
+    if cand.algorithm == "2.5d":
+        from repro.simulator.predictor import Summa25dConfig
+
+        return Summa25dConfig(m=n, l=n, n=n, q=cand.s,
+                              c=cand.replication)
     from repro.core.hsumma import HSummaConfig
 
     I, J = cand.group_grid

@@ -2,7 +2,8 @@
 
 The planner searches algorithm x parameter space: SUMMA and HSUMMA
 grids/blocks/group counts/broadcast algorithms, plus the 2.5D
-replication family as an analytic yardstick.  Ranking costs are
+replication family (refined at predictor fidelity alongside the 2-D
+candidates whenever its layer grid tiles ``n``).  Ranking costs are
 assembled from the unified cost registry's broadcast factors
 (:mod:`repro.costs`) — the same ``L(p)``/``W(p)`` the simulator's
 closed forms reduce to — generalised to rectangular ``s x t`` grids;
@@ -64,9 +65,10 @@ class Candidate:
     def params(self) -> dict[str, Any]:
         """The plan's parameter dict (only the fields this algorithm
         actually has)."""
-        if self.algorithm == "2.5d":
-            return {"replication": self.replication}
         out: dict[str, Any] = {"grid": [self.s, self.t]}
+        if self.algorithm == "2.5d":
+            out["replication"] = self.replication
+            return out
         if self.algorithm == "summa":
             out.update(block=self.block, bcast=self.bcast)
         elif self.algorithm == "hsumma":
@@ -78,8 +80,6 @@ class Candidate:
                 bcast=self.bcast,
                 outer_bcast=self.outer_bcast,
             )
-        elif self.algorithm == "2.5d":
-            out.update(replication=self.replication)
         if self.segments is not None:
             out["segments"] = self.segments
         return out

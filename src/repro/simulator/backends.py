@@ -193,6 +193,8 @@ class MacroBackend(Engine, Backend):
             return "contention modelling enabled"
         if self.collect_trace:
             return "transfer tracing enabled"
+        if self.eager_threshold:
+            return "eager protocol changes p2p completion semantics"
         if self.symmetry.covers_grid:
             return "probe set covers the whole grid"
         return None

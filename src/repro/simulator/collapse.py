@@ -14,26 +14,37 @@ This module collapses that redundancy without giving up exactness:
 * A runner *declares* its symmetry as a :class:`GridSymmetry` — which
   rows/columns of the grid form a covering **probe set**, and how a
   communicator's context id maps to an **equivalence class** of comms
-  with bit-identical (start, finish) behaviour.
+  with bit-identical (start, finish) behaviour.  Non-2D layouts (the
+  DNS 3-D mesh, the 2.5D layer stack) declare the same interface
+  through :class:`DnsSymmetry` / :class:`Layered25dSymmetry`.
 * :class:`CollapsedMacroEngine` steps only the probed ranks' generators
   through the inherited macro machinery (structure-of-arrays state for
   everyone else).  A collective whose participants are all probed fires
   normally and records a *memo* for its class; a collective with only
   some participants probed is satisfied from the memo — after checking
   the arrival clock, signature and payload size match it exactly.
-* Any observation the congruence argument cannot cover — point-to-point
-  traffic, spans, unknown communicators, a clock past the memoed start,
-  concrete (non-phantom) payloads, leftover parked ranks — raises
-  :class:`SymmetryBroken`, and
+  Classes in ``rotated`` match memos up to a root rotation (Fox's
+  rotating pivot, the DNS axis broadcasts).
+* Point-to-point traffic on tags listed in ``p2p_tags`` collapses by
+  the same congruence: every probed rank's n-th send/recv on a tag to
+  a partner *class* must post at the same clock with the same size as
+  every other member of its own class (verified en route), so the wire
+  times — computed with the exact float operations of the fused DES
+  path — depend only on (my class, partner class, occurrence).
+* Any observation the congruence argument cannot cover — undeclared
+  tags, timed receives, nonblocking handles, spans, unknown
+  communicators, a clock past the memoed start, concrete (non-phantom)
+  payloads, leftover parked ranks — raises :class:`SymmetryBroken`, and
   :meth:`~repro.simulator.backends.MacroBackend.run_with_factory` falls
   back to the per-rank path with fresh generators.
 * At the end, the unprobed ranks' stats and return values are
-  replicated from their probed *twin* ``(i mod probe_rows,
-  j mod probe_cols)`` via numpy gathers.  By the congruence argument
-  (docs/cost_model.md, "Rank equivalence classes") the twin's floats
-  are bit-identical to what the per-rank run would have produced, so
-  the assembled :class:`~repro.simulator.tracing.SimResult` — including
-  the max-over-ranks times — is exact, not approximate.
+  replicated from their probed *twin* (the symmetry's ``twin_indices``
+  map; ``(i mod probe_rows, j mod probe_cols)`` for plain grids) via
+  numpy gathers.  By the congruence argument (docs/cost_model.md,
+  "Rank equivalence classes") the twin's floats are bit-identical to
+  what the per-rank run would have produced, so the assembled
+  :class:`~repro.simulator.tracing.SimResult` — including the
+  max-over-ranks times — is exact, not approximate.
 
 The collapse is *attempted*, never assumed: every run either proves its
 own symmetry en route or falls back, and the property suite pins
@@ -43,16 +54,21 @@ bit-identity against the per-rank implementation.
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Callable, Iterable, Mapping
+from typing import Any, Callable, Iterable, Mapping, Sequence
 
 import numpy as np
 
 from repro.errors import SimulationError
 from repro.network.model import Network
 from repro.simulator.backends import MacroBackend, _op_nbytes, _op_results
-from repro.simulator.engine import RankProgram, _RankState
+from repro.simulator.engine import RankProgram, _PARKED, _RankState
 from repro.simulator.events import EventQueue
-from repro.simulator.requests import CollectiveRequest
+from repro.simulator.requests import (
+    CollectiveRequest,
+    RecvRequest,
+    SendRecvRequest,
+    SendRequest,
+)
 from repro.simulator.spans import SpanRecorder
 from repro.simulator.tracing import RankStats, SimResult
 
@@ -66,7 +82,7 @@ class SymmetryBroken(Exception):
     """
 
 
-def _const(color: int) -> int:
+def _const(color: Any) -> int:
     """Class-key callable: all communicators of this child sequence
     behave identically (one class)."""
     return 0
@@ -85,10 +101,9 @@ class GridSymmetry:
         columns ``0..probe_cols-1``.  It must be chosen so that every
         equivalence class of communicators contains at least one comm
         whose participants are *all* probed (the class primary), and so
-        that ``(i % probe_rows, j % probe_cols)`` is a behavioural twin
-        of ``(i, j)``.  Flat SUMMA/cyclic: 1x1 (a cross).  HSUMMA with
-        an ``I x J`` group grid: ``(s/I) x (t/J)`` (one full group row
-        and column of groups).
+        that :meth:`twin_indices` maps every rank onto a behavioural
+        twin inside the probe set.  Flat SUMMA/cyclic: 1x1 (a cross).
+        HSUMMA with an ``I x J`` group grid: ``(s/I) x (t/J)``.
     class_keys:
         Maps a communicator's world child sequence number (``cid[0]``
         for depth-1 communicators) to a callable turning its split
@@ -97,13 +112,28 @@ class GridSymmetry:
         per-comm collective sequence numbering, same (start, finish),
         same signature, same per-member payload sizes.  An announcement
         on any other communicator breaks the symmetry.
+    rotated:
+        Child sequence numbers whose comms match their class memo up to
+        a rotation of the root (Fox's ``(i + k) % q`` pivot, the DNS
+        axis broadcasts rooted at the layer index): signature and
+        per-member sizes are compared after rotating the root to
+        position 0, and a joining member reads the memo at its
+        root-relative position.  Sound only for participant-invariant
+        costers (a collapse precondition), which are root-invariant.
+    p2p_tags:
+        Base tags whose point-to-point traffic collapses by class
+        congruence (see :class:`CollapsedMacroEngine`).  Any traffic on
+        other tags, or any nonblocking/timed primitive, breaks the
+        symmetry.
     """
 
     s: int
     t: int
     probe_rows: int
     probe_cols: int
-    class_keys: Mapping[int, Callable[[int], Any]]
+    class_keys: Mapping[int, Callable[[Any], Any]]
+    rotated: frozenset = frozenset()
+    p2p_tags: frozenset = frozenset()
 
     def __post_init__(self) -> None:
         if self.s <= 0 or self.t <= 0:
@@ -146,6 +176,201 @@ class GridSymmetry:
                 f"(child seq {child_seq})")
         return (child_seq, fn(color))
 
+    def rank_class(self, rank: int) -> tuple:
+        """Point-to-point congruence class of a world rank: all ranks
+        of one class post their sends/receives in lockstep."""
+        i, j = divmod(rank, self.t)
+        return (i % self.probe_rows, j % self.probe_cols)
+
+    def twin_indices(self, ranks: np.ndarray) -> np.ndarray:
+        """Probed behavioural twin per world rank (vectorised)."""
+        gi, gj = ranks // self.t, ranks % self.t
+        return (gi % self.probe_rows) * self.t + (gj % self.probe_cols)
+
+
+class TorusShiftSymmetry(GridSymmetry):
+    """Grid symmetry for torus-shift algorithms (Cannon).
+
+    Shift patterns distinguish the *boundary* rows/columns (where the
+    skew guards ``i > 0`` / ``j > 0`` differ and wraparound partners
+    sit) from the interior, which is one big class — so ranks collapse
+    by *clamping* to the probe border rather than wrapping modulo it:
+    rank ``(i, j)`` twins with ``(min(i, pr-1), min(j, pc-1))``.
+    """
+
+    def rank_class(self, rank: int) -> tuple:
+        i, j = divmod(rank, self.t)
+        return (min(i, self.probe_rows - 1), min(j, self.probe_cols - 1))
+
+    def twin_indices(self, ranks: np.ndarray) -> np.ndarray:
+        gi, gj = ranks // self.t, ranks % self.t
+        return (np.minimum(gi, self.probe_rows - 1) * self.t
+                + np.minimum(gj, self.probe_cols - 1))
+
+
+class DnsSymmetry:
+    """Rank-equivalence declaration for the DNS 3-D algorithm on a
+    ``q x q x q`` mesh (rank ``r = (i*q + j)*q + k``).
+
+    A rank's behaviour is a function of five structural flags —
+    ``(k==0, j==0, j==k, i==0, i==k)`` — which decide the A/B routing
+    roles (tags 10/11), broadcast rootness on the j/i axes, and the
+    final reduction to the ``k==0`` face.  The probe is the minimal
+    covering set — the ``{0,1,2}^3`` cube plus five full axis lines —
+    O(q) of the O(q^3) mesh:
+
+    * the cube realises every flag combination (all twins land in it)
+      and both sides of every p2p (sender class, receiver class,
+      occurrence) record the tag-10/11 routes can produce;
+    * full j-lines ``(i=0, k=0)`` and ``(i=0, k=1)`` give both j-axis
+      communicator classes (``k==0`` face vs ``k>=1``) a fully-probed
+      primary, full i-lines ``(j=0, k=0)`` / ``(j=0, k=1)`` do the
+      same for the i-axis, and the k-line ``(i=0, j=0)`` anchors the
+      single (lockstep) reduction class.
+
+    Every other probed rank sits in a partially-probed communicator
+    and joins its class memo (root differences on the rotated j/i
+    axes are handled by the memo's index rotation).
+
+    Breakage conditions (→ per-rank fallback): non-cubic rank counts
+    never reach here (the runner raises first); concrete payloads,
+    faults, or traffic outside tags 10/11 break en route.
+    """
+
+    rotated = frozenset({0, 1})
+    p2p_tags = frozenset({10, 11})
+
+    def __init__(self, q: int) -> None:
+        if q <= 0:
+            raise SimulationError(f"mesh dim must be positive: {q}")
+        self.q = q
+
+    @property
+    def nranks(self) -> int:
+        return self.q ** 3
+
+    @property
+    def covers_grid(self) -> bool:
+        # The {0,1,2}^3 cube alone is the whole mesh once q <= 3.
+        return self.q <= 3
+
+    def _coords(self, rank: int) -> tuple[int, int, int]:
+        q = self.q
+        return rank // (q * q), (rank // q) % q, rank % q
+
+    def probe_indices(self) -> list[int]:
+        q = self.q
+        r = np.arange(self.nranks)
+        i, j, k = r // (q * q), (r // q) % q, r % q
+        cube = (i <= 2) & (j <= 2) & (k <= 2)
+        j_lines = (i == 0) & (k <= 1)
+        i_lines = (j == 0) & (k <= 1)
+        k_line = (i == 0) & (j == 0)
+        return np.flatnonzero(cube | j_lines | i_lines | k_line).tolist()
+
+    def class_key(self, cid: tuple) -> tuple:
+        if len(cid) != 2:
+            raise SymmetryBroken(
+                f"collective on unexpected communicator depth: cid={cid!r}")
+        child_seq, color = cid
+        if child_seq in (0, 1):
+            # j-axis (color = i*q + k) and i-axis (color = j*q + k)
+            # comms: the k=0 face routes/roots differently from k>=1.
+            return (child_seq, min(color % self.q, 1))
+        if child_seq == 2:
+            return (2, 0)  # k-axis reduction: globally lockstep
+        raise SymmetryBroken(
+            f"collective on undeclared communicator family "
+            f"(child seq {child_seq})")
+
+    def rank_class(self, rank: int) -> tuple:
+        i, j, k = self._coords(rank)
+        return (k == 0, j == 0, j == k, i == 0, i == k)
+
+    def twin_indices(self, ranks: np.ndarray) -> np.ndarray:
+        q = self.q
+        i = ranks // (q * q)
+        j = (ranks // q) % q
+        k = ranks % q
+        # Flag-preserving representative with all coordinates in
+        # {0, 1, 2}: clamp the k=0 face; elsewhere k -> 1 and each of
+        # i/j keeps its (==0, ==k, other) role as (0, 1, 2).
+        ti = np.where(k == 0, np.minimum(i, 1),
+                      np.where(i == 0, 0, np.where(i == k, 1, 2)))
+        tj = np.where(k == 0, np.minimum(j, 1),
+                      np.where(j == 0, 0, np.where(j == k, 1, 2)))
+        tk = np.minimum(k, 1)
+        return (ti * q + tj) * q + tk
+
+
+class Layered25dSymmetry:
+    """Rank-equivalence declaration for the 2.5D algorithm on a
+    ``q x q x c`` layer stack (rank ``r = (i*q + j)*c + layer``).
+
+    Every phase is an unguarded collective (layer replication, per-step
+    row/col pivot broadcasts, layer reduction), so the run is fully
+    lockstep; the only observable coordinate is the *layer* (it selects
+    the pivot range ``k = layer*steps + idx``), making the row/col comm
+    classes ``layer``-keyed and the probe a single grid cross
+    (``i == 0`` or ``j == 0``) through all layers — O(q·c) of O(q²·c).
+
+    Breakage conditions (→ per-rank fallback): concrete payloads (the
+    layer reduction combines real partials), faults, heterogeneous
+    costers — all refused en route or by the blocker.
+    """
+
+    rotated = frozenset()
+    p2p_tags = frozenset()
+
+    def __init__(self, q: int, c: int) -> None:
+        if q <= 0 or c <= 0:
+            raise SimulationError(f"bad 2.5D layout: q={q}, c={c}")
+        self.q = q
+        self.c = c
+
+    @property
+    def nranks(self) -> int:
+        return self.q * self.q * self.c
+
+    @property
+    def covers_grid(self) -> bool:
+        return self.q <= 1
+
+    def probe_indices(self) -> list[int]:
+        q, c = self.q, self.c
+        out = []
+        for r in range(self.nranks):
+            i = r // (c * q)
+            j = (r // c) % q
+            if i == 0 or j == 0:
+                out.append(r)
+        return out
+
+    def class_key(self, cid: tuple) -> tuple:
+        if len(cid) != 2:
+            raise SymmetryBroken(
+                f"collective on unexpected communicator depth: cid={cid!r}")
+        child_seq, color = cid
+        if child_seq == 0:
+            return (0, 0)  # layer axis: one lockstep class
+        if child_seq in (1, 2):
+            # row (color = i*c + layer) / col (color = j*c + layer)
+            # comms: the layer picks the rotating pivot root.
+            return (child_seq, color % self.c)
+        raise SymmetryBroken(
+            f"collective on undeclared communicator family "
+            f"(child seq {child_seq})")
+
+    def rank_class(self, rank: int) -> tuple:
+        i = rank // (self.c * self.q)
+        j = (rank // self.c) % self.q
+        return (min(i, 1), min(j, 1), rank % self.c)
+
+    def twin_indices(self, ranks: np.ndarray) -> np.ndarray:
+        # (i, j, layer) -> (0, j, layer): same layer (keeps the retval
+        # face and pivot range), same column rootness on the row comms.
+        return ranks % (self.c * self.q)
+
 
 class _Memo:
     """What one class primary observed for one collective sequence."""
@@ -178,6 +403,13 @@ def _phantom_ok(value: Any) -> bool:
     return False
 
 
+def _rotate(values: Sequence, root: int) -> list:
+    """``values`` re-based so the root sits at position 0."""
+    if not root:
+        return list(values)
+    return list(values[root:]) + list(values[:root])
+
+
 class CollapsedMacroEngine(MacroBackend):
     """Macro backend stepping only the probe set of a symmetric grid.
 
@@ -185,6 +417,17 @@ class CollapsedMacroEngine(MacroBackend):
     :meth:`~repro.simulator.backends.MacroBackend.run_with_factory`;
     raises :class:`SymmetryBroken` the moment the run strays outside
     the declared symmetry (the caller then falls back per-rank).
+
+    Point-to-point collapse: for tags in ``symmetry.p2p_tags``, each
+    probed rank's posts are recorded under ``(kind, my class, wire tag,
+    partner class, occurrence)`` and cross-checked against its class
+    (same post clock, same size, phantom payloads only).  A send
+    completes against the partner *class's* recorded receive post and
+    vice versa, reproducing the fused DES path's float operations —
+    ``finish = max(post, partner_post) + wire`` per leg, the receive
+    leg's comm charge first, then the send tail — exactly.  Sends
+    charge ``messages_sent``/``bytes_sent`` to the sender as in the
+    DES, and the counters replicate to twins at assembly.
     """
 
     def __init__(
@@ -205,12 +448,23 @@ class CollapsedMacroEngine(MacroBackend):
         sym = self.symmetry
         if len(gens) != sym.nranks:
             raise SimulationError(
-                f"{len(gens)} programs but symmetry declares a "
-                f"{sym.s}x{sym.t} grid")
+                f"{len(gens)} programs but symmetry declares "
+                f"{sym.nranks} ranks")
         if len(gens) > self.network.nranks:
             raise SimulationError(
                 f"{len(gens)} programs but network only models "
                 f"{self.network.nranks} ranks")
+
+        if sym.p2p_tags:
+            # The p2p collapse replicates wire times measured between
+            # *probe* ranks onto their twins; only a uniform network
+            # makes those times pair-independent.
+            from repro.network.homogeneous import HomogeneousNetwork
+
+            if not (isinstance(self.network, HomogeneousNetwork)
+                    and self.network.intra_params is None):
+                raise SymmetryBroken(
+                    "point-to-point collapse requires a uniform network")
 
         probe = sym.probe_indices()
         probed = bytearray(len(gens))
@@ -229,6 +483,16 @@ class CollapsedMacroEngine(MacroBackend):
         self._parked: dict[tuple, list] = {}
         self._full_by_cid: dict[tuple, bool] = {}
         self._class_by_cid: dict[tuple, tuple] = {}
+        #: p2p post records: (kind, class, wire tag, partner class,
+        #: occurrence) -> (post clock, nbytes, payload).
+        self._posts: dict[tuple, tuple] = {}
+        #: post key -> [op spec] parked until that post is recorded.
+        self._waiters: dict[tuple, list] = {}
+        #: (rank, kind, wire tag, partner class) -> next occurrence.
+        self._occ: dict[tuple, int] = {}
+        #: (class, rank class cache) and wire-time memo.
+        self._rank_class: dict[int, tuple] = {}
+        self._wires: dict[tuple, float] = {}
         self._trace = []
         self._spans = SpanRecorder(len(gens))
         self._nevents = 0
@@ -258,9 +522,10 @@ class CollapsedMacroEngine(MacroBackend):
                 f"{len(stuck)} probed ranks left blocked "
                 f"(first: rank {stuck[0].stats.rank} on "
                 f"{stuck[0].blocked_on!r})")
-        if self._parked or self._pending:
+        if self._parked or self._pending or self._waiters:
             raise SymmetryBroken(
-                "collectives left waiting at end of run")
+                "collectives or point-to-point ops left waiting at end "
+                "of run")
         return self._assemble(len(gens))
 
     # -- collective hook ---------------------------------------------------
@@ -338,6 +603,7 @@ class CollapsedMacroEngine(MacroBackend):
             )
         finish = start + duration
         results = _op_results(req0.op, req0.root, p, payloads)
+        rotated = req0.cid[0] in self.symmetry.rotated if req0.cid else False
         memo = self._memos.get(mkey)
         if memo is None:
             self._memos[mkey] = memo = _Memo(
@@ -350,8 +616,11 @@ class CollapsedMacroEngine(MacroBackend):
                     self._join(st, req, memo)
         elif (memo.start != start or memo.finish != finish
               or memo.op != req0.op or memo.algorithm != req0.algorithm
-              or memo.root != req0.root or memo.segments != req0.segments
-              or memo.p != p or memo.nbytes_by_me != nbytes_by_me):
+              or memo.segments != req0.segments or memo.p != p
+              or (memo.root != req0.root if not rotated
+                  else _rotate(memo.nbytes_by_me, memo.root or 0)
+                  != _rotate(nbytes_by_me, root))
+              or (not rotated and memo.nbytes_by_me != nbytes_by_me)):
             # Two primaries of one class disagreed: the class key is
             # too coarse for this run.
             raise SymmetryBroken(
@@ -363,22 +632,36 @@ class CollapsedMacroEngine(MacroBackend):
     def _join(self, state: _RankState, request: CollectiveRequest,
               memo: _Memo) -> None:
         """Satisfy a partially-probed member from its class memo."""
+        rotated = (request.cid[0] in self.symmetry.rotated
+                   if request.cid else False)
         if (request.op != memo.op
                 or request.algorithm != memo.algorithm
-                or request.root != memo.root
+                or (not rotated and request.root != memo.root)
                 or request.segments != memo.segments
-                or len(request.participants) != memo.p
-                or request.nbytes != memo.nbytes_by_me[request.me]):
+                or len(request.participants) != memo.p):
             raise SymmetryBroken(
                 f"rank {state.stats.rank} announced "
                 f"{request.op}/{request.algorithm} diverging from its "
                 f"class memo")
+        if rotated:
+            # Read the memo at the root-relative position: the class
+            # matches up to a rotation of the (participant-invariant)
+            # root, so position `me` under root `r` corresponds to
+            # position `me - r + memo.root` under the memoed root.
+            me = (request.me - (request.root or 0)
+                  + (memo.root or 0)) % memo.p
+        else:
+            me = request.me
+        if request.nbytes != memo.nbytes_by_me[me]:
+            raise SymmetryBroken(
+                f"rank {state.stats.rank} announced {request.nbytes} "
+                f"bytes, diverging from its class memo")
         if state.stats.clock > memo.start:
             raise SymmetryBroken(
                 f"rank {state.stats.rank} arrived at "
                 f"{state.stats.clock!r}, after its class started at "
                 f"{memo.start!r}")
-        value = memo.results[request.me]
+        value = memo.results[me]
         if not _phantom_ok(value):
             raise SymmetryBroken(
                 "collective carries concrete data; unobserved members "
@@ -387,23 +670,211 @@ class CollapsedMacroEngine(MacroBackend):
         # then resume with a CollectiveReply — the same float operations
         # the rank's own communicator would have produced, since by
         # congruence its start/duration equal the memoed ones.
+        if rotated and me != request.me:
+            results = list(memo.results)
+            results[request.me] = value
+        else:
+            results = memo.results
         self._events.push(
             memo.finish, self._collective_done,
-            ([(state, request)], memo.results, memo.finish),
+            ([(state, request)], results, memo.finish),
         )
+
+    # -- point-to-point collapse -------------------------------------------
+
+    def _class_of_rank(self, rank: int) -> tuple:
+        cls = self._rank_class.get(rank)
+        if cls is None:
+            cls = self._rank_class[rank] = self.symmetry.rank_class(rank)
+        return cls
+
+    def _next_occ(self, rank: int, kind: str, tag: tuple,
+                  partner_cls: tuple) -> int:
+        key = (rank, kind, tag, partner_cls)
+        occ = self._occ.get(key, 0)
+        self._occ[key] = occ + 1
+        return occ
+
+    def _check_tag(self, state: _RankState, tag: tuple) -> None:
+        if tag[1] not in self.symmetry.p2p_tags:
+            raise SymmetryBroken(
+                f"rank {state.stats.rank} used undeclared p2p tag "
+                f"{tag[1]!r}")
+
+    def _record_post(self, key: tuple, time: float, nbytes: Any,
+                     payload: Any) -> None:
+        """Record one class post; verify against earlier class members
+        and release any ops parked on it."""
+        rec = self._posts.get(key)
+        if rec is None:
+            self._posts[key] = (time, nbytes, payload)
+            waiting = self._waiters.pop(key, None)
+            if waiting:
+                for spec in waiting:
+                    self._try_p2p(spec)
+        elif rec[0] != time or rec[1] != nbytes:
+            raise SymmetryBroken(
+                f"p2p class members diverged on {key[0]!r} post "
+                f"{key[4]} of tag {key[2][1]!r}")
+
+    def _wire(self, src: int, dst: int, nbytes: int) -> float:
+        key = (src, dst, nbytes)
+        tt = self._wires.get(key)
+        if tt is None:
+            tt = self._wires[key] = self.network.transfer_time(
+                src, dst, nbytes)
+        return tt
+
+    def _try_p2p(self, spec: list) -> None:
+        """Fire a parked p2p op once its partner-class posts exist, or
+        re-park it on the first missing one."""
+        posts = self._posts
+        needs = spec[-2], spec[-1]
+        for key in needs:
+            if key is not None and key not in posts:
+                self._waiters.setdefault(key, []).append(spec)
+                return
+        kind, state, now, me, dst, src, nbytes, payload, need_d, need_s = spec
+        stats = state.stats
+        if kind == "sendrecv":
+            d_time = posts[need_d][0]
+            s_time, s_nbytes, s_payload = posts[need_s]
+            finish_s = ((now if now >= d_time else d_time)
+                        + self._wire(me, dst, nbytes))
+            finish_r = ((now if now >= s_time else s_time)
+                        + self._wire(src, me, s_nbytes))
+            done = finish_s if finish_s > finish_r else finish_r
+            self._events.push(
+                done, self._p2p_sendrecv_done,
+                (state, nbytes, s_payload, finish_r, finish_s))
+        elif kind == "send":
+            d_time = posts[need_d][0]
+            finish = ((now if now >= d_time else d_time)
+                      + self._wire(me, dst, nbytes))
+            self._events.push(
+                finish, self._p2p_send_done, (state, nbytes, finish))
+        else:  # "recv"
+            s_time, s_nbytes, s_payload = posts[need_s]
+            finish = ((now if now >= s_time else s_time)
+                      + self._wire(src, me, s_nbytes))
+            self._events.push(
+                finish, self._p2p_recv_done, (state, s_payload, finish))
+
+    def _p2p_sendrecv_done(self, state: _RankState, nbytes: int,
+                           payload: Any, finish_r: float,
+                           finish_s: float) -> None:
+        # Mirrors Engine._fused_recv_done + _fused_send_done for both
+        # event orderings: the receive leg's charge lands first (from
+        # the shared block_start), then the send tail extends the clock
+        # to finish_s exactly when it completes later.
+        stats = state.stats
+        stats.messages_sent += 1
+        stats.bytes_sent += nbytes
+        stats.comm_time += finish_r - state.block_start
+        if finish_r > stats.clock:
+            stats.clock = finish_r
+        if finish_s > finish_r:
+            stats.comm_time += finish_s - finish_r
+            stats.clock = finish_s
+        self._resume(state, payload, stats.clock)
+
+    def _p2p_send_done(self, state: _RankState, nbytes: int,
+                       finish: float) -> None:
+        stats = state.stats
+        stats.messages_sent += 1
+        stats.bytes_sent += nbytes
+        stats.comm_time += finish - state.block_start
+        self._resume(state, None, finish)
+
+    def _p2p_recv_done(self, state: _RankState, payload: Any,
+                       finish: float) -> None:
+        state.stats.comm_time += finish - state.block_start
+        self._resume(state, payload, finish)
+
+    def _handle_sendrecv(self, state: _RankState,
+                         request: SendRecvRequest, now: float) -> Any:
+        self._check_tag(state, request.sendtag)
+        self._check_tag(state, request.recvtag)
+        if not _phantom_ok(request.payload):
+            raise SymmetryBroken(
+                f"rank {state.stats.rank} sent concrete data")
+        me = state.stats.rank
+        cls_me = self._class_of_rank(me)
+        cls_dst = self._class_of_rank(request.dst)
+        cls_src = self._class_of_rank(request.src)
+        occ_s = self._next_occ(me, "s", request.sendtag, cls_dst)
+        occ_r = self._next_occ(me, "r", request.recvtag, cls_src)
+        self._record_post(("s", cls_me, request.sendtag, cls_dst, occ_s),
+                          now, request.nbytes, request.payload)
+        self._record_post(("r", cls_me, request.recvtag, cls_src, occ_r),
+                          now, None, None)
+        state.blocked_on = request
+        state.block_start = now
+        # My occ_s-th send to the dst class pairs (FIFO channel order)
+        # with the dst class's occ_s-th receive from my class, and
+        # symmetrically for the receive leg.
+        self._try_p2p([
+            "sendrecv", state, now, me, request.dst, request.src,
+            request.nbytes, request.payload,
+            ("r", cls_dst, request.sendtag, cls_me, occ_s),
+            ("s", cls_src, request.recvtag, cls_me, occ_r),
+        ])
+        return _PARKED
+
+    def _handle_send(self, state: _RankState, request: SendRequest,
+                     now: float) -> Any:
+        self._check_tag(state, request.tag)
+        if not _phantom_ok(request.payload):
+            raise SymmetryBroken(
+                f"rank {state.stats.rank} sent concrete data")
+        me = state.stats.rank
+        cls_me = self._class_of_rank(me)
+        cls_dst = self._class_of_rank(request.dst)
+        occ = self._next_occ(me, "s", request.tag, cls_dst)
+        self._record_post(("s", cls_me, request.tag, cls_dst, occ),
+                          now, request.nbytes, request.payload)
+        state.blocked_on = request
+        state.block_start = now
+        self._try_p2p([
+            "send", state, now, me, request.dst, None,
+            request.nbytes, request.payload,
+            ("r", cls_dst, request.tag, cls_me, occ),
+            None,
+        ])
+        return _PARKED
+
+    def _handle_recv(self, state: _RankState, request: RecvRequest,
+                     now: float) -> Any:
+        if request.timeout is not None:
+            raise SymmetryBroken(
+                f"rank {state.stats.rank} posted a timed receive")
+        self._check_tag(state, request.tag)
+        me = state.stats.rank
+        cls_me = self._class_of_rank(me)
+        cls_src = self._class_of_rank(request.src)
+        occ = self._next_occ(me, "r", request.tag, cls_src)
+        self._record_post(("r", cls_me, request.tag, cls_src, occ),
+                          now, None, None)
+        state.blocked_on = request
+        state.block_start = now
+        self._try_p2p([
+            "recv", state, now, me, None, request.src,
+            None, None,
+            None,
+            ("s", cls_src, request.tag, cls_me, occ),
+        ])
+        return _PARKED
 
     # -- everything the congruence argument cannot cover -------------------
 
     def _refuse(self, state: _RankState, request: Any, now: float) -> Any:
         raise SymmetryBroken(
             f"rank {state.stats.rank} issued {request!r}; only "
-            "collectives and compute are collapsible")
+            "collectives, compute and declared blocking p2p are "
+            "collapsible")
 
-    _handle_send = _refuse
-    _handle_recv = _refuse
     _handle_isend = _refuse
     _handle_irecv = _refuse
-    _handle_sendrecv = _refuse
     _handle_wait = _refuse
     _handle_wait_handle = _refuse
     _handle_tuple = _refuse
@@ -417,12 +888,16 @@ class CollapsedMacroEngine(MacroBackend):
         """Replicate probed stats/results onto their twins (SoA gathers)."""
         sym = self.symmetry
         states = self._ranks
+        p2p = bool(sym.p2p_tags)
         for st in states:
             s = st.stats
-            if (s.messages_sent or s.bytes_sent or s.retries
-                    or s.timeouts or s.recoveries or s.fault_delay):
+            if s.retries or s.timeouts or s.recoveries or s.fault_delay:
                 raise SymmetryBroken(
-                    f"rank {s.rank} has point-to-point or fault activity")
+                    f"rank {s.rank} has fault activity")
+            if not p2p and (s.messages_sent or s.bytes_sent):
+                raise SymmetryBroken(
+                    f"rank {s.rank} has undeclared point-to-point "
+                    f"activity")
             if not _phantom_ok(st.retval):
                 raise SymmetryBroken(
                     f"rank {s.rank} returned concrete data")
@@ -432,24 +907,27 @@ class CollapsedMacroEngine(MacroBackend):
         clock = np.array([st.stats.clock for st in states])
         comm = np.array([st.stats.comm_time for st in states])
         comp = np.array([st.stats.compute_time for st in states])
+        msgs = np.array([st.stats.messages_sent for st in states],
+                        dtype=np.int64)
+        byts = np.array([st.stats.bytes_sent for st in states],
+                        dtype=np.int64)
         slot = np.full(nranks, -1, dtype=np.intp)
         for idx, st in enumerate(states):
             slot[st.stats.rank] = idx
 
-        # ...gathered through the twin map (i, j) -> (i % pr, j % pc)
-        # for unprobed ranks, identity for probed ones.
-        t = sym.t
+        # ...gathered through the symmetry's twin map for unprobed
+        # ranks, identity for probed ones.
         ranks = np.arange(nranks)
-        gi, gj = ranks // t, ranks % t
         on_probe = slot >= 0
-        twin = np.where(on_probe, ranks,
-                        (gi % sym.probe_rows) * t + (gj % sym.probe_cols))
+        twin = np.where(on_probe, ranks, sym.twin_indices(ranks))
         tslot = slot[twin]
         if np.any(tslot < 0):  # pragma: no cover - probe-set invariant
             raise SymmetryBroken("twin map left the probe set")
         all_clock = clock[tslot]
         all_comm = comm[tslot]
         all_comp = comp[tslot]
+        all_msgs = msgs[tslot]
+        all_byts = byts[tslot]
 
         stats: list[RankStats] = []
         for r in range(nranks):
@@ -460,6 +938,8 @@ class CollapsedMacroEngine(MacroBackend):
                 rs.clock = float(all_clock[r])
                 rs.comm_time = float(all_comm[r])
                 rs.compute_time = float(all_comp[r])
+                rs.messages_sent = int(all_msgs[r])
+                rs.bytes_sent = int(all_byts[r])
                 stats.append(rs)
         return_values = [states[tslot[r]].retval for r in range(nranks)]
         return SimResult(
@@ -477,8 +957,9 @@ class CollapsedMacroEngine(MacroBackend):
 # The class-key maps below are coupled, by design, to the communicator
 # creation order of the rank programs (CartComm row = world child 0,
 # col = 1; then outer row/outer col/inner row/inner col = 2..5 where
-# the program creates them).  docs/cost_model.md derives each map from
-# the program's per-step clock evolution.
+# the program creates them; the multilevel hierarchy's level comms at
+# 2+2*lev / 3+2*lev).  docs/cost_model.md derives each map from the
+# program's per-step clock evolution.
 
 
 def summa_symmetry(s: int, t: int) -> GridSymmetry:
@@ -563,3 +1044,122 @@ def cyclic_symmetry(s: int, t: int, I: int = 1, J: int = 1) -> GridSymmetry:
         4: _const,
         5: _const,
     })
+
+
+def cannon_symmetry(q: int) -> TorusShiftSymmetry:
+    """Cannon on a ``q x q`` torus: four sendrecv families (skew A/B
+    guarded by ``i > 0`` / ``j > 0``, then the per-step A/B ring
+    shifts) on tags 1-4 and no collectives.
+
+    Roles depend only on whether a rank sits on the guard boundary
+    (row 0 / column 0) or adjacent to it, so the probe is the first
+    two full rows plus the first two full columns with *clamped*
+    twins (:class:`TorusShiftSymmetry`): every interior rank twins
+    with (1, 1).  Breakage conditions (→ per-rank fallback): concrete
+    tiles in the shifts, faults, ``q <= 2`` (the probe covers the
+    grid, reported by the blocker as no-win).
+    """
+    return TorusShiftSymmetry(
+        q, q, min(2, q), min(2, q), {},
+        p2p_tags=frozenset({1, 2, 3, 4}),
+    )
+
+
+def fox_symmetry(q: int) -> GridSymmetry:
+    """Fox on a ``q x q`` grid: per step a row broadcast from the
+    rotating pivot column ``(i + k) % q`` (world child 0) plus a
+    column ring roll of B on tag 5.
+
+    Every rank does identical work each step — one class, a 1x1 probe
+    cross — but the row comms root at different columns, so the row
+    family matches its memo up to root *rotation*.  Breakage
+    conditions: concrete tiles (roll payloads or broadcast pivots),
+    faults, traffic outside tag 5.
+    """
+    return GridSymmetry(
+        q, q, 1, 1, {0: _const},
+        rotated=frozenset({0}),
+        p2p_tags=frozenset({5}),
+    )
+
+
+def dns3d_symmetry(q: int) -> DnsSymmetry:
+    """DNS 3-D on a ``q x q x q`` mesh; see :class:`DnsSymmetry`."""
+    return DnsSymmetry(q)
+
+
+def summa25d_symmetry(q: int, c: int) -> Layered25dSymmetry:
+    """2.5D on a ``q x q x c`` stack; see :class:`Layered25dSymmetry`."""
+    return Layered25dSymmetry(q, c)
+
+
+def multilevel_symmetry(
+    s: int, t: int,
+    row_factors: Sequence[int],
+    col_factors: Sequence[int],
+) -> GridSymmetry:
+    """The h-level hierarchy of ``hsumma_multilevel_program``: level
+    ``lev``'s horizontal comm is world child ``2 + 2*lev`` (color
+    ``(i, other col digits)``, key ``col digit lev``) and the vertical
+    comm is child ``3 + 2*lev``, with broadcasts guarded by the deeper
+    digits matching the step owner's.
+
+    The level-0 digits of ``i``/``j`` are unobservable (no guard
+    references them; they only select rootness, which a
+    participant-invariant coster cannot see), so ranks collapse modulo
+    the level-0 factor: probe ``(s / row_factors[0]) x
+    (t / col_factors[0])``, and a comm's class keeps every digit the
+    guards can read — the deeper digits of its fixed coordinate plus
+    its deeper fixed split digits.  ``h = 1`` degenerates to the SUMMA
+    cross; ``h = 2`` refines :func:`hsumma_symmetry` (same probe,
+    finer comm classes — equally sound, verified en route).  Breakage
+    conditions: ``row_factors[0] == 1`` (probe covers the grid),
+    concrete tiles, faults, tracing spans.
+    """
+    rf = tuple(row_factors)
+    cf = tuple(col_factors)
+    h = len(rf)
+    if h == 0 or len(cf) != h:
+        raise SimulationError(
+            f"bad multilevel factors: {rf!r} vs {cf!r}")
+
+    def prod(xs: Sequence[int]) -> int:
+        out = 1
+        for v in xs:
+            out *= v
+        return out
+
+    rbelow = [prod(rf[lev + 1:]) for lev in range(h)]
+    cbelow = [prod(cf[lev + 1:]) for lev in range(h)]
+
+    def row_tail(i: int) -> tuple:
+        # Digits 1..h-1 of a row index (digit 0 dropped: unobservable).
+        rem = i % rbelow[0]
+        out = []
+        for lev in range(1, h):
+            d, rem = divmod(rem, rbelow[lev])
+            out.append(d)
+        return tuple(out)
+
+    def col_tail(j: int) -> tuple:
+        rem = j % cbelow[0]
+        out = []
+        for lev in range(1, h):
+            d, rem = divmod(rem, cbelow[lev])
+            out.append(d)
+        return tuple(out)
+
+    class_keys: dict[int, Callable[[Any], Any]] = {}
+    for lev in range(h):
+        def h_key(color: Any, lev: int = lev) -> tuple:
+            i, cds = color
+            # cds lists col digits q != lev ascending; drop digit 0.
+            return (row_tail(i), cds if lev == 0 else cds[1:])
+
+        def v_key(color: Any, lev: int = lev) -> tuple:
+            j, rds = color
+            return (col_tail(j), rds if lev == 0 else rds[1:])
+
+        class_keys[2 + 2 * lev] = h_key
+        class_keys[3 + 2 * lev] = v_key
+    return GridSymmetry(s, t, s // rf[0], t // cf[0], class_keys)

@@ -30,6 +30,7 @@ run_hsumma` / :func:`repro.core.cyclic.run_cyclic` or the CLI.
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Any
 
 from repro.errors import ConfigurationError
@@ -63,8 +64,9 @@ class PredictorBackend(Backend):
         raise ConfigurationError(
             "the predictor backend composes closed forms and cannot "
             "execute rank programs; call it through the algorithm "
-            "runners (run_summa/run_hsumma/run_cyclic with "
-            "backend='predictor') or the CLI"
+            "runners (run_summa/run_hsumma/run_cyclic/run_cannon/"
+            "run_fox/run_dns3d/run_25d with backend='predictor') or "
+            "the CLI"
         )
 
 
@@ -187,13 +189,15 @@ class _Chain:
     :meth:`repro.simulator.engine.Engine._handle_compute`.
     """
 
-    __slots__ = ("clock", "comm", "compute", "_coster", "_memo")
+    __slots__ = ("clock", "comm", "compute", "_coster", "_network",
+                 "_memo")
 
-    def __init__(self, coster: Any) -> None:
+    def __init__(self, coster: Any, network: Network | None = None) -> None:
         self.clock = 0.0
         self.comm = 0.0
         self.compute = 0.0
         self._coster = coster
+        self._network = network
         self._memo: dict[tuple, float] = {}
 
     def collective(self, op: str, algorithm: str | None, p: int,
@@ -209,6 +213,24 @@ class _Chain:
                 op, algorithm, tuple(range(p)), 0, nbytes,
                 segments=segments, cid=(cid0, 0),
             )
+        finish = self.clock + duration
+        self.comm += finish - self.clock
+        self.clock = finish
+
+    def p2p(self, nbytes: int) -> None:
+        """One blocking point-to-point hop on the critical chain.
+
+        On the chains below the partner always posted at or before the
+        critical rank's clock, so the engine's
+        ``finish = max(now, partner_post) + wire`` collapses to
+        ``finish = clock + wire`` — the same float addition, with the
+        wire time taken from the (uniform) network.
+        """
+        key = ("p2p", nbytes)
+        duration = self._memo.get(key)
+        if duration is None:
+            duration = self._memo[key] = self._network.transfer_time(
+                0, 1, nbytes)
         finish = self.clock + duration
         self.comm += finish - self.clock
         self.clock = finish
@@ -231,6 +253,14 @@ def _bcast_alg(override: Any, options: Any) -> str:
     from repro.mpi.comm import CollectiveOptions
 
     return CollectiveOptions().bcast
+
+
+def _reduce_alg(options: Any) -> str:
+    if options is not None:
+        return options.reduce
+    from repro.mpi.comm import CollectiveOptions
+
+    return CollectiveOptions().reduce
 
 
 def _segments(options: Any) -> Any:
@@ -363,4 +393,255 @@ def predict_cyclic(
         chain.collective("bcast", alg, cfg.I, b_bytes, segments=seg, cid0=3)
         chain.collective("bcast", alg, si, b_bytes, segments=seg, cid0=5)
         chain.compute_seconds(gemm)
+    return chain.result()
+
+
+@dataclasses.dataclass(frozen=True)
+class CannonConfig:
+    """Shape of a Cannon run on a square ``q x q`` torus."""
+
+    m: int
+    l: int
+    n: int
+    q: int
+
+    def __post_init__(self) -> None:
+        if self.q < 1:
+            raise ConfigurationError(f"grid dim must be >= 1, got {self.q}")
+        for label, dim in (("m", self.m), ("l", self.l), ("n", self.n)):
+            if dim % self.q:
+                raise ConfigurationError(
+                    f"{label}={dim} not divisible by grid dim {self.q}")
+
+
+@dataclasses.dataclass(frozen=True)
+class FoxConfig:
+    """Shape of a Fox run on a square ``q x q`` grid."""
+
+    m: int
+    l: int
+    n: int
+    q: int
+
+    def __post_init__(self) -> None:
+        if self.q < 1:
+            raise ConfigurationError(f"grid dim must be >= 1, got {self.q}")
+        for label, dim in (("m", self.m), ("l", self.l), ("n", self.n)):
+            if dim % self.q:
+                raise ConfigurationError(
+                    f"{label}={dim} not divisible by grid dim {self.q}")
+
+
+@dataclasses.dataclass(frozen=True)
+class Dns3dConfig:
+    """Shape of a 3-D (DNS) run on a ``q x q x q`` mesh."""
+
+    m: int
+    l: int
+    n: int
+    q: int
+
+    def __post_init__(self) -> None:
+        if self.q < 1:
+            raise ConfigurationError(f"mesh dim must be >= 1, got {self.q}")
+        for label, dim in (("m", self.m), ("l", self.l), ("n", self.n)):
+            if dim % self.q:
+                raise ConfigurationError(
+                    f"{label}={dim} not divisible by mesh dim {self.q}")
+
+
+@dataclasses.dataclass(frozen=True)
+class Summa25dConfig:
+    """Shape of a 2.5D run: ``q x q`` layer grid, replication ``c``.
+
+    Mirrors :func:`repro.algorithms.algo25d._layer_grid`'s constraints
+    so a planner-built config fails fast instead of at replay time.
+    """
+
+    m: int
+    l: int
+    n: int
+    q: int
+    c: int
+
+    def __post_init__(self) -> None:
+        if self.c < 1:
+            raise ConfigurationError(
+                f"replication c must be >= 1, got {self.c}")
+        if self.q < 1:
+            raise ConfigurationError(f"grid dim must be >= 1, got {self.q}")
+        if self.q % self.c:
+            raise ConfigurationError(
+                f"2.5D step split needs c | q (q={self.q}, c={self.c})")
+        for label, dim in (("m", self.m), ("l", self.l), ("n", self.n)):
+            if dim % self.q:
+                raise ConfigurationError(
+                    f"{label}={dim} not divisible by grid dim {self.q}")
+
+    @property
+    def nprocs(self) -> int:
+        return self.q * self.q * self.c
+
+
+def predict_cannon(
+    cfg: CannonConfig,
+    *,
+    network: Network,
+    options: Any = None,
+    gamma: float = 0.0,
+    coster: Any = None,
+    a_itemsize: int = 8,
+    b_itemsize: int = 8,
+) -> SimResult:
+    """Closed-form prediction of a Cannon run.
+
+    The chain follows a doubly-interior rank (``i >= 1, j >= 1``):
+    skew A, skew B, then ``q`` rounds of gemm and (except after the
+    last) the A and B ring shifts.  The round-0 A shift resynchronises
+    every rank at the interior rank's clock (its wait for the skewed
+    neighbour dominates), so this chain's final clock is the run's
+    ``total_time`` bit-for-bit; per-rank ``comm_time`` groups the same
+    phase floats differently on the boundary ranks, hence the
+    documented 1e-9 relative tolerance on comm.
+    """
+    from repro.blocks.ops import gemm_flops
+
+    coster = _resolve_coster(network, coster)
+    _refuse_pipelined("Cannon's algorithm", _bcast_alg(None, options))
+    chain = _Chain(coster, network)
+    q = cfg.q
+    mloc, lloc, nloc = cfg.m // q, cfg.l // q, cfg.n // q
+    a_bytes = mloc * lloc * a_itemsize
+    b_bytes = lloc * nloc * b_itemsize
+    gemm = gemm_flops(mloc, lloc, nloc) * gamma
+    if q > 1:
+        chain.p2p(a_bytes)  # skew A
+        chain.p2p(b_bytes)  # skew B
+    for step in range(q):
+        chain.compute_seconds(gemm)
+        if step == q - 1:
+            break
+        chain.p2p(a_bytes)  # shift A
+        chain.p2p(b_bytes)  # shift B
+    return chain.result()
+
+
+def predict_fox(
+    cfg: FoxConfig,
+    *,
+    network: Network,
+    options: Any = None,
+    gamma: float = 0.0,
+    coster: Any = None,
+    a_itemsize: int = 8,
+    b_itemsize: int = 8,
+) -> SimResult:
+    """Closed-form prediction of a Fox run.
+
+    Fully lockstep: every round is a row broadcast of the pivot A
+    tile, a gemm, and (except after the last) the B roll — the same
+    floats on every rank, so total, compute *and* comm replay
+    bit-identically.
+    """
+    from repro.blocks.ops import gemm_flops
+
+    coster = _resolve_coster(network, coster)
+    alg = _bcast_alg(None, options)
+    _refuse_pipelined("Fox's algorithm", alg)
+    seg = _segments(options)
+    chain = _Chain(coster, network)
+    q = cfg.q
+    mloc, lloc, nloc = cfg.m // q, cfg.l // q, cfg.n // q
+    a_bytes = mloc * lloc * a_itemsize
+    b_bytes = lloc * nloc * b_itemsize
+    gemm = gemm_flops(mloc, lloc, nloc) * gamma
+    for k in range(q):
+        chain.collective("bcast", alg, q, a_bytes, segments=seg, cid0=0)
+        chain.compute_seconds(gemm)
+        if k == q - 1:
+            break
+        chain.p2p(b_bytes)  # roll B
+    return chain.result()
+
+
+def predict_dns3d(
+    cfg: Dns3dConfig,
+    *,
+    network: Network,
+    options: Any = None,
+    gamma: float = 0.0,
+    coster: Any = None,
+    a_itemsize: int = 8,
+    b_itemsize: int = 8,
+) -> SimResult:
+    """Closed-form prediction of a 3-D (DNS) run.
+
+    The chain follows rank ``(k, k, k)`` (``k >= 1``), which receives
+    both routed tiles: route A hop, j-axis broadcast, route B hop,
+    i-axis broadcast, one gemm, and the k-axis reduction.  Every axis
+    broadcast starts at the routed tile's arrival and every reduction
+    starts at the (global) gemm finish, so the final clock is
+    ``total_time`` bit-for-bit.
+    """
+    from repro.blocks.ops import gemm_flops
+
+    coster = _resolve_coster(network, coster)
+    alg = _bcast_alg(None, options)
+    _refuse_pipelined("the 3-D (DNS) algorithm", alg)
+    seg = _segments(options)
+    chain = _Chain(coster, network)
+    q = cfg.q
+    mloc, lloc, nloc = cfg.m // q, cfg.l // q, cfg.n // q
+    a_bytes = mloc * lloc * a_itemsize
+    b_bytes = lloc * nloc * b_itemsize
+    if q > 1:
+        chain.p2p(a_bytes)  # route A (i,j,0) -> (i,j,j)
+    chain.collective("bcast", alg, q, a_bytes, segments=seg, cid0=0)
+    if q > 1:
+        chain.p2p(b_bytes)  # route B (i,j,0) -> (i,j,i)
+    chain.collective("bcast", alg, q, b_bytes, segments=seg, cid0=1)
+    chain.compute_seconds(gemm_flops(mloc, lloc, nloc) * gamma)
+    chain.collective("reduce", _reduce_alg(options), q,
+                     mloc * nloc * 8, cid0=2)
+    return chain.result()
+
+
+def predict_summa25d(
+    cfg: Summa25dConfig,
+    *,
+    network: Network,
+    options: Any = None,
+    gamma: float = 0.0,
+    coster: Any = None,
+    a_itemsize: int = 8,
+    b_itemsize: int = 8,
+) -> SimResult:
+    """Closed-form prediction of a 2.5D run.
+
+    Fully lockstep: two layer-axis replication broadcasts, then each
+    layer's ``q/c`` pivot steps (row broadcast, column broadcast,
+    gemm), then the layer-axis reduction of the partial C — every rank
+    performs the same floats, so total, compute and comm replay
+    bit-identically against the macro backend.
+    """
+    from repro.blocks.ops import gemm_flops
+
+    coster = _resolve_coster(network, coster)
+    alg = _bcast_alg(None, options)
+    _refuse_pipelined("the 2.5D algorithm", alg)
+    seg = _segments(options)
+    chain = _Chain(coster, network)
+    q, c = cfg.q, cfg.c
+    mloc, lloc, nloc = cfg.m // q, cfg.l // q, cfg.n // q
+    a_bytes = mloc * lloc * a_itemsize
+    b_bytes = lloc * nloc * b_itemsize
+    gemm = gemm_flops(mloc, lloc, nloc) * gamma
+    chain.collective("bcast", alg, c, a_bytes, segments=seg, cid0=0)
+    chain.collective("bcast", alg, c, b_bytes, segments=seg, cid0=0)
+    for _ in range(q // c):
+        chain.collective("bcast", alg, q, a_bytes, segments=seg, cid0=1)
+        chain.collective("bcast", alg, q, b_bytes, segments=seg, cid0=2)
+        chain.compute_seconds(gemm)
+    chain.collective("reduce", _reduce_alg(options), c,
+                     mloc * nloc * 8, cid0=0)
     return chain.result()

@@ -47,6 +47,9 @@ CHECKS: dict[str, str] = {
                       "schedule",
     "rank-failure": "a rank died from an injected fail-stop fault",
     "run-error": "the run raised before completing",
+    "collapse-congruence": "the symmetry-collapsed macro engine either "
+                           "fell back per-rank or produced stats that "
+                           "differ from the per-rank engine's",
 }
 
 #: How many example operations a rolled-up finding quotes in detail.

@@ -8,7 +8,10 @@ overlap schedules, block-cyclic, Cannon, Fox, the 3-D and 2.5D
 algorithms, heterogeneous 1-D SUMMA, the LU/QR factorizations, and the
 segmented broadcast family (pipelined tree, 4-color ring,
 hyper-systolic ring) — passes every structural check and the
-K-schedule determinism harness.
+K-schedule determinism harness.  The ``*-collapsed`` cases pin the
+symmetry-collapsed macro engine's congruence contract instead
+(collapse engages and replays the per-rank engine bit-identically);
+they run without the recorder, which is a collapse blocker by design.
 
 The sizes are deliberately tiny (tens of rows, single-digit grids):
 the verifier checks communication *structure*, which does not depend on
@@ -115,6 +118,88 @@ def _qr_case() -> CorpusCase:
                       description="blocked Householder QR on a 2x2 grid")
 
 
+def _collapsed_case(name: str, description: str, runner_name: str,
+                    nranks: int, symmetry_args: tuple,
+                    **kwargs: Any) -> CorpusCase:
+    """Run one runner through the symmetry-collapsed macro engine and
+    through the per-rank engine, and render the congruence contract —
+    collapse actually engaged, per-rank stats bit-identical — as a
+    verdict.
+
+    These cases do not use the message recorder (collapse and
+    verification are mutually exclusive by design: the recorder must
+    watch every rank, which is a collapse blocker); the structural
+    property they pin is the congruence itself.
+    """
+    def run(verify: Any) -> Verdict:
+        from repro.network.homogeneous import HomogeneousNetwork
+        from repro.network.model import HockneyParams
+        from repro.payloads import PhantomArray
+        from repro.simulator.backends import MacroBackend
+        from repro.simulator import collapse as collapse_mod
+        from repro.verify.verdict import Finding
+
+        import repro.algorithms.algo25d as algo25d
+        import repro.algorithms.cannon as cannon
+        import repro.algorithms.dns3d as dns3d
+
+        runner = {"cannon": cannon.run_cannon, "dns3d": dns3d.run_dns3d,
+                  "25d": algo25d.run_25d}[runner_name]
+        factory = {"cannon": collapse_mod.cannon_symmetry,
+                   "dns3d": collapse_mod.dns3d_symmetry,
+                   "25d": collapse_mod.summa25d_symmetry}[runner_name]
+        n = 24
+        A, B = PhantomArray((n, n)), PhantomArray((n, n))
+        net = HomogeneousNetwork(nranks, HockneyParams(1e-4, 1e-9))
+        col = MacroBackend(net, symmetry=factory(*symmetry_args))
+        _, sim_col = runner(A, B, network=net, gamma=1e-10, backend=col,
+                            **kwargs)
+        ref = MacroBackend(net)
+        _, sim_ref = runner(A, B, network=net, gamma=1e-10, backend=ref,
+                            **kwargs)
+
+        findings = []
+        report = col.collapse_report or {}
+        if report.get("mode") != "collapsed":
+            findings.append(Finding(
+                check="collapse-congruence", severity="error",
+                message=f"collapse did not engage: {report!r}",
+                detail=dict(report),
+            ))
+        diverged = [
+            a.rank for a, b in zip(sim_col.stats, sim_ref.stats)
+            if (a.clock, a.comm_time, a.compute_time,
+                a.messages_sent, a.bytes_sent)
+            != (b.clock, b.comm_time, b.compute_time,
+                b.messages_sent, b.bytes_sent)
+        ]
+        if diverged:
+            findings.append(Finding(
+                check="collapse-congruence", severity="error",
+                message=f"{len(diverged)} rank(s) diverged from the "
+                        "per-rank engine",
+                ranks=tuple(diverged[:8]),
+            ))
+        if not findings:
+            findings.append(Finding(
+                check="collapse-congruence", severity="info",
+                message=f"probed {report.get('probed')} of "
+                        f"{report.get('ranks')} ranks, bit-identical",
+                detail=dict(report),
+            ))
+        clean = not any(f.severity == "error" for f in findings)
+        # observed_ops counts the congruence comparisons: one five-field
+        # stat record per rank, collapsed vs per-rank.
+        return Verdict(findings=findings, nranks=nranks,
+                       checks=("collapse-congruence",),
+                       meta={"backend": "macro+collapse",
+                             "runner": runner_name,
+                             "outcome": "clean" if clean else "error",
+                             "observed_ops": len(sim_ref.stats)})
+
+    return CorpusCase(name=name, run=run, description=description)
+
+
 def _ft_bcast_case() -> CorpusCase:
     def run(verify: Any) -> Verdict:
         from repro.simulator.runtime import run_spmd
@@ -184,6 +269,23 @@ def build_corpus() -> list[CorpusCase]:
                        nprocs=8, algorithm="3d"),
         _multiply_case("25d", "2.5D algorithm, replication 2",
                        nprocs=8, algorithm="2.5d", replication=2),
+        _collapsed_case(
+            "cannon-collapsed",
+            "Cannon through the torus-shift-collapsed macro engine, "
+            "bit-identical to per-rank", "cannon", 16, (4,), grid=(4, 4),
+        ),
+        _collapsed_case(
+            "dns3d-collapsed",
+            "DNS 3-D through the flag-class-collapsed macro engine on a "
+            "4x4x4 mesh, bit-identical to per-rank", "dns3d", 64, (4,),
+            nprocs=64,
+        ),
+        _collapsed_case(
+            "25d-collapsed",
+            "2.5D through the layer-collapsed macro engine (q=4, c=2), "
+            "bit-identical to per-rank", "25d", 32, (4, 2),
+            nprocs=32, replication=2,
+        ),
         _hetero_case(),
         _lu_case(),
         _qr_case(),

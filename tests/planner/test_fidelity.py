@@ -13,6 +13,8 @@ simulator backends' own numbers, not a reimplementation.
 """
 
 
+import math
+
 import pytest
 
 from repro.core.hsumma import HSummaConfig
@@ -21,7 +23,12 @@ from repro.costs import PIPELINED_BCASTS
 from repro.network.homogeneous import HomogeneousNetwork
 from repro.network.model import HockneyParams
 from repro.planner import PlanQuery, PlanService
-from repro.simulator.predictor import predict_hsumma, predict_summa
+from repro.simulator.predictor import (
+    Summa25dConfig,
+    predict_hsumma,
+    predict_summa,
+    predict_summa25d,
+)
 
 
 def _rebuild_config(result, rq):
@@ -31,6 +38,9 @@ def _rebuild_config(result, rq):
     if result.algorithm == "summa":
         return SummaConfig(m=n, l=n, n=n, s=s, t=t,
                            block=params["block"], bcast=params["bcast"])
+    if result.algorithm == "2.5d":
+        return Summa25dConfig(m=n, l=n, n=n, q=s,
+                              c=params["replication"])
     I, J = params["group_grid"]
     return HSummaConfig(
         m=n, l=n, n=n, s=s, t=t, I=I, J=J,
@@ -41,10 +51,14 @@ def _rebuild_config(result, rq):
     )
 
 
+_PREDICTORS = {"summa": predict_summa, "hsumma": predict_hsumma,
+               "2.5d": predict_summa25d}
+
+
 def _replay_with_predictor(result, rq):
     """Rebuild the chosen config from the plan and ask the predictor."""
     cfg = _rebuild_config(result, rq)
-    predict = predict_summa if result.algorithm == "summa" else predict_hsumma
+    predict = _PREDICTORS[result.algorithm]
     network = HomogeneousNetwork(rq.p, HockneyParams(rq.alpha, rq.beta))
     res = predict(cfg, network=network, gamma=rq.gamma,
                   a_itemsize=rq.itemsize, b_itemsize=rq.itemsize)
@@ -103,6 +117,31 @@ class TestPredictorFidelity:
             assert result.comm_time == st.comm_time
             assert result.compute_time == st.compute_time
 
+    def test_25d_eligible_query_reports_predictor_fidelity(self):
+        """A 2.5D-eligible query prices the replication family at
+        predictor fidelity (not the old closed-form advisory), and the
+        reported times replay bit-identically through the 2.5D
+        predictor chain."""
+        rq = PlanQuery(n=4096, p=32).resolve()
+        result = PlanService().plan(rq)
+        adv = result.advisory["25d"]
+        assert adv["backend"] == "predictor"
+        side = math.isqrt(rq.p // adv["replication"])
+        cfg = Summa25dConfig(m=rq.n, l=rq.n, n=rq.n, q=side,
+                             c=adv["replication"])
+        network = HomogeneousNetwork(rq.p, HockneyParams(rq.alpha, rq.beta))
+        st = predict_summa25d(cfg, network=network, gamma=rq.gamma,
+                              a_itemsize=rq.itemsize,
+                              b_itemsize=rq.itemsize).stats[0]
+        assert adv["predicted_time"] == st.clock
+        assert adv["comm_time"] == st.comm_time
+        assert adv["compute_time"] == st.compute_time
+        # And if the 2.5D family wins outright, the plan itself carries
+        # those predictor numbers.
+        if result.algorithm == "2.5d":
+            assert result.backend == "predictor"
+            assert result.predicted_time == st.clock
+
     def test_faulty_plan_times_are_the_predictors_bit_for_bit(self):
         """Fault-tolerant plans never pick the segmented family, so the
         classic predictor bit-identity contract stays pinned here."""
@@ -125,6 +164,15 @@ class TestMacroFidelity:
         the macro engine bit-identically."""
         rq = query.resolve()
         result = PlanService(refine="macro").plan(rq)
+        if result.algorithm == "2.5d":
+            # No 2.5D step model exists; refine="macro" routes the
+            # family through its predictor chain (which replays the
+            # macro engine's floats bit-identically anyway).
+            assert result.backend == "predictor"
+            st = _replay_with_predictor(result, rq)
+            assert result.predicted_time == st.clock
+            assert result.comm_time == st.comm_time
+            return
         assert result.backend == "macro"
         if result.params.get("bcast") in PIPELINED_BCASTS:
             rep = _replay_with_macro(result, rq)

@@ -311,3 +311,298 @@ class TestPredictorGates:
         with pytest.raises(ConfigurationError, match="macro"):
             run_summa(A, A, grid=(4, 4), block=4, network=net,
                       backend="predictor")
+
+
+# -- the PR-9 families: torus shifts, layers, levels ----------------------
+
+from repro.algorithms.algo25d import run_25d
+from repro.algorithms.cannon import run_cannon
+from repro.algorithms.dns3d import run_dns3d
+from repro.algorithms.fox import run_fox
+from repro.core.hsumma import run_hsumma_multilevel
+from repro.simulator.collapse import (
+    cannon_symmetry,
+    dns3d_symmetry,
+    fox_symmetry,
+    multilevel_symmetry,
+    summa25d_symmetry,
+)
+
+
+@st.composite
+def torus_sizes(draw):
+    """Square torus grids with tile sizes divisible by q."""
+    q = draw(st.sampled_from([3, 4, 5]))
+    m = q * draw(st.sampled_from([8, 16]))
+    l = q * draw(st.sampled_from([8, 16]))
+    n = q * draw(st.sampled_from([8, 16]))
+    return (q, m, l, n)
+
+
+@st.composite
+def dns_sizes(draw):
+    """Cubes large enough that the corner probe set does not cover the
+    grid (q <= 3 legitimately falls back per-rank)."""
+    q = draw(st.sampled_from([4, 5]))
+    m = q * draw(st.sampled_from([8, 16]))
+    l = q * draw(st.sampled_from([8, 16]))
+    n = q * draw(st.sampled_from([8, 16]))
+    return (q, m, l, n)
+
+
+@st.composite
+def rep_sizes(draw):
+    """(q, c) layouts valid for run_25d: p = q^2 c, c | q."""
+    q, c = draw(st.sampled_from([(2, 2), (4, 2), (4, 4), (6, 2), (8, 2)]))
+    m = q * draw(st.sampled_from([8, 16]))
+    l = q * draw(st.sampled_from([8, 16]))
+    n = q * draw(st.sampled_from([8, 16]))
+    return (q, c, m, l, n)
+
+
+MULTILEVEL_CONFIGS = [
+    # (s, t, row_factors, col_factors, blocks)
+    (4, 4, (2, 2), (2, 2), (8, 4)),
+    (4, 8, (2, 2), (2, 4), (8, 4)),
+    (8, 8, (2, 2, 2), (2, 2, 2), (8, 4, 2)),
+    (4, 4, (4,), (4,), (4,)),
+]
+
+
+class TestNewFamiliesCollapse:
+    """Collapsed macro == per-rank macro, bit for bit, for the torus
+    (Cannon/Fox), layered (DNS-3D/2.5D) and level-wise (multilevel)
+    symmetry declarations."""
+
+    @settings(max_examples=12, deadline=None)
+    @given(cfg=torus_sizes())
+    def test_cannon(self, cfg):
+        q, m, l, n = cfg
+        sim_ref, sim_col, report = _run_both(
+            lambda **kw: run_cannon(
+                PhantomArray((m, l)), PhantomArray((l, n)),
+                grid=(q, q), gamma=GAMMA, **kw,
+            ),
+            cannon_symmetry(q), q * q,
+        )
+        assert report["mode"] == "collapsed"
+        assert report["probed"] < q * q
+        _assert_bit_identical(sim_ref, sim_col)
+
+    @settings(max_examples=12, deadline=None)
+    @given(cfg=torus_sizes())
+    def test_fox(self, cfg):
+        q, m, l, n = cfg
+        sim_ref, sim_col, report = _run_both(
+            lambda **kw: run_fox(
+                PhantomArray((m, l)), PhantomArray((l, n)),
+                grid=(q, q), gamma=GAMMA, **kw,
+            ),
+            fox_symmetry(q), q * q,
+        )
+        assert report["mode"] == "collapsed"
+        assert report["probed"] < q * q
+        _assert_bit_identical(sim_ref, sim_col)
+
+    @settings(max_examples=8, deadline=None)
+    @given(cfg=dns_sizes())
+    def test_dns3d(self, cfg):
+        q, m, l, n = cfg
+        sim_ref, sim_col, report = _run_both(
+            lambda **kw: run_dns3d(
+                PhantomArray((m, l)), PhantomArray((l, n)),
+                nprocs=q**3, gamma=GAMMA, **kw,
+            ),
+            dns3d_symmetry(q), q**3,
+        )
+        assert report["mode"] == "collapsed"
+        assert report["probed"] < q**3
+        _assert_bit_identical(sim_ref, sim_col)
+
+    @settings(max_examples=10, deadline=None)
+    @given(cfg=rep_sizes())
+    def test_25d(self, cfg):
+        q, c, m, l, n = cfg
+        sim_ref, sim_col, report = _run_both(
+            lambda **kw: run_25d(
+                PhantomArray((m, l)), PhantomArray((l, n)),
+                nprocs=q * q * c, replication=c, gamma=GAMMA, **kw,
+            ),
+            summa25d_symmetry(q, c), q * q * c,
+        )
+        assert report["mode"] == "collapsed"
+        assert report["probed"] < q * q * c
+        _assert_bit_identical(sim_ref, sim_col)
+
+    @pytest.mark.parametrize("cfg", MULTILEVEL_CONFIGS)
+    def test_multilevel(self, cfg):
+        s, t, rf, cf, blocks = cfg
+        m = l = n = max(s, t) * blocks[0]
+        sim_ref, sim_col, report = _run_both(
+            lambda **kw: run_hsumma_multilevel(
+                PhantomArray((m, l)), PhantomArray((l, n)),
+                grid=(s, t), row_factors=rf, col_factors=cf,
+                blocks=blocks, gamma=GAMMA, **kw,
+            ),
+            multilevel_symmetry(s, t, rf, cf), s * t,
+        )
+        assert report["mode"] == "collapsed"
+        assert report["probed"] < s * t
+        _assert_bit_identical(sim_ref, sim_col)
+
+
+class TestNewFamiliesPredictor:
+    """Predictor chains vs the macro backend for the new families.
+
+    Fox, DNS-3D and 2.5D schedules are lockstep (every rank's comm
+    accumulates in the same order), so even comm_time is bit-identical;
+    Cannon's sendrecv completion splits the send/recv legs differently
+    across ranks, so its comm agrees to float re-association only."""
+
+    @settings(max_examples=10, deadline=None)
+    @given(cfg=torus_sizes())
+    def test_cannon(self, cfg):
+        q, m, l, n = cfg
+        A, B = PhantomArray((m, l)), PhantomArray((l, n))
+        kwargs = dict(grid=(q, q), params=PARAMS, gamma=GAMMA)
+        _, sim_macro = run_cannon(A, B, backend="macro", **kwargs)
+        _, sim_pred = run_cannon(A, B, backend="predictor", **kwargs)
+        assert sim_pred.total_time == sim_macro.total_time
+        assert sim_pred.compute_time == sim_macro.compute_time
+        assert sim_pred.comm_time == pytest.approx(
+            sim_macro.comm_time, rel=COMM_TOL
+        )
+
+    @settings(max_examples=10, deadline=None)
+    @given(cfg=torus_sizes())
+    def test_fox(self, cfg):
+        q, m, l, n = cfg
+        A, B = PhantomArray((m, l)), PhantomArray((l, n))
+        kwargs = dict(grid=(q, q), params=PARAMS, gamma=GAMMA)
+        _, sim_macro = run_fox(A, B, backend="macro", **kwargs)
+        _, sim_pred = run_fox(A, B, backend="predictor", **kwargs)
+        assert sim_pred.total_time == sim_macro.total_time
+        assert sim_pred.compute_time == sim_macro.compute_time
+        assert sim_pred.comm_time == sim_macro.comm_time
+
+    @settings(max_examples=8, deadline=None)
+    @given(cfg=dns_sizes())
+    def test_dns3d(self, cfg):
+        q, m, l, n = cfg
+        A, B = PhantomArray((m, l)), PhantomArray((l, n))
+        kwargs = dict(nprocs=q**3, params=PARAMS, gamma=GAMMA)
+        _, sim_macro = run_dns3d(A, B, backend="macro", **kwargs)
+        _, sim_pred = run_dns3d(A, B, backend="predictor", **kwargs)
+        assert sim_pred.total_time == sim_macro.total_time
+        assert sim_pred.compute_time == sim_macro.compute_time
+        assert sim_pred.comm_time == sim_macro.comm_time
+
+    @settings(max_examples=10, deadline=None)
+    @given(cfg=rep_sizes())
+    def test_25d(self, cfg):
+        q, c, m, l, n = cfg
+        A, B = PhantomArray((m, l)), PhantomArray((l, n))
+        kwargs = dict(nprocs=q * q * c, replication=c, params=PARAMS,
+                      gamma=GAMMA)
+        _, sim_macro = run_25d(A, B, backend="macro", **kwargs)
+        _, sim_pred = run_25d(A, B, backend="predictor", **kwargs)
+        assert sim_pred.total_time == sim_macro.total_time
+        assert sim_pred.compute_time == sim_macro.compute_time
+        assert sim_pred.comm_time == sim_macro.comm_time
+
+
+class TestNewFamiliesFallBack:
+    """One deliberately broken-symmetry case per new runner: the
+    collapse must fall back per-rank (never misprice), and where real
+    data is involved the numerics must stay correct."""
+
+    def test_cannon_real_data_falls_back_with_correct_product(self):
+        rng = np.random.default_rng(11)
+        q = 3
+        A = rng.standard_normal((24, 24))
+        B = rng.standard_normal((24, 24))
+        net = HomogeneousNetwork(q * q, PARAMS)
+        col = MacroBackend(net, symmetry=cannon_symmetry(q))
+        C, sim = run_cannon(A, B, grid=(q, q), network=net, backend=col,
+                            gamma=GAMMA)
+        assert col.collapse_report["mode"] == "per-rank"
+        np.testing.assert_allclose(C, A @ B, rtol=1e-10)
+        ref = MacroBackend(net)
+        _, sim_ref = run_cannon(A, B, grid=(q, q), network=net,
+                                backend=ref, gamma=GAMMA)
+        _assert_bit_identical(sim_ref, sim)
+
+    def test_fox_eager_protocol_blocks_collapse(self):
+        q = 4
+        net = HomogeneousNetwork(q * q, PARAMS)
+        col = MacroBackend(net, eager_threshold=1 << 20,
+                           symmetry=fox_symmetry(q))
+        A, B = PhantomArray((32, 32)), PhantomArray((32, 32))
+        _, sim = run_fox(A, B, grid=(q, q), network=net, backend=col,
+                         gamma=GAMMA)
+        assert col.collapse_report["mode"] == "per-rank"
+        assert "eager" in col.collapse_report["reason"]
+        assert sim.total_time > 0.0
+
+    def test_cannon_nonuniform_network_breaks_p2p_symmetry(self):
+        """An explicitly participant-invariant coster slips past the
+        eligibility blocker, but the collapsed engine's own uniform-wire
+        guard must still refuse to replicate p2p times measured on a
+        mapped two-tier network."""
+        from repro.experiments.stepmodel import AnalyticCoster
+        from repro.network.mapping import block_mapping
+
+        q = 4
+        net = HomogeneousNetwork(
+            q * q, PARAMS,
+            intra_params=HockneyParams(alpha=1e-6, beta=1e-10),
+            mapping=block_mapping(q * q, 4),
+        )
+        col = MacroBackend(net, coster=AnalyticCoster(PARAMS, "binomial"),
+                           symmetry=cannon_symmetry(q))
+        A, B = PhantomArray((32, 32)), PhantomArray((32, 32))
+        _, sim = run_cannon(A, B, grid=(q, q), network=net, backend=col,
+                            gamma=GAMMA)
+        assert col.collapse_report["mode"] == "per-rank"
+        assert "uniform network" in col.collapse_report["reason"]
+        assert sim.total_time > 0.0
+
+    def test_dns3d_small_cube_probe_covers_grid(self):
+        """q <= 3 puts every rank inside the corner probe set; the
+        engine must notice collapsing buys nothing and fall back."""
+        q = 3
+        net = HomogeneousNetwork(q**3, PARAMS)
+        col = MacroBackend(net, symmetry=dns3d_symmetry(q))
+        A, B = PhantomArray((24, 24)), PhantomArray((24, 24))
+        _, sim = run_dns3d(A, B, nprocs=q**3, network=net, backend=col,
+                           gamma=GAMMA)
+        assert col.collapse_report["mode"] == "per-rank"
+        assert "covers" in col.collapse_report["reason"]
+        ref = MacroBackend(net)
+        _, sim_ref = run_dns3d(A, B, nprocs=q**3, network=net,
+                               backend=ref, gamma=GAMMA)
+        _assert_bit_identical(sim_ref, sim)
+
+    def test_25d_tracing_blocks_collapse(self):
+        q, c = 4, 2
+        net = HomogeneousNetwork(q * q * c, PARAMS)
+        col = MacroBackend(net, collect_trace=True,
+                           symmetry=summa25d_symmetry(q, c))
+        A, B = PhantomArray((32, 32)), PhantomArray((32, 32))
+        _, sim = run_25d(A, B, nprocs=q * q * c, replication=c,
+                         network=net, backend=col, gamma=GAMMA)
+        assert col.collapse_report["mode"] == "per-rank"
+        assert "tracing" in col.collapse_report["reason"]
+
+    def test_multilevel_real_data_falls_back_with_correct_product(self):
+        rng = np.random.default_rng(13)
+        A = rng.standard_normal((32, 32))
+        B = rng.standard_normal((32, 32))
+        net = HomogeneousNetwork(16, PARAMS)
+        col = MacroBackend(net, symmetry=multilevel_symmetry(
+            4, 4, (2, 2), (2, 2)))
+        C, sim = run_hsumma_multilevel(
+            A, B, grid=(4, 4), row_factors=(2, 2), col_factors=(2, 2),
+            blocks=(8, 4), network=net, backend=col, gamma=GAMMA)
+        assert col.collapse_report["mode"] == "per-rank"
+        np.testing.assert_allclose(C, A @ B, rtol=1e-10)

@@ -143,6 +143,99 @@ class TestPipelinedBcastRefusals:
         _refusal(exc, "overlap", "backend='des'")
 
 
+class TestNewChainRunnersStopRefusing:
+    """Runners that gained predictor chains this release must price a
+    clean scale-mode query instead of refusing it."""
+
+    def test_cannon_predicts(self):
+        from repro.algorithms.cannon import run_cannon
+
+        A, B = _phantoms()
+        _, sim = run_cannon(A, B, grid=(4, 4), backend="predictor")
+        assert sim.total_time > 0
+
+    def test_fox_predicts(self):
+        from repro.algorithms.fox import run_fox
+
+        A, B = _phantoms()
+        _, sim = run_fox(A, B, grid=(4, 4), backend="predictor")
+        assert sim.total_time > 0
+
+    def test_dns3d_predicts(self):
+        from repro.algorithms.dns3d import run_dns3d
+
+        A, B = _phantoms()
+        _, sim = run_dns3d(A, B, nprocs=64, backend="predictor")
+        assert sim.total_time > 0
+
+    def test_25d_predicts(self):
+        from repro.algorithms.algo25d import run_25d
+
+        A, B = _phantoms()
+        _, sim = run_25d(A, B, nprocs=32, replication=2,
+                         backend="predictor")
+        assert sim.total_time > 0
+
+    @pytest.mark.parametrize("runner_kwargs", [
+        ("cannon", dict(grid=(4, 4))),
+        ("fox", dict(grid=(4, 4))),
+        ("dns3d", dict(nprocs=64)),
+        ("25d", dict(nprocs=32, replication=2)),
+    ], ids=lambda rk: rk[0])
+    def test_new_chains_still_refuse_pipelined(self, runner_kwargs):
+        from repro.algorithms.algo25d import run_25d
+        from repro.algorithms.cannon import run_cannon
+        from repro.algorithms.dns3d import run_dns3d
+        from repro.algorithms.fox import run_fox
+        from repro.mpi.comm import CollectiveOptions
+
+        name, kwargs = runner_kwargs
+        runner = {"cannon": run_cannon, "fox": run_fox,
+                  "dns3d": run_dns3d, "25d": run_25d}[name]
+        A, B = _phantoms()
+        with pytest.raises(ConfigurationError) as exc:
+            runner(A, B, backend="predictor",
+                   options=CollectiveOptions(bcast="hypersystolic"),
+                   **kwargs)
+        _refusal(exc, "pipelined broadcast hypersystolic",
+                 "backend='macro'")
+
+
+class TestLegitimateRefusals:
+    """Runners without a closed form keep refusing — by named feature,
+    with the fallback backend spelled out."""
+
+    def test_lu_refuses_with_named_fallback(self):
+        from repro.factorization.lu import run_block_lu
+
+        A = PhantomArray((64, 64))
+        with pytest.raises(ConfigurationError) as exc:
+            run_block_lu(A, grid=(2, 2), block=16, backend="predictor")
+        msg = _refusal(exc, "data-dependent panel ownership",
+                       "backend='macro'")
+        assert "backend='des'" in msg
+
+    def test_qr_refuses_with_named_fallback(self):
+        from repro.factorization.qr import run_block_qr
+
+        A = PhantomArray((64, 64))
+        with pytest.raises(ConfigurationError) as exc:
+            run_block_qr(A, grid=(2, 2), block=16, backend="predictor")
+        msg = _refusal(exc, "data-dependent reflector flow",
+                       "backend='macro'")
+        assert "backend='des'" in msg
+
+    def test_multilevel_refuses_with_named_fallback(self):
+        from repro.core.hsumma import run_hsumma_multilevel
+
+        A, B = _phantoms()
+        with pytest.raises(ConfigurationError) as exc:
+            run_hsumma_multilevel(A, B, grid=(4, 4),
+                                  row_factors=(2, 2), col_factors=(2, 2),
+                                  blocks=(8, 4), backend="predictor")
+        _refusal(exc, "level-recursive scheduling", "backend='macro'")
+
+
 class TestCosterRefusal:
     def test_participant_dependent_coster(self):
         """A topology-positional network has no participant-count form;
