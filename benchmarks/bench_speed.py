@@ -45,11 +45,13 @@ BASELINE_PATH = REPO_ROOT / "BENCH_engine.json"
 GATE_SLOWDOWN = 1.5
 #: One gate per engine tier: full DES, the symmetry-collapsed macro
 #: path (SUMMA-cyclic plus the torus-shift cannon family landed with
-#: the PR-9 symmetries), the zero-stepping closed-form predictor, and
-#: the plan service's hot cache path.
+#: the PR-9 symmetries), the zero-stepping closed-form predictor, the
+#: plan service's hot cache path, and the multi-tenant job-stream
+#: simulator (both a dumb and a planner-informed scheduler).
 GATE_WORKLOADS = ("des_summa_p64", "macro_cyclic_p1024",
                   "macro_cannon_p1024", "predictor_fig10_sweep",
-                  "planner_plans_per_sec")
+                  "planner_plans_per_sec", "job_stream_fifo_p64",
+                  "job_stream_planner_p64")
 
 #: The plan-cache contract: a repeated query must be served at least
 #: this much faster than the cold enumerate/rank/refine path.
@@ -195,6 +197,35 @@ def _planner_hot(n, p):
         svc.plan(rq)
 
 
+def _job_stream(scheduler, dims, slot_grid, njobs, rate, sizes, weights):
+    """Serve a contended Poisson job stream on a shared torus — the
+    multi-tenant path: placement, scheduling, cross-job link
+    contention and SLO accounting all in the timed region."""
+    from repro.cluster import poisson_stream, serve
+    from repro.network.torus import Torus3D
+    from repro.simulator.runtime import DEFAULT_PARAMS
+
+    machine = Torus3D(dims, DEFAULT_PARAMS)
+    jobs = poisson_stream(njobs, rate=rate, seed=11,
+                          sizes=sizes, weights=weights)
+    serve(jobs, machine=machine, slot_grid=slot_grid, scheduler=scheduler,
+          gamma=1e-11, max_retries=1)
+
+
+#: The 64-slot stream pinned by tests/cluster/test_schedulers.py: ~80%
+#: utilisation, so scheduling and queueing (not raw DES stepping)
+#: dominate.
+_STREAM_P64 = dict(dims=(4, 4, 4), slot_grid=(8, 8), njobs=40, rate=2000.0,
+                   sizes=((256, 4), (384, 4), (512, 16), (1024, 64)),
+                   weights=(5, 4, 3, 2))
+#: 256-slot variant with jobs up to p=256 — the DES share grows but
+#: the stream stays contended (~90% utilisation).
+_STREAM_P256 = dict(dims=(4, 8, 8), slot_grid=(16, 16), njobs=80,
+                    rate=2000.0,
+                    sizes=((256, 4), (512, 16), (1024, 64), (2048, 256)),
+                    weights=(5, 4, 3, 2))
+
+
 FULL = {
     "des_summa_p128": (lambda: _des_summa(2048, (8, 16), 64, 128), 3),
     "des_hsumma_p128": (lambda: _des_hsumma(2048, (8, 16), 8, 64, 128), 3),
@@ -208,6 +239,10 @@ FULL = {
         lambda: _predictor_25d_sweep(1 << 20, 1 << 22), 3),
     "planner_cold": (lambda: _planner_cold(16384, 16384), 1),
     "planner_plans_per_sec": (lambda: _planner_hot(16384, 16384), 3),
+    "job_stream_fifo_p256": (
+        lambda: _job_stream("fifo", **_STREAM_P256), 2),
+    "job_stream_planner_p256": (
+        lambda: _job_stream("planner", **_STREAM_P256), 2),
 }
 
 QUICK = {
@@ -230,6 +265,10 @@ QUICK = {
     # workloads down (the 100x cache gate applies at both sizes).
     "planner_cold": (lambda: _planner_cold(4096, 1024), 3),
     "planner_plans_per_sec": (lambda: _planner_hot(4096, 1024), 3),
+    "job_stream_fifo_p64": (
+        lambda: _job_stream("fifo", **_STREAM_P64), 3),
+    "job_stream_planner_p64": (
+        lambda: _job_stream("planner", **_STREAM_P64), 3),
 }
 
 

@@ -281,6 +281,130 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_machine(args: argparse.Namespace):
+    from repro.errors import ConfigurationError
+    from repro.simulator.runtime import DEFAULT_PARAMS
+    from repro.network.model import HockneyParams
+
+    params = DEFAULT_PARAMS
+    if args.alpha is not None or args.beta is not None:
+        params = HockneyParams(
+            alpha=args.alpha if args.alpha is not None else DEFAULT_PARAMS.alpha,
+            beta=args.beta if args.beta is not None else DEFAULT_PARAMS.beta,
+        )
+    if args.topology == "torus":
+        from repro.network.torus import Torus3D
+        from repro.util.gridmath import factor_grid
+
+        side = round(args.slots ** (1 / 3))
+        if side**3 == args.slots:
+            dims = (side, side, side)
+        else:
+            s, t = factor_grid(args.slots)
+            u, v = factor_grid(t)
+            dims = (s, u, v)
+        return Torus3D(dims, params)
+    if args.topology == "homogeneous":
+        from repro.network.homogeneous import HomogeneousNetwork
+
+        return HomogeneousNetwork(args.slots, params)
+    raise ConfigurationError(f"unknown topology {args.topology!r}")
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.cluster import (
+        compare_schedulers,
+        load_trace,
+        poisson_stream,
+    )
+    from repro.errors import ConfigurationError
+
+    if args.check:
+        return _serve_check()
+    if args.arrivals is not None:
+        jobs = load_trace(args.arrivals)
+        trace_info = {"source": args.arrivals, "jobs": len(jobs)}
+    else:
+        jobs = poisson_stream(args.jobs, rate=args.rate, seed=args.seed)
+        trace_info = {"source": f"poisson(rate={args.rate}, seed={args.seed})",
+                      "jobs": len(jobs)}
+    schedulers = [s.strip() for s in args.scheduler.split(",") if s.strip()]
+    if not schedulers:
+        raise ConfigurationError("no scheduler given")
+    machine = _serve_machine(args)
+    slot_grid = None
+    if args.slot_grid is not None:
+        rows, _, cols = args.slot_grid.partition("x")
+        try:
+            slot_grid = (int(rows), int(cols))
+        except ValueError:
+            raise ConfigurationError(
+                f"--slot-grid must be ROWSxCOLS, got {args.slot_grid!r}"
+            ) from None
+    results = compare_schedulers(
+        jobs, schedulers, machine=machine, slot_grid=slot_grid,
+        gamma=args.gamma, failures=args.failures,
+        max_retries=args.max_retries,
+    )
+    if args.json:
+        payload = {
+            "trace": trace_info,
+            "machine": {"topology": args.topology, "slots": machine.nranks},
+            "reports": {name: res.report.to_dict()
+                        for name, res in results.items()},
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(f"stream: {trace_info['source']} — {trace_info['jobs']} jobs "
+              f"on {machine.nranks} {args.topology} slots")
+        for name, res in results.items():
+            print()
+            print(res.report.to_text())
+    return 0
+
+
+def _serve_check() -> int:
+    """Built-in smoke: run a small stream under two schedulers twice,
+    asserting determinism and the SLO report shape (used by CI)."""
+    from repro.cluster import compare_schedulers, poisson_stream
+    from repro.network.torus import Torus3D
+    from repro.simulator.runtime import DEFAULT_PARAMS
+
+    def once() -> dict:
+        machine = Torus3D((2, 2, 2), DEFAULT_PARAMS)
+        jobs = poisson_stream(10, rate=1500.0, seed=3,
+                              sizes=((128, 4), (256, 8)))
+        results = compare_schedulers(
+            jobs, ["fifo", "planner"], machine=machine, slot_grid=(4, 2),
+            gamma=1e-11, failures="kill(rank=1,t=0.001)", max_retries=1,
+        )
+        return {name: res.report.to_dict() for name, res in results.items()}
+
+    first, second = once(), once()
+    if first != second:
+        print("serve --check: FAIL (stream not deterministic)",
+              file=sys.stderr)
+        return 1
+    required = {"throughput", "latency_p50", "latency_p99",
+                "queue_wait_p50", "utilisation", "makespan"}
+    for name, report in first.items():
+        missing = required - set(report)
+        if missing:
+            print(f"serve --check: FAIL ({name} report missing {missing})",
+                  file=sys.stderr)
+            return 1
+        if report["completed"] != report["jobs"]:
+            print(f"serve --check: FAIL ({name} lost jobs: {report})",
+                  file=sys.stderr)
+            return 1
+    print(f"serve --check: OK ({first['fifo']['jobs']} jobs, "
+          f"fifo p99 {first['fifo']['latency_p99']:.6g}s, "
+          f"planner p99 {first['planner']['latency_p99']:.6g}s)")
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.report import build_scorecard, render_scorecard
 
@@ -470,6 +594,52 @@ def build_parser() -> argparse.ArgumentParser:
     p_plan.add_argument("--json", action="store_true",
                         help="emit the plan as JSON")
     p_plan.set_defaults(func=_cmd_plan)
+
+    p_srv = sub.add_parser(
+        "serve",
+        help="multi-tenant job-stream simulation with SLO report "
+             "(see docs/scheduler.md)",
+    )
+    p_srv.add_argument("--arrivals", default=None, metavar="TRACE",
+                       help="JSONL job trace (one job per line); default: "
+                            "a seeded Poisson stream")
+    p_srv.add_argument("--jobs", type=int, default=20,
+                       help="Poisson stream length (ignored with --arrivals)")
+    p_srv.add_argument("--rate", type=float, default=1000.0,
+                       help="Poisson arrival rate in jobs per virtual "
+                            "second (ignored with --arrivals)")
+    p_srv.add_argument("--seed", type=int, default=0,
+                       help="Poisson stream seed (ignored with --arrivals)")
+    p_srv.add_argument(
+        "--scheduler", default="fifo,planner",
+        help="comma-separated schedulers to run on the same trace "
+             "(fifo, easy, planner)",
+    )
+    p_srv.add_argument("--slots", type=int, default=64,
+                       help="machine size in placement slots")
+    p_srv.add_argument("--slot-grid", default=None, metavar="RxC",
+                       help="logical placement grid (default most square)")
+    p_srv.add_argument("--topology", choices=["torus", "homogeneous"],
+                       default="torus",
+                       help="shared machine model; torus gives honest "
+                            "cross-job link contention")
+    p_srv.add_argument("--alpha", type=float, default=None,
+                       help="latency in seconds (default: library default)")
+    p_srv.add_argument("--beta", type=float, default=None,
+                       help="seconds per byte (default: library default)")
+    p_srv.add_argument("--gamma", type=float, default=0.0,
+                       help="seconds per flop per rank")
+    p_srv.add_argument("--failures", default=None, metavar="SPEC",
+                       help="fail-stop spec, e.g. 'kill(rank=5,t=0.25)'; "
+                            "rank numbers name machine slots")
+    p_srv.add_argument("--max-retries", type=int, default=1,
+                       help="retry budget per job after a fail-stop")
+    p_srv.add_argument("--json", action="store_true",
+                       help="emit the SLO reports as JSON")
+    p_srv.add_argument("--check", action="store_true",
+                       help="run the built-in determinism/report smoke "
+                            "and exit (CI)")
+    p_srv.set_defaults(func=_cmd_serve)
 
     p_rep = sub.add_parser("report", help="reproduction scorecard")
     p_rep.set_defaults(func=_cmd_report)

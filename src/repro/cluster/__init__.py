@@ -1,0 +1,70 @@
+"""Multi-tenant job-stream simulation (``hsumma serve``).
+
+One discrete-event simulation, one shared machine, many independent
+multiply jobs: seeded Poisson or trace-driven arrivals
+(:mod:`repro.cluster.jobs`), rectangular sub-grid placement
+(:mod:`repro.cluster.placement`), pluggable schedulers — FIFO,
+EASY-backfill, planner-informed (:mod:`repro.cluster.schedulers`) —
+cross-job link contention through the shared network
+(:mod:`repro.cluster.network`), mid-stream fail-stop faults with
+retry, and SLO metrics (:mod:`repro.cluster.metrics`).
+
+See ``docs/scheduler.md`` for semantics and the determinism contract:
+a 1-job stream reproduces the standalone run bit-identically, and any
+stream is a pure function of (seed, trace, scheduler).
+"""
+
+from repro.cluster.engine import ClusterEngine, JobRecord
+from repro.cluster.jobs import (
+    JobSpec,
+    dump_trace,
+    dumps_trace,
+    load_trace,
+    loads_trace,
+    poisson_stream,
+)
+from repro.cluster.metrics import StreamReport, percentile
+from repro.cluster.network import ClusterNetwork
+from repro.cluster.placement import SlotGrid
+from repro.cluster.programs import LaunchSpec, build_programs
+from repro.cluster.schedulers import (
+    SCHEDULERS,
+    EasyBackfillScheduler,
+    FifoScheduler,
+    PlannerScheduler,
+    Scheduler,
+    resolve_scheduler,
+)
+from repro.cluster.simulate import (
+    StreamResult,
+    coerce_failures,
+    compare_schedulers,
+    serve,
+)
+
+__all__ = [
+    "SCHEDULERS",
+    "ClusterEngine",
+    "ClusterNetwork",
+    "EasyBackfillScheduler",
+    "FifoScheduler",
+    "JobRecord",
+    "JobSpec",
+    "LaunchSpec",
+    "PlannerScheduler",
+    "Scheduler",
+    "SlotGrid",
+    "StreamReport",
+    "StreamResult",
+    "build_programs",
+    "coerce_failures",
+    "compare_schedulers",
+    "dump_trace",
+    "dumps_trace",
+    "load_trace",
+    "loads_trace",
+    "percentile",
+    "poisson_stream",
+    "resolve_scheduler",
+    "serve",
+]

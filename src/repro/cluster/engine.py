@@ -1,0 +1,435 @@
+"""Multi-tenant discrete-event engine: many jobs, one event queue.
+
+:class:`ClusterEngine` extends the single-run :class:`Engine` so that
+several independent rank programs share one virtual clock and one
+machine.  The split of responsibilities:
+
+* Each job *attempt* binds a fresh, disjoint range of engine ranks
+  (``ClusterNetwork.bind``); rank namespaces never overlap and never
+  get reused, so no channel, endpoint or link bookkeeping can leak
+  between jobs or between retries of one job.
+* Job programs still address their peers ``0..p-1``; a thin generator
+  wrapper (:func:`_translated`) shifts the rank fields of every yielded
+  request by the attempt's base, and nothing else.  With base 0 the
+  wrapper is skipped entirely, which is what makes the 1-job stream
+  bit-identical to a standalone run.
+* Scheduling is event-driven: arrivals, attempt completions and slot
+  failures each trigger one dispatch round; the scheduler proposes one
+  launch at a time until nothing more fits.
+* Fail-stop faults hit machine *slots* at virtual times.  The owning
+  attempt dies instantly (its pending events are left in the queue and
+  neutralised by a per-resume guard), its slots free up, and the job is
+  requeued at the back — or marked failed once its retry budget is
+  exhausted.  Deaths are pushed before all arrivals so that at equal
+  times a failure preempts a completion, matching the single-run
+  engine's documented tie-break.
+
+Everything is deterministic: the event queue is already FIFO within a
+timestamp, schedulers break ties on explicit keys, and the only
+randomness (Poisson arrivals) is seeded upstream.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from repro.cluster.jobs import JobSpec, validate_stream
+from repro.cluster.network import ClusterNetwork
+from repro.cluster.placement import SlotGrid
+from repro.cluster.programs import LaunchSpec, build_programs
+from repro.cluster.schedulers import Scheduler
+from repro.errors import ConfigurationError, DeadlockError, SimulationError
+from repro.mpi.comm import CollectiveOptions
+from repro.network.model import Network
+from repro.simulator.engine import Engine, _pending_op_info, _RankState
+from repro.simulator.events import EventQueue
+from repro.simulator.requests import (
+    CollectiveRequest,
+    IRecvRequest,
+    ISendRequest,
+    RecvRequest,
+    RequestHandle,
+    SendRecvRequest,
+    SendRequest,
+)
+from repro.simulator.spans import SpanRecorder
+from repro.simulator.tracing import SimResult, TransferRecord
+
+
+class JobRecord:
+    """Lifecycle of one job through the stream.
+
+    ``status`` walks ``pending -> queued -> running -> done`` (or
+    ``failed`` after exhausting retries, or ``rejected`` when the job
+    can never fit the machine).  ``result`` carries the job's own
+    :class:`SimResult` slice once done.
+    """
+
+    __slots__ = ("job", "launch", "status", "attempts", "first_start",
+                 "finish", "retries_left", "failed_attempts", "result")
+
+    def __init__(self, job: JobSpec, retries_left: int) -> None:
+        self.job = job
+        self.launch: LaunchSpec | None = None
+        self.status = "pending"
+        self.attempts: list[_Attempt] = []
+        self.first_start: float | None = None
+        self.finish: float | None = None
+        self.retries_left = retries_left
+        self.failed_attempts = 0
+        self.result: SimResult | None = None
+
+    @property
+    def arrival(self) -> float:
+        return self.job.arrival
+
+    @property
+    def queue_wait(self) -> float | None:
+        """Seconds between submission and first start (None if never ran)."""
+        if self.first_start is None:
+            return None
+        return self.first_start - self.job.arrival
+
+    @property
+    def latency(self) -> float | None:
+        """Submission-to-completion seconds (None unless done/failed)."""
+        if self.finish is None:
+            return None
+        return self.finish - self.job.arrival
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"JobRecord(jid={self.job.jid}, status={self.status!r}, "
+                f"latency={self.latency})")
+
+
+class _Attempt:
+    """One launch of a job: a bound rank range on a slot block."""
+
+    __slots__ = ("record", "base", "p", "slots", "start", "end",
+                 "predicted_finish", "live", "dead")
+
+    def __init__(self, record: JobRecord, base: int, slots: tuple[int, ...],
+                 start: float, predicted_finish: float) -> None:
+        self.record = record
+        self.base = base
+        self.p = len(slots)
+        self.slots = slots
+        self.start = start
+        self.end: float | None = None
+        self.predicted_finish = predicted_finish
+        self.live = len(slots)   # unfinished ranks
+        self.dead = False        # fail-stop hit
+
+
+def _shift(request: Any, base: int) -> Any:
+    """Shift the rank fields of one yielded request by ``base``.
+
+    Requests are freshly allocated per yield on the MPI side, so
+    in-place mutation is safe; handles were created engine-side and
+    already carry engine ranks, so they pass through untouched — as do
+    span/compute/counter requests, which name no peers.
+    """
+    cls = request.__class__
+    if cls is SendRequest or cls is ISendRequest:
+        request.dst += base
+    elif cls is RecvRequest or cls is IRecvRequest:
+        request.src += base
+    elif cls is SendRecvRequest:
+        request.dst += base
+        request.src += base
+    elif cls is CollectiveRequest:
+        request.participants = tuple(r + base for r in request.participants)
+    elif cls is tuple:
+        return tuple(_shift(item, base) for item in request)
+    return request
+
+
+def _translated(gen: Any, base: int):
+    """Wrap a rank program so every yielded request is base-shifted."""
+    value = None
+    while True:
+        try:
+            request = gen.send(value)
+        except StopIteration as stop:
+            return stop.value
+        value = yield _shift(request, base)
+
+
+class ClusterEngine(Engine):
+    """A DES hosting a whole job stream on one shared machine.
+
+    Parameters
+    ----------
+    machine:
+        The physical network whose ``nranks`` slots jobs are placed on.
+    grid_shape:
+        Logical ``(rows, cols)`` arrangement of those slots for
+        rectangular placement (``rows * cols == machine.nranks``).
+    capacity:
+        Total engine ranks that may ever be bound (job sizes times
+        allowed attempts); fixed up front because the base engine keys
+        channels by ``src * nranks + dst``.
+    scheduler:
+        A :class:`repro.cluster.schedulers.Scheduler` instance.
+    failures:
+        Fail-stop events as ``(slot, time)`` pairs (already coerced by
+        the driver).  Other fault classes are per-run mechanisms the
+        stream does not inject.
+    max_retries:
+        Attempts allowed per job beyond the first.
+    """
+
+    def __init__(
+        self,
+        machine: Network,
+        grid_shape: tuple[int, int],
+        capacity: int,
+        *,
+        scheduler: Scheduler,
+        gamma: float = 0.0,
+        options: CollectiveOptions | None = None,
+        contention: bool = True,
+        collect_trace: bool = False,
+        failures: Sequence[tuple[int, float]] = (),
+        max_retries: int = 1,
+        eager_threshold: int = 0,
+        max_events: int = 200_000_000,
+    ) -> None:
+        rows, cols = grid_shape
+        if rows * cols != machine.nranks:
+            raise ConfigurationError(
+                f"slot grid {rows}x{cols} does not cover a machine with "
+                f"{machine.nranks} slots"
+            )
+        if max_retries < 0:
+            raise ConfigurationError(
+                f"max_retries must be >= 0, got {max_retries}"
+            )
+        super().__init__(
+            ClusterNetwork(machine, capacity),
+            contention=contention,
+            collect_trace=collect_trace,
+            max_events=max_events,
+            eager_threshold=eager_threshold,
+        )
+        self.machine = machine
+        self.scheduler = scheduler
+        self.gamma = gamma
+        self.options = options
+        self.max_retries = max_retries
+        self._grid = SlotGrid(rows, cols)
+        self._failures = [(int(slot), float(t)) for slot, t in failures]
+        for slot, _t in self._failures:
+            if not (0 <= slot < machine.nranks):
+                raise ConfigurationError(
+                    f"failure targets slot {slot}, but the machine has "
+                    f"{machine.nranks} slots"
+                )
+
+    # -- stream execution ---------------------------------------------------
+
+    def serve(self, jobs: Iterable[JobSpec]) -> list[JobRecord]:
+        """Run the whole stream; returns one record per job (jid order)."""
+        jobs = validate_stream(list(jobs))
+        records = [JobRecord(job, self.max_retries) for job in jobs]
+
+        # Mirror Engine.run()'s setup, with a dynamic rank table: ranks
+        # are appended as attempts launch, and self._attempts[r] maps an
+        # engine rank back to its owning attempt.
+        self._ranks: list[_RankState] = []
+        self._events = EventQueue()
+        self._channels: dict[Any, dict[int, Any]] = {}
+        self._rankmul = self.network.nranks
+        self._link_free: dict[Any, float] = {}
+        self._links_cache: dict[tuple[int, int], tuple] = {}
+        self._ep_pool: list[Any] = []
+        self._rh_pool: list[RequestHandle] = []
+        self._fast = not self.contention and not self.collect_trace
+        self._trace: list[TransferRecord] = []
+        self._spans = SpanRecorder(self.network.nranks)
+        self._nevents = 0
+        self._chan_digests: dict[Any, int] = {}
+        self._attempts: list[_Attempt] = []
+        self._queue: list[JobRecord] = []
+        self._running: list[_Attempt] = []
+        self._slot_owner: dict[int, _Attempt] = {}
+
+        # Failures first: at equal virtual times a fail-stop preempts
+        # arrivals and completions (same tie-break Engine.run documents).
+        for slot, t in self._failures:
+            self._events.push(t, self._slot_failure, (slot, t))
+        for record in records:
+            self._events.push(record.job.arrival, self._job_arrival,
+                              (record, record.job.arrival))
+
+        events = self._events
+        max_events = self.max_events
+        while events:
+            _time, batch = events.pop_batch()
+            self._nevents += len(batch)
+            if self._nevents > max_events:
+                raise SimulationError(
+                    f"event cap of {max_events} exceeded; "
+                    "likely a livelock in a rank program"
+                )
+            for _t, _seq, fn, args in batch:
+                fn(*args)
+
+        blocked = [
+            (s.stats.rank, s.blocked_on)
+            for s in self._ranks
+            if not s.finished
+        ]
+        if blocked:
+            detail = ", ".join(f"rank {r} on {op!r}" for r, op in blocked[:8])
+            more = "" if len(blocked) <= 8 else f" (+{len(blocked) - 8} more)"
+            raise DeadlockError(
+                f"job stream deadlocked: {detail}{more}",
+                blocked={r: _pending_op_info(op) for r, op in blocked},
+            )
+        stranded = [r.job.jid for r in self._queue]
+        if stranded:
+            raise SimulationError(
+                f"jobs {stranded} still queued after the machine drained "
+                "(inconsistent scheduler/placement state)"
+            )
+        return sorted(records, key=lambda r: r.job.jid)
+
+    # -- engine hook --------------------------------------------------------
+
+    def _resume(self, state: _RankState, value: Any, time: float) -> None:
+        # Events aimed at a killed attempt's ranks are stale; dropping
+        # them here (instead of scrubbing the heap) keeps failure
+        # handling O(p) and the event order deterministic.
+        attempt = self._attempts[state.stats.rank]
+        if attempt.dead:
+            return
+        super()._resume(state, value, time)
+        if state.finished:
+            attempt.live -= 1
+            if attempt.live == 0:
+                # Defer completion to its own event so job teardown and
+                # the next dispatch round never run in the middle of a
+                # transfer-completion cascade.
+                self._events.push(time, self._attempt_done, (attempt,))
+
+    # -- job lifecycle ------------------------------------------------------
+
+    def _job_arrival(self, record: JobRecord, now: float) -> None:
+        if record.launch is None:
+            record.launch = self.scheduler.launch_spec(record.job)
+            if record.launch.s * record.launch.t != record.job.p:
+                raise ConfigurationError(
+                    f"scheduler proposed grid {record.launch.s}x"
+                    f"{record.launch.t} for job {record.job.jid} with "
+                    f"p={record.job.p}"
+                )
+        if not self._grid.fits_empty(record.launch.s, record.launch.t):
+            record.status = "rejected"
+            return
+        record.status = "queued"
+        self._queue.append(record)
+        self._dispatch_jobs(now)
+
+    def _dispatch_jobs(self, now: float) -> None:
+        while self._queue:
+            record = self.scheduler.pick(self._queue, self._grid, now,
+                                         self._running)
+            if record is None:
+                return
+            assert record.launch is not None
+            slots = self._grid.allocate(record.launch.s, record.launch.t)
+            if slots is None:
+                raise SimulationError(
+                    f"scheduler picked job {record.job.jid} but no "
+                    f"{record.launch.s}x{record.launch.t} block is free"
+                )
+            self._queue.remove(record)
+            self._launch(record, slots, now)
+
+    def _launch(self, record: JobRecord, slots: tuple[int, ...],
+                now: float) -> None:
+        spec = record.launch
+        assert spec is not None
+        base = self.network.bind(slots)
+        attempt = _Attempt(record, base, slots, now,
+                           predicted_finish=now + spec.predicted)
+        record.attempts.append(attempt)
+        if record.first_start is None:
+            record.first_start = now
+        record.status = "running"
+        self._running.append(attempt)
+        for slot in slots:
+            self._slot_owner[slot] = attempt
+        programs = build_programs(record.job, spec, gamma=self.gamma,
+                                  options=self.options,
+                                  trace=self.collect_trace)
+        states = []
+        for offset, gen in enumerate(programs):
+            if base:
+                gen = _translated(gen, base)
+            state = _RankState(base + offset, gen)
+            self._ranks.append(state)
+            self._attempts.append(attempt)
+            states.append(state)
+        for state in states:
+            self._resume(state, None, now)
+
+    def _attempt_done(self, attempt: _Attempt) -> None:
+        if attempt.dead:
+            return
+        record = attempt.record
+        finish = max(self._ranks[attempt.base + i].stats.clock
+                     for i in range(attempt.p))
+        attempt.end = finish
+        for i in range(attempt.p):
+            rank = attempt.base + i
+            self._spans.finish(rank, self._ranks[rank].stats.clock)
+        self._release(attempt)
+        record.status = "done"
+        record.finish = finish
+        record.result = self._job_result(attempt)
+        self._dispatch_jobs(finish)
+
+    def _job_result(self, attempt: _Attempt) -> SimResult:
+        base, p = attempt.base, attempt.p
+        stats = [self._ranks[base + i].stats for i in range(p)]
+        return_values = [self._ranks[base + i].retval for i in range(p)]
+        trace = [t for t in self._trace if base <= t.src < base + p]
+        spans = [s for s in self._spans.roots if base <= s.rank < base + p]
+        return SimResult(stats=stats, return_values=return_values,
+                         trace=trace, spans=spans)
+
+    def _release(self, attempt: _Attempt) -> None:
+        self._running.remove(attempt)
+        self._grid.release(attempt.slots)
+        for slot in attempt.slots:
+            if self._slot_owner.get(slot) is attempt:
+                del self._slot_owner[slot]
+
+    # -- fail-stop ----------------------------------------------------------
+
+    def _slot_failure(self, slot: int, now: float) -> None:
+        attempt = self._slot_owner.get(slot)
+        if attempt is None or attempt.dead:
+            return  # slot idle at failure time: the stream absorbs it
+        attempt.dead = True
+        attempt.end = now
+        for i in range(attempt.p):
+            rank = attempt.base + i
+            state = self._ranks[rank]
+            state.finished = True  # deadlock check must skip dead ranks
+            self._spans.finish(rank, max(state.stats.clock, attempt.start))
+        record = attempt.record
+        self._release(attempt)
+        record.failed_attempts += 1
+        if record.retries_left > 0:
+            record.retries_left -= 1
+            record.status = "queued"
+            # Requeue at the back: a failed job rejoins behind jobs that
+            # arrived while it ran (documented retry policy).
+            self._queue.append(record)
+        else:
+            record.status = "failed"
+            record.finish = now
+        self._dispatch_jobs(now)

@@ -1,0 +1,147 @@
+"""Top-level driver: run a job stream, get SLO reports.
+
+:func:`serve` wires the pieces together — machine, placement grid,
+scheduler, fail-stop schedule — runs the stream to completion on a
+:class:`ClusterEngine`, and returns the per-job records plus the
+aggregated :class:`StreamReport`.  The CLI's ``hsumma serve`` is a thin
+shell over this function.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Iterable, Sequence
+
+from repro.cluster.engine import ClusterEngine, JobRecord
+from repro.cluster.jobs import JobSpec
+from repro.cluster.metrics import StreamReport
+from repro.cluster.schedulers import Scheduler, resolve_scheduler
+from repro.errors import ConfigurationError
+from repro.mpi.comm import CollectiveOptions
+from repro.network.model import Network
+from repro.util.gridmath import factor_grid
+
+
+@dataclasses.dataclass(frozen=True)
+class StreamResult:
+    """Outcome of one stream run: the report plus per-job detail."""
+
+    report: StreamReport
+    records: list[JobRecord]
+
+
+def coerce_failures(failures: Any) -> list[tuple[int, float]]:
+    """Normalise a ``failures=`` argument to ``(slot, time)`` pairs.
+
+    Accepts ``None``/empty, a sequence of pairs, a fault-spec string
+    (``repro.faults`` mini-language, e.g. ``"kill(rank=5,t=0.25)"``) or
+    a :class:`~repro.faults.FaultSchedule`.  Only fail-stop deaths are
+    meaningful at stream level — the ``rank`` of a kill clause names a
+    *machine slot* here — so schedules carrying any other fault class
+    are rejected rather than silently truncated.
+    """
+    if failures is None:
+        return []
+    from repro.faults.schedule import FaultSchedule
+    from repro.faults.spec import coerce_faults
+
+    if isinstance(failures, (str, FaultSchedule)):
+        schedule = coerce_faults(failures)
+        if schedule is None:
+            return []
+        if schedule.drops or schedule.slowdowns or schedule.degradations:
+            raise ConfigurationError(
+                "stream failures support fail-stop deaths only; drops, "
+                "slowdowns and degradations are single-run fault classes"
+            )
+        return [(death.rank, death.time)
+                for death in schedule.death_events()]
+    return [(int(slot), float(t)) for slot, t in failures]
+
+
+def serve(
+    jobs: Iterable[JobSpec],
+    *,
+    machine: Network | None = None,
+    slots: int | None = None,
+    slot_grid: tuple[int, int] | None = None,
+    scheduler: str | Scheduler = "fifo",
+    gamma: float = 0.0,
+    options: CollectiveOptions | None = None,
+    contention: bool = True,
+    collect_trace: bool = False,
+    failures: Any = None,
+    max_retries: int = 1,
+    eager_threshold: int = 0,
+) -> StreamResult:
+    """Run a job stream and aggregate its SLO report.
+
+    Parameters
+    ----------
+    jobs:
+        The stream (see :mod:`repro.cluster.jobs`).
+    machine:
+        Shared physical network; default a contention-free
+        :class:`HomogeneousNetwork` over ``slots`` ranks.  Pass a
+        :class:`Torus3D` for honest cross-job link contention.
+    slots:
+        Machine size when ``machine`` is omitted (default: big enough
+        for the largest job).
+    slot_grid:
+        Logical ``(rows, cols)`` placement arrangement; default the
+        most-square factorisation of the machine size.
+    scheduler:
+        ``"fifo"`` | ``"easy"`` | ``"planner"`` or an instance.
+    failures:
+        Fail-stop schedule (see :func:`coerce_failures`).
+    max_retries:
+        Retry budget per job after a fail-stop.
+    """
+    jobs = list(jobs)
+    if not jobs:
+        raise ConfigurationError("job stream is empty")
+    if machine is None:
+        from repro.network.homogeneous import HomogeneousNetwork
+        from repro.simulator.runtime import DEFAULT_PARAMS
+
+        if slots is None:
+            slots = max(job.p for job in jobs)
+        machine = HomogeneousNetwork(slots, DEFAULT_PARAMS)
+    elif slots is not None and slots != machine.nranks:
+        raise ConfigurationError(
+            f"slots={slots} but the supplied machine has "
+            f"{machine.nranks}"
+        )
+    if slot_grid is None:
+        slot_grid = factor_grid(machine.nranks)
+
+    params = getattr(machine, "params", None)
+    if params is None:
+        from repro.simulator.runtime import DEFAULT_PARAMS
+
+        params = DEFAULT_PARAMS
+    sched = resolve_scheduler(scheduler, alpha=params.alpha,
+                              beta=params.beta, gamma=gamma)
+
+    capacity = sum(job.p for job in jobs) * (1 + max_retries)
+    engine = ClusterEngine(
+        machine, slot_grid, capacity,
+        scheduler=sched, gamma=gamma, options=options,
+        contention=contention, collect_trace=collect_trace,
+        failures=coerce_failures(failures), max_retries=max_retries,
+        eager_threshold=eager_threshold,
+    )
+    records = engine.serve(jobs)
+    report = StreamReport.from_records(records, slots=machine.nranks,
+                                       scheduler=sched.name)
+    return StreamResult(report=report, records=records)
+
+
+def compare_schedulers(
+    jobs: Sequence[JobSpec],
+    schedulers: Sequence[str],
+    **kwargs: Any,
+) -> dict[str, StreamResult]:
+    """Run the same trace under several schedulers (fresh state each)."""
+    return {name: serve(list(jobs), scheduler=name, **kwargs)
+            for name in schedulers}

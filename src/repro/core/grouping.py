@@ -13,7 +13,7 @@ from __future__ import annotations
 import math
 
 from repro.errors import ConfigurationError
-from repro.network.mapping import RankMapping
+from repro.network.mapping import RankMapping, subgrid_order
 from repro.util.gridmath import divisors
 
 
@@ -80,15 +80,9 @@ def group_aligned_mapping(
         raise ConfigurationError(f"group grid {I}x{J} does not divide {s}x{t}")
     if ranks_per_node < 1:
         raise ConfigurationError(f"ranks_per_node must be >= 1, got {ranks_per_node}")
-    si, tj = s // I, t // J
     nranks = s * t
     # Order ranks by (group id, position inside group), then deal nodes.
-    order = []
-    for x in range(I):
-        for y in range(J):
-            for ii in range(si):
-                for jj in range(tj):
-                    order.append((x * si + ii) * t + (y * tj + jj))
+    order = subgrid_order(s, t, I, J)
     node_of = [0] * nranks
     for position, rank in enumerate(order):
         node_of[rank] = position // ranks_per_node

@@ -54,8 +54,10 @@ from repro.costs.registry import (
     bcast_entry,
     bcast_latency_factor,
     estimate,
+    PipelineDepthWarning,
     hypersystolic_depth,
     hypersystolic_stride,
+    max_pipeline_segments,
     optimal_pipeline_segments,
     segmented_fill_slots,
 )
@@ -89,6 +91,8 @@ __all__ = [
     "matmul_flops",
     "memory_dependent_bound_elements",
     "memory_independent_bound_elements",
+    "PipelineDepthWarning",
+    "max_pipeline_segments",
     "optimal_pipeline_segments",
     "predicted_extremum_kind",
     "segmented_fill_slots",

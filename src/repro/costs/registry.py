@@ -41,6 +41,7 @@ from __future__ import annotations
 import dataclasses
 import functools
 import math
+import warnings
 from typing import Callable
 
 from repro.errors import ModelError
@@ -279,9 +280,35 @@ def _pipeline_shape(algorithm: str, p: int) -> tuple[int, int, int]:
     raise ModelError(f"not a pipelined broadcast algorithm: {algorithm!r}")
 
 
+class PipelineDepthWarning(RuntimeWarning):
+    """The analytic optimum ``S*`` exceeds the route's segment capacity.
+
+    The closed form assumes every segment can be in flight at once
+    (infinitely many NIC slots); a real route only holds about one
+    segment per pipeline stage, so depths beyond
+    :func:`max_pipeline_segments` buy no additional overlap.  See
+    ``docs/cost_model.md``.
+    """
+
+
+def max_pipeline_segments(p: int, algorithm: str = "pipelined") -> int:
+    """Per-route segment capacity of a pipelined broadcast.
+
+    The family's completion shape ``(base + rate*S)`` means the route
+    drains one segment per ``rate`` slots after a ``base``-slot fill:
+    at most ``base + rate`` segments are ever simultaneously in flight,
+    which is the depth beyond which the infinite-NIC closed form stops
+    describing the modelled machine.
+    """
+    if p <= 2:
+        return 1
+    base, rate, _chunks = _pipeline_shape(algorithm, p)
+    return max(1, base + rate)
+
+
 def optimal_pipeline_segments(
     m_bytes: float, p: int, alpha: float, beta: float,
-    algorithm: str = "pipelined",
+    algorithm: str = "pipelined", *, clamp: bool = False,
 ) -> int:
     """Segment count minimising a pipelined broadcast's completion time
     ``(base + rate*S)(alpha + m*beta/(chunks*S))``:
@@ -292,6 +319,13 @@ def optimal_pipeline_segments(
     their own fill latency (``segmented``: tree fill minus 2, at rate
     2 slots/segment; ``fourcolor``: ``p-2`` over ``2S`` chunks;
     ``hypersystolic``: ``D-1``).
+
+    When ``S*`` exceeds :func:`max_pipeline_segments` — the infinite-NIC
+    artifact documented in ``docs/cost_model.md`` — a
+    :class:`PipelineDepthWarning` is emitted; pass ``clamp=True`` to cap
+    the result at the route capacity instead of returning the raw
+    optimum (the default keeps the historical closed-form value, which
+    the pinned predictor artifacts rely on).
     """
     if p <= 2 or m_bytes <= 0 or alpha <= 0:
         return 1
@@ -299,7 +333,18 @@ def optimal_pipeline_segments(
     if base <= 0:
         return 1
     s = math.sqrt(m_bytes * beta * base / (chunks * rate * alpha))
-    return max(1, round(s))
+    depth = max(1, round(s))
+    cap = max(1, base + rate)
+    if depth > cap:
+        warnings.warn(
+            f"optimal pipeline depth {depth} exceeds the {algorithm} "
+            f"route's segment capacity {cap} at p={p}; the closed form "
+            "assumes infinite NIC slots (docs/cost_model.md)",
+            PipelineDepthWarning, stacklevel=2,
+        )
+        if clamp:
+            return cap
+    return depth
 
 
 # ---------------------------------------------------------------------------

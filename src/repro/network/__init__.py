@@ -16,6 +16,8 @@ from repro.network.mapping import (
     block_mapping,
     identity_mapping,
     round_robin_mapping,
+    subgrid_blocks,
+    subgrid_order,
 )
 
 __all__ = [
@@ -29,4 +31,6 @@ __all__ = [
     "block_mapping",
     "identity_mapping",
     "round_robin_mapping",
+    "subgrid_blocks",
+    "subgrid_order",
 ]

@@ -65,6 +65,48 @@ class RankMapping:
         return [r for r, n in enumerate(self._node_of) if n == node]
 
 
+def subgrid_order(s: int, t: int, I: int, J: int) -> tuple[int, ...]:
+    """Zigzag enumeration of an ``s x t`` grid cut into ``I x J`` groups.
+
+    Position ``k`` of the result is the row-major grid rank visited
+    ``k``-th when walking group-by-group (groups row-major) and, inside
+    each ``(s/I) x (t/J)`` group, row-major again.  This is the paper's
+    Figure-8 group layout: consecutive positions share a group, so any
+    consumer that deals consecutive positions onto consecutive resources
+    (nodes, placement slots) keeps each group contiguous.
+
+    Identity-pinned: :func:`repro.core.grouping.group_aligned_mapping`
+    and the cluster placement layer both consume this exact order, and
+    tests pin it against the historical inline enumeration.
+    """
+    if s < 1 or t < 1 or I < 1 or J < 1:
+        raise TopologyError(f"need s,t,I,J >= 1; got {s}, {t}, {I}, {J}")
+    if s % I or t % J:
+        raise TopologyError(f"group grid {I}x{J} does not divide {s}x{t}")
+    si, tj = s // I, t // J
+    order = []
+    for x in range(I):
+        for y in range(J):
+            for ii in range(si):
+                for jj in range(tj):
+                    order.append((x * si + ii) * t + (y * tj + jj))
+    return tuple(order)
+
+
+def subgrid_blocks(s: int, t: int, I: int, J: int) -> tuple[tuple[int, ...], ...]:
+    """:func:`subgrid_order` cut per group: entry ``x*J + y`` lists the
+    grid ranks of group ``(x, y)`` in row-major within-group order.
+
+    This is the placement layer's candidate list when carving aligned
+    ``(s/I) x (t/J)`` sub-grids out of an ``s x t`` machine: each block
+    is rectangular, and its tuple order is exactly the row-major rank
+    order a job expects.
+    """
+    order = subgrid_order(s, t, I, J)
+    size = (s // I) * (t // J)
+    return tuple(order[k:k + size] for k in range(0, len(order), size))
+
+
 def identity_mapping(nranks: int) -> RankMapping:
     """One rank per node (SMP effects disabled)."""
     return RankMapping(range(nranks), nranks)

@@ -35,7 +35,7 @@ from repro.planner.space import (
 
 #: Bump when the search space, ranking forms, or refinement change in a
 #: way that invalidates stored plans.
-PLAN_CACHE_SALT = "planner-3"  # planner-3: 2.5D refined at predictor fidelity
+PLAN_CACHE_SALT = "planner-4"  # planner-4: advisory carries closed_form_only
 _PLAN_FN = "repro.planner.plan"
 
 REFINE_BACKENDS = ("predictor", "macro", "none")
@@ -185,6 +185,7 @@ class PlanService:
                 "compute_time": adv_refined[2],
                 "backend": adv_refined[3],
                 "closed_form_time": closed_form_cost(rq, adv_cand),
+                "closed_form_only": False,
             }
         else:
             skipped = [c for c in cands if c.algorithm == "2.5d"
@@ -194,6 +195,10 @@ class PlanService:
                 advisory["25d"] = {
                     "replication": adv.replication,
                     "closed_form_time": closed_form_cost(rq, adv),
+                    # Flags the fallback for JSON consumers: this
+                    # variant never entered the refined competition
+                    # (its layer grid does not tile n).
+                    "closed_form_only": True,
                 }
         lb = lower_bound_time(rq.n, rq.p, rq.alpha, rq.beta_element,
                               rq.gamma, memory_elements=rq.memory_elements)

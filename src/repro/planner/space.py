@@ -14,10 +14,12 @@ from __future__ import annotations
 
 import dataclasses
 import math
+import warnings
 from typing import Any
 
 from repro.costs import (
     CostQuery,
+    PipelineDepthWarning,
     algo25d_communication_cost,
     bcast_bandwidth_factor,
     bcast_latency_factor,
@@ -149,8 +151,13 @@ def _segment_choices(rq: ResolvedQuery, alg: str, elements: float,
     """Pipeline depths to enumerate for one pipelined candidate: the
     registry's closed-form optimum ``s*`` for the (dominant) row
     message, plus a half/double probe around it."""
-    s_opt = optimal_pipeline_segments(
-        elements, p, rq.alpha, rq.beta_element, alg)
+    # The enumeration deliberately probes the infinite-NIC optimum
+    # (and around it) — the ranking prices every depth itself, so the
+    # registry's over-capacity warning is noise here and stays muted.
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", PipelineDepthWarning)
+        s_opt = optimal_pipeline_segments(
+            elements, p, rq.alpha, rq.beta_element, alg)
     return sorted({max(1, s_opt // 2), s_opt, 2 * s_opt})
 
 

@@ -94,6 +94,11 @@ class SimResult:
     verdict:
         The :class:`repro.verify.Verdict` of a verified run, or None
         when the run executed without verification.
+    collapse:
+        The macro backend's ``collapse_report`` — ``{"mode":
+        "collapsed", "probed": k, "ranks": n}`` when the symmetry fast
+        path engaged, ``{"mode": "per-rank", "reason": ...}`` when it
+        fell back — or None on backends without a collapse fast path.
     """
 
     stats: list[RankStats]
@@ -101,6 +106,7 @@ class SimResult:
     trace: list[TransferRecord] = dataclasses.field(default_factory=list)
     spans: list[Span] = dataclasses.field(default_factory=list)
     verdict: object = None
+    collapse: dict | None = None
 
     @property
     def nranks(self) -> int:

@@ -188,14 +188,24 @@ def run_verified(
         engine = build(network, faults)
         collapse = getattr(engine, "run_with_factory", None)
         if collapse is not None:
-            return collapse(make_programs)
-        return engine.run(make_programs())
+            sim = collapse(make_programs)
+        else:
+            sim = engine.run(make_programs())
+        sim.collapse = getattr(engine, "collapse_report", None)
+        return sim
 
     programs = list(make_programs())
     session = VerifySession(opts, len(programs))
     if meta:
         session.meta.update(meta)
-    sim = session.execute(build(network, faults), programs)
+    engine = build(network, faults)
+    sim = session.execute(engine, programs)
+    # The recorder must observe every rank, so verified runs never take
+    # the collapse fast path — but the report (with its fallback reason)
+    # still surfaces, both on the result and in the verdict meta.
+    sim.collapse = getattr(engine, "collapse_report", None)
+    if sim.collapse is not None:
+        session.meta["collapse"] = sim.collapse
 
     schedule_findings: list[Finding] = []
     if opts.schedules:

@@ -1,0 +1,67 @@
+"""Rectangular sub-grid placement on the shared slot grid."""
+
+import pytest
+
+from repro.cluster.placement import SlotGrid
+from repro.errors import ConfigurationError
+from repro.network.mapping import subgrid_blocks
+
+
+def test_aligned_placement_follows_zigzag_blocks():
+    grid = SlotGrid(4, 4)
+    expected = subgrid_blocks(4, 4, 2, 2)
+    got = [grid.allocate(2, 2) for _ in range(4)]
+    assert tuple(got) == expected
+    assert grid.allocate(2, 2) is None
+    assert grid.free_count == 0
+
+
+def test_release_makes_block_reusable():
+    grid = SlotGrid(4, 4)
+    first = grid.allocate(2, 2)
+    second = grid.allocate(2, 2)
+    grid.release(first)
+    assert grid.allocate(2, 2) == first
+    grid.release(second)
+    with pytest.raises(ConfigurationError):
+        grid.release(second)  # double release
+
+
+def test_block_is_in_job_rank_order():
+    grid = SlotGrid(4, 8)
+    slots = grid.allocate(2, 4)
+    # job rank i*t+j must sit at physical (r0+i, c0+j)
+    assert slots == (0, 1, 2, 3, 8, 9, 10, 11)
+
+
+def test_transposed_placement_when_needed():
+    grid = SlotGrid(4, 2)
+    slots = grid.allocate(2, 4)  # only fits rotated (4 rows x 2 cols)
+    assert slots is not None
+    # job (i, j) -> physical (j, i): row-major over job ranks
+    assert slots == (0, 2, 4, 6, 1, 3, 5, 7)
+    assert grid.free_count == 0
+
+
+def test_unaligned_anchor_scan():
+    grid = SlotGrid(3, 3)
+    a = grid.allocate(2, 2)
+    assert a == (0, 1, 3, 4)
+    b = grid.allocate(1, 3)
+    assert b == (6, 7, 8)
+    assert grid.allocate(2, 2) is None
+
+
+def test_fits_empty_considers_both_orientations():
+    grid = SlotGrid(2, 8)
+    assert grid.fits_empty(8, 2)
+    assert grid.fits_empty(2, 8)
+    assert not grid.fits_empty(4, 4)
+
+
+def test_clone_is_independent():
+    grid = SlotGrid(2, 2)
+    shadow = grid.clone()
+    shadow.allocate(2, 2)
+    assert grid.free_count == 4
+    assert shadow.free_count == 0

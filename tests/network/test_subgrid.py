@@ -1,0 +1,70 @@
+"""Identity pins for the extracted fig8 zigzag sub-grid enumeration."""
+
+import pytest
+
+from repro.core.grouping import group_aligned_mapping
+from repro.errors import TopologyError
+from repro.network.mapping import subgrid_blocks, subgrid_order
+
+
+def _inline_order(s, t, I, J):
+    """The historical enumeration as it lived in grouping.py."""
+    si, tj = s // I, t // J
+    order = []
+    for x in range(I):
+        for y in range(J):
+            for ii in range(si):
+                for jj in range(tj):
+                    order.append((x * si + ii) * t + (y * tj + jj))
+    return tuple(order)
+
+
+@pytest.mark.parametrize("s,t,I,J", [
+    (4, 4, 2, 2), (4, 4, 1, 1), (4, 4, 4, 4), (6, 4, 3, 2),
+    (8, 8, 2, 4), (2, 8, 1, 4), (1, 1, 1, 1),
+])
+def test_order_matches_historical_enumeration(s, t, I, J):
+    assert subgrid_order(s, t, I, J) == _inline_order(s, t, I, J)
+
+
+def test_order_is_a_permutation():
+    order = subgrid_order(6, 4, 3, 2)
+    assert sorted(order) == list(range(24))
+
+
+def test_order_pinned_literal():
+    # 4x4 grid in 2x2 groups: group (0,0) holds ranks {0,1,4,5}, etc.
+    assert subgrid_order(4, 4, 2, 2) == (
+        0, 1, 4, 5, 2, 3, 6, 7, 8, 9, 12, 13, 10, 11, 14, 15)
+
+
+def test_blocks_partition_and_shape():
+    blocks = subgrid_blocks(4, 4, 2, 2)
+    assert blocks == ((0, 1, 4, 5), (2, 3, 6, 7), (8, 9, 12, 13),
+                      (10, 11, 14, 15))
+    flat = [r for block in blocks for r in block]
+    assert tuple(flat) == subgrid_order(4, 4, 2, 2)
+
+
+def test_blocks_are_rectangles_in_row_major_order():
+    for block in subgrid_blocks(6, 8, 3, 2):
+        rows = sorted({r // 8 for r in block})
+        cols = sorted({r % 8 for r in block})
+        expect = tuple((rows[0] + i) * 8 + (cols[0] + j)
+                       for i in range(len(rows)) for j in range(len(cols)))
+        assert block == expect
+
+
+@pytest.mark.parametrize("args", [(4, 4, 3, 2), (4, 4, 2, 3), (0, 4, 1, 1)])
+def test_invalid_arguments_raise(args):
+    with pytest.raises(TopologyError):
+        subgrid_order(*args)
+
+
+def test_group_aligned_mapping_unchanged():
+    # The delegating shim must keep the historical node assignment.
+    mapping = group_aligned_mapping(4, 4, 2, 2, ranks_per_node=2)
+    order = _inline_order(4, 4, 2, 2)
+    for position, rank in enumerate(order):
+        assert mapping.node(rank) == position // 2
+    assert mapping.nnodes == 8

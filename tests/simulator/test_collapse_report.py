@@ -1,0 +1,52 @@
+"""The macro backend's collapse report surfaces on ``SimResult`` and,
+for verified runs, in the verdict meta (and hence the verify CLI)."""
+
+from repro.core.summa import run_summa
+from repro.payloads import PhantomArray
+
+
+def _run(**kwargs):
+    a = PhantomArray((256, 256))
+    b = PhantomArray((256, 256))
+    _, sim = run_summa(a, b, grid=(4, 4), block=64, **kwargs)
+    return sim
+
+
+def test_macro_run_reports_collapsed_mode():
+    sim = _run(backend="macro")
+    assert sim.collapse == {"mode": "collapsed", "probed": 7, "ranks": 16}
+
+
+def test_contention_forces_per_rank_with_reason():
+    sim = _run(backend="macro", contention=True)
+    assert sim.collapse == {"mode": "per-rank",
+                            "reason": "contention modelling enabled"}
+
+
+def test_tracing_forces_per_rank_with_reason():
+    sim = _run(backend="macro", trace=True)
+    assert sim.collapse == {"mode": "per-rank",
+                            "reason": "transfer tracing enabled"}
+
+
+def test_des_backend_has_no_collapse_report():
+    assert _run(backend="des").collapse is None
+    assert _run().collapse is None
+
+
+def test_verified_macro_run_carries_report_in_verdict_meta():
+    # The recorder must observe every rank, so a verified macro run
+    # steps per rank — and says so, on the result and in the verdict.
+    sim = _run(backend="macro", verify=True)
+    assert sim.collapse == {"mode": "per-rank",
+                            "reason": "run_with_factory not used"}
+    assert sim.verdict is not None
+    assert sim.verdict.meta["collapse"] == sim.collapse
+    # to_dict is what the verify CLI serialises.
+    assert sim.verdict.to_dict()["meta"]["collapse"] == sim.collapse
+
+
+def test_verified_des_run_has_no_collapse_meta():
+    sim = _run(verify=True)
+    assert sim.collapse is None
+    assert "collapse" not in sim.verdict.meta
